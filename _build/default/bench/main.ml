@@ -1,0 +1,374 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation, runs one Bechamel micro-benchmark per table/figure kernel,
+   and prints the ablation studies called out in DESIGN.md.
+
+   Usage:
+     bench/main.exe            full run (tables + micro-benchmarks + ablations)
+     bench/main.exe quick      reduced configuration
+     bench/main.exe micro      micro-benchmarks only
+     bench/main.exe ablations  ablation studies only
+     bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
+                               table3 table4 table5 table6 table7 fig9 *)
+
+open Bechamel
+open Toolkit
+
+(* ------------- shared small fixtures for the micro-benchmarks ------------- *)
+
+let alu8 = Lift.alu_target ~width:8 ()
+let fpu16_netlist = Fpu.netlist ()
+let c28 = Cell.Library.c28
+let aglib = Aging.Timing_library.build c28
+
+let aged_timing_alu8 =
+  Sta.aged_timing ~clock_tree:(Clock_tree.two_domain_gated ~sp_gated:0.05 ())
+    ~sp_of_net:(fun _ -> 0.3)
+    ~years:10.0 aglib
+
+let alu8_fresh_crit =
+  let tree = Clock_tree.two_domain_gated ~sp_gated:0.05 () in
+  let timing = Sta.fresh_timing ~clock_tree:tree c28 in
+  let r = Sta.analyze ~timing ~clock_period_ps:1e9 alu8.Lift.netlist in
+  List.fold_left
+    (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+    0.0 r.Sta.endpoint_slacks
+
+let small_suite =
+  let r =
+    Lift.lift_pair alu8 ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation
+  in
+  Lift.suite_of_results alu8.Lift.kind [ r ]
+
+let alu8_machine nl =
+  Machine.create
+    ~config:{ Machine.default_config with Machine.width = 8; fmt = Fpu_format.tiny }
+    ~alu:(Machine.Alu_netlist nl) ~fpu:Machine.Fpu_functional ()
+
+let faulty_alu8 =
+  Fault.failing_netlist alu8.Lift.netlist
+    {
+      Fault.start_dff = "a_q0";
+      end_dff = "r_q0";
+      kind = Fault.Setup_violation;
+      constant = Fault.C0;
+      activation = Fault.Any_transition;
+    }
+
+let example_adder = Example_circuits.pipelined_adder ()
+
+let example_instrumented =
+  Fault.instrument_shadow example_adder
+    {
+      Fault.start_dff = "$4";
+      end_dff = "$10";
+      kind = Fault.Setup_violation;
+      constant = Fault.C1;
+      activation = Fault.Any_transition;
+    }
+
+let crc_compiled = Minic.compile (Workload.find "crc").Workload.program
+let functional16 () = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+let crc_profile = Integrate.profile (functional16 ()) crc_compiled
+
+let pigeonhole n holes =
+  let s = Sat.create () in
+  let x = Array.init n (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for p = 0 to n - 1 do
+    Sat.add_clause s (Array.to_list x.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to n - 1 do
+      for p2 = p1 + 1 to n - 1 do
+        Sat.add_clause s [ -x.(p1).(h); -x.(p2).(h) ]
+      done
+    done
+  done;
+  s
+
+(* ------------- micro-benchmarks: one Test.make per table/figure ------------- *)
+
+let micro_tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"vega" ~fmt:"%s/%s"
+    [
+      t "fig4:aging-timing-library-build" (fun () ->
+          ignore (Aging.Timing_library.build c28));
+      t "table1:sp-profile-200-cycles" (fun () ->
+          let sim = Sim.create ~profile:true example_adder in
+          Sim.run_random sim ~cycles:200;
+          ignore (Sim.sp_of_cell sim "$7"));
+      t "table2:bmc-trace-example-adder" (fun () ->
+          match
+            Formal.check_cover example_instrumented.Fault.netlist
+              ~cover:example_instrumented.Fault.cover
+          with
+          | Formal.Trace_found _ -> ()
+          | _ -> failwith "no trace");
+      t "fig8:aged-delay-factors-alu8" (fun () ->
+          Array.iter
+            (fun (c : Netlist.cell) ->
+              if not (Cell.Kind.is_sequential c.Netlist.kind) && Cell.Kind.arity c.Netlist.kind > 0
+              then ignore (Aging.Timing_library.factor aglib c.Netlist.kind ~sp:0.3 ~years:10.0))
+            (Netlist.cells alu8.Lift.netlist));
+      t "table3:aged-sta-alu8" (fun () ->
+          ignore
+            (Sta.analyze ~timing:aged_timing_alu8
+               ~clock_period_ps:(alu8_fresh_crit *. 1.005)
+               alu8.Lift.netlist));
+      t "table3:violating-pairs-alu8" (fun () ->
+          ignore
+            (Sta.violating_pairs ~timing:aged_timing_alu8
+               ~clock_period_ps:(alu8_fresh_crit *. 1.005)
+               alu8.Lift.netlist));
+      t "table4:lift-pair-alu8" (fun () ->
+          ignore
+            (Lift.lift_pair alu8 ~start_dff:"a_q0" ~end_dff:"r_q0"
+               ~violation:Fault.Setup_violation));
+      t "table5:suite-execution-healthy" (fun () ->
+          let m = alu8_machine alu8.Lift.netlist in
+          Machine.reset m;
+          ignore (Machine.run m (Lift.suite_program small_suite)));
+      t "table6:detection-run-failing-netlist" (fun () ->
+          let m = alu8_machine faulty_alu8 in
+          Machine.reset m;
+          ignore (Machine.run m (Lift.suite_program small_suite)));
+      t "table7:random-suite-generation" (fun () ->
+          ignore (Testgen.random_alu_suite ~seed:1 ~width:8 ~cases:8 ()));
+      t "fig9:profile-plan-instrument-crc" (fun () ->
+          let plan =
+            Integrate.plan_integration ~compiled:crc_compiled ~profile:crc_profile
+              ~suite:small_suite ()
+          in
+          ignore (Integrate.instrument ~compiled:crc_compiled ~suite:small_suite ~plan));
+      t "substrate:gate-sim-step-fpu16" (fun () ->
+          let sim = Sim.create fpu16_netlist in
+          for _ = 1 to 10 do
+            Sim.step sim
+          done);
+      t "substrate:cdcl-pigeonhole-7-6" (fun () ->
+          ignore (Sat.solve (pigeonhole 7 6)));
+      t "substrate:minic-compile-minver" (fun () ->
+          ignore (Minic.compile Workload.minver.Workload.program));
+    ]
+
+let run_micro () =
+  print_endline "== Bechamel micro-benchmarks (one per table/figure kernel) ==";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some [ est ] ->
+        if est > 1e6 then Printf.printf "  %-48s %10.2f ms/run\n" name (est /. 1e6)
+        else Printf.printf "  %-48s %10.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-48s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------- ablation studies ------------- *)
+
+let ablation_bmc_budget () =
+  print_endline "== Ablation: formal conflict budget vs construction outcome ==";
+  print_endline "   (DESIGN.md: 'FF timeouts emerge at small bounds')";
+  List.iter
+    (fun budget ->
+      let config = { Lift.default_config with Lift.max_conflicts = budget } in
+      let fpu = Lift.fpu_target () in
+      let r =
+        Lift.lift_pair ~config fpu ~start_dff:"b_q0" ~end_dff:"r_q0"
+          ~violation:Fault.Setup_violation
+      in
+      Printf.printf "  budget %7d conflicts -> %s (%d cases)\n" budget
+        (Lift.classification_name r.Lift.classification)
+        (List.length r.Lift.cases))
+    [ 0; 2; 20; 200; 200_000 ];
+  print_newline ()
+
+let ablation_integration_threshold () =
+  print_endline "== Ablation: overhead threshold vs integration plan (crc) ==";
+  List.iter
+    (fun threshold ->
+      let plan =
+        Integrate.plan_integration ~overhead_threshold:threshold ~compiled:crc_compiled
+          ~profile:crc_profile ~suite:small_suite ()
+      in
+      Printf.printf "  threshold %6.3f%% -> block %-12s count %5d gate %-6s est %.4f%%\n"
+        (100.0 *. threshold) plan.Integrate.chosen_block plan.Integrate.block_count
+        (match plan.Integrate.gate with None -> "-" | Some k -> Printf.sprintf "1/%d" k)
+        (100.0 *. plan.Integrate.estimated_overhead))
+    [ 0.0005; 0.002; 0.01; 0.05 ];
+  print_newline ()
+
+let ablation_corner_conservatism () =
+  print_endline "== Ablation: analysis-corner pessimism vs flagged pairs (ALU8) ==";
+  print_endline
+    "   (the clock is signed off at the nominal corner; extra derate on the";
+  print_endline "    aging analysis models worst-case voltage/temperature assumptions)";
+  List.iter
+    (fun derate ->
+      let tree = Clock_tree.two_domain_gated ~sp_gated:0.05 () in
+      let aged =
+        Sta.aged_timing ~derate ~clock_tree:tree ~sp_of_net:(fun _ -> 0.3) ~years:10.0 aglib
+      in
+      let pairs =
+        Sta.violating_pairs ~timing:aged
+          ~clock_period_ps:(alu8_fresh_crit *. 1.005)
+          alu8.Lift.netlist
+      in
+      Printf.printf "  analysis derate %.2f -> %d flagged pairs\n" derate (List.length pairs))
+    [ 1.0; 1.01; 1.02; 1.05 ];
+  print_newline ()
+
+let ablation_clock_margin () =
+  print_endline "== Ablation: clock-frequency guardband vs aging exposure (ALU8) ==";
+  List.iter
+    (fun margin ->
+      let pairs =
+        Sta.violating_pairs ~timing:aged_timing_alu8
+          ~clock_period_ps:(alu8_fresh_crit *. margin)
+          alu8.Lift.netlist
+      in
+      Printf.printf "  margin %.3f -> %d violating pairs\n" margin (List.length pairs))
+    [ 1.0; 1.01; 1.02; 1.04; 1.06 ];
+  print_newline ()
+
+let ablation_formal_vs_fuzz () =
+  print_endline "== Ablation: formal vs fuzzing-based trace generation (paper 6.3) ==";
+  let pairs =
+    [ ("a_q0", "r_q0"); ("b_q1", "r_q2"); ("b_q0", "r_q7") ]
+  in
+  List.iter
+    (fun (s, e) ->
+      let t0 = Unix.gettimeofday () in
+      let formal =
+        Lift.lift_pair alu8 ~start_dff:s ~end_dff:e ~violation:Fault.Setup_violation
+      in
+      let t1 = Unix.gettimeofday () in
+      let fuzzed =
+        Lift.fuzz_pair alu8 ~start_dff:s ~end_dff:e ~violation:Fault.Setup_violation
+      in
+      let t2 = Unix.gettimeofday () in
+      let steps (r : Lift.pair_result) =
+        match r.Lift.cases with [] -> 0 | tc :: _ -> Lift.steps tc
+      in
+      Printf.printf
+        "  %s~>%s  formal: %s %d-op case in %4.0f ms | fuzz: %s %d-op case in %4.0f ms\n" s e
+        (Lift.classification_name formal.Lift.classification)
+        (steps formal)
+        (1000.0 *. (t1 -. t0))
+        (Lift.classification_name fuzzed.Lift.classification)
+        (steps fuzzed)
+        (1000.0 *. (t2 -. t1)))
+    pairs;
+  print_newline ()
+
+let ablation_bti_vs_em () =
+  print_endline "== Ablation: BTI-only vs BTI+EM aging analysis (ALU8, paper 6.3) ==";
+  (* profile SPs and toggle rates with the mixed workload *)
+  let m =
+    Machine.create
+      ~config:{ Machine.default_config with Machine.width = 8; fmt = Fpu_format.tiny }
+      ~profile_units:true ~alu:(Machine.Alu_netlist alu8.Lift.netlist)
+      ~fpu:Machine.Fpu_functional ()
+  in
+  Vega.run_minver_workload m;
+  let sim = Option.get (Machine.alu_sim m) in
+  let sp_of_net n = Sim.sp sim n in
+  let toggle_of_net n = Sim.toggle_rate sim n in
+  let tree = Clock_tree.two_domain_gated ~sp_gated:0.05 () in
+  let period = alu8_fresh_crit *. 1.005 in
+  let measure timing =
+    let pairs = Sta.violating_pairs ~timing ~clock_period_ps:period alu8.Lift.netlist in
+    let r = Sta.analyze ~max_violating_paths:1 ~timing ~clock_period_ps:period alu8.Lift.netlist in
+    (List.length pairs, r.Sta.wns_setup_ps)
+  in
+  let bti_n, bti_wns = measure (Sta.aged_timing ~clock_tree:tree ~sp_of_net ~years:10.0 aglib) in
+  let em_n, em_wns =
+    measure (Sta.aged_timing ~clock_tree:tree ~toggle_of_net ~sp_of_net ~years:10.0 aglib)
+  in
+  Printf.printf "  BTI only:  %d violating pairs, setup WNS %.1f ps\n" bti_n bti_wns;
+  Printf.printf "  BTI + EM:  %d violating pairs, setup WNS %.1f ps\n" em_n em_wns;
+  Printf.printf "  (EM derates the busiest nets: WNS degrades by %.1f ps here)\n"
+    (bti_wns -. em_wns);
+  print_newline ()
+
+let ablation_adder_architecture () =
+  print_endline "== Ablation: adder architecture vs aging exposure (ALU8) ==";
+  List.iter
+    (fun (name, style) ->
+      let nl = Alu.netlist ~width:8 ~adder:style () in
+      let tree = Clock_tree.two_domain_gated ~sp_gated:0.05 () in
+      let fresh = Sta.fresh_timing ~clock_tree:tree c28 in
+      let probe = Sta.analyze ~timing:fresh ~clock_period_ps:1e9 nl in
+      let crit =
+        List.fold_left
+          (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+          0.0 probe.Sta.endpoint_slacks
+      in
+      let aged = Sta.aged_timing ~clock_tree:tree ~sp_of_net:(fun _ -> 0.3) ~years:10.0 aglib in
+      let pairs = Sta.violating_pairs ~timing:aged ~clock_period_ps:(crit *. 1.005) nl in
+      Printf.printf "  %-13s %5d cells, fresh critical %6.0f ps, %d aging-prone pairs\n" name
+        (Netlist.num_cells nl) crit (List.length pairs))
+    [ ("ripple", Alu.Ripple); ("carry-select", Alu.Carry_select) ];
+  print_endline "   (formally equivalent designs, different aging surfaces)";
+  print_newline ()
+
+let run_ablations () =
+  ablation_bmc_budget ();
+  ablation_formal_vs_fuzz ();
+  ablation_bti_vs_em ();
+  ablation_adder_architecture ();
+  ablation_integration_threshold ();
+  ablation_corner_conservatism ();
+  ablation_clock_margin ()
+
+(* ------------- experiment printing ------------- *)
+
+let log s = Printf.eprintf "[bench] %s\n%!" s
+
+let print_tables config =
+  print_endline "== Paper tables and figures (see EXPERIMENTS.md for comparison) ==\n";
+  print_string (Experiments.run_all ~config ~log ())
+
+let with_context config f =
+  let ctx = Experiments.make_context ~config ~log () in
+  f ctx
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let config =
+    if Array.exists (String.equal "quick") Sys.argv then Experiments.quick_config
+    else Experiments.default_config
+  in
+  match arg with
+  | "all" | "quick" ->
+    print_tables config;
+    run_micro ();
+    run_ablations ()
+  | "micro" -> run_micro ()
+  | "ablations" -> run_ablations ()
+  | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
+  | "table1" -> print_string (Experiments.render_table1 (Experiments.table1 ()))
+  | "table2" -> print_string (Experiments.render_table2 (Experiments.table2 ()))
+  | "fig8" ->
+    with_context config (fun c -> print_string (Experiments.render_fig8 (Experiments.fig8 c)))
+  | "table3" ->
+    with_context config (fun c -> print_string (Experiments.render_table3 (Experiments.table3 c)))
+  | "table4" ->
+    with_context config (fun c -> print_string (Experiments.render_table4 (Experiments.table4 c)))
+  | "table5" ->
+    with_context config (fun c -> print_string (Experiments.render_table5 (Experiments.table5 c)))
+  | "table6" ->
+    with_context config (fun c -> print_string (Experiments.render_table6 (Experiments.table6 c)))
+  | "table7" ->
+    with_context config (fun c -> print_string (Experiments.render_table7 (Experiments.table7 c)))
+  | "fig9" ->
+    with_context config (fun c -> print_string (Experiments.render_fig9 (Experiments.fig9 c)))
+  | other ->
+    Printf.eprintf
+      "unknown argument %S (expected all|quick|micro|ablations|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+      other;
+    exit 2

@@ -1,0 +1,387 @@
+(* The vega command-line tool.
+
+     vega analyze  --unit alu|fpu [--width N] [--margin M] [--years Y]
+     vega lift     --unit alu|fpu [--mitigation] [--asm]
+     vega run      --unit alu|fpu [--inject START:END:KIND:C] [--random-order SEED]
+     vega emit-c   --unit alu|fpu
+     vega verilog  --unit alu|fpu|example [--inject START:END:KIND:C]
+     vega report   [--quick]
+
+   Faults are specified as "start_dff:end_dff:setup|hold:0|1|r",
+   e.g. --inject a_q0:r_q0:setup:0. *)
+
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+type unit_kind = U_alu | U_fpu
+
+let unit_conv =
+  let parse = function
+    | "alu" -> Ok U_alu
+    | "fpu" -> Ok U_fpu
+    | s -> Error (`Msg (Printf.sprintf "unknown unit %S (expected alu or fpu)" s))
+  in
+  let print fmt u = Format.pp_print_string fmt (match u with U_alu -> "alu" | U_fpu -> "fpu") in
+  Arg.conv (parse, print)
+
+let unit_arg =
+  Arg.(required & opt (some unit_conv) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Functional unit: alu or fpu.")
+
+let width_arg =
+  Arg.(value & opt int 16 & info [ "width" ] ~docv:"BITS" ~doc:"ALU datapath width (power of two, 4-32).")
+
+let margin_arg =
+  Arg.(value & opt float 1.0 & info [ "margin" ] ~docv:"M" ~doc:"Clock guardband over the fresh critical path (e.g. 1.005).")
+
+let years_arg =
+  Arg.(value & opt float 10.0 & info [ "years" ] ~docv:"Y" ~doc:"Assumed service life for the aging analysis.")
+
+let mitigation_arg =
+  Arg.(value & flag & info [ "mitigation" ] ~doc:"Enable the initial-value-dependency mitigation (rising/falling variants).")
+
+let fault_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ start_dff; end_dff; kind; c ] -> (
+      let kind =
+        match kind with
+        | "setup" -> Ok Fault.Setup_violation
+        | "hold" -> Ok Fault.Hold_violation
+        | k -> Error (`Msg (Printf.sprintf "bad violation kind %S" k))
+      in
+      let constant =
+        match c with
+        | "0" -> Ok Fault.C0
+        | "1" -> Ok Fault.C1
+        | "r" | "R" -> Ok Fault.C_random
+        | c -> Error (`Msg (Printf.sprintf "bad constant %S" c))
+      in
+      match (kind, constant) with
+      | Ok kind, Ok constant ->
+        Ok { Fault.start_dff; end_dff; kind; constant; activation = Fault.Any_transition }
+      | Error e, _ | _, Error e -> Error e)
+    | _ -> Error (`Msg "expected START:END:setup|hold:0|1|r")
+  in
+  let print fmt s = Format.pp_print_string fmt (Fault.describe s) in
+  Arg.conv (parse, print)
+
+let inject_arg =
+  Arg.(value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT" ~doc:"Inject a failure model: START:END:setup|hold:0|1|r.")
+
+let target_of = function
+  | U_alu, width -> Lift.alu_target ~width ()
+  | U_fpu, _ -> Lift.fpu_target ()
+
+let phase1_of margin =
+  { Vega.default_phase1 with Vega.clock_margin = margin }
+
+let workflow unit_kind width margin mitigation =
+  let target = target_of (unit_kind, width) in
+  let phase2 = { Lift.default_config with Lift.mitigation } in
+  Vega.run_workflow ~phase1:(phase1_of margin) ~phase2 target ~workload:Vega.run_minver_workload
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run unit_kind width margin years =
+    let target = target_of (unit_kind, width) in
+    let config = { (phase1_of margin) with Vega.years } in
+    (* workload characterization + area/power from the same profiled run *)
+    let m = Vega.machine_for ~profile_units:true target in
+    Vega.run_minver_workload m;
+    let stats = Machine.op_stats m in
+    Printf.printf "workload op mix: ";
+    List.iter (fun (op, n) -> Printf.printf "%s:%d " (Alu.op_name op) n) stats.Machine.alu_ops;
+    List.iter
+      (fun (op, n) -> Printf.printf "%s:%d " (Fpu_format.op_name op) n)
+      stats.Machine.fpu_ops;
+    Printf.printf "ld:%d st:%d br:%d(%d taken)\n" stats.Machine.loads stats.Machine.stores
+      stats.Machine.branches stats.Machine.branches_taken;
+    let unit_sim =
+      match unit_kind with
+      | U_alu -> Option.get (Machine.alu_sim m)
+      | U_fpu -> Option.get (Machine.fpu_sim m)
+    in
+    if Sim.samples unit_sim > 1 then
+      print_string (Power.render (Power.analyze Cell.Library.c28 unit_sim ~clock_mhz:200.0));
+    let a = Vega.aging_analysis ~config target ~workload:Vega.run_minver_workload in
+    Printf.printf "netlist: %d cells, clock period %.0f ps (margin %.3f)\n"
+      (Netlist.num_cells target.Lift.netlist) a.Vega.clock_period_ps margin;
+    Printf.printf "fresh:  setup WNS %.1f ps, hold WNS %.1f ps (violations: %d setup, %d hold)\n"
+      a.Vega.fresh_report.Sta.wns_setup_ps a.Vega.fresh_report.Sta.wns_hold_ps
+      (List.length a.Vega.fresh_report.Sta.setup_violations)
+      (List.length a.Vega.fresh_report.Sta.hold_violations);
+    Printf.printf "aged %g years: setup WNS %.1f ps, hold WNS %.1f ps\n" years
+      a.Vega.aged_report.Sta.wns_setup_ps a.Vega.aged_report.Sta.wns_hold_ps;
+    Printf.printf "violating register pairs (%d):\n" (List.length a.Vega.violating_pairs);
+    List.iter
+      (fun (s, e, c, sl) ->
+        Printf.printf "  %-10s -> %-10s %-6s slack %7.1f ps\n"
+          (Sta.describe_startpoint target.Lift.netlist s)
+          (Sta.describe_endpoint target.Lift.netlist e)
+          (match c with Sta.Setup -> "setup" | Sta.Hold -> "hold")
+          sl)
+      a.Vega.violating_pairs;
+    0
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ margin_arg $ years_arg) in
+  Cmd.v (Cmd.info "analyze" ~doc:"Phase 1: aging-aware timing analysis of a functional unit.") term
+
+(* ---------- lift ---------- *)
+
+let asm_arg = Arg.(value & flag & info [ "asm" ] ~doc:"Print the generated suite as assembly.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the suite as JSON (the operator interchange format).")
+
+let lift_cmd =
+  let run unit_kind width margin mitigation asm out =
+    let report = workflow unit_kind width margin mitigation in
+    Printf.printf "pairs: %d\n" (List.length report.Vega.pair_results);
+    List.iter
+      (fun (pr : Lift.pair_result) ->
+        Printf.printf "  %-10s -> %-10s %s (%d cases)\n" pr.Lift.start_dff pr.Lift.end_dff
+          (Lift.classification_name pr.Lift.classification)
+          (List.length pr.Lift.cases))
+      report.Vega.pair_results;
+    Printf.printf "suite: %d cases, %d cycles\n"
+      (List.length report.Vega.suite.Lift.suite_cases)
+      report.Vega.suite_cycles;
+    if asm then print_string (Isa.to_asm_text (Lift.suite_program report.Vega.suite));
+    (match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Serial.suite_to_string report.Vega.suite);
+      close_out oc;
+      Printf.printf "suite written to %s\n" path);
+    0
+  in
+  let term =
+    Term.(const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg $ out_arg)
+  in
+  Cmd.v (Cmd.info "lift" ~doc:"Phases 1+2: generate the SDC test suite for a unit.") term
+
+(* ---------- run ---------- *)
+
+let seed_arg =
+  Arg.(value & opt (some int) None & info [ "random-order" ] ~docv:"SEED" ~doc:"Run the suite in a random order.")
+
+let suite_file_arg =
+  Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"FILE" ~doc:"Run a previously exported JSON suite instead of regenerating one.")
+
+let run_cmd =
+  let run unit_kind width margin mitigation inject seed suite_file =
+    let suite, target =
+      match suite_file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        (match Serial.suite_of_string text with
+        | Error e ->
+          prerr_endline e;
+          exit 2
+        | Ok suite ->
+          let target =
+            match suite.Lift.suite_target with
+            | Lift.Alu_module { width } -> Lift.alu_target ~width ()
+            | Lift.Fpu_module { fmt } -> Lift.fpu_target ~fmt ()
+          in
+          (suite, target))
+      | None ->
+        let report = workflow unit_kind width margin mitigation in
+        (report.Vega.suite, report.Vega.analysis.Vega.target)
+    in
+    let nl =
+      match inject with
+      | None -> target.Lift.netlist
+      | Some spec ->
+        Printf.printf "injecting %s\n" (Fault.describe spec);
+        Fault.failing_netlist target.Lift.netlist spec
+    in
+    let m = Vega.machine_for (Lift.target_of_netlist target.Lift.kind nl) in
+    let strategy =
+      match seed with
+      | None -> Integrate.Runner.Sequential
+      | Some s -> Integrate.Runner.Random_order s
+    in
+    (match Integrate.Runner.run_tests m suite strategy with
+    | Ok () ->
+      print_endline "PASS: no aging-related SDC detected";
+      0
+    | Error id ->
+      Printf.printf "SDC DETECTED by test case [%s]\n" id;
+      1)
+  in
+  let term =
+    Term.(
+      const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ inject_arg $ seed_arg
+      $ suite_file_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the generated suite on a healthy or fault-injected unit.")
+    term
+
+(* ---------- emit-c ---------- *)
+
+let emit_c_cmd =
+  let run unit_kind width margin mitigation =
+    let report = workflow unit_kind width margin mitigation in
+    print_string (Integrate.emit_c_library report.Vega.suite);
+    0
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg) in
+  Cmd.v (Cmd.info "emit-c" ~doc:"Emit the software aging library as C source.") term
+
+(* ---------- verilog ---------- *)
+
+let verilog_cmd =
+  let unit_conv3 =
+    let parse = function
+      | "alu" -> Ok `Alu
+      | "fpu" -> Ok `Fpu
+      | "example" -> Ok `Example
+      | s -> Error (`Msg (Printf.sprintf "unknown unit %S" s))
+    in
+    let print fmt u =
+      Format.pp_print_string fmt
+        (match u with `Alu -> "alu" | `Fpu -> "fpu" | `Example -> "example")
+    in
+    Arg.conv (parse, print)
+  in
+  let unit3_arg =
+    Arg.(
+      required
+      & opt (some unit_conv3) None
+      & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"alu, fpu, or example (the paper's adder).")
+  in
+  let run unit_kind width inject =
+    let nl =
+      match unit_kind with
+      | `Alu -> Alu.netlist ~width ()
+      | `Fpu -> Fpu.netlist ()
+      | `Example -> Example_circuits.pipelined_adder ()
+    in
+    let nl = match inject with None -> nl | Some spec -> Fault.failing_netlist nl spec in
+    print_string (Netlist.to_verilog nl);
+    0
+  in
+  let term = Term.(const run $ unit3_arg $ width_arg $ inject_arg) in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Export a (optionally fault-instrumented) netlist as Verilog.")
+    term
+
+(* ---------- fuzz ---------- *)
+
+let pair_arg =
+  Arg.(
+    required
+    & opt (some (pair ~sep:':' string string)) None
+    & info [ "pair" ] ~docv:"START:END" ~doc:"Register pair to lift (e.g. a_q0:r_q0).")
+
+let fuzz_cmd =
+  let run unit_kind width (start_dff, end_dff) budget =
+    let target = target_of (unit_kind, width) in
+    let fuzz = { Lift.default_fuzz_config with Lift.budget_cycles = budget } in
+    let formal =
+      Lift.lift_pair target ~start_dff ~end_dff ~violation:Fault.Setup_violation
+    in
+    let fuzzed =
+      Lift.fuzz_pair ~fuzz target ~start_dff ~end_dff ~violation:Fault.Setup_violation
+    in
+    let show tag (r : Lift.pair_result) =
+      Printf.printf "%-7s %s (%d cases%s)
+" tag
+        (Lift.classification_name r.Lift.classification)
+        (List.length r.Lift.cases)
+        (match r.Lift.cases with
+        | tc :: _ -> Printf.sprintf ", first has %d ops" (Lift.steps tc)
+        | [] -> "")
+    in
+    show "formal:" formal;
+    show "fuzz:" fuzzed;
+    0
+  in
+  let budget_arg =
+    Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"CYCLES" ~doc:"Fuzzing cycle budget.")
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ pair_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Compare formal vs fuzzing-based test construction for one pair.")
+    term
+
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let run unit_kind width verify =
+    let target = target_of (unit_kind, width) in
+    let nl = target.Lift.netlist in
+    let opt, stats = Netlist_opt.optimize nl in
+    Printf.printf "%d cells -> %d cells (%d folded, %d dead)
+"
+      stats.Netlist_opt.cells_before stats.Netlist_opt.cells_after stats.Netlist_opt.folded
+      stats.Netlist_opt.dead_removed;
+    if verify then begin
+      match Formal.check_equivalence nl opt with
+      | Formal.Equivalent -> print_endline "formally equivalent: PROVEN"
+      | Formal.Different t ->
+        print_endline "DIVERGES:";
+        print_string (Formal.Trace.to_string t);
+        exit 1
+      | Formal.Bounded_equivalent k -> Printf.printf "equivalent within %d cycles (bounded)
+" k
+      | Formal.Equiv_timeout -> print_endline "verification timed out"
+    end;
+    0
+  in
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Prove equivalence with the formal checker.")
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ verify_arg) in
+  Cmd.v (Cmd.info "optimize" ~doc:"Run the netlist optimizer on a unit (and optionally verify).") term
+
+(* ---------- encode ---------- *)
+
+let encode_cmd =
+  let run unit_kind width margin mitigation =
+    let report = workflow unit_kind width margin mitigation in
+    match Rv32_encode.encode (Lift.suite_program report.Vega.suite) with
+    | Ok words ->
+      print_string (Rv32_encode.to_hex words);
+      0
+    | Error e ->
+      prerr_endline e;
+      1
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg) in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Emit the generated suite as RV32 machine code (readmemh hex).")
+    term
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced configuration.") in
+  let run quick =
+    let config = if quick then Experiments.quick_config else Experiments.default_config in
+    let log s = Printf.eprintf "[vega] %s\n%!" s in
+    print_string (Experiments.run_all ~config ~log ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
+    Term.(const run $ quick_arg)
+
+let () =
+  let doc = "proactive runtime detection of aging-related silent data corruptions" in
+  let info = Cmd.info "vega" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
+            encode_cmd; report_cmd;
+          ]))

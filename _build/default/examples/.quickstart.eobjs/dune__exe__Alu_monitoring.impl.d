@@ -1,0 +1,1 @@
+examples/alu_monitoring.ml: Fault Integrate Lift List Machine Printf String Vega

@@ -1,0 +1,1 @@
+examples/app_integration.ml: Bitvec Fault Format Integrate Isa Lift List Machine Minic Printf Vega Workload

@@ -1,0 +1,1 @@
+examples/custom_app.ml: Bitvec Fault Format Integrate Isa Lift List Machine Minic Minic_parse Printf Rv32_encode Serial String Vega

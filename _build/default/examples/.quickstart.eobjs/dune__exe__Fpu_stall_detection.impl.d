@@ -1,0 +1,1 @@
+examples/fpu_stall_detection.ml: Bitvec Fault Fpu_format Integrate Isa Lift List Machine Printf

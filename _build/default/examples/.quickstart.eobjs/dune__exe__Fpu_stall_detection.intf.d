@@ -1,0 +1,1 @@
+examples/fpu_stall_detection.mli:

@@ -1,0 +1,1 @@
+examples/mac_accumulator.ml: Aging Array Bitvec Cell Clock_tree Fault Float Formal Hw List Netlist Printf Sim Sta

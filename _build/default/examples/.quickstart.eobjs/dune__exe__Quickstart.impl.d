@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aging Cell Clock_tree Example_circuits Fault Formal List Netlist Printf Random Sim Sta String

@@ -1,0 +1,80 @@
+(* Fleet monitoring: the data-center scenario that motivates the paper.
+
+     dune exec examples/alu_monitoring.exe
+
+   A "fleet" of CPUs shares one ALU design.  Vega's full workflow runs
+   once (aging analysis -> error lifting -> suite); the resulting tests
+   are then executed routinely on every machine, exactly as a fleet
+   operator would embed them.  Some machines have silently aged: their
+   ALUs are the failure-model netlists.  The report shows which machines
+   the suite flags, and the C aging library artifact is emitted. *)
+
+let () =
+  print_endline "=== Vega workflow on the ALU (width 16) ===";
+  let target = Lift.alu_target ~width:16 () in
+  let phase1 = { Vega.default_phase1 with Vega.clock_margin = 1.0 } in
+  let report = Vega.run_workflow ~phase1 target ~workload:Vega.run_minver_workload in
+  Printf.printf "clock period: %.0f ps (fresh design meets timing)\n"
+    report.Vega.analysis.Vega.clock_period_ps;
+  Printf.printf "aging-prone register pairs: %d\n" (List.length report.Vega.pair_results);
+  List.iter
+    (fun (pr : Lift.pair_result) ->
+      Printf.printf "  %s ~> %s (%s): %s, %d test cases\n" pr.Lift.start_dff pr.Lift.end_dff
+        (match pr.Lift.violation with
+        | Fault.Setup_violation -> "setup"
+        | Fault.Hold_violation -> "hold")
+        (Lift.classification_name pr.Lift.classification)
+        (List.length pr.Lift.cases))
+    report.Vega.pair_results;
+  Printf.printf "suite: %d cases, %d cycles per sweep — cheap enough to run every second\n\n"
+    (List.length report.Vega.suite.Lift.suite_cases)
+    report.Vega.suite_cycles;
+
+  print_endline "=== Routine testing across a simulated fleet ===";
+  (* machine 0, 3, 6 are healthy; the others aged in different ways *)
+  let faults =
+    List.filteri
+      (fun i _ -> i < 4)
+      (List.concat_map
+         (fun (pr : Lift.pair_result) ->
+           List.map
+             (fun constant ->
+               {
+                 Fault.start_dff = pr.Lift.start_dff;
+                 end_dff = pr.Lift.end_dff;
+                 kind = pr.Lift.violation;
+                 constant;
+                 activation = Fault.Any_transition;
+               })
+             [ Fault.C0; Fault.C1 ])
+         report.Vega.pair_results)
+  in
+  let fleet =
+    ("cpu-00 (healthy)", target.Lift.netlist)
+    :: List.mapi
+         (fun i spec ->
+           ( Printf.sprintf "cpu-%02d (aged: %s)" (i + 1) (Fault.describe spec),
+             Fault.failing_netlist target.Lift.netlist spec ))
+         faults
+    @ [ ("cpu-99 (healthy)", target.Lift.netlist) ]
+  in
+  List.iter
+    (fun (name, nl) ->
+      let m = Machine.create ~alu:(Machine.Alu_netlist nl) ~fpu:Machine.Fpu_functional () in
+      match Integrate.Runner.run_tests m report.Vega.suite Integrate.Runner.Sequential with
+      | Ok () -> Printf.printf "  %-40s PASS\n" name
+      | Error id -> Printf.printf "  %-40s SDC DETECTED by [%s]\n" name id)
+    fleet;
+
+  print_endline "\n=== Exception-based reporting (the library's catch-block mode) ===";
+  let aged = Fault.failing_netlist target.Lift.netlist (List.hd faults) in
+  let m = Machine.create ~alu:(Machine.Alu_netlist aged) ~fpu:Machine.Fpu_functional () in
+  (try Integrate.Runner.run_tests_exn m report.Vega.suite (Integrate.Runner.Random_order 7)
+   with Integrate.Runner.Sdc_detected id ->
+     Printf.printf "  caught Sdc_detected(%s): quarantining this machine\n" id);
+
+  print_endline "\n=== Generated C aging library (first lines) ===";
+  let c = Integrate.emit_c_library ~name:"vega_alu" report.Vega.suite in
+  let lines = String.split_on_char '\n' c in
+  List.iteri (fun i l -> if i < 18 then print_endline l) lines;
+  Printf.printf "... (%d lines total)\n" (List.length lines)

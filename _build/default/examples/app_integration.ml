@@ -1,0 +1,87 @@
+(* Profile-guided test integration into a real application.
+
+     dune exec examples/app_integration.exe
+
+   Compiles the crc benchmark with the Mini-C compiler, profiles its
+   basic blocks on representative input, picks an integration point under
+   a 2% overhead budget, splices the ALU test suite in, and shows that
+   (a) the application's answer is unchanged, (b) the overhead is small,
+   and (c) the instrumented binary flags an aged ALU from inside the
+   application. *)
+
+let () =
+  print_endline "=== Compile the application (Mini-C -> RV32-subset) ===";
+  let bench = Workload.find "crc" in
+  let compiled = Minic.compile bench.Workload.program in
+  Printf.printf "crc: %d instructions, %d basic blocks\n"
+    (List.length compiled.Minic.code)
+    (List.length compiled.Minic.blocks);
+
+  print_endline "\n=== Profile basic blocks on representative input ===";
+  let machine () = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional () in
+  let profile = Integrate.profile (machine ()) compiled in
+  let hot = List.sort (fun (_, a) (_, b) -> compare b a) profile in
+  List.iteri
+    (fun i (label, count) -> if i < 5 then Printf.printf "  %-24s %6d invocations\n" label count)
+    hot;
+  Printf.printf "  total dynamic instructions: %d\n"
+    (Integrate.dynamic_instructions compiled profile);
+
+  print_endline "\n=== Build the test suite (Vega phases 1+2 on the ALU) ===";
+  let target = Lift.alu_target ~width:16 () in
+  let phase1 = { Vega.default_phase1 with Vega.clock_margin = 1.0 } in
+  let report = Vega.run_workflow ~phase1 target ~workload:Vega.run_minver_workload in
+  let suite = report.Vega.suite in
+  Printf.printf "suite: %d cases, %d cycles\n" (List.length suite.Lift.suite_cases)
+    report.Vega.suite_cycles;
+
+  print_endline "\n=== Plan and splice (2% overhead budget) ===";
+  let plan =
+    Integrate.plan_integration ~overhead_threshold:0.02 ~compiled ~profile ~suite ()
+  in
+  Printf.printf "integration point: block %s (invoked %d times)%s\n" plan.Integrate.chosen_block
+    plan.Integrate.block_count
+    (match plan.Integrate.gate with
+    | None -> ""
+    | Some k -> Printf.sprintf ", gated to every %d-th invocation" k);
+  Printf.printf "estimated overhead: %.3f%%\n" (100.0 *. plan.Integrate.estimated_overhead);
+  let instrumented = Integrate.instrument ~compiled ~suite ~plan in
+
+  print_endline "\n=== Healthy run: answer preserved, overhead measured ===";
+  let run code =
+    let m = machine () in
+    Machine.reset m;
+    match Machine.run ~max_instructions:5_000_000 m (Isa.assemble code) with
+    | Machine.Exited 0 -> (Machine.cycles m, Bitvec.to_int (Machine.mem m Workload.checksum_address))
+    | Machine.Exited 1 -> (Machine.cycles m, -1)
+    | o -> Format.kasprintf failwith "unexpected outcome: %a" Machine.pp_outcome o
+  in
+  let base_cycles, base_out = run compiled.Minic.code in
+  let inst_cycles, inst_out = run instrumented in
+  Printf.printf "baseline:     %7d cycles, checksum %04x\n" base_cycles base_out;
+  Printf.printf "instrumented: %7d cycles, checksum %04x\n" inst_cycles inst_out;
+  Printf.printf "measured overhead: %.3f%%\n"
+    (100.0 *. float_of_int (inst_cycles - base_cycles) /. float_of_int base_cycles);
+  assert (base_out = inst_out);
+
+  print_endline "\n=== The same binary on an aged CPU ===";
+  let pr = List.hd report.Vega.pair_results in
+  let spec =
+    {
+      Fault.start_dff = pr.Lift.start_dff;
+      end_dff = pr.Lift.end_dff;
+      kind = pr.Lift.violation;
+      constant = Fault.C0;
+      activation = Fault.Any_transition;
+    }
+  in
+  Printf.printf "injecting: %s\n" (Fault.describe spec);
+  let aged = Fault.failing_netlist target.Lift.netlist spec in
+  let m = Machine.create ~alu:(Machine.Alu_netlist aged) ~fpu:Machine.Fpu_functional () in
+  Machine.reset m;
+  (match Machine.run ~max_instructions:5_000_000 m (Isa.assemble instrumented) with
+  | Machine.Exited code when code = Isa.exit_sdc ->
+    print_endline "application exited with the SDC code: fault caught in-app before corrupting output"
+  | Machine.Exited 0 -> print_endline "fault not caught this run"
+  | o -> Format.printf "outcome: %a@." Machine.pp_outcome o);
+  print_endline "\ndone."

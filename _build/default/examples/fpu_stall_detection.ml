@@ -1,0 +1,118 @@
+(* FPU aging, from silent result corruption to full CPU stalls.
+
+     dune exec examples/fpu_stall_detection.exe
+
+   Three FPU aging scenarios from the paper's Table 6:
+   - a datapath fault that corrupts floating-point results (detected by a
+     value comparison),
+   - a fault on the valid/ready handshake that freezes the CPU (detected
+     by the watchdog as a stall — the paper's "S" outcome),
+   - a fault whose only trace is an exception flag (detected through the
+     fflags CSR). *)
+
+let fmt = Fpu_format.binary16
+
+let run_suite name suite nl =
+  let m =
+    Machine.create ~alu:Machine.Alu_functional ~fpu:(Machine.Fpu_netlist nl) ()
+  in
+  match Integrate.Runner.run_tests m suite Integrate.Runner.Sequential with
+  | Ok () -> Printf.printf "  %-46s PASS\n" name
+  | Error id -> Printf.printf "  %-46s DETECTED [%s]\n" name id
+
+let () =
+  let target = Lift.fpu_target ~fmt () in
+  print_endline "=== Error lifting for three FPU register pairs ===";
+  let pairs =
+    [
+      ("b_q0", "r_q5", Fault.Setup_violation, "mantissa datapath");
+      ("v_q", "v_out", Fault.Setup_violation, "valid handshake");
+      ("a_q14", "fl_q3", Fault.Setup_violation, "inexact status flag");
+    ]
+  in
+  let results =
+    List.map
+      (fun (s, e, v, what) ->
+        let r = Lift.lift_pair target ~start_dff:s ~end_dff:e ~violation:v in
+        Printf.printf "  %s ~> %s (%s): %s, %d cases%s\n" s e what
+          (Lift.classification_name r.Lift.classification)
+          (List.length r.Lift.cases)
+          (if List.exists (fun (tc : Lift.test_case) -> tc.Lift.tc_may_stall) r.Lift.cases
+           then " (stall expected)"
+           else "");
+        r)
+      pairs
+  in
+  let suite = Lift.suite_of_results target.Lift.kind results in
+  Printf.printf "combined suite: %d cases\n\n" (List.length suite.Lift.suite_cases);
+
+  print_endline "=== Healthy FPU ===";
+  run_suite "healthy binary16 FPU" suite target.Lift.netlist;
+
+  print_endline "\n=== Datapath corruption (silent wrong results) ===";
+  let datapath_fault =
+    Fault.failing_netlist target.Lift.netlist
+      {
+        Fault.start_dff = "b_q0";
+        end_dff = "r_q5";
+        kind = Fault.Setup_violation;
+        constant = Fault.C1;
+        activation = Fault.Any_transition;
+      }
+  in
+  (* show the corruption on a plain computation first: back-to-back
+     multiplies whose second operand toggles the aging-prone b_q0 bit *)
+  let a = Bitvec.to_int (Fpu_format.of_float fmt 1.5) in
+  let b1 = Bitvec.to_int (Fpu_format.of_float fmt 2.0) in
+  let b2 = Bitvec.to_int (Fpu_format.of_float fmt 2.0) lor 1 in
+  let prog =
+    Isa.assemble
+      [
+        Isa.Li (1, a); Isa.Fmv_wx (1, 1);
+        Isa.Li (2, b1); Isa.Fmv_wx (2, 2);
+        Isa.Fop (Fpu_format.Fmul, 3, 1, 2);
+        Isa.Li (2, b2); Isa.Fmv_wx (2, 2);
+        Isa.Fop (Fpu_format.Fmul, 4, 1, 2);
+        Isa.Ecall 0;
+      ]
+  in
+  let results nl =
+    let m = Machine.create ~alu:Machine.Alu_functional ~fpu:(Machine.Fpu_netlist nl) () in
+    Machine.reset m;
+    ignore (Machine.run m prog);
+    (Fpu_format.to_float fmt (Machine.freg m 3), Fpu_format.to_float fmt (Machine.freg m 4))
+  in
+  let h1, h2 = results target.Lift.netlist in
+  let f1, f2 = results datapath_fault in
+  Printf.printf "  op 1: healthy %-10g aged %-10g%s\n" h1 f1
+    (if h1 <> f1 then "  <- silently corrupted" else "");
+  Printf.printf "  op 2: healthy %-10g aged %-10g%s\n" h2 f2
+    (if h2 <> f2 then "  <- silently corrupted" else "");
+  run_suite "FPU with b_q0~>r_q5 setup fault (C=1)" suite datapath_fault;
+
+  print_endline "\n=== Handshake fault (CPU stall, the watchdog case) ===";
+  let stall_fault =
+    Fault.failing_netlist target.Lift.netlist
+      {
+        Fault.start_dff = "v_q";
+        end_dff = "v_out";
+        kind = Fault.Setup_violation;
+        constant = Fault.C0;
+        activation = Fault.Any_transition;
+      }
+  in
+  run_suite "FPU with v_q~>v_out fault (valid token lost)" suite stall_fault;
+
+  print_endline "\n=== Status-flag fault (visible only through fflags) ===";
+  let flag_fault =
+    Fault.failing_netlist target.Lift.netlist
+      {
+        Fault.start_dff = "a_q14";
+        end_dff = "fl_q3";
+        kind = Fault.Setup_violation;
+        constant = Fault.C1;
+        activation = Fault.Any_transition;
+      }
+  in
+  run_suite "FPU with a_q14~>fl_q3 fault (spurious inexact)" suite flag_fault;
+  print_endline "\ndone."

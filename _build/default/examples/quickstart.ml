@@ -1,0 +1,114 @@
+(* Quickstart: the paper's Section 3 walk-through, end to end, on the
+   2-bit pipelined adder of Listing 1 / Figure 3.
+
+     dune exec examples/quickstart.exe
+
+   It covers every phase: signal-probability profiling (Table 1),
+   aging-aware STA finding the $4 ~> $10 setup violation and a
+   skew-induced hold violation, failure-model instrumentation with a
+   shadow replica, formal trace generation (Table 2), and the failing
+   netlist exported as Verilog. *)
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "1. The hardware module";
+  let nl = Example_circuits.pipelined_adder () in
+  Printf.printf "netlist %s: %d cells, %d nets, logic depth %d\n" (Netlist.name nl)
+    (Netlist.num_cells nl) (Netlist.num_nets nl) (Netlist.logic_depth nl);
+  List.iter
+    (fun (kind, n) -> Printf.printf "  %-5s x %d\n" (Cell.Kind.to_string kind) n)
+    (Netlist.stats nl);
+
+  section "2. Signal-probability profiling (paper Table 1)";
+  let sim = Sim.create ~profile:true nl in
+  let rng = Random.State.make [| 42 |] in
+  let biased p = Random.State.float rng 1.0 < p in
+  for _ = 1 to 5000 do
+    (* a biased workload: some operand bits idle near constant levels *)
+    Sim.set_input_bit sim "a" 0 (biased 0.85);
+    Sim.set_input_bit sim "a" 1 (biased 0.55);
+    Sim.set_input_bit sim "b" 0 (biased 0.40);
+    Sim.set_input_bit sim "b" 1 (biased 0.13);
+    Sim.step sim
+  done;
+  List.iter
+    (fun name -> Printf.printf "  SP(%s) = %.2f\n" name (Sim.sp_of_cell sim name))
+    [ "$1"; "$2"; "$3"; "$4"; "$5"; "$6"; "$7"; "$8"; "$9"; "$10" ];
+  Printf.printf "  -> cell $4 idles near '0': highest BTI stress\n";
+
+  section "3. Aging-aware static timing analysis";
+  let lib = Cell.Library.example in
+  let aglib = Aging.Timing_library.build lib in
+  let sp_of_net n = Sim.sp sim n in
+  (* The paper's example: 1 GHz clock, 60 ps setup.  Fresh timing passes. *)
+  let period = 1000.0 in
+  let flat_tree = Clock_tree.single_domain in
+  let fresh = Sta.fresh_timing ~clock_tree:flat_tree lib in
+  let fresh = { fresh with Sta.clock_arrival_ps = (fun _ -> 0.0) } in
+  let fresh_report = Sta.analyze ~timing:fresh ~clock_period_ps:period nl in
+  Printf.printf "  fresh: %d setup violations, %d hold violations (design signs off)\n"
+    (List.length fresh_report.Sta.setup_violations)
+    (List.length fresh_report.Sta.hold_violations);
+  (* After ten years the SP-dependent degradation breaks the long path.
+     The example library's cells are much slower than the c28 ones, so we
+     apply the aging factors to the example delays directly. *)
+  let aged_delay (c : Netlist.cell) =
+    let t = Cell.Library.timing lib c.Netlist.kind in
+    let f =
+      Aging.Timing_library.factor aglib c.Netlist.kind ~sp:(sp_of_net c.Netlist.output)
+        ~years:10.0
+    in
+    (* the walk-through's degradation is stronger than 28nm's: scale so the
+       0.9 ns path lands at the paper's 0.946 ns *)
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. (1.0 +. ((f -. 1.0) *. 0.9 /. 0.06)) }
+  in
+  let aged = { fresh with Sta.cell_delay = aged_delay } in
+  let aged_report = Sta.analyze ~timing:aged ~clock_period_ps:period nl in
+  List.iter
+    (fun p -> Printf.printf "  aged setup violation: %s\n" (Sta.describe_path nl p))
+    aged_report.Sta.setup_violations;
+
+  section "4. Hold violation through clock-network aging";
+  let split = Example_circuits.pipelined_adder ~split_domains:true () in
+  let skewed =
+    { fresh with Sta.clock_arrival_ps = (fun dom -> if dom = 1 then 180.0 else 0.0) }
+  in
+  let hold_report = Sta.analyze ~timing:skewed ~clock_period_ps:period split in
+  List.iter
+    (fun p -> Printf.printf "  hold violation: %s\n" (Sta.describe_path split p))
+    hold_report.Sta.hold_violations;
+
+  section "5. Failure-model instrumentation (Eq. 2) and shadow replica";
+  let spec =
+    {
+      Fault.start_dff = "$4";
+      end_dff = "$10";
+      kind = Fault.Setup_violation;
+      constant = Fault.C1;
+      activation = Fault.Any_transition;
+    }
+  in
+  let inst = Fault.instrument_shadow nl spec in
+  Printf.printf "  instrumented netlist: %d cells (original had %d)\n"
+    (Netlist.num_cells inst.Fault.netlist) (Netlist.num_cells nl);
+  Printf.printf "  cover property: original and shadow output bits differ\n";
+
+  section "6. Formal trace generation (paper Table 2)";
+  (match
+     Formal.check_cover ~watch:inst.Fault.watch inst.Fault.netlist ~cover:inst.Fault.cover
+   with
+  | Formal.Trace_found t ->
+    print_string (Formal.Trace.to_string t);
+    Printf.printf "  replayed on the simulator, the cover holds: %b\n"
+      (Formal.Trace.covers inst.Fault.netlist t inst.Fault.cover)
+  | _ -> print_endline "  unexpected: no trace");
+
+  section "7. The failing netlist as a reusable artifact (Verilog)";
+  let failing = Fault.failing_netlist nl spec in
+  let verilog = Netlist.to_verilog failing in
+  Printf.printf "%s...\n(%d characters total)\n"
+    (String.sub verilog 0 (min 400 (String.length verilog)))
+    (String.length verilog);
+  print_endline "\nquickstart complete."

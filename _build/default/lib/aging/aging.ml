@@ -1,0 +1,151 @@
+type config = {
+  temp_k : float;
+  ea_ev : float;
+  time_exponent : float;
+  duty_floor : float;
+  calibration_dvth_10y : float;
+  recovery_fraction : float;
+  em_drift_10y : float;
+  em_current_exponent : float;
+  em_time_exponent : float;
+}
+
+let default_config =
+  {
+    temp_k = 398.0;
+    ea_ev = 0.12;
+    time_exponent = 1.0 /. 6.0;
+    duty_floor = 0.11;
+    calibration_dvth_10y = 0.0265;
+    recovery_fraction = 0.35;
+    em_drift_10y = 0.03;
+    em_current_exponent = 2.0;
+    em_time_exponent = 0.5;
+  }
+
+let seconds_per_year = 3.1557e7
+let boltzmann_ev_per_k = 8.617e-5
+
+let arrhenius cfg = exp (-.cfg.ea_ev /. (boltzmann_ev_per_k *. cfg.temp_k))
+
+(* Technology prefactor solved from the calibration anchor:
+   dVth(duty=1, 10 years) = calibration_dvth_10y. *)
+let prefactor cfg =
+  let t10 = 10.0 *. seconds_per_year in
+  cfg.calibration_dvth_10y /. (arrhenius cfg *. (t10 ** cfg.time_exponent))
+
+let duty_of_sp cfg sp =
+  if sp < -.1e-9 || sp > 1.0 +. 1e-9 then
+    invalid_arg (Printf.sprintf "Aging.duty_of_sp: sp %.4f outside [0, 1]" sp);
+  let sp = Float.min 1.0 (Float.max 0.0 sp) in
+  cfg.duty_floor +. ((1.0 -. cfg.duty_floor) *. (1.0 -. sp))
+
+let delta_vth cfg ~duty ~years =
+  if years <= 0.0 then 0.0
+  else
+    let t = years *. seconds_per_year in
+    prefactor cfg *. arrhenius cfg *. sqrt duty *. (t ** cfg.time_exponent)
+
+let delta_vth_of_sp cfg ~sp ~years = delta_vth cfg ~duty:(duty_of_sp cfg sp) ~years
+
+let delta_vth_duty_cycled cfg ~duty ~on_fraction ~years =
+  if on_fraction < 0.0 || on_fraction > 1.0 then
+    invalid_arg "Aging.delta_vth_duty_cycled: on_fraction outside [0, 1]";
+  let base = delta_vth cfg ~duty ~years:(years *. on_fraction) in
+  (* partial annealing during the off periods removes up to
+     recovery_fraction of the accumulated shift *)
+  base *. (1.0 -. (cfg.recovery_fraction *. (1.0 -. on_fraction)))
+
+(* Electromigration (the paper's 6.3 extension): interconnect metal under
+   high current density degrades; with current density proportional to the
+   switching activity of the driving cell, the wire-resistance drift follows
+   Black's-equation kinetics, slowing the net's transitions. *)
+let em_delay_factor cfg ~toggle_rate ~years =
+  if toggle_rate < 0.0 || toggle_rate > 1.0 then
+    invalid_arg "Aging.em_delay_factor: toggle_rate outside [0, 1]";
+  if years <= 0.0 then 1.0
+  else
+    1.0
+    +. cfg.em_drift_10y
+       *. (toggle_rate ** cfg.em_current_exponent)
+       *. ((years /. 10.0) ** cfg.em_time_exponent)
+
+let recovered cfg ~dvth ~relax_years =
+  if relax_years <= 0.0 then dvth
+  else
+    (* Relaxation follows the same fractional-power kinetics; saturates at
+       removing [recovery_fraction] of the accumulated shift. *)
+    let progress = 1.0 -. (1.0 /. (1.0 +. (relax_years ** cfg.time_exponent))) in
+    dvth *. (1.0 -. (cfg.recovery_fraction *. progress))
+
+module Timing_library = struct
+  type t = {
+    config : config;
+    cell_library : Cell.Library.t;
+    sp_steps : int;
+    year_steps : int;
+    max_years : float;
+    (* grid.(kind_index).(sp_index).(year_index) = degradation factor *)
+    grid : float array array array;
+    kinds : Cell.Kind.t array;
+  }
+
+  let max_years_default = 10.0
+
+  let kind_index kinds kind =
+    let rec go i =
+      if i >= Array.length kinds then invalid_arg "Timing_library: unknown cell kind"
+      else if Cell.Kind.equal kinds.(i) kind then i
+      else go (i + 1)
+    in
+    go 0
+
+  let compute_factor cfg lib kind ~sp ~years =
+    let e = Cell.Library.electrical lib kind in
+    let dvth = delta_vth_of_sp cfg ~sp ~years in
+    Spice.degradation_factor e ~dvth
+
+  let build ?(config = default_config) ?(sp_steps = 20) ?(year_steps = 10) cell_library =
+    let kinds = Array.of_list Cell.Kind.all in
+    let max_years = max_years_default in
+    let grid =
+      Array.map
+        (fun kind ->
+          Array.init (sp_steps + 1) (fun si ->
+              let sp = float_of_int si /. float_of_int sp_steps in
+              Array.init (year_steps + 1) (fun yi ->
+                  let years = max_years *. float_of_int yi /. float_of_int year_steps in
+                  compute_factor config cell_library kind ~sp ~years)))
+        kinds
+    in
+    { config; cell_library; sp_steps; year_steps; max_years; grid; kinds }
+
+  let config t = t.config
+  let cell_library t = t.cell_library
+
+  let clamp lo hi x = Float.min hi (Float.max lo x)
+
+  let factor t kind ~sp ~years =
+    let sp = clamp 0.0 1.0 sp in
+    let years = clamp 0.0 t.max_years years in
+    let ki = kind_index t.kinds kind in
+    let sf = sp *. float_of_int t.sp_steps in
+    let yf = years /. t.max_years *. float_of_int t.year_steps in
+    let s0 = int_of_float (Float.floor sf) in
+    let y0 = int_of_float (Float.floor yf) in
+    let s1 = min (s0 + 1) t.sp_steps and y1 = min (y0 + 1) t.year_steps in
+    let ws = sf -. float_of_int s0 and wy = yf -. float_of_int y0 in
+    let g = t.grid.(ki) in
+    let v00 = g.(s0).(y0) and v01 = g.(s0).(y1) in
+    let v10 = g.(s1).(y0) and v11 = g.(s1).(y1) in
+    let v0 = v00 +. ((v01 -. v00) *. wy) in
+    let v1 = v10 +. ((v11 -. v10) *. wy) in
+    v0 +. ((v1 -. v0) *. ws)
+
+  let factor_exact t kind ~sp ~years = compute_factor t.config t.cell_library kind ~sp ~years
+
+  let aged_timing t kind ~sp ~years =
+    let fresh = Cell.Library.timing t.cell_library kind in
+    let f = factor t kind ~sp ~years in
+    { fresh with Cell.tpd_max_ps = fresh.Cell.tpd_max_ps *. f }
+end

@@ -1,0 +1,112 @@
+(** Transistor-aging physics (reaction–diffusion BTI model) and the
+    precomputed aging-aware timing library.
+
+    The reaction–diffusion model (paper Eq. 1) gives the threshold-voltage
+    shift of a transistor under bias-temperature-instability stress:
+
+    {[ dVth = a_tech * exp(-Ea / (k*T)) * duty^0.5 * t^(1/6) ]}
+
+    where [duty] is the fraction of time the device spends under static
+    stress and [t] the accumulated stress time.  (The paper prints the
+    Arrhenius factor as [e^(Ea/kT)]; we use the physically standard negative
+    exponent — higher temperature accelerates aging — and calibrate the
+    prefactor so that the 10-year delay degradation of heavily stressed
+    cells matches the 1.9 %–6 % range the paper reports in Fig. 8.)
+
+    Because p-type transistors suffer BTI far more than n-type ones, cells
+    whose output idles at logical "0" (low signal probability) age fastest;
+    {!duty_of_sp} captures this with a floor that models the residual aging
+    of regularly switching cells.
+
+    {!Timing_library} is the "pre-computed SPICE sweep" of the paper: a grid
+    of delay-degradation factors per cell kind x signal probability x age,
+    built once per standard-cell library and interpolated during
+    aging-aware STA. *)
+
+type config = {
+  temp_k : float;  (** worst-case junction temperature (K) for the analysis corner *)
+  ea_ev : float;  (** activation energy (eV) of the process technology *)
+  time_exponent : float;  (** the reaction-diffusion time exponent, 1/6 *)
+  duty_floor : float;
+      (** minimum effective stress duty: even cells that toggle regularly
+          accumulate some BTI damage *)
+  calibration_dvth_10y : float;
+      (** dVth (volts) of a fully stressed (duty = 1) device after 10 years
+          at [temp_k]; anchors the technology prefactor *)
+  recovery_fraction : float;
+      (** fraction of accumulated dVth that can anneal out during a long
+          relaxation period (partial-recovery property of BTI) *)
+  em_drift_10y : float;
+      (** electromigration: fractional wire-delay drift after 10 years at
+          full switching activity *)
+  em_current_exponent : float;  (** Black's-equation current exponent (~2) *)
+  em_time_exponent : float;  (** kinetics of the resistance drift *)
+}
+
+val default_config : config
+(** 125 degC corner, Ea = 0.12 eV, t^(1/6), duty floor 0.11, 26.5 mV at ten
+    years — reproducing the paper's 1.9-6 % degradation span. *)
+
+val seconds_per_year : float
+
+val duty_of_sp : config -> float -> float
+(** [duty_of_sp cfg sp] maps a signal probability (fraction of time the cell
+    output is at logical "1") to an effective BTI stress duty in
+    [[duty_floor, 1]].  Monotonically decreasing in [sp].
+    @raise Invalid_argument if [sp] is outside [[0, 1]]. *)
+
+val delta_vth : config -> duty:float -> years:float -> float
+(** Threshold-voltage shift (volts) after [years] of stress at the given
+    duty.  Zero at [years = 0]; grows as [years^(1/6)]. *)
+
+val delta_vth_of_sp : config -> sp:float -> years:float -> float
+(** Composition of {!duty_of_sp} and {!delta_vth}. *)
+
+val delta_vth_duty_cycled : config -> duty:float -> on_fraction:float -> years:float -> float
+(** Threshold shift for a device stressed only during an [on_fraction] of
+    its service life (duty-cycled operation, e.g. a unit behind power or
+    clock gating that alternates between use and idling in a benign state):
+    the stress time scales by [on_fraction] and the off periods anneal away
+    part of the accumulated damage — the anti-aging scheduling idea the
+    paper cites as software mitigation.
+    @raise Invalid_argument if [on_fraction] is outside [[0, 1]]. *)
+
+val em_delay_factor : config -> toggle_rate:float -> years:float -> float
+(** Electromigration-induced delay factor for a net whose driving cell
+    toggles [toggle_rate] of the cycles (the §6.3 "further reliability
+    issues" extension).  Complements BTI: EM punishes the *most active*
+    nets, BTI the most idle ones.
+    @raise Invalid_argument if [toggle_rate] is outside [[0, 1]]. *)
+
+val recovered : config -> dvth:float -> relax_years:float -> float
+(** Residual shift after a stress-free relaxation period: BTI partially
+    anneals, asymptotically removing [recovery_fraction] of the damage. *)
+
+(** The aging-aware timing library: per-kind delay-degradation factors as a
+    function of signal probability and age, precomputed on a grid by running
+    the SPICE-lite stage model on every cell of a standard-cell library. *)
+module Timing_library : sig
+  type t
+
+  val build : ?config:config -> ?sp_steps:int -> ?year_steps:int -> Cell.Library.t -> t
+  (** Precompute the degradation grid for every cell kind of the library.
+      [sp_steps] (default 20) and [year_steps] (default 10) control grid
+      resolution; lookups interpolate bilinearly. *)
+
+  val config : t -> config
+  val cell_library : t -> Cell.Library.t
+
+  val factor : t -> Cell.Kind.t -> sp:float -> years:float -> float
+  (** Multiplicative max-delay degradation for a cell of the given kind whose
+      output signal probability is [sp], after [years] of service.  Always
+      [>= 1.0]. *)
+
+  val factor_exact : t -> Cell.Kind.t -> sp:float -> years:float -> float
+  (** Same quantity computed directly (no grid); the regression oracle for
+      {!factor}. *)
+
+  val aged_timing : t -> Cell.Kind.t -> sp:float -> years:float -> Cell.timing
+  (** Fresh timing of the kind with its max delay scaled by {!factor}.  The
+      min delay is left at its fresh value: aging slows cells down, so the
+      fresh minimum remains the conservative bound for hold analysis. *)
+end

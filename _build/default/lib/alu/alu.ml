@@ -1,0 +1,120 @@
+type op = Add | Sub | Sll | Slt | Sltu | Xor_op | Srl | Sra | Or_op | And_op
+
+let all_ops = [ Add; Sub; Sll; Slt; Sltu; Xor_op; Srl; Sra; Or_op; And_op ]
+
+let op_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Sll -> 2
+  | Slt -> 3
+  | Sltu -> 4
+  | Xor_op -> 5
+  | Srl -> 6
+  | Sra -> 7
+  | Or_op -> 8
+  | And_op -> 9
+
+let op_of_code code = List.find_opt (fun o -> op_code o = code) all_ops
+
+let op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Sll -> "sll"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Xor_op -> "xor"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Or_op -> "or"
+  | And_op -> "and"
+
+let op_of_name name = List.find_opt (fun o -> String.equal (op_name o) name) all_ops
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let golden ~width op a b =
+  if Bitvec.width a <> width || Bitvec.width b <> width then
+    invalid_arg "Alu.golden: operand width mismatch";
+  let shamt = Bitvec.to_int b land ((1 lsl log2 width) - 1) in
+  let flag cond = if cond then Bitvec.one width else Bitvec.zero width in
+  match op with
+  | Add -> Bitvec.add a b
+  | Sub -> Bitvec.sub a b
+  | Sll -> Bitvec.shift_left a shamt
+  | Slt -> flag (Bitvec.slt a b)
+  | Sltu -> flag (Bitvec.ult a b)
+  | Xor_op -> Bitvec.logxor a b
+  | Srl -> Bitvec.shift_right_logical a shamt
+  | Sra -> Bitvec.shift_right_arith a shamt
+  | Or_op -> Bitvec.logor a b
+  | And_op -> Bitvec.logand a b
+
+let op_port = "op"
+let a_port = "a"
+let b_port = "b"
+let r_port = "r"
+let latency = 2
+let op_bits = 4
+
+type adder_style = Ripple | Carry_select
+
+let netlist ?(width = 16) ?(adder = Ripple) () =
+  if width < 4 || width > 32 || width land (width - 1) <> 0 then
+    invalid_arg "Alu.netlist: width must be a power of two in [4, 32]";
+  let add_vec c x y ~cin =
+    match adder with
+    | Ripple -> Hw.ripple_add c x y ~cin
+    | Carry_select -> Hw.carry_select_add c x y ~cin
+  in
+  (* comparisons share the selected adder architecture, as a synthesizer
+     sharing datapath resources would *)
+  let ult_vec c x y =
+    let _, not_borrow = add_vec c x (Hw.not_vec c y) ~cin:(Hw.tie1 c) in
+    Hw.not_ c not_borrow
+  in
+  let slt_vec c x y =
+    let n = Array.length x in
+    let sa = x.(n - 1) and sb = y.(n - 1) in
+    Hw.mux c ~sel:(Hw.xor_ c sa sb) ~if0:(ult_vec c x y) ~if1:sa
+  in
+  let c = Hw.create (Printf.sprintf "alu%d" width) in
+  let op_in = Hw.input c op_port op_bits in
+  let a_in = Hw.input c a_port width in
+  let b_in = Hw.input c b_port width in
+  (* input rank *)
+  let opq = Hw.reg_vec c ~prefix:"op_q" op_in in
+  let a = Hw.reg_vec c ~prefix:"a_q" a_in in
+  let b = Hw.reg_vec c ~prefix:"b_q" b_in in
+  (* shared adder/subtractor: b xor sub_mask, cin = is_sub *)
+  let shamt = Array.sub b 0 (log2 width) in
+  let zero = Hw.const_vec c ~width 0 in
+  let widen bit = Array.init width (fun i -> if i = 0 then bit else Hw.tie0 c) in
+  let results =
+    List.map
+      (fun op ->
+        match op with
+        | Add -> fst (add_vec c a b ~cin:(Hw.tie0 c))
+        | Sub -> fst (add_vec c a (Hw.not_vec c b) ~cin:(Hw.tie1 c))
+        | Sll -> Hw.shift_left c a ~amount:shamt
+        | Slt -> widen (slt_vec c a b)
+        | Sltu -> widen (ult_vec c a b)
+        | Xor_op -> Hw.xor_vec c a b
+        | Srl -> Hw.shift_right_logical c a ~amount:shamt
+        | Sra -> Hw.shift_right_arith c a ~amount:shamt
+        | Or_op -> Hw.or_vec c a b
+        | And_op -> Hw.and_vec c a b)
+      all_ops
+  in
+  (* opcode-selected result: 4-bit mux tree over the 10 ops (codes 10..15
+     fall through to the last case) *)
+  let padded = results @ [ zero; zero; zero; zero; zero; zero ] in
+  let result = Hw.mux_tree c ~sel:opq padded in
+  let r = Hw.reg_vec c ~prefix:"r_q" result in
+  Hw.output c r_port r;
+  Hw.finish c
+
+let valid_op_assume nl =
+  let codes = List.map (fun o -> Bitvec.create ~width:op_bits (op_code o)) all_ops in
+  Formal.port_in nl op_port codes

@@ -1,0 +1,149 @@
+type t = { width : int; value : int }
+
+let max_width = 62
+
+let mask width = (1 lsl width) - 1
+
+let check_width width =
+  if width < 1 || width > max_width then
+    invalid_arg (Printf.sprintf "Bitvec: width %d out of range [1, %d]" width max_width)
+
+let create ~width v =
+  check_width width;
+  { width; value = v land mask width }
+
+let zero width = create ~width 0
+let ones width = create ~width (mask width)
+let one width = create ~width 1
+let of_bool b = { width = 1; value = (if b then 1 else 0) }
+
+let of_bits bits =
+  let width = List.length bits in
+  check_width width;
+  let value =
+    List.fold_left (fun (acc, i) b -> ((if b then acc lor (1 lsl i) else acc), i + 1)) (0, 0) bits
+    |> fst
+  in
+  { width; value }
+
+let width v = v.width
+let to_int v = v.value
+
+let to_signed v =
+  if v.value land (1 lsl (v.width - 1)) <> 0 then v.value - (1 lsl v.width) else v.value
+
+let bit v i =
+  if i < 0 || i >= v.width then
+    invalid_arg (Printf.sprintf "Bitvec.bit: index %d out of range for width %d" i v.width);
+  v.value land (1 lsl i) <> 0
+
+let bits v = List.init v.width (fun i -> bit v i)
+let msb v = bit v (v.width - 1)
+let is_zero v = v.value = 0
+let equal a b = a.width = b.width && a.value = b.value
+let compare_unsigned a b = compare a.value b.value
+let compare_signed a b = compare (to_signed a) (to_signed b)
+
+let to_string v =
+  let buf = Buffer.create (v.width + 4) in
+  Buffer.add_string buf (string_of_int v.width);
+  Buffer.add_string buf "'b";
+  for i = v.width - 1 downto 0 do
+    Buffer.add_char buf (if bit v i then '1' else '0')
+  done;
+  Buffer.contents buf
+
+let to_hex_string v = Printf.sprintf "%d'h%x" v.width v.value
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let same_width a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bitvec: width mismatch (%d vs %d)" a.width b.width)
+
+let add a b =
+  same_width a b;
+  { a with value = (a.value + b.value) land mask a.width }
+
+let sub a b =
+  same_width a b;
+  { a with value = (a.value - b.value) land mask a.width }
+
+let neg a = { a with value = -a.value land mask a.width }
+
+let mul a b =
+  same_width a b;
+  (* Split to avoid overflow past 62 bits for wide operands: wrap-around
+     multiplication only needs the low [width] bits, computed limb-wise. *)
+  if a.width <= 31 then { a with value = a.value * b.value land mask a.width }
+  else
+    let lo_bits = 31 in
+    let a_lo = a.value land mask lo_bits and a_hi = a.value lsr lo_bits in
+    let b_lo = b.value land mask lo_bits and b_hi = b.value lsr lo_bits in
+    let low = a_lo * b_lo in
+    let mid = ((a_lo * b_hi) + (a_hi * b_lo)) lsl lo_bits in
+    { a with value = (low + mid) land mask a.width }
+
+let add_carry a b cin =
+  same_width a b;
+  let total = a.value + b.value + if cin then 1 else 0 in
+  ({ a with value = total land mask a.width }, total lsr a.width <> 0)
+
+let logand a b = same_width a b; { a with value = a.value land b.value }
+let logor a b = same_width a b; { a with value = a.value lor b.value }
+let logxor a b = same_width a b; { a with value = a.value lxor b.value }
+let lognot a = { a with value = lnot a.value land mask a.width }
+
+let clamp_shift v n = if n >= v.width then v.width else if n < 0 then 0 else n
+
+let shift_left v n =
+  let n = clamp_shift v n in
+  if n = v.width then zero v.width else { v with value = (v.value lsl n) land mask v.width }
+
+let shift_right_logical v n =
+  let n = clamp_shift v n in
+  if n = v.width then zero v.width else { v with value = v.value lsr n }
+
+let shift_right_arith v n =
+  let n = clamp_shift v n in
+  if n = 0 then v
+  else begin
+    let sign = msb v in
+    let shifted = if n = v.width then 0 else v.value lsr n in
+    let fill = if sign then mask v.width lxor mask (max 0 (v.width - n)) else 0 in
+    { v with value = (shifted lor fill) land mask v.width }
+  end
+
+let ult a b = same_width a b; a.value < b.value
+let slt a b = same_width a b; to_signed a < to_signed b
+
+let extract v ~hi ~lo =
+  if lo < 0 || hi >= v.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Bitvec.extract: [%d:%d] out of range for width %d" hi lo v.width);
+  create ~width:(hi - lo + 1) (v.value lsr lo)
+
+let concat hi lo =
+  let width = hi.width + lo.width in
+  check_width width;
+  { width; value = (hi.value lsl lo.width) lor lo.value }
+
+let zero_extend v w =
+  if w < v.width then invalid_arg "Bitvec.zero_extend: target narrower than source";
+  check_width w;
+  { width = w; value = v.value }
+
+let sign_extend v w =
+  if w < v.width then invalid_arg "Bitvec.sign_extend: target narrower than source";
+  check_width w;
+  { width = w; value = to_signed v land mask w }
+
+let set_bit v i b =
+  if i < 0 || i >= v.width then
+    invalid_arg (Printf.sprintf "Bitvec.set_bit: index %d out of range for width %d" i v.width);
+  let m = 1 lsl i in
+  { v with value = (if b then v.value lor m else v.value land lnot m) }
+
+let popcount v =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 v.value

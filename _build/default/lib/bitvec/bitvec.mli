@@ -1,0 +1,109 @@
+(** Fixed-width two's-complement bitvectors.
+
+    A value of type {!t} is a bitvector of a given [width] (1 to 62 bits),
+    stored as the unsigned integer formed by its bits.  All operations are
+    width-preserving and wrap modulo [2^width], mirroring the semantics of
+    hardware datapaths.  These bitvectors back the golden (functional) models
+    of the ALU and FPU, the instruction-set simulator, and the values that
+    formal counterexample traces assign to module ports. *)
+
+type t
+
+(** {1 Construction} *)
+
+val max_width : int
+(** Largest supported width (62, so that every value fits a native [int]). *)
+
+val create : width:int -> int -> t
+(** [create ~width v] is the bitvector of [width] bits whose value is
+    [v mod 2^width] (the representative in [[0, 2^width)], also for negative
+    [v]).  @raise Invalid_argument if [width] is not in [[1, max_width]]. *)
+
+val zero : int -> t
+(** [zero width] is the all-zeros vector. *)
+
+val ones : int -> t
+(** [ones width] is the all-ones vector. *)
+
+val one : int -> t
+(** [one width] is the vector with value 1. *)
+
+val of_bool : bool -> t
+(** 1-bit vector from a boolean. *)
+
+val of_bits : bool list -> t
+(** [of_bits bits] builds a vector from a list of bits given
+    least-significant first.  @raise Invalid_argument on empty or oversized
+    lists. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+val to_int : t -> int
+(** Unsigned value, in [[0, 2^width)]. *)
+
+val to_signed : t -> int
+(** Two's-complement signed value, in [[-2^(width-1), 2^(width-1))]. *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = LSB).  @raise Invalid_argument if out of
+    range. *)
+
+val bits : t -> bool list
+(** All bits, least-significant first. *)
+
+val msb : t -> bool
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare_unsigned : t -> t -> int
+val compare_signed : t -> t -> int
+
+val to_string : t -> string
+(** Binary literal in Verilog style, e.g. ["4'b0110"]. *)
+
+val to_hex_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Arithmetic (wrapping, width-preserving)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val add_carry : t -> t -> bool -> t * bool
+(** [add_carry a b cin] returns the sum and the carry-out bit. *)
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Comparison predicates (as in RV32 SLT/SLTU)} *)
+
+val ult : t -> t -> bool
+val slt : t -> t -> bool
+
+(** {1 Structural operations} *)
+
+val extract : t -> hi:int -> lo:int -> t
+(** [extract v ~hi ~lo] is bits [hi..lo] as a vector of width
+    [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] places [hi] in the upper bits. *)
+
+val zero_extend : t -> int -> t
+val sign_extend : t -> int -> t
+
+val set_bit : t -> int -> bool -> t
+(** Functional single-bit update. *)
+
+val popcount : t -> int

@@ -1,0 +1,165 @@
+module Kind = struct
+  type t =
+    | Tie0
+    | Tie1
+    | Buf
+    | Not
+    | And2
+    | Or2
+    | Xor2
+    | Nand2
+    | Nor2
+    | Xnor2
+    | Mux2
+    | Dff
+
+  let arity = function
+    | Tie0 | Tie1 -> 0
+    | Buf | Not | Dff -> 1
+    | And2 | Or2 | Xor2 | Nand2 | Nor2 | Xnor2 -> 2
+    | Mux2 -> 3
+
+  let is_sequential = function Dff -> true | _ -> false
+
+  let to_string = function
+    | Tie0 -> "TIE0"
+    | Tie1 -> "TIE1"
+    | Buf -> "BUF"
+    | Not -> "NOT"
+    | And2 -> "AND2"
+    | Or2 -> "OR2"
+    | Xor2 -> "XOR2"
+    | Nand2 -> "NAND2"
+    | Nor2 -> "NOR2"
+    | Xnor2 -> "XNOR2"
+    | Mux2 -> "MUX2"
+    | Dff -> "DFF"
+
+  let pp fmt k = Format.pp_print_string fmt (to_string k)
+  let equal (a : t) b = a = b
+  let compare (a : t) b = compare a b
+
+  let all = [ Tie0; Tie1; Buf; Not; And2; Or2; Xor2; Nand2; Nor2; Xnor2; Mux2; Dff ]
+  let combinational = [ Buf; Not; And2; Or2; Xor2; Nand2; Nor2; Xnor2; Mux2 ]
+
+  let eval kind inputs =
+    let expect n =
+      if Array.length inputs <> n then
+        invalid_arg
+          (Printf.sprintf "Cell.Kind.eval: %s expects %d inputs, got %d" (to_string kind) n
+             (Array.length inputs))
+    in
+    match kind with
+    | Tie0 -> expect 0; false
+    | Tie1 -> expect 0; true
+    | Buf -> expect 1; inputs.(0)
+    | Not -> expect 1; not inputs.(0)
+    | And2 -> expect 2; inputs.(0) && inputs.(1)
+    | Or2 -> expect 2; inputs.(0) || inputs.(1)
+    | Xor2 -> expect 2; inputs.(0) <> inputs.(1)
+    | Nand2 -> expect 2; not (inputs.(0) && inputs.(1))
+    | Nor2 -> expect 2; not (inputs.(0) || inputs.(1))
+    | Xnor2 -> expect 2; inputs.(0) = inputs.(1)
+    | Mux2 -> expect 3; if inputs.(2) then inputs.(1) else inputs.(0)
+    | Dff -> invalid_arg "Cell.Kind.eval: DFF is sequential"
+end
+
+type timing = { tpd_min_ps : float; tpd_max_ps : float }
+
+type dff_timing = {
+  clk_to_q_min_ps : float;
+  clk_to_q_max_ps : float;
+  setup_ps : float;
+  hold_ps : float;
+}
+
+type electrical = {
+  vdd : float;
+  vth0 : float;
+  alpha : float;
+  cload_ff : float;
+  stack_factor : float;
+}
+
+type physical = {
+  area_um2 : float;  (** placed cell area *)
+  leakage_nw_at_0 : float;  (** leakage power when the output rests at 0 *)
+  leakage_nw_at_1 : float;  (** leakage power when the output rests at 1 *)
+}
+
+module Library = struct
+  type t = {
+    name : string;
+    timing : Kind.t -> timing;
+    dff : dff_timing;
+    electrical : Kind.t -> electrical;
+    physical : Kind.t -> physical;
+  }
+
+  let name t = t.name
+  let timing t = t.timing
+  let dff t = t.dff
+  let electrical t = t.electrical
+  let physical t = t.physical
+
+  (* default physical data scaled by a rough gate-complexity weight *)
+  let default_physical : Kind.t -> physical = function
+    | Tie0 | Tie1 -> { area_um2 = 0.2; leakage_nw_at_0 = 0.05; leakage_nw_at_1 = 0.05 }
+    | Buf -> { area_um2 = 0.5; leakage_nw_at_0 = 0.4; leakage_nw_at_1 = 0.35 }
+    | Not -> { area_um2 = 0.35; leakage_nw_at_0 = 0.35; leakage_nw_at_1 = 0.3 }
+    | And2 -> { area_um2 = 0.7; leakage_nw_at_0 = 0.6; leakage_nw_at_1 = 0.5 }
+    | Or2 -> { area_um2 = 0.7; leakage_nw_at_0 = 0.55; leakage_nw_at_1 = 0.6 }
+    | Nand2 -> { area_um2 = 0.55; leakage_nw_at_0 = 0.5; leakage_nw_at_1 = 0.45 }
+    | Nor2 -> { area_um2 = 0.55; leakage_nw_at_0 = 0.45; leakage_nw_at_1 = 0.5 }
+    | Xor2 -> { area_um2 = 1.1; leakage_nw_at_0 = 0.9; leakage_nw_at_1 = 0.85 }
+    | Xnor2 -> { area_um2 = 1.1; leakage_nw_at_0 = 0.85; leakage_nw_at_1 = 0.9 }
+    | Mux2 -> { area_um2 = 1.0; leakage_nw_at_0 = 0.8; leakage_nw_at_1 = 0.8 }
+    | Dff -> { area_um2 = 2.2; leakage_nw_at_0 = 1.6; leakage_nw_at_1 = 1.5 }
+
+  (* The didactic library from the paper's Section 3 walk-through. *)
+  let example =
+    let timing _ = { tpd_min_ps = 100.0; tpd_max_ps = 300.0 } in
+    let dff =
+      { clk_to_q_min_ps = 100.0; clk_to_q_max_ps = 300.0; setup_ps = 60.0; hold_ps = 30.0 }
+    in
+    let electrical _ =
+      { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 2.0; stack_factor = 1.0 }
+    in
+    { name = "example"; timing; dff; electrical; physical = default_physical }
+
+  (* A synthetic 28 nm-like library.  Delay ordering follows typical
+     standard-cell data: inverters/buffers fastest; XOR/XNOR/MUX slowest
+     because of their internal transmission-gate structures. *)
+  let c28 =
+    let timing : Kind.t -> timing = function
+      | Tie0 | Tie1 -> { tpd_min_ps = 0.0; tpd_max_ps = 0.0 }
+      | Buf -> { tpd_min_ps = 8.0; tpd_max_ps = 16.0 }
+      | Not -> { tpd_min_ps = 6.0; tpd_max_ps = 12.0 }
+      | And2 -> { tpd_min_ps = 14.0; tpd_max_ps = 28.0 }
+      | Or2 -> { tpd_min_ps = 14.0; tpd_max_ps = 30.0 }
+      | Nand2 -> { tpd_min_ps = 10.0; tpd_max_ps = 20.0 }
+      | Nor2 -> { tpd_min_ps = 11.0; tpd_max_ps = 24.0 }
+      | Xor2 -> { tpd_min_ps = 20.0; tpd_max_ps = 42.0 }
+      | Xnor2 -> { tpd_min_ps = 20.0; tpd_max_ps = 44.0 }
+      | Mux2 -> { tpd_min_ps = 18.0; tpd_max_ps = 38.0 }
+      | Dff -> { tpd_min_ps = 0.0; tpd_max_ps = 0.0 }
+    in
+    let dff =
+      { clk_to_q_min_ps = 35.0; clk_to_q_max_ps = 75.0; setup_ps = 28.0; hold_ps = 32.0 }
+    in
+    let electrical : Kind.t -> electrical = function
+      | Tie0 | Tie1 ->
+        { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 0.0; stack_factor = 1.0 }
+      | Buf -> { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 1.6; stack_factor = 1.0 }
+      | Not -> { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 1.2; stack_factor = 1.0 }
+      | And2 -> { vdd = 0.9; vth0 = 0.31; alpha = 1.3; cload_ff = 2.2; stack_factor = 1.15 }
+      | Or2 -> { vdd = 0.9; vth0 = 0.31; alpha = 1.3; cload_ff = 2.3; stack_factor = 1.35 }
+      | Nand2 -> { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 1.8; stack_factor = 1.1 }
+      | Nor2 -> { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 1.9; stack_factor = 1.4 }
+      | Xor2 -> { vdd = 0.9; vth0 = 0.32; alpha = 1.3; cload_ff = 3.1; stack_factor = 1.25 }
+      | Xnor2 -> { vdd = 0.9; vth0 = 0.32; alpha = 1.3; cload_ff = 3.2; stack_factor = 1.25 }
+      | Mux2 -> { vdd = 0.9; vth0 = 0.31; alpha = 1.3; cload_ff = 2.8; stack_factor = 1.2 }
+      | Dff -> { vdd = 0.9; vth0 = 0.30; alpha = 1.3; cload_ff = 2.5; stack_factor = 1.1 }
+    in
+    { name = "c28"; timing; dff; electrical; physical = default_physical }
+end

@@ -1,0 +1,106 @@
+(** Standard-cell modeling: cell kinds, their logic functions, and the
+    timing/electrical data a standard-cell library attaches to them.
+
+    This is the substitution for the commercial 28 nm cell library used in the
+    paper: every cell kind carries fresh (unaged) min/max propagation delays,
+    D-flip-flop constraints (setup/hold/clk-to-Q), and the electrical
+    parameters ({!electrical}) that the SPICE-lite analog model
+    ({!module:Spice}) consumes to derive aged delays. *)
+
+(** {1 Cell kinds} *)
+
+module Kind : sig
+  (** The kinds of cells a netlist may instantiate.  [Mux2] computes
+      [if s then b else a] with input order [a; b; s].  [Dff] is a D
+      flip-flop (input [d], output [q]) clocked by its clock-domain's
+      (possibly skewed) edge. *)
+  type t =
+    | Tie0   (** constant 0, no inputs *)
+    | Tie1   (** constant 1, no inputs *)
+    | Buf
+    | Not
+    | And2
+    | Or2
+    | Xor2
+    | Nand2
+    | Nor2
+    | Xnor2
+    | Mux2
+    | Dff
+
+  val arity : t -> int
+  (** Number of data inputs ([Dff] has 1: its [d] pin). *)
+
+  val is_sequential : t -> bool
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val all : t list
+  (** Every kind, in declaration order. *)
+
+  val combinational : t list
+  (** Every combinational kind with at least one input. *)
+
+  val eval : t -> bool array -> bool
+  (** [eval kind inputs] is the combinational function of [kind].
+      @raise Invalid_argument for [Dff] or on arity mismatch. *)
+end
+
+(** {1 Timing data} *)
+
+type timing = {
+  tpd_min_ps : float;  (** minimum propagation delay, picoseconds *)
+  tpd_max_ps : float;  (** maximum propagation delay, picoseconds *)
+}
+
+type dff_timing = {
+  clk_to_q_min_ps : float;
+  clk_to_q_max_ps : float;
+  setup_ps : float;
+  hold_ps : float;
+}
+
+(** {1 Electrical data for SPICE-lite} *)
+
+type electrical = {
+  vdd : float;        (** supply voltage, volts *)
+  vth0 : float;       (** nominal (fresh) threshold voltage, volts *)
+  alpha : float;      (** alpha-power-law velocity-saturation exponent *)
+  cload_ff : float;   (** effective switched load capacitance, femtofarads *)
+  stack_factor : float;
+  (** relative series-stack resistance of the pull-up network; larger stacks
+      amplify the delay sensitivity to threshold-voltage shifts *)
+}
+
+(** {1 Physical data (area / leakage)} *)
+
+type physical = {
+  area_um2 : float;  (** placed cell area *)
+  leakage_nw_at_0 : float;  (** leakage power when the output rests at 0 *)
+  leakage_nw_at_1 : float;  (** leakage power when the output rests at 1 *)
+}
+
+(** {1 Libraries} *)
+
+module Library : sig
+  type t
+
+  val name : t -> string
+  val timing : t -> Kind.t -> timing
+  val dff : t -> dff_timing
+  val electrical : t -> Kind.t -> electrical
+  val physical : t -> Kind.t -> physical
+
+  val example : t
+  (** The didactic library of the paper's Section 3 example: every
+      combinational cell and the DFF have min delay 100 ps and max delay
+      300 ps; the DFF needs 60 ps setup and 30 ps hold. *)
+
+  val c28 : t
+  (** The synthetic 28 nm-like library used for the ALU/FPU evaluation:
+      per-kind delays in the tens-of-picoseconds range with realistic
+      relative ordering (inverters fastest, XOR-class and MUX cells
+      slowest). *)
+end

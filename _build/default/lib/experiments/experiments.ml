@@ -1,0 +1,627 @@
+type config = {
+  alu_width : int;
+  fpu_fmt : Fpu_format.fmt;
+  alu_margin : float;
+  fpu_margin : float;
+  path_cap : int;
+  table7_runs : int;
+  fig9_threshold : float;
+  lift_max_conflicts : int;
+}
+
+let default_config =
+  {
+    alu_width = 32;
+    fpu_fmt = Fpu_format.binary16;
+    alu_margin = 1.005;
+    fpu_margin = 1.046;
+    path_cap = 50_000;
+    table7_runs = 10;
+    fig9_threshold = 0.02;
+    lift_max_conflicts = 200_000;
+  }
+
+let quick_config = { default_config with path_cap = 5_000; table7_runs = 3 }
+
+type context = {
+  cfg : config;
+  log : string -> unit;
+  alu_analysis : Vega.analysis;
+  fpu_analysis : Vega.analysis;
+  alu_nomit : Vega.workflow_report;
+  alu_mit : Vega.workflow_report;
+  fpu_nomit : Vega.workflow_report;
+  fpu_mit : Vega.workflow_report;
+}
+
+let context_config c = c.cfg
+let alu_report c = c.alu_nomit
+let fpu_report c = c.fpu_nomit
+let alu_report_mitigated c = c.alu_mit
+let fpu_report_mitigated c = c.fpu_mit
+
+(* The representative workload of phase one: the minver kernel, compiled
+   for the machine's word width (paper Section 4). *)
+let minver_workload m =
+  let width = (Machine.config m).Machine.width in
+  let fmt = (Machine.config m).Machine.fmt in
+  let compiled = Minic.compile ~width ~fmt Workload.minver.Workload.program in
+  Machine.reset m;
+  ignore (Machine.run ~max_instructions:3_000_000 m (Minic.assemble compiled))
+
+let make_report analysis lift_config =
+  let pair_results = Vega.error_lifting ~config:lift_config analysis in
+  let suite = Lift.suite_of_results analysis.Vega.target.Lift.kind pair_results in
+  {
+    Vega.analysis;
+    pair_results;
+    suite;
+    suite_cycles = Vega.suite_cycles suite;
+  }
+
+let make_context ?(config = default_config) ?(log = fun _ -> ()) () =
+  let phase1 margin =
+    { Vega.default_phase1 with Vega.clock_margin = margin; max_violating_paths = config.path_cap }
+  in
+  let lift_cfg mitigation =
+    { Lift.default_config with Lift.mitigation; max_conflicts = config.lift_max_conflicts }
+  in
+  log "phase 1: ALU aging analysis (profiling minver on the gate-level ALU)";
+  let alu_target = Lift.alu_target ~width:config.alu_width () in
+  let alu_analysis =
+    Vega.aging_analysis ~config:(phase1 config.alu_margin) alu_target ~workload:minver_workload
+  in
+  log "phase 1: FPU aging analysis";
+  let fpu_target = Lift.fpu_target ~fmt:config.fpu_fmt () in
+  let fpu_analysis =
+    Vega.aging_analysis ~config:(phase1 config.fpu_margin) fpu_target ~workload:minver_workload
+  in
+  log "phase 2: ALU error lifting (without mitigation)";
+  let alu_nomit = make_report alu_analysis (lift_cfg false) in
+  log "phase 2: ALU error lifting (with mitigation)";
+  let alu_mit = make_report alu_analysis (lift_cfg true) in
+  log "phase 2: FPU error lifting (without mitigation)";
+  let fpu_nomit = make_report fpu_analysis (lift_cfg false) in
+  log "phase 2: FPU error lifting (with mitigation)";
+  let fpu_mit = make_report fpu_analysis (lift_cfg true) in
+  { cfg = config; log; alu_analysis; fpu_analysis; alu_nomit; alu_mit; fpu_nomit; fpu_mit }
+
+(* ---------------- Figure 4 ---------------- *)
+
+type fig4 = { sp_series : (float * (float * float) list) list }
+
+let fig4 () =
+  let lib = Aging.Timing_library.build Cell.Library.c28 in
+  let sps = [ 0.05; 0.25; 0.5; 0.75; 0.95 ] in
+  let years = List.init 11 float_of_int in
+  {
+    sp_series =
+      List.map
+        (fun sp ->
+          ( sp,
+            List.map
+              (fun y ->
+                (y, 100.0 *. (Aging.Timing_library.factor lib Cell.Kind.Xor2 ~sp ~years:y -. 1.0)))
+              years ))
+        sps;
+  }
+
+let render_fig4 f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 4: switching-delay degradation of a 28nm-class XOR cell over 10 years\n";
+  Buffer.add_string buf "years:     ";
+  List.iter (fun y -> Buffer.add_string buf (Printf.sprintf "%6.0f" y)) (List.init 11 float_of_int);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (sp, series) ->
+      Buffer.add_string buf (Printf.sprintf "SP %.2f  " sp);
+      List.iter (fun (_, pct) -> Buffer.add_string buf (Printf.sprintf "%5.2f%%" pct)) series;
+      Buffer.add_char buf '\n')
+    f.sp_series;
+  Buffer.contents buf
+
+(* ---------------- Table 1 ---------------- *)
+
+let table1 () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create ~profile:true nl in
+  let rng = Random.State.make [| 0x7ab1e |] in
+  (* biased stimulus so that the profile exhibits the nonuniformity the
+     paper's Table 1 illustrates *)
+  let biased p = Random.State.float rng 1.0 < p in
+  for _ = 1 to 2000 do
+    Sim.set_input_bit sim "a" 0 (biased 0.85);
+    Sim.set_input_bit sim "a" 1 (biased 0.55);
+    Sim.set_input_bit sim "b" 0 (biased 0.40);
+    Sim.set_input_bit sim "b" 1 (biased 0.15);
+    Sim.step sim
+  done;
+  List.map
+    (fun name ->
+      let c = Netlist.find_cell nl name in
+      let pin = if Cell.Kind.is_sequential c.Netlist.kind then "Q" else "Y" in
+      (Printf.sprintf "%s%s.%s" (Cell.Kind.to_string c.Netlist.kind) name pin, Sim.sp_of_cell sim name))
+    [ "$1"; "$2"; "$3"; "$4"; "$5"; "$6"; "$7"; "$8"; "$9"; "$10" ]
+
+let render_table1 rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 1: SP profile of the example adder netlist\n";
+  List.iteri
+    (fun k (name, sp) ->
+      Buffer.add_string buf (Printf.sprintf "%-14s %4.2f   " name sp);
+      if k mod 3 = 2 then Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---------------- Table 2 ---------------- *)
+
+let table2 () =
+  let nl = Example_circuits.pipelined_adder () in
+  let spec =
+    {
+      Fault.start_dff = "$4";
+      end_dff = "$10";
+      kind = Fault.Setup_violation;
+      constant = Fault.C1;
+      activation = Fault.Any_transition;
+    }
+  in
+  let inst = Fault.instrument_shadow nl spec in
+  match
+    Formal.check_cover ~watch:inst.Fault.watch inst.Fault.netlist ~cover:inst.Fault.cover
+  with
+  | Formal.Trace_found t -> t
+  | _ -> failwith "Experiments.table2: no trace for the example failure"
+
+let render_table2 t =
+  "Table 2: trace provoking the instrumented $4~>$10 setup failure (C=1)\n"
+  ^ Formal.Trace.to_string t
+
+(* ---------------- Figure 8 ---------------- *)
+
+type fig8_bucket = { lo_pct : float; hi_pct : float; alu_frac : float; fpu_frac : float }
+
+let fig8 ctx =
+  let pcts analysis =
+    List.map (fun (_, f) -> 100.0 *. (f -. 1.0)) analysis.Vega.cell_degradation
+  in
+  let alu = pcts ctx.alu_analysis and fpu = pcts ctx.fpu_analysis in
+  let buckets = List.init 10 (fun k -> (1.5 +. (0.5 *. float_of_int k), 2.0 +. (0.5 *. float_of_int k))) in
+  let frac data (lo, hi) =
+    if data = [] then 0.0
+    else
+      float_of_int (List.length (List.filter (fun p -> p >= lo && p < hi) data))
+      /. float_of_int (List.length data)
+  in
+  List.map
+    (fun (lo, hi) ->
+      { lo_pct = lo; hi_pct = hi; alu_frac = frac alu (lo, hi); fpu_frac = frac fpu (lo, hi) })
+    buckets
+
+let render_fig8 buckets =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Figure 8: distribution of aging-induced delay increase (combinational cells)\n";
+  Buffer.add_string buf "  delay increase     ALU          FPU\n";
+  List.iter
+    (fun b ->
+      if b.alu_frac > 0.0 || b.fpu_frac > 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  [%3.1f%%, %3.1f%%)   %5.1f%%  %s  %5.1f%%  %s\n" b.lo_pct b.hi_pct
+             (100.0 *. b.alu_frac)
+             (String.make (int_of_float (30.0 *. b.alu_frac)) '#')
+             (100.0 *. b.fpu_frac)
+             (String.make (int_of_float (30.0 *. b.fpu_frac)) '#')))
+    buckets;
+  Buffer.contents buf
+
+(* ---------------- Table 3 ---------------- *)
+
+type table3_row = {
+  t3_unit : string;
+  setup_wns_ps : float;
+  setup_paths : int;
+  setup_paths_capped : bool;
+  hold_wns_ps : float;
+  hold_paths : int;
+  unique_pairs : int;
+}
+
+let table3 ctx =
+  let row name analysis (report : Vega.workflow_report) =
+    let r = analysis.Vega.aged_report in
+    {
+      t3_unit = name;
+      setup_wns_ps = r.Sta.wns_setup_ps;
+      setup_paths = List.length r.Sta.setup_violations;
+      setup_paths_capped = r.Sta.truncated;
+      hold_wns_ps = r.Sta.wns_hold_ps;
+      hold_paths = List.length r.Sta.hold_violations;
+      unique_pairs = List.length report.Vega.pair_results;
+    }
+  in
+  [ row "ALU" ctx.alu_analysis ctx.alu_nomit; row "FPU" ctx.fpu_analysis ctx.fpu_nomit ]
+
+let render_table3 rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 3: STA results with aging-aware timing libraries\n";
+  Buffer.add_string buf "  Unit   Setup WNS / paths          Hold WNS / paths   unique pairs\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-5s  %6.0fps / %s%-8d      %6.0fps / %-6d   %d\n" r.t3_unit
+           r.setup_wns_ps
+           (if r.setup_paths_capped then ">=" else "")
+           r.setup_paths
+           (if r.hold_paths = 0 then 0.0 else r.hold_wns_ps)
+           r.hold_paths r.unique_pairs))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Table 4 ---------------- *)
+
+type table4_row = {
+  t4_unit : string;
+  without : (Lift.classification * float) list;
+  with_mitigation : (Lift.classification * float) list;
+}
+
+let percentages results =
+  let n = max 1 (List.length results) in
+  List.map
+    (fun (cls, count) -> (cls, 100.0 *. float_of_int count /. float_of_int n))
+    (Vega.classification_counts results)
+
+let table4 ctx =
+  [
+    {
+      t4_unit = "ALU";
+      without = percentages ctx.alu_nomit.Vega.pair_results;
+      with_mitigation = percentages ctx.alu_mit.Vega.pair_results;
+    };
+    {
+      t4_unit = "FPU";
+      without = percentages ctx.fpu_nomit.Vega.pair_results;
+      with_mitigation = percentages ctx.fpu_mit.Vega.pair_results;
+    };
+  ]
+
+let render_table4 rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 4: test-case construction outcomes (% of unique pairs)\n";
+  Buffer.add_string buf
+    "  Unit   w/o mitigation: S / UR / FF / FC     w/ mitigation: S / UR / FF / FC\n";
+  let line ps =
+    String.concat " / "
+      (List.map (fun (_, pct) -> Printf.sprintf "%4.1f" pct) ps)
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-5s  %s          %s\n" r.t4_unit (line r.without)
+           (line r.with_mitigation)))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Table 5 ---------------- *)
+
+type table5_row = {
+  t5_unit : string;
+  cases_without : int;
+  cycles_without : int;
+  cases_with : int;
+  cycles_with : int;
+}
+
+let table5 ctx =
+  let row name (nomit : Vega.workflow_report) (mit : Vega.workflow_report) =
+    {
+      t5_unit = name;
+      cases_without = List.length nomit.Vega.suite.Lift.suite_cases;
+      cycles_without = nomit.Vega.suite_cycles;
+      cases_with = List.length mit.Vega.suite.Lift.suite_cases;
+      cycles_with = mit.Vega.suite_cycles;
+    }
+  in
+  [ row "ALU" ctx.alu_nomit ctx.alu_mit; row "FPU" ctx.fpu_nomit ctx.fpu_mit ]
+
+let render_table5 rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 5: generated test cases and execution cycles\n";
+  Buffer.add_string buf "  Unit   w/o mitigation (cases/cycles)   w/ mitigation (cases/cycles)\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-5s  %6d / %-8d               %6d / %-8d\n" r.t5_unit
+           r.cases_without r.cycles_without r.cases_with r.cycles_with))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Table 6 ---------------- *)
+
+type fm = FM0 | FM1 | FMR
+
+let fm_name = function FM0 -> "0" | FM1 -> "1" | FMR -> "R"
+let fm_constant = function FM0 -> Fault.C0 | FM1 -> Fault.C1 | FMR -> Fault.C_random
+
+type table6_row = {
+  t6_unit : string;
+  t6_fm : fm;
+  t6_mitigated : bool;
+  detected_pct : float;
+  before_pct : float;
+  late_pct : float;
+  stall_pct : float;
+}
+
+let case_program tc =
+  Isa.assemble
+    (Lift.case_instrs ~fail_label:"__fail" tc
+    @ [ Isa.Ecall Isa.exit_ok; Isa.Label "__fail"; Isa.Ecall Isa.exit_sdc ])
+
+(* Run the suite case by case on a machine; first detection (index, stall?). *)
+let first_detection m (suite : Lift.suite) =
+  let rec go i = function
+    | [] -> None
+    | tc :: rest -> (
+      Machine.reset m;
+      match Machine.run m (case_program tc) with
+      | Machine.Exited code when code = Isa.exit_ok -> go (i + 1) rest
+      | Machine.Exited _ -> Some (i, false)
+      | Machine.Stalled -> Some (i, true)
+      | Machine.Out_of_fuel -> Some (i, true))
+  in
+  go 0 suite.Lift.suite_cases
+
+let faulty_machine (report : Vega.workflow_report) spec =
+  let faulty = Fault.failing_netlist report.Vega.analysis.Vega.target.Lift.netlist spec in
+  Vega.machine_for
+    (Lift.target_of_netlist report.Vega.analysis.Vega.target.Lift.kind faulty)
+
+let injectable_pairs (report : Vega.workflow_report) =
+  List.filter
+    (fun (pr : Lift.pair_result) -> pr.Lift.cases <> [])
+    report.Vega.pair_results
+
+let spec_matches_pair (pr : Lift.pair_result) (spec : Fault.spec) =
+  String.equal spec.Fault.start_dff pr.Lift.start_dff
+  && String.equal spec.Fault.end_dff pr.Lift.end_dff
+  && spec.Fault.kind = pr.Lift.violation
+
+let table6_for unit_name (report : Vega.workflow_report) mitigated =
+  List.map
+    (fun fm ->
+      let pairs = injectable_pairs report in
+      let n = max 1 (List.length pairs) in
+      let det = ref 0 and before = ref 0 and late = ref 0 and stall = ref 0 in
+      List.iter
+        (fun (pr : Lift.pair_result) ->
+          let spec =
+            {
+              Fault.start_dff = pr.Lift.start_dff;
+              end_dff = pr.Lift.end_dff;
+              kind = pr.Lift.violation;
+              constant = fm_constant fm;
+              activation = Fault.Any_transition;
+            }
+          in
+          let m = faulty_machine report spec in
+          let own =
+            List.mapi (fun i tc -> (i, tc)) report.Vega.suite.Lift.suite_cases
+            |> List.filter_map (fun (i, (tc : Lift.test_case)) ->
+                   if spec_matches_pair pr tc.Lift.tc_spec then Some i else None)
+          in
+          match first_detection m report.Vega.suite with
+          | None -> ()
+          | Some (i, stalled) ->
+            incr det;
+            if stalled then incr stall;
+            (match own with
+            | [] -> ()
+            | _ ->
+              let first_own = List.fold_left min max_int own in
+              if i < first_own then incr before
+              else if not (List.mem i own) then incr late))
+        pairs;
+      let pct x = 100.0 *. float_of_int !x /. float_of_int n in
+      {
+        t6_unit = unit_name;
+        t6_fm = fm;
+        t6_mitigated = mitigated;
+        detected_pct = pct det;
+        before_pct = pct before;
+        late_pct = pct late;
+        stall_pct = pct stall;
+      })
+    [ FM0; FM1; FMR ]
+
+let table6 ctx =
+  ctx.log "table 6: detection quality against failing netlists (ALU)";
+  let alu = table6_for "ALU" ctx.alu_nomit false @ table6_for "ALU" ctx.alu_mit true in
+  ctx.log "table 6: detection quality against failing netlists (FPU)";
+  let fpu = table6_for "FPU" ctx.fpu_nomit false @ table6_for "FPU" ctx.fpu_mit true in
+  alu @ fpu
+
+let render_table6 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Table 6: detection quality of generated suites (% of injected faults)\n";
+  Buffer.add_string buf "  Unit  FM   suite     Det.     B      L      S\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4s  %-3s  %-6s  %6.1f %6.1f %6.1f %6.1f\n" r.t6_unit
+           (fm_name r.t6_fm)
+           (if r.t6_mitigated then "w/" else "w/o")
+           r.detected_pct r.before_pct r.late_pct r.stall_pct))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Table 7 ---------------- *)
+
+type table7_row = { t7_unit : string; t7_fm : fm; vega_pct : float; random_pct : float }
+
+let table7_for ctx unit_name (report : Vega.workflow_report) =
+  List.map
+    (fun fm ->
+      let pairs = injectable_pairs report in
+      let n = max 1 (List.length pairs) in
+      let detect_with suite m =
+        match first_detection m suite with Some _ -> true | None -> false
+      in
+      let vega_det = ref 0 in
+      let random_det = ref 0 in
+      List.iter
+        (fun (pr : Lift.pair_result) ->
+          let spec =
+            {
+              Fault.start_dff = pr.Lift.start_dff;
+              end_dff = pr.Lift.end_dff;
+              kind = pr.Lift.violation;
+              constant = fm_constant fm;
+              activation = Fault.Any_transition;
+            }
+          in
+          let m = faulty_machine report spec in
+          if detect_with report.Vega.suite m then incr vega_det;
+          for run = 1 to ctx.cfg.table7_runs do
+            let rsuite = Testgen.matched_suite ~seed:(run * 7919) report.Vega.suite in
+            if detect_with rsuite m then incr random_det
+          done)
+        pairs;
+      {
+        t7_unit = unit_name;
+        t7_fm = fm;
+        vega_pct = 100.0 *. float_of_int !vega_det /. float_of_int n;
+        random_pct =
+          100.0 *. float_of_int !random_det /. float_of_int (n * ctx.cfg.table7_runs);
+      })
+    [ FM0; FM1; FMR ]
+
+let table7 ctx =
+  ctx.log "table 7: Vega vs random suites (ALU)";
+  let alu = table7_for ctx "ALU" ctx.alu_nomit in
+  ctx.log "table 7: Vega vs random suites (FPU)";
+  let fpu = table7_for ctx "FPU" ctx.fpu_nomit in
+  alu @ fpu
+
+let render_table7 rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 7: Vega-generated vs random test suites (% of faults detected)\n";
+  Buffer.add_string buf "  Unit  FM    Vega     Random\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4s  %-3s  %6.1f%%  %6.1f%%\n" r.t7_unit (fm_name r.t7_fm) r.vega_pct
+           r.random_pct))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- Figure 9 ---------------- *)
+
+type fig9_row = {
+  bench_name : string;
+  baseline_cycles : int;
+  overhead_without_pct : float;
+  overhead_with_pct : float;
+  chosen_block : string;
+  gated : bool;
+}
+
+let fig9 ctx =
+  ctx.log "figure 9: profile-guided integration overhead";
+  let width = ctx.cfg.alu_width in
+  let fmt = ctx.cfg.fpu_fmt in
+  let machine () =
+    Machine.create
+      ~config:{ Machine.default_config with Machine.width; fmt }
+      ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+  in
+  let combined nomit =
+    let a = if nomit then ctx.alu_nomit else ctx.alu_mit in
+    let f = if nomit then ctx.fpu_nomit else ctx.fpu_mit in
+    {
+      Lift.suite_target = Lift.Alu_module { width };
+      suite_cases = a.Vega.suite.Lift.suite_cases @ f.Vega.suite.Lift.suite_cases;
+    }
+  in
+  let suite_n = combined true and suite_m = combined false in
+  List.map
+    (fun (b : Workload.benchmark) ->
+      let compiled = Minic.compile ~width ~fmt b.Workload.program in
+      let m = machine () in
+      Machine.reset m;
+      (match Machine.run ~max_instructions:5_000_000 m (Minic.assemble compiled) with
+      | Machine.Exited 0 -> ()
+      | o ->
+        failwith
+          (Format.asprintf "fig9: %s baseline failed (%a)" b.Workload.name Machine.pp_outcome o));
+      let baseline = Machine.cycles m in
+      let prof = Integrate.profile (machine ()) compiled in
+      let run_with suite =
+        let plan =
+          Integrate.plan_integration ~overhead_threshold:ctx.cfg.fig9_threshold ~compiled
+            ~profile:prof ~suite ()
+        in
+        let code = Integrate.instrument ~compiled ~suite ~plan in
+        let m = machine () in
+        Machine.reset m;
+        (match Machine.run ~max_instructions:8_000_000 m (Isa.assemble code) with
+        | Machine.Exited 0 -> ()
+        | o ->
+          failwith
+            (Format.asprintf "fig9: %s instrumented failed (%a)" b.Workload.name
+               Machine.pp_outcome o));
+        (Machine.cycles m, plan)
+      in
+      let cyc_n, plan_n = run_with suite_n in
+      let cyc_m, _ = run_with suite_m in
+      let pct c = 100.0 *. (float_of_int (c - baseline) /. float_of_int baseline) in
+      {
+        bench_name = b.Workload.name;
+        baseline_cycles = baseline;
+        overhead_without_pct = pct cyc_n;
+        overhead_with_pct = pct cyc_m;
+        chosen_block = plan_n.Integrate.chosen_block;
+        gated = plan_n.Integrate.gate <> None;
+      })
+    Workload.all
+
+let fig9_mean_overheads rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  ( List.fold_left (fun acc r -> acc +. r.overhead_without_pct) 0.0 rows /. n,
+    List.fold_left (fun acc r -> acc +. r.overhead_with_pct) 0.0 rows /. n )
+
+let render_fig9 rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "Figure 9: overhead of profile-guided test integration\n";
+  Buffer.add_string buf "  benchmark    baseline-cycles    -N ovh    -M ovh   splice block (gated?)\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-11s  %12d     %6.2f%%   %6.2f%%   %s%s\n" r.bench_name
+           r.baseline_cycles r.overhead_without_pct r.overhead_with_pct r.chosen_block
+           (if r.gated then " (gated)" else "")))
+    rows;
+  let mn, mm = fig9_mean_overheads rows in
+  Buffer.add_string buf (Printf.sprintf "  mean overhead: -N %.2f%%  -M %.2f%%\n" mn mm);
+  Buffer.contents buf
+
+(* ---------------- run everything ---------------- *)
+
+let run_all ?config ?(log = fun _ -> ()) () =
+  let buf = Buffer.create 8192 in
+  let add s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  add (render_fig4 (fig4 ()));
+  add (render_table1 (table1 ()));
+  add (render_table2 (table2 ()));
+  let ctx = make_context ?config ~log () in
+  add (render_fig8 (fig8 ctx));
+  add (render_table3 (table3 ctx));
+  add (render_table4 (table4 ctx));
+  add (render_table5 (table5 ctx));
+  add (render_table6 (table6 ctx));
+  add (render_table7 (table7 ctx));
+  add (render_fig9 (fig9 ctx));
+  Buffer.contents buf

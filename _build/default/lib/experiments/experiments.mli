@@ -1,0 +1,151 @@
+(** One driver per table and figure of the paper's evaluation.
+
+    Every experiment returns structured rows plus a paper-style textual
+    rendering; [bench/main.exe] prints them all.  The heavyweight shared
+    state (the full ALU and FPU workflow runs) lives in a {!context},
+    computed once and reused by Tables 3–7 and Fig. 9.
+
+    Expected fidelity is *shape*, not absolute numbers (see DESIGN.md and
+    EXPERIMENTS.md): who wins, rough magnitudes, where the crossovers are. *)
+
+type config = {
+  alu_width : int;
+  fpu_fmt : Fpu_format.fmt;
+  alu_margin : float;  (** phase-1 clock margin for the ALU *)
+  fpu_margin : float;
+  path_cap : int;  (** violating-path enumeration cap for Table 3 *)
+  table7_runs : int;  (** random-suite repetitions (the paper uses 10) *)
+  fig9_threshold : float;  (** overhead budget of profile-guided integration *)
+  lift_max_conflicts : int;
+}
+
+val default_config : config
+(** ALU32 @ 1.005 margin, binary16 FPU @ 1.046, 50k path cap, 10 runs. *)
+
+val quick_config : config
+(** A reduced configuration for fast smoke runs (fewer Table 7 runs, lower
+    path cap). *)
+
+type context
+
+val make_context : ?config:config -> ?log:(string -> unit) -> unit -> context
+(** Runs phases one and two for both units (with and without the §3.3.4
+    mitigation).  [log] receives progress lines. *)
+
+val context_config : context -> config
+val alu_report : context -> Vega.workflow_report
+val fpu_report : context -> Vega.workflow_report
+val alu_report_mitigated : context -> Vega.workflow_report
+val fpu_report_mitigated : context -> Vega.workflow_report
+
+(** {1 Figure 4 — delay degradation of a XOR cell vs SP over 10 years} *)
+
+type fig4 = { sp_series : (float * (float * float) list) list }
+(** Per SP value: (years, % max-delay increase) samples. *)
+
+val fig4 : unit -> fig4
+val render_fig4 : fig4 -> string
+
+(** {1 Table 1 — SP profile of the Section-3 example adder} *)
+
+val table1 : unit -> (string * float) list
+val render_table1 : (string * float) list -> string
+
+(** {1 Table 2 — formal trace for the example's instrumented failure} *)
+
+val table2 : unit -> Formal.Trace.t
+val render_table2 : Formal.Trace.t -> string
+
+(** {1 Figure 8 — distribution of aging-induced delay increase} *)
+
+type fig8_bucket = { lo_pct : float; hi_pct : float; alu_frac : float; fpu_frac : float }
+
+val fig8 : context -> fig8_bucket list
+val render_fig8 : fig8_bucket list -> string
+
+(** {1 Table 3 — aging-aware STA results} *)
+
+type table3_row = {
+  t3_unit : string;
+  setup_wns_ps : float;
+  setup_paths : int;
+  setup_paths_capped : bool;
+  hold_wns_ps : float;
+  hold_paths : int;
+  unique_pairs : int;
+}
+
+val table3 : context -> table3_row list
+val render_table3 : table3_row list -> string
+
+(** {1 Table 4 — test-case construction outcomes} *)
+
+type table4_row = {
+  t4_unit : string;
+  without : (Lift.classification * float) list;  (** percentages over pairs *)
+  with_mitigation : (Lift.classification * float) list;
+}
+
+val table4 : context -> table4_row list
+val render_table4 : table4_row list -> string
+
+(** {1 Table 5 — suite sizes and execution cycles} *)
+
+type table5_row = {
+  t5_unit : string;
+  cases_without : int;
+  cycles_without : int;
+  cases_with : int;
+  cycles_with : int;
+}
+
+val table5 : context -> table5_row list
+val render_table5 : table5_row list -> string
+
+(** {1 Table 6 — detection quality against failing netlists} *)
+
+type fm = FM0 | FM1 | FMR
+
+val fm_name : fm -> string
+
+type table6_row = {
+  t6_unit : string;
+  t6_fm : fm;
+  t6_mitigated : bool;
+  detected_pct : float;
+  before_pct : float;  (** "B": found by an earlier test than its own *)
+  late_pct : float;  (** "L": missed by its own test, found later *)
+  stall_pct : float;  (** "S": detected as a CPU stall *)
+}
+
+val table6 : context -> table6_row list
+val render_table6 : table6_row list -> string
+
+(** {1 Table 7 — Vega vs random test suites} *)
+
+type table7_row = { t7_unit : string; t7_fm : fm; vega_pct : float; random_pct : float }
+
+val table7 : context -> table7_row list
+val render_table7 : table7_row list -> string
+
+(** {1 Figure 9 — overhead of profile-guided test integration} *)
+
+type fig9_row = {
+  bench_name : string;
+  baseline_cycles : int;
+  overhead_without_pct : float;  (** "-N": suite built without mitigation *)
+  overhead_with_pct : float;  (** "-M": suite built with mitigation *)
+  chosen_block : string;
+  gated : bool;
+}
+
+val fig9 : context -> fig9_row list
+val render_fig9 : fig9_row list -> string
+
+val fig9_mean_overheads : fig9_row list -> float * float
+(** Mean (-N, -M) overhead percentages across benchmarks. *)
+
+(** {1 Everything} *)
+
+val run_all : ?config:config -> ?log:(string -> unit) -> unit -> string
+(** Regenerate every table and figure; returns the full report text. *)

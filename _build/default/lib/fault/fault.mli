@@ -1,0 +1,79 @@
+(** Failure-model instrumentation (the paper's Section 3.3.1–3.3.2).
+
+    A timing violation on a register-to-register path [X ~> Y] is modeled
+    logically: the capturing flip-flop [Y] samples a wrong constant [C]
+    whenever the launching flip-flop [X] transitions in the window that the
+    violated constraint protects —
+
+    - setup (Eq. 2): [Y(t+1) = C] when [X(t) <> X(t-1)], else correct;
+    - hold (Eq. 3): [Y(t+1) = C] when [X(t) <> X(t+1)], else correct;
+    - the degenerate self-loop [X = Y] is metastable: [Y] always yields [C].
+
+    The model is spliced into the netlist with a MUX in front of [Y]'s [D]
+    pin (plus a history DFF for the setup case).  Two products exist:
+
+    - {!failing_netlist}: the netlist *behaves* faulty — the circuit-level
+      failure model used to evaluate test-case quality (Section 5.2.3) and
+      exported as a Verilog artifact;
+    - {!instrument_shadow}: the original circuit is kept intact and a
+      *shadow replica* of everything [Y] influences is added, with the
+      failure model feeding only the replica — giving the formal engine a
+      cover target ("original and shadow outputs differ") that captures
+      exactly the module-visible consequences of the fault.
+
+    The §3.3.4 mitigation for initial-value dependency is the
+    {!activation} knob: restrict the fault to fire only on a rising or a
+    falling transition of [X]. *)
+
+type constant =
+  | C0  (** the flip-flop captures 0 on violation *)
+  | C1  (** captures 1 *)
+  | C_random
+      (** captures an unconstrained fresh value each cycle, exposed as the
+          extra 1-bit input port {!random_port} *)
+
+type activation =
+  | Any_transition  (** Eq. 2/3 exactly as written *)
+  | Rising_edge  (** fault only when X transitions 0 -> 1 *)
+  | Falling_edge  (** fault only when X transitions 1 -> 0 *)
+
+type violation_kind = Setup_violation | Hold_violation
+
+type spec = {
+  start_dff : string;  (** instance name of the launching DFF [X] *)
+  end_dff : string;  (** instance name of the capturing DFF [Y] *)
+  kind : violation_kind;
+  constant : constant;
+  activation : activation;
+}
+
+val describe : spec -> string
+
+val random_port : string
+(** Name of the free input port added when [constant = C_random]
+    (["c_fault"]). *)
+
+val failing_netlist : Netlist.t -> spec -> Netlist.t
+(** The circuit with the failure model active in place of [Y]'s original
+    data input.  Same ports as the input netlist (plus {!random_port} for
+    [C_random]).
+    @raise Invalid_argument if [start_dff]/[end_dff] are not DFFs, or
+    @raise Not_found if they do not exist. *)
+
+type instrumented = {
+  netlist : Netlist.t;
+  shadow_of : (Netlist.net * Netlist.net) list;
+      (** (original net, shadow net) for every output-port bit the fault
+          can influence *)
+  cover : Formal.expr;
+      (** "some influenced output bit differs from its shadow" *)
+  watch : (string * Netlist.net) list;
+      (** naming of original/shadow output nets, for trace recording *)
+}
+
+val instrument_shadow : Netlist.t -> spec -> instrumented
+(** Shadow-replica instrumentation for trace generation.  Shadow copies of
+    the [Y]-influenced cone are added with instance names suffixed ["_s"],
+    and shadowed output ports are exported with an ["_s"] suffix.
+    @raise Invalid_argument if the fault cannot influence any output port
+    (there is nothing to cover). *)

@@ -1,0 +1,447 @@
+type expr =
+  | Const of bool
+  | Input of string * int
+  | Net of Netlist.net
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+let nets_differ a b = Xor (Net a, Net b)
+
+let port_equals nl port v =
+  let p = Netlist.find_input nl port in
+  let width = Array.length p.port_nets in
+  if Bitvec.width v <> width then
+    invalid_arg (Printf.sprintf "Formal.port_equals: port %s has width %d" port width);
+  let bit i =
+    if Bitvec.bit v i then Input (port, i) else Not (Input (port, i))
+  in
+  let rec conj i acc = if i >= width then acc else conj (i + 1) (And (acc, bit i)) in
+  conj 1 (bit 0)
+
+let port_in nl port values =
+  match values with
+  | [] -> Const false
+  | v :: rest ->
+    List.fold_left (fun acc v -> Or (acc, port_equals nl port v)) (port_equals nl port v) rest
+
+let rec eval_expr sim = function
+  | Const b -> b
+  | Input (port, bit) ->
+    Sim.net sim (Netlist.net_of_port_bit (Sim.netlist sim) port bit)
+  | Net n -> Sim.net sim n
+  | Not e -> not (eval_expr sim e)
+  | And (a, b) -> eval_expr sim a && eval_expr sim b
+  | Or (a, b) -> eval_expr sim a || eval_expr sim b
+  | Xor (a, b) -> eval_expr sim a <> eval_expr sim b
+
+module Trace = struct
+  type t = {
+    netlist_name : string;
+    cycles : int;
+    inputs : (string * Bitvec.t array) list;
+    observed : (string * bool array) list;
+  }
+
+  let input_at t port cycle =
+    match List.assoc_opt port t.inputs with
+    | Some arr when cycle >= 0 && cycle < Array.length arr -> arr.(cycle)
+    | Some _ -> invalid_arg (Printf.sprintf "Trace.input_at: no cycle %d" cycle)
+    | None -> invalid_arg (Printf.sprintf "Trace.input_at: no port %s" port)
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "trace of %s (%d cycles)\n" t.netlist_name t.cycles);
+    Buffer.add_string buf "cycle     ";
+    for c = 1 to t.cycles do
+      Buffer.add_string buf (Printf.sprintf "%12d" c)
+    done;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (port, arr) ->
+        Buffer.add_string buf (Printf.sprintf "%-10s" port);
+        Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%12s" (Bitvec.to_string v))) arr;
+        Buffer.add_char buf '\n')
+      t.inputs;
+    List.iter
+      (fun (name, arr) ->
+        Buffer.add_string buf (Printf.sprintf "%-10s" name);
+        Array.iter
+          (fun v -> Buffer.add_string buf (Printf.sprintf "%12s" (if v then "'b1" else "'b0")))
+          arr;
+        Buffer.add_char buf '\n')
+      t.observed;
+    Buffer.contents buf
+
+  let replay sim t ~on_cycle =
+    for c = 0 to t.cycles - 1 do
+      List.iter (fun (port, arr) -> Sim.set_input sim port arr.(c)) t.inputs;
+      Sim.settle sim;
+      on_cycle c;
+      Sim.step sim
+    done
+
+  let to_vcd nl t =
+    let sim = Sim.create nl in
+    let vcd = Vcd.create ~design:t.netlist_name () in
+    let in_sigs =
+      List.map (fun (port, arr) -> (port, Vcd.add_signal vcd ~width:(Bitvec.width arr.(0)) port))
+        t.inputs
+    in
+    let out_sigs =
+      List.map
+        (fun (p : Netlist.port) ->
+          (p.Netlist.port_nets, Vcd.add_signal vcd ~width:(Array.length p.Netlist.port_nets) p.Netlist.port_name))
+        (Netlist.outputs nl)
+    in
+    let obs_sigs = List.map (fun (name, _) -> Vcd.add_signal vcd name) t.observed in
+    replay sim t ~on_cycle:(fun c ->
+        List.iter (fun (port, s) -> Vcd.set vcd s (input_at t port c)) in_sigs;
+        List.iter
+          (fun (nets, s) ->
+            Vcd.set vcd s (Bitvec.of_bits (Array.to_list (Array.map (Sim.net sim) nets))))
+          out_sigs;
+        List.iter2 (fun s (_, arr) -> Vcd.set_bit vcd s arr.(c)) obs_sigs t.observed;
+        Vcd.advance vcd 1);
+    Vcd.to_string vcd
+
+  let covers nl t expr =
+    let sim = Sim.create nl in
+    let hit = ref false in
+    replay sim t ~on_cycle:(fun _ -> if eval_expr sim expr then hit := true);
+    !hit
+end
+
+type outcome =
+  | Trace_found of Trace.t
+  | Unreachable
+  | Bounded_unreachable of int
+  | Timeout
+
+let sequential_depth nl =
+  let cells = Netlist.cells nl in
+  let dff_ids = Netlist.dffs nl in
+  (* source DFFs feeding each DFF's D pin through combinational logic *)
+  let sources id =
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let rec walk net =
+      match Netlist.driver nl net with
+      | Netlist.Driven_by_input _ -> ()
+      | Netlist.Driven_by_cell cid ->
+        if not (Hashtbl.mem seen cid) then begin
+          Hashtbl.replace seen cid ();
+          let c = cells.(cid) in
+          if Cell.Kind.is_sequential c.kind then acc := cid :: !acc
+          else Array.iter walk c.inputs
+        end
+    in
+    walk cells.(id).inputs.(0);
+    !acc
+  in
+  let rank = Hashtbl.create 16 in
+  let exception Cyclic in
+  let rec compute id =
+    match Hashtbl.find_opt rank id with
+    | Some (Some r) -> r
+    | Some None -> raise Cyclic
+    | None ->
+      Hashtbl.replace rank id None;
+      let r = 1 + List.fold_left (fun acc s -> max acc (compute s)) 0 (sources id) in
+      Hashtbl.replace rank id (Some r);
+      r
+  in
+  try Some (List.fold_left (fun acc id -> max acc (compute id)) 0 dff_ids)
+  with Cyclic -> None
+
+let solver_calls = ref 0
+let total_conflicts = ref 0
+
+let stats () = (!solver_calls, !total_conflicts)
+
+(* One BMC session: incrementally unrolled transition relation. *)
+type session = {
+  nl : Netlist.t;
+  solver : Sat.t;
+  mutable vars : int array list;  (* per cycle, reversed: hd = latest *)
+  mutable depth : int;  (* cycles encoded *)
+  const_true : int;
+}
+
+let new_session nl =
+  let solver = Sat.create () in
+  let const_true = Sat.new_var solver in
+  Sat.add_clause solver [ const_true ];
+  { nl; solver; vars = []; depth = 0; const_true }
+
+let cycle_vars s c =
+  let rec nth l i = match l with [] -> invalid_arg "cycle" | x :: r -> if i = 0 then x else nth r (i - 1) in
+  nth s.vars (s.depth - 1 - c)
+
+let add_gate_clauses s vars (c : Netlist.cell) =
+  let sv = s.solver in
+  let y = vars.(c.output) in
+  let i k = vars.(c.inputs.(k)) in
+  match c.kind with
+  | Cell.Kind.Tie0 -> Sat.add_clause sv [ -y ]
+  | Cell.Kind.Tie1 -> Sat.add_clause sv [ y ]
+  | Cell.Kind.Buf ->
+    Sat.add_clause sv [ -y; i 0 ];
+    Sat.add_clause sv [ y; -(i 0) ]
+  | Cell.Kind.Not ->
+    Sat.add_clause sv [ -y; -(i 0) ];
+    Sat.add_clause sv [ y; i 0 ]
+  | Cell.Kind.And2 ->
+    Sat.add_clause sv [ -y; i 0 ];
+    Sat.add_clause sv [ -y; i 1 ];
+    Sat.add_clause sv [ y; -(i 0); -(i 1) ]
+  | Cell.Kind.Or2 ->
+    Sat.add_clause sv [ y; -(i 0) ];
+    Sat.add_clause sv [ y; -(i 1) ];
+    Sat.add_clause sv [ -y; i 0; i 1 ]
+  | Cell.Kind.Nand2 ->
+    Sat.add_clause sv [ y; i 0 ];
+    Sat.add_clause sv [ y; i 1 ];
+    Sat.add_clause sv [ -y; -(i 0); -(i 1) ]
+  | Cell.Kind.Nor2 ->
+    Sat.add_clause sv [ -y; -(i 0) ];
+    Sat.add_clause sv [ -y; -(i 1) ];
+    Sat.add_clause sv [ y; i 0; i 1 ]
+  | Cell.Kind.Xor2 ->
+    Sat.add_clause sv [ -y; i 0; i 1 ];
+    Sat.add_clause sv [ -y; -(i 0); -(i 1) ];
+    Sat.add_clause sv [ y; -(i 0); i 1 ];
+    Sat.add_clause sv [ y; i 0; -(i 1) ]
+  | Cell.Kind.Xnor2 ->
+    Sat.add_clause sv [ y; i 0; i 1 ];
+    Sat.add_clause sv [ y; -(i 0); -(i 1) ];
+    Sat.add_clause sv [ -y; -(i 0); i 1 ];
+    Sat.add_clause sv [ -y; i 0; -(i 1) ]
+  | Cell.Kind.Mux2 ->
+    (* output = s ? b : a with inputs a=0, b=1, s=2 *)
+    Sat.add_clause sv [ i 2; -(i 0); y ];
+    Sat.add_clause sv [ i 2; i 0; -y ];
+    Sat.add_clause sv [ -(i 2); -(i 1); y ];
+    Sat.add_clause sv [ -(i 2); i 1; -y ]
+  | Cell.Kind.Dff -> ()  (* handled by the transition relation *)
+
+(* Extend the unrolling by one cycle. *)
+let push_cycle s =
+  let n = Netlist.num_nets s.nl in
+  let vars = Array.init n (fun _ -> Sat.new_var s.solver) in
+  let prev = if s.depth > 0 then Some (List.hd s.vars) else None in
+  s.vars <- vars :: s.vars;
+  s.depth <- s.depth + 1;
+  let cells = Netlist.cells s.nl in
+  Array.iter (fun (c : Netlist.cell) -> add_gate_clauses s vars c) cells;
+  List.iter
+    (fun id ->
+      let c = cells.(id) in
+      let q = vars.(c.output) in
+      match prev with
+      | None ->
+        (* cycle 0: reset state *)
+        Sat.add_clause s.solver [ (if c.reset_value then q else -q) ]
+      | Some pvars ->
+        let d = pvars.(c.inputs.(0)) in
+        Sat.add_clause s.solver [ -q; d ];
+        Sat.add_clause s.solver [ q; -d ])
+    (Netlist.dffs s.nl)
+
+(* Tseitin encoding of an expression at a given cycle; returns a literal. *)
+let rec lit_of_expr s cycle = function
+  | Const true -> s.const_true
+  | Const false -> -s.const_true
+  | Input (port, bit) -> (cycle_vars s cycle).(Netlist.net_of_port_bit s.nl port bit)
+  | Net n -> (cycle_vars s cycle).(n)
+  | Not e -> -lit_of_expr s cycle e
+  | And (a, b) ->
+    let la = lit_of_expr s cycle a and lb = lit_of_expr s cycle b in
+    let v = Sat.new_var s.solver in
+    Sat.add_clause s.solver [ -v; la ];
+    Sat.add_clause s.solver [ -v; lb ];
+    Sat.add_clause s.solver [ v; -la; -lb ];
+    v
+  | Or (a, b) ->
+    let la = lit_of_expr s cycle a and lb = lit_of_expr s cycle b in
+    let v = Sat.new_var s.solver in
+    Sat.add_clause s.solver [ v; -la ];
+    Sat.add_clause s.solver [ v; -lb ];
+    Sat.add_clause s.solver [ -v; la; lb ];
+    v
+  | Xor (a, b) ->
+    let la = lit_of_expr s cycle a and lb = lit_of_expr s cycle b in
+    let v = Sat.new_var s.solver in
+    Sat.add_clause s.solver [ -v; la; lb ];
+    Sat.add_clause s.solver [ -v; -la; -lb ];
+    Sat.add_clause s.solver [ v; -la; lb ];
+    Sat.add_clause s.solver [ v; la; -lb ];
+    v
+
+let extract_trace s watch bound =
+  let inputs =
+    List.map
+      (fun (p : Netlist.port) ->
+        let per_cycle =
+          Array.init bound (fun c ->
+              let vars = cycle_vars s c in
+              let width = Array.length p.port_nets in
+              let v = ref (Bitvec.zero width) in
+              Array.iteri
+                (fun i n -> if Sat.value s.solver vars.(n) then v := Bitvec.set_bit !v i true)
+                p.port_nets;
+              !v)
+        in
+        (p.port_name, per_cycle))
+      (Netlist.inputs s.nl)
+  in
+  let observed =
+    List.map
+      (fun (name, net) ->
+        (name, Array.init bound (fun c -> Sat.value s.solver (cycle_vars s c).(net))))
+      watch
+  in
+  { Trace.netlist_name = Netlist.name s.nl; cycles = bound; inputs; observed }
+
+let check_cover ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts = 200_000) nl ~cover
+    =
+  let depth = sequential_depth nl in
+  let complete_bound = Option.map (fun d -> d + 1) depth in
+  let max_cycles =
+    match (max_cycles, complete_bound) with
+    | Some m, _ -> m
+    | None, Some b -> b
+    | None, None -> 8
+  in
+  let s = new_session nl in
+  let budget = ref max_conflicts in
+  let rec try_bound k =
+    if k > max_cycles then
+      match complete_bound with
+      | Some b when max_cycles >= b -> Unreachable
+      | _ -> Bounded_unreachable max_cycles
+    else begin
+      push_cycle s;
+      (* assumptions for this cycle's constraints *)
+      List.iter
+        (fun e -> Sat.add_clause s.solver [ lit_of_expr s (k - 1) e ])
+        assumes;
+      let cover_lit = lit_of_expr s (k - 1) cover in
+      incr solver_calls;
+      let before = Sat.stats_conflicts s.solver in
+      let r = Sat.solve ~assumptions:[ cover_lit ] ~max_conflicts:!budget s.solver in
+      let used = Sat.stats_conflicts s.solver - before in
+      total_conflicts := !total_conflicts + used;
+      budget := !budget - used;
+      match r with
+      | Sat.Sat -> Trace_found (extract_trace s watch k)
+      | Sat.Unsat -> if !budget <= 0 then Timeout else try_bound (k + 1)
+      | Sat.Unknown -> Timeout
+    end
+  in
+  try_bound 1
+
+(* Inline a netlist's cells into a builder, feeding its input ports from
+   the given nets; returns a map from the inlined netlist's nets to the
+   builder's nets. *)
+let inline b (nl : Netlist.t) ~suffix ~input_nets =
+  let map = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Netlist.port) ->
+      let feed =
+        match List.assoc_opt p.Netlist.port_name input_nets with
+        | Some nets -> nets
+        | None -> invalid_arg ("Formal.inline: missing input " ^ p.Netlist.port_name)
+      in
+      if Array.length feed <> Array.length p.Netlist.port_nets then
+        invalid_arg ("Formal.inline: width mismatch on " ^ p.Netlist.port_name);
+      Array.iteri (fun i orig -> Hashtbl.replace map orig feed.(i)) p.Netlist.port_nets)
+    (Netlist.inputs nl);
+  (* pass 1: DFFs with placeholder inputs *)
+  let dffs = ref [] in
+  List.iter
+    (fun id ->
+      let c = Netlist.cell nl id in
+      let new_id, out =
+        Netlist.Builder.add_cell_with_id
+          ~name:(c.Netlist.name ^ suffix)
+          ~clock_domain:c.Netlist.clock_domain ~reset_value:c.Netlist.reset_value b
+          Cell.Kind.Dff
+          [| Netlist.Builder.fresh_net b |]
+      in
+      dffs := (id, new_id) :: !dffs;
+      Hashtbl.replace map c.Netlist.output out)
+    (Netlist.dffs nl);
+  let get orig =
+    match Hashtbl.find_opt map orig with
+    | Some n -> n
+    | None -> invalid_arg "Formal.inline: unmapped net (internal)"
+  in
+  (* pass 2: comb cells in topo order *)
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell nl id in
+      let out =
+        Netlist.Builder.add_cell
+          ~name:(c.Netlist.name ^ suffix)
+          b c.Netlist.kind
+          (Array.map get c.Netlist.inputs)
+      in
+      Hashtbl.replace map c.Netlist.output out)
+    (Netlist.topo_order nl);
+  (* pass 3: rewire DFF inputs *)
+  List.iter
+    (fun (orig_id, new_id) ->
+      let c = Netlist.cell nl orig_id in
+      Netlist.Builder.rewire_input b ~cell_id:new_id ~pin:0 (get c.Netlist.inputs.(0)))
+    !dffs;
+  get
+
+type equivalence = Equivalent | Different of Trace.t | Bounded_equivalent of int | Equiv_timeout
+
+let check_equivalence ?max_cycles ?max_conflicts left right =
+  (* interfaces must match *)
+  let sig_of nl =
+    ( List.map (fun (p : Netlist.port) -> (p.Netlist.port_name, Array.length p.Netlist.port_nets))
+        (Netlist.inputs nl),
+      List.map (fun (p : Netlist.port) -> (p.Netlist.port_name, Array.length p.Netlist.port_nets))
+        (Netlist.outputs nl) )
+  in
+  if sig_of left <> sig_of right then
+    invalid_arg "Formal.check_equivalence: port interfaces differ";
+  let b = Netlist.Builder.create (Netlist.name left ^ "_miter") in
+  let input_nets =
+    List.map
+      (fun (p : Netlist.port) ->
+        (p.Netlist.port_name, Netlist.Builder.add_input b p.Netlist.port_name (Array.length p.Netlist.port_nets)))
+      (Netlist.inputs left)
+  in
+  let map_l = inline b left ~suffix:"@l" ~input_nets in
+  let map_r = inline b right ~suffix:"@r" ~input_nets in
+  (* cover: any output bit differs *)
+  let diffs =
+    List.concat_map
+      (fun (p : Netlist.port) ->
+        let rp = Netlist.find_output right p.Netlist.port_name in
+        List.init (Array.length p.Netlist.port_nets) (fun i ->
+            Netlist.Builder.add_cell b Cell.Kind.Xor2
+              [| map_l p.Netlist.port_nets.(i); map_r rp.Netlist.port_nets.(i) |]))
+      (Netlist.outputs left)
+  in
+  let rec or_tree = function
+    | [] -> invalid_arg "Formal.check_equivalence: no outputs to compare"
+    | [ x ] -> x
+    | x :: y :: rest -> or_tree (Netlist.Builder.add_cell b Cell.Kind.Or2 [| x; y |] :: rest)
+  in
+  let any_diff = or_tree diffs in
+  Netlist.Builder.add_output b "miter" [| any_diff |];
+  let miter = Netlist.Builder.finish b in
+  match
+    check_cover ?max_cycles ?max_conflicts miter
+      ~cover:(Net (Netlist.net_of_port_bit miter "miter" 0))
+  with
+  | Trace_found t -> Different t
+  | Unreachable -> Equivalent
+  | Bounded_unreachable k -> Bounded_equivalent k
+  | Timeout -> Equiv_timeout

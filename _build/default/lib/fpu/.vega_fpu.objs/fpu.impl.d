@@ -1,0 +1,1 @@
+lib/fpu/fpu.ml: Array Formal Fpu_format Hw List Printf Softfloat

@@ -1,0 +1,1 @@
+lib/fpu/fpu.mli: Bitvec Formal Fpu_format Netlist

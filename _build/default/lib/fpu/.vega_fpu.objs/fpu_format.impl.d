@@ -1,0 +1,1 @@
+lib/fpu/fpu_format.ml: Bitvec Float Format List String

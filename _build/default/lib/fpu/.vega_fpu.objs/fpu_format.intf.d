@@ -1,0 +1,1 @@
+lib/fpu/fpu_format.mli: Bitvec Format

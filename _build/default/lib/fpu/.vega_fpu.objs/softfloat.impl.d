@@ -1,0 +1,1 @@
+lib/fpu/softfloat.ml: Bitvec Fpu_format

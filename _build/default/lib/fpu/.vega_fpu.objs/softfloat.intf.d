@@ -1,0 +1,1 @@
+lib/fpu/softfloat.mli: Bitvec Fpu_format

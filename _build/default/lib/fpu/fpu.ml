@@ -1,0 +1,309 @@
+module F = Fpu_format
+
+let op_port = "op"
+let a_port = "a"
+let b_port = "b"
+let r_port = "r"
+let flags_port = "flags"
+let in_valid_port = "in_valid"
+let valid_port = "valid"
+let latency = 2
+let op_bits = 3
+
+let golden = Softfloat.apply
+
+(* A right shifter that also reports whether any 1-bit was shifted out
+   (the sticky bit of floating-point alignment). *)
+let shift_right_sticky c v ~amount =
+  let n = Array.length v in
+  let cur = ref v in
+  let sticky = ref (Hw.tie0 c) in
+  Array.iteri
+    (fun i sel ->
+      let sh = 1 lsl i in
+      let lost =
+        if sh >= n then Hw.reduce_or c !cur else Hw.reduce_or c (Array.sub !cur 0 sh)
+      in
+      let shifted =
+        if sh >= n then Array.make n (Hw.tie0 c)
+        else Array.init n (fun j -> if j + sh < n then !cur.(j + sh) else Hw.tie0 c)
+      in
+      sticky := Hw.mux c ~sel ~if0:!sticky ~if1:(Hw.or_ c !sticky lost);
+      cur := Hw.mux_vec c ~sel ~if0:!cur ~if1:shifted)
+    amount;
+  (!cur, !sticky)
+
+(* zero-extend a vector *)
+let zext c v w =
+  Array.init w (fun i -> if i < Array.length v then v.(i) else Hw.tie0 c)
+
+let netlist ?(fmt = F.binary16) ?(gated_output_rank = true) () =
+  let m = fmt.F.man_bits and e = fmt.F.exp_bits in
+  let w = F.width fmt in
+  let c = Hw.create (Printf.sprintf "fpu_e%dm%d" e m) in
+  let op_in = Hw.input c op_port op_bits in
+  let a_in = Hw.input c a_port w in
+  let b_in = Hw.input c b_port w in
+  let v_in = Hw.input c in_valid_port 1 in
+  (* input rank *)
+  let opq = Hw.reg_vec c ~prefix:"op_q" op_in in
+  let av = Hw.reg_vec c ~prefix:"a_q" a_in in
+  let bv = Hw.reg_vec c ~prefix:"b_q" b_in in
+  let vq = Hw.reg c ~name:"v_q" v_in.(0) in
+
+  let zeros n = Array.init n (fun _ -> Hw.tie0 c) in
+  let widen1 bit = Array.init w (fun i -> if i = 0 then bit else Hw.tie0 c) in
+
+  (* --- unpack --- *)
+  let unpack v =
+    let sign = v.(w - 1) in
+    let ev = Array.sub v m e in
+    let mv = Array.sub v 0 m in
+    let expz = Hw.is_zero c ev in
+    let expmax = Hw.reduce_and c ev in
+    let manz = Hw.is_zero c mv in
+    let vinf = Hw.and_ c expmax manz in
+    let vnan = Hw.and_ c expmax (Hw.not_ c manz) in
+    let hidden = Hw.not_ c expz in
+    let sig_ = Array.append mv [| hidden |] in
+    (* m+1 bits *)
+    (sign, ev, mv, expz, vinf, vnan, sig_)
+  in
+  let sa, ea, ma, a_zero, a_inf, a_nan, sig_a = unpack av in
+  let sb_raw, eb, mb, b_zero, b_inf, b_nan, sig_b = unpack bv in
+  let any_nan = Hw.or_ c a_nan b_nan in
+
+  (* op decode *)
+  let is_sub =
+    (* code 1 = Fsub: op2..0 = 001 *)
+    Hw.and_ c opq.(0) (Hw.and_ c (Hw.not_ c opq.(1)) (Hw.not_ c opq.(2)))
+  in
+  let sb_eff = Hw.xor_ c sb_raw is_sub in
+
+  (* packing helpers *)
+  let pack_vec ~sign ~exp ~man = Array.concat [ man; exp; [| sign |] ] in
+  let qnan_vec =
+    pack_vec ~sign:(Hw.tie0 c)
+      ~exp:(Array.init e (fun _ -> Hw.tie1 c))
+      ~man:(Array.init m (fun i -> if i = m - 1 then Hw.tie1 c else Hw.tie0 c))
+  in
+  let inf_vec sign = pack_vec ~sign ~exp:(Array.init e (fun _ -> Hw.tie1 c)) ~man:(zeros m) in
+  let zero_vec sign = pack_vec ~sign ~exp:(zeros e) ~man:(zeros m) in
+  let flags_vec ~nv ~ofl ~uf ~nx = [| nv; ofl; uf; nx |] in
+  let no_flags = flags_vec ~nv:(Hw.tie0 c) ~ofl:(Hw.tie0 c) ~uf:(Hw.tie0 c) ~nx:(Hw.tie0 c) in
+
+  (* exponent over/underflow check on an (e+2)-bit signed value; returns
+     (underflow, overflow, low e bits) *)
+  let exp_check e_res =
+    let neg = e_res.(e + 1) in
+    let low_zero = Hw.is_zero c e_res in
+    let under = Hw.or_ c neg low_zero in
+    let emax_c = Hw.const_vec c ~width:(e + 2) (F.exp_max fmt) in
+    let lt_max = Hw.ult c e_res emax_c in
+    let over = Hw.and_ c (Hw.not_ c neg) (Hw.not_ c lt_max) in
+    (under, over, Array.sub e_res 0 e)
+  in
+
+  (* ---------- add/sub datapath ---------- *)
+  let adder_result, adder_flags =
+    let key sig_or_man exp = Array.append sig_or_man exp in
+    let ka = key ma ea and kb = key mb eb in
+    let swap = Hw.ult c ka kb in
+    let pick if0 if1 = Hw.mux_vec c ~sel:swap ~if0 ~if1 in
+    let xsign = Hw.mux c ~sel:swap ~if0:sa ~if1:sb_eff in
+    let ysign = Hw.mux c ~sel:swap ~if0:sb_eff ~if1:sa in
+    let xe = pick ea eb and ye = pick eb ea in
+    let xsig = pick sig_a sig_b and ysig = pick sig_b sig_a in
+    let d, _ = Hw.ripple_sub c xe ye in
+    (* significands with 3 guard bits *)
+    let x3 = Array.append (zeros 3) xsig in
+    (* m+4 *)
+    let y3_pre = Array.append (zeros 3) ysig in
+    let y3s, sticky = shift_right_sticky c y3_pre ~amount:d in
+    let y3 =
+      Array.mapi (fun i bit -> if i = 0 then Hw.or_ c bit sticky else bit) y3s
+    in
+    let x3e = zext c x3 (m + 5) and y3e = zext c y3 (m + 5) in
+    let same = Hw.xnor_ c xsign ysign in
+    let sum, _ = Hw.ripple_add c x3e y3e ~cin:(Hw.tie0 c) in
+    let diff, _ = Hw.ripple_sub c x3e y3e in
+    let s = Hw.mux_vec c ~sel:same ~if0:diff ~if1:sum in
+    let diff_zero = Hw.and_ c (Hw.not_ c same) (Hw.is_zero c s) in
+    let carry = s.(m + 4) in
+    (* carry path: right shift by one with jam *)
+    let s_r =
+      Array.init (m + 4) (fun j -> if j = 0 then Hw.or_ c s.(1) s.(0) else s.(j + 1))
+    in
+    (* no-carry path: left-shift by the leading-zero count of s[m+3..0] *)
+    let body = Array.sub s 0 (m + 4) in
+    let lz = Hw.leading_zero_count c body in
+    let s_l = Hw.shift_left c body ~amount:lz in
+    let norm = Hw.mux_vec c ~sel:carry ~if0:s_l ~if1:s_r in
+    (* exponent: xe + carry - (carry ? 0 : lz) *)
+    let xe_ext = zext c xe (e + 2) in
+    let bump, _ = Hw.ripple_add c xe_ext (zeros (e + 2)) ~cin:carry in
+    let lz_gated = Hw.mux_vec c ~sel:carry ~if0:lz ~if1:(zeros (Array.length lz)) in
+    let e_res, _ = Hw.ripple_sub c bump (zext c lz_gated (e + 2)) in
+    let under, over, e_low = exp_check e_res in
+    let man_field = Array.sub norm 3 m in
+    let inexact = Hw.reduce_or c (Array.sub norm 0 3) in
+    let normal = pack_vec ~sign:xsign ~exp:e_low ~man:man_field in
+    (* special-case priority mux, innermost = normal case *)
+    let inf_conflict = Hw.and_ c (Hw.and_ c a_inf b_inf) (Hw.xor_ c sa sb_eff) in
+    let use_qnan = Hw.or_ c any_nan inf_conflict in
+    let b_pass = pack_vec ~sign:sb_eff ~exp:eb ~man:mb in
+    let both_zero = Hw.and_ c a_zero b_zero in
+    let r0 = normal in
+    let r0 = Hw.mux_vec c ~sel:over ~if0:r0 ~if1:(inf_vec xsign) in
+    let r0 = Hw.mux_vec c ~sel:under ~if0:r0 ~if1:(zero_vec xsign) in
+    let r0 = Hw.mux_vec c ~sel:diff_zero ~if0:r0 ~if1:(zero_vec (Hw.tie0 c)) in
+    let r0 = Hw.mux_vec c ~sel:b_zero ~if0:r0 ~if1:av in
+    let r0 = Hw.mux_vec c ~sel:a_zero ~if0:r0 ~if1:b_pass in
+    let r0 = Hw.mux_vec c ~sel:both_zero ~if0:r0 ~if1:(zero_vec (Hw.and_ c sa sb_eff)) in
+    let r0 = Hw.mux_vec c ~sel:b_inf ~if0:r0 ~if1:(inf_vec sb_eff) in
+    let r0 = Hw.mux_vec c ~sel:a_inf ~if0:r0 ~if1:(inf_vec sa) in
+    let r0 = Hw.mux_vec c ~sel:use_qnan ~if0:r0 ~if1:qnan_vec in
+    (* flags mirror the same priority *)
+    let special =
+      (* any case before under/over produces clean flags *)
+      List.fold_left (Hw.or_ c) use_qnan [ a_inf; b_inf; both_zero; a_zero; b_zero; diff_zero ]
+    in
+    let not_special = Hw.not_ c special in
+    let uf = Hw.and_ c not_special under in
+    let ofl = Hw.and_ c (Hw.and_ c not_special (Hw.not_ c under)) over in
+    let range = Hw.or_ c uf ofl in
+    let nx = Hw.or_ c range (Hw.and_ c not_special (Hw.and_ c (Hw.not_ c under) (Hw.and_ c (Hw.not_ c over) inexact))) in
+    let fl = flags_vec ~nv:use_qnan ~ofl ~uf ~nx in
+    (r0, fl)
+  in
+
+  (* ---------- multiply datapath ---------- *)
+  let mul_result, mul_flags =
+    let rsign = Hw.xor_ c sa sb_raw in
+    let pw = (2 * m) + 2 in
+    let p = ref (zeros pw) in
+    Array.iteri
+      (fun i bbit ->
+        let row =
+          Array.init pw (fun j ->
+              if j >= i && j - i <= m then Hw.and_ c sig_a.(j - i) bbit else Hw.tie0 c)
+        in
+        p := fst (Hw.ripple_add c !p row ~cin:(Hw.tie0 c)))
+      sig_b;
+    let p = !p in
+    let top = p.(pw - 1) in
+    let man_hi = Array.sub p (m + 1) m in
+    let man_lo = Array.sub p m m in
+    let man_field = Hw.mux_vec c ~sel:top ~if0:man_lo ~if1:man_hi in
+    let nx_hi = Hw.reduce_or c (Array.sub p 0 (m + 1)) in
+    let nx_lo = Hw.reduce_or c (Array.sub p 0 m) in
+    let inexact = Hw.mux c ~sel:top ~if0:nx_lo ~if1:nx_hi in
+    let ea_ext = zext c ea (e + 2) and eb_ext = zext c eb (e + 2) in
+    let esum, _ = Hw.ripple_add c ea_ext eb_ext ~cin:top in
+    let bias_c = Hw.const_vec c ~width:(e + 2) (F.bias fmt) in
+    let e_res, _ = Hw.ripple_sub c esum bias_c in
+    let under, over, e_low = exp_check e_res in
+    let normal = pack_vec ~sign:rsign ~exp:e_low ~man:man_field in
+    let use_qnan =
+      Hw.or_ c any_nan
+        (Hw.or_ c (Hw.and_ c a_inf b_zero) (Hw.and_ c b_inf a_zero))
+    in
+    let any_inf = Hw.or_ c a_inf b_inf in
+    let any_zero = Hw.or_ c a_zero b_zero in
+    let r0 = normal in
+    let r0 = Hw.mux_vec c ~sel:over ~if0:r0 ~if1:(inf_vec rsign) in
+    let r0 = Hw.mux_vec c ~sel:under ~if0:r0 ~if1:(zero_vec rsign) in
+    let r0 = Hw.mux_vec c ~sel:any_zero ~if0:r0 ~if1:(zero_vec rsign) in
+    let r0 = Hw.mux_vec c ~sel:any_inf ~if0:r0 ~if1:(inf_vec rsign) in
+    let r0 = Hw.mux_vec c ~sel:use_qnan ~if0:r0 ~if1:qnan_vec in
+    let special = List.fold_left (Hw.or_ c) use_qnan [ any_inf; any_zero ] in
+    let not_special = Hw.not_ c special in
+    let uf = Hw.and_ c not_special under in
+    let ofl = Hw.and_ c (Hw.and_ c not_special (Hw.not_ c under)) over in
+    let range = Hw.or_ c uf ofl in
+    let nx = Hw.or_ c range (Hw.and_ c not_special (Hw.and_ c (Hw.not_ c under) (Hw.and_ c (Hw.not_ c over) inexact))) in
+    let fl = flags_vec ~nv:use_qnan ~ofl ~uf ~nx in
+    (r0, fl)
+  in
+
+  (* ---------- comparisons / min / max ---------- *)
+  let ( feq_vec, feq_fl, flt_vec, flt_fl, fle_vec, fle_fl, min_result, min_flags, max_result,
+        max_flags ) =
+    let key man exp zero =
+      let raw = Array.append man exp in
+      Hw.mux_vec c ~sel:zero ~if0:raw ~if1:(zeros (m + e))
+    in
+    let ka = key ma ea a_zero and kb = key mb eb b_zero in
+    let both_zero = Hw.and_ c a_zero b_zero in
+    let bits_equal = Hw.equal_vec c av bv in
+    let eq_core = Hw.or_ c both_zero bits_equal in
+    let feq = Hw.and_ c (Hw.not_ c any_nan) eq_core in
+    let mag_lt_ab = Hw.ult c ka kb and mag_lt_ba = Hw.ult c kb ka in
+    let not_bz = Hw.not_ c both_zero in
+    let lt_of s1 s2 m12 m21 =
+      (* s1/s2 = signs of the two operands; m12 = magnitude lt *)
+      let t1 = Hw.and_ c s1 (Hw.not_ c s2) in
+      let t2 = Hw.and_ c (Hw.and_ c (Hw.not_ c s1) (Hw.not_ c s2)) m12 in
+      let t3 = Hw.and_ c (Hw.and_ c s1 s2) m21 in
+      Hw.and_ c not_bz (Hw.or_ c t1 (Hw.or_ c t2 t3))
+    in
+    let lt_ab = lt_of sa sb_raw mag_lt_ab mag_lt_ba in
+    let lt_ba = lt_of sb_raw sa mag_lt_ba mag_lt_ab in
+    let flt = Hw.and_ c (Hw.not_ c any_nan) lt_ab in
+    let fle = Hw.and_ c (Hw.not_ c any_nan) (Hw.or_ c lt_ab eq_core) in
+    let nan_flag = any_nan in
+    let feq_fl = no_flags in
+    let flt_fl = flags_vec ~nv:nan_flag ~ofl:(Hw.tie0 c) ~uf:(Hw.tie0 c) ~nx:(Hw.tie0 c) in
+    let fle_fl = flt_fl in
+    (* min/max on the non-NaN path *)
+    let pick_min =
+      let base = Hw.mux_vec c ~sel:sa ~if0:bv ~if1:av in
+      let r = Hw.mux_vec c ~sel:lt_ba ~if0:base ~if1:bv in
+      Hw.mux_vec c ~sel:lt_ab ~if0:r ~if1:av
+    in
+    let pick_max =
+      let base = Hw.mux_vec c ~sel:sa ~if0:av ~if1:bv in
+      let r = Hw.mux_vec c ~sel:lt_ba ~if0:base ~if1:av in
+      Hw.mux_vec c ~sel:lt_ab ~if0:r ~if1:bv
+    in
+    let with_nan pick =
+      let both_nan = Hw.and_ c a_nan b_nan in
+      let r = pick in
+      let r = Hw.mux_vec c ~sel:b_nan ~if0:r ~if1:av in
+      let r = Hw.mux_vec c ~sel:a_nan ~if0:r ~if1:bv in
+      Hw.mux_vec c ~sel:both_nan ~if0:r ~if1:qnan_vec
+    in
+    ( widen1 feq, feq_fl, widen1 flt, flt_fl, widen1 fle, fle_fl, with_nan pick_min, no_flags,
+      with_nan pick_max, no_flags )
+  in
+
+  (* ---------- op-selected result ---------- *)
+  let result =
+    Hw.mux_tree c ~sel:opq
+      [
+        adder_result;  (* fadd *)
+        adder_result;  (* fsub: handled by sb_eff *)
+        mul_result;
+        min_result;
+        max_result;
+        feq_vec;
+        flt_vec;
+        fle_vec;
+      ]
+  in
+  let flags =
+    Hw.mux_tree c ~sel:opq
+      [ adder_flags; adder_flags; mul_flags; min_flags; max_flags; feq_fl; flt_fl; fle_fl ]
+  in
+  let out_domain = if gated_output_rank then 1 else 0 in
+  let r = Hw.reg_vec c ~prefix:"r_q" ~domain:out_domain result in
+  let fl = Hw.reg_vec c ~prefix:"fl_q" ~domain:out_domain flags in
+  let v_out = Hw.reg c ~name:"v_out" ~domain:out_domain vq in
+  Hw.output c r_port r;
+  Hw.output c flags_port fl;
+  Hw.output c valid_port [| v_out |];
+  Hw.finish c
+
+let valid_op_assume nl =
+  ignore nl;
+  Formal.Const true

@@ -1,0 +1,43 @@
+(** The gate-level floating-point unit under analysis.
+
+    A pipelined FPU in the mold of FPnew (the CV32E40P's FPU): registered
+    operand/opcode inputs, a combinational datapath computing add/sub
+    (magnitude sort, sticky alignment shifter, significand add/subtract,
+    leading-zero normalization), multiply (array multiplier, exponent
+    arithmetic), min/max and comparisons — all with IEEE-style special-case
+    handling (NaN, infinities, signed zeros) and exception flags — and a
+    registered result rank.  A valid-token pipeline accompanies the data
+    (ports [in_valid] -> [valid]): this is the handshake whose aging
+    failures stall the CPU in the paper's Table 6 "S" rows.
+
+    Format semantics (flush-to-zero, round-toward-zero) are those of
+    {!Softfloat}, the golden model; the two are tested for exact agreement,
+    exhaustively at {!Fpu_format.tiny}. *)
+
+val op_port : string  (** ["op"], 3 bits *)
+
+val a_port : string
+val b_port : string
+val r_port : string
+val flags_port : string  (** 4 bits: invalid, overflow, underflow, inexact *)
+
+val in_valid_port : string
+val valid_port : string
+
+val latency : int
+(** Cycles from inputs to result: 2. *)
+
+val netlist : ?fmt:Fpu_format.fmt -> ?gated_output_rank:bool -> unit -> Netlist.t
+(** Build the FPU netlist (default format {!Fpu_format.binary16}).
+    Input-rank registers are named [op_q*]/[a_q*]/[b_q*]/[v_q]; result-rank
+    registers [r_q*]/[fl_q*]/[v_out].  With [gated_output_rank] (the
+    default) the result rank sits in clock domain 1 — the clock-gated
+    subtree whose nonuniform aging produces the paper's FPU hold
+    violations. *)
+
+val golden : Fpu_format.fmt -> Fpu_format.op -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+(** Alias for {!Softfloat.apply}. *)
+
+val valid_op_assume : Netlist.t -> Formal.expr
+(** Trivially true (all 8 opcodes are defined) but kept for symmetry with
+    the ALU's input restriction; restricts nothing beyond the op width. *)

@@ -1,0 +1,128 @@
+type fmt = { exp_bits : int; man_bits : int }
+
+let create_fmt ~exp_bits ~man_bits =
+  if exp_bits < 3 then invalid_arg "Fpu_format: need at least 3 exponent bits";
+  if man_bits < 2 then invalid_arg "Fpu_format: need at least 2 mantissa bits";
+  if 1 + exp_bits + man_bits > Bitvec.max_width then
+    invalid_arg "Fpu_format: width exceeds Bitvec.max_width";
+  { exp_bits; man_bits }
+
+let binary16 = { exp_bits = 5; man_bits = 10 }
+let tiny = { exp_bits = 3; man_bits = 2 }
+
+let width f = 1 + f.exp_bits + f.man_bits
+let bias f = (1 lsl (f.exp_bits - 1)) - 1
+let exp_max f = (1 lsl f.exp_bits) - 1
+
+let pack f ~sign ~exp ~man =
+  if exp < 0 || exp > exp_max f then invalid_arg "Fpu_format.pack: exponent out of range";
+  if man < 0 || man >= 1 lsl f.man_bits then invalid_arg "Fpu_format.pack: mantissa out of range";
+  let v = ((if sign then 1 else 0) lsl (f.exp_bits + f.man_bits)) lor (exp lsl f.man_bits) lor man in
+  Bitvec.create ~width:(width f) v
+
+let sign_of f v = Bitvec.bit v (f.exp_bits + f.man_bits)
+let exp_of f v = (Bitvec.to_int v lsr f.man_bits) land exp_max f
+let man_of f v = Bitvec.to_int v land ((1 lsl f.man_bits) - 1)
+
+let qnan f = pack f ~sign:false ~exp:(exp_max f) ~man:(1 lsl (f.man_bits - 1))
+let infinity f ~sign = pack f ~sign ~exp:(exp_max f) ~man:0
+let zero f ~sign = pack f ~sign ~exp:0 ~man:0
+let one f = pack f ~sign:false ~exp:(bias f) ~man:0
+
+let is_nan f v = exp_of f v = exp_max f && man_of f v <> 0
+let is_inf f v = exp_of f v = exp_max f && man_of f v = 0
+let is_zero f v = exp_of f v = 0
+
+let to_float f v =
+  if is_nan f v then Float.nan
+  else if is_inf f v then if sign_of f v then Float.neg_infinity else Float.infinity
+  else if is_zero f v then if sign_of f v then -0.0 else 0.0
+  else begin
+    let m = 1.0 +. (float_of_int (man_of f v) /. float_of_int (1 lsl f.man_bits)) in
+    let e = exp_of f v - bias f in
+    let mag = m *. (2.0 ** float_of_int e) in
+    if sign_of f v then -.mag else mag
+  end
+
+let of_float f x =
+  if Float.is_nan x then qnan f
+  else begin
+    let sign = Float.sign_bit x in
+    let ax = Float.abs x in
+    if ax = 0.0 then zero f ~sign
+    else if ax = Float.infinity then infinity f ~sign
+    else begin
+      let frac, e = Float.frexp ax in
+      (* frac in [0.5, 1): normalized significand is frac*2, exponent e-1 *)
+      let exp = e - 1 + bias f in
+      if exp >= exp_max f then infinity f ~sign
+      else if exp <= 0 then zero f ~sign  (* flush to zero *)
+      else begin
+        let man = int_of_float (Float.of_int (1 lsl (f.man_bits + 1)) *. frac) in
+        (* man has the hidden bit at position man_bits; truncate *)
+        pack f ~sign ~exp ~man:(man land ((1 lsl f.man_bits) - 1))
+      end
+    end
+  end
+
+type op = Fadd | Fsub | Fmul | Fmin | Fmax | Feq | Flt | Fle
+
+let all_ops = [ Fadd; Fsub; Fmul; Fmin; Fmax; Feq; Flt; Fle ]
+
+let op_code = function
+  | Fadd -> 0
+  | Fsub -> 1
+  | Fmul -> 2
+  | Fmin -> 3
+  | Fmax -> 4
+  | Feq -> 5
+  | Flt -> 6
+  | Fle -> 7
+
+let op_of_code code = List.find_opt (fun o -> op_code o = code) all_ops
+
+let op_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fmin -> "fmin"
+  | Fmax -> "fmax"
+  | Feq -> "feq"
+  | Flt -> "flt"
+  | Fle -> "fle"
+
+let op_of_name name = List.find_opt (fun o -> String.equal (op_name o) name) all_ops
+
+type flags = { invalid : bool; overflow : bool; underflow : bool; inexact : bool }
+
+let no_flags = { invalid = false; overflow = false; underflow = false; inexact = false }
+
+let flags_to_int fl =
+  (if fl.invalid then 1 else 0)
+  lor (if fl.overflow then 2 else 0)
+  lor (if fl.underflow then 4 else 0)
+  lor if fl.inexact then 8 else 0
+
+let flags_of_int v =
+  {
+    invalid = v land 1 <> 0;
+    overflow = v land 2 <> 0;
+    underflow = v land 4 <> 0;
+    inexact = v land 8 <> 0;
+  }
+
+let flags_union a b =
+  {
+    invalid = a.invalid || b.invalid;
+    overflow = a.overflow || b.overflow;
+    underflow = a.underflow || b.underflow;
+    inexact = a.inexact || b.inexact;
+  }
+
+let pp_flags fmt fl =
+  let parts =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [ (fl.invalid, "NV"); (fl.overflow, "OF"); (fl.underflow, "UF"); (fl.inexact, "NX") ]
+  in
+  Format.pp_print_string fmt (if parts = [] then "-" else String.concat "," parts)

@@ -1,0 +1,79 @@
+(** Floating-point formats and operation encodings shared by the golden
+    softfloat model and the gate-level FPU.
+
+    The FPU implements a parameterizable IEEE-754-style binary format with
+    two documented simplifications that keep both the gate-level datapath
+    and the formal analysis laptop-scale while preserving the alignment /
+    normalization / flag structure of a real FPU (see DESIGN.md):
+
+    - subnormals flush to zero (an encoded exponent of 0 means +/-0);
+    - rounding is toward zero (truncation with guard/round/sticky bits
+      driving the inexact flag).
+
+    NaN results are the canonical quiet NaN (exponent all-ones, mantissa
+    MSB set). *)
+
+type fmt = { exp_bits : int; man_bits : int }
+
+val binary16 : fmt
+(** 1 + 5 + 10 bits: the evaluation format. *)
+
+val tiny : fmt
+(** 1 + 3 + 2 bits: small enough for exhaustive gate-vs-golden testing. *)
+
+val create_fmt : exp_bits:int -> man_bits:int -> fmt
+(** @raise Invalid_argument unless [exp_bits >= 3], [man_bits >= 2] and the
+    total width fits a {!Bitvec.t}. *)
+
+val width : fmt -> int
+val bias : fmt -> int
+val exp_max : fmt -> int
+(** The all-ones encoded exponent (infinity/NaN marker). *)
+
+(** {1 Packing} *)
+
+val pack : fmt -> sign:bool -> exp:int -> man:int -> Bitvec.t
+val sign_of : fmt -> Bitvec.t -> bool
+val exp_of : fmt -> Bitvec.t -> int
+val man_of : fmt -> Bitvec.t -> int
+
+val qnan : fmt -> Bitvec.t
+val infinity : fmt -> sign:bool -> Bitvec.t
+val zero : fmt -> sign:bool -> Bitvec.t
+val one : fmt -> Bitvec.t
+
+val is_nan : fmt -> Bitvec.t -> bool
+val is_inf : fmt -> Bitvec.t -> bool
+val is_zero : fmt -> Bitvec.t -> bool
+(** True for any encoding with exponent 0 (flush-to-zero). *)
+
+(** {1 Conversion (for workloads and reporting)} *)
+
+val to_float : fmt -> Bitvec.t -> float
+val of_float : fmt -> float -> Bitvec.t
+(** Round-toward-zero conversion with flush-to-zero; saturates to infinity
+    beyond the format's range. *)
+
+(** {1 Operations} *)
+
+type op = Fadd | Fsub | Fmul | Fmin | Fmax | Feq | Flt | Fle
+
+val all_ops : op list
+val op_code : op -> int  (** 3-bit encoding *)
+
+val op_of_code : int -> op option
+val op_name : op -> string
+val op_of_name : string -> op option
+
+(** {1 Exception flags} *)
+
+type flags = { invalid : bool; overflow : bool; underflow : bool; inexact : bool }
+
+val no_flags : flags
+val flags_to_int : flags -> int
+(** Bit 0 invalid, 1 overflow, 2 underflow, 3 inexact — the layout of the
+    FPU's [flags] port. *)
+
+val flags_of_int : int -> flags
+val flags_union : flags -> flags -> flags
+val pp_flags : Format.formatter -> flags -> unit

@@ -1,0 +1,166 @@
+module F = Fpu_format
+
+let mask n = (1 lsl n) - 1
+
+(* Unpacked view: sign, biased exponent, significand with hidden bit. *)
+type unpacked = { s : bool; e : int; sig_ : int }
+
+let unpack f v =
+  let m = f.F.man_bits in
+  { s = F.sign_of f v; e = F.exp_of f v; sig_ = (1 lsl m) lor F.man_of f v }
+
+let result ?(invalid = false) ?(overflow = false) ?(underflow = false) ?(inexact = false) v =
+  (v, { F.invalid; overflow; underflow; inexact })
+
+(* Pack a result exponent/significand; handles over/underflow. *)
+let pack_result f ~sign ~e_res ~man ~inexact =
+  if e_res >= F.exp_max f then
+    result ~overflow:true ~inexact:true (F.infinity f ~sign)
+  else if e_res <= 0 then result ~underflow:true ~inexact:true (F.zero f ~sign)
+  else result ~inexact (F.pack f ~sign ~exp:e_res ~man)
+
+let add_core f a b ~negate_b =
+  let m = f.F.man_bits in
+  let a_nan = F.is_nan f a and b_nan = F.is_nan f b in
+  let a_inf = F.is_inf f a and b_inf = F.is_inf f b in
+  let a_zero = F.is_zero f a and b_zero = F.is_zero f b in
+  let sa = F.sign_of f a in
+  let sb = F.sign_of f b <> negate_b in
+  if a_nan || b_nan then result ~invalid:true (F.qnan f)
+  else if a_inf && b_inf && sa <> sb then result ~invalid:true (F.qnan f)
+  else if a_inf then result (F.infinity f ~sign:sa)
+  else if b_inf then result (F.infinity f ~sign:sb)
+  else if a_zero && b_zero then result (F.zero f ~sign:(sa && sb))
+  else if a_zero then result (F.pack f ~sign:sb ~exp:(F.exp_of f b) ~man:(F.man_of f b))
+  else if b_zero then result (F.pack f ~sign:sa ~exp:(F.exp_of f a) ~man:(F.man_of f a))
+  else begin
+    let ua = unpack f a and ub = unpack f b in
+    let ua = { ua with s = sa } and ub = { ub with s = sb } in
+    let key u = (u.e lsl m) lor (u.sig_ land mask m) in
+    let x, y = if key ua >= key ub then (ua, ub) else (ub, ua) in
+    let d = x.e - y.e in
+    let x3 = x.sig_ lsl 3 in
+    let y3 =
+      if d <= m + 3 then begin
+        let shifted = (y.sig_ lsl 3) lsr d in
+        let sticky = (y.sig_ lsl 3) land mask d <> 0 in
+        shifted lor if sticky then 1 else 0
+      end
+      else if y.sig_ <> 0 then 1
+      else 0
+    in
+    if x.s = y.s then begin
+      let s = x3 + y3 in
+      let s, e_adj =
+        if s >= 1 lsl (m + 4) then (((s lsr 1) lor (s land 1)), 1) else (s, 0)
+      in
+      let e_res = x.e + e_adj in
+      pack_result f ~sign:x.s ~e_res ~man:((s lsr 3) land mask m) ~inexact:(s land 7 <> 0)
+    end
+    else begin
+      let s = x3 - y3 in
+      if s = 0 then result (F.zero f ~sign:false)
+      else begin
+        (* normalize: bring the leading 1 to bit m+3 *)
+        let rec lead i = if s land (1 lsl i) <> 0 then i else lead (i - 1) in
+        let shift = m + 3 - lead (m + 3) in
+        let s = s lsl shift in
+        let e_res = x.e - shift in
+        pack_result f ~sign:x.s ~e_res ~man:((s lsr 3) land mask m) ~inexact:(s land 7 <> 0)
+      end
+    end
+  end
+
+let add f a b = add_core f a b ~negate_b:false
+let sub f a b = add_core f a b ~negate_b:true
+
+let mul f a b =
+  let m = f.F.man_bits in
+  let a_nan = F.is_nan f a and b_nan = F.is_nan f b in
+  let a_inf = F.is_inf f a and b_inf = F.is_inf f b in
+  let a_zero = F.is_zero f a and b_zero = F.is_zero f b in
+  let rsign = F.sign_of f a <> F.sign_of f b in
+  if a_nan || b_nan then result ~invalid:true (F.qnan f)
+  else if (a_inf && b_zero) || (b_inf && a_zero) then result ~invalid:true (F.qnan f)
+  else if a_inf || b_inf then result (F.infinity f ~sign:rsign)
+  else if a_zero || b_zero then result (F.zero f ~sign:rsign)
+  else begin
+    let ua = unpack f a and ub = unpack f b in
+    let p = ua.sig_ * ub.sig_ in
+    let e_base = ua.e + ub.e - F.bias f in
+    if p >= 1 lsl ((2 * m) + 1) then
+      pack_result f ~sign:rsign ~e_res:(e_base + 1)
+        ~man:((p lsr (m + 1)) land mask m)
+        ~inexact:(p land mask (m + 1) <> 0)
+    else
+      pack_result f ~sign:rsign ~e_res:e_base
+        ~man:((p lsr m) land mask m)
+        ~inexact:(p land mask m <> 0)
+  end
+
+let eq f a b =
+  if F.is_nan f a || F.is_nan f b then (false, F.no_flags)
+  else if F.is_zero f a && F.is_zero f b then (true, F.no_flags)
+  else (Bitvec.equal a b, F.no_flags)
+
+let lt f a b =
+  if F.is_nan f a || F.is_nan f b then
+    (false, { F.no_flags with F.invalid = true })
+  else begin
+    let m = f.F.man_bits in
+    let key v = if F.is_zero f v then 0 else (F.exp_of f v lsl m) lor F.man_of f v in
+    let ka = key a and kb = key b in
+    let sa = F.sign_of f a and sb = F.sign_of f b in
+    let r =
+      if ka = 0 && kb = 0 then false
+      else if sa && not sb then true
+      else if (not sa) && sb then false
+      else if not sa then ka < kb
+      else kb < ka
+    in
+    (r, F.no_flags)
+  end
+
+let le f a b =
+  if F.is_nan f a || F.is_nan f b then
+    (false, { F.no_flags with F.invalid = true })
+  else begin
+    let l, _ = lt f a b and e, _ = eq f a b in
+    (l || e, F.no_flags)
+  end
+
+let minmax f a b ~want_min =
+  let a_nan = F.is_nan f a and b_nan = F.is_nan f b in
+  if a_nan && b_nan then result (F.qnan f)
+  else if a_nan then result b
+  else if b_nan then result a
+  else begin
+    let lab, _ = lt f a b and lba, _ = lt f b a in
+    let sa = F.sign_of f a in
+    let v =
+      if lab then if want_min then a else b
+      else if lba then if want_min then b else a
+      else if
+        (* equal (including -0/+0): the negative-signed one is the min *)
+        want_min
+      then if sa then a else b
+      else if sa then b else a
+    in
+    result v
+  end
+
+let min_f f a b = minmax f a b ~want_min:true
+let max_f f a b = minmax f a b ~want_min:false
+
+let apply f op a b =
+  let w = F.width f in
+  let of_bool (r, fl) = ((if r then Bitvec.one w else Bitvec.zero w), fl) in
+  match op with
+  | F.Fadd -> add f a b
+  | F.Fsub -> sub f a b
+  | F.Fmul -> mul f a b
+  | F.Fmin -> min_f f a b
+  | F.Fmax -> max_f f a b
+  | F.Feq -> of_bool (eq f a b)
+  | F.Flt -> of_bool (lt f a b)
+  | F.Fle -> of_bool (le f a b)

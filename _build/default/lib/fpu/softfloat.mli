@@ -1,0 +1,28 @@
+(** Golden (reference) software floating-point model.
+
+    Implements exactly the semantics of the gate-level FPU — flush-to-zero,
+    round-toward-zero with guard/round/sticky accounting for the inexact
+    flag, canonical quiet NaNs — using plain integer arithmetic.  This is
+    the model the instruction-set simulator uses for expected-value
+    computation during Instruction Construction, and the oracle against
+    which the gate-level datapath is tested (exhaustively on
+    {!Fpu_format.tiny}). *)
+
+val add : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+val sub : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+val mul : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+val min_f : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+val max_f : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+
+val eq : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> bool * Fpu_format.flags
+(** Quiet comparison: NaN operands give false without raising invalid. *)
+
+val lt : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> bool * Fpu_format.flags
+(** Signaling: NaN operands give false and raise invalid. *)
+
+val le : Fpu_format.fmt -> Bitvec.t -> Bitvec.t -> bool * Fpu_format.flags
+
+val apply :
+  Fpu_format.fmt -> Fpu_format.op -> Bitvec.t -> Bitvec.t -> Bitvec.t * Fpu_format.flags
+(** Dispatch on the op code; comparison results are 0/1 in the format's
+    full width (as on the FPU's result port). *)

@@ -1,0 +1,251 @@
+module B = Netlist.Builder
+
+type ctx = {
+  b : B.t;
+  mutable c_tie0 : Netlist.net option;
+  mutable c_tie1 : Netlist.net option;
+}
+
+type wire = Netlist.net
+type vec = wire array
+
+let create name = { b = B.create name; c_tie0 = None; c_tie1 = None }
+let finish c = B.finish c.b
+let builder c = c.b
+
+let input c name width = B.add_input c.b name width
+let output c name v = B.add_output c.b name v
+
+let tie0 c =
+  match c.c_tie0 with
+  | Some n -> n
+  | None ->
+    let n = B.add_cell ~name:"_tie0" c.b Cell.Kind.Tie0 [||] in
+    c.c_tie0 <- Some n;
+    n
+
+let tie1 c =
+  match c.c_tie1 with
+  | Some n -> n
+  | None ->
+    let n = B.add_cell ~name:"_tie1" c.b Cell.Kind.Tie1 [||] in
+    c.c_tie1 <- Some n;
+    n
+
+let const_vec c ~width v =
+  Array.init width (fun i -> if v land (1 lsl i) <> 0 then tie1 c else tie0 c)
+
+let gate1 c kind a = B.add_cell c.b kind [| a |]
+let gate2 c kind a b = B.add_cell c.b kind [| a; b |]
+
+let not_ c a = gate1 c Cell.Kind.Not a
+let buf c a = gate1 c Cell.Kind.Buf a
+let and_ c a b = gate2 c Cell.Kind.And2 a b
+let or_ c a b = gate2 c Cell.Kind.Or2 a b
+let xor_ c a b = gate2 c Cell.Kind.Xor2 a b
+let nand_ c a b = gate2 c Cell.Kind.Nand2 a b
+let nor_ c a b = gate2 c Cell.Kind.Nor2 a b
+let xnor_ c a b = gate2 c Cell.Kind.Xnor2 a b
+
+let mux c ~sel ~if0 ~if1 = B.add_cell c.b Cell.Kind.Mux2 [| if0; if1; sel |]
+
+let check_same_width name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Hw.%s: width mismatch (%d vs %d)" name (Array.length a)
+         (Array.length b))
+
+let not_vec c v = Array.map (not_ c) v
+let map2 c f a b = Array.init (Array.length a) (fun i -> f c a.(i) b.(i))
+
+let and_vec c a b = check_same_width "and_vec" a b; map2 c and_ a b
+let or_vec c a b = check_same_width "or_vec" a b; map2 c or_ a b
+let xor_vec c a b = check_same_width "xor_vec" a b; map2 c xor_ a b
+
+let mux_vec c ~sel ~if0 ~if1 =
+  check_same_width "mux_vec" if0 if1;
+  Array.init (Array.length if0) (fun i -> mux c ~sel ~if0:if0.(i) ~if1:if1.(i))
+
+let reduce c op v =
+  if Array.length v = 0 then invalid_arg "Hw.reduce: empty vector";
+  let rec go = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      (* balanced: combine adjacent pairs *)
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: tl -> op c x y :: pair tl
+      in
+      go (pair xs)
+  in
+  go (Array.to_list v)
+
+let reduce_and c v = reduce c and_ v
+let reduce_or c v = reduce c or_ v
+let reduce_xor c v = reduce c xor_ v
+
+let is_zero c v = not_ c (reduce_or c v)
+let equal_vec c a b = check_same_width "equal_vec" a b; is_zero c (xor_vec c a b)
+
+let reg c ?name ?(domain = 0) ?(reset = false) d =
+  B.add_cell ?name ~clock_domain:domain ~reset_value:reset c.b Cell.Kind.Dff [| d |]
+
+let reg_vec c ?prefix ?(domain = 0) v =
+  Array.mapi
+    (fun i d ->
+      let name = Option.map (fun p -> Printf.sprintf "%s%d" p i) prefix in
+      reg c ?name ~domain d)
+    v
+
+let full_adder c a b cin =
+  let axb = xor_ c a b in
+  let sum = xor_ c axb cin in
+  let carry = or_ c (and_ c a b) (and_ c axb cin) in
+  (sum, carry)
+
+let ripple_add c a b ~cin =
+  check_same_width "ripple_add" a b;
+  let n = Array.length a in
+  let sum = Array.make n cin in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, co = full_adder c a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := co
+  done;
+  (sum, !carry)
+
+(* Carry-select adder: blocks of [block] bits computed twice (carry-in 0
+   and 1), the late carry picking the right sum with a mux - the classic
+   trade of area for a shorter critical path. *)
+let carry_select_add c ?(block = 4) a b ~cin =
+  check_same_width "carry_select_add" a b;
+  let n = Array.length a in
+  if block < 1 then invalid_arg "Hw.carry_select_add: block must be positive";
+  let sum = Array.make n cin in
+  let carry = ref cin in
+  let pos = ref 0 in
+  while !pos < n do
+    let width = min block (n - !pos) in
+    let ablk = Array.sub a !pos width and bblk = Array.sub b !pos width in
+    if !pos = 0 then begin
+      (* first block: plain ripple from the real carry-in *)
+      let s, co = ripple_add c ablk bblk ~cin:!carry in
+      Array.blit s 0 sum !pos width;
+      carry := co
+    end
+    else begin
+      let s0, c0 = ripple_add c ablk bblk ~cin:(tie0 c) in
+      let s1, c1 = ripple_add c ablk bblk ~cin:(tie1 c) in
+      let sel = !carry in
+      let s = mux_vec c ~sel ~if0:s0 ~if1:s1 in
+      Array.blit s 0 sum !pos width;
+      carry := mux c ~sel ~if0:c0 ~if1:c1
+    end;
+    pos := !pos + width
+  done;
+  (sum, !carry)
+
+let ripple_sub c a b =
+  let sum, carry = ripple_add c a (not_vec c b) ~cin:(tie1 c) in
+  (sum, carry)
+
+let ult c a b =
+  let _, not_borrow = ripple_sub c a b in
+  not_ c not_borrow
+
+let slt c a b =
+  check_same_width "slt" a b;
+  let n = Array.length a in
+  let sa = a.(n - 1) and sb = b.(n - 1) in
+  let unsigned_lt = ult c a b in
+  mux c ~sel:(xor_ c sa sb) ~if0:unsigned_lt ~if1:sa
+
+let incr_vec c v =
+  let zero = Array.map (fun _ -> tie0 c) v in
+  fst (ripple_add c v zero ~cin:(tie1 c))
+
+(* Logarithmic barrel shifter.  [fill] provides the bit shifted in. *)
+let barrel_right c v ~amount ~fill =
+  let n = Array.length v in
+  let stages = Array.length amount in
+  let cur = ref v in
+  for i = 0 to stages - 1 do
+    let sh = 1 lsl i in
+    let shifted =
+      Array.init n (fun j -> if sh < n && j + sh < n then !cur.(j + sh) else fill)
+    in
+    (* when sh >= n every bit becomes fill *)
+    let shifted = if sh >= n then Array.make n fill else shifted in
+    cur := mux_vec c ~sel:amount.(i) ~if0:!cur ~if1:shifted
+  done;
+  !cur
+
+let shift_right_logical c v ~amount = barrel_right c v ~amount ~fill:(tie0 c)
+
+let shift_right_arith c v ~amount =
+  let n = Array.length v in
+  barrel_right c v ~amount ~fill:v.(n - 1)
+
+let shift_left c v ~amount =
+  let n = Array.length v in
+  let stages = Array.length amount in
+  let cur = ref v in
+  for i = 0 to stages - 1 do
+    let sh = 1 lsl i in
+    let shifted =
+      if sh >= n then Array.make n (tie0 c)
+      else Array.init n (fun j -> if j - sh >= 0 then !cur.(j - sh) else tie0 c)
+    in
+    cur := mux_vec c ~sel:amount.(i) ~if0:!cur ~if1:shifted
+  done;
+  !cur
+
+let onehot_decode c sel =
+  let n = Array.length sel in
+  let count = 1 lsl n in
+  Array.init count (fun k ->
+      let terms =
+        Array.init n (fun i -> if k land (1 lsl i) <> 0 then sel.(i) else not_ c sel.(i))
+      in
+      reduce_and c terms)
+
+let rec mux_tree c ~sel cases =
+  match cases with
+  | [] -> invalid_arg "Hw.mux_tree: no cases"
+  | first :: rest ->
+    List.iter (check_same_width "mux_tree" first) rest;
+    if Array.length sel = 0 then first
+    else begin
+      let s0 = sel.(0) in
+      let rest_sel = Array.sub sel 1 (Array.length sel - 1) in
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | x :: y :: tl -> mux_vec c ~sel:s0 ~if0:x ~if1:y :: pair tl
+      in
+      mux_tree c ~sel:rest_sel (pair cases)
+    end
+
+let leading_zero_count c v =
+  let n = Array.length v in
+  let bits_needed =
+    let rec go k = if 1 lsl k > n then k else go (k + 1) in
+    go 1
+  in
+  (* prefix-OR from the MSB down: seen.(i) = v[n-1] | ... | v[i] *)
+  let seen = Array.make n (tie0 c) in
+  seen.(n - 1) <- buf c v.(n - 1);
+  for i = n - 2 downto 0 do
+    seen.(i) <- or_ c seen.(i + 1) v.(i)
+  done;
+  (* count positions (from the top) still unseen *)
+  let count = ref (Array.init bits_needed (fun _ -> tie0 c)) in
+  for i = n - 1 downto 0 do
+    let zero = Array.map (fun _ -> tie0 c) !count in
+    let bumped, _ = ripple_add c !count zero ~cin:(not_ c seen.(i)) in
+    count := bumped
+  done;
+  !count

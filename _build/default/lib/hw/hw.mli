@@ -1,0 +1,121 @@
+(** A hardware-construction DSL over the netlist builder.
+
+    This is the synthesis substitute: instead of compiling Verilog through a
+    commercial flow, datapaths are described as OCaml combinators that
+    elaborate directly into standard-cell netlists — wires are nets, vectors
+    are LSB-first wire arrays, and every combinator instantiates real gates.
+    The ALU and FPU generators are written against this module, which makes
+    their netlists structurally honest: ripple-carry chains, barrel
+    shifters, mux trees, array multipliers and leading-zero counters all
+    appear as the cell-level structures an actual synthesizer would emit. *)
+
+type ctx
+type wire = Netlist.net
+type vec = wire array  (** LSB first *)
+
+val create : string -> ctx
+val finish : ctx -> Netlist.t
+val builder : ctx -> Netlist.Builder.t
+
+(** {1 Ports} *)
+
+val input : ctx -> string -> int -> vec
+val output : ctx -> string -> vec -> unit
+
+(** {1 Constants} *)
+
+val tie0 : ctx -> wire
+(** The constant-0 wire (one shared cell per context). *)
+
+val tie1 : ctx -> wire
+val const_vec : ctx -> width:int -> int -> vec
+
+(** {1 Gates} *)
+
+val not_ : ctx -> wire -> wire
+val buf : ctx -> wire -> wire
+val and_ : ctx -> wire -> wire -> wire
+val or_ : ctx -> wire -> wire -> wire
+val xor_ : ctx -> wire -> wire -> wire
+val nand_ : ctx -> wire -> wire -> wire
+val nor_ : ctx -> wire -> wire -> wire
+val xnor_ : ctx -> wire -> wire -> wire
+
+val mux : ctx -> sel:wire -> if0:wire -> if1:wire -> wire
+(** 2-way mux: [sel] picks [if1], otherwise [if0]. *)
+
+(** {1 Vector operations} *)
+
+val not_vec : ctx -> vec -> vec
+val and_vec : ctx -> vec -> vec -> vec
+val or_vec : ctx -> vec -> vec -> vec
+val xor_vec : ctx -> vec -> vec -> vec
+val mux_vec : ctx -> sel:wire -> if0:vec -> if1:vec -> vec
+
+val reduce_and : ctx -> vec -> wire
+(** Balanced AND tree.  @raise Invalid_argument on an empty vector. *)
+
+val reduce_or : ctx -> vec -> wire
+val reduce_xor : ctx -> vec -> wire
+
+val is_zero : ctx -> vec -> wire
+val equal_vec : ctx -> vec -> vec -> wire
+
+(** {1 Registers} *)
+
+val reg : ctx -> ?name:string -> ?domain:int -> ?reset:bool -> wire -> wire
+val reg_vec : ctx -> ?prefix:string -> ?domain:int -> vec -> vec
+(** Register every bit; with [prefix], bits are named ["prefix<i>"]. *)
+
+(** {1 Arithmetic} *)
+
+val full_adder : ctx -> wire -> wire -> wire -> wire * wire
+(** [full_adder c a b cin] is (sum, carry-out): two XORs, two ANDs, an OR. *)
+
+val ripple_add : ctx -> vec -> vec -> cin:wire -> vec * wire
+(** Ripple-carry addition; returns (sum, carry-out).
+    @raise Invalid_argument on width mismatch. *)
+
+val carry_select_add : ctx -> ?block:int -> vec -> vec -> cin:wire -> vec * wire
+(** Carry-select addition: each [block]-bit segment (default 4) is computed
+    for both possible carry-ins and the arriving carry selects — more area,
+    a much shorter carry-critical path than {!ripple_add}.  Functionally
+    identical to ripple addition (the test suite proves it with the formal
+    equivalence checker). *)
+
+val ripple_sub : ctx -> vec -> vec -> vec * wire
+(** [a - b] as [a + ~b + 1]; the carry-out is the NOT-borrow. *)
+
+val ult : ctx -> vec -> vec -> wire
+(** Unsigned a < b (borrow of the subtraction). *)
+
+val slt : ctx -> vec -> vec -> wire
+(** Signed a < b. *)
+
+val incr_vec : ctx -> vec -> vec
+
+(** {1 Shifters} *)
+
+val shift_right_logical : ctx -> vec -> amount:vec -> vec
+(** Logarithmic barrel shifter; [amount] wider than needed saturates to
+    zero output (every bit shifted out). *)
+
+val shift_left : ctx -> vec -> amount:vec -> vec
+val shift_right_arith : ctx -> vec -> amount:vec -> vec
+
+(** {1 Selection} *)
+
+val onehot_decode : ctx -> vec -> vec
+(** [n]-bit selector to [2^n] one-hot wires. *)
+
+val mux_tree : ctx -> sel:vec -> vec list -> vec
+(** Select among [2^(width sel)] equal-width vectors (missing tail cases
+    read as the last provided vector).
+    @raise Invalid_argument when the list is empty or widths differ. *)
+
+(** {1 Priority logic} *)
+
+val leading_zero_count : ctx -> vec -> vec
+(** Number of zero bits above the most-significant 1, as a
+    [ceil(log2 (n+1))]-bit vector; equals [n] when the input is all-zero.
+    Built as a priority chain (MSB first). *)

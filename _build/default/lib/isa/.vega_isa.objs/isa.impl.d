@@ -1,0 +1,1 @@
+lib/isa/isa.ml: Alu Array Buffer Format Fpu_format Hashtbl List Printf

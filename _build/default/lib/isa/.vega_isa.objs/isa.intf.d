@@ -1,0 +1,1 @@
+lib/isa/isa.mli: Alu Format Fpu_format

@@ -1,0 +1,1 @@
+lib/isa/rv32_encode.ml: Alu Array Fpu_format Isa List Printf String

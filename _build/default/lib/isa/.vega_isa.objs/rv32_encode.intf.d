@@ -1,0 +1,1 @@
+lib/isa/rv32_encode.mli: Isa

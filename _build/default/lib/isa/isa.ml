@@ -1,0 +1,160 @@
+type reg = int
+type freg = int
+type label = string
+
+type instr =
+  | Li of reg * int
+  | Alu of Alu.op * reg * reg * reg
+  | Alui of Alu.op * reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Beq of reg * reg * label
+  | Bne of reg * reg * label
+  | Blt of reg * reg * label
+  | Bge of reg * reg * label
+  | Bltu of reg * reg * label
+  | Bgeu of reg * reg * label
+  | Jal of reg * label
+  | Jalr of reg * reg
+  | Fop of Fpu_format.op * freg * freg * freg
+  | Fcmp of Fpu_format.op * reg * freg * freg
+  | Flw of freg * reg * int
+  | Fsw of freg * reg * int
+  | Fmv_wx of freg * reg
+  | Fmv_xw of reg * freg
+  | Csr_fflags of reg
+  | Ecall of int
+  | Label of label
+  | Nop
+
+let exit_ok = 0
+let exit_sdc = 1
+
+type program = {
+  instrs : instr array;
+  label_index : (string * int) list;
+  source_map : int array;
+}
+
+let is_cmp_op = function
+  | Fpu_format.Feq | Fpu_format.Flt | Fpu_format.Fle -> true
+  | Fpu_format.Fadd | Fpu_format.Fsub | Fpu_format.Fmul | Fpu_format.Fmin | Fpu_format.Fmax ->
+    false
+
+let validate_instr pos i =
+  let err fmt = Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "Isa.assemble: instruction %d: %s" pos s)) fmt in
+  let reg_ok what r = if r < 0 || r > 31 then err "%s register %d out of range" what r in
+  match i with
+  | Li (rd, _) -> reg_ok "dest" rd
+  | Alu (_, rd, r1, r2) -> reg_ok "dest" rd; reg_ok "src1" r1; reg_ok "src2" r2
+  | Alui (_, rd, r1, _) -> reg_ok "dest" rd; reg_ok "src1" r1
+  | Lw (rd, base, _) -> reg_ok "dest" rd; reg_ok "base" base
+  | Sw (rs, base, _) -> reg_ok "src" rs; reg_ok "base" base
+  | Beq (a, b, _) | Bne (a, b, _) | Blt (a, b, _) | Bge (a, b, _) | Bltu (a, b, _)
+  | Bgeu (a, b, _) ->
+    reg_ok "src1" a; reg_ok "src2" b
+  | Jal (rd, _) -> reg_ok "dest" rd
+  | Jalr (rd, rs) -> reg_ok "dest" rd; reg_ok "src" rs
+  | Fop (op, fd, f1, f2) ->
+    if is_cmp_op op then err "Fop used with comparison %s (use Fcmp)" (Fpu_format.op_name op);
+    reg_ok "fdest" fd; reg_ok "fsrc1" f1; reg_ok "fsrc2" f2
+  | Fcmp (op, rd, f1, f2) ->
+    if not (is_cmp_op op) then err "Fcmp used with arithmetic %s (use Fop)" (Fpu_format.op_name op);
+    reg_ok "dest" rd; reg_ok "fsrc1" f1; reg_ok "fsrc2" f2
+  | Flw (fd, base, _) -> reg_ok "fdest" fd; reg_ok "base" base
+  | Fsw (fs, base, _) -> reg_ok "fsrc" fs; reg_ok "base" base
+  | Fmv_wx (fd, rs) -> reg_ok "fdest" fd; reg_ok "src" rs
+  | Fmv_xw (rd, fs) -> reg_ok "dest" rd; reg_ok "fsrc" fs
+  | Csr_fflags rd -> reg_ok "dest" rd
+  | Ecall _ | Label _ | Nop -> ()
+
+let branch_target = function
+  | Beq (_, _, l) | Bne (_, _, l) | Blt (_, _, l) | Bge (_, _, l) | Bltu (_, _, l)
+  | Bgeu (_, _, l) | Jal (_, l) ->
+    Some l
+  | _ -> None
+
+let assemble source =
+  List.iteri validate_instr source;
+  let labels = Hashtbl.create 16 in
+  let count = ref 0 in
+  List.iter
+    (fun i ->
+      match i with
+      | Label l ->
+        if Hashtbl.mem labels l then
+          invalid_arg (Printf.sprintf "Isa.assemble: duplicate label %s" l);
+        Hashtbl.replace labels l !count
+      | _ -> incr count)
+    source;
+  let instrs = Array.make !count Nop in
+  let source_map = Array.make !count 0 in
+  let idx = ref 0 in
+  List.iteri
+    (fun pos i ->
+      match i with
+      | Label _ -> ()
+      | _ ->
+        instrs.(!idx) <- i;
+        source_map.(!idx) <- pos;
+        incr idx)
+    source;
+  Array.iter
+    (fun i ->
+      match branch_target i with
+      | Some l when not (Hashtbl.mem labels l) ->
+        invalid_arg (Printf.sprintf "Isa.assemble: undefined label %s" l)
+      | _ -> ())
+    instrs;
+  {
+    instrs;
+    label_index = Hashtbl.fold (fun l i acc -> (l, i) :: acc) labels [];
+    source_map;
+  }
+
+let label_address p l = List.assoc l p.label_index
+let length p = Array.length p.instrs
+
+let pp_instr fmt i =
+  let p f = Format.fprintf fmt f in
+  match i with
+  | Li (rd, v) -> p "li x%d, %d" rd v
+  | Alu (op, rd, r1, r2) -> p "%s x%d, x%d, x%d" (Alu.op_name op) rd r1 r2
+  | Alui (op, rd, r1, v) -> p "%si x%d, x%d, %d" (Alu.op_name op) rd r1 v
+  | Lw (rd, base, off) -> p "lw x%d, %d(x%d)" rd off base
+  | Sw (rs, base, off) -> p "sw x%d, %d(x%d)" rs off base
+  | Beq (a, b, l) -> p "beq x%d, x%d, %s" a b l
+  | Bne (a, b, l) -> p "bne x%d, x%d, %s" a b l
+  | Blt (a, b, l) -> p "blt x%d, x%d, %s" a b l
+  | Bge (a, b, l) -> p "bge x%d, x%d, %s" a b l
+  | Bltu (a, b, l) -> p "bltu x%d, x%d, %s" a b l
+  | Bgeu (a, b, l) -> p "bgeu x%d, x%d, %s" a b l
+  | Jal (rd, l) -> p "jal x%d, %s" rd l
+  | Jalr (rd, rs) -> p "jalr x%d, x%d" rd rs
+  | Fop (op, fd, f1, f2) -> p "%s f%d, f%d, f%d" (Fpu_format.op_name op) fd f1 f2
+  | Fcmp (op, rd, f1, f2) -> p "%s x%d, f%d, f%d" (Fpu_format.op_name op) rd f1 f2
+  | Flw (fd, base, off) -> p "flw f%d, %d(x%d)" fd off base
+  | Fsw (fs, base, off) -> p "fsw f%d, %d(x%d)" fs off base
+  | Fmv_wx (fd, rs) -> p "fmv.w.x f%d, x%d" fd rs
+  | Fmv_xw (rd, fs) -> p "fmv.x.w x%d, f%d" rd fs
+  | Csr_fflags rd -> p "csrrc x%d, fflags" rd
+  | Ecall code -> p "ecall %d" code
+  | Label l -> p "%s:" l
+  | Nop -> p "nop"
+
+let to_asm_text p =
+  let buf = Buffer.create 1024 in
+  let labels_at = Hashtbl.create 16 in
+  List.iter (fun (l, i) -> Hashtbl.add labels_at i l) p.label_index;
+  Array.iteri
+    (fun i instr ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%s:\n" l))
+        (Hashtbl.find_all labels_at i);
+      Buffer.add_string buf (Format.asprintf "  %a\n" pp_instr instr))
+    p.instrs;
+  (* labels pointing past the last instruction *)
+  List.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%s:\n" l))
+    (Hashtbl.find_all labels_at (Array.length p.instrs));
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** The RV32-style instruction set of the simulated CPU.
+
+    A compact subset sufficient for the embench-like workloads and the
+    Vega-generated test cases: integer ALU register/immediate forms (backed
+    by the gate-level {!Alu} opcodes), word loads/stores, branches, jumps,
+    the floating-point operations of the {!Fpu}, float/int moves, the
+    [fflags] CSR, and an [ecall] used for program exit and SDC reporting.
+
+    Programs are written as instruction lists with symbolic labels and
+    assembled into dense arrays by {!assemble}. *)
+
+type reg = int  (** integer registers x0..x31; x0 reads as zero *)
+
+type freg = int  (** floating-point registers f0..f31 *)
+
+type label = string
+
+type instr =
+  | Li of reg * int  (** load immediate (pseudo-instruction) *)
+  | Alu of Alu.op * reg * reg * reg  (** rd, rs1, rs2 *)
+  | Alui of Alu.op * reg * reg * int  (** rd, rs1, immediate *)
+  | Lw of reg * reg * int  (** rd = mem[rs1 + off] *)
+  | Sw of reg * reg * int  (** mem[rs1 + off] = rs2 (operands: rs2, base, off) *)
+  | Beq of reg * reg * label
+  | Bne of reg * reg * label
+  | Blt of reg * reg * label  (** signed *)
+  | Bge of reg * reg * label
+  | Bltu of reg * reg * label
+  | Bgeu of reg * reg * label
+  | Jal of reg * label  (** rd = return index; jump to label *)
+  | Jalr of reg * reg  (** rd = return index; jump to address in rs *)
+  | Fop of Fpu_format.op * freg * freg * freg  (** arithmetic: fd, fs1, fs2 *)
+  | Fcmp of Fpu_format.op * reg * freg * freg  (** comparisons: rd, fs1, fs2 *)
+  | Flw of freg * reg * int
+  | Fsw of freg * reg * int  (** fs2, base, off *)
+  | Fmv_wx of freg * reg  (** bit move int -> float *)
+  | Fmv_xw of reg * freg
+  | Csr_fflags of reg  (** read the sticky FP flags into rd and clear them *)
+  | Ecall of int  (** environment call: 0 = exit ok, 1 = SDC detected *)
+  | Label of label  (** assembler pseudo *)
+  | Nop
+
+val exit_ok : int
+val exit_sdc : int
+
+type program = {
+  instrs : instr array;  (** labels removed *)
+  label_index : (string * int) list;  (** label -> instruction index *)
+  source_map : int array;  (** instruction index -> position in the input list *)
+}
+
+val assemble : instr list -> program
+(** Resolve labels and validate: register indices in range, branch targets
+    defined, [Fop] only used with arithmetic ops and [Fcmp] only with
+    comparisons.  @raise Invalid_argument with a diagnostic otherwise. *)
+
+val label_address : program -> label -> int
+(** @raise Not_found for an unknown label. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val to_asm_text : program -> string
+(** Assembly-style listing of the program. *)
+
+val length : program -> int

@@ -1,0 +1,327 @@
+type word = int
+
+exception Encode_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+let mask32 = 0xFFFFFFFF
+
+(* ---- field packers ---- *)
+
+let check_reg r = if r < 0 || r > 31 then err "register x%d out of range" r
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  check_reg rs2;
+  check_reg rs1;
+  check_reg rd;
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check_reg rs1;
+  check_reg rd;
+  if imm < -2048 || imm > 2047 then err "I-type immediate %d out of range" imm;
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  check_reg rs2;
+  check_reg rs1;
+  if imm < -2048 || imm > 2047 then err "S-type immediate %d out of range" imm;
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7)
+  lor opcode
+
+let b_type ~offset ~rs2 ~rs1 ~funct3 =
+  check_reg rs2;
+  check_reg rs1;
+  if offset < -4096 || offset > 4094 || offset land 1 <> 0 then
+    err "branch offset %d out of range" offset;
+  let imm = offset land 0x1FFF in
+  let bit n = (imm lsr n) land 1 in
+  (bit 12 lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (bit 11 lsl 7) lor 0x63
+
+let u_type ~imm20 ~rd ~opcode =
+  check_reg rd;
+  ((imm20 land 0xFFFFF) lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~offset ~rd =
+  check_reg rd;
+  if offset < -1048576 || offset > 1048574 || offset land 1 <> 0 then
+    err "jump offset %d out of range" offset;
+  let imm = offset land 0x1FFFFF in
+  let bit n = (imm lsr n) land 1 in
+  (bit 20 lsl 31)
+  lor (((imm lsr 1) land 0x3FF) lsl 21)
+  lor (bit 11 lsl 20)
+  lor (((imm lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor 0x6F
+
+(* ---- pseudo-expansion ---- *)
+
+let scratch = 31  (* assembler temporary, outside every register pool *)
+
+let li_words rd imm =
+  let imm = if imm land 0x80000000 <> 0 then imm lor (-1 lxor mask32) else imm in
+  (* normalize to a signed 32-bit value *)
+  let imm = ((imm land mask32) lxor 0x80000000) - 0x80000000 in
+  if imm >= -2048 && imm <= 2047 then [ i_type ~imm ~rs1:0 ~funct3:0 ~rd ~opcode:0x13 ]
+  else begin
+    let lo = ((imm land 0xFFF) lxor 0x800) - 0x800 in
+    let hi = (imm - lo) asr 12 in
+    let lui = u_type ~imm20:hi ~rd ~opcode:0x37 in
+    if lo = 0 then [ lui ] else [ lui; i_type ~imm:lo ~rs1:rd ~funct3:0 ~rd ~opcode:0x13 ]
+  end
+
+let alu_r op rd rs1 rs2 =
+  let funct3, funct7 =
+    match op with
+    | Alu.Add -> (0, 0x00)
+    | Alu.Sub -> (0, 0x20)
+    | Alu.Sll -> (1, 0x00)
+    | Alu.Slt -> (2, 0x00)
+    | Alu.Sltu -> (3, 0x00)
+    | Alu.Xor_op -> (4, 0x00)
+    | Alu.Srl -> (5, 0x00)
+    | Alu.Sra -> (5, 0x20)
+    | Alu.Or_op -> (6, 0x00)
+    | Alu.And_op -> (7, 0x00)
+  in
+  r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode:0x33
+
+let alu_i op rd rs1 imm =
+  match op with
+  | Alu.Add -> Some (i_type ~imm ~rs1 ~funct3:0 ~rd ~opcode:0x13)
+  | Alu.Sub when imm >= -2047 && imm <= 2048 ->
+    Some (i_type ~imm:(-imm) ~rs1 ~funct3:0 ~rd ~opcode:0x13)
+  | Alu.Slt -> Some (i_type ~imm ~rs1 ~funct3:2 ~rd ~opcode:0x13)
+  | Alu.Sltu -> Some (i_type ~imm ~rs1 ~funct3:3 ~rd ~opcode:0x13)
+  | Alu.Xor_op -> Some (i_type ~imm ~rs1 ~funct3:4 ~rd ~opcode:0x13)
+  | Alu.Or_op -> Some (i_type ~imm ~rs1 ~funct3:6 ~rd ~opcode:0x13)
+  | Alu.And_op -> Some (i_type ~imm ~rs1 ~funct3:7 ~rd ~opcode:0x13)
+  | Alu.Sll when imm >= 0 && imm <= 31 ->
+    Some (r_type ~funct7:0x00 ~rs2:imm ~rs1 ~funct3:1 ~rd ~opcode:0x13)
+  | Alu.Srl when imm >= 0 && imm <= 31 ->
+    Some (r_type ~funct7:0x00 ~rs2:imm ~rs1 ~funct3:5 ~rd ~opcode:0x13)
+  | Alu.Sra when imm >= 0 && imm <= 31 ->
+    Some (r_type ~funct7:0x20 ~rs2:imm ~rs1 ~funct3:5 ~rd ~opcode:0x13)
+  | _ -> None
+
+let fop_r op fd fs1 fs2 =
+  match op with
+  | Fpu_format.Fadd -> r_type ~funct7:0x00 ~rs2:fs2 ~rs1:fs1 ~funct3:0 ~rd:fd ~opcode:0x53
+  | Fpu_format.Fsub -> r_type ~funct7:0x04 ~rs2:fs2 ~rs1:fs1 ~funct3:0 ~rd:fd ~opcode:0x53
+  | Fpu_format.Fmul -> r_type ~funct7:0x08 ~rs2:fs2 ~rs1:fs1 ~funct3:0 ~rd:fd ~opcode:0x53
+  | Fpu_format.Fmin -> r_type ~funct7:0x14 ~rs2:fs2 ~rs1:fs1 ~funct3:0 ~rd:fd ~opcode:0x53
+  | Fpu_format.Fmax -> r_type ~funct7:0x14 ~rs2:fs2 ~rs1:fs1 ~funct3:1 ~rd:fd ~opcode:0x53
+  | Fpu_format.Feq | Fpu_format.Flt | Fpu_format.Fle -> assert false
+
+let fcmp_r op rd fs1 fs2 =
+  let funct3 =
+    match op with
+    | Fpu_format.Feq -> 2
+    | Fpu_format.Flt -> 1
+    | Fpu_format.Fle -> 0
+    | _ -> assert false
+  in
+  r_type ~funct7:0x50 ~rs2:fs2 ~rs1:fs1 ~funct3 ~rd ~opcode:0x53
+
+(* expansion items: encoded words, or control transfers pending layout *)
+type item =
+  | W of word
+  | Branch of int (* funct3 *) * int (* rs1 *) * int (* rs2 *) * string
+  | Jump of int (* rd *) * string
+
+(* Loads/stores: the ISS is word-addressed; bytes scale by 4. *)
+let mem_access ~make ~off =
+  let byte_off = off * 4 in
+  if byte_off >= -2048 && byte_off <= 2047 then make byte_off None
+  else
+    (* base+offset via the scratch register *)
+    make 0 (Some byte_off)
+
+let expand (i : Isa.instr) : item list =
+  match i with
+  | Isa.Li (rd, imm) -> List.map (fun w -> W w) (li_words rd imm)
+  | Isa.Alu (op, rd, r1, r2) -> [ W (alu_r op rd r1 r2) ]
+  | Isa.Alui (op, rd, r1, imm) -> (
+    match alu_i op rd r1 imm with
+    | Some w -> [ W w ]
+    | None ->
+      (* immediate out of range: materialize it and use the R-form *)
+      List.map (fun w -> W w) (li_words scratch imm) @ [ W (alu_r op rd r1 scratch) ])
+  | Isa.Lw (rd, base, off) ->
+    mem_access ~off ~make:(fun byte_off big ->
+        match big with
+        | None -> [ W (i_type ~imm:byte_off ~rs1:base ~funct3:2 ~rd ~opcode:0x03) ]
+        | Some total ->
+          List.map (fun w -> W w) (li_words scratch total)
+          @ [
+              W (alu_r Alu.Add scratch scratch base);
+              W (i_type ~imm:0 ~rs1:scratch ~funct3:2 ~rd ~opcode:0x03);
+            ])
+  | Isa.Sw (rs, base, off) ->
+    mem_access ~off ~make:(fun byte_off big ->
+        match big with
+        | None -> [ W (s_type ~imm:byte_off ~rs2:rs ~rs1:base ~funct3:2 ~opcode:0x23) ]
+        | Some total ->
+          List.map (fun w -> W w) (li_words scratch total)
+          @ [
+              W (alu_r Alu.Add scratch scratch base);
+              W (s_type ~imm:0 ~rs2:rs ~rs1:scratch ~funct3:2 ~opcode:0x23);
+            ])
+  | Isa.Beq (a, b, l) -> [ Branch (0, a, b, l) ]
+  | Isa.Bne (a, b, l) -> [ Branch (1, a, b, l) ]
+  | Isa.Blt (a, b, l) -> [ Branch (4, a, b, l) ]
+  | Isa.Bge (a, b, l) -> [ Branch (5, a, b, l) ]
+  | Isa.Bltu (a, b, l) -> [ Branch (6, a, b, l) ]
+  | Isa.Bgeu (a, b, l) -> [ Branch (7, a, b, l) ]
+  | Isa.Jal (rd, l) -> [ Jump (rd, l) ]
+  | Isa.Jalr (rd, rs) -> [ W (i_type ~imm:0 ~rs1:rs ~funct3:0 ~rd ~opcode:0x67) ]
+  | Isa.Fop (op, fd, f1, f2) -> [ W (fop_r op fd f1 f2) ]
+  | Isa.Fcmp (op, rd, f1, f2) -> [ W (fcmp_r op rd f1 f2) ]
+  | Isa.Flw (fd, base, off) ->
+    mem_access ~off ~make:(fun byte_off big ->
+        match big with
+        | None -> [ W (i_type ~imm:byte_off ~rs1:base ~funct3:2 ~rd:fd ~opcode:0x07) ]
+        | Some total ->
+          List.map (fun w -> W w) (li_words scratch total)
+          @ [
+              W (alu_r Alu.Add scratch scratch base);
+              W (i_type ~imm:0 ~rs1:scratch ~funct3:2 ~rd:fd ~opcode:0x07);
+            ])
+  | Isa.Fsw (fs, base, off) ->
+    mem_access ~off ~make:(fun byte_off big ->
+        match big with
+        | None -> [ W (s_type ~imm:byte_off ~rs2:fs ~rs1:base ~funct3:2 ~opcode:0x27) ]
+        | Some total ->
+          List.map (fun w -> W w) (li_words scratch total)
+          @ [
+              W (alu_r Alu.Add scratch scratch base);
+              W (s_type ~imm:0 ~rs2:fs ~rs1:scratch ~funct3:2 ~opcode:0x27);
+            ])
+  | Isa.Fmv_wx (fd, rs) -> [ W (r_type ~funct7:0x78 ~rs2:0 ~rs1:rs ~funct3:0 ~rd:fd ~opcode:0x53) ]
+  | Isa.Fmv_xw (rd, fs) -> [ W (r_type ~funct7:0x70 ~rs2:0 ~rs1:fs ~funct3:0 ~rd ~opcode:0x53) ]
+  | Isa.Csr_fflags rd -> [ W (i_type ~imm:0x001 ~rs1:0 ~funct3:1 ~rd ~opcode:0x73) ]
+  | Isa.Ecall code ->
+    [ W (i_type ~imm:code ~rs1:0 ~funct3:0 ~rd:17 ~opcode:0x13); W 0x00000073 ]
+  | Isa.Nop -> [ W (i_type ~imm:0 ~rs1:0 ~funct3:0 ~rd:0 ~opcode:0x13) ]
+  | Isa.Label _ -> []
+
+let encode (p : Isa.program) =
+  match
+    let expansions = Array.map expand p.Isa.instrs in
+    (* byte address of each source instruction *)
+    let addrs = Array.make (Array.length expansions + 1) 0 in
+    Array.iteri
+      (fun i items -> addrs.(i + 1) <- addrs.(i) + (4 * List.length items))
+      expansions;
+    let label_addr l =
+      let idx = Isa.label_address p l in
+      addrs.(idx)
+    in
+    let words = ref [] in
+    Array.iteri
+      (fun i items ->
+        let pc = ref addrs.(i) in
+        List.iter
+          (fun item ->
+            let w =
+              match item with
+              | W w -> w
+              | Branch (funct3, rs1, rs2, l) ->
+                b_type ~offset:(label_addr l - !pc) ~rs2 ~rs1 ~funct3
+              | Jump (rd, l) -> j_type ~offset:(label_addr l - !pc) ~rd
+            in
+            words := (w land mask32) :: !words;
+            pc := !pc + 4)
+          items)
+      expansions;
+    List.rev !words
+  with
+  | words -> Ok words
+  | exception Encode_error msg -> Error msg
+
+let encode_exn p =
+  match encode p with Ok w -> w | Error e -> invalid_arg ("Rv32_encode: " ^ e)
+
+let to_hex words =
+  String.concat "\n" (List.map (Printf.sprintf "%08x") words) ^ "\n"
+
+let disassemble_word w =
+  let opcode = w land 0x7F in
+  let rd = (w lsr 7) land 0x1F in
+  let funct3 = (w lsr 12) land 0x7 in
+  let rs1 = (w lsr 15) land 0x1F in
+  let rs2 = (w lsr 20) land 0x1F in
+  let funct7 = (w lsr 25) land 0x7F in
+  let imm_i = ((w asr 20) land 0xFFF lxor 0x800) - 0x800 in
+  match opcode with
+  | 0x33 -> (
+    let name =
+      match (funct3, funct7) with
+      | 0, 0x00 -> "add"
+      | 0, 0x20 -> "sub"
+      | 1, _ -> "sll"
+      | 2, _ -> "slt"
+      | 3, _ -> "sltu"
+      | 4, _ -> "xor"
+      | 5, 0x00 -> "srl"
+      | 5, 0x20 -> "sra"
+      | 6, _ -> "or"
+      | 7, _ -> "and"
+      | _ -> "?op"
+    in
+    Printf.sprintf "%s x%d, x%d, x%d" name rd rs1 rs2)
+  | 0x13 -> (
+    match funct3 with
+    | 0 -> Printf.sprintf "addi x%d, x%d, %d" rd rs1 imm_i
+    | 1 -> Printf.sprintf "slli x%d, x%d, %d" rd rs1 rs2
+    | 5 -> Printf.sprintf "%s x%d, x%d, %d" (if funct7 = 0x20 then "srai" else "srli") rd rs1 rs2
+    | 2 -> Printf.sprintf "slti x%d, x%d, %d" rd rs1 imm_i
+    | 3 -> Printf.sprintf "sltiu x%d, x%d, %d" rd rs1 imm_i
+    | 4 -> Printf.sprintf "xori x%d, x%d, %d" rd rs1 imm_i
+    | 6 -> Printf.sprintf "ori x%d, x%d, %d" rd rs1 imm_i
+    | 7 -> Printf.sprintf "andi x%d, x%d, %d" rd rs1 imm_i
+    | _ -> "?imm")
+  | 0x37 -> Printf.sprintf "lui x%d, 0x%x" rd ((w lsr 12) land 0xFFFFF)
+  | 0x03 -> Printf.sprintf "lw x%d, %d(x%d)" rd imm_i rs1
+  | 0x23 ->
+    let imm = ((funct7 lsl 5) lor rd lxor 0x800) - 0x800 in
+    Printf.sprintf "sw x%d, %d(x%d)" rs2 imm rs1
+  | 0x63 ->
+    let name =
+      match funct3 with
+      | 0 -> "beq"
+      | 1 -> "bne"
+      | 4 -> "blt"
+      | 5 -> "bge"
+      | 6 -> "bltu"
+      | 7 -> "bgeu"
+      | _ -> "?br"
+    in
+    Printf.sprintf "%s x%d, x%d, <offset>" name rs1 rs2
+  | 0x6F -> Printf.sprintf "jal x%d, <offset>" rd
+  | 0x67 -> Printf.sprintf "jalr x%d, %d(x%d)" rd imm_i rs1
+  | 0x07 -> Printf.sprintf "flw f%d, %d(x%d)" rd imm_i rs1
+  | 0x27 ->
+    let imm = ((funct7 lsl 5) lor rd lxor 0x800) - 0x800 in
+    Printf.sprintf "fsw f%d, %d(x%d)" rs2 imm rs1
+  | 0x53 -> (
+    match funct7 with
+    | 0x00 -> Printf.sprintf "fadd.s f%d, f%d, f%d" rd rs1 rs2
+    | 0x04 -> Printf.sprintf "fsub.s f%d, f%d, f%d" rd rs1 rs2
+    | 0x08 -> Printf.sprintf "fmul.s f%d, f%d, f%d" rd rs1 rs2
+    | 0x14 -> Printf.sprintf "%s f%d, f%d, f%d" (if funct3 = 1 then "fmax.s" else "fmin.s") rd rs1 rs2
+    | 0x50 ->
+      let name = match funct3 with 2 -> "feq.s" | 1 -> "flt.s" | 0 -> "fle.s" | _ -> "?fcmp" in
+      Printf.sprintf "%s x%d, f%d, f%d" name rd rs1 rs2
+    | 0x78 -> Printf.sprintf "fmv.w.x f%d, x%d" rd rs1
+    | 0x70 -> Printf.sprintf "fmv.x.w x%d, f%d" rd rs1
+    | _ -> "?fp")
+  | 0x73 -> if w = 0x73 then "ecall" else Printf.sprintf "csrrw x%d, 0x%03x, x%d" rd (imm_i land 0xFFF) rs1
+  | _ -> Printf.sprintf "?0x%08x" w

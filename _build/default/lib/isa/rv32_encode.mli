@@ -1,0 +1,35 @@
+(** RV32 machine-code encoding of {!Isa} programs.
+
+    Renders an assembled program into actual 32-bit RISC-V instruction
+    words (RV32I + F + Zicsr), the binary form in which generated test
+    cases would ship to real hardware.  Pseudo-instructions expand as a
+    RISC-V assembler would:
+
+    - [Li rd, imm] becomes [addi] alone or [lui + addi] (with the usual
+      sign-adjustment of the upper immediate);
+    - [Ecall code] becomes [addi a7, x0, code; ecall] (the code travels in
+      a7, Linux-style);
+    - [Csr_fflags rd] becomes [csrrw rd, fflags, x0] (atomic read-and-clear).
+
+    The ISS's word-addressed memory maps to byte addressing by scaling
+    load/store offsets by 4.  Branch and jump offsets resolve to byte
+    displacements over the expanded layout.
+
+    Limitations: [Li] immediates must fit 32 bits; branch displacements
+    must fit their encodings ({!encode} checks and reports). *)
+
+type word = int
+(** One little-endian 32-bit instruction word (value in [[0, 2^32)]). *)
+
+val encode : Isa.program -> (word list, string) result
+(** Encode the whole program; the entry instruction is at byte address 0. *)
+
+val encode_exn : Isa.program -> word list
+(** @raise Invalid_argument on encoding errors. *)
+
+val to_hex : word list -> string
+(** One 8-hex-digit word per line (Verilog [$readmemh] format). *)
+
+val disassemble_word : word -> string
+(** Best-effort mnemonic for an encoded word (for tests and debugging);
+    ["?"]-prefixed when unrecognized. *)

@@ -1,0 +1,476 @@
+type module_kind = Alu_module of { width : int } | Fpu_module of { fmt : Fpu_format.fmt }
+type target = { kind : module_kind; netlist : Netlist.t }
+
+let alu_target ?(width = 16) () = { kind = Alu_module { width }; netlist = Alu.netlist ~width () }
+
+let fpu_target ?(fmt = Fpu_format.binary16) () =
+  { kind = Fpu_module { fmt }; netlist = Fpu.netlist ~fmt () }
+
+let target_of_netlist kind netlist = { kind; netlist }
+
+type alu_step = { a_op : Alu.op; a_lhs : int; a_rhs : int; a_expected : int }
+
+type fpu_step = {
+  f_op : Fpu_format.op;
+  f_lhs : int;
+  f_rhs : int;
+  f_expected : int;
+  f_flags : Fpu_format.flags;
+}
+
+type body = Alu_test of alu_step list | Fpu_test of fpu_step list
+
+type test_case = {
+  tc_id : string;
+  tc_spec : Fault.spec;
+  tc_body : body;
+  tc_may_stall : bool;
+  tc_checks_flags : bool;
+}
+
+let steps tc = match tc.tc_body with Alu_test l -> List.length l | Fpu_test l -> List.length l
+
+type variant_outcome =
+  | Constructed of test_case
+  | Proved_unreachable
+  | Formal_timeout
+  | Conversion_failed
+
+type classification = S | UR | FF | FC
+
+let classification_name = function S -> "S" | UR -> "UR" | FF -> "FF" | FC -> "FC"
+
+type pair_result = {
+  start_dff : string;
+  end_dff : string;
+  violation : Fault.violation_kind;
+  variants : (Fault.spec * variant_outcome) list;
+  classification : classification;
+  cases : test_case list;
+}
+
+type config = { mitigation : bool; max_conflicts : int; max_cycles : int option }
+
+let default_config = { mitigation = false; max_conflicts = 200_000; max_cycles = None }
+
+let assumes_for target nl =
+  match target.kind with
+  | Alu_module _ -> [ Alu.valid_op_assume nl ]
+  | Fpu_module _ -> [ Formal.Input (Fpu.in_valid_port, 0) ]
+
+(* Which output-port bits diverge between original and shadow during the
+   trace, and at which cycles. *)
+let diff_bits (inst : Fault.instrumented) trace =
+  let nl = inst.Fault.netlist in
+  let sim = Sim.create nl in
+  let diffs = ref [] in
+  Formal.Trace.replay sim trace ~on_cycle:(fun cycle ->
+      List.iter
+        (fun (orig, shadow) ->
+          if Sim.net sim orig <> Sim.net sim shadow then
+            List.iter
+              (fun (port, bit) -> diffs := (port, bit, cycle) :: !diffs)
+              (Netlist.output_readers nl orig))
+        inst.Fault.shadow_of);
+  List.rev !diffs
+
+(* ---- per-module instruction-construction lookup tables ---- *)
+
+let alu_steps_of_trace ~width trace =
+  let n = trace.Formal.Trace.cycles in
+  List.init n (fun c ->
+      let opv = Formal.Trace.input_at trace Alu.op_port c in
+      let a = Formal.Trace.input_at trace Alu.a_port c in
+      let b = Formal.Trace.input_at trace Alu.b_port c in
+      let op =
+        match Alu.op_of_code (Bitvec.to_int opv) with
+        | Some op -> op
+        | None -> Alu.Add  (* unreachable under the valid-op assume *)
+      in
+      {
+        a_op = op;
+        a_lhs = Bitvec.to_int a;
+        a_rhs = Bitvec.to_int b;
+        a_expected = Bitvec.to_int (Alu.golden ~width op a b);
+      })
+
+let fpu_steps_of_trace ~fmt trace =
+  let n = trace.Formal.Trace.cycles in
+  List.init n (fun c ->
+      let opv = Formal.Trace.input_at trace Fpu.op_port c in
+      let a = Formal.Trace.input_at trace Fpu.a_port c in
+      let b = Formal.Trace.input_at trace Fpu.b_port c in
+      let op = Option.get (Fpu_format.op_of_code (Bitvec.to_int opv)) in
+      let r, fl = Softfloat.apply fmt op a b in
+      {
+        f_op = op;
+        f_lhs = Bitvec.to_int a;
+        f_rhs = Bitvec.to_int b;
+        f_expected = Bitvec.to_int r;
+        f_flags = fl;
+      })
+
+let sticky_flags steps =
+  List.fold_left (fun acc s -> Fpu_format.flags_union acc s.f_flags) Fpu_format.no_flags steps
+
+let convert target spec inst trace =
+  let diffs = diff_bits inst trace in
+  if diffs = [] then
+    (* the formal trace did not replay: should not happen (Trace.covers is
+       part of the engine's contract), treat as conversion failure *)
+    Conversion_failed
+  else begin
+    let tc_id = Fault.describe spec in
+    match target.kind with
+    | Alu_module { width } ->
+      Constructed
+        {
+          tc_id;
+          tc_spec = spec;
+          tc_body = Alu_test (alu_steps_of_trace ~width trace);
+          tc_may_stall = false;
+          tc_checks_flags = false;
+        }
+    | Fpu_module { fmt } ->
+      let steps = fpu_steps_of_trace ~fmt trace in
+      let ports = List.sort_uniq compare (List.map (fun (p, _, _) -> p) diffs) in
+      let only_flags = List.for_all (fun p -> String.equal p Fpu.flags_port) ports in
+      let has_valid = List.mem Fpu.valid_port ports in
+      let has_flags = List.mem Fpu.flags_port ports in
+      if only_flags then begin
+        (* sticky-contamination check: a corrupted flag bit that the test's
+           own golden operations raise anyway cannot be witnessed *)
+        let sticky = Fpu_format.flags_to_int (sticky_flags steps) in
+        let contaminated =
+          List.for_all
+            (fun (p, bit, _) -> (not (String.equal p Fpu.flags_port)) || sticky land (1 lsl bit) <> 0)
+            diffs
+        in
+        if contaminated then Conversion_failed
+        else
+          Constructed
+            {
+              tc_id;
+              tc_spec = spec;
+              tc_body = Fpu_test steps;
+              tc_may_stall = false;
+              tc_checks_flags = true;
+            }
+      end
+      else
+        Constructed
+          {
+            tc_id;
+            tc_spec = spec;
+            tc_body = Fpu_test steps;
+            tc_may_stall = has_valid;
+            tc_checks_flags = has_flags;
+          }
+  end
+
+let variants_of_config config violation start_dff end_dff =
+  let base constant activation =
+    { Fault.start_dff; end_dff; kind = violation; constant; activation }
+  in
+  if config.mitigation then
+    [
+      base Fault.C0 Fault.Rising_edge;
+      base Fault.C0 Fault.Falling_edge;
+      base Fault.C1 Fault.Rising_edge;
+      base Fault.C1 Fault.Falling_edge;
+    ]
+  else [ base Fault.C0 Fault.Any_transition; base Fault.C1 Fault.Any_transition ]
+
+let classify variants =
+  let outcomes = List.map snd variants in
+  if List.exists (function Constructed _ -> true | _ -> false) outcomes then S
+  else if List.for_all (function Proved_unreachable -> true | _ -> false) outcomes then UR
+  else if List.exists (function Formal_timeout -> true | _ -> false) outcomes then FF
+  else FC
+
+let lift_pair ?(config = default_config) target ~start_dff ~end_dff ~violation =
+  let variants = variants_of_config config violation start_dff end_dff in
+  let results =
+    List.map
+      (fun spec ->
+        let outcome =
+          match Fault.instrument_shadow target.netlist spec with
+          | exception Invalid_argument _ ->
+            (* the fault cannot influence any output: provably harmless *)
+            Proved_unreachable
+          | inst ->
+            let assumes = assumes_for target inst.Fault.netlist in
+            (match
+               Formal.check_cover ~assumes ?max_cycles:config.max_cycles
+                 ~max_conflicts:config.max_conflicts inst.Fault.netlist
+                 ~cover:inst.Fault.cover
+             with
+            | Formal.Trace_found trace -> convert target spec inst trace
+            | Formal.Unreachable -> Proved_unreachable
+            | Formal.Bounded_unreachable _ ->
+              (* feedback-free modules always get a completeness bound; a
+                 bounded result therefore only arises with an explicit
+                 max_cycles override, where it is not a proof *)
+              Formal_timeout
+            | Formal.Timeout -> Formal_timeout)
+        in
+        (spec, outcome))
+      variants
+  in
+  let cases =
+    List.filter_map (function _, Constructed tc -> Some tc | _ -> None) results
+  in
+  {
+    start_dff;
+    end_dff;
+    violation;
+    variants = results;
+    classification = classify results;
+    cases;
+  }
+
+(* ---- fuzzing-based trace generation (the paper's Section 6.3
+   alternative): random valid stimulus on the shadow-instrumented netlist,
+   with greedy trace shrinking ---- *)
+
+type fuzz_config = { budget_cycles : int; seed : int; fuzz_mitigation : bool }
+
+let default_fuzz_config = { budget_cycles = 2000; seed = 0xF022; fuzz_mitigation = false }
+
+let random_stimulus target rng nl =
+  List.filter_map
+    (fun (p : Netlist.port) ->
+      let width = Array.length p.Netlist.port_nets in
+      let v =
+        match target.kind with
+        | Alu_module _ when String.equal p.Netlist.port_name Alu.op_port ->
+          Alu.op_code (List.nth Alu.all_ops (Random.State.int rng (List.length Alu.all_ops)))
+        | Fpu_module _ when String.equal p.Netlist.port_name Fpu.in_valid_port -> 1
+        | _ ->
+          if width <= 30 then Random.State.int rng (1 lsl width)
+          else
+            (Random.State.bits rng lor (Random.State.bits rng lsl 30))
+            land ((1 lsl width) - 1)
+      in
+      ignore nl;
+      Some (p.Netlist.port_name, Bitvec.create ~width v))
+    (Netlist.inputs nl)
+
+let trace_of_history nl history =
+  (* history: newest first, each a (port, value) list *)
+  let cycles = List.length history in
+  let chron = List.rev history in
+  let ports = Netlist.inputs nl in
+  {
+    Formal.Trace.netlist_name = Netlist.name nl;
+    cycles;
+    inputs =
+      List.map
+        (fun (p : Netlist.port) ->
+          ( p.Netlist.port_name,
+            Array.of_list (List.map (fun cyc -> List.assoc p.Netlist.port_name cyc) chron) ))
+        ports;
+    observed = [];
+  }
+
+let drop_cycle trace k =
+  {
+    trace with
+    Formal.Trace.cycles = trace.Formal.Trace.cycles - 1;
+    inputs =
+      List.map
+        (fun (port, arr) ->
+          ( port,
+            Array.of_list
+              (List.filteri (fun i _ -> i <> k) (Array.to_list arr)) ))
+        trace.Formal.Trace.inputs;
+  }
+
+let shrink_trace nl cover trace =
+  (* greedy one-pass delta reduction: try removing each cycle, earliest
+     first, keeping the trace covering *)
+  let rec pass t k =
+    if t.Formal.Trace.cycles <= 1 || k >= t.Formal.Trace.cycles then t
+    else begin
+      let candidate = drop_cycle t k in
+      if Formal.Trace.covers nl candidate cover then pass candidate k else pass t (k + 1)
+    end
+  in
+  pass trace 0
+
+let fuzz_variant target spec fuzz =
+  match Fault.instrument_shadow target.netlist spec with
+  | exception Invalid_argument _ -> Proved_unreachable
+  | inst ->
+    let nl = inst.Fault.netlist in
+    let rng = Random.State.make [| fuzz.seed |] in
+    let sim = Sim.create nl in
+    let rec hunt cycle history =
+      if cycle >= fuzz.budget_cycles then Formal_timeout
+      else begin
+        let stim = random_stimulus target rng nl in
+        List.iter (fun (port, v) -> Sim.set_input sim port v) stim;
+        Sim.settle sim;
+        let history = stim :: history in
+        if Formal.eval_expr sim inst.Fault.cover then begin
+          let trace = trace_of_history nl history in
+          let trace = shrink_trace nl inst.Fault.cover trace in
+          convert target spec inst trace
+        end
+        else begin
+          Sim.step sim;
+          hunt (cycle + 1) history
+        end
+      end
+    in
+    hunt 0 []
+
+let fuzz_pair ?(fuzz = default_fuzz_config) target ~start_dff ~end_dff ~violation =
+  let config =
+    { default_config with mitigation = fuzz.fuzz_mitigation }
+  in
+  let variants = variants_of_config config violation start_dff end_dff in
+  let results = List.map (fun spec -> (spec, fuzz_variant target spec fuzz)) variants in
+  let cases = List.filter_map (function _, Constructed tc -> Some tc | _ -> None) results in
+  {
+    start_dff;
+    end_dff;
+    violation;
+    variants = results;
+    classification = classify results;
+    cases;
+  }
+
+let lift_violating_pairs ?config target pairs =
+  (* keep the worst slack per (start, end, check) and lift each *)
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun (start, Sta.At_dff end_id, check, _slack) ->
+      match start with
+      | Sta.From_input _ -> None
+      | Sta.From_dff start_id ->
+        let key = (start_id, end_id, check) in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.replace seen key ();
+          let start_dff = (Netlist.cell target.netlist start_id).Netlist.name in
+          let end_dff = (Netlist.cell target.netlist end_id).Netlist.name in
+          let violation =
+            match check with
+            | Sta.Setup -> Fault.Setup_violation
+            | Sta.Hold -> Fault.Hold_violation
+          in
+          Some (lift_pair ?config target ~start_dff ~end_dff ~violation)
+        end)
+    pairs
+
+let lift_paths ?config target paths =
+  let pairs = Sta.unique_pairs paths in
+  List.filter_map
+    (fun ((start, Sta.At_dff end_id), (path : Sta.path)) ->
+      match start with
+      | Sta.From_input _ -> None
+      | Sta.From_dff start_id ->
+        let start_dff = (Netlist.cell target.netlist start_id).Netlist.name in
+        let end_dff = (Netlist.cell target.netlist end_id).Netlist.name in
+        let violation =
+          match path.Sta.check with
+          | Sta.Setup -> Fault.Setup_violation
+          | Sta.Hold -> Fault.Hold_violation
+        in
+        Some (lift_pair ?config target ~start_dff ~end_dff ~violation))
+    pairs
+
+(* ---- rendering ---- *)
+
+let case_instrs ~fail_label tc =
+  match tc.tc_body with
+  | Alu_test steps ->
+    let n = List.length steps in
+    if n > 20 then invalid_arg "Lift.case_instrs: test case too long";
+    let ops =
+      List.concat (List.mapi
+        (fun i s ->
+          [
+            Isa.Li (5, s.a_lhs);
+            Isa.Li (6, s.a_rhs);
+            Isa.Alu (s.a_op, 8 + i, 5, 6);
+          ])
+        steps)
+    in
+    let checks =
+      List.concat (List.mapi
+        (fun i s -> [ Isa.Li (7, s.a_expected); Isa.Bne (8 + i, 7, fail_label) ])
+        steps)
+    in
+    ops @ checks
+  | Fpu_test steps ->
+    let n = List.length steps in
+    if n > 20 then invalid_arg "Lift.case_instrs: test case too long";
+    let clear = if tc.tc_checks_flags then [ Isa.Csr_fflags 0 ] else [] in
+    let ops =
+      List.concat (List.mapi
+        (fun i s ->
+          [ Isa.Li (5, s.f_lhs); Isa.Li (6, s.f_rhs); Isa.Fmv_wx (0, 5); Isa.Fmv_wx (1, 6) ]
+          @
+          match s.f_op with
+          | Fpu_format.Feq | Fpu_format.Flt | Fpu_format.Fle ->
+            [ Isa.Fcmp (s.f_op, 8 + i, 0, 1) ]
+          | Fpu_format.Fadd | Fpu_format.Fsub | Fpu_format.Fmul | Fpu_format.Fmin
+          | Fpu_format.Fmax ->
+            [ Isa.Fop (s.f_op, 2 + i, 0, 1) ])
+        steps)
+    in
+    let checks =
+      List.concat (List.mapi
+        (fun i s ->
+          match s.f_op with
+          | Fpu_format.Feq | Fpu_format.Flt | Fpu_format.Fle ->
+            [ Isa.Li (7, s.f_expected land 1); Isa.Bne (8 + i, 7, fail_label) ]
+          | Fpu_format.Fadd | Fpu_format.Fsub | Fpu_format.Fmul | Fpu_format.Fmin
+          | Fpu_format.Fmax ->
+            [
+              Isa.Fmv_xw (5, 2 + i);
+              Isa.Li (7, s.f_expected);
+              Isa.Bne (5, 7, fail_label);
+            ])
+        steps)
+    in
+    let flag_check =
+      if tc.tc_checks_flags then begin
+        match tc.tc_body with
+        | Fpu_test steps ->
+          [
+            Isa.Csr_fflags 9;
+            Isa.Li (10, Fpu_format.flags_to_int (sticky_flags steps));
+            Isa.Bne (9, 10, fail_label);
+          ]
+        | Alu_test _ -> []
+      end
+      else []
+    in
+    clear @ ops @ checks @ flag_check
+
+type suite = { suite_target : module_kind; suite_cases : test_case list }
+
+let suite_of_results suite_target results =
+  { suite_target; suite_cases = List.concat_map (fun r -> r.cases) results }
+
+let reorder order cases =
+  match order with
+  | None -> cases
+  | Some order ->
+    let arr = Array.of_list cases in
+    if List.length order <> Array.length arr then
+      invalid_arg "Lift: order length does not match the suite";
+    List.map (fun i -> arr.(i)) order
+
+let suite_instrs ?order ?(label_prefix = "") ~fail_label suite =
+  ignore label_prefix;
+  List.concat_map (case_instrs ~fail_label) (reorder order suite.suite_cases)
+
+let suite_program ?order suite =
+  let fail_label = "__vega_fail" in
+  Isa.assemble
+    (suite_instrs ?order ~fail_label suite
+    @ [ Isa.Ecall Isa.exit_ok; Isa.Label fail_label; Isa.Ecall Isa.exit_sdc ])

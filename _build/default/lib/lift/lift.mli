@@ -1,0 +1,155 @@
+(** Error Lifting: from aging-prone paths to software test cases
+    (the paper's phase two, Sections 3.3.3–3.3.5).
+
+    For a violating (startpoint, endpoint) register pair in the ALU or FPU,
+    the lifter instruments the failure model and shadow replica
+    ({!Fault.instrument_shadow}), runs the formal engine on the cover
+    property, and translates each returned module-level waveform into a
+    sequence of instructions — one operation per trace cycle, with golden
+    expected results attached — via the per-module lookup tables that embody
+    the "expert knowledge of the CPU's microarchitecture".
+
+    Outcomes reproduce the paper's Table 4 taxonomy:
+    - [S]: at least one executable test case was constructed;
+    - [UR]: every variant was formally proven unable to cause an
+      observable error (including faults that cannot reach any output);
+    - [FF]: the formal tool exhausted its conflict budget;
+    - [FC]: a waveform exists but is not convertible — the only observable
+      divergence is a sticky status flag that the test's own earlier
+      operations already raise, so no comparison can witness it
+      (Section 5.2.2's FPU-only failure mode).
+
+    Without the §3.3.4 mitigation, up to two variants are explored per pair
+    (C = 0 and C = 1); with it, up to four (C x rising/falling edge). *)
+
+type module_kind = Alu_module of { width : int } | Fpu_module of { fmt : Fpu_format.fmt }
+
+type target = { kind : module_kind; netlist : Netlist.t }
+
+val alu_target : ?width:int -> unit -> target
+val fpu_target : ?fmt:Fpu_format.fmt -> unit -> target
+val target_of_netlist : module_kind -> Netlist.t -> target
+(** Wrap an existing (e.g. profiled) netlist of the right shape. *)
+
+(** One operation of a test case, with its golden expectation. *)
+type alu_step = { a_op : Alu.op; a_lhs : int; a_rhs : int; a_expected : int }
+
+type fpu_step = {
+  f_op : Fpu_format.op;
+  f_lhs : int;
+  f_rhs : int;
+  f_expected : int;
+  f_flags : Fpu_format.flags;
+}
+
+type body = Alu_test of alu_step list | Fpu_test of fpu_step list
+
+type test_case = {
+  tc_id : string;
+  tc_spec : Fault.spec;
+  tc_body : body;
+  tc_may_stall : bool;
+      (** the covered divergence includes the valid handshake: detection
+          manifests as a CPU stall rather than a wrong value *)
+  tc_checks_flags : bool;  (** the test compares the accumulated fflags CSR *)
+}
+
+val steps : test_case -> int
+
+type variant_outcome =
+  | Constructed of test_case
+  | Proved_unreachable
+  | Formal_timeout
+  | Conversion_failed
+
+type classification = S | UR | FF | FC
+
+val classification_name : classification -> string
+
+type pair_result = {
+  start_dff : string;
+  end_dff : string;
+  violation : Fault.violation_kind;
+  variants : (Fault.spec * variant_outcome) list;
+  classification : classification;
+  cases : test_case list;
+}
+
+type config = {
+  mitigation : bool;  (** §3.3.4: edge-restricted activation variants *)
+  max_conflicts : int;  (** formal budget per variant (the "FF" knob) *)
+  max_cycles : int option;  (** BMC bound override *)
+}
+
+val default_config : config
+(** mitigation off, 200_000 conflicts, automatic bound. *)
+
+val lift_pair :
+  ?config:config ->
+  target ->
+  start_dff:string ->
+  end_dff:string ->
+  violation:Fault.violation_kind ->
+  pair_result
+(** Run Error Lifting for one unique endpoint pair. *)
+
+(** {1 Fuzzing-based generation (the paper's §6.3 alternative)} *)
+
+type fuzz_config = {
+  budget_cycles : int;  (** random-stimulus budget per variant *)
+  seed : int;
+  fuzz_mitigation : bool;
+}
+
+val default_fuzz_config : fuzz_config
+(** 2000 cycles, mitigation off. *)
+
+val fuzz_pair :
+  ?fuzz:fuzz_config ->
+  target ->
+  start_dff:string ->
+  end_dff:string ->
+  violation:Fault.violation_kind ->
+  pair_result
+(** Like {!lift_pair} but with random valid stimulus on the
+    shadow-instrumented netlist instead of formal search, followed by a
+    greedy trace shrink.  Fuzzing can never prove unreachability: a pair
+    whose faults cannot influence any output still classifies [UR], but an
+    exhausted budget classifies [FF] even when a formal proof would say
+    [UR] — exactly the fuzzing/formal trade-off the paper discusses. *)
+
+val lift_violating_pairs :
+  ?config:config ->
+  target ->
+  (Sta.startpoint * Sta.endpoint * Sta.check * float) list ->
+  pair_result list
+(** Lift each unique violating register pair from {!Sta.violating_pairs}
+    (input-launched entries are skipped: they have no register
+    startpoint). *)
+
+val lift_paths : ?config:config -> target -> Sta.path list -> pair_result list
+(** Filter violating paths to unique (startpoint, endpoint) pairs (keeping
+    the worst) and lift each.  Paths launched by primary inputs are skipped
+    (they have no register startpoint). *)
+
+(** {1 Rendering to instructions} *)
+
+val case_instrs : fail_label:string -> test_case -> Isa.instr list
+(** Instruction sequence for one test case: load operands, execute the
+    steps back to back, then compare every result (and, when
+    [tc_checks_flags], the accumulated fflags CSR) against the golden
+    expectations, branching to [fail_label] on mismatch.  Uses registers
+    x5-x31 / f0-f31; the caller provides the fail label. *)
+
+type suite = { suite_target : module_kind; suite_cases : test_case list }
+
+val suite_of_results : module_kind -> pair_result list -> suite
+
+val suite_program : ?order:int list -> suite -> Isa.program
+(** A standalone program running the whole suite (optionally in a custom
+    order), exiting with {!Isa.exit_ok} or, on any detection,
+    {!Isa.exit_sdc}. *)
+
+val suite_instrs : ?order:int list -> ?label_prefix:string -> fail_label:string -> suite -> Isa.instr list
+(** The suite as an embeddable instruction block (no ecalls), for Test
+    Integration. *)

@@ -1,0 +1,98 @@
+(** The instruction-set simulator (ISS) of the analyzed CPU.
+
+    Executes {!Isa.program}s on a machine whose ALU and FPU are pluggable:
+
+    - *functional* backends compute with the golden models ({!Alu.golden},
+      {!Softfloat}) — the reference CPU;
+    - *netlist* backends drive gate-level netlists (healthy or
+      fault-instrumented) through the {!Sim} simulator, exactly as the
+      paper swaps the placed-and-routed ALU/FPU into the Verilator model.
+
+    Netlist units are modeled as genuine 2-stage pipelines with interlocks:
+    issuing an operation steps the netlist once (retiring the previous
+    operation at the same clock edge), and a bubble is inserted only on a
+    register hazard or when a non-unit instruction needs the result.  This
+    preserves the cycle-adjacent input transitions that Eq. (2)/(3) failure
+    models key on, so generated test cases observe faults just as they
+    would on real pipelined hardware.  A watchdog detects the
+    valid-handshake stalls of Table 6's "S" outcomes.
+
+    Cycle accounting uses a fixed per-instruction cost model (independent
+    of backend) so that overhead comparisons are deterministic. *)
+
+type alu_backend = Alu_functional | Alu_netlist of Netlist.t
+type fpu_backend = Fpu_functional | Fpu_netlist of Netlist.t
+
+type config = {
+  width : int;  (** integer register width; must match the ALU netlist *)
+  fmt : Fpu_format.fmt;  (** FP format; width must not exceed [width] *)
+  mem_words : int;
+  fpu_watchdog : int;
+      (** extra cycles to wait for the FPU valid handshake before declaring
+          a stall *)
+  rng_seed : int;  (** drives the [c_fault] port of C_random failing netlists *)
+}
+
+val default_config : config
+(** width 16, binary16, 4096 memory words, watchdog 64. *)
+
+type outcome =
+  | Exited of int  (** [Ecall code] reached *)
+  | Stalled  (** FPU handshake never became valid (watchdog expired) *)
+  | Out_of_fuel  (** instruction budget exhausted *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type t
+
+val create : ?config:config -> ?profile_units:bool -> alu:alu_backend -> fpu:fpu_backend -> unit -> t
+(** @raise Invalid_argument if a netlist backend's ports do not match the
+    configured width/format.  With [profile_units], netlist units carry
+    signal-probability counters (see {!alu_sim}/{!fpu_sim}) — the
+    Signal Probability Simulation hookup of phase one. *)
+
+val config : t -> config
+
+val reset : t -> unit
+(** Clear registers, memory, flags, cycle counters, and reset the netlist
+    units. *)
+
+val run : ?max_instructions:int -> ?on_instr:(int -> unit) -> t -> Isa.program -> outcome
+(** Reset-free execution from instruction 0 (call {!reset} first for a cold
+    start); [max_instructions] defaults to 1_000_000.  [on_instr] observes
+    every executed instruction index (the hook behind basic-block
+    profiling). *)
+
+val cycles : t -> int
+val instructions_retired : t -> int
+
+(** Retired-instruction mix, for workload characterization (which
+    operations the representative workload exercises — the context behind
+    a unit's SP profile). *)
+type op_stats = {
+  alu_ops : (Alu.op * int) list;  (** only ops that occurred *)
+  fpu_ops : (Fpu_format.op * int) list;
+  loads : int;
+  stores : int;
+  branches : int;
+  branches_taken : int;
+  jumps : int;
+  moves : int;
+  other : int;
+}
+
+val op_stats : t -> op_stats
+
+val reg : t -> int -> Bitvec.t
+val set_reg : t -> int -> Bitvec.t -> unit
+val freg : t -> int -> Bitvec.t
+val set_freg : t -> int -> Bitvec.t -> unit
+val fflags : t -> Fpu_format.flags
+val mem : t -> int -> Bitvec.t
+val set_mem : t -> int -> Bitvec.t -> unit
+
+val alu_sim : t -> Sim.t option
+(** The gate-level simulator behind a netlist ALU backend (for SP
+    profiling); [None] for the functional backend. *)
+
+val fpu_sim : t -> Sim.t option

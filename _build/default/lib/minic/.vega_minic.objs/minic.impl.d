@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Alu Bitvec Fpu_format Hashtbl Isa List Printf String

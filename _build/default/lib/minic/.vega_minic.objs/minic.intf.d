@@ -1,0 +1,1 @@
+lib/minic/minic.mli: Fpu_format Isa

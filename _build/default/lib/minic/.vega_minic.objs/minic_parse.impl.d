@@ -1,0 +1,1 @@
+lib/minic/minic_parse.ml: List Minic Option Printf Result String

@@ -1,0 +1,1 @@
+lib/minic/minic_parse.mli: Minic

@@ -1,0 +1,1 @@
+lib/minic/minic_pp.mli: Minic

@@ -1,0 +1,896 @@
+type typ = Tint | Tfloat
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bult | Buge
+  | Bland | Blor
+
+type unop = Uneg | Unot
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of typ * string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+
+type global =
+  | Gint of string * int
+  | Gfloat of string * float
+  | Gint_array of string * int list
+  | Gfloat_array of string * float list
+
+type func = {
+  fname : string;
+  params : (typ * string) list;
+  ret : typ option;
+  body : stmt list;
+}
+
+type program = { globals : global list; funcs : func list }
+
+type block_info = { bb_label : string; bb_func : string; bb_static_size : int }
+
+type compiled = {
+  code : Isa.instr list;
+  blocks : block_info list;
+  globals_base : int;
+  fmt : Fpu_format.fmt;
+}
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* ---------------------------------------------------------------- *)
+(* Runtime library: multiply / divide / float-divide, in Mini-C.     *)
+(* ---------------------------------------------------------------- *)
+
+let runtime_funcs ~width ~fmt =
+  let m = fmt.Fpu_format.man_bits in
+  let bias = Fpu_format.bias fmt in
+  let fpw = Fpu_format.width fmt in
+  let sign_mask = 1 lsl (fpw - 1) in
+  let mag_mask = sign_mask - 1 in
+  let recip_magic = 2 * bias lsl m in
+  let min_normal = 1 lsl m in
+  [
+    {
+      fname = "__mul";
+      params = [ (Tint, "a"); (Tint, "b") ];
+      ret = Some Tint;
+      body =
+        [
+          Decl (Tint, "r", Int 0);
+          While
+            ( Binop (Bne, Var "b", Int 0),
+              [
+                If
+                  ( Binop (Bne, Binop (Band, Var "b", Int 1), Int 0),
+                    [ Assign ("r", Binop (Badd, Var "r", Var "a")) ],
+                    [] );
+                Assign ("a", Binop (Bshl, Var "a", Int 1));
+                Assign ("b", Binop (Bshr, Var "b", Int 1));
+              ] );
+          Return (Some (Var "r"));
+        ];
+    };
+    {
+      fname = "__divu";
+      params = [ (Tint, "a"); (Tint, "b") ];
+      ret = Some Tint;
+      body =
+        [
+          Decl (Tint, "q", Int 0);
+          Decl (Tint, "i", Int (width - 1));
+          If (Binop (Beq, Var "b", Int 0), [ Return (Some (Int 0)) ], []);
+          While
+            ( Binop (Bge, Var "i", Int 0),
+              [
+                If
+                  ( Binop (Buge, Binop (Bshr, Var "a", Var "i"), Var "b"),
+                    [
+                      Assign ("a", Binop (Bsub, Var "a", Binop (Bshl, Var "b", Var "i")));
+                      Assign ("q", Binop (Bor, Var "q", Binop (Bshl, Int 1, Var "i")));
+                    ],
+                    [] );
+                Assign ("i", Binop (Bsub, Var "i", Int 1));
+              ] );
+          Return (Some (Var "q"));
+        ];
+    };
+    {
+      fname = "__div";
+      params = [ (Tint, "a"); (Tint, "b") ];
+      ret = Some Tint;
+      body =
+        [
+          Decl (Tint, "neg", Int 0);
+          If
+            ( Binop (Blt, Var "a", Int 0),
+              [ Assign ("a", Binop (Bsub, Int 0, Var "a")); Assign ("neg", Binop (Bxor, Var "neg", Int 1)) ],
+              [] );
+          If
+            ( Binop (Blt, Var "b", Int 0),
+              [ Assign ("b", Binop (Bsub, Int 0, Var "b")); Assign ("neg", Binop (Bxor, Var "neg", Int 1)) ],
+              [] );
+          Decl (Tint, "q", Call ("__divu", [ Var "a"; Var "b" ]));
+          If (Binop (Bne, Var "neg", Int 0), [ Return (Some (Binop (Bsub, Int 0, Var "q"))) ], []);
+          Return (Some (Var "q"));
+        ];
+    };
+    {
+      fname = "__mod";
+      params = [ (Tint, "a"); (Tint, "b") ];
+      ret = Some Tint;
+      body =
+        [
+          Return
+            (Some
+               (Binop
+                  (Bsub, Var "a", Call ("__mul", [ Call ("__div", [ Var "a"; Var "b" ]); Var "b" ]))));
+        ];
+    };
+    {
+      fname = "__modu";
+      params = [ (Tint, "a"); (Tint, "b") ];
+      ret = Some Tint;
+      body =
+        [
+          Return
+            (Some
+               (Binop
+                  (Bsub, Var "a", Call ("__mul", [ Call ("__divu", [ Var "a"; Var "b" ]); Var "b" ]))));
+        ];
+    };
+    {
+      fname = "__fdiv";
+      params = [ (Tfloat, "a"); (Tfloat, "b") ];
+      ret = Some Tfloat;
+      body =
+        [
+          Decl (Tint, "bb", Call ("__bits", [ Var "b" ]));
+          Decl (Tint, "sign", Binop (Band, Var "bb", Int sign_mask));
+          Decl (Tint, "mag", Binop (Band, Var "bb", Int mag_mask));
+          Decl (Tint, "est", Binop (Bsub, Int recip_magic, Var "mag"));
+          If (Binop (Blt, Var "est", Int min_normal), [ Assign ("est", Int min_normal) ], []);
+          Decl (Tfloat, "x", Call ("__float", [ Var "est" ]));
+          Decl (Tfloat, "babs", Call ("__float", [ Var "mag" ]));
+          (* Newton-Raphson: x <- x * (2 - babs * x), four rounds *)
+          Assign ("x", Binop (Bmul, Var "x", Binop (Bsub, Float 2.0, Binop (Bmul, Var "babs", Var "x"))));
+          Assign ("x", Binop (Bmul, Var "x", Binop (Bsub, Float 2.0, Binop (Bmul, Var "babs", Var "x"))));
+          Assign ("x", Binop (Bmul, Var "x", Binop (Bsub, Float 2.0, Binop (Bmul, Var "babs", Var "x"))));
+          Assign ("x", Binop (Bmul, Var "x", Binop (Bsub, Float 2.0, Binop (Bmul, Var "babs", Var "x"))));
+          Decl (Tfloat, "r", Binop (Bmul, Var "a", Var "x"));
+          Return (Some (Call ("__float", [ Binop (Bxor, Call ("__bits", [ Var "r" ]), Var "sign") ])));
+        ];
+    };
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Code generation                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* register conventions *)
+let reg_ra = 1
+let reg_sp = 2
+let int_arg_regs = [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+let float_arg_regs = [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+let int_temp_pool = [ 5; 6; 7; 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 28 ]
+let float_temp_pool = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 18; 19; 20 ]
+
+(* memory layout *)
+let save_area_base = 0
+let counter_area_base = 16
+let globals_base = 32
+
+
+type gvar = { g_addr : int; g_typ : typ; g_len : int  (* 1 for scalars *) }
+
+type fsig = { s_params : typ list; s_ret : typ option }
+
+type cg = {
+  fmt : Fpu_format.fmt;
+  width : int;
+  mutable out : Isa.instr list;  (* reversed *)
+  globals : (string, gvar) Hashtbl.t;
+  sigs : (string, fsig) Hashtbl.t;
+  mutable label_counter : int;
+  (* per-function state *)
+  mutable locals : (string * (typ * int)) list;  (* name -> slot offset *)
+  mutable nlocals : int;
+  mutable max_locals : int;
+  mutable in_use_int : int list;
+  mutable in_use_float : int list;
+  mutable cur_func : string;
+  mutable ret_typ : typ option;
+  mutable loop_labels : (string * string) list;  (* (continue, break) stack *)
+}
+
+let emit cg i = cg.out <- i :: cg.out
+
+let fresh_label cg prefix =
+  cg.label_counter <- cg.label_counter + 1;
+  Printf.sprintf "__%s_%d_%s" prefix cg.label_counter cg.cur_func
+
+let alloc_int cg =
+  match List.find_opt (fun r -> not (List.mem r cg.in_use_int)) int_temp_pool with
+  | Some r ->
+    cg.in_use_int <- r :: cg.in_use_int;
+    r
+  | None -> error "expression too complex: out of integer temporaries in %s" cg.cur_func
+
+let alloc_float cg =
+  match List.find_opt (fun r -> not (List.mem r cg.in_use_float)) float_temp_pool with
+  | Some r ->
+    cg.in_use_float <- r :: cg.in_use_float;
+    r
+  | None -> error "expression too complex: out of float temporaries in %s" cg.cur_func
+
+let free_int cg r = cg.in_use_int <- List.filter (fun x -> x <> r) cg.in_use_int
+let free_float cg r = cg.in_use_float <- List.filter (fun x -> x <> r) cg.in_use_float
+
+(* frame layout: slot 0 = ra, slots 1..max_locals = locals, then spill *)
+let spill_int_slots = 16
+let spill_float_slots = 13
+
+let frame_size cg = 1 + cg.max_locals + spill_int_slots + spill_float_slots
+let spill_int_off cg i = 1 + cg.max_locals + i
+let spill_float_off cg i = 1 + cg.max_locals + spill_int_slots + i
+
+let add_local cg name typ =
+  if List.mem_assoc name cg.locals then error "duplicate variable %s in %s" name cg.cur_func;
+  cg.nlocals <- cg.nlocals + 1;
+  cg.max_locals <- max cg.max_locals cg.nlocals;
+  let slot = cg.nlocals in
+  cg.locals <- (name, (typ, slot)) :: cg.locals;
+  slot
+
+let lookup_var cg name =
+  match List.assoc_opt name cg.locals with
+  | Some (typ, slot) -> `Local (typ, slot)
+  | None -> (
+    match Hashtbl.find_opt cg.globals name with
+    | Some g when g.g_len = 1 -> `Global g
+    | Some _ -> error "array %s used without an index" name
+    | None -> error "unknown variable %s" name)
+
+let float_bits cg x = Bitvec.to_int (Fpu_format.of_float cg.fmt x)
+
+(* ---- expression codegen: returns (register, type); the register is a
+   fresh temporary owned by the caller ---- *)
+
+let is_cmp_fop = function Fpu_format.Feq | Fpu_format.Flt | Fpu_format.Fle -> true | _ -> false
+let _ = is_cmp_fop
+
+let rec gen_expr cg e : int * typ =
+  match e with
+  | Int v ->
+    let r = alloc_int cg in
+    emit cg (Isa.Li (r, v));
+    (r, Tint)
+  | Float x ->
+    let ri = alloc_int cg in
+    emit cg (Isa.Li (ri, float_bits cg x));
+    let rf = alloc_float cg in
+    emit cg (Isa.Fmv_wx (rf, ri));
+    free_int cg ri;
+    (rf, Tfloat)
+  | Var name -> (
+    match lookup_var cg name with
+    | `Local (Tint, slot) ->
+      let r = alloc_int cg in
+      emit cg (Isa.Lw (r, reg_sp, slot));
+      (r, Tint)
+    | `Local (Tfloat, slot) ->
+      let r = alloc_float cg in
+      emit cg (Isa.Flw (r, reg_sp, slot));
+      (r, Tfloat)
+    | `Global g ->
+      if g.g_typ = Tint then begin
+        let r = alloc_int cg in
+        emit cg (Isa.Lw (r, 0, g.g_addr));
+        (r, Tint)
+      end
+      else begin
+        let r = alloc_float cg in
+        emit cg (Isa.Flw (r, 0, g.g_addr));
+        (r, Tfloat)
+      end)
+  | Index (name, idx_e) -> (
+    match Hashtbl.find_opt cg.globals name with
+    | None -> error "unknown array %s" name
+    | Some g ->
+      let ri, ti = gen_expr cg idx_e in
+      if ti <> Tint then error "array index of %s must be an int" name;
+      emit cg (Isa.Alui (Alu.Add, ri, ri, g.g_addr));
+      let r =
+        if g.g_typ = Tint then begin
+          let r = alloc_int cg in
+          emit cg (Isa.Lw (r, ri, 0));
+          (r, Tint)
+        end
+        else begin
+          let r = alloc_float cg in
+          emit cg (Isa.Flw (r, ri, 0));
+          (r, Tfloat)
+        end
+      in
+      free_int cg ri;
+      r)
+  | Unop (Uneg, e1) -> (
+    let r1, t1 = gen_expr cg e1 in
+    match t1 with
+    | Tint ->
+      emit cg (Isa.Alu (Alu.Sub, r1, 0, r1));
+      (r1, Tint)
+    | Tfloat ->
+      let ri = alloc_int cg in
+      emit cg (Isa.Fmv_xw (ri, r1));
+      emit cg (Isa.Alui (Alu.Xor_op, ri, ri, 1 lsl (Fpu_format.width cg.fmt - 1)));
+      emit cg (Isa.Fmv_wx (r1, ri));
+      free_int cg ri;
+      (r1, Tfloat))
+  | Unop (Unot, e1) ->
+    let r1, t1 = gen_expr cg e1 in
+    if t1 <> Tint then error "! applied to a float";
+    (* r1 <- (r1 == 0) *)
+    emit cg (Isa.Alu (Alu.Sltu, r1, 0, r1));
+    emit cg (Isa.Alui (Alu.Xor_op, r1, r1, 1));
+    (r1, Tint)
+  | Binop (Bland, a, b) -> gen_short_circuit cg ~is_and:true a b
+  | Binop (Blor, a, b) -> gen_short_circuit cg ~is_and:false a b
+  | Binop (op, a, b) -> gen_binop cg op a b
+  | Call ("__bits", [ arg ]) ->
+    let rf, t = gen_expr cg arg in
+    if t <> Tfloat then error "__bits expects a float";
+    let ri = alloc_int cg in
+    emit cg (Isa.Fmv_xw (ri, rf));
+    free_float cg rf;
+    (ri, Tint)
+  | Call ("__float", [ arg ]) ->
+    let ri, t = gen_expr cg arg in
+    if t <> Tint then error "__float expects an int";
+    let rf = alloc_float cg in
+    emit cg (Isa.Fmv_wx (rf, ri));
+    free_int cg ri;
+    (rf, Tfloat)
+  | Call (fname, args) -> gen_call cg fname args
+
+and gen_short_circuit cg ~is_and a b =
+  let skip = fresh_label cg "sc" in
+  let ra, ta = gen_expr cg a in
+  if ta <> Tint then error "logical operator on float";
+  (* normalize to 0/1 *)
+  emit cg (Isa.Alu (Alu.Sltu, ra, 0, ra));
+  if is_and then emit cg (Isa.Beq (ra, 0, skip)) else emit cg (Isa.Bne (ra, 0, skip));
+  let rb, tb = gen_expr cg b in
+  if tb <> Tint then error "logical operator on float";
+  emit cg (Isa.Alu (Alu.Sltu, rb, 0, rb));
+  emit cg (Isa.Alu (Alu.Add, ra, rb, 0));
+  free_int cg rb;
+  emit cg (Isa.Label skip);
+  (ra, Tint)
+
+and gen_binop cg op a b =
+  (* runtime-routine lowerings first *)
+  let call2 fname = gen_call cg fname [ a; b ] in
+  let ta = infer cg a in
+  match (op, ta) with
+  | Bmul, Tint -> call2 "__mul"
+  | Bdiv, Tint -> call2 "__div"
+  | Bmod, Tint -> call2 "__mod"
+  | Bdiv, Tfloat -> call2 "__fdiv"
+  | Bmod, Tfloat -> error "%% applied to floats"
+  | _ ->
+    let ra, ta = gen_expr cg a in
+    let rb, tb = gen_expr cg b in
+    if ta <> tb then error "operand type mismatch";
+    (match ta with
+    | Tint ->
+      let simple k =
+        emit cg (Isa.Alu (k, ra, ra, rb));
+        free_int cg rb;
+        (ra, Tint)
+      in
+      let cmp_flip k flip =
+        (* k gives 0/1; flip xors the result *)
+        emit cg (Isa.Alu (k, ra, ra, rb));
+        if flip then emit cg (Isa.Alui (Alu.Xor_op, ra, ra, 1));
+        free_int cg rb;
+        (ra, Tint)
+      in
+      let cmp_swapped k flip =
+        emit cg (Isa.Alu (k, ra, rb, ra));
+        if flip then emit cg (Isa.Alui (Alu.Xor_op, ra, ra, 1));
+        free_int cg rb;
+        (ra, Tint)
+      in
+      (match op with
+      | Badd -> simple Alu.Add
+      | Bsub -> simple Alu.Sub
+      | Band -> simple Alu.And_op
+      | Bor -> simple Alu.Or_op
+      | Bxor -> simple Alu.Xor_op
+      | Bshl -> simple Alu.Sll
+      | Bshr -> simple Alu.Srl
+      | Blt -> cmp_flip Alu.Slt false
+      | Bge -> cmp_flip Alu.Slt true
+      | Bgt -> cmp_swapped Alu.Slt false
+      | Ble -> cmp_swapped Alu.Slt true
+      | Bult -> cmp_flip Alu.Sltu false
+      | Buge -> cmp_flip Alu.Sltu true
+      | Beq ->
+        emit cg (Isa.Alu (Alu.Sub, ra, ra, rb));
+        emit cg (Isa.Alu (Alu.Sltu, ra, 0, ra));
+        emit cg (Isa.Alui (Alu.Xor_op, ra, ra, 1));
+        free_int cg rb;
+        (ra, Tint)
+      | Bne ->
+        emit cg (Isa.Alu (Alu.Sub, ra, ra, rb));
+        emit cg (Isa.Alu (Alu.Sltu, ra, 0, ra));
+        free_int cg rb;
+        (ra, Tint)
+      | Bmul | Bdiv | Bmod | Bland | Blor -> assert false)
+    | Tfloat ->
+      let arith k =
+        emit cg (Isa.Fop (k, ra, ra, rb));
+        free_float cg rb;
+        (ra, Tfloat)
+      in
+      let cmp ?(swap = false) ?(flip = false) k =
+        let ri = alloc_int cg in
+        if swap then emit cg (Isa.Fcmp (k, ri, rb, ra)) else emit cg (Isa.Fcmp (k, ri, ra, rb));
+        if flip then emit cg (Isa.Alui (Alu.Xor_op, ri, ri, 1));
+        free_float cg ra;
+        free_float cg rb;
+        (ri, Tint)
+      in
+      (match op with
+      | Badd -> arith Fpu_format.Fadd
+      | Bsub -> arith Fpu_format.Fsub
+      | Bmul -> arith Fpu_format.Fmul
+      | Blt -> cmp Fpu_format.Flt
+      | Ble -> cmp Fpu_format.Fle
+      | Bgt -> cmp ~swap:true Fpu_format.Flt
+      | Bge -> cmp ~swap:true Fpu_format.Fle
+      | Beq -> cmp Fpu_format.Feq
+      | Bne -> cmp ~flip:true Fpu_format.Feq
+      | Band | Bor | Bxor | Bshl | Bshr | Bult | Buge -> error "bitwise operator on floats"
+      | Bdiv | Bmod | Bland | Blor -> assert false))
+
+(* quick type inference used only to route runtime lowerings *)
+and infer cg e : typ =
+  match e with
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Var name -> (
+    match List.assoc_opt name cg.locals with
+    | Some (t, _) -> t
+    | None -> (
+      match Hashtbl.find_opt cg.globals name with
+      | Some g -> g.g_typ
+      | None -> error "unknown variable %s" name))
+  | Index (name, _) -> (
+    match Hashtbl.find_opt cg.globals name with
+    | Some g -> g.g_typ
+    | None -> error "unknown array %s" name)
+  | Unop (_, e1) -> infer cg e1
+  | Binop ((Blt | Ble | Bgt | Bge | Beq | Bne | Bult | Buge | Bland | Blor), _, _) -> Tint
+  | Binop (_, a, _) -> infer cg a
+  | Call ("__bits", _) -> Tint
+  | Call ("__float", _) -> Tfloat
+  | Call (fname, _) -> (
+    match Hashtbl.find_opt cg.sigs fname with
+    | Some { s_ret = Some t; _ } -> t
+    | Some { s_ret = None; _ } -> error "void function %s used as a value" fname
+    | None -> error "unknown function %s" fname)
+
+and gen_call cg fname args =
+  let fsig =
+    match Hashtbl.find_opt cg.sigs fname with
+    | Some s -> s
+    | None -> error "unknown function %s" fname
+  in
+  if List.length args <> List.length fsig.s_params then
+    error "%s expects %d arguments, got %d" fname (List.length fsig.s_params) (List.length args);
+  (* evaluate arguments into temporaries *)
+  let arg_regs =
+    List.map2
+      (fun e expected ->
+        let r, t = gen_expr cg e in
+        if t <> expected then error "argument type mismatch in call to %s" fname;
+        (r, t))
+      args fsig.s_params
+  in
+  (* save caller's live temporaries (excluding the argument temps) *)
+  let arg_ints = List.filter_map (fun (r, t) -> if t = Tint then Some r else None) arg_regs in
+  let arg_floats = List.filter_map (fun (r, t) -> if t = Tfloat then Some r else None) arg_regs in
+  let live_ints = List.filter (fun r -> not (List.mem r arg_ints)) cg.in_use_int in
+  let live_floats = List.filter (fun r -> not (List.mem r arg_floats)) cg.in_use_float in
+  List.iteri (fun i r -> emit cg (Isa.Sw (r, reg_sp, spill_int_off cg i))) live_ints;
+  List.iteri (fun i r -> emit cg (Isa.Fsw (r, reg_sp, spill_float_off cg i))) live_floats;
+  (* move argument temps into the ABI registers *)
+  let rec move regs_int regs_float = function
+    | [] -> ()
+    | (r, Tint) :: rest -> (
+      match regs_int with
+      | dst :: tl ->
+        emit cg (Isa.Alu (Alu.Add, dst, r, 0));
+        move tl regs_float rest
+      | [] -> error "too many integer arguments in call to %s" fname)
+    | (r, Tfloat) :: rest -> (
+      match regs_float with
+      | dst :: tl ->
+        emit cg (Isa.Fop (Fpu_format.Fmin, dst, r, r));
+        move regs_int tl rest
+      | [] -> error "too many float arguments in call to %s" fname)
+  in
+  move int_arg_regs float_arg_regs arg_regs;
+  List.iter (fun (r, t) -> if t = Tint then free_int cg r else free_float cg r) arg_regs;
+  emit cg (Isa.Jal (reg_ra, fname));
+  (* restore live temporaries *)
+  List.iteri (fun i r -> emit cg (Isa.Lw (r, reg_sp, spill_int_off cg i))) live_ints;
+  List.iteri (fun i r -> emit cg (Isa.Flw (r, reg_sp, spill_float_off cg i))) live_floats;
+  (* fetch the result *)
+  match fsig.s_ret with
+  | Some Tint ->
+    let r = alloc_int cg in
+    emit cg (Isa.Alu (Alu.Add, r, 10, 0));
+    (r, Tint)
+  | Some Tfloat ->
+    let r = alloc_float cg in
+    emit cg (Isa.Fop (Fpu_format.Fmin, r, 10, 10));
+    (r, Tfloat)
+  | None ->
+    (* void: return a dummy zero temp so Expr statements can free it *)
+    let r = alloc_int cg in
+    emit cg (Isa.Li (r, 0));
+    (r, Tint)
+
+(* ---- statements ---- *)
+
+let rec gen_stmt cg ret_label s =
+  match s with
+  | Decl (typ, name, init) ->
+    let r, t = gen_expr cg init in
+    if t <> typ then error "initializer type mismatch for %s" name;
+    let slot = add_local cg name typ in
+    (match typ with
+    | Tint ->
+      emit cg (Isa.Sw (r, reg_sp, slot));
+      free_int cg r
+    | Tfloat ->
+      emit cg (Isa.Fsw (r, reg_sp, slot));
+      free_float cg r)
+  | Assign (name, e) -> (
+    let r, t = gen_expr cg e in
+    match lookup_var cg name with
+    | `Local (typ, slot) ->
+      if t <> typ then error "assignment type mismatch for %s" name;
+      (match typ with
+      | Tint ->
+        emit cg (Isa.Sw (r, reg_sp, slot));
+        free_int cg r
+      | Tfloat ->
+        emit cg (Isa.Fsw (r, reg_sp, slot));
+        free_float cg r)
+    | `Global g ->
+      if t <> g.g_typ then error "assignment type mismatch for %s" name;
+      (match g.g_typ with
+      | Tint ->
+        emit cg (Isa.Sw (r, 0, g.g_addr));
+        free_int cg r
+      | Tfloat ->
+        emit cg (Isa.Fsw (r, 0, g.g_addr));
+        free_float cg r))
+  | Store (name, idx_e, val_e) -> (
+    match Hashtbl.find_opt cg.globals name with
+    | None -> error "unknown array %s" name
+    | Some g ->
+      let rv, tv = gen_expr cg val_e in
+      if tv <> g.g_typ then error "store type mismatch for %s" name;
+      let ri, ti = gen_expr cg idx_e in
+      if ti <> Tint then error "array index of %s must be an int" name;
+      emit cg (Isa.Alui (Alu.Add, ri, ri, g.g_addr));
+      (match g.g_typ with
+      | Tint ->
+        emit cg (Isa.Sw (rv, ri, 0));
+        free_int cg rv
+      | Tfloat ->
+        emit cg (Isa.Fsw (rv, ri, 0));
+        free_float cg rv);
+      free_int cg ri)
+  | If (cond, then_s, else_s) ->
+    let lelse = fresh_label cg "else" in
+    let lend = fresh_label cg "endif" in
+    let rc, tc = gen_expr cg cond in
+    if tc <> Tint then error "if condition must be an int";
+    emit cg (Isa.Beq (rc, 0, (if else_s = [] then lend else lelse)));
+    free_int cg rc;
+    gen_block cg ret_label then_s;
+    if else_s <> [] then begin
+      emit cg (Isa.Jal (0, lend));
+      emit cg (Isa.Label lelse);
+      gen_block cg ret_label else_s
+    end;
+    emit cg (Isa.Label lend)
+  | While (cond, body) ->
+    let lhead = fresh_label cg "while" in
+    let lend = fresh_label cg "wend" in
+    emit cg (Isa.Label lhead);
+    let rc, tc = gen_expr cg cond in
+    if tc <> Tint then error "while condition must be an int";
+    emit cg (Isa.Beq (rc, 0, lend));
+    free_int cg rc;
+    cg.loop_labels <- (lhead, lend) :: cg.loop_labels;
+    gen_block cg ret_label body;
+    cg.loop_labels <- List.tl cg.loop_labels;
+    emit cg (Isa.Jal (0, lhead));
+    emit cg (Isa.Label lend)
+  | For (init, cond, step, body) ->
+    let saved = (cg.locals, cg.nlocals) in
+    gen_stmt cg ret_label init;
+    let lhead = fresh_label cg "for" in
+    let lend = fresh_label cg "fend" in
+    emit cg (Isa.Label lhead);
+    let rc, tc = gen_expr cg cond in
+    if tc <> Tint then error "for condition must be an int";
+    emit cg (Isa.Beq (rc, 0, lend));
+    free_int cg rc;
+    (* continue in a for loop jumps to the step, not the head *)
+    let lstep = fresh_label cg "fstep" in
+    cg.loop_labels <- (lstep, lend) :: cg.loop_labels;
+    gen_block cg ret_label body;
+    cg.loop_labels <- List.tl cg.loop_labels;
+    emit cg (Isa.Label lstep);
+    gen_stmt cg ret_label step;
+    emit cg (Isa.Jal (0, lhead));
+    emit cg (Isa.Label lend);
+    let locals, nlocals = saved in
+    cg.locals <- locals;
+    cg.nlocals <- nlocals
+  | Return None ->
+    if cg.ret_typ <> None then error "missing return value in %s" cg.cur_func;
+    emit cg (Isa.Jal (0, ret_label))
+  | Return (Some e) -> (
+    let r, t = gen_expr cg e in
+    match cg.ret_typ with
+    | None -> error "void function %s returns a value" cg.cur_func
+    | Some rt when rt <> t -> error "return type mismatch in %s" cg.cur_func
+    | Some Tint ->
+      emit cg (Isa.Alu (Alu.Add, 10, r, 0));
+      free_int cg r;
+      emit cg (Isa.Jal (0, ret_label))
+    | Some Tfloat ->
+      emit cg (Isa.Fop (Fpu_format.Fmin, 10, r, r));
+      free_float cg r;
+      emit cg (Isa.Jal (0, ret_label)))
+  | Break -> (
+    match cg.loop_labels with
+    | (_, lend) :: _ -> emit cg (Isa.Jal (0, lend))
+    | [] -> error "break outside a loop in %s" cg.cur_func)
+  | Continue -> (
+    match cg.loop_labels with
+    | (lcont, _) :: _ -> emit cg (Isa.Jal (0, lcont))
+    | [] -> error "continue outside a loop in %s" cg.cur_func)
+  | Expr e ->
+    let r, t = gen_expr cg e in
+    if t = Tint then free_int cg r else free_float cg r
+
+and gen_block cg ret_label stmts =
+  let saved = (cg.locals, cg.nlocals) in
+  List.iter (gen_stmt cg ret_label) stmts;
+  let locals, nlocals = saved in
+  cg.locals <- locals;
+  cg.nlocals <- nlocals
+
+let gen_func cg f =
+  cg.cur_func <- f.fname;
+  cg.ret_typ <- f.ret;
+  cg.locals <- [];
+  cg.nlocals <- 0;
+  cg.max_locals <- 0;
+  cg.in_use_int <- [];
+  cg.in_use_float <- [];
+  let ret_label = Printf.sprintf "__ret_%s" f.fname in
+  (* First pass into a scratch buffer to learn max_locals, then re-run with
+     the final frame size.  Simpler: pre-count the maximum number of
+     simultaneously live locals = all Decls in any path; we over-approximate
+     with the total number of Decls plus parameters. *)
+  let rec count_decls stmts =
+    List.fold_left
+      (fun acc s ->
+        acc
+        +
+        match s with
+        | Decl _ -> 1
+        | If (_, a, b) -> count_decls a + count_decls b
+        | While (_, b) -> count_decls b
+        | For (init, _, step, b) -> count_decls [ init ] + count_decls [ step ] + count_decls b
+        | _ -> 0)
+      0 stmts
+  in
+  cg.max_locals <- List.length f.params + count_decls f.body;
+  emit cg (Isa.Label f.fname);
+  emit cg (Isa.Alui (Alu.Add, reg_sp, reg_sp, -frame_size cg));
+  emit cg (Isa.Sw (reg_ra, reg_sp, 0));
+  (* move parameters into local slots *)
+  let rec bind_params regs_int regs_float = function
+    | [] -> ()
+    | (Tint, name) :: rest -> (
+      let slot = add_local cg name Tint in
+      match regs_int with
+      | r :: tl ->
+        emit cg (Isa.Sw (r, reg_sp, slot));
+        bind_params tl regs_float rest
+      | [] -> error "too many integer parameters in %s" f.fname)
+    | (Tfloat, name) :: rest -> (
+      let slot = add_local cg name Tfloat in
+      match regs_float with
+      | r :: tl ->
+        emit cg (Isa.Fsw (r, reg_sp, slot));
+        bind_params regs_int tl rest
+      | [] -> error "too many float parameters in %s" f.fname)
+  in
+  bind_params int_arg_regs float_arg_regs f.params;
+  List.iter (gen_stmt cg ret_label) f.body;
+  (* fall through to return *)
+  emit cg (Isa.Label ret_label);
+  emit cg (Isa.Lw (reg_ra, reg_sp, 0));
+  emit cg (Isa.Alui (Alu.Add, reg_sp, reg_sp, frame_size cg));
+  emit cg (Isa.Jalr (0, reg_ra))
+
+let needs_runtime program =
+  let rec expr_needs e =
+    match e with
+    | Binop ((Bmul | Bdiv | Bmod), _, _) -> true
+    | Binop (_, a, b) -> expr_needs a || expr_needs b
+    | Unop (_, a) -> expr_needs a
+    | Call (_, args) -> List.exists expr_needs args
+    | Index (_, a) -> expr_needs a
+    | Int _ | Float _ | Var _ -> false
+  in
+  let rec stmt_needs s =
+    match s with
+    | Decl (_, _, e) | Assign (_, e) | Expr e -> expr_needs e
+    | Store (_, a, b) -> expr_needs a || expr_needs b
+    | If (c, a, b) -> expr_needs c || List.exists stmt_needs a || List.exists stmt_needs b
+    | While (c, b) -> expr_needs c || List.exists stmt_needs b
+    | For (i, c, st, b) ->
+      stmt_needs i || expr_needs c || stmt_needs st || List.exists stmt_needs b
+    | Return (Some e) -> expr_needs e
+    | Return None | Break | Continue -> false
+  in
+  List.exists (fun f -> List.exists stmt_needs f.body) program.funcs
+
+let compile ?(fmt = Fpu_format.binary16) ?(width = 16) ?(mem_top = 4095) program =
+  let funcs =
+    if needs_runtime program then program.funcs @ runtime_funcs ~width ~fmt else program.funcs
+  in
+  if not (List.exists (fun f -> String.equal f.fname "main") funcs) then
+    error "no main function";
+  let cg =
+    {
+      fmt;
+      width;
+      out = [];
+      globals = Hashtbl.create 16;
+      sigs = Hashtbl.create 16;
+      label_counter = 0;
+      locals = [];
+      nlocals = 0;
+      max_locals = 0;
+      in_use_int = [];
+      in_use_float = [];
+      cur_func = "";
+      ret_typ = None;
+      loop_labels = [];
+    }
+  in
+  (* allocate globals *)
+  let next_addr = ref globals_base in
+  let add_global name typ len =
+    if Hashtbl.mem cg.globals name then error "duplicate global %s" name;
+    Hashtbl.replace cg.globals name { g_addr = !next_addr; g_typ = typ; g_len = len };
+    next_addr := !next_addr + len
+  in
+  List.iter
+    (function
+      | Gint (n, _) -> add_global n Tint 1
+      | Gfloat (n, _) -> add_global n Tfloat 1
+      | Gint_array (n, vs) -> add_global n Tint (List.length vs)
+      | Gfloat_array (n, vs) -> add_global n Tfloat (List.length vs))
+    program.globals;
+  (* function signatures (including intrinsics) *)
+  List.iter
+    (fun f ->
+      if Hashtbl.mem cg.sigs f.fname then error "duplicate function %s" f.fname;
+      Hashtbl.replace cg.sigs f.fname { s_params = List.map fst f.params; s_ret = f.ret })
+    funcs;
+  (* startup stub: initialize globals, set sp, call main *)
+  cg.cur_func <- "__start";
+  emit cg (Isa.Label "__start");
+  emit cg (Isa.Li (reg_sp, mem_top));
+  List.iter
+    (fun g ->
+      let store addr v =
+        emit cg (Isa.Li (5, v));
+        emit cg (Isa.Sw (5, 0, addr))
+      in
+      match g with
+      | Gint (n, v) -> store (Hashtbl.find cg.globals n).g_addr v
+      | Gfloat (n, x) -> store (Hashtbl.find cg.globals n).g_addr (float_bits cg x)
+      | Gint_array (n, vs) ->
+        let base = (Hashtbl.find cg.globals n).g_addr in
+        List.iteri (fun j v -> store (base + j) v) vs
+      | Gfloat_array (n, xs) ->
+        let base = (Hashtbl.find cg.globals n).g_addr in
+        List.iteri (fun j x -> store (base + j) (float_bits cg x)) xs)
+    program.globals;
+  emit cg (Isa.Jal (reg_ra, "main"));
+  emit cg (Isa.Ecall Isa.exit_ok);
+  List.iter (gen_func cg) funcs;
+  let code = List.rev cg.out in
+  (* basic blocks: every label heads a block *)
+  let blocks = ref [] in
+  let cur = ref None in
+  let flush size =
+    match !cur with
+    | Some (label, func) -> blocks := { bb_label = label; bb_func = func; bb_static_size = size } :: !blocks
+    | None -> ()
+  in
+  let size = ref 0 in
+  let cur_fn = ref "__start" in
+  List.iter
+    (fun i ->
+      match i with
+      | Isa.Label l ->
+        flush !size;
+        size := 0;
+        (* track which function we are in: function labels have no "__" prefix
+           pattern reserved for generated labels *)
+        if Hashtbl.mem cg.sigs l || String.equal l "__start" then cur_fn := l;
+        cur := Some (l, !cur_fn)
+      | _ -> incr size)
+    code;
+  flush !size;
+  { code; blocks = List.rev !blocks; globals_base; fmt }
+
+let assemble c = Isa.assemble c.code
+
+(* ---- AST conveniences (defined last: they shadow Stdlib operators) ---- *)
+
+let v name = Var name
+let i n = Int n
+let f x = Float x
+let idx name e = Index (name, e)
+let ( + ) a b = Binop (Badd, a, b)
+let ( - ) a b = Binop (Bsub, a, b)
+let ( * ) a b = Binop (Bmul, a, b)
+let ( / ) a b = Binop (Bdiv, a, b)
+let ( % ) a b = Binop (Bmod, a, b)
+let ( < ) a b = Binop (Blt, a, b)
+let ( <= ) a b = Binop (Ble, a, b)
+let ( > ) a b = Binop (Bgt, a, b)
+let ( >= ) a b = Binop (Bge, a, b)
+let ( == ) a b = Binop (Beq, a, b)
+let ( != ) a b = Binop (Bne, a, b)
+let ( && ) a b = Binop (Bland, a, b)
+let ( || ) a b = Binop (Blor, a, b)

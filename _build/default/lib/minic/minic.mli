@@ -1,0 +1,122 @@
+(** Mini-C: the compiler substrate behind Test Integration.
+
+    The paper compiles embench with an LLVM fork and implements
+    Profile-Guided Test Integration as LLVM passes over basic blocks.  This
+    module is that substrate: a small C-like language (int and float
+    scalars, global arrays, functions, loops, conditionals, short-circuit
+    logic) compiled to the {!Isa} instruction set with explicit basic-block
+    labels, so block-level execution profiles can be collected and test
+    cases spliced at a chosen block.
+
+    The target CPU has no integer multiplier/divider and no FP divide, so
+    the compiler lowers [*], [/] and [%] to shift-based runtime routines and
+    float division to a Newton-Raphson reciprocal — all of which are
+    themselves Mini-C library functions appended on demand (and therefore
+    run on the analyzed ALU/FPU, as embench's soft-float does on the
+    CV32E40P).
+
+    Programs are OCaml values (an eDSL rather than a parser); see
+    {!Workload} for the embench-like kernels written in it. *)
+
+type typ = Tint | Tfloat
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr  (** [Bshr] is a logical shift *)
+  | Blt | Ble | Bgt | Bge | Beq | Bne  (** signed comparisons *)
+  | Bult | Buge  (** unsigned comparisons (used by the runtime library) *)
+  | Bland | Blor  (** short-circuit *)
+
+type unop = Uneg | Unot
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr  (** global array element *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of typ * string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr  (** array, index, value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt * expr * stmt * stmt list
+  | Return of expr option
+  | Break  (** exit the innermost loop *)
+  | Continue  (** jump to the innermost loop's next iteration (for loops: the step) *)
+  | Expr of expr
+
+type global =
+  | Gint of string * int
+  | Gfloat of string * float
+  | Gint_array of string * int list
+  | Gfloat_array of string * float list
+
+type func = {
+  fname : string;
+  params : (typ * string) list;
+  ret : typ option;
+  body : stmt list;
+}
+
+type program = { globals : global list; funcs : func list }
+(** Execution starts at the function named ["main"] (no arguments). *)
+
+(** {1 Compilation} *)
+
+type block_info = {
+  bb_label : string;
+  bb_func : string;
+  bb_static_size : int;  (** instructions in the block *)
+}
+
+type compiled = {
+  code : Isa.instr list;  (** unassembled, so passes can splice into it *)
+  blocks : block_info list;
+  globals_base : int;  (** first memory word used by globals *)
+  fmt : Fpu_format.fmt;
+}
+
+exception Compile_error of string
+
+val save_area_base : int
+(** Memory words [save_area_base ..+16] are reserved for the register
+    save/restore spills of Test Integration. *)
+
+val counter_area_base : int
+(** Memory words [counter_area_base ..+16] are reserved for integration
+    counters (probabilistic test gating). *)
+
+val compile : ?fmt:Fpu_format.fmt -> ?width:int -> ?mem_top:int -> program -> compiled
+(** Typecheck and compile.  [width] (default 16) is the machine word width
+    the runtime division routine iterates over; [mem_top] (default 4095)
+    is the initial stack pointer.  @raise Compile_error with a diagnostic
+    on type or arity errors, unknown identifiers, or exhausted
+    temporaries. *)
+
+val assemble : compiled -> Isa.program
+(** Shorthand for [Isa.assemble c.code]. *)
+
+(** {1 Conveniences for building ASTs} *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( == ) : expr -> expr -> expr
+val ( != ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val v : string -> expr
+val i : int -> expr
+val f : float -> expr
+val idx : string -> expr -> expr

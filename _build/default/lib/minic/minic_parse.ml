@@ -1,0 +1,513 @@
+(* Lexer *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string  (* int float void if else while for return *)
+  | PUNCT of string  (* operators and delimiters *)
+  | EOF
+
+type lexed = { tok : token; line : int; col : int }
+
+exception Error of int * int * string
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "return"; "break"; "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let fail msg = raise (Error (!line, !col, msg)) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () =
+    (if src.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let emit tok ~line ~col = toks := { tok; line; col } :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    let tl = !line and tc = !col in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let rec skip () =
+        if !pos + 1 >= n then fail "unterminated comment"
+        else if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ()
+        end
+        else begin
+          advance ();
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      if List.mem word keywords then emit (KW word) ~line:tl ~col:tc
+      else emit (IDENT word) ~line:tl ~col:tc
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        while
+          !pos < n
+          && (is_digit src.[!pos]
+             || (src.[!pos] >= 'a' && src.[!pos] <= 'f')
+             || (src.[!pos] >= 'A' && src.[!pos] <= 'F'))
+        do
+          advance ()
+        done;
+        match int_of_string_opt (String.sub src start (!pos - start)) with
+        | Some v -> emit (INT_LIT v) ~line:tl ~col:tc
+        | None -> fail "bad hexadecimal literal"
+      end
+      else begin
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done;
+        if !pos < n && src.[!pos] = '.' then begin
+          advance ();
+          while !pos < n && is_digit src.[!pos] do
+            advance ()
+          done;
+          match float_of_string_opt (String.sub src start (!pos - start)) with
+          | Some x -> emit (FLOAT_LIT x) ~line:tl ~col:tc
+          | None -> fail "bad float literal"
+        end
+        else
+          match int_of_string_opt (String.sub src start (!pos - start)) with
+          | Some v -> emit (INT_LIT v) ~line:tl ~col:tc
+          | None -> fail "bad integer literal"
+      end
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let op2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>" ] in
+      if List.mem two op2 then begin
+        advance ();
+        advance ();
+        emit (PUNCT two) ~line:tl ~col:tc
+      end
+      else begin
+        let one = String.make 1 c in
+        if String.contains "+-*/%<>=!&|^(){}[],;" c then begin
+          advance ();
+          emit (PUNCT one) ~line:tl ~col:tc
+        end
+        else fail (Printf.sprintf "unexpected character %C" c)
+      end
+    end
+  done;
+  emit EOF ~line:!line ~col:!col;
+  List.rev !toks
+
+(* Parser *)
+
+type state = { mutable toks : lexed list }
+
+let current st = match st.toks with [] -> assert false | t :: _ -> t
+
+let fail_at (t : lexed) msg = raise (Error (t.line, t.col, msg))
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let describe = function
+  | INT_LIT v -> Printf.sprintf "integer %d" v
+  | FLOAT_LIT x -> Printf.sprintf "float %g" x
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW s -> Printf.sprintf "keyword %S" s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let expect_punct st p =
+  let t = current st in
+  match t.tok with
+  | PUNCT q when String.equal p q -> advance st
+  | _ -> fail_at t (Printf.sprintf "expected %S but found %s" p (describe t.tok))
+
+let accept_punct st p =
+  match (current st).tok with
+  | PUNCT q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  let t = current st in
+  match t.tok with
+  | IDENT s ->
+    advance st;
+    s
+  | _ -> fail_at t (Printf.sprintf "expected an identifier but found %s" (describe t.tok))
+
+(* expressions, C-like precedence climbing *)
+
+let binop_of = function
+  | "||" -> Some (Minic.Blor, 1)
+  | "&&" -> Some (Minic.Bland, 2)
+  | "|" -> Some (Minic.Bor, 3)
+  | "^" -> Some (Minic.Bxor, 4)
+  | "&" -> Some (Minic.Band, 5)
+  | "==" -> Some (Minic.Beq, 6)
+  | "!=" -> Some (Minic.Bne, 6)
+  | "<" -> Some (Minic.Blt, 7)
+  | "<=" -> Some (Minic.Ble, 7)
+  | ">" -> Some (Minic.Bgt, 7)
+  | ">=" -> Some (Minic.Bge, 7)
+  | "<<" -> Some (Minic.Bshl, 8)
+  | ">>" -> Some (Minic.Bshr, 8)
+  | "+" -> Some (Minic.Badd, 9)
+  | "-" -> Some (Minic.Bsub, 9)
+  | "*" -> Some (Minic.Bmul, 10)
+  | "/" -> Some (Minic.Bdiv, 10)
+  | "%" -> Some (Minic.Bmod, 10)
+  | _ -> None
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match (current st).tok with
+    | PUNCT p -> (
+      match binop_of p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_expr_prec st (prec + 1) in
+        loop (Minic.Binop (op, lhs, rhs))
+      | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let t = current st in
+  match t.tok with
+  | PUNCT "-" -> (
+    advance st;
+    (* fold negated literals so that -9 is the literal it looks like *)
+    match (current st).tok with
+    | INT_LIT v ->
+      advance st;
+      Minic.Int (-v)
+    | FLOAT_LIT x ->
+      advance st;
+      Minic.Float (-.x)
+    | _ -> Minic.Unop (Minic.Uneg, parse_unary st))
+  | PUNCT "!" ->
+    advance st;
+    Minic.Unop (Minic.Unot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = current st in
+  match t.tok with
+  | INT_LIT v ->
+    advance st;
+    Minic.Int v
+  | FLOAT_LIT x ->
+    advance st;
+    Minic.Float x
+  | PUNCT "(" ->
+    advance st;
+    let e = parse_expr_prec st 1 in
+    expect_punct st ")";
+    e
+  | IDENT name ->
+    advance st;
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        let rec more () =
+          args := parse_expr_prec st 1 :: !args;
+          if accept_punct st "," then more () else expect_punct st ")"
+        in
+        more ()
+      end;
+      Minic.Call (name, List.rev !args)
+    end
+    else if accept_punct st "[" then begin
+      let idx = parse_expr_prec st 1 in
+      expect_punct st "]";
+      Minic.Index (name, idx)
+    end
+    else Minic.Var name
+  | _ -> fail_at t (Printf.sprintf "expected an expression but found %s" (describe t.tok))
+
+(* statements *)
+
+let parse_type st =
+  let t = current st in
+  match t.tok with
+  | KW "int" ->
+    advance st;
+    Some Minic.Tint
+  | KW "float" ->
+    advance st;
+    Some Minic.Tfloat
+  | KW "void" ->
+    advance st;
+    None
+  | _ -> fail_at t (Printf.sprintf "expected a type but found %s" (describe t.tok))
+
+let rec parse_stmt st =
+  let t = current st in
+  match t.tok with
+  | KW ("int" | "float") ->
+    let typ = Option.get (parse_type st) in
+    let name = expect_ident st in
+    expect_punct st "=";
+    let init = parse_expr_prec st 1 in
+    expect_punct st ";";
+    Minic.Decl (typ, name, init)
+  | KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr_prec st 1 in
+    expect_punct st ")";
+    let then_b = parse_block st in
+    let else_b =
+      match (current st).tok with
+      | KW "else" ->
+        advance st;
+        (match (current st).tok with
+        | KW "if" -> [ parse_stmt st ]  (* else if *)
+        | _ -> parse_block st)
+      | _ -> []
+    in
+    Minic.If (cond, then_b, else_b)
+  | KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr_prec st 1 in
+    expect_punct st ")";
+    Minic.While (cond, parse_block st)
+  | KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = parse_simple_stmt st in
+    expect_punct st ";";
+    let cond = parse_expr_prec st 1 in
+    expect_punct st ";";
+    let step = parse_simple_stmt st in
+    expect_punct st ")";
+    Minic.For (init, cond, step, parse_block st)
+  | KW "break" ->
+    advance st;
+    expect_punct st ";";
+    Minic.Break
+  | KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    Minic.Continue
+  | KW "return" ->
+    advance st;
+    if accept_punct st ";" then Minic.Return None
+    else begin
+      let e = parse_expr_prec st 1 in
+      expect_punct st ";";
+      Minic.Return (Some e)
+    end
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+(* assignment, array store, declaration (for for-headers), or expression *)
+and parse_simple_stmt st =
+  let t = current st in
+  match t.tok with
+  | KW ("int" | "float") ->
+    let typ = Option.get (parse_type st) in
+    let name = expect_ident st in
+    expect_punct st "=";
+    Minic.Decl (typ, name, parse_expr_prec st 1)
+  | IDENT name -> (
+    match (List.nth_opt st.toks 1 : lexed option) with
+    | Some { tok = PUNCT "="; _ } ->
+      advance st;
+      advance st;
+      Minic.Assign (name, parse_expr_prec st 1)
+    | Some { tok = PUNCT "["; _ } -> (
+      (* could be a store or an index expression; parse the subscript and
+         decide on the following token *)
+      advance st;
+      advance st;
+      let idx = parse_expr_prec st 1 in
+      expect_punct st "]";
+      if accept_punct st "=" then Minic.Store (name, idx, parse_expr_prec st 1)
+      else Minic.Expr (Minic.Index (name, idx)))
+    | _ -> Minic.Expr (parse_expr_prec st 1))
+  | _ -> Minic.Expr (parse_expr_prec st 1)
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+(* globals and functions *)
+
+let parse_literal st typ =
+  let neg = accept_punct st "-" in
+  let t = current st in
+  match (t.tok, typ) with
+  | INT_LIT v, Minic.Tint ->
+    advance st;
+    `Int (if neg then -v else v)
+  | INT_LIT v, Minic.Tfloat ->
+    (* allow "1" as a float initializer *)
+    advance st;
+    `Float (if neg then -.float_of_int v else float_of_int v)
+  | FLOAT_LIT x, Minic.Tfloat ->
+    advance st;
+    `Float (if neg then -.x else x)
+  | _ -> fail_at t (Printf.sprintf "expected a %s literal but found %s"
+                      (match typ with Minic.Tint -> "integer" | Minic.Tfloat -> "float")
+                      (describe t.tok))
+
+let parse_top st =
+  let typ = parse_type st in
+  let name = expect_ident st in
+  if accept_punct st "(" then begin
+    (* function *)
+    let params = ref [] in
+    if not (accept_punct st ")") then begin
+      let rec more () =
+        let pt =
+          match parse_type st with
+          | Some t -> t
+          | None -> fail_at (current st) "void is not a parameter type"
+        in
+        let pn = expect_ident st in
+        params := (pt, pn) :: !params;
+        if accept_punct st "," then more () else expect_punct st ")"
+      in
+      more ()
+    end;
+    let body = parse_block st in
+    `Func { Minic.fname = name; params = List.rev !params; ret = typ; body }
+  end
+  else begin
+    let typ =
+      match typ with
+      | Some t -> t
+      | None -> fail_at (current st) "void is not a variable type"
+    in
+    if accept_punct st "[" then begin
+      let size =
+        match (current st).tok with
+        | INT_LIT v when v > 0 ->
+          advance st;
+          v
+        | _ -> fail_at (current st) "expected a positive array size"
+      in
+      expect_punct st "]";
+      let values =
+        if accept_punct st "=" then begin
+          expect_punct st "{";
+          let vals = ref [] in
+          if not (accept_punct st "}") then begin
+            let rec more () =
+              vals := parse_literal st typ :: !vals;
+              if accept_punct st "," then
+                (if not (accept_punct st "}") then more ())
+              else expect_punct st "}"
+            in
+            more ()
+          end;
+          List.rev !vals
+        end
+        else []
+      in
+      expect_punct st ";";
+      if List.length values > size then
+        fail_at (current st) (Printf.sprintf "too many initializers for %s[%d]" name size);
+      let pad = size - List.length values in
+      match typ with
+      | Minic.Tint ->
+        let ints =
+          List.map (function `Int v -> v | `Float _ -> assert false) values
+          @ List.init pad (fun _ -> 0)
+        in
+        `Global (Minic.Gint_array (name, ints))
+      | Minic.Tfloat ->
+        let floats =
+          List.map (function `Float x -> x | `Int _ -> assert false) values
+          @ List.init pad (fun _ -> 0.0)
+        in
+        `Global (Minic.Gfloat_array (name, floats))
+    end
+    else begin
+      let value =
+        if accept_punct st "=" then Some (parse_literal st typ)
+        else None
+      in
+      expect_punct st ";";
+      match (typ, value) with
+      | Minic.Tint, Some (`Int v) -> `Global (Minic.Gint (name, v))
+      | Minic.Tint, None -> `Global (Minic.Gint (name, 0))
+      | Minic.Tfloat, Some (`Float x) -> `Global (Minic.Gfloat (name, x))
+      | Minic.Tfloat, None -> `Global (Minic.Gfloat (name, 0.0))
+      | _ -> assert false
+    end
+  end
+
+let parse src =
+  match
+    let st = { toks = lex src } in
+    let globals = ref [] and funcs = ref [] in
+    let rec go () =
+      match (current st).tok with
+      | EOF -> ()
+      | _ ->
+        (match parse_top st with
+        | `Global g -> globals := g :: !globals
+        | `Func f -> funcs := f :: !funcs);
+        go ()
+    in
+    go ();
+    { Minic.globals = List.rev !globals; funcs = List.rev !funcs }
+  with
+  | program -> Ok program
+  | exception Error (line, col, msg) ->
+    Result.Error (Printf.sprintf "line %d, column %d: %s" line col msg)
+
+let parse_expr src =
+  match
+    let st = { toks = lex src } in
+    let e = parse_expr_prec st 1 in
+    (match (current st).tok with
+    | EOF -> ()
+    | t -> fail_at (current st) (Printf.sprintf "trailing %s" (describe t)));
+    e
+  with
+  | e -> Ok e
+  | exception Error (line, col, msg) ->
+    Result.Error (Printf.sprintf "line %d, column %d: %s" line col msg)

@@ -1,0 +1,32 @@
+(** A C-like surface syntax for Mini-C.
+
+    Turns program text into a {!Minic.program}, so applications and
+    workloads can be written in familiar notation instead of the OCaml
+    eDSL:
+
+    {[
+      int out = 0;
+      int data[8] = { 3, 1, 4, 1, 5, 9, 2, 6 };
+
+      int sum(int n) {
+        int s = 0;
+        for (int k = 0; k < n; k = k + 1) { s = s + data[k]; }
+        return s;
+      }
+
+      void main() { out = sum(8); }
+    ]}
+
+    Supported: [int]/[float] scalars and global arrays with initializers,
+    functions, [if]/[else], [while], [for], [return], assignments and array
+    stores, calls, the full expression grammar with C-like precedence
+    ([||], [&&], [|], [^], [&], [==]/[!=], relational, shifts, additive,
+    multiplicative, unary [-]/[!]), decimal/hex integer and float literals,
+    and [//] and [/* */] comments.  [>>] is a logical shift and [%] follows
+    the compiler's semantics (see {!Minic}). *)
+
+val parse : string -> (Minic.program, string) result
+(** Parse a full program.  Errors read ["line L, column C: message"]. *)
+
+val parse_expr : string -> (Minic.expr, string) result
+(** Parse a single expression (for tests and tools). *)

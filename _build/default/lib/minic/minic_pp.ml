@@ -1,0 +1,106 @@
+let binop_symbol = function
+  | Minic.Badd -> "+"
+  | Minic.Bsub -> "-"
+  | Minic.Bmul -> "*"
+  | Minic.Bdiv -> "/"
+  | Minic.Bmod -> "%"
+  | Minic.Band -> "&"
+  | Minic.Bor -> "|"
+  | Minic.Bxor -> "^"
+  | Minic.Bshl -> "<<"
+  | Minic.Bshr -> ">>"
+  | Minic.Blt -> "<"
+  | Minic.Ble -> "<="
+  | Minic.Bgt -> ">"
+  | Minic.Bge -> ">="
+  | Minic.Beq -> "=="
+  | Minic.Bne -> "!="
+  | Minic.Bland -> "&&"
+  | Minic.Blor -> "||"
+  | Minic.Bult -> "<"  (* no surface syntax: only the runtime library uses it *)
+  | Minic.Buge -> ">="
+
+let float_literal x =
+  let s = Printf.sprintf "%.12g" x in
+  if String.contains s 'e' || String.contains s 'E' then Printf.sprintf "%.20f" x
+  else if String.contains s '.' then s
+  else s ^ ".0"
+
+let rec expr_to_source e =
+  match e with
+  | Minic.Int v -> string_of_int v
+  | Minic.Float x -> float_literal x
+  | Minic.Var name -> name
+  | Minic.Index (name, idx) -> Printf.sprintf "%s[%s]" name (expr_to_source idx)
+  | Minic.Unop (Minic.Uneg, e1) -> Printf.sprintf "(-(%s))" (expr_to_source e1)
+  | Minic.Unop (Minic.Unot, e1) -> Printf.sprintf "(!(%s))" (expr_to_source e1)
+  | Minic.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_source a) (binop_symbol op) (expr_to_source b)
+  | Minic.Call (fname, args) ->
+    Printf.sprintf "%s(%s)" fname (String.concat ", " (List.map expr_to_source args))
+
+let typ_name = function Minic.Tint -> "int" | Minic.Tfloat -> "float"
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Minic.Decl (typ, name, init) ->
+    [ Printf.sprintf "%s%s %s = %s;" pad (typ_name typ) name (expr_to_source init) ]
+  | Minic.Assign (name, e) -> [ Printf.sprintf "%s%s = %s;" pad name (expr_to_source e) ]
+  | Minic.Store (name, idx, e) ->
+    [ Printf.sprintf "%s%s[%s] = %s;" pad name (expr_to_source idx) (expr_to_source e) ]
+  | Minic.If (cond, then_b, else_b) ->
+    [ Printf.sprintf "%sif (%s) {" pad (expr_to_source cond) ]
+    @ List.concat_map (stmt_lines (indent + 2)) then_b
+    @ (if else_b = [] then [ pad ^ "}" ]
+       else
+         (pad ^ "} else {") :: List.concat_map (stmt_lines (indent + 2)) else_b @ [ pad ^ "}" ])
+  | Minic.While (cond, body) ->
+    [ Printf.sprintf "%swhile (%s) {" pad (expr_to_source cond) ]
+    @ List.concat_map (stmt_lines (indent + 2)) body
+    @ [ pad ^ "}" ]
+  | Minic.For (init, cond, step, body) ->
+    let simple st =
+      match stmt_lines 0 st with
+      | [ line ] -> String.sub line 0 (String.length line - 1)  (* drop ';' *)
+      | _ -> invalid_arg "Minic_pp: for header must be a simple statement"
+    in
+    [ Printf.sprintf "%sfor (%s; %s; %s) {" pad (simple init) (expr_to_source cond) (simple step) ]
+    @ List.concat_map (stmt_lines (indent + 2)) body
+    @ [ pad ^ "}" ]
+  | Minic.Return None -> [ pad ^ "return;" ]
+  | Minic.Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_source e) ]
+  | Minic.Break -> [ pad ^ "break;" ]
+  | Minic.Continue -> [ pad ^ "continue;" ]
+  | Minic.Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_source e) ]
+
+let global_lines g =
+  match g with
+  | Minic.Gint (name, v) -> [ Printf.sprintf "int %s = %d;" name v ]
+  | Minic.Gfloat (name, x) -> [ Printf.sprintf "float %s = %s;" name (float_literal x) ]
+  | Minic.Gint_array (name, vs) ->
+    [
+      Printf.sprintf "int %s[%d] = { %s };" name (List.length vs)
+        (String.concat ", " (List.map string_of_int vs));
+    ]
+  | Minic.Gfloat_array (name, xs) ->
+    [
+      Printf.sprintf "float %s[%d] = { %s };" name (List.length xs)
+        (String.concat ", " (List.map float_literal xs));
+    ]
+
+let func_lines (f : Minic.func) =
+  let ret = match f.Minic.ret with None -> "void" | Some t -> typ_name t in
+  let params =
+    String.concat ", " (List.map (fun (t, n) -> typ_name t ^ " " ^ n) f.Minic.params)
+  in
+  (Printf.sprintf "%s %s(%s) {" ret f.Minic.fname params)
+  :: List.concat_map (stmt_lines 2) f.Minic.body
+  @ [ "}" ]
+
+let to_source (p : Minic.program) =
+  String.concat "\n"
+    (List.concat_map global_lines p.Minic.globals
+    @ [ "" ]
+    @ List.concat_map (fun f -> func_lines f @ [ "" ]) p.Minic.funcs)
+  ^ "\n"

@@ -1,0 +1,10 @@
+(** Pretty-printing Mini-C ASTs back to the surface syntax.
+
+    [Minic_parse.parse (to_source p)] reconstructs [p] exactly (expressions
+    are emitted fully parenthesized, so no precedence information is lost;
+    the parser folds negated literals, matching the printer's rendering of
+    negative constants).  Useful for inspecting generated programs and for
+    shipping workloads as text. *)
+
+val expr_to_source : Minic.expr -> string
+val to_source : Minic.program -> string

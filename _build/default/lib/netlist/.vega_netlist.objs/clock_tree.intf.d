@@ -1,0 +1,1 @@
+lib/netlist/clock_tree.mli:

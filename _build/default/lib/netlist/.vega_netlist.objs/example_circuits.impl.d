@@ -1,0 +1,1 @@
+lib/netlist/example_circuits.ml: Array Cell Netlist Printf

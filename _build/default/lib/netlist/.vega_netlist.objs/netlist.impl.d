@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Buffer Cell Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/netlist/netlist_opt.ml: Array Cell Hashtbl List Netlist

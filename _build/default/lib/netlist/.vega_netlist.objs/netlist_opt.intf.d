@@ -1,0 +1,1 @@
+lib/netlist/netlist_opt.mli: Netlist

@@ -1,0 +1,83 @@
+type node =
+  | Leaf of { domain : int; leaf_name : string; buffers : int; activity_sp : float }
+  | Branch of { branch_name : string; buffers : int; activity_sp : float; children : node list }
+
+type t = { tree_name : string; root : node; domains : int list }
+
+let rec collect_leaves acc = function
+  | Leaf l -> l.domain :: acc
+  | Branch b -> List.fold_left collect_leaves acc b.children
+
+let rec validate = function
+  | Leaf l ->
+    if l.domain < 0 then invalid_arg "Clock_tree: negative domain id";
+    if l.buffers < 0 then invalid_arg "Clock_tree: negative buffer count";
+    if l.activity_sp < 0.0 || l.activity_sp > 1.0 then
+      invalid_arg "Clock_tree: activity SP outside [0, 1]"
+  | Branch b ->
+    if b.buffers < 0 then invalid_arg "Clock_tree: negative buffer count";
+    if b.activity_sp < 0.0 || b.activity_sp > 1.0 then
+      invalid_arg "Clock_tree: activity SP outside [0, 1]";
+    if b.children = [] then invalid_arg "Clock_tree: branch without children";
+    List.iter validate b.children
+
+let create tree_name root =
+  validate root;
+  let domains = collect_leaves [] root |> List.sort_uniq compare in
+  let count = List.length (collect_leaves [] root) in
+  if count <> List.length domains then invalid_arg "Clock_tree: duplicate domain id";
+  { tree_name; root; domains }
+
+let tree_name t = t.tree_name
+let root t = t.root
+let domains t = t.domains
+
+let segments t =
+  let rec go acc = function
+    | Leaf l -> (l.leaf_name, l.buffers, l.activity_sp) :: acc
+    | Branch b -> List.fold_left go ((b.branch_name, b.buffers, b.activity_sp) :: acc) b.children
+  in
+  List.rev (go [] t.root)
+
+let arrival_ps t ~buffer_delay domain =
+  let rec find acc = function
+    | Leaf l ->
+      if l.domain = domain then
+        Some (acc +. (float_of_int l.buffers *. buffer_delay ~sp:l.activity_sp))
+      else None
+    | Branch b ->
+      let acc = acc +. (float_of_int b.buffers *. buffer_delay ~sp:b.activity_sp) in
+      List.find_map (find acc) b.children
+  in
+  match find 0.0 t.root with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Clock_tree %s: no domain %d" t.tree_name domain)
+
+let skew_ps t ~buffer_delay ~src ~dst =
+  arrival_ps t ~buffer_delay dst -. arrival_ps t ~buffer_delay src
+
+let single_domain =
+  create "single"
+    (Branch
+       {
+         branch_name = "root";
+         buffers = 2;
+         activity_sp = 0.5;
+         children = [ Leaf { domain = 0; leaf_name = "d0"; buffers = 2; activity_sp = 0.5 } ];
+       })
+
+let two_domain_gated ?(leaf_buffers = 20) ~sp_gated () =
+  create "gated"
+    (Branch
+       {
+         branch_name = "root";
+         buffers = 2;
+         activity_sp = 0.5;
+         children =
+           [
+             Leaf
+               { domain = 0; leaf_name = "always_on"; buffers = leaf_buffers; activity_sp = 0.5 };
+             Leaf
+               { domain = 1; leaf_name = "gated"; buffers = leaf_buffers; activity_sp = sp_gated };
+           ];
+       })

@@ -1,0 +1,53 @@
+(** Clock-distribution trees with clock gating.
+
+    After place-and-route, the clock reaches each flip-flop through a tree of
+    clock buffers.  Clock gating switches subtrees off when idle, which
+    leaves their buffers parked at a constant level and therefore under
+    continuous BTI stress — the paper identifies this as a primary cause of
+    nonuniform clock-network aging (Section 2.3.1).  As segments age at
+    different rates, the clock-arrival times of different DFF domains drift
+    apart, producing the phase shifts that cause hold violations.
+
+    Each tree segment records its buffer count and the signal probability its
+    buffers exhibit under the representative workload (0.5 for a free-running
+    clock; near 0 or 1 for mostly-gated segments).  {!arrival_ps} folds a
+    per-buffer delay function — fresh or aging-aware — over the root-to-leaf
+    path of a clock domain. *)
+
+type node =
+  | Leaf of { domain : int; leaf_name : string; buffers : int; activity_sp : float }
+  | Branch of { branch_name : string; buffers : int; activity_sp : float; children : node list }
+
+type t
+
+val create : string -> node -> t
+(** Validate (unique, non-negative domain ids; buffer counts >= 0; SPs in
+    [0, 1]) and freeze.  @raise Invalid_argument on violation. *)
+
+val tree_name : t -> string
+val root : t -> node
+val domains : t -> int list
+(** All leaf domain ids, ascending. *)
+
+val segments : t -> (string * int * float) list
+(** Every segment's (name, buffer count, activity SP), preorder. *)
+
+val arrival_ps : t -> buffer_delay:(sp:float -> float) -> int -> float
+(** [arrival_ps t ~buffer_delay domain] is the clock arrival time at the
+    given domain's flip-flops: the sum over the root-to-leaf path of
+    [buffers * buffer_delay ~sp:segment_sp].
+    @raise Invalid_argument if the domain does not exist. *)
+
+val skew_ps : t -> buffer_delay:(sp:float -> float) -> src:int -> dst:int -> float
+(** Arrival-time difference [dst - src] between two domains. *)
+
+val single_domain : t
+(** The trivial tree every un-gated design uses: one domain (id 0) fed by a
+    short free-running buffer chain. *)
+
+val two_domain_gated : ?leaf_buffers:int -> sp_gated:float -> unit -> t
+(** A balanced tree with an always-on domain 0 and a clock-gated domain 1
+    whose segment buffers idle with the given signal probability
+    ([leaf_buffers] per segment, default 20) — the configuration used to
+    reproduce the paper's hold-violation scenario: fresh arrivals are
+    identical, but nonuniform buffer aging skews the domains apart. *)

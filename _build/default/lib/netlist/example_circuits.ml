@@ -1,0 +1,72 @@
+module B = Netlist.Builder
+
+let pipelined_adder ?(split_domains = false) () =
+  let b = B.create "paper_adder" in
+  let a = B.add_input b "a" 2 in
+  let bb = B.add_input b "b" 2 in
+  let dff ?(domain = 0) name d = B.add_cell ~name ~clock_domain:domain b Cell.Kind.Dff [| d |] in
+  let q1 = dff "$1" a.(0) in
+  let q2 = dff "$2" a.(1) in
+  let q3 = dff "$3" bb.(0) in
+  let q4 = dff "$4" bb.(1) in
+  let y5 = B.add_cell ~name:"$5" b Cell.Kind.Xor2 [| q1; q3 |] in
+  let y6 = B.add_cell ~name:"$6" b Cell.Kind.And2 [| q1; q3 |] in
+  let y7 = B.add_cell ~name:"$7" b Cell.Kind.Xor2 [| q2; q4 |] in
+  let y8 = B.add_cell ~name:"$8" b Cell.Kind.Xor2 [| y7; y6 |] in
+  let q9 = dff ~domain:(if split_domains then 1 else 0) "$9" y5 in
+  let q10 = dff "$10" y8 in
+  B.add_output b "o" [| q9; q10 |];
+  B.finish b
+
+let dff_chain n =
+  if n < 1 then invalid_arg "Example_circuits.dff_chain: need at least one stage";
+  let b = B.create (Printf.sprintf "dff_chain%d" n) in
+  let d = B.add_input b "d" 1 in
+  let rec stages i prev =
+    if i > n then prev
+    else
+      let q =
+        B.add_cell ~name:(Printf.sprintf "ff%d" i) ~clock_domain:0 b Cell.Kind.Dff [| prev |]
+      in
+      stages (i + 1) q
+  in
+  let last = stages 1 d.(0) in
+  B.add_output b "q" [| last |];
+  B.finish b
+
+let lfsr4 () =
+  let b = B.create "lfsr4" in
+  let enable = B.add_input b "enable" 1 in
+  (* Forward-declare the feedback by creating the register cells on dummy
+     nets first is impossible in a pure builder; instead build the DFFs on
+     placeholder inputs and rewire. *)
+  let tie0 = B.add_cell ~name:"tie0" b Cell.Kind.Tie0 [||] in
+  let q = Array.init 4 (fun i ->
+      B.add_cell ~name:(Printf.sprintf "s%d" i) ~clock_domain:0
+        ~reset_value:(i = 0) b Cell.Kind.Dff [| tie0 |])
+  in
+  let feedback = B.add_cell ~name:"fb" b Cell.Kind.Xor2 [| q.(3); q.(2) |] in
+  (* next state when enabled: shift left, insert feedback at bit 0 *)
+  let next0 = B.add_cell ~name:"n0" b Cell.Kind.Mux2 [| q.(0); feedback; enable.(0) |] in
+  let next i = B.add_cell ~name:(Printf.sprintf "n%d" i) b Cell.Kind.Mux2 [| q.(i); q.(i - 1); enable.(0) |] in
+  let n1 = next 1 and n2 = next 2 and n3 = next 3 in
+  (* Rewire DFF inputs: the DFF cells are ids 1..4 (tie0 is id 0). *)
+  B.rewire_input b ~cell_id:1 ~pin:0 next0;
+  B.rewire_input b ~cell_id:2 ~pin:0 n1;
+  B.rewire_input b ~cell_id:3 ~pin:0 n2;
+  B.rewire_input b ~cell_id:4 ~pin:0 n3;
+  B.add_output b "q" q;
+  B.finish b
+
+let comb_xor_tree n =
+  if n < 1 then invalid_arg "Example_circuits.comb_xor_tree: need at least one input bit";
+  let b = B.create (Printf.sprintf "xor_tree%d" n) in
+  let x = B.add_input b "x" n in
+  let rec reduce = function
+    | [] -> assert false
+    | [ v ] -> v
+    | v1 :: v2 :: rest -> reduce (rest @ [ B.add_cell b Cell.Kind.Xor2 [| v1; v2 |] ])
+  in
+  let p = reduce (Array.to_list x) in
+  B.add_output b "p" [| p |];
+  B.finish b

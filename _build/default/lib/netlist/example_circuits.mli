@@ -1,0 +1,25 @@
+(** Small, hand-built netlists: the paper's running example and a few
+    circuits used throughout the test suites. *)
+
+val pipelined_adder : ?split_domains:bool -> unit -> Netlist.t
+(** The 2-bit pipelined adder of the paper's Listing 1 / Figure 3: inputs
+    [a[1:0]] and [b[1:0]] are registered in DFFs [$1]-[$4], summed by cells
+    [$5]-[$8] (XOR/AND/XOR/XOR), and the sum [o[1:0]] is registered in DFFs
+    [$9]-[$10].  Cell instance names match the paper.
+
+    With [split_domains] (default false), DFF [$9] is placed in clock
+    domain 1 — the clock-gated subtree of {!Clock_tree.two_domain_gated} —
+    which reproduces the hold-violation scenario of Section 3.2.2. *)
+
+val dff_chain : int -> Netlist.t
+(** [dff_chain n] is a 1-bit shift register of [n] DFFs between input [d]
+    and output [q]; the minimal sequential circuit. *)
+
+val lfsr4 : unit -> Netlist.t
+(** A 4-bit Fibonacci LFSR (taps 4,3) with an [enable] input and state
+    output [q[3:0]]; reset value 0001.  A self-feeding circuit exercising
+    feedback through DFFs. *)
+
+val comb_xor_tree : int -> Netlist.t
+(** [comb_xor_tree n] is a pure combinational parity tree over an [n]-bit
+    input [x] producing a 1-bit output [p]. *)

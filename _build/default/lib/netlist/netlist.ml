@@ -1,0 +1,487 @@
+type net = int
+
+type cell = {
+  id : int;
+  kind : Cell.Kind.t;
+  name : string;
+  inputs : net array;
+  output : net;
+  clock_domain : int;
+  reset_value : bool;
+}
+
+type port = { port_name : string; port_nets : net array }
+
+type driver = Driven_by_cell of int | Driven_by_input of string * int
+
+type t = {
+  name : string;
+  cells : cell array;
+  num_nets : int;
+  inputs : port list;
+  outputs : port list;
+  drivers : driver array;
+  readers : int list array;
+  topo : int array;
+  dffs : int list;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let name t = t.name
+let num_cells t = Array.length t.cells
+let num_nets t = t.num_nets
+let cell t i = t.cells.(i)
+let cells t = t.cells
+let inputs t = t.inputs
+let outputs t = t.outputs
+
+let find_port ports what name =
+  match List.find_opt (fun p -> String.equal p.port_name name) ports with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Netlist: no %s port named %s" what name)
+
+let find_input t name = find_port t.inputs "input" name
+let find_output t name = find_port t.outputs "output" name
+let driver t n = t.drivers.(n)
+let readers t n = t.readers.(n)
+
+let output_readers t n =
+  List.concat_map
+    (fun p ->
+      Array.to_list p.port_nets
+      |> List.mapi (fun i pn -> (i, pn))
+      |> List.filter_map (fun (i, pn) -> if pn = n then Some (p.port_name, i) else None))
+    t.outputs
+
+let topo_order t = t.topo
+let dffs t = t.dffs
+
+let find_cell t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> t.cells.(i)
+  | None -> raise Not_found
+
+let net_name t n =
+  match t.drivers.(n) with
+  | Driven_by_input (port, bit) -> Printf.sprintf "%s[%d]" port bit
+  | Driven_by_cell id ->
+    let c = t.cells.(id) in
+    let pin = if Cell.Kind.is_sequential c.kind then "Q" else "Y" in
+    Printf.sprintf "%s.%s" c.name pin
+
+let net_of_port_bit t port bit =
+  let p =
+    match List.find_opt (fun p -> String.equal p.port_name port) (t.inputs @ t.outputs) with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Netlist: no port named %s" port)
+  in
+  if bit < 0 || bit >= Array.length p.port_nets then
+    invalid_arg (Printf.sprintf "Netlist: port %s has no bit %d" port bit);
+  p.port_nets.(bit)
+
+let fanout_cone t start_net =
+  let seen = Array.make (Array.length t.cells) false in
+  let rec visit_net n =
+    List.iter
+      (fun id ->
+        if not seen.(id) then begin
+          seen.(id) <- true;
+          visit_net t.cells.(id).output
+        end)
+      t.readers.(n)
+  in
+  visit_net start_net;
+  let acc = ref [] in
+  for id = Array.length t.cells - 1 downto 0 do
+    if seen.(id) then acc := id :: !acc
+  done;
+  !acc
+
+let fanin_cone t end_net =
+  let seen = Array.make (Array.length t.cells) false in
+  let rec visit_net n =
+    match t.drivers.(n) with
+    | Driven_by_input _ -> ()
+    | Driven_by_cell id ->
+      if not seen.(id) then begin
+        seen.(id) <- true;
+        Array.iter visit_net t.cells.(id).inputs
+      end
+  in
+  visit_net end_net;
+  let acc = ref [] in
+  for id = Array.length t.cells - 1 downto 0 do
+    if seen.(id) then acc := id :: !acc
+  done;
+  !acc
+
+let logic_depth t =
+  let depth = Array.make t.num_nets 0 in
+  Array.iter
+    (fun id ->
+      let c = t.cells.(id) in
+      let d = Array.fold_left (fun acc n -> max acc depth.(n)) 0 c.inputs in
+      depth.(c.output) <- d + 1)
+    t.topo;
+  Array.fold_left max 0 depth
+
+let stats t =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun (c : cell) ->
+      let n = try Hashtbl.find counts c.kind with Not_found -> 0 in
+      Hashtbl.replace counts c.kind (n + 1))
+    t.cells;
+  List.filter_map
+    (fun k -> match Hashtbl.find_opt counts k with Some n -> Some (k, n) | None -> None)
+    Cell.Kind.all
+
+let sanitize_id s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') s
+
+let to_verilog t =
+  let buf = Buffer.create 4096 in
+  let net_id n = Printf.sprintf "n%d" n in
+  let ports =
+    List.map (fun p -> (p, "input")) t.inputs @ List.map (fun p -> (p, "output")) t.outputs
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s (clk, rst" (sanitize_id t.name));
+  List.iter (fun (p, _) -> Buffer.add_string buf (Printf.sprintf ", %s" p.port_name)) ports;
+  Buffer.add_string buf ");\n  input wire clk, rst;\n";
+  List.iter
+    (fun (p, dir) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s wire [%d:0] %s;\n" dir (Array.length p.port_nets - 1) p.port_name))
+    ports;
+  for n = 0 to t.num_nets - 1 do
+    Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (net_id n))
+  done;
+  for n = 0 to t.num_nets - 1 do
+    match t.drivers.(n) with
+    | Driven_by_input (port, bit) ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s[%d];\n" (net_id n) port bit)
+    | Driven_by_cell _ -> ()
+  done;
+  Array.iter
+    (fun (c : cell) ->
+      let args = Array.to_list c.inputs |> List.map net_id |> String.concat ", " in
+      if Cell.Kind.is_sequential c.kind then
+        Buffer.add_string buf
+          (Printf.sprintf "  DFF #(.INIT(1'b%d), .DOMAIN(%d)) %s (.C(clk), .R(rst), .D(%s), .Q(%s));\n"
+             (if c.reset_value then 1 else 0)
+             c.clock_domain (sanitize_id c.name) args (net_id c.output))
+      else if args = "" then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %s (%s);\n" (Cell.Kind.to_string c.kind) (sanitize_id c.name)
+             (net_id c.output))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %s (%s, %s);\n" (Cell.Kind.to_string c.kind)
+             (sanitize_id c.name) (net_id c.output) args))
+    t.cells;
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun i n ->
+          Buffer.add_string buf (Printf.sprintf "  assign %s[%d] = %s;\n" p.port_name i (net_id n)))
+        p.port_nets)
+    t.outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let to_dot t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" (sanitize_id t.name));
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun i _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s[%d]\" [shape=cds,style=filled,fillcolor=lightgray];\n"
+               p.port_name i))
+        p.port_nets)
+    t.inputs;
+  Array.iter
+    (fun (c : cell) ->
+      let shape = if Cell.Kind.is_sequential c.kind then "box3d" else "box" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [shape=%s,label=\"%s\\n%s\"];\n" c.name shape c.name
+           (Cell.Kind.to_string c.kind)))
+    t.cells;
+  Array.iter
+    (fun (c : cell) ->
+      Array.iter
+        (fun n ->
+          match t.drivers.(n) with
+          | Driven_by_input (port, bit) ->
+            Buffer.add_string buf (Printf.sprintf "  \"%s[%d]\" -> \"%s\";\n" port bit c.name)
+          | Driven_by_cell src ->
+            Buffer.add_string buf
+              (Printf.sprintf "  \"%s\" -> \"%s\";\n" t.cells.(src).name c.name))
+        c.inputs)
+    t.cells;
+  List.iter
+    (fun p ->
+      Array.iteri
+        (fun i n ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s[%d]out\" [shape=cds,style=filled,fillcolor=lightyellow,label=\"%s[%d]\"];\n"
+               p.port_name i p.port_name i);
+          match t.drivers.(n) with
+          | Driven_by_cell src ->
+            Buffer.add_string buf
+              (Printf.sprintf "  \"%s\" -> \"%s[%d]out\";\n" t.cells.(src).name p.port_name i)
+          | Driven_by_input (port, bit) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  \"%s[%d]\" -> \"%s[%d]out\";\n" port bit p.port_name i))
+        p.port_nets)
+    t.outputs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+module Builder = struct
+  type netlist = t
+
+  type b_cell = {
+    mutable b_kind : Cell.Kind.t;
+    b_name : string;
+    mutable b_inputs : net array;
+    b_output : net;
+    b_clock_domain : int;
+    b_reset_value : bool;
+  }
+
+  type t = {
+    b_netlist_name : string;
+    mutable next_net : int;
+    mutable rev_cells : b_cell list;  (* reverse order *)
+    mutable cells_arr : b_cell array;  (* cells indexed by id; grows *)
+    mutable count : int;
+    mutable rev_inputs : port list;
+    mutable rev_outputs : port list;
+    names : (string, unit) Hashtbl.t;
+    mutable anon : int;
+  }
+
+  let create netlist_name =
+    {
+      b_netlist_name = netlist_name;
+      next_net = 0;
+      rev_cells = [];
+      cells_arr = [||];
+      count = 0;
+      rev_inputs = [];
+      rev_outputs = [];
+      names = Hashtbl.create 64;
+      anon = 0;
+    }
+
+  let push_cell b c =
+    if b.count >= Array.length b.cells_arr then begin
+      let cap = max 64 (2 * Array.length b.cells_arr) in
+      let arr = Array.make cap c in
+      Array.blit b.cells_arr 0 arr 0 b.count;
+      b.cells_arr <- arr
+    end;
+    b.cells_arr.(b.count) <- c;
+    b.count <- b.count + 1;
+    b.rev_cells <- c :: b.rev_cells
+
+  let of_netlist (nl : netlist) =
+    let b = create nl.name in
+    b.next_net <- nl.num_nets;
+    b.rev_inputs <- List.rev nl.inputs;
+    b.rev_outputs <- List.rev nl.outputs;
+    Array.iter
+      (fun (c : cell) ->
+        Hashtbl.replace b.names c.name ();
+        push_cell b
+          {
+            b_kind = c.kind;
+            b_name = c.name;
+            b_inputs = Array.copy c.inputs;
+            b_output = c.output;
+            b_clock_domain = c.clock_domain;
+            b_reset_value = c.reset_value;
+          })
+      nl.cells;
+    b
+
+  let fresh_net b =
+    let n = b.next_net in
+    b.next_net <- n + 1;
+    n
+
+  let add_input b name width =
+    if List.exists (fun p -> String.equal p.port_name name) b.rev_inputs then
+      invalid_arg (Printf.sprintf "Builder.add_input: duplicate port %s" name);
+    let nets = Array.init width (fun _ -> fresh_net b) in
+    b.rev_inputs <- { port_name = name; port_nets = nets } :: b.rev_inputs;
+    nets
+
+  let add_output b name nets =
+    if List.exists (fun p -> String.equal p.port_name name) b.rev_outputs then
+      invalid_arg (Printf.sprintf "Builder.add_output: duplicate port %s" name);
+    b.rev_outputs <- { port_name = name; port_nets = Array.copy nets } :: b.rev_outputs
+
+  let add_cell_with_id ?name ?(clock_domain = -1) ?(reset_value = false) b kind inputs =
+    let arity = Cell.Kind.arity kind in
+    if Array.length inputs <> arity then
+      invalid_arg
+        (Printf.sprintf "Builder.add_cell: %s expects %d inputs, got %d"
+           (Cell.Kind.to_string kind) arity (Array.length inputs));
+    Array.iter
+      (fun n ->
+        if n < 0 || n >= b.next_net then
+          invalid_arg (Printf.sprintf "Builder.add_cell: unknown net %d" n))
+      inputs;
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+        b.anon <- b.anon + 1;
+        Printf.sprintf "_%s_%d" (String.lowercase_ascii (Cell.Kind.to_string kind)) b.anon
+    in
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Builder.add_cell: duplicate cell name %s" name);
+    Hashtbl.replace b.names name ();
+    let output = fresh_net b in
+    push_cell b
+      {
+        b_kind = kind;
+        b_name = name;
+        b_inputs = Array.copy inputs;
+        b_output = output;
+        b_clock_domain = (if Cell.Kind.is_sequential kind then clock_domain else -1);
+        b_reset_value = reset_value;
+      };
+    (b.count - 1, output)
+
+  let add_cell ?name ?clock_domain ?reset_value b kind inputs =
+    snd (add_cell_with_id ?name ?clock_domain ?reset_value b kind inputs)
+
+  let num_cells b = b.count
+
+  let rewire_input b ~cell_id ~pin net =
+    if cell_id < 0 || cell_id >= b.count then
+      invalid_arg (Printf.sprintf "Builder.rewire_input: no cell %d" cell_id);
+    let c = b.cells_arr.(cell_id) in
+    if pin < 0 || pin >= Array.length c.b_inputs then
+      invalid_arg (Printf.sprintf "Builder.rewire_input: cell %s has no pin %d" c.b_name pin);
+    if net < 0 || net >= b.next_net then
+      invalid_arg (Printf.sprintf "Builder.rewire_input: unknown net %d" net);
+    c.b_inputs.(pin) <- net
+
+  let cell_output b id =
+    if id < 0 || id >= b.count then
+      invalid_arg (Printf.sprintf "Builder.cell_output: no cell %d" id);
+    b.cells_arr.(id).b_output
+
+  let finish b =
+    let num_nets = b.next_net in
+    let cells =
+      Array.init b.count (fun i ->
+          let c = b.cells_arr.(i) in
+          {
+            id = i;
+            kind = c.b_kind;
+            name = c.b_name;
+            inputs = Array.copy c.b_inputs;
+            output = c.b_output;
+            clock_domain = c.b_clock_domain;
+            reset_value = c.b_reset_value;
+          })
+    in
+    let inputs = List.rev b.rev_inputs and outputs = List.rev b.rev_outputs in
+    let drivers = Array.make (max num_nets 1) (Driven_by_cell (-1)) in
+    let driven = Array.make num_nets false in
+    List.iter
+      (fun p ->
+        Array.iteri
+          (fun bit n ->
+            if driven.(n) then
+              invalid_arg (Printf.sprintf "Netlist %s: net %d driven twice" b.b_netlist_name n);
+            driven.(n) <- true;
+            drivers.(n) <- Driven_by_input (p.port_name, bit))
+          p.port_nets)
+      inputs;
+    Array.iter
+      (fun (c : cell) ->
+        if driven.(c.output) then
+          invalid_arg
+            (Printf.sprintf "Netlist %s: net %d (output of %s) driven twice" b.b_netlist_name
+               c.output c.name);
+        driven.(c.output) <- true;
+        drivers.(c.output) <- Driven_by_cell c.id)
+      cells;
+    (* Undriven nets that nothing reads are tolerated (they arise from
+       rewiring); undriven nets that feed a cell or output port are errors. *)
+    let check_driven ctx n =
+      if n < 0 || n >= num_nets || not driven.(n) then
+        invalid_arg (Printf.sprintf "Netlist %s: %s reads undriven net %d" b.b_netlist_name ctx n)
+    in
+    Array.iter (fun (c : cell) -> Array.iter (check_driven ("cell " ^ c.name)) c.inputs) cells;
+    List.iter
+      (fun p -> Array.iter (check_driven ("output port " ^ p.port_name)) p.port_nets)
+      outputs;
+    let readers = Array.make (max num_nets 1) [] in
+    Array.iter
+      (fun (c : cell) -> Array.iter (fun n -> readers.(n) <- c.id :: readers.(n)) c.inputs)
+      cells;
+    for n = 0 to num_nets - 1 do
+      readers.(n) <- List.rev readers.(n)
+    done;
+    (* Kahn topological sort over combinational cells only. *)
+    let comb = Array.to_list cells |> List.filter (fun c -> not (Cell.Kind.is_sequential c.kind)) in
+    let indeg = Hashtbl.create 64 in
+    List.iter
+      (fun (c : cell) ->
+        let d =
+          Array.to_list c.inputs
+          |> List.filter (fun n ->
+                 match drivers.(n) with
+                 | Driven_by_cell id -> not (Cell.Kind.is_sequential cells.(id).kind)
+                 | Driven_by_input _ -> false)
+          |> List.length
+        in
+        Hashtbl.replace indeg c.id d)
+      comb;
+    let queue = Queue.create () in
+    List.iter (fun c -> if Hashtbl.find indeg c.id = 0 then Queue.add c.id queue) comb;
+    let topo = ref [] in
+    let emitted = ref 0 in
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      topo := id :: !topo;
+      incr emitted;
+      List.iter
+        (fun rid ->
+          match Hashtbl.find_opt indeg rid with
+          | None -> ()  (* sequential reader *)
+          | Some d ->
+            let d = d - 1 in
+            Hashtbl.replace indeg rid d;
+            if d = 0 then Queue.add rid queue)
+        readers.(cells.(id).output)
+    done;
+    if !emitted <> List.length comb then
+      invalid_arg (Printf.sprintf "Netlist %s: combinational cycle detected" b.b_netlist_name);
+    let dffs =
+      Array.to_list cells
+      |> List.filter_map (fun c -> if Cell.Kind.is_sequential c.kind then Some c.id else None)
+    in
+    let by_name = Hashtbl.create (Array.length cells) in
+    Array.iter (fun (c : cell) -> Hashtbl.replace by_name c.name c.id) cells;
+    {
+      name = b.b_netlist_name;
+      cells;
+      num_nets;
+      inputs;
+      outputs;
+      drivers;
+      readers;
+      topo = Array.of_list (List.rev !topo);
+      dffs;
+      by_name;
+    }
+end

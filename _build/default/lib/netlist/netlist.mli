@@ -1,0 +1,148 @@
+(** The gate-level netlist intermediate representation.
+
+    A netlist is a directed graph of standard cells ({!Cell.Kind.t})
+    connected by single-bit nets, with named multi-bit primary input and
+    output ports — the post-synthesis, post-place-and-route artifact every
+    phase of the workflow operates on.  Netlists are immutable once built;
+    {!Builder} constructs them (from scratch or by extending an existing
+    netlist, which is how failure-model instrumentation works) and validates
+    structural invariants at {!Builder.finish} time:
+
+    - every net has exactly one driver (a cell output or a primary input);
+    - cell input arities match their kinds;
+    - the combinational subgraph is acyclic (every cycle is cut by a DFF);
+    - port nets exist and output ports are driven.
+
+    The frozen netlist precomputes the driver map, fan-out lists and a
+    topological order of the combinational cells, which the simulator, the
+    STA engine and the CNF encoder all reuse. *)
+
+type net = int
+(** Nets are dense indices in [[0, num_nets)]. *)
+
+type cell = {
+  id : int;
+  kind : Cell.Kind.t;
+  name : string;  (** instance name, unique within the netlist *)
+  inputs : net array;
+  output : net;
+  clock_domain : int;  (** clock-tree leaf driving this DFF; [-1] for combinational cells *)
+  reset_value : bool;  (** value a DFF assumes on reset *)
+}
+
+type port = { port_name : string; port_nets : net array  (** LSB first *) }
+
+type driver =
+  | Driven_by_cell of int  (** cell id *)
+  | Driven_by_input of string * int  (** port name, bit index *)
+
+type t
+
+(** {1 Observation} *)
+
+val name : t -> string
+val num_cells : t -> int
+val num_nets : t -> int
+val cell : t -> int -> cell
+val cells : t -> cell array
+(** The backing array; callers must not mutate it. *)
+
+val inputs : t -> port list
+val outputs : t -> port list
+val find_input : t -> string -> port
+val find_output : t -> string -> port
+
+val driver : t -> net -> driver
+val readers : t -> net -> int list
+(** Ids of the cells reading a net. *)
+
+val output_readers : t -> net -> (string * int) list
+(** Output ports (name, bit) connected to a net. *)
+
+val topo_order : t -> int array
+(** Combinational cell ids in dataflow order: every cell appears after all
+    combinational drivers of its inputs. *)
+
+val dffs : t -> int list
+(** Ids of all DFF cells. *)
+
+val find_cell : t -> string -> cell
+(** @raise Not_found if no cell has this instance name. *)
+
+val net_name : t -> net -> string
+(** Human-readable name: the driving port bit ["a[1]"] or cell instance
+    ["$7.Y"]. *)
+
+val net_of_port_bit : t -> string -> int -> net
+(** Net behind bit [i] of the named input or output port. *)
+
+(** {1 Analysis helpers} *)
+
+val fanout_cone : t -> net -> int list
+(** Ids of every cell transitively influenced by a net, crossing DFFs
+    (the shadow-replica region of the failure-model instrumentation). *)
+
+val fanin_cone : t -> net -> int list
+(** Ids of every cell that can transitively influence a net. *)
+
+val logic_depth : t -> int
+(** Longest combinational path, in cells. *)
+
+val stats : t -> (Cell.Kind.t * int) list
+(** Cell count per kind, only kinds that occur. *)
+
+val to_verilog : t -> string
+(** Structural Verilog text for the netlist (the "failing netlist" artifact
+    format of the paper). *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the cell graph (DFFs as 3-D boxes, ports as
+    tabs) — handy for inspecting instrumented netlists. *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : string -> t
+  (** Fresh empty builder for a netlist with the given name. *)
+
+  val of_netlist : netlist -> t
+  (** Builder seeded with a copy of an existing netlist — the entry point of
+      every instrumentation transform.  Cell ids and nets are preserved. *)
+
+  val fresh_net : t -> net
+  val add_input : t -> string -> int -> net array
+  (** [add_input b name width] declares a primary input port and returns its
+      (fresh) nets, LSB first. *)
+
+  val add_output : t -> string -> net array -> unit
+  (** Declare a primary output port connected to existing nets. *)
+
+  val add_cell :
+    ?name:string -> ?clock_domain:int -> ?reset_value:bool -> t -> Cell.Kind.t -> net array ->
+    net
+  (** [add_cell b kind inputs] adds a cell driving a fresh net, returned.
+      A unique instance name is generated when [name] is omitted.
+      @raise Invalid_argument on arity mismatch or duplicate name. *)
+
+  val add_cell_with_id :
+    ?name:string -> ?clock_domain:int -> ?reset_value:bool -> t -> Cell.Kind.t -> net array ->
+    int * net
+  (** Like {!add_cell} but also returns the new cell's id (ids are assigned
+      densely in insertion order and survive {!finish}). *)
+
+  val num_cells : t -> int
+
+  val rewire_input : t -> cell_id:int -> pin:int -> net -> unit
+  (** Repoint input [pin] of an existing cell to another net (used to splice
+      failure models into a copied netlist). *)
+
+  val cell_output : t -> int -> net
+  (** Output net of a cell already in the builder. *)
+
+  val finish : t -> netlist
+  (** Validate and freeze.  @raise Invalid_argument describing the first
+      violated structural invariant. *)
+end

@@ -1,0 +1,187 @@
+type stats = {
+  cells_before : int;
+  cells_after : int;
+  folded : int;
+  dead_removed : int;
+}
+
+(* Value class of an original net after folding. *)
+type cls = Const of bool | Same of Netlist.net  (* canonical original net *)
+
+let classify nl =
+  let n = Netlist.num_nets nl in
+  let cls = Array.init n (fun i -> Same i) in
+  let folded = ref 0 in
+  let rec resolve net =
+    match cls.(net) with
+    | Const b -> Const b
+    | Same m when m = net -> Same net
+    | Same m -> resolve m
+  in
+  (* primary inputs and DFF outputs stay canonical; comb cells fold in
+     topological order *)
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell nl id in
+      let out = c.Netlist.output in
+      let inp k = resolve c.Netlist.inputs.(k) in
+      let demote v =
+        cls.(out) <- v;
+        incr folded
+      in
+      let kind = c.Netlist.kind in
+      match kind with
+      | Cell.Kind.Tie0 -> cls.(out) <- Const false
+      | Cell.Kind.Tie1 -> cls.(out) <- Const true
+      | Cell.Kind.Buf -> demote (inp 0)
+      | Cell.Kind.Not -> (
+        match inp 0 with Const b -> demote (Const (not b)) | Same _ -> ())
+      | Cell.Kind.And2 | Cell.Kind.Or2 | Cell.Kind.Xor2 | Cell.Kind.Nand2 | Cell.Kind.Nor2
+      | Cell.Kind.Xnor2 -> (
+        match (inp 0, inp 1) with
+        | Const a, Const b -> demote (Const (Cell.Kind.eval kind [| a; b |]))
+        | Const cb, Same m | Same m, Const cb -> (
+          (* one constant input *)
+          match (kind, cb) with
+          | Cell.Kind.And2, false -> demote (Const false)
+          | Cell.Kind.And2, true -> demote (Same m)
+          | Cell.Kind.Or2, true -> demote (Const true)
+          | Cell.Kind.Or2, false -> demote (Same m)
+          | Cell.Kind.Xor2, false -> demote (Same m)
+          | Cell.Kind.Nand2, false -> demote (Const true)
+          | Cell.Kind.Nor2, true -> demote (Const false)
+          | Cell.Kind.Xnor2, true -> demote (Same m)
+          | _ -> ()  (* would need an inverter: keep the gate *))
+        | Same a, Same b when a = b -> (
+          match kind with
+          | Cell.Kind.And2 | Cell.Kind.Or2 -> demote (Same a)
+          | Cell.Kind.Xor2 -> demote (Const false)
+          | Cell.Kind.Xnor2 -> demote (Const true)
+          | _ -> ()  (* NAND/NOR of x,x is NOT x: keep *))
+        | _ -> ())
+      | Cell.Kind.Mux2 -> (
+        match inp 2 with
+        | Const false -> demote (inp 0)
+        | Const true -> demote (inp 1)
+        | Same _ -> (
+          match (inp 0, inp 1) with
+          | Same a, Same b when a = b -> demote (Same a)
+          | Const a, Const b when a = b -> demote (Const a)
+          | _ -> ()))
+      | Cell.Kind.Dff -> ())
+    (Netlist.topo_order nl);
+  (cls, resolve, !folded)
+
+(* Liveness on the original graph: nets needed by output ports, walking
+   backward through kept logic and registers. *)
+let live_cells nl resolve =
+  let live = Array.make (Netlist.num_cells nl) false in
+  let seen_net = Array.make (Netlist.num_nets nl) false in
+  let rec need net =
+    match resolve net with
+    | Const _ -> ()
+    | Same canon ->
+      if not seen_net.(canon) then begin
+        seen_net.(canon) <- true;
+        match Netlist.driver nl canon with
+        | Netlist.Driven_by_input _ -> ()
+        | Netlist.Driven_by_cell id ->
+          live.(id) <- true;
+          Array.iter need (Netlist.cell nl id).Netlist.inputs
+      end
+  in
+  List.iter
+    (fun (p : Netlist.port) -> Array.iter need p.Netlist.port_nets)
+    (Netlist.outputs nl);
+  live
+
+let optimize nl =
+  let cls, resolve, folded = classify nl in
+  ignore cls;
+  let live = live_cells nl resolve in
+  let b = Netlist.Builder.create (Netlist.name nl) in
+  (* ports in original order so interfaces match exactly *)
+  let net_map = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Netlist.port) ->
+      let nets = Netlist.Builder.add_input b p.Netlist.port_name (Array.length p.Netlist.port_nets) in
+      Array.iteri (fun i orig -> Hashtbl.replace net_map orig nets.(i)) p.Netlist.port_nets)
+    (Netlist.inputs nl);
+  let tie0 = ref None and tie1 = ref None in
+  let tie v =
+    let cache = if v then tie1 else tie0 in
+    match !cache with
+    | Some n -> n
+    | None ->
+      let n =
+        Netlist.Builder.add_cell ~name:(if v then "_opt_tie1" else "_opt_tie0") b
+          (if v then Cell.Kind.Tie1 else Cell.Kind.Tie0)
+          [||]
+      in
+      cache := Some n;
+      n
+  in
+  (* pass 1: create live DFFs (placeholder D) and live kept comb cells in
+     topo order *)
+  let dff_ids = ref [] in
+  List.iter
+    (fun id ->
+      let c = Netlist.cell nl id in
+      if live.(id) then begin
+        let new_id, out =
+          Netlist.Builder.add_cell_with_id ~name:c.Netlist.name
+            ~clock_domain:c.Netlist.clock_domain ~reset_value:c.Netlist.reset_value b
+            Cell.Kind.Dff
+            [| Netlist.Builder.fresh_net b |]
+        in
+        ignore new_id;
+        (* placeholder input is an undriven fresh net; rewired in pass 2 *)
+        dff_ids := (id, new_id) :: !dff_ids;
+        Hashtbl.replace net_map c.Netlist.output out
+      end)
+    (Netlist.dffs nl);
+  let new_net_of orig =
+    match resolve orig with
+    | Const v -> tie v
+    | Same canon -> (
+      match Hashtbl.find_opt net_map canon with
+      | Some n -> n
+      | None -> invalid_arg "Netlist_opt: dangling reference (internal)")
+  in
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell nl id in
+      if live.(id) && (match resolve c.Netlist.output with Same s when s = c.Netlist.output -> true | _ -> false)
+      then begin
+        let inputs = Array.map new_net_of c.Netlist.inputs in
+        let out = Netlist.Builder.add_cell ~name:c.Netlist.name b c.Netlist.kind inputs in
+        Hashtbl.replace net_map c.Netlist.output out
+      end)
+    (Netlist.topo_order nl);
+  (* pass 2: rewire DFF inputs *)
+  List.iter
+    (fun (orig_id, new_id) ->
+      let c = Netlist.cell nl orig_id in
+      Netlist.Builder.rewire_input b ~cell_id:new_id ~pin:0 (new_net_of c.Netlist.inputs.(0)))
+    !dff_ids;
+  (* outputs *)
+  List.iter
+    (fun (p : Netlist.port) ->
+      Netlist.Builder.add_output b p.Netlist.port_name (Array.map new_net_of p.Netlist.port_nets))
+    (Netlist.outputs nl);
+  let optimized = Netlist.Builder.finish b in
+  let dead_removed =
+    Netlist.num_cells nl - folded
+    - (Netlist.num_cells optimized
+      - (match (!tie0, !tie1) with
+        | Some _, Some _ -> 2
+        | Some _, None | None, Some _ -> 1
+        | None, None -> 0))
+  in
+  ( optimized,
+    {
+      cells_before = Netlist.num_cells nl;
+      cells_after = Netlist.num_cells optimized;
+      folded;
+      dead_removed = max 0 dead_removed;
+    } )

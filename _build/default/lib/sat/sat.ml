@@ -1,0 +1,488 @@
+type result = Sat | Unsat | Unknown
+
+(* Growable int-array vector. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create () = { data = Array.make 16 0; size = 0 }
+
+  let push v x =
+    if v.size = Array.length v.data then begin
+      let data = Array.make (2 * v.size) 0 in
+      Array.blit v.data 0 data 0 v.size;
+      v.data <- data
+    end;
+    v.data.(v.size) <- x;
+    v.size <- v.size + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.size
+  let shrink v n = v.size <- n
+  let _clear v = v.size <- 0
+end
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : int array array;  (* problem + learned *)
+  mutable nclauses : int;  (* total stored *)
+  mutable nproblem : int;
+  (* per-variable state, index 1..nvars (0 unused) *)
+  mutable assign : int array;  (* 0 / 1 / -1 *)
+  mutable level : int array;
+  mutable reason : int array;  (* clause index or -1 *)
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;
+  (* watches, indexed by literal index *)
+  mutable watches : Vec.t array;
+  (* heap of decision candidates *)
+  mutable heap : int array;
+  mutable heap_pos : int array;  (* -1 when absent *)
+  mutable heap_size : int;
+  problem_idx : Vec.t;  (* indices of problem (non-learned) clauses *)
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;  (* false once root-level conflict found *)
+  mutable model_arr : bool array;
+  mutable last_result : result;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Array.make 64 [||];
+    nclauses = 0;
+    nproblem = 0;
+    assign = Array.make 8 0;
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    activity = Array.make 8 0.0;
+    polarity = Array.make 8 false;
+    seen = Array.make 8 false;
+    watches = Array.init 16 (fun _ -> Vec.create ());
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_size = 0;
+    problem_idx = Vec.create ();
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    model_arr = [||];
+    last_result = Unknown;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let num_vars t = t.nvars
+let num_clauses t = t.nproblem
+let stats_conflicts t = t.conflicts
+let stats_decisions t = t.decisions
+let stats_propagations t = t.propagations
+
+let lit_idx l = if l > 0 then 2 * l else (-2 * l) + 1
+
+let grow_arrays t n =
+  let old = Array.length t.assign in
+  if n >= old then begin
+    let cap = max (2 * old) (n + 1) in
+    let grow a def =
+      let a' = Array.make cap def in
+      Array.blit a 0 a' 0 old;
+      a'
+    in
+    t.assign <- grow t.assign 0;
+    t.level <- grow t.level 0;
+    t.reason <- grow t.reason (-1);
+    t.activity <- grow t.activity 0.0;
+    t.polarity <- grow t.polarity false;
+    t.seen <- grow t.seen false;
+    t.heap <- grow t.heap 0;
+    t.heap_pos <- grow t.heap_pos (-1);
+    let oldw = Array.length t.watches in
+    let capw = 2 * cap + 2 in
+    if capw > oldw then begin
+      let w = Array.init capw (fun i -> if i < oldw then t.watches.(i) else Vec.create ()) in
+      t.watches <- w
+    end
+  end
+
+(* max-heap on activity *)
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t t.heap.(i) t.heap.(p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_less t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_less t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) = -1 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_up t (t.heap_size - 1)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  if t.heap_size > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_size);
+    t.heap_pos.(t.heap.(0)) <- 0
+  end;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then heap_down t 0;
+  v
+
+let new_var t =
+  let v = t.nvars + 1 in
+  t.nvars <- v;
+  grow_arrays t v;
+  heap_insert t v;
+  v
+
+let lit_value t l =
+  let s = t.assign.(abs l) in
+  if s = 0 then 0 else if l > 0 then s else -s
+
+let decision_level t = Vec.size t.trail_lim
+
+let enqueue t l reason =
+  let v = abs l in
+  t.assign.(v) <- (if l > 0 then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.polarity.(v) <- l > 0;
+  Vec.push t.trail l
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 1 to t.nvars do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let decay_activities t = t.var_inc <- t.var_inc /. 0.95
+
+let store_clause t lits =
+  if t.nclauses = Array.length t.clauses then begin
+    let c = Array.make (2 * t.nclauses) [||] in
+    Array.blit t.clauses 0 c 0 t.nclauses;
+    t.clauses <- c
+  end;
+  t.clauses.(t.nclauses) <- lits;
+  t.nclauses <- t.nclauses + 1;
+  t.nclauses - 1
+
+let watch_clause t ci =
+  let lits = t.clauses.(ci) in
+  Vec.push t.watches.(lit_idx (-lits.(0))) ci;
+  Vec.push t.watches.(lit_idx (-lits.(1))) ci
+
+(* Propagate all enqueued facts.  Returns the index of a conflicting clause
+   or -1. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl = -1 && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    (* clauses watching -p (p just became true, so -p became false) *)
+    let wl = t.watches.(lit_idx p) in
+    let n = Vec.size wl in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Vec.get wl !i in
+      incr i;
+      let lits = t.clauses.(ci) in
+      (* Ensure the false literal is at position 1. *)
+      if lits.(0) = -p then begin
+        lits.(0) <- lits.(1);
+        lits.(1) <- -p
+      end;
+      if lit_value t lits.(0) = 1 then begin
+        (* clause satisfied; keep watching *)
+        Vec.set wl !keep ci;
+        incr keep
+      end
+      else begin
+        (* find a new literal to watch *)
+        let len = Array.length lits in
+        let found = ref false in
+        let j = ref 2 in
+        while (not !found) && !j < len do
+          if lit_value t lits.(!j) <> -1 then begin
+            lits.(1) <- lits.(!j);
+            lits.(!j) <- -p;
+            Vec.push t.watches.(lit_idx (-lits.(1))) ci;
+            found := true
+          end;
+          incr j
+        done;
+        if not !found then begin
+          (* unit or conflicting *)
+          Vec.set wl !keep ci;
+          incr keep;
+          if lit_value t lits.(0) = -1 then begin
+            confl := ci;
+            (* copy remaining watches back *)
+            while !i < n do
+              Vec.set wl !keep (Vec.get wl !i);
+              incr keep;
+              incr i
+            done
+          end
+          else enqueue t lits.(0) ci
+        end
+      end
+    done;
+    Vec.shrink wl !keep
+  done;
+  !confl
+
+let backtrack t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let v = abs (Vec.get t.trail i) in
+      t.assign.(v) <- 0;
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* First-UIP conflict analysis.  Returns (learnt clause, backtrack level);
+   learnt.(0) is the asserting literal. *)
+let analyze t confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  let bt = ref 0 in
+  let index = ref (Vec.size t.trail - 1) in
+  let ci = ref confl in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let lits = t.clauses.(!ci) in
+    let start = if !p = 0 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = abs q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        bump_var t v;
+        if t.level.(v) = decision_level t then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if t.level.(v) > !bt then bt := t.level.(v)
+        end
+      end
+    done;
+    (* next literal on trail to resolve *)
+    while not t.seen.(abs (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    t.seen.(abs !p) <- false;
+    decr counter;
+    if !counter = 0 then continue_loop := false
+    else begin
+      ci := t.reason.(abs !p);
+      (* ensure the resolved literal is at position 0 of its reason *)
+      let lits = t.clauses.(!ci) in
+      if lits.(0) <> !p then begin
+        let pos = ref 0 in
+        Array.iteri (fun k q -> if q = !p then pos := k) lits;
+        let tmp = lits.(0) in
+        lits.(0) <- lits.(!pos);
+        lits.(!pos) <- tmp
+      end
+    end
+  done;
+  let learnt = Array.of_list ((- !p) :: !learnt) in
+  List.iter (fun q -> t.seen.(abs q) <- false) (Array.to_list learnt);
+  (learnt, !bt)
+
+let add_clause t lits =
+  List.iter
+    (fun l ->
+      let v = abs l in
+      if v < 1 || v > t.nvars then
+        invalid_arg (Printf.sprintf "Sat.add_clause: unknown variable %d" v))
+    lits;
+  if t.ok then begin
+    backtrack t 0;
+    t.last_result <- Unknown;
+    (* simplify: dedupe, drop false lits (root level), detect tautology/satisfied *)
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.mem (-l) lits) lits in
+    let satisfied = List.exists (fun l -> lit_value t l = 1) lits in
+    if not (taut || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value t l <> -1) lits in
+      match lits with
+      | [] -> t.ok <- false
+      | [ l ] ->
+        enqueue t l (-1);
+        if propagate t <> -1 then t.ok <- false
+      | _ ->
+        let arr = Array.of_list lits in
+        let ci = store_clause t arr in
+        t.nproblem <- t.nproblem + 1;
+        Vec.push t.problem_idx ci;
+        watch_clause t ci
+    end
+  end
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 ... *)
+let luby i =
+  let rec compute i =
+    let k = ref 1 in
+    while (1 lsl !k) - 1 < i + 1 do
+      incr k
+    done;
+    let k = !k in
+    if (1 lsl k) - 1 = i + 1 then 1 lsl (k - 1)
+    else compute (i + 1 - (1 lsl (k - 1)))
+  in
+  compute i
+
+let pick_branch_var t =
+  let rec go () =
+    if t.heap_size = 0 then 0
+    else
+      let v = heap_pop t in
+      if t.assign.(v) = 0 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) ?max_conflicts t =
+  if not t.ok then Unsat
+  else begin
+    backtrack t 0;
+    t.last_result <- Unknown;
+    let assumptions = Array.of_list assumptions in
+    let budget = match max_conflicts with Some b -> t.conflicts + b | None -> max_int in
+    let restart_base = 64 in
+    let restart_num = ref 0 in
+    let next_restart = ref (t.conflicts + (restart_base * luby 0)) in
+    let result = ref None in
+    (try
+       while !result = None do
+         let confl = propagate t in
+         if confl >= 0 then begin
+           t.conflicts <- t.conflicts + 1;
+           if decision_level t = 0 then begin
+             t.ok <- false;
+             result := Some Unsat
+           end
+           else if decision_level t <= Array.length assumptions then
+             (* conflict while the assumption prefix is active *)
+             result := Some Unsat
+           else begin
+             let learnt, bt = analyze t confl in
+             (* never undo the assumption prefix *)
+             let bt = max bt (min (decision_level t - 1) (Array.length assumptions)) in
+             backtrack t bt;
+             if Array.length learnt = 1 then begin
+               if lit_value t learnt.(0) = 0 then enqueue t learnt.(0) (-1)
+             end
+             else begin
+               let ci = store_clause t learnt in
+               watch_clause t ci;
+               enqueue t learnt.(0) ci
+             end;
+             decay_activities t;
+             if t.conflicts >= budget then result := Some Unknown
+           end
+         end
+         else if t.conflicts >= !next_restart && decision_level t > Array.length assumptions
+         then begin
+           incr restart_num;
+           next_restart := t.conflicts + (restart_base * luby !restart_num);
+           backtrack t (Array.length assumptions)
+         end
+         else if decision_level t < Array.length assumptions then begin
+           let a = assumptions.(decision_level t) in
+           match lit_value t a with
+           | 1 -> Vec.push t.trail_lim (Vec.size t.trail)  (* dummy level *)
+           | -1 -> result := Some Unsat
+           | _ ->
+             Vec.push t.trail_lim (Vec.size t.trail);
+             t.decisions <- t.decisions + 1;
+             enqueue t a (-1)
+         end
+         else begin
+           let v = pick_branch_var t in
+           if v = 0 then begin
+             (* full assignment: SAT *)
+             t.model_arr <- Array.init (t.nvars + 1) (fun i -> i > 0 && t.assign.(i) = 1);
+             result := Some Sat
+           end
+           else begin
+             Vec.push t.trail_lim (Vec.size t.trail);
+             t.decisions <- t.decisions + 1;
+             enqueue t (if t.polarity.(v) then v else -v) (-1)
+           end
+         end
+       done
+     with Exit -> ());
+    let r = match !result with Some r -> r | None -> Unknown in
+    backtrack t 0;
+    t.last_result <- r;
+    r
+  end
+
+let value t v =
+  if t.last_result <> Sat then invalid_arg "Sat.value: last result was not Sat";
+  if v < 1 || v > t.nvars then invalid_arg "Sat.value: unknown variable";
+  t.model_arr.(v)
+
+let to_dimacs t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" t.nvars t.nproblem);
+  for k = 0 to Vec.size t.problem_idx - 1 do
+    let ci = Vec.get t.problem_idx k in
+    Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) t.clauses.(ci);
+    Buffer.add_string buf "0\n"
+  done;
+  Buffer.contents buf
+
+let model t =
+  if t.last_result <> Sat then invalid_arg "Sat.model: last result was not Sat";
+  Array.copy t.model_arr

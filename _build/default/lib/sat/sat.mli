@@ -1,0 +1,54 @@
+(** A CDCL SAT solver.
+
+    This is the decision engine behind the formal-verification phase
+    (the JasperGold substitute): conflict-driven clause learning with
+    two-watched-literal propagation, first-UIP conflict analysis,
+    VSIDS-style variable activities, phase saving, and Luby restarts.
+
+    Literals are nonzero integers in DIMACS convention: variable [v] is the
+    positive literal [v], its negation [-v].  Variables must be allocated
+    with {!new_var} before use. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its (positive) id, starting at 1. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Problem clauses added so far (excluding learned clauses). *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (list of literals).  Duplicate literals are merged and
+    tautologies dropped.  Adding the empty clause makes the instance
+    trivially unsatisfiable.
+    @raise Invalid_argument on a literal whose variable was never
+    allocated. *)
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
+(** Decide satisfiability under the given assumption literals.  Returns
+    [Unknown] when [max_conflicts] (default: unlimited) is exhausted — the
+    budget that realizes the paper's "FF" formal-tool-timeout outcome.
+    The solver may be reused: call {!solve} again, with different
+    assumptions or after adding clauses. *)
+
+val value : t -> int -> bool
+(** Value of a variable in the model of the last [Sat] answer.
+    @raise Invalid_argument if the last result was not [Sat]. *)
+
+val to_dimacs : t -> string
+(** The problem clauses in DIMACS CNF (for cross-checking against external
+    solvers).  Learned clauses are not included.  Note that root-level
+    simplification during {!add_clause} may already have dropped satisfied
+    clauses and falsified literals, so this is the simplified instance. *)
+
+val model : t -> bool array
+(** The full model, indexed by variable id (entry 0 unused). *)
+
+val stats_conflicts : t -> int
+val stats_decisions : t -> int
+val stats_propagations : t -> int

@@ -1,0 +1,1 @@
+lib/serial/json.ml: Buffer Char Float List Printf Result String

@@ -1,0 +1,1 @@
+lib/serial/serial.ml: Alu Fault Fpu_format Json Lift List Printf Result

@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(pretty = true) v =
+  let buf = Buffer.create 256 in
+  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if pretty then Buffer.add_char buf '\n' in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x ->
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" x)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if pretty then "\": " else "\":");
+          go (depth + 1) item)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'  (* non-ASCII: placeholder *)
+          | None -> fail "bad \\u escape");
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some x -> Float x
+      | None -> fail (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ]"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or }"
+        in
+        Obj (fields [])
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "json: at offset %d: %s" at msg)
+
+let member key = function
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "json: missing field %S" key))
+  | _ -> Error (Printf.sprintf "json: expected an object with field %S" key)
+
+let to_int = function Int n -> Ok n | _ -> Error "json: expected an integer"
+let to_bool = function Bool b -> Ok b | _ -> Error "json: expected a boolean"
+let to_str = function String s -> Ok s | _ -> Error "json: expected a string"
+let to_list = function List l -> Ok l | _ -> Error "json: expected an array"
+
+let ( let* ) = Result.bind
+
+let map_m f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match f x with
+      | Ok y -> go (y :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] l

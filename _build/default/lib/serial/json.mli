@@ -1,0 +1,36 @@
+(** A minimal self-contained JSON representation, printer and parser.
+
+    Supports the full JSON grammar (objects, arrays, strings with escapes,
+    numbers, booleans, null); numbers that look integral parse as [Int].
+    No external dependencies — this backs the suite/profile interchange
+    format of {!Serial}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] (default true) indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Parse; the error carries a character offset and description. *)
+
+(** {1 Accessors} — all return [Error] with a path-aware message on
+    shape mismatch. *)
+
+val member : string -> t -> (t, string) result
+val to_int : t -> (int, string) result
+val to_bool : t -> (bool, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, for decoder pipelines. *)
+
+val map_m : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result
+(** Monadic map: first error wins. *)

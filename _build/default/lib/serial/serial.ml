@@ -1,0 +1,198 @@
+let format_version = 1
+
+open Json
+
+let spec_to_json (s : Fault.spec) =
+  Obj
+    [
+      ("start", String s.Fault.start_dff);
+      ("end", String s.Fault.end_dff);
+      ( "violation",
+        String (match s.Fault.kind with Fault.Setup_violation -> "setup" | Fault.Hold_violation -> "hold") );
+      ( "constant",
+        String
+          (match s.Fault.constant with Fault.C0 -> "0" | Fault.C1 -> "1" | Fault.C_random -> "r")
+      );
+      ( "activation",
+        String
+          (match s.Fault.activation with
+          | Fault.Any_transition -> "any"
+          | Fault.Rising_edge -> "rising"
+          | Fault.Falling_edge -> "falling") );
+    ]
+
+let spec_of_json j =
+  let* start_dff = Result.bind (member "start" j) to_str in
+  let* end_dff = Result.bind (member "end" j) to_str in
+  let* kind_s = Result.bind (member "violation" j) to_str in
+  let* const_s = Result.bind (member "constant" j) to_str in
+  let* act_s = Result.bind (member "activation" j) to_str in
+  let* kind =
+    match kind_s with
+    | "setup" -> Ok Fault.Setup_violation
+    | "hold" -> Ok Fault.Hold_violation
+    | k -> Error (Printf.sprintf "bad violation kind %S" k)
+  in
+  let* constant =
+    match const_s with
+    | "0" -> Ok Fault.C0
+    | "1" -> Ok Fault.C1
+    | "r" -> Ok Fault.C_random
+    | c -> Error (Printf.sprintf "bad constant %S" c)
+  in
+  let* activation =
+    match act_s with
+    | "any" -> Ok Fault.Any_transition
+    | "rising" -> Ok Fault.Rising_edge
+    | "falling" -> Ok Fault.Falling_edge
+    | a -> Error (Printf.sprintf "bad activation %S" a)
+  in
+  Ok { Fault.start_dff; end_dff; kind; constant; activation }
+
+let body_to_json = function
+  | Lift.Alu_test steps ->
+    Obj
+      [
+        ("unit", String "alu");
+        ( "steps",
+          List
+            (List.map
+               (fun (s : Lift.alu_step) ->
+                 Obj
+                   [
+                     ("op", String (Alu.op_name s.Lift.a_op));
+                     ("a", Int s.Lift.a_lhs);
+                     ("b", Int s.Lift.a_rhs);
+                     ("expected", Int s.Lift.a_expected);
+                   ])
+               steps) );
+      ]
+  | Lift.Fpu_test steps ->
+    Obj
+      [
+        ("unit", String "fpu");
+        ( "steps",
+          List
+            (List.map
+               (fun (s : Lift.fpu_step) ->
+                 Obj
+                   [
+                     ("op", String (Fpu_format.op_name s.Lift.f_op));
+                     ("a", Int s.Lift.f_lhs);
+                     ("b", Int s.Lift.f_rhs);
+                     ("expected", Int s.Lift.f_expected);
+                     ("flags", Int (Fpu_format.flags_to_int s.Lift.f_flags));
+                   ])
+               steps) );
+      ]
+
+let body_of_json j =
+  let* unit_s = Result.bind (member "unit" j) to_str in
+  let* steps = Result.bind (member "steps" j) to_list in
+  match unit_s with
+  | "alu" ->
+    let* steps =
+      map_m
+        (fun s ->
+          let* op_s = Result.bind (member "op" s) to_str in
+          let* a = Result.bind (member "a" s) to_int in
+          let* b = Result.bind (member "b" s) to_int in
+          let* expected = Result.bind (member "expected" s) to_int in
+          match Alu.op_of_name op_s with
+          | Some op -> Ok { Lift.a_op = op; a_lhs = a; a_rhs = b; a_expected = expected }
+          | None -> Error (Printf.sprintf "unknown alu op %S" op_s))
+        steps
+    in
+    Ok (Lift.Alu_test steps)
+  | "fpu" ->
+    let* steps =
+      map_m
+        (fun s ->
+          let* op_s = Result.bind (member "op" s) to_str in
+          let* a = Result.bind (member "a" s) to_int in
+          let* b = Result.bind (member "b" s) to_int in
+          let* expected = Result.bind (member "expected" s) to_int in
+          let* flags = Result.bind (member "flags" s) to_int in
+          match Fpu_format.op_of_name op_s with
+          | Some op ->
+            Ok
+              {
+                Lift.f_op = op;
+                f_lhs = a;
+                f_rhs = b;
+                f_expected = expected;
+                f_flags = Fpu_format.flags_of_int flags;
+              }
+          | None -> Error (Printf.sprintf "unknown fpu op %S" op_s))
+        steps
+    in
+    Ok (Lift.Fpu_test steps)
+  | u -> Error (Printf.sprintf "unknown unit %S" u)
+
+let case_to_json (tc : Lift.test_case) =
+  Obj
+    [
+      ("id", String tc.Lift.tc_id);
+      ("target", spec_to_json tc.Lift.tc_spec);
+      ("body", body_to_json tc.Lift.tc_body);
+      ("may_stall", Bool tc.Lift.tc_may_stall);
+      ("checks_flags", Bool tc.Lift.tc_checks_flags);
+    ]
+
+let case_of_json j =
+  let* tc_id = Result.bind (member "id" j) to_str in
+  let* tc_spec = Result.bind (member "target" j) spec_of_json in
+  let* tc_body = Result.bind (member "body" j) body_of_json in
+  let* tc_may_stall = Result.bind (member "may_stall" j) to_bool in
+  let* tc_checks_flags = Result.bind (member "checks_flags" j) to_bool in
+  Ok { Lift.tc_id; tc_spec; tc_body; tc_may_stall; tc_checks_flags }
+
+let target_to_json = function
+  | Lift.Alu_module { width } -> Obj [ ("unit", String "alu"); ("width", Int width) ]
+  | Lift.Fpu_module { fmt } ->
+    Obj
+      [
+        ("unit", String "fpu");
+        ("exp_bits", Int fmt.Fpu_format.exp_bits);
+        ("man_bits", Int fmt.Fpu_format.man_bits);
+      ]
+
+let target_of_json j =
+  let* unit_s = Result.bind (member "unit" j) to_str in
+  match unit_s with
+  | "alu" ->
+    let* width = Result.bind (member "width" j) to_int in
+    Ok (Lift.Alu_module { width })
+  | "fpu" ->
+    let* exp_bits = Result.bind (member "exp_bits" j) to_int in
+    let* man_bits = Result.bind (member "man_bits" j) to_int in
+    Ok (Lift.Fpu_module { fmt = Fpu_format.create_fmt ~exp_bits ~man_bits })
+  | u -> Error (Printf.sprintf "unknown unit %S" u)
+
+let suite_to_json (suite : Lift.suite) =
+  Obj
+    [
+      ("format", String "vega-suite");
+      ("version", Int format_version);
+      ("target", target_to_json suite.Lift.suite_target);
+      ("cases", List (List.map case_to_json suite.Lift.suite_cases));
+    ]
+
+let suite_of_json j =
+  let* fmt_s = Result.bind (member "format" j) to_str in
+  let* version = Result.bind (member "version" j) to_int in
+  if fmt_s <> "vega-suite" then Error (Printf.sprintf "not a vega suite (format %S)" fmt_s)
+  else if version <> format_version then
+    Error (Printf.sprintf "unsupported suite version %d (expected %d)" version format_version)
+  else begin
+    let* suite_target = Result.bind (member "target" j) target_of_json in
+    let* cases = Result.bind (member "cases" j) to_list in
+    let* suite_cases = map_m case_of_json cases in
+    Ok { Lift.suite_target; suite_cases }
+  end
+
+let suite_to_string suite = Json.to_string (suite_to_json suite)
+
+let suite_of_string s =
+  let* j = Json.of_string s in
+  suite_of_json j

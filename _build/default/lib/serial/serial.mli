@@ -1,0 +1,20 @@
+(** Interchange format for generated test suites.
+
+    The paper's §6.3 envisions a commercial split: the chip manufacturer
+    runs Aging Analysis and Error Lifting against the netlist (which the
+    operator never sees) and ships the resulting test suite; the data-center
+    operator schedules and runs it.  This module is that interface: suites
+    round-trip through a versioned JSON document that carries everything an
+    operator-side runner needs (operations, operand bit patterns, expected
+    results and flags, stall/flag-check markers, and the targeted fault for
+    telemetry), but no netlist internals beyond register names. *)
+
+val format_version : int
+
+val suite_to_json : Lift.suite -> Json.t
+val suite_of_json : Json.t -> (Lift.suite, string) result
+
+val suite_to_string : Lift.suite -> string
+val suite_of_string : string -> (Lift.suite, string) result
+(** Round trip: [suite_of_string (suite_to_string s)] reproduces [s]
+    exactly (the error case reports the offending field). *)

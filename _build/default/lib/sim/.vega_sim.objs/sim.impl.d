@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Bitvec Cell List Netlist Printf Random

@@ -1,0 +1,73 @@
+type kind_row = {
+  kind : Cell.Kind.t;
+  count : int;
+  area_um2 : float;
+  leakage_nw : float;
+}
+
+type report = {
+  cell_count : int;
+  total_area_um2 : float;
+  total_leakage_nw : float;
+  total_dynamic_nw : float;
+  clock_mhz : float;
+  by_kind : kind_row list;
+}
+
+let analyze lib sim ~clock_mhz =
+  let nl = Sim.netlist sim in
+  let rows = Hashtbl.create 16 in
+  let dynamic = ref 0.0 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      let phys = Cell.Library.physical lib c.kind in
+      let elec = Cell.Library.electrical lib c.kind in
+      let sp = Sim.sp sim c.output in
+      let leak =
+        (sp *. phys.Cell.leakage_nw_at_1) +. ((1.0 -. sp) *. phys.Cell.leakage_nw_at_0)
+      in
+      (* fF * V^2 * MHz = nW *)
+      dynamic :=
+        !dynamic
+        +. (Sim.toggle_rate sim c.output *. elec.Cell.cload_ff *. elec.Cell.vdd *. elec.Cell.vdd
+           *. clock_mhz);
+      let prev =
+        match Hashtbl.find_opt rows c.kind with
+        | Some r -> r
+        | None -> { kind = c.kind; count = 0; area_um2 = 0.0; leakage_nw = 0.0 }
+      in
+      Hashtbl.replace rows c.kind
+        {
+          prev with
+          count = prev.count + 1;
+          area_um2 = prev.area_um2 +. phys.Cell.area_um2;
+          leakage_nw = prev.leakage_nw +. leak;
+        })
+    (Netlist.cells nl);
+  let by_kind =
+    List.filter_map (fun k -> Hashtbl.find_opt rows k) Cell.Kind.all
+  in
+  {
+    cell_count = Netlist.num_cells nl;
+    total_area_um2 = List.fold_left (fun acc r -> acc +. r.area_um2) 0.0 by_kind;
+    total_leakage_nw = List.fold_left (fun acc r -> acc +. r.leakage_nw) 0.0 by_kind;
+    total_dynamic_nw = !dynamic;
+    clock_mhz;
+    by_kind;
+  }
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Area/power report (%d cells, clock %.0f MHz)\n" r.cell_count r.clock_mhz);
+  Buffer.add_string buf
+    (Printf.sprintf "  area %.1f um^2   leakage %.1f nW   dynamic %.1f nW\n" r.total_area_um2
+       r.total_leakage_nw r.total_dynamic_nw);
+  Buffer.add_string buf "  kind    count     area      leakage\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s  %5d  %8.1f um^2  %7.1f nW\n"
+           (Cell.Kind.to_string row.kind) row.count row.area_um2 row.leakage_nw))
+    r.by_kind;
+  Buffer.contents buf

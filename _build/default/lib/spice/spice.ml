@@ -1,0 +1,40 @@
+let resistance_scale = 1.0
+
+let stage_resistance (e : Cell.electrical) ~vth =
+  if vth >= e.vdd then
+    invalid_arg
+      (Printf.sprintf "Spice.stage_resistance: vth %.3f >= vdd %.3f" vth e.vdd);
+  resistance_scale *. e.stack_factor /. ((e.vdd -. vth) ** e.alpha)
+
+(* One R unit charging one fF maps to 10 ps so that fresh c28-class cells land
+   in the tens-of-picoseconds range. *)
+let ps_per_rc = 10.0
+
+let stage_delay_ps e ~vth =
+  stage_resistance e ~vth *. e.cload_ff *. ps_per_rc *. log 2.0
+
+let transient_delay_ps ?(dt_ps = 0.01) (e : Cell.electrical) ~vth =
+  let r = stage_resistance e ~vth in
+  let c = e.cload_ff *. ps_per_rc in
+  if c <= 0.0 then 0.0
+  else begin
+    let tau = r *. c in
+    let target = e.vdd /. 2.0 in
+    (* Forward-Euler integration of C dV/dt = (Vdd - V)/R until the output
+       crosses Vdd/2, with linear interpolation inside the last step. *)
+    let rec step t v =
+      if v >= target then t
+      else begin
+        let dv = (e.vdd -. v) /. tau *. dt_ps in
+        let v' = v +. dv in
+        if v' >= target then t +. (dt_ps *. ((target -. v) /. dv))
+        else step (t +. dt_ps) v'
+      end
+    in
+    step 0.0 0.0
+  end
+
+let degradation_factor (e : Cell.electrical) ~dvth =
+  let fresh = stage_delay_ps e ~vth:e.vth0 in
+  if fresh <= 0.0 then 1.0
+  else stage_delay_ps e ~vth:(e.vth0 +. dvth) /. fresh

@@ -1,0 +1,37 @@
+(** SPICE-lite: a miniature analog model of a CMOS logic stage.
+
+    The paper builds its aging-aware timing library by sweeping each standard
+    cell in SPICE with shifted threshold voltages and recording the resulting
+    switching-delay change.  This module is the laptop-scale substitute: a
+    cell's switching stage is modeled as an RC network whose pull-up
+    resistance follows the alpha-power law
+
+    {[ R(Vth) = k * stack_factor / (Vdd - Vth)^alpha ]}
+
+    and whose output charges a lumped load capacitance.  Both a closed-form
+    50 %-crossing delay and a numerically integrated transient response are
+    provided; the transient integrator is the "simulation", the closed form
+    is its regression oracle.  What the rest of the system consumes is
+    {!degradation_factor}: the multiplicative delay increase caused by a
+    threshold-voltage shift, which is exactly the quantity the authors
+    extract from their SPICE sweeps. *)
+
+val stage_resistance : Cell.electrical -> vth:float -> float
+(** Effective charging resistance (arbitrary units consistent across calls)
+    of the stage at threshold voltage [vth].
+    @raise Invalid_argument if [vth >= vdd]. *)
+
+val stage_delay_ps : Cell.electrical -> vth:float -> float
+(** Closed-form 50 %-crossing delay of the stage, [R * C * ln 2], scaled to
+    picoseconds. *)
+
+val transient_delay_ps :
+  ?dt_ps:float -> Cell.electrical -> vth:float -> float
+(** Numerically integrated (forward-Euler) transient 50 %-crossing delay.
+    Agrees with {!stage_delay_ps} to well under a percent at the default
+    step.  [dt_ps] is the integration step (default 0.01). *)
+
+val degradation_factor : Cell.electrical -> dvth:float -> float
+(** [degradation_factor e ~dvth] is [delay(vth0 + dvth) / delay(vth0)] — the
+    multiplicative slow-down caused by a BTI threshold shift of [dvth]
+    volts.  Always [>= 1.0] for [dvth >= 0.0]. *)

@@ -1,0 +1,380 @@
+type startpoint = From_dff of int | From_input of string * int
+type endpoint = At_dff of int
+type check = Setup | Hold
+
+type path = {
+  start : startpoint;
+  finish : endpoint;
+  through : int list;
+  delay_ps : float;
+  slack_ps : float;
+  check : check;
+}
+
+type endpoint_slack = { ep : endpoint; setup_slack_ps : float; hold_slack_ps : float }
+
+type report = {
+  clock_period_ps : float;
+  endpoint_slacks : endpoint_slack list;
+  setup_violations : path list;
+  hold_violations : path list;
+  wns_setup_ps : float;
+  wns_hold_ps : float;
+  truncated : bool;
+}
+
+type timing_source = {
+  cell_delay : Netlist.cell -> Cell.timing;
+  dff_timing : Cell.dff_timing;
+  clock_arrival_ps : int -> float;
+  input_arrival_ps : float;
+}
+
+let fresh_timing ?(derate = 1.0) ?(clock_tree = Clock_tree.single_domain) lib =
+  let cell_delay (c : Netlist.cell) =
+    let t = Cell.Library.timing lib c.kind in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. derate }
+  in
+  let buf = Cell.Library.timing lib Cell.Kind.Buf in
+  let buffer_delay ~sp:_ = buf.Cell.tpd_max_ps *. derate in
+  {
+    cell_delay;
+    dff_timing = Cell.Library.dff lib;
+    clock_arrival_ps = (fun dom -> Clock_tree.arrival_ps clock_tree ~buffer_delay dom);
+    input_arrival_ps = 0.0;
+  }
+
+let aged_timing ?(derate = 1.0) ?(clock_tree = Clock_tree.single_domain) ?toggle_of_net
+    ~sp_of_net ~years aglib =
+  let celllib = Aging.Timing_library.cell_library aglib in
+  let em_factor net =
+    match toggle_of_net with
+    | None -> 1.0
+    | Some f ->
+      Aging.em_delay_factor (Aging.Timing_library.config aglib) ~toggle_rate:(f net) ~years
+  in
+  let cell_delay (c : Netlist.cell) =
+    let aged = Aging.Timing_library.aged_timing aglib c.kind ~sp:(sp_of_net c.output) ~years in
+    { aged with Cell.tpd_max_ps = aged.Cell.tpd_max_ps *. derate *. em_factor c.output }
+  in
+  let buf_fresh = Cell.Library.timing celllib Cell.Kind.Buf in
+  let buffer_delay ~sp =
+    buf_fresh.Cell.tpd_max_ps *. derate *. Aging.Timing_library.factor aglib Cell.Kind.Buf ~sp ~years
+  in
+  {
+    cell_delay;
+    dff_timing = Cell.Library.dff celllib;
+    clock_arrival_ps = (fun dom -> Clock_tree.arrival_ps clock_tree ~buffer_delay dom);
+    input_arrival_ps = 0.0;
+  }
+
+(* Maximum and minimum data arrival time at every net, relative to the
+   launching clock edge at t = 0 (clock arrivals shift launch times per
+   domain). *)
+let propagate_arrivals ~constrain_inputs nl timing =
+  let n = Netlist.num_nets nl in
+  let at_max = Array.make (max n 1) neg_infinity in
+  let at_min = Array.make (max n 1) infinity in
+  let cells = Netlist.cells nl in
+  for net = 0 to n - 1 do
+    match Netlist.driver nl net with
+    | Netlist.Driven_by_input _ ->
+      if constrain_inputs then begin
+        at_max.(net) <- timing.input_arrival_ps;
+        at_min.(net) <- timing.input_arrival_ps
+      end
+    | Netlist.Driven_by_cell id ->
+      let c = cells.(id) in
+      if Cell.Kind.is_sequential c.kind then begin
+        let arr = timing.clock_arrival_ps c.clock_domain in
+        at_max.(net) <- arr +. timing.dff_timing.Cell.clk_to_q_max_ps;
+        at_min.(net) <- arr +. timing.dff_timing.Cell.clk_to_q_min_ps
+      end
+  done;
+  Array.iter
+    (fun id ->
+      let c = cells.(id) in
+      if Array.length c.inputs > 0 then begin
+        let d = timing.cell_delay c in
+        let mx = Array.fold_left (fun acc i -> Float.max acc at_max.(i)) neg_infinity c.inputs in
+        let mn = Array.fold_left (fun acc i -> Float.min acc at_min.(i)) infinity c.inputs in
+        at_max.(c.output) <- mx +. d.Cell.tpd_max_ps;
+        at_min.(c.output) <- mn +. d.Cell.tpd_min_ps
+      end
+      (* Tie cells never transition: like unconstrained inputs, they launch
+         no timing path (at_max stays -inf, at_min +inf). *))
+    (Netlist.topo_order nl);
+  (at_max, at_min)
+
+exception Cap_reached
+
+let analyze ?(constrain_inputs = false) ?(max_violating_paths = 10_000) ~timing
+    ~clock_period_ps nl =
+  let cells = Netlist.cells nl in
+  let at_max, at_min = propagate_arrivals ~constrain_inputs nl timing in
+  let dff = timing.dff_timing in
+  let truncated = ref false in
+  let endpoint_slacks =
+    List.map
+      (fun id ->
+        let c = cells.(id) in
+        let d_net = c.inputs.(0) in
+        let cap_arr = timing.clock_arrival_ps c.clock_domain in
+        let setup_slack_ps =
+          clock_period_ps +. cap_arr -. dff.Cell.setup_ps -. at_max.(d_net)
+        in
+        let hold_slack_ps = at_min.(d_net) -. (cap_arr +. dff.Cell.hold_ps) in
+        { ep = At_dff id; setup_slack_ps; hold_slack_ps })
+      (Netlist.dffs nl)
+  in
+  (* Backward DFS recovering all violating paths to one endpoint. *)
+  let enumerate chk (ep_id : int) acc =
+    let c = cells.(ep_id) in
+    let cap_arr = timing.clock_arrival_ps c.clock_domain in
+    let results = ref acc in
+    let count = ref (List.length acc) in
+    let record p =
+      if !count >= max_violating_paths then begin
+        truncated := true;
+        raise Cap_reached
+      end;
+      results := p :: !results;
+      incr count
+    in
+    let source_launch net =
+      match Netlist.driver nl net with
+      | Netlist.Driven_by_input _ ->
+        if constrain_inputs then Some timing.input_arrival_ps else None
+      | Netlist.Driven_by_cell id ->
+        let src = cells.(id) in
+        if Cell.Kind.is_sequential src.kind then
+          let arr = timing.clock_arrival_ps src.clock_domain in
+          Some
+            (match chk with
+            | Setup -> arr +. dff.Cell.clk_to_q_max_ps
+            | Hold -> arr +. dff.Cell.clk_to_q_min_ps)
+        else None
+    in
+    let startpoint_of net =
+      match Netlist.driver nl net with
+      | Netlist.Driven_by_input (port, bit) -> From_input (port, bit)
+      | Netlist.Driven_by_cell id -> From_dff id
+    in
+    let required =
+      match chk with
+      | Setup -> clock_period_ps +. cap_arr -. dff.Cell.setup_ps
+      | Hold -> cap_arr +. dff.Cell.hold_ps
+    in
+    let violates arrival =
+      match chk with Setup -> arrival > required | Hold -> arrival < required
+    in
+    let prune net suffix =
+      match chk with
+      | Setup -> at_max.(net) +. suffix <= required
+      | Hold -> at_min.(net) +. suffix >= required
+    in
+    let rec visit net suffix through =
+      if not (prune net suffix) then begin
+        match source_launch net with
+        | Some launch ->
+          let arrival = launch +. suffix in
+          if violates arrival then
+            record
+              {
+                start = startpoint_of net;
+                finish = At_dff ep_id;
+                through;
+                delay_ps = arrival;
+                slack_ps =
+                  (match chk with
+                  | Setup -> required -. arrival
+                  | Hold -> arrival -. required);
+                check = chk;
+              }
+        | None ->
+          (match Netlist.driver nl net with
+          | Netlist.Driven_by_input _ -> ()
+          | Netlist.Driven_by_cell id ->
+            let g = cells.(id) in
+            let d = timing.cell_delay g in
+            let step =
+              match chk with Setup -> d.Cell.tpd_max_ps | Hold -> d.Cell.tpd_min_ps
+            in
+            Array.iter (fun i -> visit i (suffix +. step) (id :: through)) g.inputs)
+      end
+    in
+    (try visit c.inputs.(0) 0.0 [] with Cap_reached -> ());
+    !results
+  in
+  let worst_first paths = List.sort (fun a b -> Float.compare a.slack_ps b.slack_ps) paths in
+  let collect chk slack_of =
+    List.fold_left
+      (fun acc es ->
+        if slack_of es < 0.0 then
+          match es.ep with At_dff id -> enumerate chk id acc
+        else acc)
+      [] endpoint_slacks
+    |> worst_first
+  in
+  let setup_violations = collect Setup (fun e -> e.setup_slack_ps) in
+  let hold_violations = collect Hold (fun e -> e.hold_slack_ps) in
+  let wns slack_of =
+    List.fold_left (fun acc e -> Float.min acc (slack_of e)) 0.0 endpoint_slacks
+  in
+  {
+    clock_period_ps;
+    endpoint_slacks;
+    setup_violations;
+    hold_violations;
+    wns_setup_ps = wns (fun e -> e.setup_slack_ps);
+    wns_hold_ps = wns (fun e -> e.hold_slack_ps);
+    truncated = !truncated;
+  }
+
+(* Exact per-(startpoint, endpoint) worst slacks: for each endpoint, one
+   backward DP over its fan-in cone computes the max (resp. min) path delay
+   from every net to the endpoint's D pin, from which each launching
+   register's worst arrival follows directly.  Unlike path enumeration this
+   is immune to path-count explosion. *)
+let endpoint_pairs ?(constrain_inputs = false) ~timing ~clock_period_ps nl =
+  let cells = Netlist.cells nl in
+  let dff = timing.dff_timing in
+  let results = ref [] in
+  let for_check chk =
+    List.iter
+      (fun ep_id ->
+        let ec = cells.(ep_id) in
+        let d_net = ec.inputs.(0) in
+        let cap_arr = timing.clock_arrival_ps ec.clock_domain in
+        let required =
+          match chk with
+          | Setup -> clock_period_ps +. cap_arr -. dff.Cell.setup_ps
+          | Hold -> cap_arr +. dff.Cell.hold_ps
+        in
+        (* delay from each net to d_net through combinational logic *)
+        let memo = Hashtbl.create 64 in
+        let worse a b = match chk with Setup -> Float.max a b | Hold -> Float.min a b in
+        let neutral = match chk with Setup -> neg_infinity | Hold -> infinity in
+        let rec delay_from net =
+          match Hashtbl.find_opt memo net with
+          | Some d -> d
+          | None ->
+            let direct = if net = d_net then 0.0 else neutral in
+            let through =
+              List.fold_left
+                (fun acc rid ->
+                  let g = cells.(rid) in
+                  if Cell.Kind.is_sequential g.kind then acc
+                  else begin
+                    let d = timing.cell_delay g in
+                    let step =
+                      match chk with Setup -> d.Cell.tpd_max_ps | Hold -> d.Cell.tpd_min_ps
+                    in
+                    let tail = delay_from g.output in
+                    if Float.is_finite tail then worse acc (step +. tail) else acc
+                  end)
+                neutral (Netlist.readers nl net)
+            in
+            let d = worse direct through in
+            Hashtbl.replace memo net d;
+            d
+        in
+        let consider start launch net =
+          let tail = delay_from net in
+          if Float.is_finite tail then begin
+            let arrival = launch +. tail in
+            let slack =
+              match chk with Setup -> required -. arrival | Hold -> arrival -. required
+            in
+            results := (start, At_dff ep_id, chk, slack) :: !results
+          end
+        in
+        (* launching registers *)
+        List.iter
+          (fun sid ->
+            let sc = cells.(sid) in
+            let arr = timing.clock_arrival_ps sc.clock_domain in
+            let launch =
+              match chk with
+              | Setup -> arr +. dff.Cell.clk_to_q_max_ps
+              | Hold -> arr +. dff.Cell.clk_to_q_min_ps
+            in
+            consider (From_dff sid) launch sc.output)
+          (Netlist.dffs nl);
+        (* primary inputs, when constrained *)
+        if constrain_inputs then
+          List.iter
+            (fun (p : Netlist.port) ->
+              Array.iteri
+                (fun bit net -> consider (From_input (p.port_name, bit)) timing.input_arrival_ps net)
+                p.port_nets)
+            (Netlist.inputs nl))
+      (Netlist.dffs nl)
+  in
+  for_check Setup;
+  for_check Hold;
+  List.rev !results
+
+let violating_pairs ?constrain_inputs ~timing ~clock_period_ps nl =
+  endpoint_pairs ?constrain_inputs ~timing ~clock_period_ps nl
+  |> List.filter (fun (_, _, _, slack) -> slack < 0.0)
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b)
+
+let unique_pairs paths =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let key = (p.start, p.finish) in
+      match Hashtbl.find_opt tbl key with
+      | Some best when best.slack_ps <= p.slack_ps -> ()
+      | _ -> Hashtbl.replace tbl key p)
+    paths;
+  Hashtbl.fold (fun key p acc -> (key, p) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a.slack_ps b.slack_ps)
+
+let describe_startpoint nl = function
+  | From_dff id -> (Netlist.cell nl id).name
+  | From_input (port, bit) -> Printf.sprintf "%s[%d]" port bit
+
+let describe_endpoint nl (At_dff id) = (Netlist.cell nl id).name
+
+let describe_path nl p =
+  let mid = List.map (fun id -> (Netlist.cell nl id).name) p.through in
+  let chain =
+    String.concat " -> " ((describe_startpoint nl p.start :: mid) @ [ describe_endpoint nl p.finish ])
+  in
+  Printf.sprintf "%s (%s, slack %.1f ps)" chain
+    (match p.check with Setup -> "setup" | Hold -> "hold")
+    p.slack_ps
+
+let render_report nl r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Timing report (clock period %.1f ps)\n" r.clock_period_ps;
+  add "  endpoints: %d   setup WNS: %.1f ps   hold WNS: %.1f ps%s\n"
+    (List.length r.endpoint_slacks) r.wns_setup_ps r.wns_hold_ps
+    (if r.truncated then "   [path enumeration truncated]" else "");
+  let show title paths =
+    add "  %s violations: %d\n" title (List.length paths);
+    List.iteri
+      (fun i p -> if i < 20 then add "    %s\n" (describe_path nl p))
+      paths;
+    if List.length paths > 20 then add "    ... (%d more)\n" (List.length paths - 20)
+  in
+  show "setup" r.setup_violations;
+  show "hold" r.hold_violations;
+  let worst =
+    List.sort
+      (fun a b -> Float.compare a.setup_slack_ps b.setup_slack_ps)
+      r.endpoint_slacks
+  in
+  add "  tightest endpoints (setup slack):\n";
+  List.iteri
+    (fun i es ->
+      if i < 8 then
+        add "    %-12s setup %8.1f ps   hold %s\n" (describe_endpoint nl es.ep)
+          es.setup_slack_ps
+          (if Float.is_finite es.hold_slack_ps then Printf.sprintf "%8.1f ps" es.hold_slack_ps
+           else "unconstrained"))
+    worst;
+  Buffer.contents buf

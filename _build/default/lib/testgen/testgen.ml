@@ -1,0 +1,67 @@
+(* Random.State.int rejects bounds >= 2^30; compose for wide words. *)
+let rand_bits rng width =
+  if width <= 30 then Random.State.int rng (1 lsl width)
+  else (Random.State.bits rng lor (Random.State.bits rng lsl 30)) land ((1 lsl width) - 1)
+
+let dummy_spec =
+  {
+    Fault.start_dff = "random";
+    end_dff = "random";
+    kind = Fault.Setup_violation;
+    constant = Fault.C0;
+    activation = Fault.Any_transition;
+  }
+
+let random_alu_case rng width i =
+  let op = List.nth Alu.all_ops (Random.State.int rng (List.length Alu.all_ops)) in
+  let a = rand_bits rng width in
+  let b = rand_bits rng width in
+  let expected =
+    Bitvec.to_int
+      (Alu.golden ~width op (Bitvec.create ~width a) (Bitvec.create ~width b))
+  in
+  {
+    Lift.tc_id = Printf.sprintf "random_alu_%d" i;
+    tc_spec = dummy_spec;
+    tc_body = Lift.Alu_test [ { Lift.a_op = op; a_lhs = a; a_rhs = b; a_expected = expected } ];
+    tc_may_stall = false;
+    tc_checks_flags = false;
+  }
+
+let random_fpu_case rng fmt i =
+  let w = Fpu_format.width fmt in
+  let op =
+    List.nth Fpu_format.all_ops (Random.State.int rng (List.length Fpu_format.all_ops))
+  in
+  let a = rand_bits rng w in
+  let b = rand_bits rng w in
+  let r, fl = Softfloat.apply fmt op (Bitvec.create ~width:w a) (Bitvec.create ~width:w b) in
+  {
+    Lift.tc_id = Printf.sprintf "random_fpu_%d" i;
+    tc_spec = dummy_spec;
+    tc_body =
+      Lift.Fpu_test
+        [ { Lift.f_op = op; f_lhs = a; f_rhs = b; f_expected = Bitvec.to_int r; f_flags = fl } ];
+    tc_may_stall = false;
+    tc_checks_flags = true;
+  }
+
+let random_alu_suite ?(seed = 0xA11) ~width ~cases () =
+  let rng = Random.State.make [| seed |] in
+  {
+    Lift.suite_target = Lift.Alu_module { width };
+    suite_cases = List.init cases (random_alu_case rng width);
+  }
+
+let random_fpu_suite ?(seed = 0xF16) ~fmt ~cases () =
+  let rng = Random.State.make [| seed |] in
+  {
+    Lift.suite_target = Lift.Fpu_module { fmt };
+    suite_cases = List.init cases (random_fpu_case rng fmt);
+  }
+
+let matched_suite ?(seed = 0x3a7c) (suite : Lift.suite) =
+  let cases = List.length suite.Lift.suite_cases in
+  match suite.Lift.suite_target with
+  | Lift.Alu_module { width } -> random_alu_suite ~seed ~width ~cases ()
+  | Lift.Fpu_module { fmt } -> random_fpu_suite ~seed ~fmt ~cases ()

@@ -1,0 +1,21 @@
+(** The random test-suite baseline of Table 7.
+
+    Produces suites "in the style and quantity of Vega's trace-generated
+    test cases": each case verifies the functional correctness of a single
+    random instruction from the module's operation set on random inputs,
+    with expected values from the golden models.  Suites plug into the same
+    {!Lift.suite} machinery (sequential execution, branch-to-fail
+    detection) used by the Vega-generated suites, making the comparison
+    head-to-head. *)
+
+val random_alu_suite : ?seed:int -> width:int -> cases:int -> unit -> Lift.suite
+(** [cases] single-operation test cases over uniformly random opcodes and
+    operands. *)
+
+val random_fpu_suite : ?seed:int -> fmt:Fpu_format.fmt -> cases:int -> unit -> Lift.suite
+(** Random FPU cases; operand bit patterns are drawn uniformly, so specials
+    (NaN/inf/zero) occur at their natural encoding density. *)
+
+val matched_suite : ?seed:int -> Lift.suite -> Lift.suite
+(** A random suite size-matched to an existing Vega suite (same module,
+    same number of cases) — the construction used for Table 7. *)

@@ -1,0 +1,179 @@
+type phase1_config = {
+  years : float;
+  clock_margin : float;
+  derate : float;
+  clock_tree : Clock_tree.t;
+  sp_fallback : float;
+  max_violating_paths : int;
+}
+
+let default_phase1 =
+  {
+    years = 10.0;
+    clock_margin = 1.015;
+    derate = 1.0;
+    clock_tree = Clock_tree.two_domain_gated ~sp_gated:0.05 ();
+    sp_fallback = 0.5;
+    max_violating_paths = 10_000;
+  }
+
+type analysis = {
+  target : Lift.target;
+  clock_period_ps : float;
+  fresh_report : Sta.report;
+  aged_report : Sta.report;
+  violating_pairs : (Sta.startpoint * Sta.endpoint * Sta.check * float) list;
+  sp_of_net : Netlist.net -> float;
+  cell_degradation : (string * float) list;
+  sp_samples : int;
+}
+
+let machine_for ?(profile_units = false) (target : Lift.target) =
+  match target.Lift.kind with
+  | Lift.Alu_module { width } ->
+    let fmt = if width >= 16 then Fpu_format.binary16 else Fpu_format.tiny in
+    Machine.create
+      ~config:{ Machine.default_config with Machine.width; fmt }
+      ~profile_units
+      ~alu:(Machine.Alu_netlist target.Lift.netlist) ~fpu:Machine.Fpu_functional ()
+  | Lift.Fpu_module { fmt } ->
+    let width = max 16 (Fpu_format.width fmt) in
+    Machine.create
+      ~config:{ Machine.default_config with Machine.width; fmt }
+      ~profile_units ~alu:Machine.Alu_functional
+      ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
+
+(* A mixed arithmetic sweep used when no real workload is supplied: walks
+   integer and floating-point operations over structured operand patterns
+   approximating embench's operation mix. *)
+let run_minver_workload m =
+  let width = (Machine.config m).Machine.width in
+  let fmt = (Machine.config m).Machine.fmt in
+  let ops = [ Alu.Add; Alu.Sub; Alu.And_op; Alu.Xor_op; Alu.Sll; Alu.Srl; Alu.Slt ] in
+  let prog =
+    Isa.assemble
+      (List.concat_map
+         (fun k ->
+           let a = (k * 37) land ((1 lsl width) - 1) in
+           let b = (k * k) land ((1 lsl width) - 1) in
+           let fa = Bitvec.to_int (Fpu_format.of_float fmt (float_of_int (k mod 9) /. 4.0)) in
+           let fb = Bitvec.to_int (Fpu_format.of_float fmt (1.0 +. float_of_int (k mod 5))) in
+           [
+             Isa.Li (1, a);
+             Isa.Li (2, b);
+             Isa.Alu (List.nth ops (k mod List.length ops), 3, 1, 2);
+             Isa.Li (4, fa);
+             Isa.Li (5, fb);
+             Isa.Fmv_wx (1, 4);
+             Isa.Fmv_wx (2, 5);
+             Isa.Fop ((if k mod 3 = 0 then Fpu_format.Fmul else Fpu_format.Fadd), 3, 1, 2);
+           ])
+         (List.init 200 (fun k -> k))
+      @ [ Isa.Ecall Isa.exit_ok ])
+  in
+  Machine.reset m;
+  ignore (Machine.run m prog)
+
+let aging_analysis ?(config = default_phase1) (target : Lift.target) ~workload =
+  let nl = target.Lift.netlist in
+  let m = machine_for ~profile_units:true target in
+  workload m;
+  let unit_sim =
+    match target.Lift.kind with
+    | Lift.Alu_module _ -> Option.get (Machine.alu_sim m)
+    | Lift.Fpu_module _ -> Option.get (Machine.fpu_sim m)
+  in
+  let sp_samples = Sim.samples unit_sim in
+  let sp_of_net n = if sp_samples = 0 then config.sp_fallback else Sim.sp unit_sim n in
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  (* target clock: fresh critical path plus the signoff margin *)
+  let fresh_timing =
+    Sta.fresh_timing ~derate:config.derate ~clock_tree:config.clock_tree Cell.Library.c28
+  in
+  let fresh_probe = Sta.analyze ~timing:fresh_timing ~clock_period_ps:1e9 nl in
+  let crit =
+    List.fold_left
+      (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+      0.0 fresh_probe.Sta.endpoint_slacks
+  in
+  let clock_period_ps = crit *. config.clock_margin in
+  let fresh_report = Sta.analyze ~timing:fresh_timing ~clock_period_ps nl in
+  let aged_timing =
+    Sta.aged_timing ~derate:config.derate ~clock_tree:config.clock_tree ~sp_of_net
+      ~years:config.years aglib
+  in
+  let aged_report =
+    Sta.analyze ~max_violating_paths:config.max_violating_paths ~timing:aged_timing
+      ~clock_period_ps nl
+  in
+  let violating_pairs = Sta.violating_pairs ~timing:aged_timing ~clock_period_ps nl in
+  let cell_degradation =
+    Array.to_list (Netlist.cells nl)
+    |> List.filter_map (fun (c : Netlist.cell) ->
+           if Cell.Kind.is_sequential c.Netlist.kind || Cell.Kind.arity c.Netlist.kind = 0 then
+             None
+           else
+             Some
+               ( c.Netlist.name,
+                 Aging.Timing_library.factor aglib c.Netlist.kind
+                   ~sp:(sp_of_net c.Netlist.output) ~years:config.years ))
+  in
+  {
+    target;
+    clock_period_ps;
+    fresh_report;
+    aged_report;
+    violating_pairs;
+    sp_of_net;
+    cell_degradation;
+    sp_samples;
+  }
+
+let error_lifting ?config analysis =
+  Lift.lift_violating_pairs ?config analysis.target analysis.violating_pairs
+
+type workflow_report = {
+  analysis : analysis;
+  pair_results : Lift.pair_result list;
+  suite : Lift.suite;
+  suite_cycles : int;
+}
+
+let suite_cycles (suite : Lift.suite) =
+  if suite.Lift.suite_cases = [] then 0
+  else begin
+    let width, fmt =
+      match suite.Lift.suite_target with
+      | Lift.Alu_module { width } ->
+        (* machine word width must equal the ALU width so that the golden
+           expectations baked into the cases line up *)
+        (width, if width >= 16 then Fpu_format.binary16 else Fpu_format.tiny)
+      | Lift.Fpu_module { fmt } -> (max 16 (Fpu_format.width fmt), fmt)
+    in
+    let m =
+      Machine.create
+        ~config:{ Machine.default_config with Machine.width; fmt }
+        ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+    in
+    Machine.reset m;
+    match Machine.run m (Lift.suite_program suite) with
+    | Machine.Exited code when code = Isa.exit_ok -> Machine.cycles m
+    | o ->
+      invalid_arg
+        (Format.asprintf "Vega.suite_cycles: healthy suite did not pass (%a)" Machine.pp_outcome
+           o)
+  end
+
+let run_workflow ?phase1 ?phase2 target ~workload =
+  let analysis = aging_analysis ?config:phase1 target ~workload in
+  let pair_results = error_lifting ?config:phase2 analysis in
+  let suite = Lift.suite_of_results target.Lift.kind pair_results in
+  { analysis; pair_results; suite; suite_cycles = suite_cycles suite }
+
+let classification_counts results =
+  List.map
+    (fun cls ->
+      ( cls,
+        List.length
+          (List.filter (fun (r : Lift.pair_result) -> r.Lift.classification = cls) results) ))
+    [ Lift.S; Lift.UR; Lift.FF; Lift.FC ]

@@ -1,0 +1,93 @@
+(** The Vega workflow: the paper's three phases, end to end.
+
+    {ol
+    {- {!aging_analysis} — profile signal probabilities by running a
+       representative workload on a CPU whose analyzed unit is the
+       gate-level netlist, build the aging-aware timing library, run
+       aging-aware STA at the unit's target clock (derived so the fresh
+       design meets timing with a small margin, as a signed-off design
+       would), and collect the violating paths and per-cell degradation.}
+    {- {!error_lifting} — reduce violating paths to unique register pairs
+       and run the formal construction of test cases for each
+       ({!Lift.lift_paths}).}
+    {- {!test_integration} — splice the resulting suite into an
+       application with the profile-guided pass, or package it as the
+       software aging library ({!Integrate}).}}
+
+    {!run_workflow} chains all three for one functional unit. *)
+
+type phase1_config = {
+  years : float;  (** assumed service life (10, per the paper) *)
+  clock_margin : float;
+      (** target period = fresh critical path x this margin; below the
+          minimum aging degradation so that aging can break timing *)
+  derate : float;  (** pessimistic-corner multiplier on max delays *)
+  clock_tree : Clock_tree.t;
+  sp_fallback : float;  (** SP for units the workload never exercised *)
+  max_violating_paths : int;
+}
+
+val default_phase1 : phase1_config
+(** 10 years, 1.5 % margin, no extra derate, the two-domain gated clock
+    tree (gated segment parked at SP 0.05, i.e. idling low and aging
+    fastest), fallback SP 0.5. *)
+
+type analysis = {
+  target : Lift.target;
+  clock_period_ps : float;
+  fresh_report : Sta.report;
+  aged_report : Sta.report;
+  violating_pairs : (Sta.startpoint * Sta.endpoint * Sta.check * float) list;
+      (** exact violating register pairs ({!Sta.violating_pairs}),
+          worst-slack first *)
+  sp_of_net : Netlist.net -> float;
+  cell_degradation : (string * float) list;
+      (** per combinational cell: 10-year max-delay factor (Fig. 8 data) *)
+  sp_samples : int;  (** profiling samples behind the SP data *)
+}
+
+val aging_analysis :
+  ?config:phase1_config ->
+  Lift.target ->
+  workload:(Machine.t -> unit) ->
+  analysis
+(** Phase one.  [workload] drives a machine whose analyzed unit is the
+    profiled gate-level netlist (e.g. run the minver kernel); the machine's
+    other unit is functional. *)
+
+val run_minver_workload : Machine.t -> unit
+(** The default representative workload: the minver-style kernel is not
+    available here (it lives in [vega_workload], which depends on this
+    library's clients, not on it), so this drives the unit with a mixed
+    arithmetic sweep approximating embench's operation mix.  Prefer passing
+    a real {!Workload} kernel. *)
+
+val error_lifting : ?config:Lift.config -> analysis -> Lift.pair_result list
+(** Phase two, over the unique pairs of the aged STA report's violations. *)
+
+type workflow_report = {
+  analysis : analysis;
+  pair_results : Lift.pair_result list;
+  suite : Lift.suite;
+  suite_cycles : int;  (** healthy execution time of the full suite *)
+}
+
+val run_workflow :
+  ?phase1:phase1_config ->
+  ?phase2:Lift.config ->
+  Lift.target ->
+  workload:(Machine.t -> unit) ->
+  workflow_report
+(** Phases one and two plus suite assembly and timing.  Phase three is
+    application-specific: feed [report.suite] to {!Integrate}. *)
+
+val machine_for : ?profile_units:bool -> Lift.target -> Machine.t
+(** A machine whose analyzed unit is the target's netlist (other unit
+    functional), with a config matching the target's width/format. *)
+
+val suite_cycles : Lift.suite -> int
+(** Cycle count of one sequential execution of the suite on a healthy
+    functional machine (Table 5's "Cycles"). *)
+
+val classification_counts : Lift.pair_result list -> (Lift.classification * int) list
+(** Tally of S/UR/FF/FC over pairs (Table 4's rows). *)

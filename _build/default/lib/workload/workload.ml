@@ -1,0 +1,705 @@
+type benchmark = {
+  name : string;
+  description : string;
+  program : Minic.program;
+  float_heavy : bool;
+}
+
+let checksum_address = 32
+
+(* Every kernel's program has the "out" checksum global declared first so
+   that it lands at the fixed checksum address. *)
+let mk name ?(float_heavy = false) description ?(globals = []) ?(funcs = []) body =
+  {
+    name;
+    description;
+    float_heavy;
+    program =
+      {
+        Minic.globals = Minic.Gint ("out", 0) :: globals;
+        funcs = { Minic.fname = "main"; params = []; ret = None; body } :: funcs;
+      };
+  }
+
+open Minic
+
+(* -------- crc: CRC-16-CCITT over a small message -------- *)
+
+let crc =
+  let data = List.init 32 (fun k -> Stdlib.((k * 7) + (k * k mod 13)) land 0xff) in
+  mk "crc" "CRC-16-CCITT bitwise checksum over a 32-byte message"
+    ~globals:[ Gint_array ("data", data) ]
+    [
+      Decl (Tint, "crc", i 0xFFFF);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 32,
+          Assign ("k", v "k" + i 1),
+          [
+            Assign ("crc", Binop (Bxor, v "crc", Binop (Bshl, idx "data" (v "k"), i 8)));
+            For
+              ( Decl (Tint, "b", i 0),
+                v "b" < i 8,
+                Assign ("b", v "b" + i 1),
+                [
+                  If
+                    ( Binop (Band, v "crc", i 0x8000) != i 0,
+                      [
+                        Assign
+                          ( "crc",
+                            Binop
+                              (Band, Binop (Bxor, Binop (Bshl, v "crc", i 1), i 0x1021), i 0xFFFF)
+                          );
+                      ],
+                      [ Assign ("crc", Binop (Band, Binop (Bshl, v "crc", i 1), i 0xFFFF)) ] );
+                ] );
+          ] );
+      Assign ("out", v "crc");
+    ]
+
+(* -------- matmult: 5x5 integer matrix multiply -------- *)
+
+let matmult =
+  let a = List.init 25 (fun k -> Stdlib.((k mod 7) + 1)) in
+  let b = List.init 25 (fun k -> Stdlib.((k mod 5) + 2)) in
+  mk "matmult" "5x5 integer matrix multiply with software multiplier"
+    ~globals:[ Gint_array ("ma", a); Gint_array ("mb", b); Gint_array ("mc", List.init 25 (fun _ -> 0)) ]
+    [
+      For
+        ( Decl (Tint, "r", i 0),
+          v "r" < i 5,
+          Assign ("r", v "r" + i 1),
+          [
+            For
+              ( Decl (Tint, "c", i 0),
+                v "c" < i 5,
+                Assign ("c", v "c" + i 1),
+                [
+                  Decl (Tint, "s", i 0);
+                  For
+                    ( Decl (Tint, "k", i 0),
+                      v "k" < i 5,
+                      Assign ("k", v "k" + i 1),
+                      [
+                        Assign
+                          ( "s",
+                            v "s"
+                            + (idx "ma" ((v "r" * i 5) + v "k") * idx "mb" ((v "k" * i 5) + v "c"))
+                          );
+                      ] );
+                  Store ("mc", (v "r" * i 5) + v "c", v "s");
+                ] );
+          ] );
+      Decl (Tint, "sum", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 25,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("sum", v "sum" + idx "mc" (v "k")) ] );
+      Assign ("out", Binop (Band, v "sum", i 0xFFFF));
+    ]
+
+(* -------- minver: 3x3 floating-point matrix inversion -------- *)
+
+let minver =
+  mk "minver" ~float_heavy:true
+    "3x3 floating-point matrix inversion (Gauss-Jordan), the paper's representative workload"
+    ~globals:
+      [
+        Gfloat_array ("a", [ 4.0; 2.0; 1.0; 2.0; 5.0; 3.0; 1.0; 3.0; 6.0 ]);
+        Gfloat_array ("inv", [ 1.0; 0.0; 0.0; 0.0; 1.0; 0.0; 0.0; 0.0; 1.0 ]);
+      ]
+    [
+      For
+        ( Decl (Tint, "col", i 0),
+          v "col" < i 3,
+          Assign ("col", v "col" + i 1),
+          [
+            Decl (Tfloat, "p", idx "a" ((v "col" * i 3) + v "col"));
+            For
+              ( Decl (Tint, "j", i 0),
+                v "j" < i 3,
+                Assign ("j", v "j" + i 1),
+                [
+                  Store ("a", (v "col" * i 3) + v "j", idx "a" ((v "col" * i 3) + v "j") / v "p");
+                  Store
+                    ("inv", (v "col" * i 3) + v "j", idx "inv" ((v "col" * i 3) + v "j") / v "p");
+                ] );
+            For
+              ( Decl (Tint, "r", i 0),
+                v "r" < i 3,
+                Assign ("r", v "r" + i 1),
+                [
+                  If
+                    ( v "r" != v "col",
+                      [
+                        Decl (Tfloat, "factor", idx "a" ((v "r" * i 3) + v "col"));
+                        For
+                          ( Decl (Tint, "j", i 0),
+                            v "j" < i 3,
+                            Assign ("j", v "j" + i 1),
+                            [
+                              Store
+                                ( "a",
+                                  (v "r" * i 3) + v "j",
+                                  idx "a" ((v "r" * i 3) + v "j")
+                                  - (v "factor" * idx "a" ((v "col" * i 3) + v "j")) );
+                              Store
+                                ( "inv",
+                                  (v "r" * i 3) + v "j",
+                                  idx "inv" ((v "r" * i 3) + v "j")
+                                  - (v "factor" * idx "inv" ((v "col" * i 3) + v "j")) );
+                            ] );
+                      ],
+                      [] );
+                ] );
+          ] );
+      Decl (Tint, "sum", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 9,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("sum", Binop (Bxor, v "sum", Call ("__bits", [ idx "inv" (v "k") ]))) ] );
+      Assign ("out", v "sum");
+    ]
+
+(* -------- nbody: softened 4-body gravity step (no sqrt) -------- *)
+
+let nbody =
+  mk "nbody" ~float_heavy:true "four-body force accumulation with softened 1/r^2 interaction"
+    ~globals:
+      [
+        Gfloat_array ("px", [ 0.0; 1.0; 0.5; -1.5 ]);
+        Gfloat_array ("py", [ 0.0; 0.5; -1.0; 1.0 ]);
+        Gfloat_array ("vx", [ 0.0; 0.0; 0.0; 0.0 ]);
+        Gfloat_array ("vy", [ 0.0; 0.0; 0.0; 0.0 ]);
+        Gfloat_array ("mass", [ 1.0; 0.5; 0.75; 1.25 ]);
+      ]
+    [
+      For
+        ( Decl (Tint, "step", i 0),
+          v "step" < i 3,
+          Assign ("step", v "step" + i 1),
+          [
+            For
+              ( Decl (Tint, "b1", i 0),
+                v "b1" < i 4,
+                Assign ("b1", v "b1" + i 1),
+                [
+                  For
+                    ( Decl (Tint, "b2", i 0),
+                      v "b2" < i 4,
+                      Assign ("b2", v "b2" + i 1),
+                      [
+                        If
+                          ( v "b1" != v "b2",
+                            [
+                              Decl (Tfloat, "dx", idx "px" (v "b2") - idx "px" (v "b1"));
+                              Decl (Tfloat, "dy", idx "py" (v "b2") - idx "py" (v "b1"));
+                              Decl
+                                ( Tfloat,
+                                  "r2",
+                                  (v "dx" * v "dx") + (v "dy" * v "dy") + f 0.125 );
+                              Decl (Tfloat, "force", idx "mass" (v "b2") / v "r2");
+                              Store
+                                ( "vx",
+                                  v "b1",
+                                  idx "vx" (v "b1") + (f 0.0625 * (v "force" * v "dx")) );
+                              Store
+                                ( "vy",
+                                  v "b1",
+                                  idx "vy" (v "b1") + (f 0.0625 * (v "force" * v "dy")) );
+                            ],
+                            [] );
+                      ] );
+                ] );
+            For
+              ( Decl (Tint, "b", i 0),
+                v "b" < i 4,
+                Assign ("b", v "b" + i 1),
+                [
+                  Store ("px", v "b", idx "px" (v "b") + (f 0.0625 * idx "vx" (v "b")));
+                  Store ("py", v "b", idx "py" (v "b") + (f 0.0625 * idx "vy" (v "b")));
+                ] );
+          ] );
+      Decl (Tint, "sum", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 4,
+          Assign ("k", v "k" + i 1),
+          [
+            Assign ("sum", Binop (Bxor, v "sum", Call ("__bits", [ idx "px" (v "k") ])));
+            Assign ("sum", Binop (Bxor, v "sum", Call ("__bits", [ idx "py" (v "k") ])));
+          ] );
+      Assign ("out", v "sum");
+    ]
+
+(* -------- primecount: trial division -------- *)
+
+let primecount =
+  mk "primecount" "count primes below 120 by trial division (software divider)"
+    [
+      Decl (Tint, "count", i 0);
+      For
+        ( Decl (Tint, "n", i 2),
+          v "n" < i 120,
+          Assign ("n", v "n" + i 1),
+          [
+            Decl (Tint, "isp", i 1);
+            For
+              ( Decl (Tint, "d", i 2),
+                (v "d" * v "d") <= v "n",
+                Assign ("d", v "d" + i 1),
+                [ If ((v "n" % v "d") == i 0, [ Assign ("isp", i 0) ], []) ] );
+            If (v "isp" == i 1, [ Assign ("count", v "count" + i 1) ], []);
+          ] );
+      Assign ("out", v "count");
+    ]
+
+(* -------- edn: vector multiply-accumulate -------- *)
+
+let edn =
+  let va = List.init 24 (fun k -> Stdlib.((k * 3 mod 17) - 8)) in
+  let vb = List.init 24 (fun k -> Stdlib.((k * 5 mod 23) - 11)) in
+  mk "edn" "vector dot products and a scaled accumulate (DSP-style MACs)"
+    ~globals:[ Gint_array ("va", va); Gint_array ("vb", vb) ]
+    [
+      Decl (Tint, "dot", i 0);
+      Decl (Tint, "mac", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 24,
+          Assign ("k", v "k" + i 1),
+          [
+            Assign ("dot", v "dot" + (idx "va" (v "k") * idx "vb" (v "k")));
+            Assign
+              ("mac", v "mac" + (Binop (Bshr, idx "va" (v "k") * idx "va" (v "k"), i 2)));
+          ] );
+      Assign ("out", Binop (Band, v "dot" + v "mac", i 0xFFFF));
+    ]
+
+(* -------- huff: bit packing and unpacking -------- *)
+
+let huff =
+  let syms = List.init 24 (fun k -> Stdlib.(k * 11 mod 16)) in
+  mk "huff" "pack 4-bit symbols into words, unpack, and verify (bitstream handling)"
+    ~globals:[ Gint_array ("syms", syms); Gint_array ("packed", List.init 6 (fun _ -> 0)) ]
+    [
+      (* pack: 4 symbols per 16-bit word *)
+      For
+        ( Decl (Tint, "w", i 0),
+          v "w" < i 6,
+          Assign ("w", v "w" + i 1),
+          [
+            Decl (Tint, "acc", i 0);
+            For
+              ( Decl (Tint, "s", i 0),
+                v "s" < i 4,
+                Assign ("s", v "s" + i 1),
+                [
+                  Assign
+                    ( "acc",
+                      Binop
+                        ( Bor,
+                          v "acc",
+                          Binop
+                            ( Bshl,
+                              idx "syms" ((v "w" * i 4) + v "s"),
+                              Binop (Bshl, v "s", i 2) ) ) );
+                ] );
+            Store ("packed", v "w", v "acc");
+          ] );
+      (* unpack and xor-verify *)
+      Decl (Tint, "check", i 0);
+      For
+        ( Decl (Tint, "w", i 0),
+          v "w" < i 6,
+          Assign ("w", v "w" + i 1),
+          [
+            For
+              ( Decl (Tint, "s", i 0),
+                v "s" < i 4,
+                Assign ("s", v "s" + i 1),
+                [
+                  Decl
+                    ( Tint,
+                      "sym",
+                      Binop
+                        (Band, Binop (Bshr, idx "packed" (v "w"), Binop (Bshl, v "s", i 2)), i 15)
+                    );
+                  If
+                    ( v "sym" != idx "syms" ((v "w" * i 4) + v "s"),
+                      [ Assign ("check", i 0xDEAD) ],
+                      [ Assign ("check", v "check" + v "sym") ] );
+                ] );
+          ] );
+      Assign ("out", v "check");
+    ]
+
+(* -------- st: mean and variance of a float series -------- *)
+
+let st =
+  let xs = List.init 16 (fun k -> 1.0 +. (0.25 *. float_of_int Stdlib.(k mod 5)) -. (0.125 *. float_of_int Stdlib.(k mod 3))) in
+  mk "st" ~float_heavy:true "mean and variance of a 16-sample float series"
+    ~globals:[ Gfloat_array ("xs", xs) ]
+    [
+      Decl (Tfloat, "sum", f 0.0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 16,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("sum", v "sum" + idx "xs" (v "k")) ] );
+      Decl (Tfloat, "mean", v "sum" / f 16.0);
+      Decl (Tfloat, "varsum", f 0.0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 16,
+          Assign ("k", v "k" + i 1),
+          [
+            Decl (Tfloat, "d", idx "xs" (v "k") - v "mean");
+            Assign ("varsum", v "varsum" + (v "d" * v "d"));
+          ] );
+      Decl (Tfloat, "variance", v "varsum" / f 16.0);
+      Assign
+        ( "out",
+          Binop
+            ( Bxor,
+              Call ("__bits", [ v "mean" ]),
+              Binop (Bshl, Call ("__bits", [ v "variance" ]), i 1) ) );
+    ]
+
+(* -------- ud: integer LU-style elimination -------- *)
+
+let ud =
+  let a = [ 8; 2; 3; 1; 4; 9; 2; 1; 2; 1; 7; 3; 1; 3; 2; 6 ] in
+  mk "ud" "4x4 integer Gaussian elimination (division-heavy)"
+    ~globals:[ Gint_array ("u", a) ]
+    [
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 4,
+          Assign ("k", v "k" + i 1),
+          [
+            For
+              ( Decl (Tint, "r", v "k" + i 1),
+                v "r" < i 4,
+                Assign ("r", v "r" + i 1),
+                [
+                  Decl (Tint, "m", idx "u" ((v "r" * i 4) + v "k") / idx "u" ((v "k" * i 4) + v "k"));
+                  For
+                    ( Decl (Tint, "c", i 0),
+                      v "c" < i 4,
+                      Assign ("c", v "c" + i 1),
+                      [
+                        Store
+                          ( "u",
+                            (v "r" * i 4) + v "c",
+                            idx "u" ((v "r" * i 4) + v "c")
+                            - (v "m" * idx "u" ((v "k" * i 4) + v "c")) );
+                      ] );
+                ] );
+          ] );
+      Decl (Tint, "sum", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 16,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("sum", v "sum" + idx "u" (v "k")) ] );
+      Assign ("out", Binop (Band, v "sum", i 0xFFFF));
+    ]
+
+(* -------- fir: 8-tap integer FIR filter -------- *)
+
+let fir =
+  let signal = List.init 40 (fun k -> Stdlib.(((k * 13) mod 29) - 14)) in
+  let taps = [ 1; 3; 5; 7; 7; 5; 3; 1 ] in
+  mk "fir" "8-tap integer FIR filter over a 40-sample signal"
+    ~globals:[ Gint_array ("signal", signal); Gint_array ("taps", taps) ]
+    [
+      Decl (Tint, "acc", i 0);
+      For
+        ( Decl (Tint, "n", i 7),
+          v "n" < i 40,
+          Assign ("n", v "n" + i 1),
+          [
+            Decl (Tint, "y", i 0);
+            For
+              ( Decl (Tint, "t", i 0),
+                v "t" < i 8,
+                Assign ("t", v "t" + i 1),
+                [ Assign ("y", v "y" + (idx "taps" (v "t") * idx "signal" (v "n" - v "t"))) ] );
+            Assign ("acc", Binop (Bxor, v "acc", Binop (Band, v "y", i 0xFFFF)));
+          ] );
+      Assign ("out", v "acc");
+    ]
+
+(* -------- nsort: insertion sort -------- *)
+
+let nsort =
+  let a = List.init 20 (fun k -> Stdlib.((k * 17) mod 23)) in
+  mk "nsort" "insertion sort of 20 integers with order verification"
+    ~globals:[ Gint_array ("arr", a) ]
+    [
+      For
+        ( Decl (Tint, "k", i 1),
+          v "k" < i 20,
+          Assign ("k", v "k" + i 1),
+          [
+            Decl (Tint, "key", idx "arr" (v "k"));
+            Decl (Tint, "j", v "k" - i 1);
+            While
+              ( Binop (Bland, v "j" >= i 0, idx "arr" (v "j") > v "key"),
+                [
+                  Store ("arr", v "j" + i 1, idx "arr" (v "j"));
+                  Assign ("j", v "j" - i 1);
+                ] );
+            Store ("arr", v "j" + i 1, v "key");
+          ] );
+      (* weighted checksum verifies sortedness *)
+      Decl (Tint, "sum", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 20,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("sum", v "sum" + ((v "k" + i 1) * idx "arr" (v "k"))) ] );
+      Assign ("out", v "sum");
+    ]
+
+(* -------- gf256: GF(2^8) arithmetic, qrduino-style -------- *)
+
+let gf256 =
+  let data = List.init 16 (fun k -> Stdlib.((k * 37 + 11) mod 256)) in
+  mk "gf256" "GF(2^8) polynomial evaluation (Reed-Solomon-style field arithmetic)"
+    ~globals:[ Gint_array ("poly", data) ]
+    ~funcs:
+      [
+        {
+          Minic.fname = "gfmul";
+          params = [ (Tint, "x"); (Tint, "y") ];
+          ret = Some Tint;
+          body =
+            [
+              (* carry-less multiply reduced by 0x11D *)
+              Decl (Tint, "acc", i 0);
+              While
+                ( v "y" != i 0,
+                  [
+                    If
+                      ( Binop (Band, v "y", i 1) != i 0,
+                        [ Assign ("acc", Binop (Bxor, v "acc", v "x")) ],
+                        [] );
+                    Assign ("x", Binop (Bshl, v "x", i 1));
+                    If
+                      ( Binop (Band, v "x", i 0x100) != i 0,
+                        [ Assign ("x", Binop (Bxor, v "x", i 0x11D)) ],
+                        [] );
+                    Assign ("y", Binop (Bshr, v "y", i 1));
+                  ] );
+              Return (Some (v "acc"));
+            ];
+        };
+      ]
+    [
+      (* evaluate the polynomial at several field points (Horner) *)
+      Decl (Tint, "check", i 0);
+      For
+        ( Decl (Tint, "x", i 2),
+          v "x" < i 8,
+          Assign ("x", v "x" + i 1),
+          [
+            Decl (Tint, "acc", i 0);
+            For
+              ( Decl (Tint, "k", i 0),
+                v "k" < i 16,
+                Assign ("k", v "k" + i 1),
+                [
+                  Assign ("acc", Call ("gfmul", [ v "acc"; v "x" ]));
+                  Assign ("acc", Binop (Bxor, v "acc", idx "poly" (v "k")));
+                ] );
+            Assign ("check", Binop (Bxor, v "check", v "acc"));
+          ] );
+      Assign ("out", v "check");
+    ]
+
+(* -------- slre: a tiny pattern matcher -------- *)
+
+let slre =
+  (* text and pattern as small int codes; pattern ops: literal c,
+     256 = '.', 257 = '*'-modified literal follows *)
+  let text = List.map Char.code (List.init 40 (fun k ->
+      Stdlib.("abacabadabacabaeabacabadabacabafabacabad".[k]))) in
+  mk "slre" "backtracking pattern matcher over a 40-character text"
+    ~globals:
+      [
+        Gint_array ("text", text);
+        (* pattern: a  b?*  a  c  (encoded: 'a'  STAR 'b'  'a'  'c') *)
+        Gint_array ("pat", [ 97; 257; 98; 97; 99 ]);
+      ]
+    ~funcs:
+      [
+        {
+          Minic.fname = "match_here";
+          params = [ (Tint, "pi"); (Tint, "ti") ];
+          ret = Some Tint;
+          body =
+            [
+              If (v "pi" >= i 5, [ Return (Some (i 1)) ], []);
+              If
+                ( idx "pat" (v "pi") == i 257,
+                  [
+                    (* starred literal: try 0..n repetitions *)
+                    Decl (Tint, "c", idx "pat" (v "pi" + i 1));
+                    Decl (Tint, "t", v "ti");
+                    While
+                      ( Binop
+                          (Bland, v "t" < i 40, idx "text" (v "t") == v "c"),
+                        [ Assign ("t", v "t" + i 1) ] );
+                    While
+                      ( v "t" >= v "ti",
+                        [
+                          If
+                            ( Call ("match_here", [ v "pi" + i 2; v "t" ]) == i 1,
+                              [ Return (Some (i 1)) ],
+                              [] );
+                          Assign ("t", v "t" - i 1);
+                        ] );
+                    Return (Some (i 0));
+                  ],
+                  [] );
+              If
+                ( Binop
+                    (Bland, v "ti" < i 40, idx "text" (v "ti") == idx "pat" (v "pi")),
+                  [ Return (Some (Call ("match_here", [ v "pi" + i 1; v "ti" + i 1 ]))) ],
+                  [] );
+              Return (Some (i 0));
+            ];
+        };
+      ]
+    [
+      (* count match positions *)
+      Decl (Tint, "count", i 0);
+      For
+        ( Decl (Tint, "s", i 0),
+          v "s" < i 40,
+          Assign ("s", v "s" + i 1),
+          [
+            If
+              ( Call ("match_here", [ i 0; v "s" ]) == i 1,
+                [ Assign ("count", v "count" + i 1) ],
+                [] );
+          ] );
+      Assign ("out", v "count");
+    ]
+
+(* -------- statemate: a reactive state machine -------- *)
+
+let statemate =
+  let events = List.init 48 (fun k -> Stdlib.((k * 7 + 3) mod 5)) in
+  mk "statemate" "reactive state machine driven by a 48-event stream"
+    ~globals:[ Gint_array ("events", events) ]
+    [
+      (* states: 0 idle, 1 armed, 2 active, 3 fault; events 0..4 *)
+      Decl (Tint, "state", i 0);
+      Decl (Tint, "sig_", i 0);
+      For
+        ( Decl (Tint, "k", i 0),
+          v "k" < i 48,
+          Assign ("k", v "k" + i 1),
+          [
+            Decl (Tint, "e", idx "events" (v "k"));
+            If
+              ( v "state" == i 0,
+                [ If (v "e" == i 1, [ Assign ("state", i 1) ], []) ],
+                [
+                  If
+                    ( v "state" == i 1,
+                      [
+                        If (v "e" == i 2, [ Assign ("state", i 2) ], []);
+                        If (v "e" == i 0, [ Assign ("state", i 0) ], []);
+                      ],
+                      [
+                        If
+                          ( v "state" == i 2,
+                            [
+                              If (v "e" == i 4, [ Assign ("state", i 3) ], []);
+                              If (v "e" == i 3, [ Assign ("state", i 0) ], []);
+                              Assign ("sig_", v "sig_" + i 1);
+                            ],
+                            [ If (v "e" == i 0, [ Assign ("state", i 0) ], []) ] );
+                      ] );
+                ] );
+            Assign
+              ("sig_", Binop (Band, v "sig_" + Binop (Bshl, v "state", i 4), i 0xFFFF));
+          ] );
+      Assign ("out", Binop (Bxor, v "sig_", Binop (Bshl, v "state", i 12)));
+    ]
+
+(* -------- kernels written in the C surface syntax -------- *)
+
+let of_source name ?(float_heavy = false) description source =
+  match Minic_parse.parse source with
+  | Ok program -> { name; description; float_heavy; program }
+  | Error e -> invalid_arg (Printf.sprintf "Workload.%s: %s" name e)
+
+let cubic =
+  of_source "cubic" "integer cube roots by binary search (multiplier-heavy)"
+    {|
+      int out = 0;
+      int targets[8] = { 27, 125, 1000, 1331, 4913, 8000, 12167, 21952 };
+
+      int icbrt(int n) {
+        int lo = 0;
+        int hi = 32;
+        while (lo < hi) {
+          int mid = (lo + hi + 1) >> 1;
+          if (mid * mid * mid <= n) { lo = mid; } else { hi = mid - 1; }
+        }
+        return lo;
+      }
+
+      void main() {
+        int acc = 0;
+        for (int k = 0; k < 8; k = k + 1) {
+          acc = acc * 31 + icbrt(targets[k]);
+        }
+        out = acc & 0xFFFF;
+      }
+    |}
+
+let mont =
+  of_source "mont" "modular exponentiation (aha-mont64's little sibling)"
+    {|
+      int out = 0;
+
+      int mulmod(int a, int b, int m) {
+        // products must stay below 2^15: fine for m <= 181
+        return (a * b) % m;
+      }
+
+      int powmod(int base, int e, int m) {
+        int r = 1;
+        int b = base % m;
+        while (e > 0) {
+          if ((e & 1) == 1) { r = mulmod(r, b, m); }
+          b = mulmod(b, b, m);
+          e = e >> 1;
+        }
+        return r;
+      }
+
+      void main() {
+        int acc = 0;
+        for (int base = 2; base < 10; base = base + 1) {
+          acc = (acc << 1) ^ powmod(base, 29, 113);
+        }
+        // Fermat check: base^112 = 1 mod 113 for base coprime to the prime
+        if (powmod(7, 112, 113) != 1) { acc = 0xDEAD; }
+        out = acc & 0xFFFF;
+      }
+    |}
+
+let all =
+  [ crc; matmult; minver; nbody; primecount; edn; huff; st; ud; fir; nsort; gf256; slre;
+    statemate; cubic; mont ]
+
+let find name = List.find (fun b -> String.equal b.name name) all

@@ -1,0 +1,40 @@
+(** Embench-like benchmark kernels, written in Mini-C.
+
+    These are the representative workloads of the evaluation: they drive
+    Signal Probability Simulation in the Aging Analysis phase (the paper
+    uses embench's "minver" there) and they are the applications whose
+    instrumentation overhead Fig. 9 measures.  Each kernel is
+    self-checking: it computes a checksum into the global ["out"]
+    (memory word {!Minic.globals_base... }32), so runs on different
+    backends can be compared bit-for-bit.
+
+    The kernels mirror embench-iot's character: CRC, integer matrix
+    multiply, floating-point matrix inversion (minver), an n-body step,
+    prime counting, vector MACs (edn), bit packing (huff), statistics
+    (st), LU decomposition (ud), an FIR filter, insertion sort (nsort),
+    GF(2^8) field arithmetic (gf256, qrduino-style), a backtracking pattern
+    matcher (slre), and a reactive state machine (statemate).  Floating-point kernels exercise the FPU including the
+    Newton-Raphson soft division; integer multiply/divide kernels exercise
+    the shift-based runtime routines — i.e. everything runs on the two
+    analyzed functional units. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  program : Minic.program;
+  float_heavy : bool;  (** exercises the FPU datapath substantially *)
+}
+
+val all : benchmark list
+(** Sixteen kernels, embench-style names; [cubic] and [mont] are written
+    in the C surface syntax and parsed with {!Minic_parse}. *)
+
+val find : string -> benchmark
+(** @raise Not_found on an unknown name. *)
+
+val minver : benchmark
+(** The FP matrix-inversion kernel used as the representative workload of
+    Signal Probability Simulation (paper Section 4). *)
+
+val checksum_address : int
+(** Memory word holding each kernel's self-check output ("out"). *)

@@ -1,0 +1,1 @@
+test/test_aging.ml: Aging Alcotest Cell Float List Printf QCheck QCheck_alcotest Spice

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Bitvec Example_circuits Fault Formal List Netlist Printf QCheck QCheck_alcotest Sim String

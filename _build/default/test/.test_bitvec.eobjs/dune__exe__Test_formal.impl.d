@@ -1,0 +1,1 @@
+test/test_formal.ml: Alcotest Array Bitvec Cell Example_circuits Formal List Netlist Printf QCheck QCheck_alcotest Random Sim String

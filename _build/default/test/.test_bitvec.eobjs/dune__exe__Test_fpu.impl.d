@@ -1,0 +1,1 @@
+test/test_fpu.ml: Alcotest Bitvec Float Formal Fpu Fpu_format List Netlist Option Printf QCheck QCheck_alcotest Sim Softfloat

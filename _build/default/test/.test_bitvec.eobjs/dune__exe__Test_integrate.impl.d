@@ -1,0 +1,1 @@
+test/test_integrate.ml: Alcotest Alu Bitvec Fault Float Integrate Isa Lift List Machine Minic String Testgen

@@ -1,0 +1,1 @@
+test/test_lift.ml: Alcotest Fault Fpu Fpu_format Isa Lift List Machine Netlist Sta Testgen

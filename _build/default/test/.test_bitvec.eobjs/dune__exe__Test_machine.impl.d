@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Alu Array Bitvec Fault Fpu Fpu_format Isa List Machine Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Bitvec Fpu_format List Machine Minic Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_minic_parse.ml: Alcotest Bitvec List Machine Minic Minic_parse Minic_pp Printf String Workload

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Cell Clock_tree Example_circuits Hashtbl List Netlist QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_netlist_opt.ml: Alcotest Alu Array Bitvec Cell Example_circuits Fault Formal List Netlist Netlist_opt QCheck QCheck_alcotest Random Sim

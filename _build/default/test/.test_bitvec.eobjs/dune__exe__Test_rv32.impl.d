@@ -1,0 +1,1 @@
+test/test_rv32.ml: Alcotest Alu Fault Fpu_format Isa Lift List Minic Printf Rv32_encode String Workload

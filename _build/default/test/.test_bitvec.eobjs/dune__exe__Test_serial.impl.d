@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Fault Fpu_format Integrate Json Lift List Machine Printf QCheck QCheck_alcotest Serial String Testgen

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bitvec Cell Example_circuits List Netlist Power Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_sta.ml: Aging Alcotest Alu Array Cell Clock_tree Example_circuits Float List Netlist Printf QCheck QCheck_alcotest Random Sta String

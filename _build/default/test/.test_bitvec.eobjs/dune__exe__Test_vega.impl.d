@@ -1,0 +1,1 @@
+test/test_vega.ml: Alcotest Clock_tree Experiments Float Formal Lift List Machine Printf Sta String Vega

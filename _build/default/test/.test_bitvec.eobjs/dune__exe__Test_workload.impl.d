@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Alu Array Bitvec Float Fpu Fpu_format List Machine Minic Printf String Workload

@@ -1,0 +1,221 @@
+(* Tests for the cell library, the SPICE-lite stage model, and the
+   reaction-diffusion aging model with its precomputed timing library. *)
+
+let cfg = Aging.default_config
+let c28 = Cell.Library.c28
+
+let test_cell_eval () =
+  let t = [| true |] and f = [| false |] in
+  Alcotest.(check bool) "not" false (Cell.Kind.eval Cell.Kind.Not t);
+  Alcotest.(check bool) "buf" true (Cell.Kind.eval Cell.Kind.Buf t);
+  Alcotest.(check bool) "tie0" false (Cell.Kind.eval Cell.Kind.Tie0 [||]);
+  Alcotest.(check bool) "tie1" true (Cell.Kind.eval Cell.Kind.Tie1 [||]);
+  ignore f;
+  let tt k = List.map (fun (a, b) -> Cell.Kind.eval k [| a; b |])
+      [ (false, false); (false, true); (true, false); (true, true) ]
+  in
+  Alcotest.(check (list bool)) "and2" [ false; false; false; true ] (tt Cell.Kind.And2);
+  Alcotest.(check (list bool)) "or2" [ false; true; true; true ] (tt Cell.Kind.Or2);
+  Alcotest.(check (list bool)) "xor2" [ false; true; true; false ] (tt Cell.Kind.Xor2);
+  Alcotest.(check (list bool)) "nand2" [ true; true; true; false ] (tt Cell.Kind.Nand2);
+  Alcotest.(check (list bool)) "nor2" [ true; false; false; false ] (tt Cell.Kind.Nor2);
+  Alcotest.(check (list bool)) "xnor2" [ true; false; false; true ] (tt Cell.Kind.Xnor2);
+  (* mux: inputs a, b, s; output = s ? b : a *)
+  Alcotest.(check bool) "mux select a" true (Cell.Kind.eval Cell.Kind.Mux2 [| true; false; false |]);
+  Alcotest.(check bool) "mux select b" false (Cell.Kind.eval Cell.Kind.Mux2 [| true; false; true |])
+
+let test_cell_eval_errors () =
+  Alcotest.check_raises "dff not combinational" (Invalid_argument "Cell.Kind.eval: DFF is sequential")
+    (fun () -> ignore (Cell.Kind.eval Cell.Kind.Dff [| true |]));
+  Alcotest.check_raises "arity" (Invalid_argument "Cell.Kind.eval: AND2 expects 2 inputs, got 1")
+    (fun () -> ignore (Cell.Kind.eval Cell.Kind.And2 [| true |]))
+
+let test_library_sanity () =
+  List.iter
+    (fun k ->
+      let t = Cell.Library.timing c28 k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s min <= max" (Cell.Kind.to_string k))
+        true
+        (t.Cell.tpd_min_ps <= t.Cell.tpd_max_ps))
+    Cell.Kind.all;
+  let d = Cell.Library.dff c28 in
+  Alcotest.(check bool) "dff constraints positive" true
+    (d.Cell.setup_ps > 0.0 && d.Cell.hold_ps > 0.0 && d.Cell.clk_to_q_min_ps > 0.0);
+  let e = Cell.Library.timing Cell.Library.example Cell.Kind.Xor2 in
+  Alcotest.(check (float 1e-9)) "example max 300ps" 300.0 e.Cell.tpd_max_ps
+
+let test_spice_monotone () =
+  let e = Cell.Library.electrical c28 Cell.Kind.Xor2 in
+  let d0 = Spice.stage_delay_ps e ~vth:e.Cell.vth0 in
+  let d1 = Spice.stage_delay_ps e ~vth:(e.Cell.vth0 +. 0.02) in
+  let d2 = Spice.stage_delay_ps e ~vth:(e.Cell.vth0 +. 0.04) in
+  Alcotest.(check bool) "delay grows with vth" true (d0 < d1 && d1 < d2);
+  Alcotest.check_raises "vth above vdd rejected"
+    (Invalid_argument "Spice.stage_resistance: vth 0.950 >= vdd 0.900") (fun () ->
+      ignore (Spice.stage_resistance e ~vth:0.95))
+
+let test_spice_transient_matches_closed_form () =
+  List.iter
+    (fun k ->
+      let e = Cell.Library.electrical c28 k in
+      if e.Cell.cload_ff > 0.0 then begin
+        let closed = Spice.stage_delay_ps e ~vth:e.Cell.vth0 in
+        let transient = Spice.transient_delay_ps e ~vth:e.Cell.vth0 in
+        let err = Float.abs (closed -. transient) /. closed in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s transient within 1%%" (Cell.Kind.to_string k))
+          true (err < 0.01)
+      end)
+    Cell.Kind.all
+
+let test_degradation_factor () =
+  let e = Cell.Library.electrical c28 Cell.Kind.And2 in
+  Alcotest.(check (float 1e-9)) "no shift no slowdown" 1.0 (Spice.degradation_factor e ~dvth:0.0);
+  Alcotest.(check bool) "positive shift slows" true (Spice.degradation_factor e ~dvth:0.02 > 1.0)
+
+let test_delta_vth_shape () =
+  Alcotest.(check (float 1e-12)) "zero at t=0" 0.0 (Aging.delta_vth cfg ~duty:1.0 ~years:0.0);
+  let v1 = Aging.delta_vth cfg ~duty:1.0 ~years:1.0 in
+  let v10 = Aging.delta_vth cfg ~duty:1.0 ~years:10.0 in
+  Alcotest.(check bool) "monotone in time" true (v1 < v10);
+  (* reaction-diffusion: ~70% of 10-year damage accrues in year one
+     (10^(1/6) ~ 1.47 => v1/v10 = 1/1.468 ~ 0.68) *)
+  Alcotest.(check bool) "front-loaded degradation" true (v1 /. v10 > 0.6 && v1 /. v10 < 0.75);
+  Alcotest.(check (float 1e-6)) "calibration anchor" cfg.Aging.calibration_dvth_10y v10
+
+let test_duty_of_sp () =
+  Alcotest.(check (float 1e-9)) "sp=1 floor" cfg.Aging.duty_floor (Aging.duty_of_sp cfg 1.0);
+  Alcotest.(check (float 1e-9)) "sp=0 max stress" 1.0 (Aging.duty_of_sp cfg 0.0);
+  Alcotest.(check bool) "monotone decreasing" true
+    (Aging.duty_of_sp cfg 0.2 > Aging.duty_of_sp cfg 0.8);
+  Alcotest.check_raises "sp out of range" (Invalid_argument "Aging.duty_of_sp: sp 1.5000 outside [0, 1]")
+    (fun () -> ignore (Aging.duty_of_sp cfg 1.5))
+
+let test_duty_cycled () =
+  let full = Aging.delta_vth cfg ~duty:1.0 ~years:10.0 in
+  let half = Aging.delta_vth_duty_cycled cfg ~duty:1.0 ~on_fraction:0.5 ~years:10.0 in
+  let always = Aging.delta_vth_duty_cycled cfg ~duty:1.0 ~on_fraction:1.0 ~years:10.0 in
+  Alcotest.(check (float 1e-9)) "on_fraction 1 equals continuous stress" full always;
+  Alcotest.(check bool) "duty cycling reduces damage" true (half < full);
+  (* below the naive t^(1/6) scaling too, thanks to annealing *)
+  let naive = Aging.delta_vth cfg ~duty:1.0 ~years:5.0 in
+  Alcotest.(check bool) "annealing beats plain half-time stress" true (half < naive);
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Aging.delta_vth_duty_cycled: on_fraction outside [0, 1]") (fun () ->
+      ignore (Aging.delta_vth_duty_cycled cfg ~duty:1.0 ~on_fraction:1.5 ~years:1.0))
+
+let test_em_factor () =
+  Alcotest.(check (float 1e-9)) "no activity no drift" 1.0
+    (Aging.em_delay_factor cfg ~toggle_rate:0.0 ~years:10.0);
+  Alcotest.(check (float 1e-9)) "fresh wire" 1.0
+    (Aging.em_delay_factor cfg ~toggle_rate:1.0 ~years:0.0);
+  let full = Aging.em_delay_factor cfg ~toggle_rate:1.0 ~years:10.0 in
+  Alcotest.(check (float 1e-9)) "calibrated 10-year drift" (1.0 +. cfg.Aging.em_drift_10y) full;
+  (* Black's current exponent: halving the activity quarters the drift *)
+  let half = Aging.em_delay_factor cfg ~toggle_rate:0.5 ~years:10.0 in
+  Alcotest.(check (float 1e-9)) "quadratic in activity" (1.0 +. (cfg.Aging.em_drift_10y /. 4.0)) half;
+  Alcotest.check_raises "bad rate" (Invalid_argument "Aging.em_delay_factor: toggle_rate outside [0, 1]")
+    (fun () -> ignore (Aging.em_delay_factor cfg ~toggle_rate:2.0 ~years:1.0))
+
+let test_recovery () =
+  let dvth = 0.02 in
+  let r = Aging.recovered cfg ~dvth ~relax_years:1.0 in
+  Alcotest.(check bool) "partial recovery" true (r < dvth && r > dvth *. (1.0 -. cfg.Aging.recovery_fraction));
+  Alcotest.(check (float 1e-12)) "no relax no recovery" dvth (Aging.recovered cfg ~dvth ~relax_years:0.0)
+
+let lib = Aging.Timing_library.build c28
+
+let test_timing_library_grid () =
+  (* interpolated factors track the exact computation closely *)
+  List.iter
+    (fun (sp, years) ->
+      let a = Aging.Timing_library.factor lib Cell.Kind.Xor2 ~sp ~years in
+      let b = Aging.Timing_library.factor_exact lib Cell.Kind.Xor2 ~sp ~years in
+      Alcotest.(check bool)
+        (Printf.sprintf "grid close to exact at sp=%.2f y=%.1f" sp years)
+        true
+        (Float.abs (a -. b) < 0.002))
+    [ (0.13, 10.0); (0.5, 5.0); (0.85, 2.5); (0.0, 10.0); (1.0, 0.0) ]
+
+let test_timing_library_shape () =
+  let f_low_sp = Aging.Timing_library.factor lib Cell.Kind.Xor2 ~sp:0.05 ~years:10.0 in
+  let f_high_sp = Aging.Timing_library.factor lib Cell.Kind.Xor2 ~sp:0.95 ~years:10.0 in
+  Alcotest.(check bool) "idle-at-0 ages faster" true (f_low_sp > f_high_sp);
+  Alcotest.(check bool) "all factors >= 1" true (f_high_sp >= 1.0);
+  let f0 = Aging.Timing_library.factor lib Cell.Kind.Xor2 ~sp:0.5 ~years:0.0 in
+  Alcotest.(check (float 1e-6)) "fresh factor is 1" 1.0 f0;
+  (* the paper's Fig. 8 span: 10-year degradation between ~1.9% and ~6% *)
+  Alcotest.(check bool) "max degradation around 6%" true
+    (f_low_sp > 1.04 && f_low_sp < 1.08);
+  Alcotest.(check bool) "min degradation around 1.9%" true
+    (f_high_sp > 1.01 && f_high_sp < 1.03)
+
+let test_aged_timing () =
+  let fresh = Cell.Library.timing c28 Cell.Kind.Xor2 in
+  let aged = Aging.Timing_library.aged_timing lib Cell.Kind.Xor2 ~sp:0.1 ~years:10.0 in
+  Alcotest.(check bool) "max delay grows" true (aged.Cell.tpd_max_ps > fresh.Cell.tpd_max_ps);
+  Alcotest.(check (float 1e-9)) "min delay untouched" fresh.Cell.tpd_min_ps aged.Cell.tpd_min_ps
+
+(* Properties *)
+
+let arb_sp_years =
+  QCheck.make
+    ~print:(fun (sp, y) -> Printf.sprintf "sp=%.3f years=%.2f" sp y)
+    QCheck.Gen.(pair (float_bound_inclusive 1.0) (float_bound_inclusive 10.0))
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"factor always >= 1" arb_sp_years (fun (sp, years) ->
+           Aging.Timing_library.factor lib Cell.Kind.Nand2 ~sp ~years >= 1.0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"factor monotone in years" arb_sp_years
+         (fun (sp, years) ->
+           let y2 = Float.min 10.0 (years +. 1.0) in
+           Aging.Timing_library.factor_exact lib Cell.Kind.Nand2 ~sp ~years
+           <= Aging.Timing_library.factor_exact lib Cell.Kind.Nand2 ~sp ~years:y2 +. 1e-12));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"factor monotone decreasing in sp" arb_sp_years
+         (fun (sp, years) ->
+           let sp2 = Float.min 1.0 (sp +. 0.1) in
+           Aging.Timing_library.factor_exact lib Cell.Kind.Nand2 ~sp:sp2 ~years
+           <= Aging.Timing_library.factor_exact lib Cell.Kind.Nand2 ~sp ~years +. 1e-12));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"delta_vth nonnegative and bounded" arb_sp_years
+         (fun (sp, years) ->
+           let d = Aging.delta_vth_of_sp cfg ~sp ~years in
+           d >= 0.0 && d < 0.1));
+  ]
+
+let () =
+  Alcotest.run "aging"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "truth tables" `Quick test_cell_eval;
+          Alcotest.test_case "eval errors" `Quick test_cell_eval_errors;
+          Alcotest.test_case "library sanity" `Quick test_library_sanity;
+        ] );
+      ( "spice",
+        [
+          Alcotest.test_case "monotone in vth" `Quick test_spice_monotone;
+          Alcotest.test_case "transient vs closed form" `Quick test_spice_transient_matches_closed_form;
+          Alcotest.test_case "degradation factor" `Quick test_degradation_factor;
+        ] );
+      ( "reaction-diffusion",
+        [
+          Alcotest.test_case "delta vth shape" `Quick test_delta_vth_shape;
+          Alcotest.test_case "duty of sp" `Quick test_duty_of_sp;
+          Alcotest.test_case "duty-cycled stress" `Quick test_duty_cycled;
+          Alcotest.test_case "electromigration" `Quick test_em_factor;
+          Alcotest.test_case "recovery" `Quick test_recovery;
+        ] );
+      ( "timing library",
+        [
+          Alcotest.test_case "grid interpolation" `Quick test_timing_library_grid;
+          Alcotest.test_case "degradation shape" `Quick test_timing_library_shape;
+          Alcotest.test_case "aged timing" `Quick test_aged_timing;
+        ] );
+      ("properties", props);
+    ]

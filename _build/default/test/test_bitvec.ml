@@ -1,0 +1,130 @@
+(* Unit and property tests for the Bitvec fixed-width bitvector module. *)
+
+let bv w v = Bitvec.create ~width:w v
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_create_masks () =
+  check_int "wraps modulo 2^w" 5 (Bitvec.to_int (bv 4 21));
+  check_int "negative wraps" 15 (Bitvec.to_int (bv 4 (-1)));
+  check_int "zero" 0 (Bitvec.to_int (Bitvec.zero 8));
+  check_int "ones" 255 (Bitvec.to_int (Bitvec.ones 8));
+  check_int "one" 1 (Bitvec.to_int (Bitvec.one 3))
+
+let test_bounds () =
+  Alcotest.check_raises "width 0 rejected" (Invalid_argument "Bitvec: width 0 out of range [1, 62]")
+    (fun () -> ignore (Bitvec.create ~width:0 0));
+  Alcotest.check_raises "width 63 rejected" (Invalid_argument "Bitvec: width 63 out of range [1, 62]")
+    (fun () -> ignore (Bitvec.create ~width:63 0))
+
+let test_signed () =
+  check_int "msb set is negative" (-1) (Bitvec.to_signed (bv 4 15));
+  check_int "min value" (-8) (Bitvec.to_signed (bv 4 8));
+  check_int "positive unchanged" 7 (Bitvec.to_signed (bv 4 7))
+
+let test_arith () =
+  check_int "add wraps" 0 (Bitvec.to_int (Bitvec.add (bv 4 8) (bv 4 8)));
+  check_int "sub wraps" 15 (Bitvec.to_int (Bitvec.sub (bv 4 0) (bv 4 1)));
+  check_int "neg" 13 (Bitvec.to_int (Bitvec.neg (bv 4 3)));
+  check_int "mul" 6 (Bitvec.to_int (Bitvec.mul (bv 4 2) (bv 4 3)));
+  check_int "mul wraps" 8 (Bitvec.to_int (Bitvec.mul (bv 4 12) (bv 4 10)));
+  let sum, carry = Bitvec.add_carry (bv 4 9) (bv 4 8) false in
+  check_int "add_carry sum" 1 (Bitvec.to_int sum);
+  check_bool "add_carry carry" true carry
+
+let test_mul_wide () =
+  (* limb-split path: 40-bit operands *)
+  let a = Bitvec.create ~width:40 0xFFFFFFFFF in
+  let b = Bitvec.create ~width:40 3 in
+  check_int "wide mul" ((0xFFFFFFFFF * 3) land ((1 lsl 40) - 1)) (Bitvec.to_int (Bitvec.mul a b))
+
+let test_shifts () =
+  check_int "sll" 8 (Bitvec.to_int (Bitvec.shift_left (bv 4 1) 3));
+  check_int "sll overflow" 0 (Bitvec.to_int (Bitvec.shift_left (bv 4 1) 4));
+  check_int "srl" 1 (Bitvec.to_int (Bitvec.shift_right_logical (bv 4 8) 3));
+  check_int "sra sign fill" 15 (Bitvec.to_int (Bitvec.shift_right_arith (bv 4 8) 3));
+  check_int "sra positive" 1 (Bitvec.to_int (Bitvec.shift_right_arith (bv 4 4) 2));
+  check_int "sra full width" 15 (Bitvec.to_int (Bitvec.shift_right_arith (bv 4 8) 4))
+
+let test_compare () =
+  check_bool "ult" true (Bitvec.ult (bv 4 2) (bv 4 14));
+  check_bool "slt sees sign" true (Bitvec.slt (bv 4 14) (bv 4 2));
+  check_bool "slt equal" false (Bitvec.slt (bv 4 5) (bv 4 5))
+
+let test_structure () =
+  check_int "extract" 0b1101 (Bitvec.to_int (Bitvec.extract (bv 8 0b01011010) ~hi:4 ~lo:1));
+  check_int "concat" 0b1011 (Bitvec.to_int (Bitvec.concat (bv 2 0b10) (bv 2 0b11)));
+  check_int "zero_extend" 3 (Bitvec.to_int (Bitvec.zero_extend (bv 2 3) 8));
+  check_int "sign_extend" 255 (Bitvec.to_int (Bitvec.sign_extend (bv 2 3) 8));
+  check_int "set_bit" 0b101 (Bitvec.to_int (Bitvec.set_bit (bv 3 0b001) 2 true));
+  check_int "popcount" 4 (Bitvec.popcount (bv 8 0b10110101 |> fun v -> Bitvec.set_bit v 7 false))
+
+let test_strings () =
+  Alcotest.(check string) "to_string" "4'b0110" (Bitvec.to_string (bv 4 6));
+  Alcotest.(check string) "hex" "8'hab" (Bitvec.to_hex_string (bv 8 0xab))
+
+let test_of_bits () =
+  check_int "of_bits lsb first" 0b011 (Bitvec.to_int (Bitvec.of_bits [ true; true; false ]));
+  check_bool "bit round trip" true (Bitvec.bit (Bitvec.of_bits [ false; true ]) 1)
+
+(* Property tests *)
+
+let arb_pair =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+    QCheck.Gen.(
+      int_range 1 30 >>= fun w ->
+      int_bound ((1 lsl w) - 1) >>= fun a ->
+      int_bound ((1 lsl w) - 1) >>= fun b -> return (w, a, b))
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb_pair f)
+
+let props =
+  [
+    prop "add commutes" (fun (w, a, b) ->
+        Bitvec.equal (Bitvec.add (bv w a) (bv w b)) (Bitvec.add (bv w b) (bv w a)));
+    prop "add/sub inverse" (fun (w, a, b) ->
+        Bitvec.equal (Bitvec.sub (Bitvec.add (bv w a) (bv w b)) (bv w b)) (bv w a));
+    prop "mul matches reference" (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.mul (bv w a) (bv w b)) = a * b land ((1 lsl w) - 1));
+    prop "de morgan" (fun (w, a, b) ->
+        Bitvec.equal
+          (Bitvec.lognot (Bitvec.logand (bv w a) (bv w b)))
+          (Bitvec.logor (Bitvec.lognot (bv w a)) (Bitvec.lognot (bv w b))));
+    prop "xor self is zero" (fun (w, a, _) -> Bitvec.is_zero (Bitvec.logxor (bv w a) (bv w a)));
+    prop "signed round trip" (fun (w, a, _) ->
+        Bitvec.equal (Bitvec.create ~width:w (Bitvec.to_signed (bv w a))) (bv w a));
+    prop "slt matches signed compare" (fun (w, a, b) ->
+        Bitvec.slt (bv w a) (bv w b) = (Bitvec.to_signed (bv w a) < Bitvec.to_signed (bv w b)));
+    prop "sra is floor division by two" (fun (w, a, _) ->
+        let v = bv w a in
+        Bitvec.to_signed (Bitvec.shift_right_arith v 1) = Bitvec.to_signed v asr 1);
+    prop "extract concat round trip" (fun (w, a, _) ->
+        QCheck.assume (w >= 2);
+        let v = bv w a in
+        let hi = Bitvec.extract v ~hi:(w - 1) ~lo:(w / 2) in
+        let lo = Bitvec.extract v ~hi:((w / 2) - 1) ~lo:0 in
+        Bitvec.equal (Bitvec.concat hi lo) v);
+    prop "bits round trip" (fun (w, a, _) ->
+        Bitvec.equal (Bitvec.of_bits (Bitvec.bits (bv w a))) (bv w a));
+  ]
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create masks" `Quick test_create_masks;
+          Alcotest.test_case "width bounds" `Quick test_bounds;
+          Alcotest.test_case "signed" `Quick test_signed;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "wide mul" `Quick test_mul_wide;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "of_bits" `Quick test_of_bits;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,99 @@
+(* Smoke tests for the experiment drivers, on the reduced configuration:
+   every table/figure driver runs and its rows have the expected shape. *)
+
+let ctx = Experiments.make_context ~config:Experiments.quick_config ()
+
+let test_fig8 () =
+  let buckets = Experiments.fig8 ctx in
+  let total_alu = List.fold_left (fun a b -> a +. b.Experiments.alu_frac) 0.0 buckets in
+  let total_fpu = List.fold_left (fun a b -> a +. b.Experiments.fpu_frac) 0.0 buckets in
+  Alcotest.(check (float 0.02)) "alu fractions sum to 1" 1.0 total_alu;
+  Alcotest.(check (float 0.02)) "fpu fractions sum to 1" 1.0 total_fpu;
+  Alcotest.(check bool) "renders" true
+    (String.length (Experiments.render_fig8 buckets) > 100)
+
+let test_table3 () =
+  let rows = Experiments.table3 ctx in
+  Alcotest.(check int) "two units" 2 (List.length rows);
+  let alu = List.find (fun r -> r.Experiments.t3_unit = "ALU") rows in
+  let fpu = List.find (fun r -> r.Experiments.t3_unit = "FPU") rows in
+  Alcotest.(check bool) "alu setup violations" true (alu.Experiments.setup_paths > 0);
+  Alcotest.(check bool) "alu wns negative" true (alu.Experiments.setup_wns_ps < 0.0);
+  Alcotest.(check bool) "fpu has far more paths than alu" true
+    (fpu.Experiments.setup_paths > 10 * alu.Experiments.setup_paths);
+  Alcotest.(check bool) "fpu hold violation" true (fpu.Experiments.hold_paths >= 1);
+  Alcotest.(check int) "alu no hold" 0 alu.Experiments.hold_paths
+
+let test_table4 () =
+  let rows = Experiments.table4 ctx in
+  List.iter
+    (fun r ->
+      let sum = List.fold_left (fun a (_, p) -> a +. p) 0.0 r.Experiments.without in
+      Alcotest.(check (float 0.1)) (r.Experiments.t4_unit ^ " percentages sum to 100") 100.0 sum)
+    rows
+
+let test_table5 () =
+  let rows = Experiments.table5 ctx in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "cases positive" true (r.Experiments.cases_without > 0);
+      (* the headline claim: suites execute in hundreds to thousands of cycles *)
+      Alcotest.(check bool) "cycles in the low thousands" true
+        (r.Experiments.cycles_without > 0 && r.Experiments.cycles_with < 5000);
+      Alcotest.(check bool) "mitigation grows the suite" true
+        (r.Experiments.cases_with >= r.Experiments.cases_without))
+    rows
+
+let test_table6 () =
+  let rows = Experiments.table6 ctx in
+  Alcotest.(check int) "12 rows (2 units x 3 FMs x 2 suites)" 12 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "high detection" true (r.Experiments.detected_pct >= 80.0);
+      Alcotest.(check bool) "percentages bounded" true
+        (r.Experiments.before_pct <= 100.0 && r.Experiments.stall_pct <= 100.0))
+    rows
+
+let test_table7 () =
+  let rows = Experiments.table7 ctx in
+  Alcotest.(check int) "6 rows" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "vega detects most" true (r.Experiments.vega_pct >= 80.0);
+      Alcotest.(check bool) "random below or equal overall ALU C0" true
+        (r.Experiments.random_pct <= 100.0))
+    rows;
+  (* the paper's headline comparison: Vega never loses to random on C=0 *)
+  let alu_c0 =
+    List.find
+      (fun r -> r.Experiments.t7_unit = "ALU" && r.Experiments.t7_fm = Experiments.FM0)
+      rows
+  in
+  Alcotest.(check bool) "vega >= random on ALU C0" true
+    (alu_c0.Experiments.vega_pct >= alu_c0.Experiments.random_pct)
+
+let test_fig9 () =
+  let rows = Experiments.fig9 ctx in
+  Alcotest.(check int) "all benchmarks" (List.length Workload.all) (List.length rows);
+  let mean_n, mean_m = Experiments.fig9_mean_overheads rows in
+  Alcotest.(check bool) "mean overhead small" true (mean_n < 5.0 && mean_m < 5.0);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "overhead nonnegative" true
+        (r.Experiments.overhead_without_pct >= 0.0))
+    rows
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "fig8" `Quick test_fig8;
+          Alcotest.test_case "table3" `Quick test_table3;
+          Alcotest.test_case "table4" `Quick test_table4;
+          Alcotest.test_case "table5" `Quick test_table5;
+          Alcotest.test_case "table6" `Quick test_table6;
+          Alcotest.test_case "table7" `Quick test_table7;
+          Alcotest.test_case "fig9" `Quick test_fig9;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for failure-model instrumentation: Eq. (2)/(3) semantics on the
+   paper's adder, shadow replicas, and the Table 2 trace-generation flow. *)
+
+let adder = Example_circuits.pipelined_adder ()
+let bv w v = Bitvec.create ~width:w v
+
+let setup_spec ?(constant = Fault.C1) ?(activation = Fault.Any_transition) () =
+  {
+    Fault.start_dff = "$4";
+    end_dff = "$10";
+    kind = Fault.Setup_violation;
+    constant;
+    activation;
+  }
+
+let hold_spec ?(constant = Fault.C1) ?(activation = Fault.Any_transition) () =
+  {
+    Fault.start_dff = "$1";
+    end_dff = "$9";
+    kind = Fault.Hold_violation;
+    constant;
+    activation;
+  }
+
+(* Drive the failing netlist and the golden adder side by side; return the
+   list of cycles (input pairs) where outputs diverge. *)
+let divergences spec stimulus =
+  let faulty = Fault.failing_netlist adder spec in
+  let sim_f = Sim.create faulty and sim_g = Sim.create adder in
+  let diffs = ref [] in
+  List.iteri
+    (fun i (a, b) ->
+      Sim.set_input sim_f "a" (bv 2 a);
+      Sim.set_input sim_f "b" (bv 2 b);
+      Sim.set_input sim_g "a" (bv 2 a);
+      Sim.set_input sim_g "b" (bv 2 b);
+      Sim.step sim_f;
+      Sim.step sim_g;
+      if not (Bitvec.equal (Sim.output sim_f "o") (Sim.output sim_g "o")) then
+        diffs := i :: !diffs)
+    stimulus;
+  List.rev !diffs
+
+let test_setup_fault_fires_on_transition () =
+  (* b[1] ($4) transitions 0->1 at the third input; the setup fault on
+     $4~>$10 corrupts o[1] in the following cycle *)
+  let stim = [ (0, 0); (0, 0); (0, 2); (0, 2); (0, 2) ] in
+  let diffs = divergences (setup_spec ~constant:Fault.C0 ()) stim in
+  Alcotest.(check bool) "diverges after transition" true (List.mem 3 diffs)
+
+let test_setup_fault_silent_when_stable () =
+  (* constant inputs: after the initial settling transition, no divergence *)
+  let stim = List.init 8 (fun _ -> (1, 2)) in
+  let diffs = divergences (setup_spec ~constant:Fault.C1 ()) stim in
+  (* b=2 sets $4=1 at cycle 1, a 0->1 transition; only early cycles may
+     diverge *)
+  List.iter (fun i -> Alcotest.(check bool) "late cycles clean" true (i <= 2)) diffs
+
+let test_setup_c1_vs_c0 () =
+  (* with C=1 and a transition making o[1]=1 anyway, the fault can hide *)
+  let stim = [ (0, 0); (0, 2); (0, 2) ] in
+  let d1 = divergences (setup_spec ~constant:Fault.C1 ()) stim in
+  let d0 = divergences (setup_spec ~constant:Fault.C0 ()) stim in
+  (* o = 0+2 = 2 -> o[1]=1: C=1 agrees (hidden), C=0 corrupts *)
+  Alcotest.(check (list int)) "C=1 hidden" [] d1;
+  Alcotest.(check bool) "C=0 visible" true (d0 <> [])
+
+let test_rising_edge_activation () =
+  let rising = setup_spec ~constant:Fault.C0 ~activation:Fault.Rising_edge () in
+  let falling = setup_spec ~constant:Fault.C0 ~activation:Fault.Falling_edge () in
+  (* $4 = b[1] goes 0 -> 1 at input 2 (rising); never falls *)
+  let stim = [ (0, 0); (0, 2); (0, 2); (0, 2) ] in
+  Alcotest.(check bool) "rising fires" true (divergences rising stim <> []);
+  Alcotest.(check (list int)) "falling silent" [] (divergences falling stim);
+  (* now a 1 -> 0 transition of $4, with the corrupted capture replacing a
+     sum whose bit 1 is set (2 + 0) so that C=0 is visible *)
+  let stim_fall = [ (0, 2); (0, 2); (2, 0); (0, 0) ] in
+  Alcotest.(check bool) "falling fires on fall" true (divergences falling stim_fall <> [])
+
+let test_hold_fault_semantics () =
+  (* hold on $1~>$9: fault fires when a[0] changes between consecutive
+     cycles (X(t) <> X(t+1)) *)
+  let stim = [ (1, 0); (0, 0); (0, 0); (1, 0); (1, 0) ] in
+  let diffs = divergences (hold_spec ~constant:Fault.C1 ()) stim in
+  Alcotest.(check bool) "hold fault fires" true (diffs <> []);
+  (* constant a[0]: silent after reset settles *)
+  let stim_stable = List.init 6 (fun _ -> (1, 2)) in
+  let diffs = divergences (hold_spec ~constant:Fault.C1 ()) stim_stable in
+  List.iter (fun i -> Alcotest.(check bool) "stable clean" true (i <= 1)) diffs
+
+let test_self_loop_metastable () =
+  (* a path from a DFF to itself: Y always produces C *)
+  let lfsr = Example_circuits.lfsr4 () in
+  let spec =
+    {
+      Fault.start_dff = "s0";
+      end_dff = "s0";
+      kind = Fault.Setup_violation;
+      constant = Fault.C0;
+      activation = Fault.Any_transition;
+    }
+  in
+  let faulty = Fault.failing_netlist lfsr spec in
+  let sim = Sim.create faulty in
+  Sim.set_input_bit sim "enable" 0 true;
+  for _ = 1 to 5 do
+    Sim.step sim
+  done;
+  Alcotest.(check bool) "bit 0 stuck at 0" false
+    (Bitvec.bit (Sim.output sim "q") 0)
+
+let test_random_constant_port () =
+  let faulty = Fault.failing_netlist adder (setup_spec ~constant:Fault.C_random ()) in
+  let p = Netlist.find_input faulty Fault.random_port in
+  Alcotest.(check int) "1-bit random port" 1 (Array.length p.port_nets)
+
+let test_spec_validation () =
+  Alcotest.check_raises "not a dff" (Invalid_argument "Fault: cell $5 is not a DFF")
+    (fun () ->
+      ignore (Fault.failing_netlist adder { (setup_spec ()) with Fault.start_dff = "$5" }));
+  Alcotest.check_raises "unknown cell" Not_found (fun () ->
+      ignore (Fault.failing_netlist adder { (setup_spec ()) with Fault.end_dff = "zz" }))
+
+let test_shadow_structure () =
+  let inst = Fault.instrument_shadow adder (setup_spec ()) in
+  (* original ports unchanged, shadow port added *)
+  let nl = inst.Fault.netlist in
+  ignore (Netlist.find_output nl "o");
+  ignore (Netlist.find_output nl "o_s");
+  (* only o[1] is influenced by $10 *)
+  Alcotest.(check int) "one shadowed bit" 1 (List.length inst.Fault.shadow_of);
+  ignore (Netlist.find_cell nl "$10_s");
+  Alcotest.check_raises "$9 not copied" Not_found (fun () ->
+      ignore (Netlist.find_cell nl "$9_s"));
+  (* the original circuit is untouched: outputs equal the golden adder *)
+  let sim = Sim.create nl and gold = Sim.create adder in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      Sim.set_input sim "a" (bv 2 a);
+      Sim.set_input sim "b" (bv 2 b);
+      Sim.set_input gold "a" (bv 2 a);
+      Sim.set_input gold "b" (bv 2 b);
+      Sim.step sim;
+      Sim.step gold;
+      Alcotest.(check bool) "original outputs intact" true
+        (Bitvec.equal (Sim.output sim "o") (Sim.output gold "o"))
+    done
+  done
+
+let test_table2_trace_generation () =
+  (* the paper's Table 2 flow: instrument setup $4~>$10 with C=1, ask the
+     formal engine for a trace where o[1] <> o_s[1] *)
+  let inst = Fault.instrument_shadow adder (setup_spec ~constant:Fault.C1 ()) in
+  match
+    Formal.check_cover ~watch:inst.Fault.watch inst.Fault.netlist ~cover:inst.Fault.cover
+  with
+  | Formal.Trace_found t ->
+    Alcotest.(check bool) "trace covers on replay" true
+      (Formal.Trace.covers inst.Fault.netlist t inst.Fault.cover);
+    Alcotest.(check bool) "short trace" true (t.Formal.Trace.cycles <= 4)
+  | _ -> Alcotest.fail "expected a Table-2-style trace"
+
+let test_hold_trace_generation () =
+  let inst = Fault.instrument_shadow adder (hold_spec ~constant:Fault.C0 ()) in
+  match Formal.check_cover inst.Fault.netlist ~cover:inst.Fault.cover with
+  | Formal.Trace_found t ->
+    Alcotest.(check bool) "covers" true
+      (Formal.Trace.covers inst.Fault.netlist t inst.Fault.cover)
+  | _ -> Alcotest.fail "expected hold trace"
+
+let test_unreachable_fault () =
+  (* C=1 fault on a bit that is 1 whenever the fault fires would be
+     unprovable; construct one: hold fault on $1~>$9 with C picked equal to
+     the correct value can still diverge, so instead check a fault whose
+     cone is output-reachable but constrained inputs forbid activation *)
+  let inst = Fault.instrument_shadow adder (setup_spec ~constant:Fault.C1 ()) in
+  let assumes =
+    [ Formal.port_equals inst.Fault.netlist "b" (bv 2 0) ]
+  in
+  (* $4 samples b[1]=0 forever: no transition, fault never activates *)
+  match Formal.check_cover ~assumes inst.Fault.netlist ~cover:inst.Fault.cover with
+  | Formal.Unreachable -> ()
+  | _ -> Alcotest.fail "expected UR outcome"
+
+(* Property: a failing netlist with Eq.-2 semantics diverges from golden
+   only in cycles following a transition of the start DFF. *)
+let prop_eq2_only_after_transition =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"Eq.2 divergence implies prior transition"
+       (QCheck.make
+          ~print:(fun l ->
+            String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+          QCheck.Gen.(list_size (int_range 3 15) (pair (int_bound 3) (int_bound 3))))
+       (fun stim ->
+         let spec = setup_spec ~constant:Fault.C0 () in
+         let faulty = Fault.failing_netlist adder spec in
+         let sim_f = Sim.create faulty and sim_g = Sim.create adder in
+         (* track $4's output in the golden run to know transitions *)
+         let x_vals = ref [] in
+         let ok = ref true in
+         List.iter
+           (fun (a, b) ->
+             Sim.set_input sim_f "a" (bv 2 a);
+             Sim.set_input sim_f "b" (bv 2 b);
+             Sim.set_input sim_g "a" (bv 2 a);
+             Sim.set_input sim_g "b" (bv 2 b);
+             x_vals := Sim.peek_cell sim_g "$4" :: !x_vals;
+             Sim.step sim_f;
+             Sim.step sim_g;
+             let diverged = not (Bitvec.equal (Sim.output sim_f "o") (Sim.output sim_g "o")) in
+             if diverged then begin
+               (* X must have transitioned within the last two samples *)
+               match !x_vals with
+               | x_t :: x_tm1 :: _ -> if x_t = x_tm1 then ok := false
+               | _ -> ()  (* too early to judge: reset transient *)
+             end)
+           stim;
+         !ok))
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "failing netlists",
+        [
+          Alcotest.test_case "setup fires on transition" `Quick
+            test_setup_fault_fires_on_transition;
+          Alcotest.test_case "setup silent when stable" `Quick test_setup_fault_silent_when_stable;
+          Alcotest.test_case "C=1 vs C=0 visibility" `Quick test_setup_c1_vs_c0;
+          Alcotest.test_case "edge-triggered activation" `Quick test_rising_edge_activation;
+          Alcotest.test_case "hold semantics" `Quick test_hold_fault_semantics;
+          Alcotest.test_case "self-loop metastable" `Quick test_self_loop_metastable;
+          Alcotest.test_case "random constant port" `Quick test_random_constant_port;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        ] );
+      ( "shadow replica",
+        [
+          Alcotest.test_case "structure" `Quick test_shadow_structure;
+          Alcotest.test_case "table 2 trace" `Quick test_table2_trace_generation;
+          Alcotest.test_case "hold trace" `Quick test_hold_trace_generation;
+          Alcotest.test_case "unreachable fault" `Quick test_unreachable_fault;
+        ] );
+      ("properties", [ prop_eq2_only_after_transition ]);
+    ]

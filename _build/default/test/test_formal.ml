@@ -1,0 +1,239 @@
+(* Tests for the bounded-model-checking engine: cover traces, proofs of
+   unreachability, assumes, timeouts, and replay validation. *)
+
+let adder = Example_circuits.pipelined_adder ()
+let bv w v = Bitvec.create ~width:w v
+
+let out_bit nl port bit = Formal.Net (Netlist.net_of_port_bit nl port bit)
+
+let test_sequential_depth () =
+  Alcotest.(check (option int)) "adder depth 2" (Some 2) (Formal.sequential_depth adder);
+  Alcotest.(check (option int)) "chain depth 5" (Some 5)
+    (Formal.sequential_depth (Example_circuits.dff_chain 5));
+  Alcotest.(check (option int)) "xor tree depth 0" (Some 0)
+    (Formal.sequential_depth (Example_circuits.comb_xor_tree 4));
+  Alcotest.(check (option int)) "lfsr has feedback" None
+    (Formal.sequential_depth (Example_circuits.lfsr4 ()))
+
+let test_cover_simple () =
+  (* cover o[1]: reachable in 2 cycles (e.g. a=2, b=0) *)
+  match Formal.check_cover adder ~cover:(out_bit adder "o" 1) with
+  | Formal.Trace_found t ->
+    Alcotest.(check bool) "minimal trace" true (t.Formal.Trace.cycles <= 3);
+    Alcotest.(check bool) "trace really covers" true
+      (Formal.Trace.covers adder t (out_bit adder "o" 1))
+  | _ -> Alcotest.fail "expected trace"
+
+let test_cover_unreachable () =
+  (* o = a + b with 2-bit wrap; cover o[0] && !o[0] is a contradiction *)
+  let contradiction = Formal.And (out_bit adder "o" 0, Formal.Not (out_bit adder "o" 0)) in
+  match Formal.check_cover adder ~cover:contradiction with
+  | Formal.Unreachable -> ()
+  | _ -> Alcotest.fail "expected proof of unreachability"
+
+let test_cover_semantic_unreachable () =
+  (* the adder can never produce o[1:0] = 3 when both inputs are forced to
+     zero by assumes *)
+  let assumes =
+    [ Formal.port_equals adder "a" (bv 2 0); Formal.port_equals adder "b" (bv 2 0) ]
+  in
+  let cover = Formal.And (out_bit adder "o" 0, out_bit adder "o" 1) in
+  match Formal.check_cover ~assumes adder ~cover with
+  | Formal.Unreachable -> ()
+  | _ -> Alcotest.fail "expected unreachable under assumes"
+
+let test_assumes_respected () =
+  (* restrict a to {1}: a trace covering o[0] must still exist (1 + 0 = 1) *)
+  let assumes = [ Formal.port_in adder "a" [ bv 2 1 ] ] in
+  match Formal.check_cover ~assumes adder ~cover:(out_bit adder "o" 0) with
+  | Formal.Trace_found t ->
+    List.iter
+      (fun (port, arr) ->
+        if port = "a" then
+          Array.iter
+            (fun v -> Alcotest.(check int) "a always 1" 1 (Bitvec.to_int v))
+            arr)
+      t.Formal.Trace.inputs
+  | _ -> Alcotest.fail "expected trace under assumes"
+
+let test_feedback_circuit_bounded () =
+  (* LFSR walk 0001 -> 0010 -> 0100 -> 1001 -> 0011: cover state 0b0011,
+     reachable after 4 enabled steps *)
+  let lfsr = Example_circuits.lfsr4 () in
+  let cover =
+    Formal.And
+      ( Formal.And (Formal.Not (out_bit lfsr "q" 3), out_bit lfsr "q" 0),
+        Formal.And (out_bit lfsr "q" 1, Formal.Not (out_bit lfsr "q" 2)) )
+  in
+  match Formal.check_cover ~max_cycles:6 lfsr ~cover with
+  | Formal.Trace_found t ->
+    Alcotest.(check bool) "covers on replay" true (Formal.Trace.covers lfsr t cover)
+  | _ -> Alcotest.fail "expected trace through the LFSR"
+
+let test_feedback_unreachable_is_bounded () =
+  (* all-zero LFSR state is unreachable, but with feedback we can only say
+     "not within the bound" *)
+  let lfsr = Example_circuits.lfsr4 () in
+  let cover =
+    List.fold_left
+      (fun acc i -> Formal.And (acc, Formal.Not (out_bit lfsr "q" i)))
+      (Formal.Not (out_bit lfsr "q" 0))
+      [ 1; 2; 3 ]
+  in
+  match Formal.check_cover ~max_cycles:5 lfsr ~cover with
+  | Formal.Bounded_unreachable 5 -> ()
+  | _ -> Alcotest.fail "expected bounded-unreachable"
+
+let test_timeout () =
+  match Formal.check_cover ~max_conflicts:0 adder ~cover:(out_bit adder "o" 1) with
+  | Formal.Timeout -> ()
+  | Formal.Trace_found _ ->
+    (* a zero budget can still succeed if no conflicts are needed; accept *)
+    ()
+  | _ -> Alcotest.fail "expected timeout or cheap trace"
+
+let test_watch_nets () =
+  let c8 = Netlist.find_cell adder "$8" in
+  match
+    Formal.check_cover ~watch:[ ("sum1", c8.output) ] adder ~cover:(out_bit adder "o" 1)
+  with
+  | Formal.Trace_found t ->
+    (match List.assoc_opt "sum1" t.Formal.Trace.observed with
+    | Some arr ->
+      Alcotest.(check int) "watched all cycles" t.Formal.Trace.cycles (Array.length arr);
+      (* o[1] at the final cycle means $8 was 1 one cycle earlier *)
+      Alcotest.(check bool) "watched value set" true (Array.exists (fun b -> b) arr)
+    | None -> Alcotest.fail "missing watched net")
+  | _ -> Alcotest.fail "expected trace"
+
+let test_trace_rendering () =
+  match Formal.check_cover adder ~cover:(out_bit adder "o" 1) with
+  | Formal.Trace_found t ->
+    let s = Formal.Trace.to_string t in
+    Alcotest.(check bool) "mentions ports" true
+      (String.length s > 0
+      &&
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      contains "a" s && contains "cycle" s)
+  | _ -> Alcotest.fail "expected trace"
+
+(* Property: traces found by BMC always replay successfully on the
+   simulator (end-to-end consistency of encoder, solver and simulator). *)
+let prop_traces_replay =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"BMC traces replay on the simulator"
+       (QCheck.make ~print:(fun (a, b) -> Printf.sprintf "o=%d bit=%d" a b)
+          QCheck.Gen.(pair (int_bound 3) (int_bound 1)))
+       (fun (target, bit) ->
+         ignore target;
+         let cover = out_bit adder "o" bit in
+         match Formal.check_cover adder ~cover with
+         | Formal.Trace_found t -> Formal.Trace.covers adder t cover
+         | _ -> false))
+
+(* Property: for random 8-bit parity circuits, cover of parity=1 finds a
+   trace whose input has odd popcount. *)
+let prop_parity_cover =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"xor tree cover finds odd-parity input"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 10))
+       (fun n ->
+         let nl = Example_circuits.comb_xor_tree n in
+         let cover = Formal.Net (Netlist.net_of_port_bit nl "p" 0) in
+         match Formal.check_cover nl ~cover with
+         | Formal.Trace_found t ->
+           let v = Formal.Trace.input_at t "x" 0 in
+           Bitvec.popcount v land 1 = 1
+         | _ -> false))
+
+(* Property: on small random sequential circuits, BMC's reachability answer
+   for "output bit = 1" agrees with exhaustive input-sequence simulation. *)
+let prop_bmc_matches_exhaustive_sim =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"BMC agrees with exhaustive simulation"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let b = Netlist.Builder.create "rnd" in
+         let x = Netlist.Builder.add_input b "x" 2 in
+         let nets = ref [ x.(0); x.(1) ] in
+         for _ = 1 to 4 + Random.State.int rng 8 do
+           let pick () = List.nth !nets (Random.State.int rng (List.length !nets)) in
+           let kind =
+             match Random.State.int rng 6 with
+             | 0 -> Cell.Kind.And2
+             | 1 -> Cell.Kind.Or2
+             | 2 -> Cell.Kind.Xor2
+             | 3 -> Cell.Kind.Nand2
+             | 4 -> Cell.Kind.Not
+             | _ -> Cell.Kind.Dff
+           in
+           let inputs = Array.init (Cell.Kind.arity kind) (fun _ -> pick ()) in
+           let out =
+             if Cell.Kind.is_sequential kind then
+               Netlist.Builder.add_cell ~clock_domain:0 b kind inputs
+             else Netlist.Builder.add_cell b kind inputs
+           in
+           nets := out :: !nets
+         done;
+         Netlist.Builder.add_output b "y" [| List.hd !nets |];
+         let nl = Netlist.Builder.finish b in
+         let cover = Formal.Net (Netlist.net_of_port_bit nl "y" 0) in
+         (* exhaustive simulation over all input sequences up to the same
+            bound the checker uses *)
+         let bound =
+           match Formal.sequential_depth nl with Some d -> d + 1 | None -> 4
+         in
+         let reachable = ref false in
+         let sim = Sim.create nl in
+         let rec dfs depth prefix =
+           if (not !reachable) && depth < bound then
+             for v = 0 to 3 do
+               if not !reachable then begin
+                 let stim = prefix @ [ v ] in
+                 Sim.reset sim;
+                 List.iter
+                   (fun value ->
+                     Sim.set_input sim "x" (Bitvec.create ~width:2 value);
+                     Sim.settle sim;
+                     if Formal.eval_expr sim cover then reachable := true;
+                     Sim.step sim)
+                   stim;
+                 dfs (depth + 1) stim
+               end
+             done
+         in
+         dfs 0 [];
+         let bmc_says =
+           match Formal.check_cover ~max_cycles:bound nl ~cover with
+           | Formal.Trace_found _ -> true
+           | Formal.Unreachable | Formal.Bounded_unreachable _ -> false
+           | Formal.Timeout -> !reachable  (* inconclusive: don't fail *)
+         in
+         bmc_says = !reachable))
+
+let () =
+  Alcotest.run "formal"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sequential depth" `Quick test_sequential_depth;
+          Alcotest.test_case "cover simple" `Quick test_cover_simple;
+          Alcotest.test_case "cover contradiction" `Quick test_cover_unreachable;
+          Alcotest.test_case "cover unreachable under assumes" `Quick
+            test_cover_semantic_unreachable;
+          Alcotest.test_case "assumes respected" `Quick test_assumes_respected;
+          Alcotest.test_case "feedback circuit trace" `Quick test_feedback_circuit_bounded;
+          Alcotest.test_case "feedback bounded unreachable" `Quick
+            test_feedback_unreachable_is_bounded;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "watch nets" `Quick test_watch_nets;
+          Alcotest.test_case "trace rendering" `Quick test_trace_rendering;
+        ] );
+      ( "properties",
+        [ prop_traces_replay; prop_parity_cover; prop_bmc_matches_exhaustive_sim ] );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the Mini-C compiler: semantics on the ISS, the runtime
+   library (software multiply/divide, Newton-Raphson float divide), basic
+   blocks, and error diagnostics. *)
+
+open Minic
+
+let machine () = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+
+(* compile, run, and return the machine *)
+let run_program ?(max_instructions = 2_000_000) program =
+  let compiled = compile program in
+  let m = machine () in
+  Machine.reset m;
+  let prog = assemble compiled in
+  match Machine.run ~max_instructions m prog with
+  | Machine.Exited 0 -> m
+  | o -> Alcotest.failf "program did not exit cleanly: %a" Machine.pp_outcome o
+
+let prog ?(globals = []) body =
+  { globals; funcs = [ { fname = "main"; params = []; ret = None; body } ] }
+
+(* programs store results in an "out" global, allocated first (address 32) *)
+let run_int_main body =
+  let program = prog ~globals:[ Gint ("out", 0) ] body in
+  let m = run_program program in
+  Bitvec.to_int (Machine.mem m 32)
+
+let run_float_main body =
+  let program = prog ~globals:[ Gfloat ("out", 0.0) ] body in
+  let m = run_program program in
+  Fpu_format.to_float Fpu_format.binary16 (Bitvec.create ~width:16 (Bitvec.to_int (Machine.mem m 32)))
+
+let test_arith () =
+  Alcotest.(check int) "basic arith" 17 (run_int_main [ Assign ("out", i 3 * i 4 + i 10 / i 2) ]);
+  Alcotest.(check int) "mod" 2 (run_int_main [ Assign ("out", i 17 % i 5) ]);
+  Alcotest.(check int) "precedence-free eDSL" 21
+    (run_int_main [ Assign ("out", (i 3 + i 4) * i 3) ]);
+  Alcotest.(check int) "negative div wraps" 65533 (run_int_main [ Assign ("out", i (-9) / i 3) ])
+
+let test_locals_and_loops () =
+  (* sum of squares 1..10 = 385 *)
+  let body =
+    [
+      Decl (Tint, "s", i 0);
+      For
+        ( Decl (Tint, "k", i 1),
+          v "k" <= i 10,
+          Assign ("k", v "k" + i 1),
+          [ Assign ("s", v "s" + (v "k" * v "k")) ] );
+      Assign ("out", v "s");
+    ]
+  in
+  Alcotest.(check int) "sum of squares" 385 (run_int_main body)
+
+let test_if_and_logic () =
+  let body cond = [ If (cond, [ Assign ("out", i 1) ], [ Assign ("out", i 2) ]) ] in
+  Alcotest.(check int) "true branch" 1 (run_int_main (body (i 3 < i 4 && i 1 == i 1)));
+  Alcotest.(check int) "false branch" 2 (run_int_main (body (i 3 > i 4 || i 1 != i 1)));
+  (* short circuit: the right side would divide by zero; our __divu
+     returns 0 on /0, so instead use an array store side effect *)
+  Alcotest.(check int) "and short-circuits" 1
+    (run_int_main (body (Binop (Bland, i 0, i 1) == i 0)))
+
+let test_functions_and_recursion () =
+  let fib =
+    {
+      fname = "fib";
+      params = [ (Tint, "n") ];
+      ret = Some Tint;
+      body =
+        [
+          If (v "n" < i 2, [ Return (Some (v "n")) ], []);
+          Return (Some (Call ("fib", [ v "n" - i 1 ]) + Call ("fib", [ v "n" - i 2 ])));
+        ];
+    }
+  in
+  let program =
+    {
+      globals = [ Gint ("out", 0) ];
+      funcs = [ { fname = "main"; params = []; ret = None; body = [ Assign ("out", Call ("fib", [ i 12 ])) ] }; fib ];
+    }
+  in
+  let m = run_program program in
+  Alcotest.(check int) "fib 12" 144 (Bitvec.to_int (Machine.mem m 32))
+
+let test_arrays () =
+  let program =
+    {
+      globals = [ Gint ("out", 0); Gint_array ("a", [ 5; 3; 8; 1; 9; 2 ]) ];
+      funcs =
+        [
+          {
+            fname = "main";
+            params = [];
+            ret = None;
+            body =
+              [
+                (* find max *)
+                Decl (Tint, "best", idx "a" (i 0));
+                For
+                  ( Decl (Tint, "k", i 1),
+                    v "k" < i 6,
+                    Assign ("k", v "k" + i 1),
+                    [ If (idx "a" (v "k") > v "best", [ Assign ("best", idx "a" (v "k")) ], []) ]
+                  );
+                Store ("a", i 0, v "best");
+                Assign ("out", idx "a" (i 0));
+              ];
+          };
+        ];
+    }
+  in
+  let m = run_program program in
+  Alcotest.(check int) "array max" 9 (Bitvec.to_int (Machine.mem m 33))
+
+let test_float_arith () =
+  let x = run_float_main [ Assign ("out", f 1.5 * f 2.0 + f 0.25) ] in
+  Alcotest.(check (float 0.01)) "float arith" 3.25 x;
+  let x = run_float_main [ Assign ("out", f 10.0 / f 4.0) ] in
+  Alcotest.(check (float 0.05)) "newton-raphson divide" 2.5 x;
+  let x = run_float_main [ Assign ("out", f (-7.0) / f 2.0) ] in
+  Alcotest.(check (float 0.08)) "signed divide" (-3.5) x
+
+let test_float_compare () =
+  Alcotest.(check int) "float lt" 1
+    (run_int_main [ If (f 1.0 < f 2.0, [ Assign ("out", i 1) ], [ Assign ("out", i 0) ]) ]);
+  Alcotest.(check int) "float neg" 1
+    (run_int_main
+       [ If (Unop (Uneg, f 3.0) < f 0.0, [ Assign ("out", i 1) ], [ Assign ("out", i 0) ]) ])
+
+let test_blocks_exist () =
+  let program =
+    prog
+      [
+        Decl (Tint, "k", i 0);
+        While (v "k" < i 3, [ Assign ("k", v "k" + i 1) ]);
+      ]
+  in
+  let compiled = compile program in
+  Alcotest.(check bool) "has start block" true
+    (List.exists (fun b -> b.bb_label = "__start") compiled.blocks);
+  Alcotest.(check bool) "has main block" true
+    (List.exists (fun b -> b.bb_label = "main") compiled.blocks);
+  Alcotest.(check bool) "has loop blocks" true
+    (List.exists (fun b -> Stdlib.(b.bb_func = "main" && b.bb_label <> "main")) compiled.blocks);
+  List.iter
+    (fun b -> Alcotest.(check bool) "sizes nonnegative" true Stdlib.(b.bb_static_size >= 0))
+    compiled.blocks
+
+let test_compile_errors () =
+  let expect_error name program =
+    match compile program with
+    | exception Compile_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Compile_error" name
+  in
+  expect_error "no main" { globals = []; funcs = [] };
+  expect_error "unknown variable" (prog [ Assign ("out", v "nope") ]);
+  expect_error "type mismatch" (prog ~globals:[ Gint ("out", 0) ] [ Assign ("out", f 1.0) ]);
+  expect_error "unknown function" (prog [ Expr (Call ("nope", [])) ]);
+  expect_error "float modulo" (prog ~globals:[ Gfloat ("x", 1.0) ] [ Assign ("x", f 1.0 % f 2.0) ]);
+  expect_error "bad arity"
+    {
+      globals = [];
+      funcs =
+        [
+          { fname = "main"; params = []; ret = None; body = [ Expr (Call ("g", [ i 1 ])) ] };
+          { fname = "g"; params = []; ret = None; body = [] };
+        ];
+    }
+
+(* Property: software multiply/divide agree with native arithmetic. *)
+let prop_mul_div =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"software mul/div/mod match reference"
+       (QCheck.make
+          ~print:(fun (a, b) -> Printf.sprintf "a=%d b=%d" a b)
+          QCheck.Gen.(pair (int_bound 255) (int_range 1 255)))
+       (fun (a, b) ->
+         let r =
+           run_int_main
+             [ Assign ("out", (i a * i b) + ((i a / i b) * i 1000) + ((i a % i b) * i 13)) ]
+         in
+         let expect = Stdlib.((a * b) + (a / b * 1000) + (a mod b * 13)) land 0xffff in
+         r = expect))
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "locals and loops" `Quick test_locals_and_loops;
+          Alcotest.test_case "if and logic" `Quick test_if_and_logic;
+          Alcotest.test_case "functions and recursion" `Quick test_functions_and_recursion;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "float arith" `Quick test_float_arith;
+          Alcotest.test_case "float compare" `Quick test_float_compare;
+          Alcotest.test_case "basic blocks" `Quick test_blocks_exist;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+        ] );
+      ("properties", [ prop_mul_div ]);
+    ]

@@ -1,0 +1,273 @@
+(* Tests for the Mini-C surface parser: expression grammar, statements,
+   globals, diagnostics, and parsed-program execution on the ISS. *)
+
+let parse_ok src =
+  match Minic_parse.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let parse_fails src =
+  match Minic_parse.parse src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected parse failure for: %s" src
+
+let run_to_out src =
+  let program = parse_ok src in
+  let compiled = Minic.compile program in
+  let m = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional () in
+  Machine.reset m;
+  match Machine.run ~max_instructions:2_000_000 m (Minic.assemble compiled) with
+  | Machine.Exited 0 -> Bitvec.to_int (Machine.mem m 32)
+  | o -> Alcotest.failf "program did not exit cleanly: %a" Machine.pp_outcome o
+
+let test_expressions () =
+  let expr s =
+    match Minic_parse.parse_expr s with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "expr parse failed: %s" e
+  in
+  Alcotest.(check bool) "precedence * over +" true
+    (expr "1 + 2 * 3"
+    = Minic.Binop (Minic.Badd, Minic.Int 1, Minic.Binop (Minic.Bmul, Minic.Int 2, Minic.Int 3)));
+  Alcotest.(check bool) "parens" true
+    (expr "(1 + 2) * 3"
+    = Minic.Binop (Minic.Bmul, Minic.Binop (Minic.Badd, Minic.Int 1, Minic.Int 2), Minic.Int 3));
+  Alcotest.(check bool) "left assoc" true
+    (expr "8 - 4 - 2"
+    = Minic.Binop (Minic.Bsub, Minic.Binop (Minic.Bsub, Minic.Int 8, Minic.Int 4), Minic.Int 2));
+  Alcotest.(check bool) "comparison vs shift" true
+    (expr "1 << 2 < 3"
+    = Minic.Binop (Minic.Blt, Minic.Binop (Minic.Bshl, Minic.Int 1, Minic.Int 2), Minic.Int 3));
+  Alcotest.(check bool) "logical chain" true
+    (expr "a && b || c"
+    = Minic.Binop (Minic.Blor, Minic.Binop (Minic.Bland, Minic.Var "a", Minic.Var "b"), Minic.Var "c"));
+  Alcotest.(check bool) "unary" true
+    (expr "-x + !y"
+    = Minic.Binop
+        (Minic.Badd, Minic.Unop (Minic.Uneg, Minic.Var "x"), Minic.Unop (Minic.Unot, Minic.Var "y")));
+  Alcotest.(check bool) "call and index" true
+    (expr "f(a[2], 0x10)"
+    = Minic.Call ("f", [ Minic.Index ("a", Minic.Int 2); Minic.Int 16 ]));
+  Alcotest.(check bool) "float literal" true (expr "2.5" = Minic.Float 2.5)
+
+let test_program_sum () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        void main() {
+          int s = 0;
+          for (int k = 1; k <= 10; k = k + 1) { s = s + k * k; }
+          out = s;
+        }
+      |}
+  in
+  Alcotest.(check int) "sum of squares" 385 out
+
+let test_program_recursion () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        void main() { out = fib(12); }
+      |}
+  in
+  Alcotest.(check int) "fib" 144 out
+
+let test_program_arrays_and_comments () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        // data with an initializer shorter than the array: zero padded
+        int data[6] = { 5, 3, 8 };
+        void main() {
+          /* find the max */
+          int best = data[0];
+          for (int k = 1; k < 6; k = k + 1) {
+            if (data[k] > best) { best = data[k]; }
+          }
+          data[5] = best;
+          out = data[5];
+        }
+      |}
+  in
+  Alcotest.(check int) "max with zero padding" 8 out
+
+let test_program_float () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        float xs[3] = { 1.5, 2.0, -0.5 };
+        void main() {
+          float s = 0.0;
+          for (int k = 0; k < 3; k = k + 1) { s = s + xs[k]; }
+          if (s == 3.0) { out = 1; } else { out = 2; }
+        }
+      |}
+  in
+  Alcotest.(check int) "float sum compares equal" 1 out
+
+let test_else_if_chain () =
+  let src v =
+    Printf.sprintf
+      {|
+        int out = 0;
+        void main() {
+          int x = %d;
+          if (x < 10) { out = 1; }
+          else if (x < 20) { out = 2; }
+          else { out = 3; }
+        }
+      |}
+      v
+  in
+  Alcotest.(check int) "first branch" 1 (run_to_out (src 5));
+  Alcotest.(check int) "middle branch" 2 (run_to_out (src 15));
+  Alcotest.(check int) "else branch" 3 (run_to_out (src 99))
+
+let test_while_and_bitops () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        void main() {
+          int x = 0x2C;
+          int count = 0;
+          while (x != 0) {
+            count = count + (x & 1);
+            x = x >> 1;
+          }
+          out = count;
+        }
+      |}
+  in
+  Alcotest.(check int) "popcount 0x2C" 3 out
+
+let test_break_continue () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        void main() {
+          int s = 0;
+          for (int k = 0; k < 100; k = k + 1) {
+            if (k == 7) { break; }
+            if (k % 2 == 1) { continue; }
+            s = s + k;   // 0+2+4+6 = 12
+          }
+          int w = 0;
+          while (1 == 1) {
+            w = w + 1;
+            if (w >= 5) { break; }
+          }
+          out = s * 100 + w;
+        }
+      |}
+  in
+  Alcotest.(check int) "break/continue semantics" 1205 out;
+  (* break outside a loop is a compile error *)
+  match Minic.compile { Minic.globals = []; funcs = [ { Minic.fname = "main"; params = []; ret = None; body = [ Minic.Break ] } ] } with
+  | exception Minic.Compile_error _ -> ()
+  | _ -> Alcotest.fail "break outside loop accepted"
+
+let test_diagnostics () =
+  parse_fails "int main( { }";
+  parse_fails "void main() { int x = ; }";
+  parse_fails "void main() { x = 1 }";
+  parse_fails "int a[0];";
+  parse_fails "void v; ";
+  parse_fails "void main() { if x { } }";
+  parse_fails "int a[2] = { 1, 2, 3 };";
+  parse_fails "/* unterminated";
+  (* error message carries a position *)
+  match Minic_parse.parse "void main() { ?? }" with
+  | Error e ->
+    Alcotest.(check bool) "position in message" true
+      (String.length e > 5 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_store_vs_expr_statement () =
+  let out =
+    run_to_out
+      {|
+        int out = 0;
+        int a[2] = { 7, 0 };
+        int bump(int v) { out = out + v; return 0; }
+        void main() {
+          a[1] = a[0] + 1;   // store
+          bump(a[1]);        // expression statement
+        }
+      |}
+  in
+  Alcotest.(check int) "store then call" 8 out
+
+(* round trip: parsed programs equal hand-built ASTs for a small sample *)
+let test_ast_equivalence () =
+  let parsed = parse_ok "int out = 3; void main() { out = out + 1; }" in
+  let expected =
+    {
+      Minic.globals = [ Minic.Gint ("out", 3) ];
+      funcs =
+        [
+          {
+            Minic.fname = "main";
+            params = [];
+            ret = None;
+            body = [ Minic.Assign ("out", Minic.Binop (Minic.Badd, Minic.Var "out", Minic.Int 1)) ];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "ast equal" true (parsed = expected)
+
+let test_pretty_print_roundtrip () =
+  (* every workload kernel survives print -> parse exactly *)
+  List.iter
+    (fun (b : Workload.benchmark) ->
+      let src = Minic_pp.to_source b.Workload.program in
+      match Minic_parse.parse src with
+      | Ok p ->
+        if p <> b.Workload.program then
+          Alcotest.failf "%s: reparsed AST differs" b.Workload.name
+      | Error e -> Alcotest.failf "%s failed to reparse: %s" b.Workload.name e)
+    Workload.all
+
+let test_pretty_print_exprs () =
+  let roundtrip s =
+    match Minic_parse.parse_expr s with
+    | Error e -> Alcotest.failf "parse: %s" e
+    | Ok e -> (
+      match Minic_parse.parse_expr (Minic_pp.expr_to_source e) with
+      | Ok e' -> Alcotest.(check bool) (Printf.sprintf "expr %s" s) true (e = e')
+      | Error err -> Alcotest.failf "reparse: %s" err)
+  in
+  List.iter roundtrip
+    [ "1 + 2 * 3"; "-x + !y"; "f(a[2], 0x10)"; "a && b || !c"; "x >> 2 & 0xFF"; "-2.5 * z" ]
+
+let () =
+  Alcotest.run "minic_parse"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "expressions" `Quick test_expressions;
+          Alcotest.test_case "sum program" `Quick test_program_sum;
+          Alcotest.test_case "recursion" `Quick test_program_recursion;
+          Alcotest.test_case "arrays and comments" `Quick test_program_arrays_and_comments;
+          Alcotest.test_case "floats" `Quick test_program_float;
+          Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+          Alcotest.test_case "while and bit ops" `Quick test_while_and_bitops;
+          Alcotest.test_case "break and continue" `Quick test_break_continue;
+          Alcotest.test_case "diagnostics" `Quick test_diagnostics;
+          Alcotest.test_case "store vs expr statement" `Quick test_store_vs_expr_statement;
+          Alcotest.test_case "ast equivalence" `Quick test_ast_equivalence;
+          Alcotest.test_case "pretty-print roundtrip (workloads)" `Quick
+            test_pretty_print_roundtrip;
+          Alcotest.test_case "pretty-print roundtrip (exprs)" `Quick test_pretty_print_exprs;
+        ] );
+    ]

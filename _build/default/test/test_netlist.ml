@@ -1,0 +1,243 @@
+(* Tests for the netlist IR, builder validation, analysis helpers, the
+   clock tree, and the example circuits. *)
+
+module B = Netlist.Builder
+
+let adder = Example_circuits.pipelined_adder ()
+
+let test_adder_shape () =
+  Alcotest.(check int) "cells" 10 (Netlist.num_cells adder);
+  Alcotest.(check int) "dffs" 6 (List.length (Netlist.dffs adder));
+  let stats = Netlist.stats adder in
+  Alcotest.(check int) "xors" 3 (List.assoc Cell.Kind.Xor2 stats);
+  Alcotest.(check int) "ands" 1 (List.assoc Cell.Kind.And2 stats);
+  Alcotest.(check int) "depth" 2 (Netlist.logic_depth adder)
+
+let test_cell_lookup () =
+  let c7 = Netlist.find_cell adder "$7" in
+  Alcotest.(check bool) "xor kind" true (Cell.Kind.equal c7.kind Cell.Kind.Xor2);
+  Alcotest.check_raises "missing cell" Not_found (fun () ->
+      ignore (Netlist.find_cell adder "nope"))
+
+let test_net_names () =
+  let c7 = Netlist.find_cell adder "$7" in
+  Alcotest.(check string) "cell net name" "$7.Y" (Netlist.net_name adder c7.output);
+  let a = Netlist.find_input adder "a" in
+  Alcotest.(check string) "input net name" "a[0]" (Netlist.net_name adder a.port_nets.(0))
+
+let test_topo_order () =
+  (* every combinational cell appears after the combinational drivers of
+     its inputs *)
+  let order = Netlist.topo_order adder in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) order;
+  Array.iter
+    (fun id ->
+      let c = Netlist.cell adder id in
+      Array.iter
+        (fun n ->
+          match Netlist.driver adder n with
+          | Netlist.Driven_by_cell did when not (Cell.Kind.is_sequential (Netlist.cell adder did).kind)
+            ->
+            Alcotest.(check bool) "driver before reader" true
+              (Hashtbl.find pos did < Hashtbl.find pos id)
+          | _ -> ())
+        c.inputs)
+    order
+
+let test_cones () =
+  let c4 = Netlist.find_cell adder "$4" in
+  let cone = Netlist.fanout_cone adder c4.output in
+  let names = List.map (fun id -> (Netlist.cell adder id).name) cone in
+  Alcotest.(check (list string)) "fanout of $4" [ "$7"; "$8"; "$10" ] names;
+  let c10 = Netlist.find_cell adder "$10" in
+  let fanin = Netlist.fanin_cone adder c10.inputs.(0) in
+  let names = List.sort compare (List.map (fun id -> (Netlist.cell adder id).name) fanin) in
+  Alcotest.(check (list string)) "fanin of $10.D" [ "$1"; "$2"; "$3"; "$4"; "$6"; "$7"; "$8" ]
+    names
+
+let test_output_readers () =
+  let c9 = Netlist.find_cell adder "$9" in
+  Alcotest.(check (list (pair string int))) "o[0] reads $9.Q" [ ("o", 0) ]
+    (Netlist.output_readers adder c9.output)
+
+let test_builder_validation () =
+  let invalid msg f = Alcotest.check_raises msg (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  invalid "arity mismatch" (fun () ->
+      let b = B.create "bad" in
+      let x = B.add_input b "x" 1 in
+      ignore (B.add_cell b Cell.Kind.And2 [| x.(0) |]));
+  invalid "duplicate cell name" (fun () ->
+      let b = B.create "bad" in
+      let x = B.add_input b "x" 1 in
+      ignore (B.add_cell ~name:"g" b Cell.Kind.Not [| x.(0) |]);
+      ignore (B.add_cell ~name:"g" b Cell.Kind.Not [| x.(0) |]));
+  invalid "combinational cycle" (fun () ->
+      let b = B.create "bad" in
+      let x = B.add_input b "x" 1 in
+      let g1 = B.add_cell b Cell.Kind.And2 [| x.(0); x.(0) |] in
+      let g2 = B.add_cell b Cell.Kind.Not [| g1 |] in
+      (* close a loop: g1's second input becomes g2's output *)
+      B.rewire_input b ~cell_id:0 ~pin:1 g2;
+      ignore (B.finish b));
+  invalid "undriven output port" (fun () ->
+      let b = B.create "bad" in
+      let x = B.add_input b "x" 1 in
+      ignore x;
+      let dangling = B.fresh_net b in
+      B.add_output b "y" [| dangling |];
+      ignore (B.finish b))
+
+let test_of_netlist_roundtrip () =
+  let b = B.of_netlist adder in
+  let copy = B.finish b in
+  Alcotest.(check int) "same cells" (Netlist.num_cells adder) (Netlist.num_cells copy);
+  Alcotest.(check int) "same nets" (Netlist.num_nets adder) (Netlist.num_nets copy);
+  let c = Netlist.find_cell copy "$8" in
+  let orig = Netlist.find_cell adder "$8" in
+  Alcotest.(check bool) "same wiring" true (c.inputs = orig.inputs && c.output = orig.output)
+
+let test_verilog_export () =
+  let v = Netlist.to_verilog adder in
+  Alcotest.(check bool) "has module header" true
+    (String.length v > 0 && String.sub v 0 6 = "module");
+  let contains needle =
+    let nl = String.length needle and hl = String.length v in
+    let rec go i = i + nl <= hl && (String.sub v i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions DFF" true (contains "DFF");
+  Alcotest.(check bool) "mentions XOR2" true (contains "XOR2");
+  Alcotest.(check bool) "endmodule" true (contains "endmodule")
+
+let test_dot_export () =
+  let dot = Netlist.to_dot adder in
+  let contains needle =
+    let nl = String.length needle and hl = String.length dot in
+    let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph paper_adder");
+  Alcotest.(check bool) "dff node" true (contains "\"$1\" [shape=box3d");
+  Alcotest.(check bool) "edge" true (contains "\"$7\" -> \"$8\"");
+  Alcotest.(check bool) "input edge" true (contains "\"a[0]\" -> \"$1\"");
+  Alcotest.(check bool) "closes" true (contains "}")
+
+let test_clock_tree () =
+  let tree = Clock_tree.two_domain_gated ~leaf_buffers:4 ~sp_gated:0.95 () in
+  Alcotest.(check (list int)) "domains" [ 0; 1 ] (Clock_tree.domains tree);
+  let flat_delay ~sp:_ = 10.0 in
+  Alcotest.(check (float 1e-9)) "arrival d0" 60.0 (Clock_tree.arrival_ps tree ~buffer_delay:flat_delay 0);
+  Alcotest.(check (float 1e-9)) "no skew with flat delays" 0.0
+    (Clock_tree.skew_ps tree ~buffer_delay:flat_delay ~src:0 ~dst:1);
+  (* aged delays depending on sp create skew *)
+  let aged ~sp = 10.0 +. (5.0 *. sp) in
+  Alcotest.(check bool) "gated domain arrives later" true
+    (Clock_tree.skew_ps tree ~buffer_delay:aged ~src:0 ~dst:1 > 0.0);
+  Alcotest.check_raises "unknown domain"
+    (Invalid_argument "Clock_tree gated: no domain 7") (fun () ->
+      ignore (Clock_tree.arrival_ps tree ~buffer_delay:flat_delay 7))
+
+let test_clock_tree_validation () =
+  Alcotest.check_raises "duplicate domains" (Invalid_argument "Clock_tree: duplicate domain id")
+    (fun () ->
+      ignore
+        (Clock_tree.create "dup"
+           (Clock_tree.Branch
+              {
+                branch_name = "r";
+                buffers = 1;
+                activity_sp = 0.5;
+                children =
+                  [
+                    Clock_tree.Leaf { domain = 0; leaf_name = "a"; buffers = 1; activity_sp = 0.5 };
+                    Clock_tree.Leaf { domain = 0; leaf_name = "b"; buffers = 1; activity_sp = 0.5 };
+                  ];
+              })))
+
+let test_dff_chain () =
+  let c = Example_circuits.dff_chain 5 in
+  Alcotest.(check int) "five dffs" 5 (List.length (Netlist.dffs c));
+  Alcotest.(check int) "no comb" 0 (Array.length (Netlist.topo_order c))
+
+let test_xor_tree () =
+  let c = Example_circuits.comb_xor_tree 8 in
+  Alcotest.(check int) "seven xors" 7 (Netlist.num_cells c)
+
+(* Property: random DAG circuits built through the builder always pass
+   validation and give a consistent topo order. *)
+let arb_circuit_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000)
+
+let build_random_circuit seed =
+  let rng = Random.State.make [| seed |] in
+  let b = B.create "random" in
+  let x = B.add_input b "x" 4 in
+  let nets = ref (Array.to_list x) in
+  let n_gates = 5 + Random.State.int rng 30 in
+  for _ = 1 to n_gates do
+    let pick () = List.nth !nets (Random.State.int rng (List.length !nets)) in
+    let kind =
+      match Random.State.int rng 5 with
+      | 0 -> Cell.Kind.And2
+      | 1 -> Cell.Kind.Or2
+      | 2 -> Cell.Kind.Xor2
+      | 3 -> Cell.Kind.Not
+      | _ -> Cell.Kind.Dff
+    in
+    let inputs =
+      Array.init (Cell.Kind.arity kind) (fun _ -> pick ())
+    in
+    let out =
+      if Cell.Kind.is_sequential kind then B.add_cell ~clock_domain:0 b kind inputs
+      else B.add_cell b kind inputs
+    in
+    nets := out :: !nets
+  done;
+  B.add_output b "y" [| List.hd !nets |];
+  B.finish b
+
+let prop_random_circuits =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random DAGs validate and topo-sort" arb_circuit_seed
+       (fun seed ->
+         let nl = build_random_circuit seed in
+         let order = Netlist.topo_order nl in
+         let comb =
+           Array.to_list (Netlist.cells nl)
+           |> List.filter (fun (c : Netlist.cell) -> not (Cell.Kind.is_sequential c.kind))
+         in
+         Array.length order = List.length comb))
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "adder example",
+        [
+          Alcotest.test_case "shape" `Quick test_adder_shape;
+          Alcotest.test_case "cell lookup" `Quick test_cell_lookup;
+          Alcotest.test_case "net names" `Quick test_net_names;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          Alcotest.test_case "cones" `Quick test_cones;
+          Alcotest.test_case "output readers" `Quick test_output_readers;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "of_netlist round trip" `Quick test_of_netlist_roundtrip;
+          Alcotest.test_case "verilog export" `Quick test_verilog_export;
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+        ] );
+      ( "clock tree",
+        [
+          Alcotest.test_case "arrivals and skew" `Quick test_clock_tree;
+          Alcotest.test_case "validation" `Quick test_clock_tree_validation;
+        ] );
+      ( "other examples",
+        [
+          Alcotest.test_case "dff chain" `Quick test_dff_chain;
+          Alcotest.test_case "xor tree" `Quick test_xor_tree;
+        ] );
+      ("properties", [ prop_random_circuits ]);
+    ]

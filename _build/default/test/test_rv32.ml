@@ -1,0 +1,173 @@
+(* Tests for the RV32 machine-code encoder, including golden encodings
+   computed independently from the ISA manual's field layouts. *)
+
+let enc instrs =
+  match Rv32_encode.encode (Isa.assemble instrs) with
+  | Ok words -> words
+  | Error e -> Alcotest.failf "encode failed: %s" e
+
+let check_words = Alcotest.(check (list int))
+
+let test_golden_r_type () =
+  (* add x1, x2, x3 = funct7 0 | rs2 3 | rs1 2 | funct3 0 | rd 1 | 0110011 *)
+  check_words "add" [ 0x003100B3 ] (enc [ Isa.Alu (Alu.Add, 1, 2, 3) ]);
+  (* sub x5, x6, x7 = 0x40000033 base *)
+  check_words "sub" [ 0x407302B3 ] (enc [ Isa.Alu (Alu.Sub, 5, 6, 7) ]);
+  (* sltu x10, x11, x12 *)
+  check_words "sltu" [ 0x00C5B533 ] (enc [ Isa.Alu (Alu.Sltu, 10, 11, 12) ]);
+  (* sra x1, x1, x2 *)
+  check_words "sra" [ 0x4020D0B3 ] (enc [ Isa.Alu (Alu.Sra, 1, 1, 2) ])
+
+let test_golden_i_type () =
+  (* addi x1, x0, 42 *)
+  check_words "li small" [ 0x02A00093 ] (enc [ Isa.Li (1, 42) ]);
+  (* addi x3, x4, -1 = imm 0xFFF *)
+  check_words "addi neg" [ 0xFFF20193 ] (enc [ Isa.Alui (Alu.Add, 3, 4, -1) ]);
+  (* andi x2, x2, 255 *)
+  check_words "andi" [ 0x0FF17113 ] (enc [ Isa.Alui (Alu.And_op, 2, 2, 255) ]);
+  (* slli x1, x2, 4 *)
+  check_words "slli" [ 0x00411093 ] (enc [ Isa.Alui (Alu.Sll, 1, 2, 4) ])
+
+let test_li_expansion () =
+  (* large immediates: lui + addi; the addi part must be sign-corrected *)
+  (match enc [ Isa.Li (1, 0x12345) ] with
+  | [ w1; w2 ] ->
+    Alcotest.(check int) "lui opcode" 0x37 (w1 land 0x7F);
+    Alcotest.(check int) "addi opcode" 0x13 (w2 land 0x7F)
+  | other -> Alcotest.failf "expected 2 words, got %d" (List.length other));
+  (* 0x800 in the low bits forces the +1 upper adjustment *)
+  match enc [ Isa.Li (1, 0x1800) ] with
+  | [ w1; w2 ] ->
+    let imm20 = (w1 lsr 12) land 0xFFFFF in
+    let imm12 = ((w2 asr 20) land 0xFFF lxor 0x800) - 0x800 in
+    Alcotest.(check int) "reconstructed value" 0x1800 ((imm20 lsl 12) + imm12)
+  | other -> Alcotest.failf "expected 2 words, got %d" (List.length other)
+
+let test_branch_offsets () =
+  (* beq x1, x2, +8 bytes (skipping one instruction) *)
+  let words =
+    enc [ Isa.Beq (1, 2, "target"); Isa.Nop; Isa.Label "target"; Isa.Nop ]
+  in
+  (match words with
+  | [ b; _; _ ] ->
+    Alcotest.(check int) "branch opcode" 0x63 (b land 0x7F);
+    (* decode the B-immediate back *)
+    let bit n v = (v lsr n) land 1 in
+    let imm =
+      (bit 31 b lsl 12)
+      lor (bit 7 b lsl 11)
+      lor (((b lsr 25) land 0x3F) lsl 5)
+      lor (((b lsr 8) land 0xF) lsl 1)
+    in
+    Alcotest.(check int) "offset 8" 8 imm
+  | _ -> Alcotest.fail "expected 3 words");
+  (* backward branch: negative offset reconstructs via sign bit *)
+  let words = enc [ Isa.Label "top"; Isa.Nop; Isa.Bne (3, 0, "top") ] in
+  match words with
+  | [ _; b ] -> Alcotest.(check int) "sign bit set" 1 ((b lsr 31) land 1)
+  | _ -> Alcotest.fail "expected 2 words"
+
+let test_jal_and_ecall () =
+  let words = enc [ Isa.Jal (1, "end"); Isa.Label "end"; Isa.Ecall 0 ] in
+  (match words with
+  | [ j; a7; ec ] ->
+    Alcotest.(check int) "jal opcode" 0x6F (j land 0x7F);
+    Alcotest.(check int) "a7 setup" 0x13 (a7 land 0x7F);
+    Alcotest.(check int) "a7 rd" 17 ((a7 lsr 7) land 0x1F);
+    Alcotest.(check int) "ecall" 0x73 ec
+  | _ -> Alcotest.fail "expected 3 words")
+
+let test_float_ops () =
+  check_words "fadd.s f1, f2, f3" [ 0x003100D3 ] (enc [ Isa.Fop (Fpu_format.Fadd, 1, 2, 3) ]);
+  check_words "fmul.s f4, f5, f6" [ 0x10628253 ] (enc [ Isa.Fop (Fpu_format.Fmul, 4, 5, 6) ]);
+  (* feq.s x1, f2, f3: funct7 0x50 funct3 2 *)
+  check_words "feq.s" [ 0xA03120D3 ] (enc [ Isa.Fcmp (Fpu_format.Feq, 1, 2, 3) ]);
+  (* fmv.w.x f0, x5: funct7 0x78 *)
+  check_words "fmv.w.x" [ 0xF0028053 ] (enc [ Isa.Fmv_wx (0, 5) ])
+
+let test_memory_scaling () =
+  (* word address 3 -> byte offset 12 *)
+  check_words "lw" [ 0x00C52083 ] (enc [ Isa.Lw (1, 10, 3) ]);
+  (* sw x1, 12(x10): S-type splits the immediate *)
+  (match enc [ Isa.Sw (1, 10, 3) ] with
+  | [ w ] ->
+    Alcotest.(check int) "sw opcode" 0x23 (w land 0x7F);
+    let imm = (((w lsr 25) land 0x7F) lsl 5) lor ((w lsr 7) land 0x1F) in
+    Alcotest.(check int) "byte offset" 12 imm
+  | _ -> Alcotest.fail "one word");
+  (* a large offset goes through the scratch register *)
+  match enc [ Isa.Lw (1, 10, 1000) ] with
+  | words -> Alcotest.(check bool) "expanded" true (List.length words > 1)
+
+let test_csr () =
+  (* csrrw x9, fflags(0x001), x0 *)
+  check_words "csrrw" [ 0x001014F3 ] (enc [ Isa.Csr_fflags 9 ])
+
+let test_disassembler_roundtrip () =
+  let program =
+    [
+      Isa.Li (5, 100);
+      Isa.Alu (Alu.Add, 6, 5, 5);
+      Isa.Alui (Alu.Xor_op, 6, 6, 1);
+      Isa.Fop (Fpu_format.Fsub, 1, 2, 3);
+      Isa.Fcmp (Fpu_format.Flt, 4, 1, 2);
+      Isa.Lw (7, 2, 1);
+      Isa.Sw (7, 2, 2);
+      Isa.Csr_fflags 9;
+      Isa.Ecall 0;
+    ]
+  in
+  List.iter
+    (fun w ->
+      let d = Rv32_encode.disassemble_word w in
+      Alcotest.(check bool)
+        (Printf.sprintf "recognized %08x -> %s" w d)
+        false
+        (String.length d > 0 && d.[0] = '?'))
+    (enc program)
+
+let test_to_hex () =
+  let hex = Rv32_encode.to_hex [ 0x003100B3; 0x73 ] in
+  Alcotest.(check string) "readmemh format" "003100b3\n00000073\n" hex
+
+let test_whole_suite_encodes () =
+  (* every generated test suite must be encodable *)
+  let target = Lift.alu_target ~width:16 () in
+  let r = Lift.lift_pair target ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation in
+  let suite = Lift.suite_of_results target.Lift.kind [ r ] in
+  match Rv32_encode.encode (Lift.suite_program suite) with
+  | Ok words ->
+    Alcotest.(check bool) "nonempty" true (List.length words > 10);
+    List.iter
+      (fun w -> Alcotest.(check bool) "32-bit" true (w >= 0 && w <= 0xFFFFFFFF))
+      words
+  | Error e -> Alcotest.failf "suite failed to encode: %s" e
+
+let test_workload_encodes () =
+  let compiled = Minic.compile (Workload.find "crc").Workload.program in
+  match Rv32_encode.encode (Minic.assemble compiled) with
+  | Ok words -> Alcotest.(check bool) "hundreds of words" true (List.length words > 100)
+  | Error e -> Alcotest.failf "workload failed to encode: %s" e
+
+let () =
+  Alcotest.run "rv32"
+    [
+      ( "golden encodings",
+        [
+          Alcotest.test_case "r-type" `Quick test_golden_r_type;
+          Alcotest.test_case "i-type" `Quick test_golden_i_type;
+          Alcotest.test_case "li expansion" `Quick test_li_expansion;
+          Alcotest.test_case "branch offsets" `Quick test_branch_offsets;
+          Alcotest.test_case "jal and ecall" `Quick test_jal_and_ecall;
+          Alcotest.test_case "float ops" `Quick test_float_ops;
+          Alcotest.test_case "memory scaling" `Quick test_memory_scaling;
+          Alcotest.test_case "csr" `Quick test_csr;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "disassembler" `Quick test_disassembler_roundtrip;
+          Alcotest.test_case "hex output" `Quick test_to_hex;
+          Alcotest.test_case "suites encode" `Quick test_whole_suite_encodes;
+          Alcotest.test_case "workloads encode" `Quick test_workload_encodes;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Unit and property tests for the CDCL SAT solver, including a brute-force
+   cross-check on random small instances. *)
+
+let check_result = Alcotest.(check (of_pp (fun fmt (r : Sat.result) ->
+    Format.pp_print_string fmt
+      (match r with Sat.Sat -> "SAT" | Sat.Unsat -> "UNSAT" | Sat.Unknown -> "UNKNOWN"))))
+
+let fresh_vars n =
+  let s = Sat.create () in
+  let vars = Array.init n (fun _ -> Sat.new_var s) in
+  (s, vars)
+
+let test_trivial_sat () =
+  let s, v = fresh_vars 1 in
+  Sat.add_clause s [ v.(0) ];
+  check_result "unit clause" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "model" true (Sat.value s v.(0))
+
+let test_trivial_unsat () =
+  let s, v = fresh_vars 1 in
+  Sat.add_clause s [ v.(0) ];
+  Sat.add_clause s [ -v.(0) ];
+  check_result "x and not x" Sat.Unsat (Sat.solve s)
+
+let test_empty_clause () =
+  let s, _ = fresh_vars 1 in
+  Sat.add_clause s [];
+  check_result "empty clause" Sat.Unsat (Sat.solve s)
+
+let test_no_clauses () =
+  let s, _ = fresh_vars 3 in
+  check_result "no constraints" Sat.Sat (Sat.solve s)
+
+let test_implication_chain () =
+  let s, v = fresh_vars 20 in
+  for i = 0 to 18 do
+    Sat.add_clause s [ -v.(i); v.(i + 1) ]
+  done;
+  Sat.add_clause s [ v.(0) ];
+  check_result "chain" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "chain forces last" true (Sat.value s v.(19))
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: classic small UNSAT instance. *)
+  let pigeons = 4 and holes = 3 in
+  let s = Sat.create () in
+  let x = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Sat.add_clause s (Array.to_list x.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sat.add_clause s [ -x.(p1).(h); -x.(p2).(h) ]
+      done
+    done
+  done;
+  check_result "pigeonhole 4-3" Sat.Unsat (Sat.solve s)
+
+let test_assumptions () =
+  let s, v = fresh_vars 2 in
+  Sat.add_clause s [ -v.(0); v.(1) ];
+  check_result "assume x0" Sat.Sat (Sat.solve ~assumptions:[ v.(0) ] s);
+  Alcotest.(check bool) "propagated" true (Sat.value s v.(1));
+  check_result "conflicting assumptions" Sat.Unsat
+    (Sat.solve ~assumptions:[ v.(0); -v.(1) ] s);
+  check_result "solver reusable after assumption unsat" Sat.Sat (Sat.solve s)
+
+let test_incremental () =
+  let s, v = fresh_vars 3 in
+  Sat.add_clause s [ v.(0); v.(1) ];
+  check_result "first solve" Sat.Sat (Sat.solve s);
+  Sat.add_clause s [ -v.(0) ];
+  Sat.add_clause s [ -v.(1) ];
+  check_result "after more clauses" Sat.Unsat (Sat.solve s)
+
+let test_budget () =
+  (* A hard instance with a tiny conflict budget must return Unknown.
+     Pigeonhole 8-7 takes well over 16 conflicts. *)
+  let pigeons = 8 and holes = 7 in
+  let s = Sat.create () in
+  let x = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Sat.add_clause s (Array.to_list x.(p))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sat.add_clause s [ -x.(p1).(h); -x.(p2).(h) ]
+      done
+    done
+  done;
+  check_result "budget exhausted" Sat.Unknown (Sat.solve ~max_conflicts:16 s)
+
+let test_xor_chain () =
+  (* x1 xor x2 xor ... xor x8 = 1, all equal pairs: satisfiable parity. *)
+  let s, v = fresh_vars 3 in
+  (* encode x0 xor x1 = x2 *)
+  Sat.add_clause s [ -v.(0); -v.(1); -v.(2) ];
+  Sat.add_clause s [ v.(0); v.(1); -v.(2) ];
+  Sat.add_clause s [ v.(0); -v.(1); v.(2) ];
+  Sat.add_clause s [ -v.(0); v.(1); v.(2) ];
+  Sat.add_clause s [ v.(2) ];
+  check_result "xor encoding" Sat.Sat (Sat.solve s);
+  Alcotest.(check bool) "xor holds" true (Sat.value s v.(0) <> Sat.value s v.(1))
+
+let test_dimacs () =
+  let s, v = fresh_vars 3 in
+  Sat.add_clause s [ v.(0); -v.(1) ];
+  Sat.add_clause s [ v.(1); v.(2) ];
+  let d = Sat.to_dimacs s in
+  Alcotest.(check string) "dimacs text" "p cnf 3 2\n-2 1 0\n2 3 0\n" d;
+  (* incremental additions after a solve still export correctly (unit
+     clauses are absorbed by root-level propagation, so add a binary one) *)
+  ignore (Sat.solve s);
+  Sat.add_clause s [ -v.(2); -v.(0) ];
+  let lines = String.split_on_char '\n' (Sat.to_dimacs s) in
+  Alcotest.(check string) "updated header" "p cnf 3 3" (List.hd lines)
+
+(* Brute-force cross-check on random instances. *)
+
+let brute_force nvars clauses =
+  let rec go assignment v =
+    if v > nvars then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let value = List.nth assignment (abs l - 1) in
+              if l > 0 then value else not value)
+            clause)
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 1
+
+let arb_instance =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 8 >>= fun nvars ->
+      int_range 1 30 >>= fun nclauses ->
+      let gen_lit = int_range 1 nvars >>= fun v -> oneofl [ v; -v ] in
+      list_repeat nclauses (list_size (int_range 1 3) gen_lit) >>= fun clauses ->
+      return (nvars, clauses))
+  in
+  QCheck.make
+    ~print:(fun (n, cs) ->
+      Printf.sprintf "vars=%d clauses=[%s]" n
+        (String.concat "; "
+           (List.map (fun c -> String.concat "," (List.map string_of_int c)) cs)))
+    gen
+
+let prop_matches_brute_force =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"solver agrees with brute force" arb_instance
+       (fun (nvars, clauses) ->
+         let s = Sat.create () in
+         for _ = 1 to nvars do
+           ignore (Sat.new_var s)
+         done;
+         List.iter (Sat.add_clause s) clauses;
+         let expect = brute_force nvars clauses in
+         match Sat.solve s with
+         | Sat.Sat ->
+           expect
+           && List.for_all
+                (fun clause ->
+                  List.exists
+                    (fun l -> if l > 0 then Sat.value s l else not (Sat.value s (-l)))
+                    clause)
+                clauses
+         | Sat.Unsat -> not expect
+         | Sat.Unknown -> false))
+
+let prop_model_under_assumptions =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"assumptions respected in model" arb_instance
+       (fun (nvars, clauses) ->
+         let s = Sat.create () in
+         for _ = 1 to nvars do
+           ignore (Sat.new_var s)
+         done;
+         List.iter (Sat.add_clause s) clauses;
+         match Sat.solve ~assumptions:[ 1; -2 ] s with
+         | Sat.Sat -> Sat.value s 1 && not (Sat.value s 2)
+         | Sat.Unsat | Sat.Unknown -> true))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "no clauses" `Quick test_no_clauses;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "conflict budget" `Quick test_budget;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain;
+          Alcotest.test_case "dimacs export" `Quick test_dimacs;
+        ] );
+      ("properties", [ prop_matches_brute_force; prop_model_under_assumptions ]);
+    ]

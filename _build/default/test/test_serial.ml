@@ -1,0 +1,174 @@
+(* Tests for the JSON codec and the suite interchange format. *)
+
+let parse_ok s =
+  match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_values () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "int" true (parse_ok "-42" = Json.Int (-42));
+  Alcotest.(check bool) "float" true (parse_ok "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "string" true (parse_ok {|"hi"|} = Json.String "hi");
+  Alcotest.(check bool) "escapes" true
+    (parse_ok {|"a\n\"b\"\t\\"|} = Json.String "a\n\"b\"\t\\");
+  Alcotest.(check bool) "array" true
+    (parse_ok "[1, 2, 3]" = Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+  Alcotest.(check bool) "empty array" true (parse_ok "[]" = Json.List []);
+  Alcotest.(check bool) "object" true
+    (parse_ok {|{"a": 1, "b": [true]}|}
+    = Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]);
+  Alcotest.(check bool) "nested ws" true
+    (parse_ok " { \"x\" :\n[ null , {} ] } " = Json.Obj [ ("x", Json.List [ Json.Null; Json.Obj [] ]) ])
+
+let test_json_errors () =
+  let fails s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse failure for %s" s
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "tru";
+  fails "\"unterminated";
+  fails "1 2";
+  fails "{\"a\" 1}"
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "suite \"x\"\n");
+        ("n", Json.Int 123456);
+        ("pi", Json.Float 3.25);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("deep", Json.List [ Json.Obj [ ("k", Json.Int 0) ] ]) ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty v) with
+      | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    [ true; false ]
+
+(* qcheck: random JSON values round-trip *)
+let gen_json =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then
+              oneof
+                [
+                  return Json.Null;
+                  map (fun b -> Json.Bool b) bool;
+                  map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+                  map (fun s -> Json.String s) (string_size (int_bound 12) ~gen:printable);
+                ]
+            else
+              oneof
+                [
+                  map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+                  map
+                    (fun kvs ->
+                      (* object keys must be unique for equality to hold *)
+                      let kvs =
+                        List.mapi (fun i (k, v) -> (Printf.sprintf "%s_%d" k i, v)) kvs
+                      in
+                      Json.Obj kvs)
+                    (list_size (int_bound 4)
+                       (pair (string_size (int_bound 6) ~gen:printable) (self (n / 2))));
+                ])
+          (min n 6)))
+
+let prop_json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"random JSON round-trips"
+       (QCheck.make ~print:(fun v -> Json.to_string v) gen_json)
+       (fun v ->
+         match Json.of_string (Json.to_string v) with Ok v' -> v = v' | Error _ -> false))
+
+(* --- suite serialization --- *)
+
+let alu_suite =
+  let target = Lift.alu_target ~width:8 () in
+  let r1 = Lift.lift_pair target ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation in
+  Lift.suite_of_results target.Lift.kind [ r1 ]
+
+let fpu_suite = Testgen.random_fpu_suite ~seed:3 ~fmt:Fpu_format.binary16 ~cases:5 ()
+
+let test_suite_roundtrip () =
+  List.iter
+    (fun suite ->
+      match Serial.suite_of_string (Serial.suite_to_string suite) with
+      | Ok suite' -> Alcotest.(check bool) "suite round-trips exactly" true (suite = suite')
+      | Error e -> Alcotest.failf "suite decode failed: %s" e)
+    [ alu_suite; fpu_suite ]
+
+let test_suite_versioning () =
+  let j = Serial.suite_to_json alu_suite in
+  let bad =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, v) -> if k = "version" then (k, Json.Int 999) else (k, v)) fields)
+    | _ -> Alcotest.fail "expected object"
+  in
+  (match Serial.suite_of_json bad with
+  | Error e -> Alcotest.(check bool) "version error mentions version" true
+      (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected version rejection");
+  match Serial.suite_of_string "{\"format\": \"other\", \"version\": 1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected format rejection"
+
+let test_deserialized_suite_runs () =
+  (* the operator-side flow: decode a shipped suite and run it *)
+  match Serial.suite_of_string (Serial.suite_to_string alu_suite) with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok suite ->
+    let target = Lift.alu_target ~width:8 () in
+    let m =
+      Machine.create
+        ~config:{ Machine.default_config with Machine.width = 8; fmt = Fpu_format.tiny }
+        ~alu:(Machine.Alu_netlist target.Lift.netlist) ~fpu:Machine.Fpu_functional ()
+    in
+    Alcotest.(check bool) "healthy pass" true
+      (Integrate.Runner.run_tests m suite Integrate.Runner.Sequential = Ok ());
+    let faulty =
+      Fault.failing_netlist target.Lift.netlist
+        {
+          Fault.start_dff = "a_q0";
+          end_dff = "r_q0";
+          kind = Fault.Setup_violation;
+          constant = Fault.C0;
+          activation = Fault.Any_transition;
+        }
+    in
+    let mf =
+      Machine.create
+        ~config:{ Machine.default_config with Machine.width = 8; fmt = Fpu_format.tiny }
+        ~alu:(Machine.Alu_netlist faulty) ~fpu:Machine.Fpu_functional ()
+    in
+    Alcotest.(check bool) "fault detected from shipped suite" true
+      (match Integrate.Runner.run_tests mf suite Integrate.Runner.Sequential with
+      | Error _ -> true
+      | Ok () -> false)
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_suite_roundtrip;
+          Alcotest.test_case "versioning" `Quick test_suite_versioning;
+          Alcotest.test_case "operator flow" `Quick test_deserialized_suite_runs;
+        ] );
+      ("properties", [ prop_json_roundtrip ]);
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the gate-level simulator: functional correctness against the
+   paper's adder example, SP profiling, and property tests against a
+   reference evaluator. *)
+
+let bv w v = Bitvec.create ~width:w v
+
+let test_adder_computes () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  (* two-cycle pipeline: drive a, b; after two steps o = a + b (mod 4) *)
+  let cases = [ (0, 0); (1, 1); (2, 3); (3, 3); (1, 2) ] in
+  List.iter
+    (fun (a, b) ->
+      Sim.set_input sim "a" (bv 2 a);
+      Sim.set_input sim "b" (bv 2 b);
+      Sim.step sim;
+      Sim.step sim;
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" a b)
+        ((a + b) land 3)
+        (Bitvec.to_int (Sim.output sim "o")))
+    cases
+
+let test_pipeline_latency () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  Sim.set_input sim "a" (bv 2 1);
+  Sim.set_input sim "b" (bv 2 2);
+  Sim.step sim;
+  (* after one cycle the inputs are only in the first rank *)
+  Sim.set_input sim "a" (bv 2 0);
+  Sim.set_input sim "b" (bv 2 0);
+  Sim.step sim;
+  Alcotest.(check int) "first result" 3 (Bitvec.to_int (Sim.output sim "o"));
+  Sim.step sim;
+  Alcotest.(check int) "second result" 0 (Bitvec.to_int (Sim.output sim "o"))
+
+let test_reset () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  Sim.set_input sim "a" (bv 2 3);
+  Sim.set_input sim "b" (bv 2 3);
+  Sim.step sim;
+  Sim.step sim;
+  Sim.reset sim;
+  Alcotest.(check int) "cycle cleared" 0 (Sim.cycle sim);
+  Alcotest.(check int) "output cleared" 0 (Bitvec.to_int (Sim.output sim "o"));
+  Alcotest.(check int) "inputs cleared" 0 (Bitvec.to_int (Sim.input_value sim "a"))
+
+let test_dff_chain_delay () =
+  let nl = Example_circuits.dff_chain 4 in
+  let sim = Sim.create nl in
+  Sim.set_input_bit sim "d" 0 true;
+  Sim.step sim;
+  Sim.set_input_bit sim "d" 0 false;
+  for _ = 1 to 2 do
+    Sim.step sim
+  done;
+  Alcotest.(check int) "pulse not yet out" 0 (Bitvec.to_int (Sim.output sim "q"));
+  Sim.step sim;
+  Alcotest.(check int) "pulse after 4 cycles" 1 (Bitvec.to_int (Sim.output sim "q"))
+
+let test_lfsr_sequence () =
+  let nl = Example_circuits.lfsr4 () in
+  let sim = Sim.create nl in
+  Alcotest.(check int) "reset state" 1 (Bitvec.to_int (Sim.output sim "q"));
+  Sim.set_input_bit sim "enable" 0 false;
+  Sim.step sim;
+  Alcotest.(check int) "disabled holds" 1 (Bitvec.to_int (Sim.output sim "q"));
+  Sim.set_input_bit sim "enable" 0 true;
+  (* Fibonacci LFSR x^4+x^3+1 starting from 0001 has period 15 *)
+  let period = ref 0 in
+  (try
+     for i = 1 to 20 do
+       Sim.step sim;
+       let s = Bitvec.to_int (Sim.output sim "q") in
+       Alcotest.(check bool) "never all-zero" true (s <> 0);
+       if s = 1 then begin
+         period := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check int) "maximal period" 15 !period
+
+let test_sp_profile () =
+  let nl = Example_circuits.dff_chain 1 in
+  let sim = Sim.create ~profile:true nl in
+  (* drive d: 1 for 3 cycles, 0 for 1 cycle -> input net SP = 0.75 *)
+  for i = 0 to 3 do
+    Sim.set_input_bit sim "d" 0 (i < 3);
+    Sim.step sim
+  done;
+  Alcotest.(check int) "samples" 4 (Sim.samples sim);
+  let d_net = Netlist.net_of_port_bit nl "d" 0 in
+  Alcotest.(check (float 1e-9)) "input sp" 0.75 (Sim.sp sim d_net);
+  (* ff1 output lags by a cycle: values seen during sampling are 0,1,1,1 *)
+  Alcotest.(check (float 1e-9)) "ff sp" 0.75 (Sim.sp_of_cell sim "ff1")
+
+let test_toggle_rate () =
+  let nl = Example_circuits.dff_chain 1 in
+  let sim = Sim.create ~profile:true nl in
+  (* d alternates every cycle: toggle rate 1; then constant: rate drops *)
+  for k = 0 to 7 do
+    Sim.set_input_bit sim "d" 0 (k mod 2 = 0);
+    Sim.step sim
+  done;
+  let d_net = Netlist.net_of_port_bit nl "d" 0 in
+  Alcotest.(check (float 1e-9)) "alternating toggles every cycle" 1.0 (Sim.toggle_rate sim d_net);
+  Sim.reset sim;
+  for _ = 0 to 7 do
+    Sim.set_input_bit sim "d" 0 true;
+    Sim.step sim
+  done;
+  Alcotest.(check (float 0.2)) "constant after first edge barely toggles" 0.14
+    (Sim.toggle_rate sim d_net)
+
+let test_sp_requires_profiling () =
+  let nl = Example_circuits.dff_chain 1 in
+  let sim = Sim.create nl in
+  Alcotest.check_raises "no profiling" (Invalid_argument "Sim: simulator was created without ~profile:true")
+    (fun () -> ignore (Sim.sp sim 0))
+
+let test_hold_clock () =
+  let nl = Example_circuits.dff_chain 1 in
+  let sim = Sim.create ~profile:true nl in
+  Sim.set_input_bit sim "d" 0 true;
+  Sim.hold_clock sim;
+  Sim.hold_clock sim;
+  Alcotest.(check int) "samples accumulate" 2 (Sim.samples sim);
+  Alcotest.(check int) "no clock edge" 0 (Sim.cycle sim);
+  Alcotest.(check int) "ff kept reset value" 0 (Bitvec.to_int (Sim.output sim "q"))
+
+let test_power_report () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create ~profile:true nl in
+  Sim.run_random sim ~cycles:500;
+  let r = Power.analyze Cell.Library.c28 sim ~clock_mhz:500.0 in
+  Alcotest.(check int) "cells" 10 r.Power.cell_count;
+  Alcotest.(check bool) "area positive" true (r.Power.total_area_um2 > 5.0);
+  Alcotest.(check bool) "leakage positive" true (r.Power.total_leakage_nw > 1.0);
+  Alcotest.(check bool) "dynamic positive" true (r.Power.total_dynamic_nw > 0.0);
+  (* 6 DFFs dominate the area *)
+  let dff_row = List.find (fun row -> row.Power.kind = Cell.Kind.Dff) r.Power.by_kind in
+  Alcotest.(check int) "dff count" 6 dff_row.Power.count;
+  (* dynamic power scales linearly with the clock *)
+  let r2 = Power.analyze Cell.Library.c28 sim ~clock_mhz:1000.0 in
+  Alcotest.(check (float 1e-6)) "dynamic scales with f"
+    (2.0 *. r.Power.total_dynamic_nw) r2.Power.total_dynamic_nw;
+  let text = Power.render r in
+  Alcotest.(check bool) "renders" true (String.length text > 100)
+
+let test_width_check () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Sim.set_input: port a has width 2, value has width 3") (fun () ->
+      Sim.set_input sim "a" (bv 3 0))
+
+(* Property: the xor tree netlist computes parity for random stimulus. *)
+let prop_xor_tree_parity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"xor tree computes parity"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 255))
+       (fun x ->
+         let nl = Example_circuits.comb_xor_tree 8 in
+         let sim = Sim.create nl in
+         Sim.set_input sim "x" (bv 8 x);
+         Sim.settle sim;
+         let expect = Bitvec.popcount (bv 8 x) land 1 in
+         Bitvec.to_int (Sim.output sim "p") = expect))
+
+(* Property: adder netlist matches golden addition for random streams. *)
+let prop_adder_golden =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"pipelined adder matches golden model"
+       (QCheck.make
+          ~print:(fun l -> String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d+%d" a b) l))
+          QCheck.Gen.(list_size (int_range 1 20) (pair (int_bound 3) (int_bound 3))))
+       (fun pairs ->
+         let nl = Example_circuits.pipelined_adder () in
+         let sim = Sim.create nl in
+         (* push pairs through the 2-deep pipeline and check with lag 2 *)
+         let arr = Array.of_list pairs in
+         let ok = ref true in
+         Array.iteri
+           (fun i (a, b) ->
+             Sim.set_input sim "a" (bv 2 a);
+             Sim.set_input sim "b" (bv 2 b);
+             Sim.step sim;
+             if i >= 1 then begin
+               let pa, pb = arr.(i - 1) in
+               (* output after this step corresponds to the pair from the
+                  previous cycle (sampled one edge ago, summed this edge) *)
+               if Bitvec.to_int (Sim.output sim "o") <> (pa + pb) land 3 then ok := false
+             end)
+           arr;
+         !ok))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "adder computes" `Quick test_adder_computes;
+          Alcotest.test_case "pipeline latency" `Quick test_pipeline_latency;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "dff chain delay" `Quick test_dff_chain_delay;
+          Alcotest.test_case "lfsr sequence" `Quick test_lfsr_sequence;
+          Alcotest.test_case "sp profile" `Quick test_sp_profile;
+          Alcotest.test_case "toggle rate" `Quick test_toggle_rate;
+          Alcotest.test_case "sp requires profiling" `Quick test_sp_requires_profiling;
+          Alcotest.test_case "hold clock" `Quick test_hold_clock;
+          Alcotest.test_case "power report" `Quick test_power_report;
+          Alcotest.test_case "width check" `Quick test_width_check;
+        ] );
+      ("properties", [ prop_xor_tree_parity; prop_adder_golden ]);
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the static timing analysis engine, reproducing the numbers of
+   the paper's Section 3 walk-through on the example adder. *)
+
+let adder = Example_circuits.pipelined_adder ()
+let example_lib = Cell.Library.example
+
+(* The paper's example uses no clock-tree delay: clock arrivals are 0. *)
+let flat_clock = { (Sta.fresh_timing example_lib) with Sta.clock_arrival_ps = (fun _ -> 0.0) }
+
+let test_paper_example_fresh () =
+  (* At 1 GHz the longest path $4 -> $7 -> $8 -> $10 accumulates 0.9 ns,
+     meeting the 60 ps setup; the shortest path $1 -> $5 -> $9 has 0.2 ns,
+     meeting the 30 ps hold: no violations when fresh. *)
+  let r = Sta.analyze ~timing:flat_clock ~clock_period_ps:1000.0 adder in
+  Alcotest.(check int) "no setup violations" 0 (List.length r.Sta.setup_violations);
+  Alcotest.(check int) "no hold violations" 0 (List.length r.Sta.hold_violations);
+  Alcotest.(check (float 1e-9)) "wns setup 0" 0.0 r.Sta.wns_setup_ps;
+  (* worst setup endpoint is $10: slack = 1000 - 60 - 900 = 40 ps *)
+  let c10 = Netlist.find_cell adder "$10" in
+  let es =
+    List.find (fun e -> e.Sta.ep = Sta.At_dff c10.id) r.Sta.endpoint_slacks
+  in
+  Alcotest.(check (float 1e-6)) "slack at $10" 40.0 es.Sta.setup_slack_ps;
+  (* hold slack at $9: arrival_min 200 ps vs hold 30 ps => 170 ps *)
+  let c9 = Netlist.find_cell adder "$9" in
+  let e9 = List.find (fun e -> e.Sta.ep = Sta.At_dff c9.id) r.Sta.endpoint_slacks in
+  Alcotest.(check (float 1e-6)) "hold slack at $9" 170.0 e9.Sta.hold_slack_ps
+
+let test_paper_example_aged_setup () =
+  (* Age the cells on the critical path by ~5.5%: 900 ps -> ~0.95 ns,
+     violating the 940 ps setup requirement, as in Section 3.2.2. *)
+  let aged_delay (c : Netlist.cell) =
+    let t = Cell.Library.timing example_lib c.kind in
+    let factor = if List.mem c.name [ "$7"; "$8" ] then 1.08 else 1.055 in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. factor }
+  in
+  let timing = { flat_clock with Sta.cell_delay = aged_delay } in
+  let r = Sta.analyze ~timing ~clock_period_ps:1000.0 adder in
+  Alcotest.(check bool) "setup violations found" true (List.length r.Sta.setup_violations > 0);
+  Alcotest.(check bool) "wns negative" true (r.Sta.wns_setup_ps < 0.0);
+  (* all violating paths end at $10 (the only 3-deep endpoint) *)
+  let c10 = Netlist.find_cell adder "$10" in
+  List.iter
+    (fun p -> Alcotest.(check bool) "ends at $10" true (p.Sta.finish = Sta.At_dff c10.id))
+    r.Sta.setup_violations;
+  (* the worst path goes through $7 and $8 *)
+  let worst = List.hd r.Sta.setup_violations in
+  let names = List.map (fun id -> (Netlist.cell adder id).name) worst.Sta.through in
+  Alcotest.(check (list string)) "worst path cells" [ "$7"; "$8" ] names
+
+let test_paper_example_hold_via_skew () =
+  (* A clock phase shift between the launching $1 (domain 0) and capturing
+     $9 (domain 1) creates the hold violation of the paper's example. *)
+  let split = Example_circuits.pipelined_adder ~split_domains:true () in
+  let timing =
+    {
+      flat_clock with
+      Sta.clock_arrival_ps = (fun dom -> if dom = 1 then 180.0 else 0.0);
+    }
+  in
+  let r = Sta.analyze ~timing ~clock_period_ps:1000.0 split in
+  (* both rank-one registers $1 and $3 launch a violating path into $9 *)
+  Alcotest.(check int) "hold violations found" 2 (List.length r.Sta.hold_violations);
+  let starts =
+    List.map (fun p -> Sta.describe_startpoint split p.Sta.start) r.Sta.hold_violations
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "starts" [ "$1"; "$3" ] starts;
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "end" "$9" (Sta.describe_endpoint split p.Sta.finish);
+      (* arrival_min = 100 (clk->q) + 100 ($5) = 200; required = 180 + 30 = 210 *)
+      Alcotest.(check (float 1e-6)) "hold slack" (-10.0) p.Sta.slack_ps)
+    r.Sta.hold_violations
+
+let test_violating_path_count () =
+  (* Slow every cell dramatically: every register-to-register path through
+     combinational logic must then violate setup.  Distinct violating paths
+     into $10: $2/$4 -> $7 -> $8, $1/$3 -> $6 -> $8 (4 paths); into $9:
+     $1/$3 -> $5 (2 paths); direct DFF->DFF input-rank paths have no comb
+     delay and stay clean. *)
+  let slow (c : Netlist.cell) =
+    let t = Cell.Library.timing example_lib c.kind in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. 2.0 }
+  in
+  let timing = { flat_clock with Sta.cell_delay = slow } in
+  let r = Sta.analyze ~timing ~clock_period_ps:850.0 adder in
+  Alcotest.(check int) "six violating setup paths" 6 (List.length r.Sta.setup_violations);
+  let pairs = Sta.unique_pairs r.Sta.setup_violations in
+  Alcotest.(check int) "unique endpoint pairs" 6 (List.length pairs)
+
+let test_unique_pairs_dedup () =
+  (* force two violating paths between the same pair by slowing only $6/$7:
+     both $2->$7->$8->$10 and $2 is unique per start; instead check that
+     unique_pairs keeps worst slack *)
+  let p1 =
+    {
+      Sta.start = Sta.From_dff 1;
+      finish = Sta.At_dff 9;
+      through = [ 6 ];
+      delay_ps = 950.0;
+      slack_ps = -10.0;
+      check = Sta.Setup;
+    }
+  in
+  let p2 = { p1 with Sta.through = [ 7 ]; delay_ps = 960.0; slack_ps = -20.0 } in
+  let pairs = Sta.unique_pairs [ p1; p2 ] in
+  Alcotest.(check int) "merged" 1 (List.length pairs);
+  let _, best = List.hd pairs in
+  Alcotest.(check (float 1e-9)) "kept worst" (-20.0) best.Sta.slack_ps
+
+let test_aged_timing_source () =
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  (* constant SP 0.1: heavy stress everywhere *)
+  let timing = Sta.aged_timing ~sp_of_net:(fun _ -> 0.1) ~years:10.0 aglib in
+  let fresh = Sta.fresh_timing Cell.Library.c28 in
+  let c7 = Netlist.find_cell adder "$7" in
+  let aged_d = timing.Sta.cell_delay c7 and fresh_d = fresh.Sta.cell_delay c7 in
+  Alcotest.(check bool) "aged slower" true (aged_d.Cell.tpd_max_ps > fresh_d.Cell.tpd_max_ps);
+  Alcotest.(check bool) "ratio in 4-8% band" true
+    (let r = aged_d.Cell.tpd_max_ps /. fresh_d.Cell.tpd_max_ps in
+     r > 1.03 && r < 1.09)
+
+let test_em_aware_timing () =
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  let bti_only = Sta.aged_timing ~sp_of_net:(fun _ -> 0.5) ~years:10.0 aglib in
+  let with_em =
+    Sta.aged_timing ~toggle_of_net:(fun _ -> 0.8) ~sp_of_net:(fun _ -> 0.5) ~years:10.0 aglib
+  in
+  let c7 = Netlist.find_cell adder "$7" in
+  let d_bti = (bti_only.Sta.cell_delay c7).Cell.tpd_max_ps in
+  let d_em = (with_em.Sta.cell_delay c7).Cell.tpd_max_ps in
+  Alcotest.(check bool) "EM adds delay on busy nets" true (d_em > d_bti);
+  (* idle nets see no EM contribution *)
+  let idle =
+    Sta.aged_timing ~toggle_of_net:(fun _ -> 0.0) ~sp_of_net:(fun _ -> 0.5) ~years:10.0 aglib
+  in
+  Alcotest.(check (float 1e-9)) "no activity, no EM" d_bti
+    ((idle.Sta.cell_delay c7).Cell.tpd_max_ps)
+
+let test_describe_path () =
+  let slow (c : Netlist.cell) =
+    let t = Cell.Library.timing example_lib c.kind in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. 2.0 }
+  in
+  let timing = { flat_clock with Sta.cell_delay = slow } in
+  let r = Sta.analyze ~timing ~clock_period_ps:850.0 adder in
+  let descr = Sta.describe_path adder (List.hd r.Sta.setup_violations) in
+  Alcotest.(check bool) "mentions setup" true
+    (String.length descr > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length descr && (String.sub descr i 5 = "setup" || contains (i + 1))
+    in
+    contains 0)
+
+let test_render_report () =
+  let slow (c : Netlist.cell) =
+    let t = Cell.Library.timing example_lib c.kind in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. 2.0 }
+  in
+  let timing = { flat_clock with Sta.cell_delay = slow } in
+  let r = Sta.analyze ~timing ~clock_period_ps:850.0 adder in
+  let text = Sta.render_report adder r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions WNS" true (contains "WNS");
+  Alcotest.(check bool) "mentions violations" true (contains "setup violations: 6");
+  Alcotest.(check bool) "mentions endpoints" true (contains "tightest endpoints");
+  Alcotest.(check bool) "describes a path" true (contains "$10")
+
+let test_truncation () =
+  let slow (c : Netlist.cell) =
+    let t = Cell.Library.timing example_lib c.kind in
+    { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. 2.0 }
+  in
+  let timing = { flat_clock with Sta.cell_delay = slow } in
+  let r = Sta.analyze ~max_violating_paths:2 ~timing ~clock_period_ps:850.0 adder in
+  Alcotest.(check bool) "truncated flagged" true r.Sta.truncated;
+  Alcotest.(check int) "capped" 2 (List.length r.Sta.setup_violations)
+
+(* Property: path delays reported by enumeration never exceed the
+   propagated arrival-time bound, and slacks are consistent. *)
+let prop_paths_within_bounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"enumerated setup paths consistent with slack"
+       (QCheck.make ~print:(Printf.sprintf "%.1f")
+          QCheck.Gen.(float_range 700.0 1100.0))
+       (fun period ->
+         let slow (c : Netlist.cell) =
+           let t = Cell.Library.timing example_lib c.kind in
+           { t with Cell.tpd_max_ps = t.Cell.tpd_max_ps *. 1.6 }
+         in
+         let timing = { flat_clock with Sta.cell_delay = slow } in
+         let r = Sta.analyze ~timing ~clock_period_ps:period adder in
+         List.for_all
+           (fun p ->
+             p.Sta.slack_ps < 0.0
+             && Float.abs (p.Sta.slack_ps -. (period -. 60.0 -. p.Sta.delay_ps)) < 1e-6)
+           r.Sta.setup_violations))
+
+(* Property: Monte-Carlo path sampling never exceeds the propagated
+   arrival-time bound at any endpoint. *)
+let prop_monte_carlo_paths_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"sampled path delays within STA bounds"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let nl = Alu.netlist ~width:8 () in
+         let timing = Sta.fresh_timing ~clock_tree:Clock_tree.single_domain Cell.Library.c28 in
+         let r = Sta.analyze ~timing ~clock_period_ps:1e9 nl in
+         (* pick a random endpoint and walk a random backward path, summing
+            max delays; the arrival must be <= the endpoint's bound *)
+         let dffs = Array.of_list (Netlist.dffs nl) in
+         let ep = dffs.(Random.State.int rng (Array.length dffs)) in
+         let ep_cell = Netlist.cell nl ep in
+         let bound =
+           let es = List.find (fun e -> e.Sta.ep = Sta.At_dff ep) r.Sta.endpoint_slacks in
+           1e9 -. es.Sta.setup_slack_ps -. (Cell.Library.dff Cell.Library.c28).Cell.setup_ps
+         in
+         let rec walk net acc =
+           match Netlist.driver nl net with
+           | Netlist.Driven_by_input _ -> None  (* unconstrained start *)
+           | Netlist.Driven_by_cell id ->
+             let c = Netlist.cell nl id in
+             if Cell.Kind.is_sequential c.Netlist.kind then
+               Some (acc +. (Cell.Library.dff Cell.Library.c28).Cell.clk_to_q_max_ps)
+             else if Array.length c.Netlist.inputs = 0 then None  (* tie *)
+             else begin
+               let d = (timing.Sta.cell_delay c).Cell.tpd_max_ps in
+               let pin = Random.State.int rng (Array.length c.Netlist.inputs) in
+               walk c.Netlist.inputs.(pin) (acc +. d)
+             end
+         in
+         match walk ep_cell.Netlist.inputs.(0) 0.0 with
+         | None -> true  (* path from an unconstrained source *)
+         | Some arrival -> arrival <= bound +. 1e-6))
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "fresh timing clean" `Quick test_paper_example_fresh;
+          Alcotest.test_case "aged setup violation" `Quick test_paper_example_aged_setup;
+          Alcotest.test_case "hold violation via skew" `Quick test_paper_example_hold_via_skew;
+        ] );
+      ( "path enumeration",
+        [
+          Alcotest.test_case "violating path count" `Quick test_violating_path_count;
+          Alcotest.test_case "unique pairs dedup" `Quick test_unique_pairs_dedup;
+          Alcotest.test_case "describe path" `Quick test_describe_path;
+          Alcotest.test_case "render report" `Quick test_render_report;
+          Alcotest.test_case "truncation cap" `Quick test_truncation;
+        ] );
+      ( "aging integration",
+        [
+          Alcotest.test_case "aged timing source" `Quick test_aged_timing_source;
+          Alcotest.test_case "em-aware timing" `Quick test_em_aware_timing;
+        ] );
+      ("properties", [ prop_paths_within_bounds; prop_monte_carlo_paths_bounded ]);
+    ]

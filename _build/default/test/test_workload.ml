@@ -1,0 +1,197 @@
+(* Tests for the embench-like workloads: all kernels compile, run to
+   completion, self-check deterministically, and agree between functional
+   and gate-level backends. *)
+
+let functional () = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+
+let run_bench m (b : Workload.benchmark) =
+  Machine.reset m;
+  let prog = Minic.assemble (Minic.compile b.Workload.program) in
+  match Machine.run ~max_instructions:3_000_000 m prog with
+  | Machine.Exited 0 -> Bitvec.to_int (Machine.mem m Workload.checksum_address)
+  | o -> Alcotest.failf "%s did not exit cleanly: %a" b.Workload.name Machine.pp_outcome o
+
+let test_all_run () =
+  let m = functional () in
+  List.iter
+    (fun b ->
+      let c1 = run_bench m b in
+      let c2 = run_bench m b in
+      Alcotest.(check int) (b.Workload.name ^ " deterministic") c1 c2)
+    Workload.all
+
+let test_known_checksums () =
+  let m = functional () in
+  (* independently computable kernels *)
+  Alcotest.(check int) "primecount" 30 (run_bench m (Workload.find "primecount"));
+  (* nsort: sorted (k*17 mod 23) values, weighted checksum *)
+  let sorted = List.sort compare (List.init 20 (fun k -> k * 17 mod 23)) in
+  let expect =
+    (List.mapi (fun idx x -> (idx + 1) * x) sorted |> List.fold_left ( + ) 0) land 0xffff
+  in
+  Alcotest.(check int) "nsort" expect (run_bench m (Workload.find "nsort"));
+  (* huff round-trips: checksum is the sum of the symbols *)
+  let expect = List.fold_left ( + ) 0 (List.init 24 (fun k -> k * 11 mod 16)) in
+  Alcotest.(check int) "huff" expect (run_bench m (Workload.find "huff"));
+  (* crc vs an OCaml reference implementation *)
+  let crc_ref =
+    let crc = ref 0xFFFF in
+    List.iter
+      (fun d ->
+        crc := !crc lxor (d lsl 8);
+        for _ = 1 to 8 do
+          if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+          else crc := (!crc lsl 1) land 0xFFFF
+        done)
+      (List.init 32 (fun k -> (k * 7) + (k * k mod 13) land 0xff));
+    !crc
+  in
+  Alcotest.(check int) "crc" crc_ref (run_bench m (Workload.find "crc"))
+
+let test_matmult_reference () =
+  let m = functional () in
+  let a = Array.init 25 (fun k -> (k mod 7) + 1) in
+  let b = Array.init 25 (fun k -> (k mod 5) + 2) in
+  let sum = ref 0 in
+  for r = 0 to 4 do
+    for c = 0 to 4 do
+      let s = ref 0 in
+      for k = 0 to 4 do
+        s := !s + (a.((r * 5) + k) * b.((k * 5) + c))
+      done;
+      sum := !sum + !s
+    done
+  done;
+  Alcotest.(check int) "matmult" (!sum land 0xFFFF) (run_bench m (Workload.find "matmult"))
+
+let test_minver_inverts () =
+  (* run minver and verify A * inv(A) ~ I using the memory contents *)
+  let m = functional () in
+  ignore (run_bench m Workload.minver);
+  let fmt = Fpu_format.binary16 in
+  (* globals: out @32, a @33..41, inv @42..50 *)
+  let inv r c =
+    Fpu_format.to_float fmt (Bitvec.create ~width:16 (Bitvec.to_int (Machine.mem m (42 + (r * 3) + c))))
+  in
+  let orig = [| [| 4.0; 2.0; 1.0 |]; [| 2.0; 5.0; 3.0 |]; [| 1.0; 3.0; 6.0 |] |] in
+  for r = 0 to 2 do
+    for c = 0 to 2 do
+      let dot = ref 0.0 in
+      for k = 0 to 2 do
+        dot := !dot +. (orig.(r).(k) *. inv k c)
+      done;
+      let expect = if r = c then 1.0 else 0.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "A*inv[%d,%d] ~ %g (got %g)" r c expect !dot)
+        true
+        (Float.abs (!dot -. expect) < 0.15)
+    done
+  done
+
+let test_float_kernel_flags () =
+  Alcotest.(check bool) "minver flagged float-heavy" true Workload.minver.Workload.float_heavy;
+  Alcotest.(check bool) "crc not float-heavy" false (Workload.find "crc").Workload.float_heavy
+
+let test_netlist_agreement () =
+  let mf = functional () in
+  let mn =
+    Machine.create
+      ~alu:(Machine.Alu_netlist (Alu.netlist ~width:16 ()))
+      ~fpu:(Machine.Fpu_netlist (Fpu.netlist ())) ()
+  in
+  (* gate-level execution is slow: check a fast int kernel and the FP
+     minver kernel *)
+  List.iter
+    (fun name ->
+      let b = Workload.find name in
+      Alcotest.(check int) (name ^ " agrees on netlist backend") (run_bench mf b) (run_bench mn b))
+    [ "crc"; "minver" ]
+
+let test_new_kernels_reference () =
+  let m = functional () in
+  (* slre: occurrences of a b* a c in the text, verified by an OCaml regex-free
+     reference *)
+  let text = "abacabadabacabaeabacabadabacabafabacabad" in
+  let matches_at s =
+    (* a b* a c *)
+    let n = String.length text in
+    s < n && text.[s] = 'a'
+    && (let rec try_b t =
+          (* t = position after consumed b's *)
+          if t + 1 < n && text.[t] = 'a' && text.[t + 1] = 'c' then true
+          else if t < n && text.[t] = 'b' then try_b (t + 1)
+          else false
+        in
+        try_b (s + 1))
+  in
+  let expect = List.length (List.filter matches_at (List.init 40 (fun s -> s))) in
+  Alcotest.(check int) "slre reference" expect (run_bench m (Workload.find "slre"));
+  (* gf256: reference Horner evaluation over GF(2^8) *)
+  let gfmul x y =
+    let acc = ref 0 and x = ref x and y = ref y in
+    while !y <> 0 do
+      if !y land 1 <> 0 then acc := !acc lxor !x;
+      x := !x lsl 1;
+      if !x land 0x100 <> 0 then x := !x lxor 0x11D;
+      y := !y lsr 1
+    done;
+    !acc
+  in
+  let poly = List.init 16 (fun k -> ((k * 37) + 11) mod 256) in
+  let check = ref 0 in
+  for x = 2 to 7 do
+    let acc = List.fold_left (fun acc c -> gfmul acc x lxor c) 0 poly in
+    check := !check lxor acc
+  done;
+  Alcotest.(check int) "gf256 reference" !check (run_bench m (Workload.find "gf256"));
+  (* statemate terminates with a plausible checksum *)
+  let v = run_bench m (Workload.find "statemate") in
+  Alcotest.(check bool) "statemate nonzero" true (v >= 0)
+
+let test_c_source_kernels () =
+  let m = functional () in
+  (* cubic: independently computable *)
+  let icbrt n =
+    let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi + 1) / 2 in
+      if mid * mid * mid <= n then go mid hi else go lo (mid - 1)
+    in
+    go 0 32
+  in
+  let expect =
+    List.fold_left (fun acc t -> ((acc * 31) + icbrt t) land 0xFFFF) 0
+      [ 27; 125; 1000; 1331; 4913; 8000; 12167; 21952 ]
+  in
+  Alcotest.(check int) "cubic reference" expect (run_bench m (Workload.find "cubic"));
+  (* mont: powmod reference *)
+  let powmod b e m =
+    let rec go r b e = if e = 0 then r else
+      go (if e land 1 = 1 then r * b mod m else r) (b * b mod m) (e lsr 1)
+    in
+    go 1 (b mod m) e
+  in
+  let acc = List.fold_left (fun acc base -> (acc lsl 1) lxor powmod base 29 113) 0 [2;3;4;5;6;7;8;9] in
+  Alcotest.(check int) "mont reference" (acc land 0xFFFF) (run_bench m (Workload.find "mont"))
+
+let test_unique_names () =
+  let names = List.map (fun b -> b.Workload.name) Workload.all in
+  Alcotest.(check int) "sixteen benchmarks" 16 (List.length names);
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "all run deterministically" `Quick test_all_run;
+          Alcotest.test_case "known checksums" `Quick test_known_checksums;
+          Alcotest.test_case "matmult reference" `Quick test_matmult_reference;
+          Alcotest.test_case "minver inverts" `Quick test_minver_inverts;
+          Alcotest.test_case "float flags" `Quick test_float_kernel_flags;
+          Alcotest.test_case "netlist agreement" `Slow test_netlist_agreement;
+          Alcotest.test_case "new kernels vs references" `Quick test_new_kernels_reference;
+          Alcotest.test_case "C-source kernels vs references" `Quick test_c_source_kernels;
+          Alcotest.test_case "unique names" `Quick test_unique_names;
+        ] );
+    ]

@@ -145,13 +145,73 @@ let micro_tests =
           for _ = 1 to 10 do
             Sim.step sim
           done);
+      t "substrate:gate-sim64-step-fpu16" (fun () ->
+          let sim = Sim64.create fpu16_netlist in
+          for _ = 1 to 10 do
+            Sim64.step sim
+          done);
       t "substrate:cdcl-pigeonhole-7-6" (fun () ->
           ignore (Sat.solve (pigeonhole 7 6)));
       t "substrate:minic-compile-minver" (fun () ->
           ignore (Minic.compile Workload.minver.Workload.program));
     ]
 
+(* Throughput of the word-parallel engine against the scalar reference on
+   the same netlist and the same pre-generated random stimulus: one scalar
+   pattern per cycle vs [Sim64.lanes] patterns per cycle. *)
+let sim64_throughput () =
+  print_endline "== 64-lane vs scalar gate-simulation throughput ==";
+  let measure name nl ~cycles =
+    let in_ports = Netlist.inputs nl in
+    let rng = Random.State.make [| 0x5eed; Hashtbl.hash name |] in
+    let stim64 =
+      Array.init cycles (fun _ ->
+          List.map
+            (fun (p : Netlist.port) ->
+              ( p.Netlist.port_name,
+                Array.init (Array.length p.Netlist.port_nets) (fun _ -> Sim64.random_word rng)
+              ))
+            in_ports)
+    in
+    (* the scalar run replays lane 0 of the same stimulus *)
+    let stim1 =
+      Array.map
+        (fun assigns ->
+          List.map
+            (fun (pname, words) ->
+              let v = ref 0 in
+              Array.iteri (fun i w -> if w land 1 <> 0 then v := !v lor (1 lsl i)) words;
+              (pname, Bitvec.create ~width:(Array.length words) !v))
+            assigns)
+        stim64
+    in
+    let sim = Sim.create nl in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun assigns ->
+        List.iter (fun (p, v) -> Sim.set_input sim p v) assigns;
+        Sim.step sim)
+      stim1;
+    let t1 = Unix.gettimeofday () in
+    let s64 = Sim64.create nl in
+    Array.iter
+      (fun assigns ->
+        List.iter (fun (p, ws) -> Sim64.set_input_words s64 p ws) assigns;
+        Sim64.step s64)
+      stim64;
+    let t2 = Unix.gettimeofday () in
+    let scalar_rate = float_of_int cycles /. (t1 -. t0) in
+    let wide_rate = float_of_int (cycles * Sim64.lanes) /. (t2 -. t1) in
+    Printf.printf
+      "  %-6s scalar %9.0f patterns/s | %d-lane %10.0f patterns/s | speedup %5.1fx\n" name
+      scalar_rate Sim64.lanes wide_rate (wide_rate /. scalar_rate)
+  in
+  measure "alu8" alu8.Lift.netlist ~cycles:2000;
+  measure "fpu16" fpu16_netlist ~cycles:500;
+  print_newline ()
+
 let run_micro () =
+  sim64_throughput ();
   print_endline "== Bechamel micro-benchmarks (one per table/figure kernel) ==";
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in

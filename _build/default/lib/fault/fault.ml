@@ -22,6 +22,12 @@ let describe s =
     | Rising_edge -> "rising"
     | Falling_edge -> "falling")
 
+let variants ?(mitigation = false) ~start_dff ~end_dff kind =
+  let base constant activation = { start_dff; end_dff; kind; constant; activation } in
+  if mitigation then
+    [ base C0 Rising_edge; base C0 Falling_edge; base C1 Rising_edge; base C1 Falling_edge ]
+  else [ base C0 Any_transition; base C1 Any_transition ]
+
 let find_dff nl name =
   let c = Netlist.find_cell nl name in
   if not (Cell.Kind.is_sequential c.kind) then

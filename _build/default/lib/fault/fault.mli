@@ -49,6 +49,14 @@ type spec = {
 
 val describe : spec -> string
 
+val variants :
+  ?mitigation:bool -> start_dff:string -> end_dff:string -> violation_kind -> spec list
+(** The fault variants explored per violating pair: without the §3.3.4
+    [mitigation] (default), [C = 0] and [C = 1] with [Any_transition]
+    activation; with it, the four [C x rising/falling-edge] combinations.
+    [C_random] is never enumerated — it is the pessimistic model reserved
+    for explicit experiments. *)
+
 val random_port : string
 (** Name of the free input port added when [constant = C_random]
     (["c_fault"]). *)

@@ -169,17 +169,7 @@ let convert target spec inst trace =
   end
 
 let variants_of_config config violation start_dff end_dff =
-  let base constant activation =
-    { Fault.start_dff; end_dff; kind = violation; constant; activation }
-  in
-  if config.mitigation then
-    [
-      base Fault.C0 Fault.Rising_edge;
-      base Fault.C0 Fault.Falling_edge;
-      base Fault.C1 Fault.Rising_edge;
-      base Fault.C1 Fault.Falling_edge;
-    ]
-  else [ base Fault.C0 Fault.Any_transition; base Fault.C1 Fault.Any_transition ]
+  Fault.variants ~mitigation:config.mitigation ~start_dff ~end_dff violation
 
 let classify variants =
   let outcomes = List.map snd variants in
@@ -474,3 +464,191 @@ let suite_program ?order suite =
   Isa.assemble
     (suite_instrs ?order ~fail_label suite
     @ [ Isa.Ecall Isa.exit_ok; Isa.Label fail_label; Isa.Ecall Isa.exit_sdc ])
+
+(* ---- Word-parallel netlist-level suite evaluation --------------------
+
+   Detection-rate evaluation without the instruction-set machine: every
+   test case becomes one Sim64 lane, its operation stream is replayed
+   back-to-back into the (failing) unit netlist, and each retired result
+   is compared against the case's golden expectations — up to
+   [Sim64.lanes] cases per sweep.  The machine-based run ([suite_program]
+   through [Machine]) stays the reference semantics: it additionally sees
+   pipeline bubbles between units and branch-comparison corruption, so
+   the paper-facing tables keep using it, while this path makes
+   large-scale detection sweeps (random baselines, fuzz triage) cheap. *)
+
+let lane_word nlanes get_bit =
+  let w = ref 0 in
+  for l = 0 to nlanes - 1 do
+    if get_bit l then w := !w lor (1 lsl l)
+  done;
+  !w
+
+let port_lane_words width nlanes get_value =
+  Array.init width (fun bit -> lane_word nlanes (fun l -> (get_value l lsr bit) land 1 = 1))
+
+let has_fault_port nl =
+  List.exists (fun (p : Netlist.port) -> String.equal p.port_name Fault.random_port)
+    (Netlist.inputs nl)
+
+let port_width ~input nl name =
+  let p = if input then Netlist.find_input nl name else Netlist.find_output nl name in
+  Array.length p.Netlist.port_nets
+
+(* Streaming protocol shared with [Machine]: inputs of operation [s] are
+   driven before edge [s]; the input rank captures them at edge [s]; the
+   result rank captures at edge [s + 1]; so operation [s]'s result is read
+   after edge [s + 1] (the unit's latency of 2). *)
+let alu_detect_batch rng nl (cases : alu_step array array) =
+  let nlanes = Array.length cases in
+  let s64 = Sim64.create nl in
+  let op_w = port_width ~input:true nl Alu.op_port in
+  let data_w = port_width ~input:true nl Alu.a_port in
+  let r_nets = (Netlist.find_output nl Alu.r_port).Netlist.port_nets in
+  let drive_fault = has_fault_port nl in
+  let len l = Array.length cases.(l) in
+  let maxlen = Array.fold_left (fun a c -> max a (Array.length c)) 0 cases in
+  (* short lanes hold their last operation; their results are masked out *)
+  let step_val l s f = if len l = 0 then 0 else f cases.(l).(min s (len l - 1)) in
+  let detected = ref 0 in
+  for t = 0 to maxlen do
+    if t < maxlen then begin
+      Sim64.set_input_words s64 Alu.op_port
+        (port_lane_words op_w nlanes (fun l -> step_val l t (fun st -> Alu.op_code st.a_op)));
+      Sim64.set_input_words s64 Alu.a_port
+        (port_lane_words data_w nlanes (fun l -> step_val l t (fun st -> st.a_lhs)));
+      Sim64.set_input_words s64 Alu.b_port
+        (port_lane_words data_w nlanes (fun l -> step_val l t (fun st -> st.a_rhs)))
+    end;
+    if drive_fault then Sim64.set_input_words s64 Fault.random_port [| Sim64.random_word rng |];
+    Sim64.step s64;
+    let s = t - 1 in
+    if s >= 0 then begin
+      let retire = lane_word nlanes (fun l -> s < len l) in
+      if retire <> 0 then begin
+        let mism = ref 0 in
+        Array.iteri
+          (fun bit n ->
+            let expected =
+              lane_word nlanes (fun l ->
+                  s < len l && step_val l s (fun st -> (st.a_expected lsr bit) land 1) = 1)
+            in
+            mism := !mism lor (Sim64.net_word s64 n lxor expected))
+          r_nets;
+        detected := !detected lor (!mism land retire)
+      end
+    end
+  done;
+  !detected
+
+let fpu_detect_batch rng nl (cases : (fpu_step array * bool) array) =
+  let nlanes = Array.length cases in
+  let s64 = Sim64.create nl in
+  let op_w = port_width ~input:true nl Fpu.op_port in
+  let data_w = port_width ~input:true nl Fpu.a_port in
+  let r_nets = (Netlist.find_output nl Fpu.r_port).Netlist.port_nets in
+  let fl_nets = (Netlist.find_output nl Fpu.flags_port).Netlist.port_nets in
+  let v_net = (Netlist.find_output nl Fpu.valid_port).Netlist.port_nets.(0) in
+  let drive_fault = has_fault_port nl in
+  let steps l = fst cases.(l) in
+  let len l = Array.length (steps l) in
+  let maxlen = Array.fold_left (fun a (c, _) -> max a (Array.length c)) 0 cases in
+  let step_val l s f = if len l = 0 then 0 else f (steps l).(min s (len l - 1)) in
+  let detected = ref 0 in
+  let sticky = Array.map (fun _ -> 0) fl_nets in
+  for t = 0 to maxlen do
+    if t < maxlen then begin
+      Sim64.set_input_words s64 Fpu.op_port
+        (port_lane_words op_w nlanes (fun l ->
+             step_val l t (fun st -> Fpu_format.op_code st.f_op)));
+      Sim64.set_input_words s64 Fpu.a_port
+        (port_lane_words data_w nlanes (fun l -> step_val l t (fun st -> st.f_lhs)));
+      Sim64.set_input_words s64 Fpu.b_port
+        (port_lane_words data_w nlanes (fun l -> step_val l t (fun st -> st.f_rhs)));
+      Sim64.set_input_words s64 Fpu.in_valid_port [| lane_word nlanes (fun l -> t < len l) |]
+    end
+    else Sim64.set_input_words s64 Fpu.in_valid_port [| 0 |];
+    if drive_fault then Sim64.set_input_words s64 Fault.random_port [| Sim64.random_word rng |];
+    Sim64.step s64;
+    let s = t - 1 in
+    if s >= 0 then begin
+      let retire = lane_word nlanes (fun l -> s < len l) in
+      if retire <> 0 then begin
+        let valid = Sim64.net_word s64 v_net in
+        (* a missing handshake token is a stall the machine's watchdog
+           would catch *)
+        detected := !detected lor (lnot valid land retire);
+        let ok = valid land retire in
+        let mism = ref 0 in
+        Array.iteri
+          (fun bit n ->
+            let expected =
+              lane_word nlanes (fun l ->
+                  s < len l && step_val l s (fun st -> (st.f_expected lsr bit) land 1) = 1)
+            in
+            mism := !mism lor (Sim64.net_word s64 n lxor expected))
+          r_nets;
+        detected := !detected lor (!mism land ok);
+        Array.iteri
+          (fun bit n -> sticky.(bit) <- sticky.(bit) lor (Sim64.net_word s64 n land retire))
+          fl_nets
+      end
+    end
+  done;
+  (* sticky-flag comparison for the cases that check the fflags CSR *)
+  let checks = lane_word nlanes (fun l -> snd cases.(l)) in
+  if checks <> 0 then begin
+    let golden l = Fpu_format.flags_to_int (sticky_flags (Array.to_list (steps l))) in
+    let fl_mism = ref 0 in
+    Array.iteri
+      (fun bit _ ->
+        let expected = lane_word nlanes (fun l -> (golden l lsr bit) land 1 = 1) in
+        fl_mism := !fl_mism lor (sticky.(bit) lxor expected))
+      fl_nets;
+    detected := !detected lor (!fl_mism land checks)
+  end;
+  !detected
+
+let detected_cases ?(seed = 0xde7ec7) suite nl =
+  let rng = Random.State.make [| seed |] in
+  let cases = Array.of_list suite.suite_cases in
+  let ncases = Array.length cases in
+  let out = Array.make (max ncases 1) false in
+  let batch lo hi =
+    let nlanes = hi - lo in
+    let word =
+      match suite.suite_target with
+      | Alu_module _ ->
+        alu_detect_batch rng nl
+          (Array.init nlanes (fun i ->
+               match cases.(lo + i).tc_body with
+               | Alu_test l -> Array.of_list l
+               | Fpu_test _ -> invalid_arg "Lift.detected_cases: FPU case in an ALU suite"))
+      | Fpu_module _ ->
+        fpu_detect_batch rng nl
+          (Array.init nlanes (fun i ->
+               match cases.(lo + i).tc_body with
+               | Fpu_test l -> (Array.of_list l, cases.(lo + i).tc_checks_flags)
+               | Alu_test _ -> invalid_arg "Lift.detected_cases: ALU case in an FPU suite"))
+    in
+    for i = 0 to nlanes - 1 do
+      out.(lo + i) <- (word lsr i) land 1 = 1
+    done
+  in
+  let rec go lo =
+    if lo < ncases then begin
+      batch lo (min ncases (lo + Sim64.lanes));
+      go (lo + Sim64.lanes)
+    end
+  in
+  go 0;
+  Array.sub out 0 ncases
+
+let detects ?seed suite nl = Array.exists Fun.id (detected_cases ?seed suite nl)
+
+let detection_rate ?seed suite nls =
+  match nls with
+  | [] -> invalid_arg "Lift.detection_rate: no netlists to evaluate"
+  | _ ->
+    let det = List.length (List.filter (fun nl -> detects ?seed suite nl) nls) in
+    float_of_int det /. float_of_int (List.length nls)

@@ -153,3 +153,32 @@ val suite_program : ?order:int list -> suite -> Isa.program
 val suite_instrs : ?order:int list -> ?label_prefix:string -> fail_label:string -> suite -> Isa.instr list
 (** The suite as an embeddable instruction block (no ecalls), for Test
     Integration. *)
+
+(** {1 Word-parallel netlist-level evaluation}
+
+    Detection-rate evaluation on the unit netlist itself, without the
+    instruction-set machine: each test case occupies one {!Sim64} lane,
+    its operation stream replays back-to-back into the (failing) netlist,
+    and every retired result is compared against the case's golden
+    expectations — up to [Sim64.lanes] cases per sweep.  FPU cases
+    additionally watch the valid handshake (a missing token is the stall
+    the machine's watchdog would catch) and, when [tc_checks_flags], the
+    accumulated sticky flags.  The machine-based run remains the reference
+    semantics (it also sees inter-unit bubbles and branch-comparison
+    corruption); this path is for large detection sweeps such as the
+    random-suite baselines. *)
+
+val detected_cases : ?seed:int -> suite -> Netlist.t -> bool array
+(** Per-case detection verdicts against [netlist] (typically a
+    {!Fault.failing_netlist} of the suite's target).  [seed] drives the
+    {!Fault.random_port} input when the netlist has one ([C_random]
+    faults).
+    @raise Invalid_argument if a case's body does not match the suite
+    target or the netlist lacks the target's ports. *)
+
+val detects : ?seed:int -> suite -> Netlist.t -> bool
+(** Whether any case of the suite detects the fault. *)
+
+val detection_rate : ?seed:int -> suite -> Netlist.t list -> float
+(** Fraction of the given failing netlists detected by the suite.
+    @raise Invalid_argument on an empty list. *)

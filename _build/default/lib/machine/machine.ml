@@ -63,6 +63,8 @@ type t = {
   fpu_fn : bool;
   alu_unit : pipe_unit option;
   fpu_unit : pipe_unit option;
+  on_alu_op : Alu.op -> Bitvec.t -> Bitvec.t -> unit;
+  on_fpu_op : Fpu_format.op -> Bitvec.t -> Bitvec.t -> unit;
 }
 
 let port_width nl name = Array.length (Netlist.find_input nl name).Netlist.port_nets
@@ -73,7 +75,8 @@ let has_input nl name =
 let make_unit ~profile nl =
   { usim = Sim.create ~profile nl; has_fault_port = has_input nl Fault.random_port; pending = None }
 
-let create ?(config = default_config) ?(profile_units = false) ~alu ~fpu () =
+let create ?(config = default_config) ?(profile_units = false) ?(on_alu_op = fun _ _ _ -> ())
+    ?(on_fpu_op = fun _ _ _ -> ()) ~alu ~fpu () =
   if Fpu_format.width config.fmt > config.width then
     invalid_arg "Machine.create: FP format wider than the integer registers";
   (match alu with
@@ -104,6 +107,8 @@ let create ?(config = default_config) ?(profile_units = false) ~alu ~fpu () =
     n_moves = 0;
     n_other = 0;
     rng = Random.State.make [| config.rng_seed |];
+    on_alu_op;
+    on_fpu_op;
     alu_fn = (match alu with Alu_functional -> true | Alu_netlist _ -> false);
     fpu_fn = (match fpu with Fpu_functional -> true | Fpu_netlist _ -> false);
     alu_unit =
@@ -217,6 +222,7 @@ let alu_issue t u op a b rd =
 (* Compute an ALU value immediately (branch comparisons): run the operation
    through the pipe and drain it. *)
 let alu_value t op a b =
+  t.on_alu_op op a b;
   match t.alu_unit with
   | None -> Alu.golden ~width:t.cfg.width op a b
   | Some u ->
@@ -339,11 +345,13 @@ let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t (prog : Isa.
   let fpw = Fpu_format.width t.cfg.fmt in
   let imm v = Bitvec.create ~width:w v in
   let exec_alu op rd r1 b2 =
+    t.on_alu_op op (reg t r1) b2;
     match t.alu_unit with
     | None -> set_reg t rd (Alu.golden ~width:w op (reg t r1) b2)
     | Some u -> alu_issue t u op (reg t r1) b2 rd
   in
   let exec_fpu_arith op fd f1 f2 =
+    t.on_fpu_op op (freg t f1) (freg t f2);
     match t.fpu_unit with
     | None ->
       let r, fl = Softfloat.apply t.cfg.fmt op (freg t f1) (freg t f2) in
@@ -352,6 +360,7 @@ let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t (prog : Isa.
     | Some u -> fpu_issue t u op (freg t f1) (freg t f2) fd
   in
   let exec_fpu_cmp op rd f1 f2 =
+    t.on_fpu_op op (freg t f1) (freg t f2);
     match t.fpu_unit with
     | None ->
       let r, fl = Softfloat.apply t.cfg.fmt op (freg t f1) (freg t f2) in

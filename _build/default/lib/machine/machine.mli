@@ -45,11 +45,26 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 type t
 
-val create : ?config:config -> ?profile_units:bool -> alu:alu_backend -> fpu:fpu_backend -> unit -> t
+val create :
+  ?config:config ->
+  ?profile_units:bool ->
+  ?on_alu_op:(Alu.op -> Bitvec.t -> Bitvec.t -> unit) ->
+  ?on_fpu_op:(Fpu_format.op -> Bitvec.t -> Bitvec.t -> unit) ->
+  alu:alu_backend ->
+  fpu:fpu_backend ->
+  unit ->
+  t
 (** @raise Invalid_argument if a netlist backend's ports do not match the
     configured width/format.  With [profile_units], netlist units carry
     signal-probability counters (see {!alu_sim}/{!fpu_sim}) — the
-    Signal Probability Simulation hookup of phase one. *)
+    Signal Probability Simulation hookup of phase one.
+
+    [on_alu_op]/[on_fpu_op] observe every operation entering the
+    corresponding unit — including the branch comparisons the machine
+    routes through the ALU — regardless of backend.  They let a functional
+    run record the exact unit operation stream that a netlist-backed run
+    would execute, which is how {!Vega}'s batched SP profiling replays a
+    workload onto the word-parallel simulator. *)
 
 val config : t -> config
 

@@ -1,1 +1,1 @@
-lib/sim/power.ml: Array Buffer Cell Hashtbl List Netlist Printf Sim
+lib/sim/power.ml: Array Buffer Cell Hashtbl List Netlist Printf Sim Sim_intf

@@ -1,1 +1,1 @@
-lib/sim/power.mli: Cell Sim
+lib/sim/power.mli: Cell Sim Sim_intf

@@ -1,0 +1,1 @@
+lib/sim/sim64.ml: Array Bitvec Bytes Cell Char List Netlist Printf Random Sys

@@ -1,0 +1,1 @@
+lib/sim/sim64.mli: Bitvec Netlist Random Sim_intf

@@ -1,1 +1,1 @@
-lib/sim/vcd.ml: Array Bitvec Buffer Char List Netlist Printf Sim String
+lib/sim/vcd.ml: Array Bitvec Buffer Char List Netlist Printf Sim Sim_intf String

@@ -1,1 +1,1 @@
-lib/sim/vcd.mli: Bitvec Netlist Sim
+lib/sim/vcd.mli: Bitvec Netlist Sim Sim_intf

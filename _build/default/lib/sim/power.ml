@@ -14,22 +14,22 @@ type report = {
   by_kind : kind_row list;
 }
 
-let analyze lib sim ~clock_mhz =
-  let nl = Sim.netlist sim in
+let analyze_engine (type s) (module E : Sim_intf.S with type t = s) lib (sim : s) ~clock_mhz =
+  let nl = E.netlist sim in
   let rows = Hashtbl.create 16 in
   let dynamic = ref 0.0 in
   Array.iter
     (fun (c : Netlist.cell) ->
       let phys = Cell.Library.physical lib c.kind in
       let elec = Cell.Library.electrical lib c.kind in
-      let sp = Sim.sp sim c.output in
+      let sp = E.sp sim c.output in
       let leak =
         (sp *. phys.Cell.leakage_nw_at_1) +. ((1.0 -. sp) *. phys.Cell.leakage_nw_at_0)
       in
       (* fF * V^2 * MHz = nW *)
       dynamic :=
         !dynamic
-        +. (Sim.toggle_rate sim c.output *. elec.Cell.cload_ff *. elec.Cell.vdd *. elec.Cell.vdd
+        +. (E.toggle_rate sim c.output *. elec.Cell.cload_ff *. elec.Cell.vdd *. elec.Cell.vdd
            *. clock_mhz);
       let prev =
         match Hashtbl.find_opt rows c.kind with
@@ -55,6 +55,8 @@ let analyze lib sim ~clock_mhz =
     clock_mhz;
     by_kind;
   }
+
+let analyze lib sim ~clock_mhz = analyze_engine (module Sim) lib sim ~clock_mhz
 
 let render r =
   let buf = Buffer.create 512 in

@@ -84,9 +84,9 @@ let sample_sp t =
     t.samples <- t.samples + 1
   end
 
-let step t =
+let step ?(sample = true) t =
   settle t;
-  sample_sp t;
+  if sample then sample_sp t;
   let cells = Netlist.cells t.netlist in
   let dffs = Netlist.dffs t.netlist in
   (* Two-phase edge: latch all D values, then update all Qs. *)

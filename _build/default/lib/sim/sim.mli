@@ -36,9 +36,13 @@ val settle : t -> unit
 (** Propagate the current input and register values through the
     combinational logic (no clock edge). *)
 
-val step : t -> unit
+val step : ?sample:bool -> t -> unit
 (** One full clock cycle: settle, sample SP counters, clock edge (DFFs
-    capture), settle again so outputs reflect the post-edge state. *)
+    capture), settle again so outputs reflect the post-edge state.
+    [~sample:false] suppresses the SP/toggle sampling for this cycle (the
+    cycle neither counts toward the totals nor updates the toggle-reference
+    values) — used for pipeline warm-up cycles that should not pollute a
+    profile. *)
 
 val hold_clock : t -> unit
 (** Like {!step} but with the circuit clock gated off: combinational logic

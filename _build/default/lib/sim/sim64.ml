@@ -1,0 +1,401 @@
+(* Word-parallel ("parallel-pattern") gate-level simulation, PPSFP-style:
+   every net holds one native int whose bits are independent simulation
+   lanes, so a single land/lor/lxor evaluates [lanes] patterns at once and
+   the SP/toggle counters accumulate via popcount instead of per-bit
+   branches.
+
+   Words are treated strictly as bit patterns: only land/lor/lxor/lnot/lsr
+   touch them (never asr, never arithmetic), so the top (sign) bit is an
+   ordinary lane.  [lnot] flips all [Sys.int_size] value bits, which is why
+   no per-gate masking is needed: every bit of the word IS a lane. *)
+
+let lanes = Sys.int_size
+let all_lanes = -1 (* as a bit pattern: every lane bit set *)
+
+let mask_of_count n =
+  if n < 0 then invalid_arg "Sim64.mask_of_count: negative count"
+  else if n >= lanes then all_lanes
+  else (1 lsl n) - 1
+
+(* 16-bit-table popcount over the full native word.  SWAR constants such as
+   0x5555555555555555 do not fit in a 63-bit literal, so a lookup table it
+   is; four probes per word, still far cheaper than 63 branches. *)
+let pop_table =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x = if x = 0 then 0 else (x land 1) + count (x lsr 1) in
+    Bytes.unsafe_set t i (Char.unsafe_chr (count i))
+  done;
+  t
+
+let popcount x =
+  (* [lsr] on the 63-bit int leaves the top chunk below 2^15, in range. *)
+  Bytes.get_uint8 pop_table (x land 0xffff)
+  + Bytes.get_uint8 pop_table ((x lsr 16) land 0xffff)
+  + Bytes.get_uint8 pop_table ((x lsr 32) land 0xffff)
+  + Bytes.get_uint8 pop_table (x lsr 48)
+
+let random_word rng =
+  (* 63 independent random bits *)
+  Random.State.bits rng
+  lor (Random.State.bits rng lsl 30)
+  lor ((Random.State.bits rng land 0x7) lsl 60)
+
+(* Combinational cells are compiled once into a flat "program" (parallel
+   arrays of int opcodes and net indices in topo order) so the settle loop
+   is a single tight pass with an integer dispatch — no per-cell closure,
+   no scratch-buffer copying, no [Cell.Kind.eval] arity checks. *)
+let op_tie0 = 0
+
+and op_tie1 = 1
+
+and op_buf = 2
+
+and op_not = 3
+
+and op_and2 = 4
+
+and op_or2 = 5
+
+and op_xor2 = 6
+
+and op_nand2 = 7
+
+and op_nor2 = 8
+
+and op_xnor2 = 9
+
+and op_mux2 = 10
+
+let opcode_of_kind : Cell.Kind.t -> int = function
+  | Cell.Kind.Tie0 -> op_tie0
+  | Cell.Kind.Tie1 -> op_tie1
+  | Cell.Kind.Buf -> op_buf
+  | Cell.Kind.Not -> op_not
+  | Cell.Kind.And2 -> op_and2
+  | Cell.Kind.Or2 -> op_or2
+  | Cell.Kind.Xor2 -> op_xor2
+  | Cell.Kind.Nand2 -> op_nand2
+  | Cell.Kind.Nor2 -> op_nor2
+  | Cell.Kind.Xnor2 -> op_xnor2
+  | Cell.Kind.Mux2 -> op_mux2
+  | Cell.Kind.Dff -> invalid_arg "Sim64: Dff is not a combinational opcode"
+
+type t = {
+  netlist : Netlist.t;
+  values : int array;  (* indexed by net; one lane per bit *)
+  ones : int array;  (* SP counters; empty when profiling is off *)
+  toggles : int array;  (* transition counters; empty when profiling is off *)
+  prev : int array;  (* previous sampled words, for toggle counting *)
+  mutable lane_samples : int;  (* sum of active-lane counts over sampled cycles *)
+  mutable toggle_slots : int;  (* same, excluding each run's first sampled cycle *)
+  mutable cycles_sampled : int;
+  mutable cycle : int;
+  mutable active : int;  (* lane mask applied when sampling the counters *)
+  prog_op : int array;  (* compiled topo-order combinational program *)
+  prog_in0 : int array;
+  prog_in1 : int array;
+  prog_in2 : int array;
+  prog_out : int array;
+  dff_d : int array;  (* D input net per DFF *)
+  dff_q : int array;  (* Q output net per DFF *)
+  dff_reset : int array;  (* reset word per DFF: 0 or all-lanes *)
+  edge_buf : int array;  (* captured D words; avoids per-edge allocation *)
+}
+
+let netlist t = t.netlist
+
+let compile netlist =
+  let cells = Netlist.cells netlist in
+  let topo = Netlist.topo_order netlist in
+  let n = Array.length topo in
+  let prog_op = Array.make n 0
+  and prog_in0 = Array.make n 0
+  and prog_in1 = Array.make n 0
+  and prog_in2 = Array.make n 0
+  and prog_out = Array.make n 0 in
+  Array.iteri
+    (fun i id ->
+      let c = cells.(id) in
+      prog_op.(i) <- opcode_of_kind c.Netlist.kind;
+      let arity = Array.length c.inputs in
+      if arity > 0 then prog_in0.(i) <- c.inputs.(0);
+      if arity > 1 then prog_in1.(i) <- c.inputs.(1);
+      if arity > 2 then prog_in2.(i) <- c.inputs.(2);
+      prog_out.(i) <- c.output)
+    topo;
+  (prog_op, prog_in0, prog_in1, prog_in2, prog_out)
+
+let settle t =
+  let v = t.values in
+  let op = t.prog_op
+  and i0 = t.prog_in0
+  and i1 = t.prog_in1
+  and i2 = t.prog_in2
+  and out = t.prog_out in
+  let n = Array.length op in
+  for i = 0 to n - 1 do
+    let r =
+      match op.(i) with
+      | 0 (* Tie0 *) -> 0
+      | 1 (* Tie1 *) -> all_lanes
+      | 2 (* Buf *) -> v.(i0.(i))
+      | 3 (* Not *) -> lnot v.(i0.(i))
+      | 4 (* And2 *) -> v.(i0.(i)) land v.(i1.(i))
+      | 5 (* Or2 *) -> v.(i0.(i)) lor v.(i1.(i))
+      | 6 (* Xor2 *) -> v.(i0.(i)) lxor v.(i1.(i))
+      | 7 (* Nand2 *) -> lnot (v.(i0.(i)) land v.(i1.(i)))
+      | 8 (* Nor2 *) -> lnot (v.(i0.(i)) lor v.(i1.(i)))
+      | 9 (* Xnor2 *) -> lnot (v.(i0.(i)) lxor v.(i1.(i)))
+      | 10 (* Mux2: inputs.(2) selects between inputs.(0) and inputs.(1) *) ->
+        let s = v.(i2.(i)) in
+        (v.(i1.(i)) land s) lor (v.(i0.(i)) land lnot s)
+      | _ -> assert false
+    in
+    v.(out.(i)) <- r
+  done
+
+(* The trailing [settle] leaves every net consistent, mirroring [Sim]. *)
+let reset t =
+  Array.fill t.values 0 (Array.length t.values) 0;
+  if Array.length t.ones > 0 then begin
+    Array.fill t.ones 0 (Array.length t.ones) 0;
+    Array.fill t.toggles 0 (Array.length t.toggles) 0;
+    Array.fill t.prev 0 (Array.length t.prev) 0
+  end;
+  t.lane_samples <- 0;
+  t.toggle_slots <- 0;
+  t.cycles_sampled <- 0;
+  t.cycle <- 0;
+  t.active <- all_lanes;
+  for i = 0 to Array.length t.dff_q - 1 do
+    t.values.(t.dff_q.(i)) <- t.dff_reset.(i)
+  done;
+  settle t
+
+let create ?(profile = false) netlist =
+  let n = Netlist.num_nets netlist in
+  let cells = Netlist.cells netlist in
+  let dff_ids = Array.of_list (Netlist.dffs netlist) in
+  let nd = Array.length dff_ids in
+  let prog_op, prog_in0, prog_in1, prog_in2, prog_out = compile netlist in
+  let t =
+    {
+      netlist;
+      values = Array.make (max n 1) 0;
+      ones = (if profile then Array.make (max n 1) 0 else [||]);
+      toggles = (if profile then Array.make (max n 1) 0 else [||]);
+      prev = (if profile then Array.make (max n 1) 0 else [||]);
+      lane_samples = 0;
+      toggle_slots = 0;
+      cycles_sampled = 0;
+      cycle = 0;
+      active = all_lanes;
+      prog_op;
+      prog_in0;
+      prog_in1;
+      prog_in2;
+      prog_out;
+      dff_d = Array.map (fun id -> cells.(id).Netlist.inputs.(0)) dff_ids;
+      dff_q = Array.map (fun id -> cells.(id).Netlist.output) dff_ids;
+      dff_reset =
+        Array.map (fun id -> if cells.(id).Netlist.reset_value then all_lanes else 0) dff_ids;
+      edge_buf = Array.make (max nd 1) 0;
+    }
+  in
+  reset t;
+  t
+
+let check_lane fn lane =
+  if lane < 0 || lane >= lanes then
+    invalid_arg (Printf.sprintf "Sim64.%s: lane %d out of range [0, %d)" fn lane lanes)
+
+let set_active_mask t m = t.active <- m
+let active_mask t = t.active
+
+let set_input_words t port words =
+  let p = Netlist.find_input t.netlist port in
+  let width = Array.length p.port_nets in
+  if Array.length words <> width then
+    invalid_arg
+      (Printf.sprintf "Sim64.set_input_words: port %s has width %d, got %d words" port width
+         (Array.length words));
+  Array.iteri (fun i n -> t.values.(n) <- words.(i)) p.port_nets
+
+let set_input_all t port v =
+  let p = Netlist.find_input t.netlist port in
+  let width = Array.length p.port_nets in
+  if Bitvec.width v <> width then
+    invalid_arg
+      (Printf.sprintf "Sim64.set_input_all: port %s has width %d, value has width %d" port width
+         (Bitvec.width v));
+  Array.iteri (fun i n -> t.values.(n) <- (if Bitvec.bit v i then all_lanes else 0)) p.port_nets
+
+let set_input t ~lane port v =
+  check_lane "set_input" lane;
+  let p = Netlist.find_input t.netlist port in
+  let width = Array.length p.port_nets in
+  if Bitvec.width v <> width then
+    invalid_arg
+      (Printf.sprintf "Sim64.set_input: port %s has width %d, value has width %d" port width
+         (Bitvec.width v));
+  let bit = 1 lsl lane in
+  Array.iteri
+    (fun i n ->
+      if Bitvec.bit v i then t.values.(n) <- t.values.(n) lor bit
+      else t.values.(n) <- t.values.(n) land lnot bit)
+    p.port_nets
+
+let set_input_bit t ~lane port bit v =
+  check_lane "set_input_bit" lane;
+  let p = Netlist.find_input t.netlist port in
+  if bit < 0 || bit >= Array.length p.port_nets then
+    invalid_arg (Printf.sprintf "Sim64.set_input_bit: port %s has no bit %d" port bit);
+  let m = 1 lsl lane in
+  let n = p.port_nets.(bit) in
+  if v then t.values.(n) <- t.values.(n) lor m else t.values.(n) <- t.values.(n) land lnot m
+
+let sample_sp t =
+  if Array.length t.ones > 0 then begin
+    let m = t.active in
+    let lanes_here = popcount m in
+    if lanes_here > 0 then begin
+      let count_toggles = t.cycles_sampled > 0 in
+      for n = 0 to Array.length t.values - 1 do
+        let v = t.values.(n) in
+        t.ones.(n) <- t.ones.(n) + popcount (v land m);
+        if count_toggles then t.toggles.(n) <- t.toggles.(n) + popcount ((v lxor t.prev.(n)) land m);
+        (* inactive lanes keep their toggle-reference value *)
+        t.prev.(n) <- v land m lor (t.prev.(n) land lnot m)
+      done;
+      t.lane_samples <- t.lane_samples + lanes_here;
+      if count_toggles then t.toggle_slots <- t.toggle_slots + lanes_here;
+      t.cycles_sampled <- t.cycles_sampled + 1
+    end
+  end
+
+let step ?(sample = true) t =
+  settle t;
+  if sample then sample_sp t;
+  let nd = Array.length t.dff_d in
+  (* Two-phase edge: latch all D words, then update all Qs. *)
+  for i = 0 to nd - 1 do
+    t.edge_buf.(i) <- t.values.(t.dff_d.(i))
+  done;
+  for i = 0 to nd - 1 do
+    t.values.(t.dff_q.(i)) <- t.edge_buf.(i)
+  done;
+  t.cycle <- t.cycle + 1;
+  settle t
+
+let hold_clock t =
+  settle t;
+  sample_sp t
+
+let cycle t = t.cycle
+let net_word t n = t.values.(n)
+
+let net t ~lane n =
+  check_lane "net" lane;
+  (t.values.(n) lsr lane) land 1 = 1
+
+let port_words t (p : Netlist.port) = Array.map (fun n -> t.values.(n)) p.port_nets
+
+let port_value t lane (p : Netlist.port) =
+  let width = Array.length p.port_nets in
+  let v = ref (Bitvec.zero width) in
+  Array.iteri
+    (fun i n -> if (t.values.(n) lsr lane) land 1 = 1 then v := Bitvec.set_bit !v i true)
+    p.port_nets;
+  !v
+
+let output_words t port = port_words t (Netlist.find_output t.netlist port)
+
+let output t ~lane port =
+  check_lane "output" lane;
+  port_value t lane (Netlist.find_output t.netlist port)
+
+let input_value t ~lane port =
+  check_lane "input_value" lane;
+  port_value t lane (Netlist.find_input t.netlist port)
+
+let peek_cell_word t name =
+  let c = Netlist.find_cell t.netlist name in
+  t.values.(c.output)
+
+let check_profiling t =
+  if Array.length t.ones = 0 then
+    invalid_arg "Sim64: simulator was created without ~profile:true";
+  if t.lane_samples = 0 then invalid_arg "Sim64: no cycles sampled yet"
+
+let sp t n =
+  check_profiling t;
+  float_of_int t.ones.(n) /. float_of_int t.lane_samples
+
+let sp_of_cell t name =
+  let c = Netlist.find_cell t.netlist name in
+  sp t c.output
+
+let sp_profile t =
+  check_profiling t;
+  Array.to_list (Netlist.cells t.netlist)
+  |> List.map (fun (c : Netlist.cell) -> (c.name, sp t c.output))
+
+let toggle_rate t n =
+  check_profiling t;
+  if t.toggle_slots = 0 then 0.0
+  else float_of_int t.toggles.(n) /. float_of_int t.toggle_slots
+
+let samples t = t.lane_samples
+let cycles_sampled t = t.cycles_sampled
+
+let ones_count t n =
+  if Array.length t.ones = 0 then
+    invalid_arg "Sim64: simulator was created without ~profile:true";
+  t.ones.(n)
+
+let toggles_count t n =
+  if Array.length t.toggles = 0 then
+    invalid_arg "Sim64: simulator was created without ~profile:true";
+  t.toggles.(n)
+
+let run_random ?(seed = 0x5eed) t ~cycles =
+  let rng = Random.State.make [| seed |] in
+  let ports = Netlist.inputs t.netlist in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (p : Netlist.port) ->
+        Array.iter (fun n -> t.values.(n) <- random_word rng) p.port_nets)
+      ports;
+    step t
+  done
+
+(* A single-lane, scalar-typed view of one engine, satisfying the shared
+   engine signature so Vcd/Power consumers can drive a Sim64 directly.
+   [reset]/[settle]/[step]/[hold_clock] act on the WHOLE engine (all lanes
+   share the one clock); [sp]/[toggle_rate]/[samples] report the aggregate
+   over active lanes, which is exactly what a power/profile consumer
+   wants from a parallel-pattern run. *)
+module Lane = struct
+  type sim64 = t
+  type t = { sim : sim64; lane : int }
+
+  let netlist v = netlist v.sim
+  let reset v = reset v.sim
+  let set_input v port value = set_input v.sim ~lane:v.lane port value
+  let set_input_bit v port bit value = set_input_bit v.sim ~lane:v.lane port bit value
+  let settle v = settle v.sim
+  let step ?sample v = step ?sample v.sim
+  let hold_clock v = hold_clock v.sim
+  let cycle v = cycle v.sim
+  let net v n = net v.sim ~lane:v.lane n
+  let output v port = output v.sim ~lane:v.lane port
+  let sp v n = sp v.sim n
+  let sp_of_cell v name = sp_of_cell v.sim name
+  let toggle_rate v n = toggle_rate v.sim n
+  let samples v = samples v.sim
+end
+
+let lane_view t lane =
+  check_lane "lane_view" lane;
+  { Lane.sim = t; lane }

@@ -46,3 +46,14 @@ val of_sim_run :
   string
 (** Drive a simulator like {!Sim.run} while dumping the listed net groups
     (default: every input and output port) one time-unit per cycle. *)
+
+val of_engine_run :
+  (module Sim_intf.S with type t = 's) ->
+  ?nets:(string * Netlist.net list) list ->
+  's ->
+  cycles:int ->
+  stimulus:(int -> (string * Bitvec.t) list) ->
+  string
+(** Engine-generic {!of_sim_run}: same dump over any engine satisfying the
+    shared signature — e.g. [(module Sim64.Lane)] with a {!Sim64.lane_view}
+    to dump one lane of a parallel-pattern run. *)

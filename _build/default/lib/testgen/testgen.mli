@@ -19,3 +19,10 @@ val random_fpu_suite : ?seed:int -> fmt:Fpu_format.fmt -> cases:int -> unit -> L
 val matched_suite : ?seed:int -> Lift.suite -> Lift.suite
 (** A random suite size-matched to an existing Vega suite (same module,
     same number of cases) — the construction used for Table 7. *)
+
+val random_baseline_detection : ?seed:int -> runs:int -> Lift.suite -> Netlist.t -> float
+(** Table-7-style baseline on the word-parallel fast path: the fraction of
+    [runs] size-matched random suites (seeds derived deterministically
+    from [seed]) that detect the fault in [faulty], evaluated at netlist
+    level via {!Lift.detects} — no machine in the loop, so wide sweeps are
+    cheap.  @raise Invalid_argument if [runs <= 0]. *)

@@ -28,19 +28,22 @@ type analysis = {
   sp_samples : int;
 }
 
-let machine_for ?(profile_units = false) (target : Lift.target) =
+let unit_config (target : Lift.target) =
   match target.Lift.kind with
   | Lift.Alu_module { width } ->
     let fmt = if width >= 16 then Fpu_format.binary16 else Fpu_format.tiny in
-    Machine.create
-      ~config:{ Machine.default_config with Machine.width; fmt }
-      ~profile_units
-      ~alu:(Machine.Alu_netlist target.Lift.netlist) ~fpu:Machine.Fpu_functional ()
+    { Machine.default_config with Machine.width; fmt }
   | Lift.Fpu_module { fmt } ->
-    let width = max 16 (Fpu_format.width fmt) in
-    Machine.create
-      ~config:{ Machine.default_config with Machine.width; fmt }
-      ~profile_units ~alu:Machine.Alu_functional
+    { Machine.default_config with Machine.width = max 16 (Fpu_format.width fmt); fmt }
+
+let machine_for ?(profile_units = false) (target : Lift.target) =
+  let config = unit_config target in
+  match target.Lift.kind with
+  | Lift.Alu_module _ ->
+    Machine.create ~config ~profile_units
+      ~alu:(Machine.Alu_netlist target.Lift.netlist) ~fpu:Machine.Fpu_functional ()
+  | Lift.Fpu_module _ ->
+    Machine.create ~config ~profile_units ~alu:Machine.Alu_functional
       ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
 
 (* A mixed arithmetic sweep used when no real workload is supplied: walks
@@ -74,17 +77,140 @@ let run_minver_workload m =
   Machine.reset m;
   ignore (Machine.run m prog)
 
-let aging_analysis ?(config = default_phase1) (target : Lift.target) ~workload =
-  let nl = target.Lift.netlist in
-  let m = machine_for ~profile_units:true target in
-  workload m;
-  let unit_sim =
+(* ---- batched SP profiling (word-parallel) ----------------------------
+
+   Scalar profiling pays one full netlist evaluation per workload cycle.
+   The batched engine instead records the unit's operation stream from a
+   purely functional run (via the machine's [on_alu_op]/[on_fpu_op] hooks,
+   which fire identically for functional and netlist backends), splits the
+   stream across [Sim64.lanes] lanes, and replays all lanes at once on the
+   word-parallel simulator — each lane preceded by [latency] unsampled
+   warm-up steps so its pipeline registers hold exactly what a sequential
+   replay would hold entering its chunk.  Ones-counts are exact w.r.t. a
+   sequential replay of the same stream; the profile deliberately ignores
+   the machine's inter-unit bubbles and drain cycles (it is the SP of the
+   unit under back-to-back load), which is the documented semantic
+   difference from [Scalar_profile]. *)
+
+type profile_engine = Scalar_profile | Batched_profile
+
+let idle_assignment (target : Lift.target) =
+  match target.Lift.kind with
+  | Lift.Alu_module { width } ->
+    [ (Alu.op_port, Bitvec.zero 4); (Alu.a_port, Bitvec.zero width); (Alu.b_port, Bitvec.zero width) ]
+  | Lift.Fpu_module { fmt } ->
+    let w = Fpu_format.width fmt in
+    [
+      (Fpu.op_port, Bitvec.zero 3);
+      (Fpu.a_port, Bitvec.zero w);
+      (Fpu.b_port, Bitvec.zero w);
+      (Fpu.in_valid_port, Bitvec.zero 1);
+    ]
+
+let recorded_unit_ops (target : Lift.target) ~workload =
+  let ops = ref [] in
+  let on_alu_op, on_fpu_op =
     match target.Lift.kind with
-    | Lift.Alu_module _ -> Option.get (Machine.alu_sim m)
-    | Lift.Fpu_module _ -> Option.get (Machine.fpu_sim m)
+    | Lift.Alu_module _ ->
+      ( (fun op a b ->
+          ops :=
+            [
+              (Alu.op_port, Bitvec.create ~width:4 (Alu.op_code op));
+              (Alu.a_port, a);
+              (Alu.b_port, b);
+            ]
+            :: !ops),
+        fun _ _ _ -> () )
+    | Lift.Fpu_module _ ->
+      ( (fun _ _ _ -> ()),
+        fun op a b ->
+          ops :=
+            [
+              (Fpu.op_port, Bitvec.create ~width:3 (Fpu_format.op_code op));
+              (Fpu.a_port, a);
+              (Fpu.b_port, b);
+              (Fpu.in_valid_port, Bitvec.create ~width:1 1);
+            ]
+            :: !ops )
   in
-  let sp_samples = Sim.samples unit_sim in
-  let sp_of_net n = if sp_samples = 0 then config.sp_fallback else Sim.sp unit_sim n in
+  let m =
+    Machine.create ~config:(unit_config target) ~on_alu_op ~on_fpu_op ~alu:Machine.Alu_functional
+      ~fpu:Machine.Fpu_functional ()
+  in
+  workload m;
+  Array.of_list (List.rev !ops)
+
+let replay_unit_ops (target : Lift.target) ops =
+  let n = Array.length ops in
+  if n = 0 then None
+  else begin
+    let latency =
+      match target.Lift.kind with
+      | Lift.Alu_module _ -> Alu.latency
+      | Lift.Fpu_module _ -> Fpu.latency
+    in
+    let idle = idle_assignment target in
+    let s64 = Sim64.create ~profile:true target.Lift.netlist in
+    let nlanes = min Sim64.lanes n in
+    let chunk = (n + nlanes - 1) / nlanes in
+    (* lane [l] replays operations [l*chunk .. min ((l+1)*chunk, n) - 1] *)
+    let assignment lane s =
+      let i = (lane * chunk) + s in
+      if lane < nlanes && i >= 0 && i < n then ops.(i) else idle
+    in
+    let drive s =
+      List.iter
+        (fun (pname, zero) ->
+          let width = Bitvec.width zero in
+          let words = Array.make width 0 in
+          for lane = 0 to nlanes - 1 do
+            let v = try List.assoc pname (assignment lane s) with Not_found -> zero in
+            for bit = 0 to width - 1 do
+              if Bitvec.bit v bit then words.(bit) <- words.(bit) lor (1 lsl lane)
+            done
+          done;
+          Sim64.set_input_words s64 pname words)
+        idle
+    in
+    for s = -latency to -1 do
+      drive s;
+      Sim64.step ~sample:false s64
+    done;
+    for s = 0 to chunk - 1 do
+      let m = ref 0 in
+      for lane = 0 to nlanes - 1 do
+        if (lane * chunk) + s < n then m := !m lor (1 lsl lane)
+      done;
+      Sim64.set_active_mask s64 !m;
+      drive s;
+      Sim64.step s64
+    done;
+    Some s64
+  end
+
+let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target : Lift.target)
+    ~workload =
+  let nl = target.Lift.netlist in
+  let sp_samples, profiled_sp =
+    match engine with
+    | Scalar_profile ->
+      let m = machine_for ~profile_units:true target in
+      workload m;
+      let unit_sim =
+        match target.Lift.kind with
+        | Lift.Alu_module _ -> Option.get (Machine.alu_sim m)
+        | Lift.Fpu_module _ -> Option.get (Machine.fpu_sim m)
+      in
+      let s = Sim.samples unit_sim in
+      (s, if s = 0 then None else Some (Sim.sp unit_sim))
+    | Batched_profile -> (
+      match replay_unit_ops target (recorded_unit_ops target ~workload) with
+      | None -> (0, None)
+      | Some s64 -> (Sim64.samples s64, Some (Sim64.sp s64)))
+  in
+  let sp_of_net =
+    match profiled_sp with None -> fun _ -> config.sp_fallback | Some f -> f
+  in
   let aglib = Aging.Timing_library.build Cell.Library.c28 in
   (* target clock: fresh critical path plus the signoff margin *)
   let fresh_timing =

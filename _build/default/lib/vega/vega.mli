@@ -46,14 +46,43 @@ type analysis = {
   sp_samples : int;  (** profiling samples behind the SP data *)
 }
 
+(** How phase one collects the SP profile.
+
+    [Scalar_profile] (the reference): run the workload on a machine whose
+    analyzed unit is the profiled scalar netlist simulator — the profile
+    sees every unit cycle, including inter-unit bubbles and drains.
+
+    [Batched_profile] (the fast path): record the unit's operation stream
+    from a purely functional run, then replay it split across
+    [Sim64.lanes] lanes of the word-parallel simulator, each lane warmed
+    up for the unit's pipeline latency.  Ones-counts are exact w.r.t. a
+    sequential back-to-back replay of the same stream; pacing effects
+    (bubbles between unit operations) are deliberately not modeled, and
+    toggle counts lose the few transitions that straddle lane-chunk
+    boundaries. *)
+type profile_engine = Scalar_profile | Batched_profile
+
 val aging_analysis :
+  ?engine:profile_engine ->
   ?config:phase1_config ->
   Lift.target ->
   workload:(Machine.t -> unit) ->
   analysis
 (** Phase one.  [workload] drives a machine whose analyzed unit is the
     profiled gate-level netlist (e.g. run the minver kernel); the machine's
-    other unit is functional. *)
+    other unit is functional.  [engine] defaults to [Scalar_profile]. *)
+
+val recorded_unit_ops :
+  Lift.target -> workload:(Machine.t -> unit) -> (string * Bitvec.t) list array
+(** The per-operation input assignments the workload feeds the target unit
+    (one entry per operation, in program order), recorded from a functional
+    run via the machine's operation hooks — the stream [Batched_profile]
+    replays.  Exposed for differential testing and custom sweeps. *)
+
+val replay_unit_ops : Lift.target -> (string * Bitvec.t) list array -> Sim64.t option
+(** Replay a recorded operation stream onto the target netlist across the
+    word-parallel simulator's lanes, profiled; [None] on an empty
+    stream. *)
 
 val run_minver_workload : Machine.t -> unit
 (** The default representative workload: the minver-style kernel is not

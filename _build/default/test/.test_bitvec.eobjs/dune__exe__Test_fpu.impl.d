@@ -1,1 +1,1 @@
-test/test_fpu.ml: Alcotest Bitvec Float Formal Fpu Fpu_format List Netlist Option Printf QCheck QCheck_alcotest Sim Softfloat
+test/test_fpu.ml: Alcotest Bitvec Float Formal Fpu Fpu_format List Netlist Option Printf QCheck QCheck_alcotest Sim Sim64 Softfloat String

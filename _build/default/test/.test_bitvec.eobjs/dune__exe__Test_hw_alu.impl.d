@@ -1,1 +1,1 @@
-test/test_hw_alu.ml: Alcotest Alu Array Bitvec Cell Clock_tree Float Formal Hw List Netlist Option Printf QCheck QCheck_alcotest Sim Sta
+test/test_hw_alu.ml: Alcotest Alu Array Bitvec Cell Clock_tree Float Formal Hw List Netlist Option Printf QCheck QCheck_alcotest Sim Sim64 Sta String

@@ -1,0 +1,1 @@
+test/test_sim64.ml: Alcotest Array Bitvec Cell Example_circuits Float List Netlist Power Printf QCheck QCheck_alcotest Random Sim Sim64 Sys Vcd

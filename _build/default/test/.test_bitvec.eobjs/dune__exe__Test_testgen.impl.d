@@ -1,0 +1,1 @@
+test/test_testgen.ml: Alcotest Array Fault Fpu_format Fun Lift List Printf Testgen

@@ -1,1 +1,1 @@
-test/test_vcd.ml: Alcotest Bitvec Example_circuits Fault Formal List Printf Sim String Vcd
+test/test_vcd.ml: Alcotest Bitvec Example_circuits Fault Filename Formal List Printf Sim String Sys Vcd

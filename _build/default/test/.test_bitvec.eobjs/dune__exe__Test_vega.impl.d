@@ -1,1 +1,1 @@
-test/test_vega.ml: Alcotest Clock_tree Experiments Float Formal Lift List Machine Printf Sta String Vega
+test/test_vega.ml: Alcotest Alu Array Bitvec Clock_tree Experiments Float Formal Lift List Machine Netlist Printf Sim Sim64 Sta String Vega

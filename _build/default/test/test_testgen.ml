@@ -1,0 +1,94 @@
+(* Tests for the random-suite generator: seed determinism of the Table 7
+   baselines, and the word-parallel netlist-level detection path
+   (Lift.detected_cases / Testgen.random_baseline_detection). *)
+
+let alu8 = Lift.alu_target ~width:8 ()
+
+(* --- seed determinism --- *)
+
+let test_alu_suite_determinism () =
+  let s1 = Testgen.random_alu_suite ~seed:42 ~width:8 ~cases:20 () in
+  let s2 = Testgen.random_alu_suite ~seed:42 ~width:8 ~cases:20 () in
+  Alcotest.(check bool) "same seed, identical suite" true (s1 = s2);
+  let s3 = Testgen.random_alu_suite ~seed:43 ~width:8 ~cases:20 () in
+  Alcotest.(check bool) "different seed, different cases" false
+    (s1.Lift.suite_cases = s3.Lift.suite_cases)
+
+let test_fpu_suite_determinism () =
+  let mk seed = Testgen.random_fpu_suite ~seed ~fmt:Fpu_format.binary16 ~cases:16 () in
+  Alcotest.(check bool) "same seed, identical suite" true (mk 7 = mk 7);
+  Alcotest.(check bool) "different seed, different cases" false
+    ((mk 7).Lift.suite_cases = (mk 8).Lift.suite_cases)
+
+let test_matched_suite_determinism () =
+  let vega_like = Testgen.random_alu_suite ~seed:1 ~width:8 ~cases:9 () in
+  let m1 = Testgen.matched_suite ~seed:5 vega_like in
+  let m2 = Testgen.matched_suite ~seed:5 vega_like in
+  Alcotest.(check bool) "matched suite deterministic" true (m1 = m2);
+  Alcotest.(check int) "size matched" 9 (List.length m1.Lift.suite_cases);
+  Alcotest.(check bool) "target matched" true
+    (m1.Lift.suite_target = vega_like.Lift.suite_target);
+  let m3 = Testgen.matched_suite ~seed:6 vega_like in
+  Alcotest.(check bool) "reseeded differs" false (m1.Lift.suite_cases = m3.Lift.suite_cases)
+
+(* --- netlist-level detection (Sim64 path) --- *)
+
+(* On the healthy netlist every golden expectation must hold: any mismatch
+   here would mean the word-parallel streaming protocol (retire timing,
+   lane masking, handshake, flags) disagrees with the hardware. *)
+let test_healthy_alu_no_detection () =
+  let suite = Testgen.random_alu_suite ~seed:11 ~width:8 ~cases:100 () in
+  let verdicts = Lift.detected_cases suite alu8.Lift.netlist in
+  Alcotest.(check int) "verdict per case" 100 (Array.length verdicts);
+  Alcotest.(check bool) "healthy ALU passes all cases" false (Array.exists Fun.id verdicts)
+
+let test_healthy_fpu_no_detection () =
+  let fpu = Lift.fpu_target ~fmt:Fpu_format.binary16 () in
+  let suite = Testgen.random_fpu_suite ~seed:12 ~fmt:Fpu_format.binary16 ~cases:60 () in
+  Alcotest.(check bool) "healthy FPU passes all cases" false
+    (Lift.detects suite fpu.Lift.netlist)
+
+(* Each lifted test case replays the formal trace that provably diverges
+   on the r port, so it must detect its own failing netlist. *)
+let test_lifted_suite_detects_own_fault () =
+  let r = Lift.lift_pair alu8 ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation in
+  Alcotest.(check bool) "pair lifted" true (r.Lift.cases <> []);
+  let suite = Lift.suite_of_results alu8.Lift.kind [ r ] in
+  List.iter
+    (fun ((spec : Fault.spec), outcome) ->
+      match outcome with
+      | Lift.Constructed _ ->
+        let faulty = Fault.failing_netlist alu8.Lift.netlist spec in
+        Alcotest.(check bool)
+          (Printf.sprintf "detects %s" (Fault.describe spec))
+          true (Lift.detects suite faulty)
+      | _ -> ())
+    r.Lift.variants
+
+let test_baseline_detection_bounds () =
+  let r = Lift.lift_pair alu8 ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation in
+  let suite = Lift.suite_of_results alu8.Lift.kind [ r ] in
+  let spec = List.hd (List.map fst r.Lift.variants) in
+  let faulty = Fault.failing_netlist alu8.Lift.netlist spec in
+  let rate = Testgen.random_baseline_detection ~seed:3 ~runs:8 suite faulty in
+  Alcotest.(check bool) "rate in [0,1]" true (rate >= 0.0 && rate <= 1.0);
+  let rate' = Testgen.random_baseline_detection ~seed:3 ~runs:8 suite faulty in
+  Alcotest.(check (float 1e-12)) "deterministic under seed" rate rate'
+
+let () =
+  Alcotest.run "testgen"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "random_alu_suite" `Quick test_alu_suite_determinism;
+          Alcotest.test_case "random_fpu_suite" `Quick test_fpu_suite_determinism;
+          Alcotest.test_case "matched_suite" `Quick test_matched_suite_determinism;
+        ] );
+      ( "netlist-level detection",
+        [
+          Alcotest.test_case "healthy ALU" `Quick test_healthy_alu_no_detection;
+          Alcotest.test_case "healthy FPU" `Quick test_healthy_fpu_no_detection;
+          Alcotest.test_case "lifted suite detects" `Quick test_lifted_suite_detects_own_fault;
+          Alcotest.test_case "random baseline" `Quick test_baseline_detection_bounds;
+        ] );
+    ]

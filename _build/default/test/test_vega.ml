@@ -48,6 +48,58 @@ let test_full_workflow () =
   Alcotest.(check int) "classification partitions pairs" (List.length report.Vega.pair_results)
     total
 
+(* --- the batched (word-parallel) profiling path --- *)
+
+let scalar_ones r n =
+  int_of_float (Float.round (Sim.sp r n *. float_of_int (Sim.samples r)))
+
+(* The documented contract of [Batched_profile]: ones-counts are exact
+   w.r.t. a sequential back-to-back replay of the same operation stream
+   (each lane's warm-up replays the preceding ops, so lane boundaries do
+   not perturb the pipeline state the samples observe). *)
+let test_batched_replay_matches_scalar () =
+  let ops = Vega.recorded_unit_ops small_target ~workload:Vega.run_minver_workload in
+  Alcotest.(check bool) "ops recorded" true (Array.length ops > 0);
+  match Vega.replay_unit_ops small_target ops with
+  | None -> Alcotest.fail "replay returned no simulator"
+  | Some s64 ->
+    let nl = small_target.Lift.netlist in
+    let n = Array.length ops in
+    let r = Sim.create ~profile:true nl in
+    let idle = List.map (fun (p, v) -> (p, Bitvec.create ~width:(Bitvec.width v) 0)) ops.(0) in
+    for _ = 1 to Alu.latency do
+      List.iter (fun (p, v) -> Sim.set_input r p v) idle;
+      Sim.step ~sample:false r
+    done;
+    Array.iter
+      (fun assignment ->
+        List.iter (fun (p, v) -> Sim.set_input r p v) assignment;
+        Sim.step r)
+      ops;
+    Alcotest.(check int) "one sample per operation" n (Sim64.samples s64);
+    Alcotest.(check int) "samples match scalar replay" (Sim.samples r) (Sim64.samples s64);
+    let mismatches = ref 0 in
+    for net = 0 to Netlist.num_nets nl - 1 do
+      if Sim64.ones_count s64 net <> scalar_ones r net then incr mismatches
+    done;
+    Alcotest.(check int) "ones-counts exact on every net" 0 !mismatches
+
+let test_batched_engine_analysis () =
+  let a =
+    Vega.aging_analysis ~engine:Vega.Batched_profile ~config:small_phase1 small_target
+      ~workload:Vega.run_minver_workload
+  in
+  Alcotest.(check bool) "sp profiled" true (a.Vega.sp_samples > 0);
+  Alcotest.(check bool) "aged violations appear" true
+    (a.Vega.aged_report.Sta.setup_violations <> []);
+  Alcotest.(check bool) "violating pairs found" true (a.Vega.violating_pairs <> []);
+  let bad = ref 0 in
+  for net = 0 to Netlist.num_nets small_target.Lift.netlist - 1 do
+    let sp = a.Vega.sp_of_net net in
+    if not (sp >= 0.0 && sp <= 1.0) then incr bad
+  done;
+  Alcotest.(check int) "sp is a probability on every net" 0 !bad
+
 let test_machine_for () =
   let m = Vega.machine_for small_target in
   Alcotest.(check int) "width matches" 8 (Machine.config m).Machine.width;
@@ -106,6 +158,11 @@ let () =
           Alcotest.test_case "cell degradation" `Quick test_cell_degradation_range;
           Alcotest.test_case "full workflow" `Quick test_full_workflow;
           Alcotest.test_case "machine_for" `Quick test_machine_for;
+        ] );
+      ( "batched profile",
+        [
+          Alcotest.test_case "replay matches scalar" `Quick test_batched_replay_matches_scalar;
+          Alcotest.test_case "aging analysis" `Quick test_batched_engine_analysis;
         ] );
       ( "experiments",
         [

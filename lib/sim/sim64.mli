@@ -1,0 +1,154 @@
+(** Word-parallel ("64-lane") gate-level simulation.
+
+    A parallel-pattern simulator in the PPSFP tradition: every net holds one
+    native [int] whose bits are {!lanes} independent simulation lanes, so a
+    single bitwise operation evaluates {!lanes} patterns per gate, and the
+    SP/toggle counters accumulate via popcount.  On a 64-bit platform
+    [lanes = Sys.int_size = 63].
+
+    The engine is cycle-for-cycle, lane-for-lane equivalent to the scalar
+    {!Sim} reference model (the differential property suite in
+    [test/test_sim64.ml] is the correctness anchor): lane [k] of a [Sim64]
+    run behaves exactly like a scalar [Sim] fed lane [k]'s stimulus.  All
+    lanes share the one clock — [step]/[hold_clock]/[reset] act on every
+    lane at once.
+
+    Profiling counters aggregate across lanes: {!samples} is the number of
+    (lane, cycle) observations, and {!sp} is ones over that total, so a
+    profiled run of [c] cycles with all lanes active yields the same SP as
+    63 scalar runs of [c] cycles each.  {!set_active_mask} restricts which
+    lanes the counters observe — used for ragged batches where the tail
+    lanes run out of work. *)
+
+type t
+
+val lanes : int
+(** Number of independent simulation lanes per word ([Sys.int_size]; 63 on
+    64-bit platforms). *)
+
+val all_lanes : int
+(** The lane mask with every lane set (as a bit pattern). *)
+
+val mask_of_count : int -> int
+(** [mask_of_count n] is the mask of the first [n] lanes (all of them if
+    [n >= lanes]).  @raise Invalid_argument if [n < 0]. *)
+
+val popcount : int -> int
+(** Number of set bits in a native word (table-driven). *)
+
+val random_word : Random.State.t -> int
+(** A word with {!lanes} independent uniform random bits. *)
+
+val create : ?profile:bool -> Netlist.t -> t
+(** Fresh simulator in the reset state.  The combinational topo order is
+    compiled once into a flat opcode program, so [create] does the work
+    that makes every subsequent {!settle} a single tight pass.  With
+    [profile] (default false), SP counters are attached to every net. *)
+
+val netlist : t -> Netlist.t
+
+val reset : t -> unit
+(** Reset: every DFF returns to its reset value in every lane, counters and
+    the cycle count restart, inputs clear to zero, the active mask returns
+    to {!all_lanes}. *)
+
+(** {1 Driving inputs} *)
+
+val set_input : t -> lane:int -> string -> Bitvec.t -> unit
+(** Drive a primary input port in one lane, leaving the other lanes'
+    values untouched.  Width must match the port.
+    @raise Invalid_argument on width or lane mismatch. *)
+
+val set_input_bit : t -> lane:int -> string -> int -> bool -> unit
+
+val set_input_all : t -> string -> Bitvec.t -> unit
+(** Broadcast one value to every lane of a port. *)
+
+val set_input_words : t -> string -> int array -> unit
+(** Raw fast path: drive a port from per-bit lane words, LSB first —
+    [words.(i)] is the word for port bit [i], lane [k] in bit [k].
+    @raise Invalid_argument if the array length differs from the port
+    width. *)
+
+(** {1 Clocking} *)
+
+val settle : t -> unit
+(** Propagate inputs and register values through the combinational logic in
+    all lanes (no clock edge). *)
+
+val step : ?sample:bool -> t -> unit
+(** One full clock cycle in all lanes: settle, sample the profile counters
+    over the active lanes (unless [~sample:false]), two-phase clock edge,
+    settle again. *)
+
+val hold_clock : t -> unit
+(** Settle and sample without a clock edge, in all lanes. *)
+
+val cycle : t -> int
+
+(** {1 Reading values} *)
+
+val net_word : t -> Netlist.net -> int
+(** Raw lane word of a net (after the last settle). *)
+
+val net : t -> lane:int -> Netlist.net -> bool
+val output : t -> lane:int -> string -> Bitvec.t
+
+val output_words : t -> string -> int array
+(** Per-bit lane words of an output port, LSB first. *)
+
+val input_value : t -> lane:int -> string -> Bitvec.t
+val peek_cell_word : t -> string -> int
+
+(** {1 Signal-probability profiling} *)
+
+val set_active_mask : t -> int -> unit
+(** Restrict which lanes the profile counters observe from the next sample
+    on.  Sampling with an empty mask is a no-op (the cycle does not count).
+    Inactive lanes keep their toggle-reference values. *)
+
+val active_mask : t -> int
+
+val sp : t -> Netlist.net -> float
+(** Fraction of sampled (lane, cycle) observations in which the net held
+    logical "1".
+    @raise Invalid_argument without [~profile:true] or before any sample. *)
+
+val sp_of_cell : t -> string -> float
+val sp_profile : t -> (string * float) list
+
+val toggle_rate : t -> Netlist.net -> float
+(** Transitions per sampled slot, aggregated over active lanes, in
+    [[0, 1]].  @raise Invalid_argument without profiling or samples. *)
+
+val samples : t -> int
+(** Total (lane, cycle) observations so far. *)
+
+val cycles_sampled : t -> int
+(** Number of sampled cycles (each contributing up to {!lanes}
+    observations). *)
+
+val ones_count : t -> Netlist.net -> int
+(** Raw ones counter of a net — equals the sum of the per-lane scalar
+    counters, which the differential tests check exactly.
+    @raise Invalid_argument without [~profile:true]. *)
+
+val toggles_count : t -> Netlist.net -> int
+
+(** {1 Batch driving} *)
+
+val run_random : ?seed:int -> t -> cycles:int -> unit
+(** Drive every input bit of every lane with uniform random values for
+    [cycles] cycles — {!lanes} random patterns per step. *)
+
+(** {1 Scalar view} *)
+
+(** A single-lane view satisfying the shared engine signature, so
+    engine-generic consumers ({!Vcd.of_engine_run}, {!Power.analyze_engine})
+    can drive a [Sim64].  Inputs and reads touch only the viewed lane;
+    clocking and reset act on the whole engine; profile queries report the
+    cross-lane aggregate. *)
+module Lane : Sim_intf.S
+
+val lane_view : t -> int -> Lane.t
+(** The view of one lane.  @raise Invalid_argument if out of range. *)

@@ -195,6 +195,52 @@ let prop_gate_vs_golden_b16 =
           let got_r, got_fl = run_fpu b16 sim op va vb in
           Bitvec.equal expect_r got_r && F.flags_to_int expect_fl = Bitvec.to_int got_fl))
 
+(* Same sweep through both engines: each random case occupies one Sim64
+   lane (in_valid driven per lane), and lane k's result and flags must
+   match both the scalar engine and the golden model. *)
+let prop_b16_both_engines =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"binary16 FPU: scalar and 64-lane engines agree"
+       (QCheck.make
+          ~print:(fun l ->
+            String.concat ";"
+              (List.map (fun (o, a, b) -> Printf.sprintf "(%d,%04x,%04x)" o a b) l))
+          QCheck.Gen.(
+            list_size (int_range 1 Sim64.lanes)
+              (triple (int_bound 7) gen_b16_interesting gen_b16_interesting)))
+       (let nl = Fpu.netlist () in
+        let sim = Sim.create nl in
+        let s64 = Sim64.create nl in
+        fun cases ->
+          Sim64.reset s64;
+          List.iteri
+            (fun lane (o, a, b) ->
+              Sim64.set_input s64 ~lane Fpu.op_port (bv 3 o);
+              Sim64.set_input s64 ~lane Fpu.a_port (bv 16 a);
+              Sim64.set_input s64 ~lane Fpu.b_port (bv 16 b);
+              Sim64.set_input s64 ~lane Fpu.in_valid_port (bv 1 1))
+            cases;
+          Sim64.step s64;
+          Sim64.step s64;
+          let ok = ref true in
+          List.iteri
+            (fun lane (o, a, b) ->
+              let op = Option.get (F.op_of_code o) in
+              let va = bv 16 a and vb = bv 16 b in
+              let expect_r, expect_fl = Softfloat.apply b16 op va vb in
+              let got_r, got_fl = run_fpu b16 sim op va vb in
+              let r64 = Sim64.output s64 ~lane Fpu.r_port in
+              let fl64 = Sim64.output s64 ~lane Fpu.flags_port in
+              if
+                not
+                  (Bitvec.equal expect_r got_r
+                  && Bitvec.equal expect_r r64
+                  && F.flags_to_int expect_fl = Bitvec.to_int got_fl
+                  && Bitvec.to_int got_fl = Bitvec.to_int fl64)
+              then ok := false)
+            cases;
+          !ok))
+
 let prop_softfloat_add_commutes =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:500 ~name:"softfloat add commutes"
@@ -241,6 +287,11 @@ let () =
           Alcotest.test_case "valid chain" `Quick test_valid_chain;
         ] );
       ( "properties",
-        [ prop_gate_vs_golden_b16; prop_softfloat_add_commutes; prop_softfloat_mul_identity ]
+        [
+          prop_gate_vs_golden_b16;
+          prop_b16_both_engines;
+          prop_softfloat_add_commutes;
+          prop_softfloat_mul_identity;
+        ]
       );
     ]

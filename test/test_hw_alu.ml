@@ -320,6 +320,44 @@ let prop_alu16_random =
           let va = bv 16 a and vb = bv 16 b in
           Bitvec.equal (Alu.golden ~width:16 op va vb) (run_alu sim op va vb)))
 
+(* Same sweep through both engines: each random case occupies one Sim64
+   lane, and lane k's result must match both the scalar engine and the
+   golden model. *)
+let prop_alu8_both_engines =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"alu8 scalar and 64-lane engines agree with golden"
+       (QCheck.make
+          ~print:(fun l ->
+            String.concat ";"
+              (List.map (fun (o, a, b) -> Printf.sprintf "(%d,%d,%d)" o a b) l))
+          QCheck.Gen.(
+            list_size (int_range 1 Sim64.lanes)
+              (triple (int_bound 9) (int_bound 255) (int_bound 255))))
+       (let sim = Sim.create alu8 in
+        let s64 = Sim64.create alu8 in
+        fun cases ->
+          Sim64.reset s64;
+          List.iteri
+            (fun lane (o, a, b) ->
+              Sim64.set_input s64 ~lane Alu.op_port (bv 4 o);
+              Sim64.set_input s64 ~lane Alu.a_port (bv 8 a);
+              Sim64.set_input s64 ~lane Alu.b_port (bv 8 b))
+            cases;
+          Sim64.step s64;
+          Sim64.step s64;
+          let ok = ref true in
+          List.iteri
+            (fun lane (o, a, b) ->
+              let op = Option.get (Alu.op_of_code o) in
+              let va = bv 8 a and vb = bv 8 b in
+              let golden = Alu.golden ~width:8 op va vb in
+              let scalar = run_alu sim op va vb in
+              let lane_r = Sim64.output s64 ~lane Alu.r_port in
+              if not (Bitvec.equal golden scalar && Bitvec.equal golden lane_r) then
+                ok := false)
+            cases;
+          !ok))
+
 let () =
   Alcotest.run "hw_alu"
     [
@@ -345,5 +383,5 @@ let () =
           Alcotest.test_case "width validation" `Quick test_alu_width_validation;
           Alcotest.test_case "valid op assume" `Quick test_alu_valid_op_assume;
         ] );
-      ("properties", [ prop_alu16_random; prop_lzc_matches_reference ]);
+      ("properties", [ prop_alu16_random; prop_alu8_both_engines; prop_lzc_matches_reference ]);
     ]

@@ -1,0 +1,240 @@
+(* Differential property tests for the word-parallel simulator: on random
+   netlists and the example circuits, Sim64 lane k must agree with a scalar
+   Sim fed lane k's stimulus — every output port, every cycle, including
+   hold_clock — and the aggregated profile counters must equal the sums of
+   the per-lane scalar counters exactly. *)
+
+module B = Netlist.Builder
+
+let bv w v = Bitvec.create ~width:w v
+let rand_bits rng w = Random.State.int rng (1 lsl w)
+
+(* --- random netlist generation --- *)
+
+let comb_kinds =
+  [|
+    Cell.Kind.Tie0;
+    Cell.Kind.Tie1;
+    Cell.Kind.Buf;
+    Cell.Kind.Not;
+    Cell.Kind.And2;
+    Cell.Kind.Or2;
+    Cell.Kind.Xor2;
+    Cell.Kind.Nand2;
+    Cell.Kind.Nor2;
+    Cell.Kind.Xnor2;
+    Cell.Kind.Mux2;
+  |]
+
+let build_random_netlist rng =
+  let b = B.create "rand" in
+  let pool = ref [] in
+  let n_ports = 1 + Random.State.int rng 3 in
+  for i = 0 to n_ports - 1 do
+    let w = 1 + Random.State.int rng 4 in
+    pool := Array.to_list (B.add_input b (Printf.sprintf "in%d" i) w) @ !pool
+  done;
+  let pick () =
+    let a = Array.of_list !pool in
+    a.(Random.State.int rng (Array.length a))
+  in
+  let n_cells = 5 + Random.State.int rng 36 in
+  for _ = 1 to n_cells do
+    (* one in four cells is a DFF, so feedback-free sequential depth shows up *)
+    let out =
+      if Random.State.int rng 4 = 0 then
+        B.add_cell ~clock_domain:0 ~reset_value:(Random.State.bool rng) b Cell.Kind.Dff
+          [| pick () |]
+      else begin
+        let k = comb_kinds.(Random.State.int rng (Array.length comb_kinds)) in
+        B.add_cell b k (Array.init (Cell.Kind.arity k) (fun _ -> pick ()))
+      end
+    in
+    pool := out :: !pool
+  done;
+  let n_out = 1 + Random.State.int rng 2 in
+  for i = 0 to n_out - 1 do
+    let w = 1 + Random.State.int rng 3 in
+    B.add_output b (Printf.sprintf "out%d" i) (Array.init w (fun _ -> pick ()))
+  done;
+  B.finish b
+
+(* --- the differential harness --- *)
+
+(* Scalar counters are not exposed raw; recover them from sp/toggle_rate
+   (tiny integers, so the float round-trip is exact after rounding). *)
+let scalar_ones r n =
+  int_of_float (Float.round (Sim.sp r n *. float_of_int (Sim.samples r)))
+
+let scalar_toggles r n =
+  if Sim.samples r < 2 then 0
+  else int_of_float (Float.round (Sim.toggle_rate r n *. float_of_int (Sim.samples r - 1)))
+
+(* Run [cycles] cycles of random stimulus on all lanes at once and on
+   [Sim64.lanes] scalar references; true iff everything agrees. *)
+let differential_run rng nl cycles =
+  let nlanes = Sim64.lanes in
+  let s64 = Sim64.create ~profile:true nl in
+  let refs = Array.init nlanes (fun _ -> Sim.create ~profile:true nl) in
+  let in_ports = Netlist.inputs nl in
+  let out_ports = Netlist.outputs nl in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (p : Netlist.port) ->
+        let w = Array.length p.Netlist.port_nets in
+        for lane = 0 to nlanes - 1 do
+          let v = bv w (rand_bits rng w) in
+          Sim.set_input refs.(lane) p.Netlist.port_name v;
+          Sim64.set_input s64 ~lane p.Netlist.port_name v
+        done)
+      in_ports;
+    if Random.State.int rng 4 = 0 then begin
+      Sim64.hold_clock s64;
+      Array.iter (fun r -> Sim.hold_clock r) refs
+    end
+    else begin
+      Sim64.step s64;
+      Array.iter (fun r -> Sim.step r) refs
+    end;
+    List.iter
+      (fun (p : Netlist.port) ->
+        for lane = 0 to nlanes - 1 do
+          if
+            not
+              (Bitvec.equal
+                 (Sim.output refs.(lane) p.Netlist.port_name)
+                 (Sim64.output s64 ~lane p.Netlist.port_name))
+          then ok := false
+        done)
+      out_ports
+  done;
+  (* aggregated profile counters match the per-lane sums exactly *)
+  if Sim64.samples s64 <> nlanes * cycles then ok := false;
+  if Sim64.cycles_sampled s64 <> cycles then ok := false;
+  for n = 0 to Netlist.num_nets nl - 1 do
+    let ones = Array.fold_left (fun acc r -> acc + scalar_ones r n) 0 refs in
+    let toggles = Array.fold_left (fun acc r -> acc + scalar_toggles r n) 0 refs in
+    if Sim64.ones_count s64 n <> ones then ok := false;
+    if Sim64.toggles_count s64 n <> toggles then ok := false
+  done;
+  !ok
+
+let prop_differential_random_netlists =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Sim64 lane k = scalar Sim on random netlists"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 0xd1ff |] in
+         let nl = build_random_netlist rng in
+         differential_run rng nl (6 + Random.State.int rng 6)))
+
+let test_differential_examples () =
+  let rng = Random.State.make [| 0x51b64 |] in
+  List.iter
+    (fun nl ->
+      Alcotest.(check bool)
+        (Printf.sprintf "differential on %s" (Netlist.name nl))
+        true (differential_run rng nl 16))
+    [
+      Example_circuits.pipelined_adder ();
+      Example_circuits.pipelined_adder ~split_domains:true ();
+      Example_circuits.dff_chain 5;
+      Example_circuits.lfsr4 ();
+      Example_circuits.comb_xor_tree 8;
+    ]
+
+(* --- the Lane view through the engine-generic consumers --- *)
+
+let adder_stimulus c = [ ("a", bv 2 (c land 3)); ("b", bv 2 ((c * 3) land 3)) ]
+
+let test_lane_view_vcd () =
+  let nl = Example_circuits.pipelined_adder () in
+  let scalar = Vcd.of_sim_run (Sim.create nl) ~cycles:8 ~stimulus:adder_stimulus in
+  let s64 = Sim64.create nl in
+  let lane7 =
+    Vcd.of_engine_run (module Sim64.Lane) (Sim64.lane_view s64 7) ~cycles:8
+      ~stimulus:adder_stimulus
+  in
+  Alcotest.(check string) "lane VCD = scalar VCD" scalar lane7
+
+let test_lane_view_power () =
+  let nl = Example_circuits.lfsr4 () in
+  let scalar = Sim.create ~profile:true nl in
+  let s64 = Sim64.create ~profile:true nl in
+  for c = 0 to 19 do
+    let e = bv 1 (c land 1) in
+    Sim.set_input scalar "enable" e;
+    Sim64.set_input_all s64 "enable" e;
+    Sim.step scalar;
+    Sim64.step s64
+  done;
+  let r = Power.analyze Cell.Library.c28 scalar ~clock_mhz:800.0 in
+  let r64 =
+    Power.analyze_engine (module Sim64.Lane) Cell.Library.c28 (Sim64.lane_view s64 0)
+      ~clock_mhz:800.0
+  in
+  (* identical stimulus in every lane: the aggregate profile equals the
+     scalar one, so the reports coincide *)
+  Alcotest.(check int) "cell count" r.Power.cell_count r64.Power.cell_count;
+  let close what a b = Alcotest.(check bool) what true (Float.abs (a -. b) < 1e-9) in
+  close "leakage" r.Power.total_leakage_nw r64.Power.total_leakage_nw;
+  close "dynamic" r.Power.total_dynamic_nw r64.Power.total_dynamic_nw
+
+(* --- unit tests: lanes, masks, popcount, validation --- *)
+
+let test_constants () =
+  Alcotest.(check int) "lanes = int size" Sys.int_size Sim64.lanes;
+  Alcotest.(check bool) "at least 62 lanes" true (Sim64.lanes >= 62);
+  Alcotest.(check int) "popcount 0" 0 (Sim64.popcount 0);
+  Alcotest.(check int) "popcount all" Sim64.lanes (Sim64.popcount Sim64.all_lanes);
+  Alcotest.(check int) "popcount 0b1011" 3 (Sim64.popcount 0b1011);
+  Alcotest.(check int) "mask 0" 0 (Sim64.mask_of_count 0);
+  Alcotest.(check int) "mask 10" 10 (Sim64.popcount (Sim64.mask_of_count 10));
+  Alcotest.(check int) "mask lanes" Sim64.all_lanes (Sim64.mask_of_count Sim64.lanes)
+
+let test_validation () =
+  let s = Sim64.create (Example_circuits.pipelined_adder ()) in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Sim64.set_input: port a has width 2, value has width 3") (fun () ->
+      Sim64.set_input s ~lane:0 "a" (bv 3 0));
+  (match Sim64.set_input s ~lane:Sim64.lanes "a" (bv 2 0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range lane accepted");
+  match Sim64.sp s 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sp without profiling accepted"
+
+let test_active_mask_restricts_counters () =
+  let nl = Example_circuits.dff_chain 1 in
+  let s = Sim64.create ~profile:true nl in
+  (* drive d = 1 in lanes 0-2 only; sample only those lanes *)
+  Sim64.set_input_words s "d" [| 0b111 |];
+  Sim64.set_active_mask s 0b111;
+  Sim64.step s;
+  Sim64.step s;
+  Alcotest.(check int) "samples = active lanes x cycles" 6 (Sim64.samples s);
+  let d_net = (Netlist.find_input nl "d").Netlist.port_nets.(0) in
+  Alcotest.(check int) "ones only in active lanes" 6 (Sim64.ones_count s d_net);
+  Alcotest.(check (float 1e-9)) "sp = 1 over active lanes" 1.0 (Sim64.sp s d_net)
+
+let () =
+  Alcotest.run "sim64"
+    [
+      ( "differential",
+        [
+          prop_differential_random_netlists;
+          Alcotest.test_case "example circuits" `Quick test_differential_examples;
+        ] );
+      ( "engine-generic",
+        [
+          Alcotest.test_case "lane view vcd" `Quick test_lane_view_vcd;
+          Alcotest.test_case "lane view power" `Quick test_lane_view_power;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "active mask" `Quick test_active_mask_restricts_counters;
+        ] );
+    ]

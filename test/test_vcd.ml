@@ -65,6 +65,31 @@ let test_of_sim_run () =
     (contains "a [1:0]" out && contains "b [1:0]" out && contains "o [1:0]" out);
   Alcotest.(check bool) "four timesteps" true (contains "#3" out)
 
+(* Byte-for-byte regression against a committed snapshot: any change to the
+   VCD text format (or to the simulator's visible behavior on the pipelined
+   adder) must show up as a deliberate golden-file update. *)
+let golden_path name =
+  (* dune runs tests from _build/default/test; `dune exec` from the root *)
+  if Sys.file_exists (Filename.concat "golden" name) then Filename.concat "golden" name
+  else Filename.concat (Filename.concat "test" "golden") name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_pipelined_adder () =
+  let nl = Example_circuits.pipelined_adder () in
+  let sim = Sim.create nl in
+  let out =
+    Vcd.of_sim_run sim ~cycles:6 ~stimulus:(fun c ->
+        [ ("a", bv 2 (c land 3)); ("b", bv 2 ((c * 2 + 1) land 3)) ])
+  in
+  let expected = read_file (golden_path "pipelined_adder.vcd") in
+  Alcotest.(check string) "byte-for-byte vs golden/pipelined_adder.vcd" expected out
+
 let test_trace_to_vcd () =
   let nl = Example_circuits.pipelined_adder () in
   let inst =
@@ -97,6 +122,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "identifier uniqueness" `Quick test_identifiers_unique;
           Alcotest.test_case "of_sim_run" `Quick test_of_sim_run;
+          Alcotest.test_case "golden pipelined adder" `Quick test_golden_pipelined_adder;
           Alcotest.test_case "formal trace to vcd" `Quick test_trace_to_vcd;
         ] );
     ]

@@ -397,6 +397,12 @@ let with_context config f =
   let ctx = Experiments.make_context ~config ~log () in
   f ctx
 
+let print_guard_campaign quick =
+  let config =
+    if quick then Experiments.quick_campaign else Experiments.default_campaign
+  in
+  print_string (Experiments.render_campaign (Experiments.campaign ~config ~log ()))
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let config =
@@ -406,8 +412,10 @@ let () =
   match arg with
   | "all" | "quick" ->
     print_tables config;
+    print_guard_campaign (arg = "quick");
     run_micro ();
     run_ablations ()
+  | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
@@ -429,6 +437,6 @@ let () =
     with_context config (fun c -> print_string (Experiments.render_fig9 (Experiments.fig9 c)))
   | other ->
     Printf.eprintf
-      "unknown argument %S (expected all|quick|micro|ablations|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+      "unknown argument %S (expected all|quick|micro|ablations|guard|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

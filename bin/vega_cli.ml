@@ -6,6 +6,7 @@
      vega emit-c   --unit alu|fpu
      vega verilog  --unit alu|fpu|example [--inject START:END:KIND:C]
      vega report   [--quick]
+     vega guard-campaign [--quick] [--seed N]
 
    Faults are specified as "start_dff:end_dff:setup|hold:0|1|r",
    e.g. --inject a_q0:r_q0:setup:0. *)
@@ -375,6 +376,26 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
     Term.(const run $ quick_arg)
 
+(* ---------- guard-campaign ---------- *)
+
+let guard_campaign_cmd =
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke configuration.") in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Machine RNG seed.")
+  in
+  let run quick seed =
+    let base = if quick then Experiments.quick_campaign else Experiments.default_campaign in
+    let config = { base with Experiments.cg_seed = seed } in
+    let log s = Printf.eprintf "[vega] %s\n%!" s in
+    let rows = Experiments.campaign ~config ~log () in
+    print_string (Experiments.render_campaign rows);
+    0
+  in
+  Cmd.v
+    (Cmd.info "guard-campaign"
+       ~doc:"Inject phase-2 fault specs mid-run under each recovery policy and tabulate.")
+    Term.(const run $ quick_arg $ seed_arg)
+
 let () =
   let doc = "proactive runtime detection of aging-related silent data corruptions" in
   let info = Cmd.info "vega" ~version:"1.0.0" ~doc in
@@ -383,5 +404,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
-            encode_cmd; report_cmd;
+            encode_cmd; report_cmd; guard_campaign_cmd;
           ]))

@@ -1,0 +1,103 @@
+(* The closed-loop runtime guard on a real kernel.
+
+     dune exec examples/guarded_app.exe
+
+   A crc kernel runs on a netlist-backed ALU that develops an aging fault
+   mid-run (the fault is *not* present at reset — [Guard.Injector] swaps a
+   fault-instrumented replica in once a scheduled instruction count is
+   reached).  Four scenarios:
+
+   - the golden run (functional backend, fault-free by construction),
+   - the unguarded run: the kernel exits cleanly with a corrupt checksum —
+     a silent data corruption that nothing notices,
+   - the guarded run with failover: interleaved aging tests catch the
+     fault and retire the unit onto its golden backend,
+   - the guarded run with checkpoint/rollback: execution rewinds to the
+     last verified checkpoint and the final checksum matches the golden
+     run exactly. *)
+
+let width = 16
+let fmt = Fpu_format.binary16
+
+let spec =
+  {
+    Fault.start_dff = "a_q0";
+    end_dff = "r_q0";
+    kind = Fault.Setup_violation;
+    constant = Fault.C0;
+    activation = Fault.Any_transition;
+  }
+
+let () =
+  let target = Lift.alu_target ~width () in
+  let crc = Workload.find "crc" in
+  let prog = Minic.assemble (Minic.compile ~width ~fmt crc.Workload.program) in
+
+  (* Phase two builds the aging-test suite for the injected pair. *)
+  let r =
+    Lift.lift_pair target ~start_dff:spec.Fault.start_dff ~end_dff:spec.Fault.end_dff
+      ~violation:spec.Fault.kind
+  in
+  let suite = Lift.suite_of_results target.Lift.kind [ r ] in
+  Printf.printf "aging-test suite for %s: %d cases\n\n" (Fault.describe spec)
+    (List.length suite.Lift.suite_cases);
+
+  print_endline "=== Golden run (functional backend) ===";
+  let golden_m = Machine.create ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional () in
+  Machine.reset golden_m;
+  (match Machine.run ~max_instructions:1_000_000 golden_m prog with
+  | Machine.Exited 0 -> ()
+  | o -> Format.printf "unexpected: %a@." Machine.pp_outcome o);
+  let golden_sum = Bitvec.to_int (Machine.mem golden_m Workload.checksum_address) in
+  let golden_instrs = Machine.instructions_retired golden_m in
+  Printf.printf "  checksum %#x after %d instructions\n\n" golden_sum golden_instrs;
+
+  let onset = golden_instrs / 5 in
+  let netlist_machine () =
+    let m =
+      Machine.create ~alu:(Machine.Alu_netlist target.Lift.netlist) ~fpu:Machine.Fpu_functional ()
+    in
+    Machine.reset m;
+    let inj =
+      Guard.Injector.create ~machine:m ~slot:Guard.Injector.Alu_slot ~spec
+        (Guard.Injector.permanent onset)
+    in
+    (m, inj)
+  in
+
+  Printf.printf "=== Unguarded run (fault onset at instruction %d) ===\n" onset;
+  let m, inj = netlist_machine () in
+  (match
+     Machine.run ~max_instructions:1_000_000 ~on_instr:(fun _ -> Guard.Injector.tick inj) m prog
+   with
+  | Machine.Exited 0 ->
+    let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+    Printf.printf "  exited cleanly with checksum %#x — %s\n\n" sum
+      (if sum = golden_sum then "correct (fault dormant)"
+       else "SILENTLY CORRUPT: nothing detected this")
+  | o -> Format.printf "  %a@.@." Machine.pp_outcome o);
+
+  let guarded policy =
+    let m, inj = netlist_machine () in
+    let config =
+      {
+        Guard.Monitor.default_config with
+        Guard.Monitor.cadence = 100;
+        max_cadence = 2_000;
+        policy;
+        max_instructions = 1_000_000;
+      }
+    in
+    let report = Guard.Monitor.run ~config ~injector:inj ~suite m prog in
+    print_string (Guard.Monitor.render report);
+    let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+    Printf.printf "  final checksum %#x (%s)\n\n" sum
+      (if sum = golden_sum then "matches golden" else "corrupt")
+  in
+
+  print_endline "=== Guarded run: failover policy ===";
+  guarded Guard.Monitor.Failover;
+
+  print_endline "=== Guarded run: checkpoint/rollback policy ===";
+  guarded
+    (Guard.Monitor.Rollback_retry { checkpoint_every = 2_000; max_retries = 3 })

@@ -608,6 +608,317 @@ let render_fig9 rows =
   Buffer.add_string buf (Printf.sprintf "  mean overhead: -N %.2f%%  -M %.2f%%\n" mn mm);
   Buffer.contents buf
 
+(* ---------------- Guard campaign ----------------
+
+   The runtime extension of Table 6: instead of baking a fault into the
+   netlist before the run starts, every selected phase-2 fault spec is
+   injected *mid-run* into kernels executing under the closed-loop guard,
+   once per recovery policy plus an unguarded baseline.  Tabulates
+   detection latency, SDC escape rate (checksum mismatch with no
+   detection), recovery success, and guard overhead. *)
+
+type campaign_config = {
+  cg_width : int;
+  cg_fmt : Fpu_format.fmt;
+  cg_kernels : string list;  (** [[]] = every [Workload.all] kernel *)
+  cg_specs_per_unit : int;
+  cg_constants : Fault.constant list;
+  cg_onset_frac : float;
+  cg_seed : int;
+  cg_guard : Guard.Monitor.config;
+  cg_checkpoint_every : int;
+  cg_max_retries : int;
+}
+
+let default_campaign =
+  {
+    cg_width = 16;
+    cg_fmt = Fpu_format.binary16;
+    cg_kernels = [];
+    cg_specs_per_unit = max_int;
+    cg_constants = [ Fault.C0; Fault.C1; Fault.C_random ];
+    cg_onset_frac = 0.2;
+    cg_seed = 42;
+    cg_guard =
+      {
+        Guard.Monitor.default_config with
+        Guard.Monitor.cadence = 100;
+        max_cadence = 2_000;
+      };
+    cg_checkpoint_every = 2_000;
+    cg_max_retries = 3;
+  }
+
+let quick_campaign =
+  {
+    default_campaign with
+    cg_kernels = [ "crc"; "nbody" ];
+    cg_specs_per_unit = 2;
+    (* C=0 faults tend to corrupt silently (equality exits still fire);
+       C=1 faults tend to hang loops — both behaviors belong in the smoke *)
+    cg_constants = [ Fault.C0; Fault.C1 ];
+  }
+
+type campaign_row = {
+  cr_kernel : string;
+  cr_unit : string;
+  cr_spec : string;
+  cr_mode : string;  (** "unguarded" or the policy name *)
+  cr_outcome : string;
+  cr_detected : bool;
+  cr_latency : (int * int) option;  (** (instrs, cycles) from onset *)
+  cr_checksum_ok : bool;
+  cr_escape : bool;  (** checksum mismatch, clean exit, no detection *)
+  cr_recovered : bool;
+  cr_retries : int;
+  cr_overhead_pct : float;  (** guard cycles vs app cycles *)
+}
+
+(* Lift worst-slack-first violating pairs until [n] produce test cases. *)
+let select_campaign_pairs (target : Lift.target) (analysis : Vega.analysis) n =
+  let seen = Hashtbl.create 32 in
+  let rec go acc count = function
+    | [] -> List.rev acc
+    | _ when count >= n -> List.rev acc
+    | (start, Sta.At_dff end_id, check, _slack) :: rest -> (
+      match start with
+      | Sta.From_input _ -> go acc count rest
+      | Sta.From_dff start_id ->
+        let key = (start_id, end_id, check) in
+        if Hashtbl.mem seen key then go acc count rest
+        else begin
+          Hashtbl.replace seen key ();
+          let start_dff = (Netlist.cell target.Lift.netlist start_id).Netlist.name in
+          let end_dff = (Netlist.cell target.Lift.netlist end_id).Netlist.name in
+          let violation =
+            match check with Sta.Setup -> Fault.Setup_violation | Sta.Hold -> Fault.Hold_violation
+          in
+          let pr = Lift.lift_pair target ~start_dff ~end_dff ~violation in
+          if pr.Lift.cases <> [] then go (pr :: acc) (count + 1) rest else go acc count rest
+        end)
+  in
+  go [] 0 analysis.Vega.violating_pairs
+
+let campaign_dims (target : Lift.target) =
+  match target.Lift.kind with
+  | Lift.Alu_module { width } ->
+    (width, if width >= 16 then Fpu_format.binary16 else Fpu_format.tiny)
+  | Lift.Fpu_module { fmt } -> (max 16 (Fpu_format.width fmt), fmt)
+
+let campaign_machine (target : Lift.target) seed =
+  let width, fmt = campaign_dims target in
+  let config = { Machine.default_config with Machine.width; fmt; rng_seed = seed } in
+  match target.Lift.kind with
+  | Lift.Alu_module _ ->
+    Machine.create ~config ~alu:(Machine.Alu_netlist target.Lift.netlist)
+      ~fpu:Machine.Fpu_functional ()
+  | Lift.Fpu_module _ ->
+    Machine.create ~config ~alu:Machine.Alu_functional
+      ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
+
+let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) () =
+  let kernels =
+    match config.cg_kernels with
+    | [] -> Workload.all
+    | names -> List.map Workload.find names
+  in
+  let policies =
+    [
+      Guard.Monitor.Abort;
+      Guard.Monitor.Failover;
+      Guard.Monitor.Rollback_retry
+        { checkpoint_every = config.cg_checkpoint_every; max_retries = config.cg_max_retries };
+    ]
+  in
+  let units =
+    [
+      ("ALU", Lift.alu_target ~width:config.cg_width (), Guard.Injector.Alu_slot);
+      ("FPU", Lift.fpu_target ~fmt:config.cg_fmt (), Guard.Injector.Fpu_slot);
+    ]
+  in
+  List.concat_map
+    (fun (uname, target, slot) ->
+      log (Printf.sprintf "campaign: %s aging analysis + error lifting" uname);
+      let analysis =
+        Vega.aging_analysis
+          ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
+          target ~workload:Vega.run_minver_workload
+      in
+      let selected = select_campaign_pairs target analysis config.cg_specs_per_unit in
+      let suite = Lift.suite_of_results target.Lift.kind selected in
+      log
+        (Printf.sprintf "campaign: %s — %d fault specs, %d-case guard suite" uname
+           (List.length selected * List.length config.cg_constants)
+           (List.length suite.Lift.suite_cases));
+      let width, fmt = campaign_dims target in
+      List.concat_map
+        (fun (b : Workload.benchmark) ->
+          let compiled = Minic.compile ~width ~fmt b.Workload.program in
+          let prog = Minic.assemble compiled in
+          (* golden reference: functional machine, fault-free by construction *)
+          let golden_m =
+            Machine.create
+              ~config:{ Machine.default_config with Machine.width; fmt; rng_seed = config.cg_seed }
+              ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+          in
+          Machine.reset golden_m;
+          (match Machine.run ~max_instructions:config.cg_guard.Guard.Monitor.max_instructions golden_m prog with
+          | Machine.Exited code when code = Isa.exit_ok -> ()
+          | o ->
+            failwith
+              (Format.asprintf "campaign: golden run of %s failed (%a)" b.Workload.name
+                 Machine.pp_outcome o));
+          let golden_sum = Bitvec.to_int (Machine.mem golden_m Workload.checksum_address) in
+          let golden_instrs = Machine.instructions_retired golden_m in
+          let onset = max 1 (int_of_float (config.cg_onset_frac *. float_of_int golden_instrs)) in
+          (* corrupted control flow can hang a kernel; cap the fuel at a
+             small multiple of the golden run so hangs are cheap to observe *)
+          let fuel =
+            min config.cg_guard.Guard.Monitor.max_instructions ((4 * golden_instrs) + 10_000)
+          in
+          log (Printf.sprintf "campaign: %s x %s (onset at instr %d)" uname b.Workload.name onset);
+          List.concat_map
+            (fun (pr : Lift.pair_result) ->
+              List.concat_map
+                (fun constant ->
+                  let spec =
+                    {
+                      Fault.start_dff = pr.Lift.start_dff;
+                      end_dff = pr.Lift.end_dff;
+                      kind = pr.Lift.violation;
+                      constant;
+                      activation = Fault.Any_transition;
+                    }
+                  in
+                  let fresh_run mk_row =
+                    let m = campaign_machine target config.cg_seed in
+                    Machine.reset m;
+                    let inj =
+                      Guard.Injector.create ~machine:m ~slot ~spec
+                        (Guard.Injector.permanent onset)
+                    in
+                    mk_row m inj
+                  in
+                  let row mode outcome ~clean_exit detected latency checksum_ok recovered
+                      retries overhead_pct =
+                    {
+                      cr_kernel = b.Workload.name;
+                      cr_unit = uname;
+                      cr_spec = Fault.describe spec;
+                      cr_mode = mode;
+                      cr_outcome = outcome;
+                      cr_detected = detected;
+                      cr_latency = latency;
+                      cr_checksum_ok = checksum_ok;
+                      cr_escape = clean_exit && (not detected) && not checksum_ok;
+                      cr_recovered = recovered;
+                      cr_retries = retries;
+                      cr_overhead_pct = overhead_pct;
+                    }
+                  in
+                  let unguarded =
+                    fresh_run (fun m inj ->
+                        let outcome =
+                          Machine.run ~max_instructions:fuel
+                            ~on_instr:(fun _ -> Guard.Injector.tick inj)
+                            m prog
+                        in
+                        let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+                        let clean_exit =
+                          match outcome with
+                          | Machine.Exited code -> code = Isa.exit_ok
+                          | _ -> false
+                        in
+                        row "unguarded"
+                          (Format.asprintf "%a" Machine.pp_outcome outcome)
+                          ~clean_exit false None (sum = golden_sum) false 0 0.0)
+                  in
+                  let guarded policy =
+                    fresh_run (fun m inj ->
+                        let gcfg =
+                          { config.cg_guard with Guard.Monitor.policy; max_instructions = fuel }
+                        in
+                        let r = Guard.Monitor.run ~config:gcfg ~injector:inj ~suite m prog in
+                        let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+                        let outcome, clean_exit =
+                          match r.Guard.Monitor.r_verdict with
+                          | Guard.Monitor.App_completed o ->
+                            ( Format.asprintf "%a" Machine.pp_outcome o,
+                              match o with Machine.Exited code -> code = Isa.exit_ok | _ -> false
+                            )
+                          | Guard.Monitor.Guard_aborted _ -> ("aborted", false)
+                        in
+                        row
+                          (Guard.Monitor.policy_name policy)
+                          outcome ~clean_exit
+                          (Guard.Monitor.detected r)
+                          r.Guard.Monitor.r_latency (sum = golden_sum)
+                          r.Guard.Monitor.r_recovered r.Guard.Monitor.r_retries
+                          (100.0
+                          *. float_of_int r.Guard.Monitor.r_guard_cycles
+                          /. float_of_int (max 1 r.Guard.Monitor.r_app_cycles)))
+                  in
+                  unguarded :: List.map guarded policies)
+                config.cg_constants)
+            selected)
+        kernels)
+    units
+
+type campaign_summary = {
+  cs_rows : int;
+  cs_unguarded_rows : int;
+  cs_unguarded_escapes : int;
+  cs_guarded_rows : int;
+  cs_guarded_escapes : int;
+  cs_guarded_detected : int;
+  cs_rollback_rows : int;
+  cs_rollback_checksum_ok : int;
+}
+
+let campaign_summary rows =
+  let count p = List.length (List.filter p rows) in
+  let unguarded r = r.cr_mode = "unguarded" in
+  let rollback r = r.cr_mode = "rollback" in
+  {
+    cs_rows = List.length rows;
+    cs_unguarded_rows = count unguarded;
+    cs_unguarded_escapes = count (fun r -> unguarded r && r.cr_escape);
+    cs_guarded_rows = count (fun r -> not (unguarded r));
+    cs_guarded_escapes = count (fun r -> (not (unguarded r)) && r.cr_escape);
+    cs_guarded_detected = count (fun r -> (not (unguarded r)) && r.cr_detected);
+    cs_rollback_rows = count rollback;
+    cs_rollback_checksum_ok = count (fun r -> rollback r && r.cr_checksum_ok);
+  }
+
+let render_campaign rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Guard campaign: mid-life fault injection under each recovery policy\n";
+  Buffer.add_string buf
+    "  kernel     unit  spec                                mode       outcome        det  \
+     latency      sum    recov  retry   ovh%\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-9s  %-4s  %-34s  %-9s  %-13s  %-3s  %-11s  %-5s  %-5s  %5d  %5.1f\n"
+           r.cr_kernel r.cr_unit r.cr_spec r.cr_mode r.cr_outcome
+           (if r.cr_detected then "yes" else "no")
+           (match r.cr_latency with
+           | Some (i, _) -> Printf.sprintf "%d instr" i
+           | None -> "-")
+           (if r.cr_checksum_ok then "ok" else "BAD")
+           (if r.cr_recovered then "yes" else "no")
+           r.cr_retries r.cr_overhead_pct))
+    rows;
+  let s = campaign_summary rows in
+  Buffer.add_string buf
+    (Printf.sprintf "  unguarded: %d/%d runs escaped (silent corruption)\n" s.cs_unguarded_escapes
+       s.cs_unguarded_rows);
+  Buffer.add_string buf
+    (Printf.sprintf "  guarded:   %d/%d runs escaped; %d/%d detected; rollback checksums golden %d/%d\n"
+       s.cs_guarded_escapes s.cs_guarded_rows s.cs_guarded_detected s.cs_guarded_rows
+       s.cs_rollback_checksum_ok s.cs_rollback_rows);
+  Buffer.contents buf
+
 (* ---------------- run everything ---------------- *)
 
 let run_all ?config ?(log = fun _ -> ()) () =

@@ -145,6 +145,73 @@ val render_fig9 : fig9_row list -> string
 val fig9_mean_overheads : fig9_row list -> float * float
 (** Mean (-N, -M) overhead percentages across benchmarks. *)
 
+(** {1 Guard campaign — runtime fault-injection under the closed loop}
+
+    The runtime extension of Table 6: each selected phase-2 fault spec is
+    injected {e mid-run} ({!Guard.Injector}) into kernels executing under
+    {!Guard.Monitor}, once per recovery policy plus an unguarded baseline,
+    tabulating detection latency, SDC escape rate, recovery success, and
+    guard overhead.  Fully deterministic for a fixed seed. *)
+
+type campaign_config = {
+  cg_width : int;
+  cg_fmt : Fpu_format.fmt;
+  cg_kernels : string list;  (** [[]] = every [Workload.all] kernel *)
+  cg_specs_per_unit : int;
+      (** lift worst-slack violating pairs until this many yield cases *)
+  cg_constants : Fault.constant list;  (** failure models per spec *)
+  cg_onset_frac : float;
+      (** fault onset as a fraction of the kernel's golden instruction
+          count *)
+  cg_seed : int;  (** machine RNG seed (C_random faults, shuffles) *)
+  cg_guard : Guard.Monitor.config;  (** policy field overridden per mode *)
+  cg_checkpoint_every : int;
+  cg_max_retries : int;
+}
+
+val default_campaign : campaign_config
+(** Every kernel, every phase-2 spec, all three failure models — the full
+    sweep (slow). *)
+
+val quick_campaign : campaign_config
+(** crc + nbody, two specs per unit, C=0 and C=1 — the CI smoke
+    configuration (C=0 faults tend to corrupt silently, C=1 faults tend
+    to hang loops). *)
+
+type campaign_row = {
+  cr_kernel : string;
+  cr_unit : string;
+  cr_spec : string;
+  cr_mode : string;  (** "unguarded", "abort", "failover", or "rollback" *)
+  cr_outcome : string;
+  cr_detected : bool;
+  cr_latency : (int * int) option;
+      (** (instructions, cycles) from fault onset to first detection *)
+  cr_checksum_ok : bool;  (** final checksum matches the golden run *)
+  cr_escape : bool;
+      (** silent corruption: clean exit, checksum mismatch, no detection *)
+  cr_recovered : bool;
+  cr_retries : int;
+  cr_overhead_pct : float;  (** guard cycles as % of app cycles *)
+}
+
+val campaign :
+  ?config:campaign_config -> ?log:(string -> unit) -> unit -> campaign_row list
+
+type campaign_summary = {
+  cs_rows : int;
+  cs_unguarded_rows : int;
+  cs_unguarded_escapes : int;
+  cs_guarded_rows : int;
+  cs_guarded_escapes : int;
+  cs_guarded_detected : int;
+  cs_rollback_rows : int;
+  cs_rollback_checksum_ok : int;
+}
+
+val campaign_summary : campaign_row list -> campaign_summary
+val render_campaign : campaign_row list -> string
+
 (** {1 Everything} *)
 
 val run_all : ?config:config -> ?log:(string -> unit) -> unit -> string

@@ -1,0 +1,401 @@
+(* The closed-loop runtime guard: mid-life fault onset, adaptive test
+   cadence, and checkpoint/rollback recovery.
+
+   The static pipeline (phases 1-2) produces a test suite for a functional
+   unit; [Integrate] splices it into an application.  This module closes
+   the loop at runtime:
+
+   - {!Injector} models *mid-life onset*: the unit starts healthy and a
+     fault-instrumented replica is swapped in at a scheduled instruction
+     (optionally intermittently, with a duty knob) — aging faults appear
+     gradually in the field, they are not present at reset.
+   - {!Monitor} runs an application in bounded slices, interleaving test
+     cases at an adaptive cadence (exponential backoff while healthy,
+     burst re-testing after a hit to debounce intermittent faults), and
+     applies a recovery policy on detection: failover to the golden
+     backend, checkpoint/rollback with bounded retries, or abort.
+
+   Both are deterministic given the machine's RNG seed, which is what the
+   fault-injection campaign in [Experiments] relies on. *)
+
+module Injector = struct
+  type slot = Alu_slot | Fpu_slot
+
+  type schedule = {
+    onset_instr : int;  (* retired-instruction count at which the fault appears *)
+    duty : (int * int) option;
+        (* [Some (on, period)]: after onset the fault is active for [on]
+           instructions out of every [period] (an intermittent contact);
+           [None]: permanent once it appears *)
+  }
+
+  let permanent onset_instr = { onset_instr; duty = None }
+
+  type state = Golden | Faulty | Disabled
+
+  type t = {
+    machine : Machine.t;
+    slot : slot;
+    spec : Fault.spec;
+    faulty_sim : Sim.t;
+    mutable golden_sim : Sim.t option;  (* stashed while the faulty replica is installed *)
+    schedule : schedule;
+    mutable state : state;
+    mutable onset : (int * int) option;  (* (instr, cycle) of first activation *)
+  }
+
+  let swap t sim =
+    match t.slot with
+    | Alu_slot -> Machine.swap_alu_sim t.machine sim
+    | Fpu_slot -> Machine.swap_fpu_sim t.machine sim
+
+  let create ~machine ~slot ~spec schedule =
+    let golden_nl =
+      match
+        (match slot with Alu_slot -> Machine.alu_sim machine | Fpu_slot -> Machine.fpu_sim machine)
+      with
+      | Some s -> Sim.netlist s
+      | None ->
+        invalid_arg "Guard.Injector.create: the targeted unit runs on a functional backend"
+    in
+    {
+      machine;
+      slot;
+      spec;
+      faulty_sim = Sim.create (Fault.failing_netlist golden_nl spec);
+      golden_sim = None;
+      schedule;
+      state = Golden;
+      onset = None;
+    }
+
+  let want_active t retired =
+    retired >= t.schedule.onset_instr
+    &&
+    match t.schedule.duty with
+    | None -> true
+    | Some (on, period) ->
+      period > 0 && (retired - t.schedule.onset_instr) mod period < on
+
+  (* Called per retired instruction (the machine's [on_instr] hook); swaps
+     the faulty replica in or out according to the schedule.  Cheap when no
+     transition is due. *)
+  let tick t =
+    match t.state with
+    | Disabled -> ()
+    | cur -> (
+      let retired = Machine.instructions_retired t.machine in
+      let want = want_active t retired in
+      match (cur, want) with
+      | Golden, true ->
+        t.golden_sim <- swap t (Some t.faulty_sim);
+        t.state <- Faulty;
+        if t.onset = None then t.onset <- Some (retired, Machine.cycles t.machine)
+      | Faulty, false ->
+        ignore (swap t t.golden_sim);
+        t.state <- Golden
+      | _ -> ())
+
+  (* Permanently retire the suspect unit onto the functional golden
+     backend — the failover action. *)
+  let disable t =
+    if t.state <> Disabled then begin
+      ignore (swap t None);
+      t.state <- Disabled
+    end
+
+  let active t = t.state = Faulty
+  let disabled t = t.state = Disabled
+  let onset t = t.onset
+  let spec t = t.spec
+end
+
+module Monitor = struct
+  type policy =
+    | Abort
+    | Failover
+    | Rollback_retry of { checkpoint_every : int; max_retries : int }
+
+  let policy_name = function
+    | Abort -> "abort"
+    | Failover -> "failover"
+    | Rollback_retry _ -> "rollback"
+
+  type config = {
+    cadence : int;  (* initial app instructions between interleaved test slices *)
+    backoff : float;  (* cadence multiplier after each healthy slice *)
+    max_cadence : int;
+    burst : int;  (* full-suite confirmation sweeps after a first hit *)
+    policy : policy;
+    max_instructions : int;
+    final_sweep : bool;  (* run the full suite once more when the app exits *)
+  }
+
+  let default_config =
+    {
+      cadence = 200;
+      backoff = 1.5;
+      max_cadence = 5_000;
+      burst = 1;
+      policy = Failover;
+      max_instructions = 5_000_000;
+      final_sweep = true;
+    }
+
+  type detection = {
+    det_id : string;  (* test-case id, with " (stall)" for watchdog hits *)
+    det_instr : int;  (* app instructions retired at detection *)
+    det_cycle : int;
+    det_slice : int;  (* how many guard slices had run *)
+  }
+
+  type verdict =
+    | App_completed of Machine.outcome  (* the app ran to its own end (possibly after recovery) *)
+    | Guard_aborted of string  (* the Abort policy (or an unrecoverable stall) stopped it *)
+
+  type report = {
+    r_verdict : verdict;
+    r_detections : detection list;  (* chronological *)
+    r_onset : (int * int) option;  (* from the injector, when one is attached *)
+    r_latency : (int * int) option;  (* (instrs, cycles) from onset to first detection *)
+    r_retries : int;  (* rollbacks performed *)
+    r_recovered : bool;  (* a recovery action ran and the app continued *)
+    r_app_instructions : int;
+    r_app_cycles : int;
+    r_guard_cycles : int;  (* cycles spent executing interleaved test cases *)
+    r_guard_slices : int;
+    r_lost_cycles : int;  (* app cycles discarded by rollbacks *)
+    r_lost_instructions : int;
+    r_checkpoints : int;
+    r_final_cadence : int;
+  }
+
+  (* Run [cases] on the machine, preserving the application's architectural
+     state around the excursion (the machine resumes exactly where it left
+     off).  Stops at the first failure.  Returns the result and the cycles
+     spent.  Assumes the machine is drained (a slice pause point). *)
+  let run_cases m cases =
+    let snap = Machine.snapshot m in
+    let spent = ref 0 in
+    let rec go = function
+      | [] -> Ok ()
+      | (tc : Lift.test_case) :: rest -> (
+        Machine.reset m;
+        let outcome = Machine.run m (Integrate.Runner.case_program tc) in
+        spent := !spent + Machine.cycles m;
+        match outcome with
+        | Machine.Exited code when code = Isa.exit_ok -> go rest
+        | Machine.Exited _ -> Error tc.Lift.tc_id
+        | Machine.Stalled -> Error (tc.Lift.tc_id ^ " (stall)")
+        | Machine.Out_of_fuel -> Error (tc.Lift.tc_id ^ " (no progress)"))
+    in
+    let result = go cases in
+    Machine.restore m snap;
+    (result, !spent)
+
+  let run ?(config = default_config) ?injector ~suite m (prog : Isa.program) =
+    let cases = Array.of_list suite.Lift.suite_cases in
+    let n_cases = Array.length cases in
+    let cadence = ref (max 1 config.cadence) in
+    let slice_idx = ref 0 in
+    let detections = ref [] in
+    let retries = ref 0 in
+    let guard_cycles = ref 0 in
+    let guard_slices = ref 0 in
+    let lost_cycles = ref 0 in
+    let lost_instrs = ref 0 in
+    let checkpoints = ref 0 in
+    let recovered = ref false in
+    let executed = ref 0 in
+    let on_instr =
+      match injector with None -> fun _ -> () | Some inj -> fun _ -> Injector.tick inj
+    in
+    let record_detection id =
+      detections :=
+        {
+          det_id = id;
+          det_instr = Machine.instructions_retired m;
+          det_cycle = Machine.cycles m;
+          det_slice = !slice_idx;
+        }
+        :: !detections
+    in
+    let full_suite () =
+      let result, spent = run_cases m (Array.to_list cases) in
+      guard_cycles := !guard_cycles + spent;
+      result
+    in
+    (* Failover action: permanently retire the suspect unit onto its
+       functional golden backend.  Without an injector the suspect unit is
+       inferred from the suite's target. *)
+    let swap_to_golden () =
+      match injector with
+      | Some inj -> Injector.disable inj
+      | None -> (
+        match suite.Lift.suite_target with
+        | Lift.Alu_module _ -> ignore (Machine.swap_alu_sim m None)
+        | Lift.Fpu_module _ -> ignore (Machine.swap_fpu_sim m None))
+    in
+    (* Checkpoints are taken only after the full suite passes, so for a
+       permanent (detectable) fault every checkpoint predates any silent
+       corruption: once the fault is active the verification sweep fails
+       and no checkpoint is taken. *)
+    let checkpoint = ref None in
+    let last_cp_instr = ref min_int in
+    let take_checkpoint pc =
+      checkpoint := Some (Machine.snapshot m, pc, Machine.instructions_retired m, Machine.cycles m);
+      last_cp_instr := Machine.instructions_retired m;
+      incr checkpoints
+    in
+    let rec exec pc =
+      if !executed >= config.max_instructions then App_completed Machine.Out_of_fuel
+      else begin
+        let budget = min !cadence (config.max_instructions - !executed) in
+        let before = Machine.instructions_retired m in
+        let result = Machine.run_slice ~on_instr ~pc ~budget m prog in
+        executed := !executed + (Machine.instructions_retired m - before);
+        match result with
+        | Machine.Completed Machine.Stalled ->
+          (* the application itself wedged: watchdog detection *)
+          record_detection "__app (stall)";
+          recover_from_stall ()
+        | Machine.Completed o -> finish o
+        | Machine.Paused pc' -> guard_slice pc'
+      end
+    and guard_slice pc' =
+      if n_cases = 0 then exec pc'
+      else begin
+        let tc = cases.(!slice_idx mod n_cases) in
+        incr slice_idx;
+        incr guard_slices;
+        let result, spent = run_cases m [ tc ] in
+        guard_cycles := !guard_cycles + spent;
+        match result with
+        | Ok () ->
+          cadence :=
+            min config.max_cadence
+              (max (!cadence + 1) (int_of_float (float_of_int !cadence *. config.backoff)));
+          (match config.policy with
+          | Rollback_retry { checkpoint_every; _ }
+            when Machine.instructions_retired m - !last_cp_instr >= checkpoint_every -> (
+            (* verify with the full suite before trusting this state *)
+            match full_suite () with
+            | Ok () ->
+              take_checkpoint pc';
+              exec pc'
+            | Error id ->
+              record_detection id;
+              escalate pc' id)
+          | _ -> exec pc')
+        | Error id ->
+          record_detection id;
+          escalate pc' id
+      end
+    and escalate pc' id =
+      (* burst re-testing: debounce/confirm before recovery acts *)
+      for _ = 1 to config.burst do
+        match full_suite () with Ok () -> () | Error id2 -> record_detection id2
+      done;
+      cadence := max 1 config.cadence;
+      match config.policy with
+      | Abort -> Guard_aborted id
+      | Failover ->
+        swap_to_golden ();
+        recovered := true;
+        exec pc'
+      | Rollback_retry _ -> rollback id
+    and rollback id =
+      match (config.policy, !checkpoint) with
+      | Rollback_retry { max_retries; _ }, _ when !retries >= max_retries -> Guard_aborted id
+      | _, None -> Guard_aborted id
+      | _, Some (snap, cpc, cp_instr, cp_cycle) ->
+        incr retries;
+        let discarded = Machine.instructions_retired m - cp_instr in
+        lost_instrs := !lost_instrs + discarded;
+        lost_cycles := !lost_cycles + (Machine.cycles m - cp_cycle);
+        (* the discarded instructions will be re-executed: give the fuel back
+           so [max_instructions] caps forward progress, not total work *)
+        executed := max 0 (!executed - discarded);
+        Machine.restore m snap;
+        (* re-execute on the golden unit: the suspect backend is retired *)
+        swap_to_golden ();
+        recovered := true;
+        exec cpc
+    and recover_from_stall () =
+      match config.policy with
+      | Rollback_retry _ -> rollback "__app (stall)"
+      | Abort | Failover ->
+        (* the stall interrupted an instruction mid-flight; without a
+           checkpoint there is no coherent resume point *)
+        Guard_aborted "__app (stall)"
+    and finish o =
+      if config.final_sweep && n_cases > 0 then begin
+        match full_suite () with
+        | Ok () -> App_completed o
+        | Error id -> (
+          record_detection id;
+          match config.policy with
+          | Abort -> Guard_aborted id
+          | Failover ->
+            swap_to_golden ();
+            recovered := true;
+            App_completed o
+          | Rollback_retry _ -> rollback id)
+      end
+      else App_completed o
+    in
+    (match config.policy with
+    | Rollback_retry _ ->
+      (* pc 0, before any instruction (and any injector activation): clean
+         by construction *)
+      take_checkpoint 0
+    | _ -> ());
+    let verdict = exec 0 in
+    let detections = List.rev !detections in
+    let onset = Option.bind injector Injector.onset in
+    let latency =
+      match (onset, detections) with
+      | Some (oi, oc), d :: _ -> Some (d.det_instr - oi, d.det_cycle - oc)
+      | _ -> None
+    in
+    {
+      r_verdict = verdict;
+      r_detections = detections;
+      r_onset = onset;
+      r_latency = latency;
+      r_retries = !retries;
+      r_recovered = !recovered;
+      r_app_instructions = Machine.instructions_retired m;
+      r_app_cycles = Machine.cycles m;
+      r_guard_cycles = !guard_cycles;
+      r_guard_slices = !guard_slices;
+      r_lost_cycles = !lost_cycles;
+      r_lost_instructions = !lost_instrs;
+      r_checkpoints = !checkpoints;
+      r_final_cadence = !cadence;
+    }
+
+  let detected r = r.r_detections <> []
+
+  let render r =
+    let buf = Buffer.create 256 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    (match r.r_verdict with
+    | App_completed o -> add "verdict: app %s\n" (Format.asprintf "%a" Machine.pp_outcome o)
+    | Guard_aborted id -> add "verdict: aborted on [%s]\n" id);
+    (match r.r_onset with
+    | Some (i, c) -> add "onset: instr %d, cycle %d\n" i c
+    | None -> add "onset: none (healthy run)\n");
+    List.iter
+      (fun d -> add "detection: [%s] at instr %d, cycle %d (slice %d)\n" d.det_id d.det_instr d.det_cycle d.det_slice)
+      r.r_detections;
+    (match r.r_latency with
+    | Some (i, c) -> add "detection latency: %d instructions, %d cycles\n" i c
+    | None -> ());
+    add "recovery: %s, %d rollback(s), %d checkpoint(s), lost %d cycles\n"
+      (if r.r_recovered then "yes" else "no")
+      r.r_retries r.r_checkpoints r.r_lost_cycles;
+    add "guard: %d slices, %d cycles; app: %d instrs, %d cycles; final cadence %d\n"
+      r.r_guard_slices r.r_guard_cycles r.r_app_instructions r.r_app_cycles r.r_final_cadence;
+    Buffer.contents buf
+end

@@ -222,36 +222,47 @@ module Runner = struct
       (Lift.case_instrs ~fail_label:"__fail" tc
       @ [ Isa.Ecall Isa.exit_ok; Isa.Label "__fail"; Isa.Ecall Isa.exit_sdc ])
 
+  (* Run [f], restoring the machine's pre-existing architectural state
+     afterwards: a guarded application resumes exactly where it left off
+     even though the cases reset the machine.  A wedged in-flight FPU
+     operation makes the pre-test snapshot itself stall — that, too, is a
+     detection. *)
+  let preserving_state m f =
+    match Machine.snapshot m with
+    | exception Machine.Stall_detected -> Error "__pre-test drain (stall)"
+    | snap ->
+      let result = try f () with e -> Machine.restore m snap; raise e in
+      Machine.restore m snap;
+      result
+
+  let run_case m (tc : Lift.test_case) =
+    Machine.reset m;
+    match Machine.run m (case_program tc) with
+    | Machine.Exited code when code = Isa.exit_ok -> Ok ()
+    | Machine.Exited _ -> Error tc.Lift.tc_id
+    | Machine.Stalled -> Error (tc.Lift.tc_id ^ " (stall)")
+    | Machine.Out_of_fuel -> Error (tc.Lift.tc_id ^ " (no progress)")
+
   let run_tests m suite strategy =
     let cases =
       match strategy with
       | Sequential -> suite.Lift.suite_cases
       | Random_order seed -> shuffle seed suite.Lift.suite_cases
     in
-    let rec go = function
-      | [] -> Ok ()
-      | tc :: rest -> (
-        Machine.reset m;
-        match Machine.run m (case_program tc) with
-        | Machine.Exited code when code = Isa.exit_ok -> go rest
-        | Machine.Exited _ -> Error tc.Lift.tc_id
-        | Machine.Stalled -> Error (tc.Lift.tc_id ^ " (stall)")
-        | Machine.Out_of_fuel -> Error (tc.Lift.tc_id ^ " (no progress)"))
-    in
-    go cases
+    preserving_state m (fun () ->
+        let rec go = function
+          | [] -> Ok ()
+          | tc :: rest -> ( match run_case m tc with Ok () -> go rest | Error _ as e -> e)
+        in
+        go cases)
 
   let run_slice m (suite : Lift.suite) ~index =
     match suite.Lift.suite_cases with
     | [] -> Ok ()
-    | cases -> (
+    | cases ->
       let n = List.length cases in
       let tc = List.nth cases (((index mod n) + n) mod n) in
-      Machine.reset m;
-      match Machine.run m (case_program tc) with
-      | Machine.Exited code when code = Isa.exit_ok -> Ok ()
-      | Machine.Exited _ -> Error tc.Lift.tc_id
-      | Machine.Stalled -> Error (tc.Lift.tc_id ^ " (stall)")
-      | Machine.Out_of_fuel -> Error (tc.Lift.tc_id ^ " (no progress)"))
+      preserving_state m (fun () -> run_case m tc)
 
   let run_tests_exn m suite strategy =
     match run_tests m suite strategy with

@@ -81,10 +81,19 @@ module Runner : sig
   exception Sdc_detected of string
   (** Argument is the detecting test case's id. *)
 
+  val case_program : Lift.test_case -> Isa.program
+  (** The standalone program for one test case: the case's instructions,
+      [ecall exit_ok] on pass, [ecall exit_sdc] at the fail label. *)
+
   val run_tests : Machine.t -> Lift.suite -> strategy -> (unit, string) result
-  (** Execute the suite case by case on the machine (reset between cases);
-      [Error id] identifies the first detecting case.  A stalled CPU also
-      counts as a detection ([Error "<id> (stall)"]). *)
+  (** Execute the suite case by case on the machine; [Error id] identifies
+      the first detecting case.  A stalled CPU also counts as a detection
+      ([Error "<id> (stall)"]).  The machine's pre-existing architectural
+      state (registers, memory, counters, unit pipelines) is snapshotted on
+      entry and restored on exit, so a suite run is transparent to an
+      application executing on the same machine.  If the pre-test drain
+      itself wedges the FPU, that is reported as
+      [Error "__pre-test drain (stall)"]. *)
 
   val run_tests_exn : Machine.t -> Lift.suite -> strategy -> unit
   (** Like {!run_tests} but raises {!Sdc_detected} — the exception-based
@@ -93,5 +102,6 @@ module Runner : sig
   val run_slice : Machine.t -> Lift.suite -> index:int -> (unit, string) result
   (** Run only the [index mod length]-th case — the rotating schedule for
       callers that amortize one case per invocation (keep a counter, call
-      with [index], [index+1], ...; a full rotation covers the suite). *)
+      with [index], [index+1], ...; a full rotation covers the suite).
+      State-preserving like {!run_tests}. *)
 end

@@ -58,11 +58,11 @@ type t = {
   mutable n_jumps : int;
   mutable n_moves : int;
   mutable n_other : int;
-  rng : Random.State.t;
-  alu_fn : bool;
-  fpu_fn : bool;
-  alu_unit : pipe_unit option;
-  fpu_unit : pipe_unit option;
+  mutable rng : Random.State.t;
+  mutable alu_fn : bool;
+  mutable fpu_fn : bool;
+  mutable alu_unit : pipe_unit option;
+  mutable fpu_unit : pipe_unit option;
   on_alu_op : Alu.op -> Bitvec.t -> Bitvec.t -> unit;
   on_fpu_op : Fpu_format.op -> Bitvec.t -> Bitvec.t -> unit;
 }
@@ -189,6 +189,9 @@ let fpu_sim t = Option.map (fun u -> u.usim) t.fpu_unit
 exception Stall_detected
 exception Exit_program of int
 
+let alu_functional t = t.alu_fn
+let fpu_functional t = t.fpu_fn
+
 (* ---- gate-level ALU protocol ---- *)
 
 let drive_fault t u =
@@ -289,6 +292,118 @@ let fpu_issue t u op a b dest =
     fpu_retire t u);
   u.pending <- Some dest
 
+(* ---- mid-run backend swapping ----
+
+   Swapping drains the unit's in-flight operation first (which may raise
+   [Stall_detected] on a wedged FPU), so the architectural state is
+   consistent across the swap.  The displaced simulator is returned with
+   its state intact; re-installing it later resumes exactly where it left
+   off, which lets a caller flip between a golden and a fault-instrumented
+   replica of the same unit without paying [Sim.create] on every flip.
+   [None] selects the functional golden backend. *)
+
+let swap_alu_sim t sim =
+  Option.iter (fun u -> alu_drain t u) t.alu_unit;
+  let old = Option.map (fun u -> u.usim) t.alu_unit in
+  (match sim with
+  | None ->
+    t.alu_unit <- None;
+    t.alu_fn <- true
+  | Some s ->
+    let nl = Sim.netlist s in
+    if port_width nl Alu.a_port <> t.cfg.width then
+      invalid_arg "Machine.swap_alu_sim: ALU netlist width does not match config";
+    t.alu_unit <- Some { usim = s; has_fault_port = has_input nl Fault.random_port; pending = None };
+    t.alu_fn <- false);
+  old
+
+let swap_fpu_sim t sim =
+  Option.iter (fun u -> fpu_drain t u) t.fpu_unit;
+  let old = Option.map (fun u -> u.usim) t.fpu_unit in
+  (match sim with
+  | None ->
+    t.fpu_unit <- None;
+    t.fpu_fn <- true
+  | Some s ->
+    let nl = Sim.netlist s in
+    if port_width nl Fpu.a_port <> Fpu_format.width t.cfg.fmt then
+      invalid_arg "Machine.swap_fpu_sim: FPU netlist format does not match config";
+    t.fpu_unit <- Some { usim = s; has_fault_port = has_input nl Fault.random_port; pending = None };
+    t.fpu_fn <- false);
+  old
+
+(* ---- architectural snapshots (checkpoint/rollback support) ----
+
+   A snapshot drains in-flight unit operations first (which may raise
+   [Stall_detected]) and then captures the full architectural state:
+   registers, memory, flags, cycle/instruction counters, op-mix counters,
+   the RNG state, and the gate-level state of any unit simulators.
+   [restore] rewinds all of it, so execution after a restore is
+   bit-identical to execution after the snapshot was taken.  If a unit
+   backend was swapped between snapshot and restore (recovery onto a
+   golden unit), the architectural state is still restored exactly and the
+   incompatible unit simulator is simply reset. *)
+
+type snapshot = {
+  s_regs : Bitvec.t array;
+  s_fregs : Bitvec.t array;
+  s_memory : Bitvec.t array;
+  s_flags : Fpu_format.flags;
+  s_cycles : int;
+  s_retired : int;
+  s_alu_counts : int array;
+  s_fpu_counts : int array;
+  s_misc_counts : int array;
+  s_rng : Random.State.t;
+  s_alu_sim : Sim.snapshot option;
+  s_fpu_sim : Sim.snapshot option;
+}
+
+let snapshot t =
+  Option.iter (fun u -> alu_drain t u) t.alu_unit;
+  Option.iter (fun u -> fpu_drain t u) t.fpu_unit;
+  {
+    s_regs = Array.copy t.regs;
+    s_fregs = Array.copy t.fregs;
+    s_memory = Array.copy t.memory;
+    s_flags = t.flags;
+    s_cycles = t.cycles;
+    s_retired = t.retired;
+    s_alu_counts = Array.copy t.alu_counts;
+    s_fpu_counts = Array.copy t.fpu_counts;
+    s_misc_counts =
+      [| t.n_loads; t.n_stores; t.n_branches; t.n_branches_taken; t.n_jumps; t.n_moves; t.n_other |];
+    s_rng = Random.State.copy t.rng;
+    s_alu_sim = Option.map (fun u -> Sim.snapshot u.usim) t.alu_unit;
+    s_fpu_sim = Option.map (fun u -> Sim.snapshot u.usim) t.fpu_unit;
+  }
+
+let restore t s =
+  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
+  Array.blit s.s_fregs 0 t.fregs 0 (Array.length t.fregs);
+  Array.blit s.s_memory 0 t.memory 0 (Array.length t.memory);
+  t.flags <- s.s_flags;
+  t.cycles <- s.s_cycles;
+  t.retired <- s.s_retired;
+  Array.blit s.s_alu_counts 0 t.alu_counts 0 (Array.length t.alu_counts);
+  Array.blit s.s_fpu_counts 0 t.fpu_counts 0 (Array.length t.fpu_counts);
+  t.n_loads <- s.s_misc_counts.(0);
+  t.n_stores <- s.s_misc_counts.(1);
+  t.n_branches <- s.s_misc_counts.(2);
+  t.n_branches_taken <- s.s_misc_counts.(3);
+  t.n_jumps <- s.s_misc_counts.(4);
+  t.n_moves <- s.s_misc_counts.(5);
+  t.n_other <- s.s_misc_counts.(6);
+  t.rng <- Random.State.copy s.s_rng;
+  let restore_unit u snap =
+    u.pending <- None;
+    match snap with
+    | Some ss -> ( try Sim.restore u.usim ss with Invalid_argument _ -> Sim.reset u.usim)
+    | None -> Sim.reset u.usim
+  in
+  Option.iter (fun u -> restore_unit u s.s_alu_sim) t.alu_unit;
+  Option.iter (fun u -> restore_unit u s.s_fpu_sim) t.fpu_unit
+
 (* ---- hazard bookkeeping ---- *)
 
 let alu_reads = function
@@ -340,7 +455,10 @@ let base_cost = function
   | Isa.Ecall _ -> 1
   | Isa.Label _ -> 0
 
-let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t (prog : Isa.program) =
+type slice_outcome = Paused of int | Completed of outcome
+
+let run_raw ~on_instr ~pc ~budget t (prog : Isa.program) =
+  let start_pc = pc and max_instructions = budget in
   let w = t.cfg.width in
   let fpw = Fpu_format.width t.cfg.fmt in
   let imm v = Bitvec.create ~width:w v in
@@ -380,8 +498,8 @@ let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t (prog : Isa.
   let cmp_lt a b = Bitvec.to_int (alu_value t Alu.Slt a b) = 1 in
   let cmp_ltu a b = Bitvec.to_int (alu_value t Alu.Sltu a b) = 1 in
   let rec loop pc fuel =
-    if fuel <= 0 then Out_of_fuel
-    else if pc < 0 || pc >= Array.length prog.instrs then Exited Isa.exit_ok
+    if fuel <= 0 then Paused pc
+    else if pc < 0 || pc >= Array.length prog.instrs then Completed (Exited Isa.exit_ok)
     else begin
       let instr = prog.instrs.(pc) in
       on_instr pc;
@@ -463,12 +581,32 @@ let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t (prog : Isa.
       loop next (fuel - 1)
     end
   in
-  try loop 0 max_instructions with
+  try loop start_pc max_instructions with
   | Exit_program code ->
     (* drain in-flight operations so architectural state is final *)
     (try
        Option.iter (fun u -> alu_drain t u) t.alu_unit;
        Option.iter (fun u -> fpu_drain t u) t.fpu_unit;
-       Exited code
-     with Stall_detected -> Stalled)
-  | Stall_detected -> Stalled
+       Completed (Exited code)
+     with Stall_detected -> Completed Stalled)
+  | Stall_detected -> Completed Stalled
+
+let run ?(max_instructions = 1_000_000) ?(on_instr = fun _ -> ()) t prog =
+  match run_raw ~on_instr ~pc:0 ~budget:max_instructions t prog with
+  | Paused _ -> Out_of_fuel
+  | Completed o -> o
+
+(* Run a bounded slice of [prog] starting at [pc]; [Paused pc'] hands back
+   the resume point with in-flight unit operations drained, so the machine
+   state at the pause is architectural (a snapshot or an interleaved test
+   run can safely happen before resuming).  A drain that wedges surfaces
+   as [Completed Stalled] — the watchdog outcome. *)
+let run_slice ?(on_instr = fun _ -> ()) ~pc ~budget t prog =
+  match run_raw ~on_instr ~pc ~budget t prog with
+  | Paused pc' -> (
+    try
+      Option.iter (fun u -> alu_drain t u) t.alu_unit;
+      Option.iter (fun u -> fpu_drain t u) t.fpu_unit;
+      Paused pc'
+    with Stall_detected -> Completed Stalled)
+  | Completed _ as c -> c

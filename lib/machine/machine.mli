@@ -43,6 +43,11 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+exception Stall_detected
+(** Raised out of {!snapshot} and the backend-swap functions when draining
+    an in-flight FPU operation trips the watchdog (the unit is wedged).
+    {!run} and {!run_slice} catch it internally and report [Stalled]. *)
+
 type t
 
 val create :
@@ -111,3 +116,63 @@ val alu_sim : t -> Sim.t option
     profiling); [None] for the functional backend. *)
 
 val fpu_sim : t -> Sim.t option
+
+val alu_functional : t -> bool
+(** Whether the ALU currently runs on the functional golden backend. *)
+
+val fpu_functional : t -> bool
+
+(** {1 Sliced execution}
+
+    The runtime guard executes an application in bounded slices so test
+    cases can be interleaved at a configurable cadence, then resumes the
+    program exactly where it paused. *)
+
+type slice_outcome =
+  | Paused of int
+      (** budget exhausted; resume from this pc.  In-flight unit operations
+          are drained, so the machine state at the pause is architectural. *)
+  | Completed of outcome
+
+val run_slice :
+  ?on_instr:(int -> unit) -> pc:int -> budget:int -> t -> Isa.program -> slice_outcome
+(** Execute at most [budget] instructions starting at [pc].  A drain that
+    wedges at the pause point surfaces as [Completed Stalled] (the
+    watchdog outcome).  [run] is equivalent to [run_slice ~pc:0] with
+    [Paused _] mapped to [Out_of_fuel]. *)
+
+(** {1 Mid-run backend swapping}
+
+    Support for mid-life fault onset and failover recovery: the guard flips
+    a unit between a golden and a fault-instrumented replica while the
+    application is running. *)
+
+val swap_alu_sim : t -> Sim.t option -> Sim.t option
+(** [swap_alu_sim t sim] installs [sim] as the ALU backend ([None] =
+    functional golden backend) and returns the displaced simulator with its
+    state intact, so it can be re-installed later without a [Sim.create].
+    The in-flight operation is drained first (which may raise
+    [Stall_detected]), keeping the architectural state consistent.
+    @raise Invalid_argument if the new netlist's width does not match. *)
+
+val swap_fpu_sim : t -> Sim.t option -> Sim.t option
+
+(** {1 Architectural snapshots}
+
+    Checkpoint/rollback support for the recovery policies of the runtime
+    guard. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Drain in-flight unit operations (may raise [Stall_detected]), then
+    capture the complete machine state: registers, memory, flags,
+    cycle/instruction/op-mix counters, RNG state, and the gate-level state
+    of any netlist units. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind to a snapshot.  Execution after [restore] is bit-identical to
+    execution after the snapshot was taken.  If a unit backend was swapped
+    since the snapshot (recovery onto a golden unit), the architectural
+    state is still restored exactly and the incompatible unit simulator is
+    reset instead. *)

@@ -102,6 +102,39 @@ let hold_clock t =
 let cycle t = t.cycle
 let net t n = t.values.(n)
 
+(* ---- state snapshots (checkpoint/rollback support) ---- *)
+
+type snapshot = {
+  snap_values : bool array;
+  snap_ones : int array;
+  snap_toggles : int array;
+  snap_prev : bool array;
+  snap_samples : int;
+  snap_cycle : int;
+}
+
+let snapshot t =
+  {
+    snap_values = Array.copy t.values;
+    snap_ones = Array.copy t.ones;
+    snap_toggles = Array.copy t.toggles;
+    snap_prev = Array.copy t.prev;
+    snap_samples = t.samples;
+    snap_cycle = t.cycle;
+  }
+
+let restore t s =
+  if Array.length s.snap_values <> Array.length t.values then
+    invalid_arg "Sim.restore: snapshot was taken on a different netlist";
+  Array.blit s.snap_values 0 t.values 0 (Array.length t.values);
+  if Array.length t.ones > 0 && Array.length s.snap_ones = Array.length t.ones then begin
+    Array.blit s.snap_ones 0 t.ones 0 (Array.length t.ones);
+    Array.blit s.snap_toggles 0 t.toggles 0 (Array.length t.toggles);
+    Array.blit s.snap_prev 0 t.prev 0 (Array.length t.prev)
+  end;
+  t.samples <- s.snap_samples;
+  t.cycle <- s.snap_cycle
+
 let port_value t (p : Netlist.port) =
   let width = Array.length p.port_nets in
   let v = ref (Bitvec.zero width) in

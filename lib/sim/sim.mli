@@ -85,6 +85,22 @@ val toggle_rate : t -> Netlist.net -> float
 
 val samples : t -> int
 
+(** {1 State snapshots} *)
+
+type snapshot
+(** A full copy of the simulator's state: every net value, the cycle
+    counter, and (when profiling) the SP/toggle counters.  Backs the
+    machine-level checkpoint/rollback API of the runtime guard. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewind the simulator to a previously captured snapshot.  Execution
+    after [restore t s] is bit-identical to execution after [snapshot t]
+    returned [s].
+    @raise Invalid_argument if the snapshot was taken on a netlist with a
+    different net count. *)
+
 (** {1 Batch driving} *)
 
 val run :

@@ -173,6 +173,24 @@ let test_run_slice_rotation () =
        ~index:0
     = Ok ())
 
+let test_runner_preserves_state () =
+  let m = functional16 () in
+  Machine.reset m;
+  let _ =
+    Machine.run m
+      (Isa.assemble [ Isa.Li (1, 1234); Isa.Li (2, 77); Isa.Sw (1, 0, 8); Isa.Ecall 0 ])
+  in
+  let observe () =
+    ( List.init 16 (fun r -> Bitvec.to_int (Machine.reg m r)),
+      Bitvec.to_int (Machine.mem m 8),
+      Machine.cycles m,
+      Machine.instructions_retired m )
+  in
+  let before = observe () in
+  Alcotest.(check bool) "suite passes" true
+    (Integrate.Runner.run_tests m small_suite Integrate.Runner.Sequential = Ok ());
+  Alcotest.(check bool) "architectural state restored" true (before = observe ())
+
 let test_runner_detects_and_raises () =
   let target = Lift.alu_target ~width:16 () in
   let r = Lift.lift_pair target ~start_dff:"b_q0" ~end_dff:"r_q1" ~violation:Fault.Setup_violation in
@@ -221,6 +239,7 @@ let () =
           Alcotest.test_case "C emission" `Quick test_c_library_emission;
           Alcotest.test_case "runner strategies" `Quick test_runner_strategies;
           Alcotest.test_case "rotating slice" `Quick test_run_slice_rotation;
+          Alcotest.test_case "runner preserves app state" `Quick test_runner_preserves_state;
           Alcotest.test_case "runner detects and raises" `Quick test_runner_detects_and_raises;
         ] );
     ]

@@ -324,6 +324,57 @@ let prop_backends_agree =
               (fun r -> Bitvec.equal (Machine.reg mf r) (Machine.reg mn r))
               (List.init 16 (fun i -> i))))
 
+(* Property: pausing mid-run, snapshotting, and restoring is exact — the
+   completion reached after [restore] is bit-identical (outcome, registers,
+   fp registers, memory, cycle count) to the one reached directly. *)
+let prop_snapshot_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"snapshot/restore roundtrip is exact"
+       (QCheck.make ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+          QCheck.Gen.(list_size (int_range 2 12) (int_bound 10_000)))
+       (fun seeds ->
+         let m = netlist_machine () in
+         let rng = Random.State.make (Array.of_list seeds) in
+         let instrs =
+           List.concat_map
+             (fun _ ->
+               let op = List.nth Alu.all_ops (Random.State.int rng 10) in
+               let rd = 1 + Random.State.int rng 15 in
+               let r1 = Random.State.int rng 16 and r2 = Random.State.int rng 16 in
+               [
+                 Isa.Li (rd, Random.State.int rng 65536);
+                 Isa.Alu (op, rd, rd, r1);
+                 Isa.Sw (rd, 0, 4 * (1 + Random.State.int rng 8));
+                 Isa.Alu (Alu.Add, r2 land 15, rd, r1);
+               ])
+             seeds
+           @ [ Isa.Ecall 0 ]
+         in
+         let prog = Isa.assemble instrs in
+         Machine.reset m;
+         let budget = 1 + Random.State.int rng (Isa.length prog - 1) in
+         match Machine.run_slice ~pc:0 ~budget m prog with
+         | Machine.Completed _ -> QCheck.assume_fail ()  (* paused nowhere; trivial *)
+         | Machine.Paused pc ->
+           let snap = Machine.snapshot m in
+           let observe () =
+             let o =
+               match Machine.run_slice ~pc ~budget:100_000 m prog with
+               | Machine.Completed o -> o
+               | Machine.Paused _ -> Machine.Out_of_fuel
+             in
+             ( o,
+               List.init 16 (fun r -> Bitvec.to_int (Machine.reg m r)),
+               List.init 16 (fun r -> Bitvec.to_int (Machine.freg m r)),
+               List.init 16 (fun a -> Bitvec.to_int (Machine.mem m (4 * a))),
+               Machine.cycles m,
+               Machine.instructions_retired m )
+           in
+           let direct = observe () in
+           Machine.restore m snap;
+           let replayed = observe () in
+           direct = replayed))
+
 let () =
   Alcotest.run "machine"
     [
@@ -352,5 +403,5 @@ let () =
           Alcotest.test_case "fault detection" `Quick test_faulty_alu_detected_by_test_branch;
           Alcotest.test_case "fpu stall watchdog" `Quick test_fpu_stall_watchdog;
         ] );
-      ("properties", [ prop_backends_agree ]);
+      ("properties", [ prop_backends_agree; prop_snapshot_roundtrip ]);
     ]

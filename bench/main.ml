@@ -7,6 +7,7 @@
      bench/main.exe quick      reduced configuration
      bench/main.exe micro      micro-benchmarks only
      bench/main.exe ablations  ablation studies only
+     bench/main.exe check      CEC vs random-vector validation timing
      bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
                                table3 table4 table5 table6 table7 fig9 *)
 
@@ -385,6 +386,99 @@ let run_ablations () =
   ablation_corner_conservatism ();
   ablation_clock_margin ()
 
+(* ------------- static-check benchmarks: CEC vs random vectors ------------- *)
+
+(* Drive two netlists with identical random stimulus across all Sim64 lanes
+   and report the first cycle with an output mismatch, if any. *)
+let random_equiv ?(seed = 0xbec5) ~cycles a_nl b_nl =
+  let sa = Sim64.create a_nl and sb = Sim64.create b_nl in
+  Sim64.reset sa;
+  Sim64.reset sb;
+  let rng = Random.State.make [| seed |] in
+  let mismatch = ref None in
+  (try
+     for c = 0 to cycles - 1 do
+       List.iter
+         (fun (p : Netlist.port) ->
+           let words =
+             Array.init (Array.length p.Netlist.port_nets) (fun _ -> Sim64.random_word rng)
+           in
+           Sim64.set_input_words sa p.Netlist.port_name words;
+           Sim64.set_input_words sb p.Netlist.port_name words)
+         (Netlist.inputs a_nl);
+       Sim64.settle sa;
+       Sim64.settle sb;
+       List.iter
+         (fun (p : Netlist.port) ->
+           if Sim64.output_words sa p.Netlist.port_name <> Sim64.output_words sb p.Netlist.port_name
+           then begin
+             mismatch := Some c;
+             raise Exit
+           end)
+         (Netlist.outputs a_nl);
+       Sim64.step sa;
+       Sim64.step sb
+     done
+   with Exit -> ());
+  !mismatch
+
+let run_check_bench () =
+  print_endline "== static-verification benchmarks: CEC vs random-vector validation ==\n";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let row label detail ms = Printf.printf "  %-34s %-38s %8.2f ms\n" label detail ms in
+  let units = [ ("alu8", alu8.Lift.netlist); ("fpu16", fpu16_netlist) ] in
+  List.iter
+    (fun (uname, nl) ->
+      let opt, _ = Netlist_opt.optimize nl in
+      let v, ms = timed (fun () -> Cec.check nl opt) in
+      row
+        (Printf.sprintf "cec %s vs optimized" uname)
+        (match v with
+        | Cec.Equivalent -> "proven equivalent"
+        | Cec.Inequivalent _ -> "INEQUIVALENT (bug!)"
+        | Cec.Unknown -> "unknown")
+        ms;
+      let mutant, desc = Check.mutate ~seed:1 nl in
+      let v, ms = timed (fun () -> Cec.check nl mutant) in
+      row
+        (Printf.sprintf "cec %s vs mutated" uname)
+        (match v with
+        | Cec.Inequivalent _ -> Printf.sprintf "caught: %s" desc
+        | Cec.Equivalent -> "MISSED (bug!)"
+        | Cec.Unknown -> "unknown")
+        ms;
+      let cycles = 2000 in
+      let m, ms = timed (fun () -> random_equiv ~cycles nl opt) in
+      row
+        (Printf.sprintf "sim64 %s vs optimized" uname)
+        (match m with
+        | None -> Printf.sprintf "%d cycles x 64 lanes clean (no proof)" cycles
+        | Some c -> Printf.sprintf "MISMATCH at cycle %d (bug!)" c)
+        ms;
+      let m, ms = timed (fun () -> random_equiv ~cycles nl mutant) in
+      row
+        (Printf.sprintf "sim64 %s vs mutated" uname)
+        (match m with
+        | Some c -> Printf.sprintf "caught at cycle %d" c
+        | None -> Printf.sprintf "undetected in %d cycles" cycles)
+        ms)
+    units;
+  let v, ms =
+    timed (fun () ->
+        Cec.check ~free_inputs:true ~tie_low:(Fault.select_cells faulty_alu8) alu8.Lift.netlist
+          faulty_alu8)
+  in
+  row "cec alu8 vs fault-tied-inert"
+    (match v with
+    | Cec.Equivalent -> "proven equivalent (instrumentation inert)"
+    | Cec.Inequivalent _ -> "INEQUIVALENT (bug!)"
+    | Cec.Unknown -> "unknown")
+    ms
+
 (* ------------- experiment printing ------------- *)
 
 let log s = Printf.eprintf "[bench] %s\n%!" s
@@ -416,6 +510,7 @@ let () =
     run_micro ();
     run_ablations ()
   | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
+  | "check" -> run_check_bench ()
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
@@ -437,6 +532,7 @@ let () =
     with_context config (fun c -> print_string (Experiments.render_fig9 (Experiments.fig9 c)))
   | other ->
     Printf.eprintf
-      "unknown argument %S (expected all|quick|micro|ablations|guard|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+      "unknown argument %S (expected \
+       all|quick|micro|ablations|guard|check|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

@@ -1,14 +1,20 @@
 (* The vega command-line tool.
 
      vega analyze  --unit alu|fpu [--width N] [--margin M] [--years Y]
-     vega lift     --unit alu|fpu [--mitigation] [--asm]
+     vega lift     --unit alu|fpu [--mitigation] [--asm] [--out FILE]
      vega run      --unit alu|fpu [--inject START:END:KIND:C] [--random-order SEED]
      vega emit-c   --unit alu|fpu
+     vega encode   --unit alu|fpu
      vega verilog  --unit alu|fpu|example [--inject START:END:KIND:C]
+     vega fuzz     --unit alu|fpu --pair START:END [--budget CYCLES]
+     vega optimize --unit alu|fpu [--verify]
+     vega lint     --unit alu|fpu | --selftest
+     vega check    --unit alu|fpu [--seed N]
      vega report   [--quick]
      vega guard-campaign [--quick] [--seed N]
 
-   Faults are specified as "start_dff:end_dff:setup|hold:0|1|r",
+   Unknown subcommands exit non-zero (cmdliner's exit 124).  Faults are
+   specified as "start_dff:end_dff:setup|hold:0|1|r",
    e.g. --inject a_q0:r_q0:setup:0. *)
 
 open Cmdliner
@@ -362,6 +368,136 @@ let encode_cmd =
     (Cmd.info "encode" ~doc:"Emit the generated suite as RV32 machine code (readmemh hex).")
     term
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let selftest_arg =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:"Lint the built-in corpus of deliberately defective designs and verify every \
+                diagnostic code fires.")
+  in
+  let unit_opt_arg =
+    Arg.(value & opt (some unit_conv) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Functional unit: alu or fpu.")
+  in
+  let run unit_kind width selftest =
+    if selftest then begin
+      let failures = ref 0 in
+      List.iter
+        (fun (code, design) ->
+          let diags = Check.lint design in
+          let hit = List.exists (fun (d : Check.diagnostic) -> d.Check.code = code) diags in
+          let codes =
+            List.sort_uniq compare (List.map (fun (d : Check.diagnostic) -> Check.code_id d.Check.code) diags)
+          in
+          Printf.printf "  %-5s %-16s %s (reported: %s)\n" (Check.code_id code)
+            design.Netlist.Raw.r_name
+            (if hit then "flagged" else "MISSED")
+            (String.concat " " codes);
+          if not hit then incr failures)
+        Check.selftest_designs;
+      if !failures = 0 then begin
+        Printf.printf "lint selftest: all %d diagnostic codes fire\n"
+          (List.length Check.selftest_designs);
+        0
+      end
+      else begin
+        Printf.printf "lint selftest: %d code(s) failed to fire\n" !failures;
+        1
+      end
+    end
+    else begin
+      match unit_kind with
+      | None ->
+        prerr_endline "vega lint: either --unit or --selftest is required";
+        2
+      | Some u ->
+        let target = target_of (u, width) in
+        let nl = target.Lift.netlist in
+        let diags = Check.lint_netlist nl in
+        print_string (Check.render ~design:(Netlist.name nl) diags);
+        if Check.errors diags = [] then 0 else 1
+    end
+  in
+  let term = Term.(const run $ unit_opt_arg $ width_arg $ selftest_arg) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Structural lint of a unit netlist (or --selftest the diagnostic corpus); exits \
+             non-zero on error-class diagnostics.")
+    term
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the sanity mutation.")
+  in
+  let run unit_kind width seed =
+    let target = target_of (unit_kind, width) in
+    let nl = target.Lift.netlist in
+    let failed = ref false in
+    let step label ok detail =
+      Printf.printf "  %-44s %s%s\n" label (if ok then "ok" else "FAIL")
+        (if detail = "" then "" else ": " ^ detail);
+      if not ok then failed := true
+    in
+    Printf.printf "static verification of %s\n" (Netlist.name nl);
+    (* 1. structural lint *)
+    let diags = Check.lint_netlist nl in
+    step "lint (no error-class diagnostics)"
+      (Check.errors diags = [])
+      (Printf.sprintf "%d diagnostic(s)" (List.length diags));
+    (* 2. optimizer output is CEC-equivalent *)
+    let opt, stats = Netlist_opt.optimize nl in
+    let v = Cec.check nl opt in
+    step
+      (Printf.sprintf "cec: optimized (%d -> %d cells)" stats.Netlist_opt.cells_before
+         stats.Netlist_opt.cells_after)
+      (v = Cec.Equivalent) (Cec.describe v);
+    (* 3. fault instrumentation is inert while dormant *)
+    (match Netlist.dffs nl with
+    | x :: (_ :: _ as rest) ->
+      let start_dff = (Netlist.cell nl x).Netlist.name in
+      let end_dff = (Netlist.cell nl (List.nth rest (List.length rest - 1))).Netlist.name in
+      let spec =
+        {
+          Fault.start_dff;
+          end_dff;
+          kind = Fault.Setup_violation;
+          constant = Fault.C0;
+          activation = Fault.Any_transition;
+        }
+      in
+      let faulty = Fault.failing_netlist nl spec in
+      let v = Cec.check ~free_inputs:true ~tie_low:(Fault.select_cells faulty) nl faulty in
+      step
+        (Printf.sprintf "cec: fault replica inert (%s)" (Fault.describe spec))
+        (v = Cec.Equivalent) (Cec.describe v)
+    | _ -> step "cec: fault replica inert" false "netlist has fewer than two registers");
+    (* 4. a seeded mutation must be caught *)
+    let mutant, desc = Check.mutate ~seed nl in
+    (match Cec.check nl mutant with
+    | Cec.Inequivalent cex -> step (Printf.sprintf "cec: mutation caught (%s)" desc) true cex.Cec.cex_site
+    | v -> step (Printf.sprintf "cec: mutation caught (%s)" desc) false (Cec.describe v));
+    (* 5. SCOAP testability summary *)
+    print_string (Scoap.render ~limit:5 nl (Scoap.analyze nl));
+    if !failed then begin
+      print_endline "static verification: FAILED";
+      1
+    end
+    else begin
+      print_endline "static verification: PASSED";
+      0
+    end
+  in
+  let term = Term.(const run $ unit_arg $ width_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Full static-verification sweep of a unit: lint, optimizer CEC, fault-replica CEC, \
+             seeded-mutation detection, SCOAP testability.")
+    term
+
 (* ---------- report ---------- *)
 
 let report_cmd =
@@ -404,5 +540,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
-            encode_cmd; report_cmd; guard_campaign_cmd;
+            encode_cmd; lint_cmd; check_cmd; report_cmd; guard_campaign_cmd;
           ]))

@@ -1,0 +1,440 @@
+(* Structural netlist lint over the raw (unvalidated) design view.
+
+   The pass mirrors — and extends — the invariants [Netlist.Builder.finish]
+   enforces, but instead of raising on the first violation it collects every
+   defect as a coded diagnostic, so a broken transform can be understood in
+   one report and so CI can diff reports against goldens. *)
+
+module R = Netlist.Raw
+module K = Cell.Kind
+
+type severity = Error | Warning
+
+type code =
+  | Multi_driver
+  | Floating_input
+  | Undriven_output
+  | Comb_cycle
+  | Dead_gate
+  | Arity_mismatch
+  | Bad_net
+  | Dangling_net
+  | Duplicate_name
+  | Empty_port
+
+let code_id = function
+  | Multi_driver -> "NL001"
+  | Floating_input -> "NL002"
+  | Undriven_output -> "NL003"
+  | Comb_cycle -> "NL004"
+  | Dead_gate -> "NL005"
+  | Arity_mismatch -> "NL006"
+  | Bad_net -> "NL007"
+  | Dangling_net -> "NL008"
+  | Duplicate_name -> "NL009"
+  | Empty_port -> "NL010"
+
+let severity_of = function
+  | Multi_driver | Floating_input | Undriven_output | Comb_cycle | Arity_mismatch | Bad_net
+  | Duplicate_name ->
+    Error
+  | Dead_gate | Dangling_net | Empty_port -> Warning
+
+type diagnostic = { code : code; loc : string; message : string }
+
+let errors diags = List.filter (fun d -> severity_of d.code = Error) diags
+
+(* Every check below must survive arbitrary garbage: out-of-range nets are
+   reported once (NL007) and skipped everywhere else. *)
+
+let lint (r : R.t) =
+  let diags = ref [] in
+  let emit code loc message = diags := { code; loc; message } :: !diags in
+  let valid n = n >= 0 && n < r.r_num_nets in
+  let ports = List.map (fun p -> (p, "input")) r.r_inputs @ List.map (fun p -> (p, "output")) r.r_outputs in
+  (* NL009: duplicate cell / port names (cells and ports are separate
+     namespaces, as are input and output ports). *)
+  let dup_check what names =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt seen name with
+        | Some already_reported ->
+          if not already_reported then begin
+            emit Duplicate_name name (Printf.sprintf "%s name %s is used more than once" what name);
+            Hashtbl.replace seen name true
+          end
+        | None -> Hashtbl.replace seen name false)
+      names
+  in
+  dup_check "cell" (Array.to_list r.r_cells |> List.map (fun c -> c.R.rc_name));
+  dup_check "input port" (List.map (fun p -> p.R.rp_name) r.r_inputs);
+  dup_check "output port" (List.map (fun p -> p.R.rp_name) r.r_outputs);
+  (* NL010: zero-width ports. *)
+  List.iter
+    (fun ((p : R.rport), dir) ->
+      if Array.length p.R.rp_nets = 0 then
+        emit Empty_port p.R.rp_name (Printf.sprintf "%s port %s has width 0" dir p.R.rp_name))
+    ports;
+  (* NL006: arity mismatches.  NL007: out-of-range net references. *)
+  let bad_net_reported = Hashtbl.create 8 in
+  let check_net loc n =
+    if not (valid n) && not (Hashtbl.mem bad_net_reported (loc, n)) then begin
+      Hashtbl.replace bad_net_reported (loc, n) ();
+      emit Bad_net loc
+        (Printf.sprintf "%s references net %d outside [0, %d)" loc n r.r_num_nets)
+    end
+  in
+  Array.iter
+    (fun (c : R.rcell) ->
+      let arity = K.arity c.R.rc_kind in
+      if Array.length c.R.rc_inputs <> arity then
+        emit Arity_mismatch c.R.rc_name
+          (Printf.sprintf "cell %s (%s) expects %d inputs, has %d" c.R.rc_name
+             (K.to_string c.R.rc_kind) arity (Array.length c.R.rc_inputs));
+      Array.iter (check_net c.R.rc_name) c.R.rc_inputs;
+      check_net c.R.rc_name c.R.rc_output)
+    r.r_cells;
+  List.iter
+    (fun ((p : R.rport), _) -> Array.iter (check_net p.R.rp_name) p.R.rp_nets)
+    ports;
+  (* Driver map (lists: a net may legally have at most one). *)
+  let drivers = Array.make (max r.r_num_nets 1) [] in
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iteri
+        (fun bit n ->
+          if valid n then drivers.(n) <- Printf.sprintf "input %s[%d]" p.R.rp_name bit :: drivers.(n))
+        p.R.rp_nets)
+    r.r_inputs;
+  Array.iter
+    (fun (c : R.rcell) ->
+      if valid c.R.rc_output then
+        drivers.(c.R.rc_output) <- Printf.sprintf "cell %s" c.R.rc_name :: drivers.(c.R.rc_output))
+    r.r_cells;
+  (* NL001: multi-driven nets. *)
+  for n = 0 to r.r_num_nets - 1 do
+    match drivers.(n) with
+    | [] | [ _ ] -> ()
+    | many ->
+      emit Multi_driver
+        (Printf.sprintf "net %d" n)
+        (Printf.sprintf "net %d is driven by %s" n
+           (String.concat " and " (List.sort compare many)))
+  done;
+  let driven n = valid n && drivers.(n) <> [] in
+  (* NL002: cell inputs reading undriven nets. *)
+  Array.iter
+    (fun (c : R.rcell) ->
+      let floating =
+        Array.to_list c.R.rc_inputs
+        |> List.mapi (fun pin n -> (pin, n))
+        |> List.filter (fun (_, n) -> valid n && not (driven n))
+      in
+      match floating with
+      | [] -> ()
+      | _ ->
+        emit Floating_input c.R.rc_name
+          (Printf.sprintf "cell %s reads undriven net%s %s" c.R.rc_name
+             (if List.length floating > 1 then "s" else "")
+             (String.concat ", "
+                (List.map (fun (pin, n) -> Printf.sprintf "%d (pin %d)" n pin) floating))))
+    r.r_cells;
+  (* NL003: output-port bits reading undriven nets. *)
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iteri
+        (fun bit n ->
+          if valid n && not (driven n) then
+            emit Undriven_output
+              (Printf.sprintf "%s[%d]" p.R.rp_name bit)
+              (Printf.sprintf "output %s[%d] reads undriven net %d" p.R.rp_name bit n))
+        p.R.rp_nets)
+    r.r_outputs;
+  (* Cell-level graph helpers shared by the cycle and liveness checks. *)
+  let ncells = Array.length r.r_cells in
+  let cell_drivers_of_net = Array.make (max r.r_num_nets 1) [] in
+  Array.iteri
+    (fun id (c : R.rcell) ->
+      if valid c.R.rc_output then
+        cell_drivers_of_net.(c.R.rc_output) <- id :: cell_drivers_of_net.(c.R.rc_output))
+    r.r_cells;
+  (* NL004: combinational cycles, reported per strongly-connected component
+     (Tarjan), so one diagnostic names the whole loop rather than every cell
+     stuck behind it (which is what leftover-after-Kahn would report). *)
+  let comb id = not (K.is_sequential r.r_cells.(id).R.rc_kind) in
+  (* readers per net *)
+  let cell_readers_of_net = Array.make (max r.r_num_nets 1) [] in
+  Array.iteri
+    (fun id (c : R.rcell) ->
+      Array.iter
+        (fun n -> if valid n then cell_readers_of_net.(n) <- id :: cell_readers_of_net.(n))
+        c.R.rc_inputs)
+    r.r_cells;
+  let comb_succs id =
+    let c = r.r_cells.(id) in
+    if (not (comb id)) || not (valid c.R.rc_output) then []
+    else List.filter comb cell_readers_of_net.(c.R.rc_output)
+  in
+  (* Tarjan SCC over the combinational subgraph. *)
+  let index = Array.make ncells (-1) in
+  let lowlink = Array.make ncells 0 in
+  let on_stack = Array.make ncells false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (comb_succs v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for id = 0 to ncells - 1 do
+    if comb id && index.(id) < 0 then strongconnect id
+  done;
+  List.iter
+    (fun scc ->
+      let cyclic =
+        match scc with
+        | [ v ] -> List.mem v (comb_succs v) (* self-loop *)
+        | _ :: _ :: _ -> true
+        | _ -> false
+      in
+      if cyclic then begin
+        let names =
+          List.map (fun id -> r.r_cells.(id).R.rc_name) scc |> List.sort compare
+        in
+        let shown =
+          if List.length names > 8 then
+            String.concat " -> " (List.filteri (fun i _ -> i < 8) names) ^ " -> ..."
+          else String.concat " -> " names
+        in
+        emit Comb_cycle (List.hd names)
+          (Printf.sprintf "combinational cycle through %d cell%s: %s" (List.length names)
+             (if List.length names > 1 then "s" else "") shown)
+      end)
+    !sccs;
+  (* NL005: dead gates — cells from which no output port is reachable
+     (crossing DFFs).  Backward BFS from the output-port nets. *)
+  let live_cell = Array.make ncells false in
+  let live_net = Array.make (max r.r_num_nets 1) false in
+  let frontier = Queue.create () in
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iter
+        (fun n ->
+          if valid n && not live_net.(n) then begin
+            live_net.(n) <- true;
+            Queue.add n frontier
+          end)
+        p.R.rp_nets)
+    r.r_outputs;
+  while not (Queue.is_empty frontier) do
+    let n = Queue.pop frontier in
+    List.iter
+      (fun id ->
+        if not live_cell.(id) then begin
+          live_cell.(id) <- true;
+          Array.iter
+            (fun m ->
+              if valid m && not live_net.(m) then begin
+                live_net.(m) <- true;
+                Queue.add m frontier
+              end)
+            r.r_cells.(id).R.rc_inputs
+        end)
+      cell_drivers_of_net.(n)
+  done;
+  Array.iteri
+    (fun id (c : R.rcell) ->
+      if not live_cell.(id) then
+        emit Dead_gate c.R.rc_name
+          (Printf.sprintf "%s %s (%s) cannot reach any output port"
+             (if K.is_sequential c.R.rc_kind then "register" else "gate")
+             c.R.rc_name (K.to_string c.R.rc_kind)))
+    r.r_cells;
+  (* NL008: cell-driven nets nobody reads (and no output port exports). *)
+  let on_output = Array.make (max r.r_num_nets 1) false in
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iter (fun n -> if valid n then on_output.(n) <- true) p.R.rp_nets)
+    r.r_outputs;
+  Array.iter
+    (fun (c : R.rcell) ->
+      let n = c.R.rc_output in
+      if valid n && cell_readers_of_net.(n) = [] && not on_output.(n) then
+        emit Dangling_net
+          (Printf.sprintf "net %d" n)
+          (Printf.sprintf "net %d (output of %s) has no reader and is not exported" n c.R.rc_name))
+    r.r_cells;
+  List.sort
+    (fun a b ->
+      match compare (code_id a.code) (code_id b.code) with
+      | 0 -> ( match compare a.loc b.loc with 0 -> compare a.message b.message | c -> c)
+      | c -> c)
+    !diags
+
+let lint_netlist nl = lint (Netlist.raw nl)
+
+let render ~design diags =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "lint report for %s\n" design);
+  if diags = [] then Buffer.add_string buf "  clean\n"
+  else
+    List.iter
+      (fun d ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%s] %-7s %s\n" (code_id d.code)
+             (match severity_of d.code with Error -> "error" | Warning -> "warning")
+             d.message))
+      diags;
+  let n_err = List.length (errors diags) in
+  let n_warn = List.length diags - n_err in
+  Buffer.add_string buf (Printf.sprintf "  %d error(s), %d warning(s)\n" n_err n_warn);
+  Buffer.contents buf
+
+(* ---- self-test corpus ------------------------------------------------- *)
+
+let selftest_designs =
+  let rc ?(kind = K.Buf) name inputs output =
+    {
+      R.rc_name = name;
+      rc_kind = kind;
+      rc_inputs = Array.of_list inputs;
+      rc_output = output;
+      rc_clock_domain = -1;
+      rc_reset_value = false;
+    }
+  in
+  let rp name nets = { R.rp_name = name; rp_nets = Array.of_list nets } in
+  let design name ~nets ~cells ~ins ~outs =
+    { R.r_name = name; r_num_nets = nets; r_cells = Array.of_list cells; r_inputs = ins; r_outputs = outs }
+  in
+  [
+    ( Multi_driver,
+      design "multi_driver" ~nets:3
+        ~cells:[ rc "g1" [ 0 ] 2; rc "g2" [ 1 ] 2 ]
+        ~ins:[ rp "a" [ 0 ]; rp "b" [ 1 ] ]
+        ~outs:[ rp "y" [ 2 ] ] );
+    ( Floating_input,
+      design "floating_input" ~nets:3
+        ~cells:[ rc ~kind:K.And2 "g" [ 0; 1 ] 2 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 2 ] ] );
+    ( Undriven_output,
+      design "undriven_output" ~nets:3
+        ~cells:[ rc "g" [ 0 ] 1 ]
+        ~ins:[ rp "a" [ 0 ] ]
+        ~outs:[ rp "y" [ 1 ]; rp "z" [ 2 ] ] );
+    ( Comb_cycle,
+      design "comb_cycle" ~nets:3
+        ~cells:[ rc ~kind:K.And2 "g1" [ 0; 2 ] 1; rc "g2" [ 1 ] 2 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 1 ] ] );
+    ( Dead_gate,
+      design "dead_gate" ~nets:3
+        ~cells:[ rc "g1" [ 0 ] 1; rc ~kind:K.Not "g2" [ 0 ] 2 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 1 ] ] );
+    ( Arity_mismatch,
+      design "arity_mismatch" ~nets:2
+        ~cells:[ rc ~kind:K.And2 "g" [ 0 ] 1 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 1 ] ] );
+    ( Bad_net,
+      design "bad_net" ~nets:2
+        ~cells:[ rc "g" [ 5 ] 1 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 1 ] ] );
+    ( Dangling_net,
+      design "dangling_net" ~nets:3
+        ~cells:[ rc "g1" [ 0 ] 1; rc ~kind:K.Not "g2" [ 0 ] 2 ]
+        ~ins:[ rp "a" [ 0 ] ] ~outs:[ rp "y" [ 1 ] ] );
+    ( Duplicate_name,
+      design "duplicate_name" ~nets:3
+        ~cells:[ rc "g" [ 0 ] 1; rc ~kind:K.Not "g" [ 0 ] 2 ]
+        ~ins:[ rp "a" [ 0 ] ]
+        ~outs:[ rp "y" [ 1 ]; rp "z" [ 2 ] ] );
+    ( Empty_port,
+      design "empty_port" ~nets:1 ~cells:[]
+        ~ins:[ rp "a" [ 0 ]; rp "b" [] ]
+        ~outs:[ rp "y" [ 0 ] ] );
+  ]
+
+(* ---- seeded mutations ------------------------------------------------- *)
+
+let complement_kind = function
+  | K.And2 -> Some K.Nand2
+  | K.Nand2 -> Some K.And2
+  | K.Or2 -> Some K.Nor2
+  | K.Nor2 -> Some K.Or2
+  | K.Xor2 -> Some K.Xnor2
+  | K.Xnor2 -> Some K.Xor2
+  | K.Buf -> Some K.Not
+  | K.Not -> Some K.Buf
+  | K.Tie0 -> Some K.Tie1
+  | K.Tie1 -> Some K.Tie0
+  | K.Mux2 | K.Dff -> None
+
+(* A comparison point the equivalence checker inspects: complementing the
+   logic feeding one makes the mutant inequivalent for *every* input
+   assignment, so CEC is guaranteed to catch it. *)
+type site =
+  | Output_bit of string * int * Netlist.net
+  | Dff_d of int (* cell id *)
+
+let mutate ?(seed = 0) nl =
+  let sites =
+    List.concat_map
+      (fun (p : Netlist.port) ->
+        Array.to_list p.Netlist.port_nets
+        |> List.mapi (fun bit n -> Output_bit (p.Netlist.port_name, bit, n)))
+      (Netlist.outputs nl)
+    @ List.map (fun id -> Dff_d id) (Netlist.dffs nl)
+  in
+  if sites = [] then invalid_arg "Check.mutate: netlist has no output ports and no registers";
+  let rng = Random.State.make [| seed; 0x3417 |] in
+  let site = List.nth sites (Random.State.int rng (List.length sites)) in
+  let b = Netlist.Builder.of_netlist nl in
+  let point_net, describe_point, rewire_point =
+    match site with
+    | Output_bit (port, bit, n) ->
+      ( n,
+        Printf.sprintf "output %s[%d]" port bit,
+        fun inv -> Netlist.Builder.rewire_output b ~port ~bit inv )
+    | Dff_d id ->
+      let c = Netlist.cell nl id in
+      ( c.Netlist.inputs.(0),
+        Printf.sprintf "register %s.D" c.Netlist.name,
+        fun inv -> Netlist.Builder.rewire_input b ~cell_id:id ~pin:0 inv )
+  in
+  let desc =
+    match Netlist.driver nl point_net with
+    | Netlist.Driven_by_cell id
+      when complement_kind (Netlist.cell nl id).Netlist.kind <> None ->
+      let c = Netlist.cell nl id in
+      let flipped = Option.get (complement_kind c.Netlist.kind) in
+      Netlist.Builder.set_kind b ~cell_id:id flipped;
+      Printf.sprintf "flipped %s from %s to %s (feeds %s)" c.Netlist.name
+        (K.to_string c.Netlist.kind) (K.to_string flipped) describe_point
+    | _ ->
+      let inv = Netlist.Builder.add_cell ~name:"_mutant_not" b K.Not [| point_net |] in
+      rewire_point inv;
+      Printf.sprintf "inserted an inverter in front of %s" describe_point
+  in
+  (Netlist.Builder.finish b, desc)

@@ -1,0 +1,82 @@
+(** Structural netlist lint: the entry pass of the static-verification
+    suite.
+
+    The linter consumes {!Netlist.Raw.t} — the unvalidated plain-data view
+    of a design — so it can diagnose exactly the defect classes that
+    {!Netlist.Builder.finish} would reject with a single exception
+    (multi-driven nets, floating inputs, combinational cycles) {e as well
+    as} the legal-but-suspicious shapes a frozen netlist can still carry
+    (dead gates, dangling nets).  Every diagnostic carries a stable code
+    ([NL001]...), a source location inside the IR (cell, net or port name)
+    and a one-line message; reports render deterministically so they can be
+    diffed against goldens in CI.
+
+    Frozen netlists are linted via {!lint_netlist}; builders
+    mid-construction via [lint (Netlist.Builder.raw b)]; defective designs
+    for self-tests can be assembled as raw literals. *)
+
+type severity = Error | Warning
+
+type code =
+  | Multi_driver  (** [NL001] a net with more than one driver *)
+  | Floating_input  (** [NL002] a cell input reads an undriven net *)
+  | Undriven_output  (** [NL003] an output-port bit reads an undriven net *)
+  | Comb_cycle  (** [NL004] a combinational cycle (not cut by any DFF) *)
+  | Dead_gate  (** [NL005] a cell that cannot reach any output port *)
+  | Arity_mismatch  (** [NL006] cell input count does not match its kind *)
+  | Bad_net  (** [NL007] a net index outside [[0, num_nets)] *)
+  | Dangling_net  (** [NL008] a driven net with no reader and no port *)
+  | Duplicate_name  (** [NL009] two cells or two ports share a name *)
+  | Empty_port  (** [NL010] a zero-width port *)
+
+val code_id : code -> string
+(** The stable diagnostic code, ["NL001"]... *)
+
+val severity_of : code -> severity
+(** [NL001]-[NL004], [NL006], [NL007], [NL009] are errors — simulation,
+    STA and CNF encoding are all undefined on such designs; the rest are
+    warnings (legal netlists that waste area or hint at a bad transform). *)
+
+type diagnostic = {
+  code : code;
+  loc : string;  (** the cell / net / port the diagnostic anchors to *)
+  message : string;
+}
+
+val lint : Netlist.Raw.t -> diagnostic list
+(** All diagnostics for a raw design, sorted by (code, location) so equal
+    designs always produce byte-equal reports. *)
+
+val lint_netlist : Netlist.t -> diagnostic list
+(** [lint (Netlist.raw nl)].  A frozen netlist cannot carry the
+    error-severity defects (its builder already rejected them); this
+    surfaces the warning classes. *)
+
+val errors : diagnostic list -> diagnostic list
+(** The error-severity subset. *)
+
+val render : design:string -> diagnostic list -> string
+(** Deterministic multi-line report: header, one line per diagnostic,
+    and an [errors/warnings] summary — the golden-diffable artifact. *)
+
+(** {1 Seeded mutations}
+
+    A mutation makes a netlist provably inequivalent to its source by
+    complementing the logic feeding a comparison point that {!Cec.check}
+    inspects (an output-port bit or a register's [D] pin) — either by
+    flipping the driving gate's kind to its complement ([And2 ~ Nand2],
+    [Xor2 ~ Xnor2], ...) or, when the driver has no complement kind, by
+    splicing an inverter in front of the point.  Used to validate that the
+    equivalence checker actually catches broken transforms. *)
+
+val selftest_designs : (code * Netlist.Raw.t) list
+(** One deliberately defective raw design per diagnostic code, in code
+    order — the linter's self-test corpus.  [lint] on each design must
+    report its paired code (and possibly others: a dead gate's output is
+    usually also dangling).  Consumed by [vega lint --selftest] and the
+    regression tests. *)
+
+val mutate : ?seed:int -> Netlist.t -> Netlist.t * string
+(** A mutated copy and a human-readable description of the mutation.
+    @raise Invalid_argument if the netlist has no output port bit and no
+    DFF (nothing CEC-observable to mutate). *)

@@ -1,0 +1,153 @@
+(* SCOAP controllability/observability, as a monotone fixpoint.
+
+   Scores start at the saturation ceiling and only ever decrease, so
+   iterating the transfer functions over the (possibly cyclic, through
+   DFFs) graph converges.  Passes sweep the combinational cells in
+   topological order (forward for controllability, backward for
+   observability), so acyclic designs converge in one pass plus one
+   verification pass per register loop. *)
+
+module K = Cell.Kind
+
+let unobservable = 100_000_000
+
+type t = { s_cc0 : int array; s_cc1 : int array; s_co : int array }
+
+let ( +! ) a b = min (a + b) unobservable
+let cc0 t n = t.s_cc0.(n)
+let cc1 t n = t.s_cc1.(n)
+let co t n = t.s_co.(n)
+let net_difficulty t n = t.s_cc0.(n) +! t.s_cc1.(n) +! t.s_co.(n)
+
+let analyze nl =
+  let nn = max (Netlist.num_nets nl) 1 in
+  let c0 = Array.make nn unobservable in
+  let c1 = Array.make nn unobservable in
+  let ob = Array.make nn unobservable in
+  List.iter
+    (fun (p : Netlist.port) ->
+      Array.iter
+        (fun n ->
+          c0.(n) <- 1;
+          c1.(n) <- 1)
+        p.Netlist.port_nets)
+    (Netlist.inputs nl);
+  let topo = Netlist.topo_order nl in
+  let dffs = Netlist.dffs nl in
+  let lower a n v = if v < a.(n) then (a.(n) <- v; true) else false in
+  (* Controllability: forward sweeps until stable. *)
+  let cc_cell (c : Netlist.cell) =
+    let i k = c.Netlist.inputs.(k) in
+    let y = c.Netlist.output in
+    let n0, n1 =
+      match c.Netlist.kind with
+      | K.Tie0 -> (1, unobservable)
+      | K.Tie1 -> (unobservable, 1)
+      | K.Buf -> (c0.(i 0) +! 1, c1.(i 0) +! 1)
+      | K.Not -> (c1.(i 0) +! 1, c0.(i 0) +! 1)
+      | K.And2 -> (min c0.(i 0) c0.(i 1) +! 1, c1.(i 0) +! c1.(i 1) +! 1)
+      | K.Nand2 -> (c1.(i 0) +! c1.(i 1) +! 1, min c0.(i 0) c0.(i 1) +! 1)
+      | K.Or2 -> (c0.(i 0) +! c0.(i 1) +! 1, min c1.(i 0) c1.(i 1) +! 1)
+      | K.Nor2 -> (min c1.(i 0) c1.(i 1) +! 1, c0.(i 0) +! c0.(i 1) +! 1)
+      | K.Xor2 ->
+        ( min (c0.(i 0) +! c0.(i 1)) (c1.(i 0) +! c1.(i 1)) +! 1,
+          min (c0.(i 0) +! c1.(i 1)) (c1.(i 0) +! c0.(i 1)) +! 1 )
+      | K.Xnor2 ->
+        ( min (c0.(i 0) +! c1.(i 1)) (c1.(i 0) +! c0.(i 1)) +! 1,
+          min (c0.(i 0) +! c0.(i 1)) (c1.(i 0) +! c1.(i 1)) +! 1 )
+      | K.Mux2 ->
+        (* inputs [a; b; s]: selects b when s. *)
+        ( min (c0.(i 2) +! c0.(i 0)) (c1.(i 2) +! c0.(i 1)) +! 1,
+          min (c0.(i 2) +! c1.(i 0)) (c1.(i 2) +! c1.(i 1)) +! 1 )
+      | K.Dff -> (c0.(i 0) +! 1, c1.(i 0) +! 1)
+    in
+    let ch0 = lower c0 y n0 in
+    let ch1 = lower c1 y n1 in
+    ch0 || ch1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter (fun id -> if cc_cell (Netlist.cell nl id) then changed := true) topo;
+    List.iter (fun id -> if cc_cell (Netlist.cell nl id) then changed := true) dffs
+  done;
+  (* Observability: primary outputs are free to observe; backward sweeps. *)
+  List.iter
+    (fun (p : Netlist.port) -> Array.iter (fun n -> ob.(n) <- 0) p.Netlist.port_nets)
+    (Netlist.outputs nl);
+  let co_cell (c : Netlist.cell) =
+    let i k = c.Netlist.inputs.(k) in
+    let oy = ob.(c.Netlist.output) in
+    if oy >= unobservable then false
+    else begin
+      let upd pin extra = lower ob (i pin) (oy +! extra +! 1) in
+      match c.Netlist.kind with
+      | K.Tie0 | K.Tie1 -> false
+      | K.Buf | K.Not | K.Dff -> upd 0 0
+      | K.And2 | K.Nand2 ->
+        let a = upd 0 c1.(i 1) in
+        let b = upd 1 c1.(i 0) in
+        a || b
+      | K.Or2 | K.Nor2 ->
+        let a = upd 0 c0.(i 1) in
+        let b = upd 1 c0.(i 0) in
+        a || b
+      | K.Xor2 | K.Xnor2 ->
+        let a = upd 0 (min c0.(i 1) c1.(i 1)) in
+        let b = upd 1 (min c0.(i 0) c1.(i 0)) in
+        a || b
+      | K.Mux2 ->
+        let a = upd 0 c0.(i 2) in
+        let b = upd 1 c1.(i 2) in
+        (* the select is observable when the data inputs differ *)
+        let s = upd 2 (min (c0.(i 0) +! c1.(i 1)) (c1.(i 0) +! c0.(i 1))) in
+        a || b || s
+    end
+  in
+  let ncomb = Array.length topo in
+  changed := true;
+  while !changed do
+    changed := false;
+    for k = ncomb - 1 downto 0 do
+      if co_cell (Netlist.cell nl topo.(k)) then changed := true
+    done;
+    List.iter (fun id -> if co_cell (Netlist.cell nl id) then changed := true) dffs
+  done;
+  { s_cc0 = c0; s_cc1 = c1; s_co = ob }
+
+let pair_difficulty nl t ~launch ~capture =
+  let ql = (Netlist.find_cell nl launch).Netlist.output in
+  let qc = (Netlist.find_cell nl capture).Netlist.output in
+  t.s_cc0.(ql) +! t.s_cc1.(ql) +! t.s_co.(qc)
+
+let hardest ?(limit = 10) nl t =
+  Array.to_list (Netlist.cells nl)
+  |> List.map (fun (c : Netlist.cell) -> (c.Netlist.name, net_difficulty t c.Netlist.output))
+  |> List.sort (fun (na, da) (nb, db) ->
+         match compare db da with 0 -> compare na nb | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let render ?(limit = 10) nl t =
+  let buf = Buffer.create 256 in
+  let cells = Netlist.cells nl in
+  let observable =
+    Array.fold_left
+      (fun acc (c : Netlist.cell) ->
+        if t.s_co.(c.Netlist.output) < unobservable then acc + 1 else acc)
+      0 cells
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "SCOAP testability for %s: %d cells, %d observable\n" (Netlist.name nl)
+       (Array.length cells) observable);
+  Buffer.add_string buf "  hardest fault sites (CC0/CC1/CO):\n";
+  List.iter
+    (fun (name, d) ->
+      let c = Netlist.find_cell nl name in
+      let y = c.Netlist.output in
+      let sc v = if v >= unobservable then "inf" else string_of_int v in
+      Buffer.add_string buf
+        (Printf.sprintf "    %-16s %-5s %s/%s/%s  difficulty %s\n" name
+           (K.to_string c.Netlist.kind) (sc t.s_cc0.(y)) (sc t.s_cc1.(y)) (sc t.s_co.(y))
+           (sc d)))
+    (hardest ~limit nl t);
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** SCOAP testability analysis (Goldstein's controllability / observability
+    scores) over a netlist.
+
+    For every net the analysis computes the classic integer costs
+    [CC0]/[CC1] — how hard it is to drive the net to 0/1 from the primary
+    inputs — and [CO] — how hard it is to propagate the net's value to a
+    primary output.  Standard gate formulas are used (e.g. for [And2],
+    [CC1 = CC1(a) + CC1(b) + 1] and [CC0 = min(CC0(a), CC0(b)) + 1]);
+    registers add one unit of sequential depth in both directions.  Scores
+    are computed as a monotone fixpoint, so register feedback loops
+    converge, and saturate at {!unobservable} (constant nets have an
+    unobservable side, dead logic has unobservable [CO]).
+
+    The scores rank aging-fault sites by how hard a test is to construct:
+    exciting a slow path launched by register [X] and captured by register
+    [Y] requires controlling [X] to both values (a transition) and
+    observing [Y] — {!pair_difficulty}.  {!Testgen.scoap_ranked_pairs}
+    uses this to order Error Lifting so the formal engine attacks the
+    hardest-to-observe violating pairs first. *)
+
+type t
+
+val unobservable : int
+(** Saturation ceiling for all scores. *)
+
+val analyze : Netlist.t -> t
+
+val cc0 : t -> Netlist.net -> int
+val cc1 : t -> Netlist.net -> int
+val co : t -> Netlist.net -> int
+
+val net_difficulty : t -> Netlist.net -> int
+(** [CC0 + CC1 + CO] (saturating): the cost of exciting a transition on the
+    net and observing it — the per-site ranking key. *)
+
+val pair_difficulty : Netlist.t -> t -> launch:string -> capture:string -> int
+(** Difficulty of testing a register-to-register path:
+    [CC0(Q_launch) + CC1(Q_launch) + CO(Q_capture)] (saturating).
+    @raise Not_found if either instance name is not a cell of the
+    netlist. *)
+
+val hardest : ?limit:int -> Netlist.t -> t -> (string * int) list
+(** Cells ranked by {!net_difficulty} of their output net, hardest first
+    (ties broken by name), at most [limit] (default 10). *)
+
+val render : ?limit:int -> Netlist.t -> t -> string
+(** Deterministic summary: score spread plus the [limit] hardest cells with
+    their CC0/CC1/CO breakdown. *)

@@ -28,6 +28,13 @@ let variants ?(mitigation = false) ~start_dff ~end_dff kind =
     [ base C0 Rising_edge; base C0 Falling_edge; base C1 Rising_edge; base C1 Falling_edge ]
   else [ base C0 Any_transition; base C1 Any_transition ]
 
+let select_names = [ "_fault_diff"; "_fault_rise"; "_fault_fall"; "_fault_meta" ]
+
+let select_cells nl =
+  Array.to_list (Netlist.cells nl)
+  |> List.filter_map (fun (c : Netlist.cell) ->
+         if List.mem c.Netlist.name select_names then Some c.Netlist.name else None)
+
 let find_dff nl name =
   let c = Netlist.find_cell nl name in
   if not (Cell.Kind.is_sequential c.kind) then

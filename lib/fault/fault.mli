@@ -61,6 +61,15 @@ val random_port : string
 (** Name of the free input port added when [constant = C_random]
     (["c_fault"]). *)
 
+val select_cells : Netlist.t -> string list
+(** Instance names of the fault-activation cells the instrumentation
+    spliced into a netlist (the corruption mux's select logic:
+    ["_fault_diff"], ["_fault_rise"], ["_fault_fall"], ["_fault_meta"]).
+    Tying these low (e.g. via [Cec.check ~tie_low]) renders the failure
+    model inert, so an instrumented netlist must be combinationally
+    equivalent to its source — the static gate the runtime guard applies
+    before arming an injector.  Empty for an un-instrumented netlist. *)
+
 val failing_netlist : Netlist.t -> spec -> Netlist.t
 (** The circuit with the failure model active in place of [Y]'s original
     data input.  Same ports as the input netlist (plus {!random_port} for

@@ -58,11 +58,27 @@ module Injector = struct
       | None ->
         invalid_arg "Guard.Injector.create: the targeted unit runs on a functional backend"
     in
+    let faulty_nl = Fault.failing_netlist golden_nl spec in
+    (* CEC gate: with its fault-activation lines tied low, the
+       instrumented replica must be provably equivalent to the golden
+       netlist — a broken instrumentation would otherwise corrupt the
+       machine even while the fault is nominally dormant.  The proof is
+       structural (hash-consed miter, no SAT search), so this is cheap. *)
+    (match
+       Cec.check ~free_inputs:true ~tie_low:(Fault.select_cells faulty_nl) golden_nl faulty_nl
+     with
+    | Cec.Equivalent -> ()
+    | v ->
+      invalid_arg
+        (Printf.sprintf
+           "Guard.Injector.create: instrumented replica is not equivalent to %s with the fault \
+            inert: %s"
+           (Netlist.name golden_nl) (Cec.describe v)));
     {
       machine;
       slot;
       spec;
-      faulty_sim = Sim.create (Fault.failing_netlist golden_nl spec);
+      faulty_sim = Sim.create faulty_nl;
       golden_sim = None;
       schedule;
       state = Golden;

@@ -40,9 +40,14 @@ module Injector : sig
 
   val create : machine:Machine.t -> slot:slot -> spec:Fault.spec -> schedule -> t
   (** Build the fault-instrumented replica of the targeted unit's netlist
-      ({!Fault.failing_netlist}) without installing it.
+      ({!Fault.failing_netlist}) without installing it.  The replica is
+      statically vetted before it can ever be armed: with its fault lines
+      tied inactive ({!Fault.select_cells}) it must be CEC-equivalent to
+      the golden netlist ({!Cec.check}), proving the instrumentation is
+      inert while dormant.
       @raise Invalid_argument if the targeted unit runs on a functional
-      backend (there is no netlist to instrument). *)
+      backend (there is no netlist to instrument), or if the replica fails
+      the equivalence gate. *)
 
   val tick : t -> unit
   (** Advance the schedule; swaps the faulty replica in or out when a

@@ -207,7 +207,6 @@ type fsig = { s_params : typ list; s_ret : typ option }
 
 type cg = {
   fmt : Fpu_format.fmt;
-  width : int;
   mutable out : Isa.instr list;  (* reversed *)
   globals : (string, gvar) Hashtbl.t;
   sigs : (string, fsig) Hashtbl.t;
@@ -789,7 +788,6 @@ let compile ?(fmt = Fpu_format.binary16) ?(width = 16) ?(mem_top = 4095) program
   let cg =
     {
       fmt;
-      width;
       out = [];
       globals = Hashtbl.create 16;
       sigs = Hashtbl.create 16;

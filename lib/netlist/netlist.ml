@@ -239,13 +239,56 @@ let to_dot t =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+module Raw = struct
+  type rcell = {
+    rc_name : string;
+    rc_kind : Cell.Kind.t;
+    rc_inputs : net array;
+    rc_output : net;
+    rc_clock_domain : int;
+    rc_reset_value : bool;
+  }
+
+  type rport = { rp_name : string; rp_nets : net array }
+
+  type t = {
+    r_name : string;
+    r_num_nets : int;
+    r_cells : rcell array;
+    r_inputs : rport list;
+    r_outputs : rport list;
+  }
+end
+
+let raw t =
+  {
+    Raw.r_name = t.name;
+    r_num_nets = t.num_nets;
+    r_cells =
+      Array.map
+        (fun (c : cell) ->
+          {
+            Raw.rc_name = c.name;
+            rc_kind = c.kind;
+            rc_inputs = Array.copy c.inputs;
+            rc_output = c.output;
+            rc_clock_domain = c.clock_domain;
+            rc_reset_value = c.reset_value;
+          })
+        t.cells;
+    r_inputs =
+      List.map (fun p -> { Raw.rp_name = p.port_name; rp_nets = Array.copy p.port_nets }) t.inputs;
+    r_outputs =
+      List.map (fun p -> { Raw.rp_name = p.port_name; rp_nets = Array.copy p.port_nets }) t.outputs;
+  }
+
 module Builder = struct
   type netlist = t
 
   type b_cell = {
     mutable b_kind : Cell.Kind.t;
     b_name : string;
-    mutable b_inputs : net array;
+    b_inputs : net array;  (* elements are rewired in place *)
     b_output : net;
     b_clock_domain : int;
     b_reset_value : bool;
@@ -372,10 +415,64 @@ module Builder = struct
       invalid_arg (Printf.sprintf "Builder.rewire_input: unknown net %d" net);
     c.b_inputs.(pin) <- net
 
+  let rewire_output b ~port ~bit net =
+    if net < 0 || net >= b.next_net then
+      invalid_arg (Printf.sprintf "Builder.rewire_output: unknown net %d" net);
+    let rec go = function
+      | [] -> invalid_arg (Printf.sprintf "Builder.rewire_output: no output port %s" port)
+      | p :: rest when String.equal p.port_name port ->
+        if bit < 0 || bit >= Array.length p.port_nets then
+          invalid_arg (Printf.sprintf "Builder.rewire_output: port %s has no bit %d" port bit);
+        (* copy: [of_netlist] shares port-net arrays with the source netlist *)
+        let nets = Array.copy p.port_nets in
+        nets.(bit) <- net;
+        { p with port_nets = nets } :: rest
+      | p :: rest -> p :: go rest
+    in
+    b.rev_outputs <- go b.rev_outputs
+
+  let set_kind b ~cell_id kind =
+    if cell_id < 0 || cell_id >= b.count then
+      invalid_arg (Printf.sprintf "Builder.set_kind: no cell %d" cell_id);
+    let c = b.cells_arr.(cell_id) in
+    if Cell.Kind.arity kind <> Array.length c.b_inputs then
+      invalid_arg
+        (Printf.sprintf "Builder.set_kind: %s expects %d inputs, cell %s has %d"
+           (Cell.Kind.to_string kind) (Cell.Kind.arity kind) c.b_name (Array.length c.b_inputs));
+    if Cell.Kind.is_sequential kind <> Cell.Kind.is_sequential c.b_kind then
+      invalid_arg
+        (Printf.sprintf "Builder.set_kind: cannot change sequentiality of cell %s" c.b_name);
+    c.b_kind <- kind
+
   let cell_output b id =
     if id < 0 || id >= b.count then
       invalid_arg (Printf.sprintf "Builder.cell_output: no cell %d" id);
     b.cells_arr.(id).b_output
+
+  let raw b =
+    {
+      Raw.r_name = b.b_netlist_name;
+      r_num_nets = b.next_net;
+      r_cells =
+        Array.init b.count (fun i ->
+            let c = b.cells_arr.(i) in
+            {
+              Raw.rc_name = c.b_name;
+              rc_kind = c.b_kind;
+              rc_inputs = Array.copy c.b_inputs;
+              rc_output = c.b_output;
+              rc_clock_domain = c.b_clock_domain;
+              rc_reset_value = c.b_reset_value;
+            });
+      r_inputs =
+        List.rev_map
+          (fun p -> { Raw.rp_name = p.port_name; rp_nets = Array.copy p.port_nets })
+          b.rev_inputs;
+      r_outputs =
+        List.rev_map
+          (fun p -> { Raw.rp_name = p.port_name; rp_nets = Array.copy p.port_nets })
+          b.rev_outputs;
+    }
 
   let finish b =
     let num_nets = b.next_net in

@@ -99,6 +99,40 @@ val to_dot : t -> string
 (** Graphviz rendering of the cell graph (DFFs as 3-D boxes, ports as
     tabs) — handy for inspecting instrumented netlists. *)
 
+(** {1 Raw (unvalidated) designs}
+
+    A [Raw.t] is the plain-data view of a netlist-shaped design with {e no}
+    structural invariants: nets may be multi-driven, floating, cyclic, out
+    of range.  It is what the static linter ({!module:Check}) consumes —
+    frozen netlists are exported with {!raw} (and are lint-clean of
+    structural errors by construction), builders with {!Builder.raw}
+    (mid-construction state), and defective designs for linter self-tests
+    can be assembled literally. *)
+
+module Raw : sig
+  type rcell = {
+    rc_name : string;
+    rc_kind : Cell.Kind.t;
+    rc_inputs : net array;
+    rc_output : net;
+    rc_clock_domain : int;
+    rc_reset_value : bool;
+  }
+
+  type rport = { rp_name : string; rp_nets : net array }
+
+  type t = {
+    r_name : string;
+    r_num_nets : int;  (** nets are expected in [[0, r_num_nets)] *)
+    r_cells : rcell array;
+    r_inputs : rport list;
+    r_outputs : rport list;
+  }
+end
+
+val raw : t -> Raw.t
+(** The frozen netlist as a raw design. *)
+
 (** {1 Construction} *)
 
 module Builder : sig
@@ -139,8 +173,23 @@ module Builder : sig
   (** Repoint input [pin] of an existing cell to another net (used to splice
       failure models into a copied netlist). *)
 
+  val rewire_output : t -> port:string -> bit:int -> net -> unit
+  (** Repoint bit [bit] of an existing output port to another net (used to
+      splice logic — e.g. a seeded mutation — in front of an exported
+      signal).  @raise Invalid_argument on an unknown port, bit or net. *)
+
+  val set_kind : t -> cell_id:int -> Cell.Kind.t -> unit
+  (** Replace the kind of an existing cell, keeping its connections — the
+      primitive behind seeded gate mutations.  The new kind must have the
+      same arity and sequentiality as the old one.
+      @raise Invalid_argument otherwise. *)
+
   val cell_output : t -> int -> net
   (** Output net of a cell already in the builder. *)
+
+  val raw : t -> Raw.t
+  (** Snapshot of the builder's current — possibly structurally invalid —
+      state as a raw design, for linting before {!finish}. *)
 
   val finish : t -> netlist
   (** Validate and freeze.  @raise Invalid_argument describing the first

@@ -75,3 +75,20 @@ let random_baseline_detection ?(seed = 0x7ab1e) ~runs (suite : Lift.suite) fault
     if Lift.detects ~seed:(seed lxor run) s faulty then incr detected
   done;
   float_of_int !detected /. float_of_int runs
+
+let scoap_ranked_pairs nl pairs =
+  match pairs with
+  | [] -> []
+  | _ ->
+    let t = Scoap.analyze nl in
+    let launch_net = function
+      | Sta.From_dff xid -> (Netlist.cell nl xid).Netlist.output
+      | Sta.From_input (port, bit) -> Netlist.net_of_port_bit nl port bit
+    in
+    let difficulty (sp, Sta.At_dff yid, _, _) =
+      let l = launch_net sp in
+      let q = (Netlist.cell nl yid).Netlist.output in
+      Scoap.cc0 t l + Scoap.cc1 t l + Scoap.co t q
+    in
+    let keyed = List.map (fun p -> (difficulty p, p)) pairs in
+    List.stable_sort (fun (da, _) (db, _) -> compare db da) keyed |> List.map snd

@@ -20,6 +20,18 @@ val matched_suite : ?seed:int -> Lift.suite -> Lift.suite
 (** A random suite size-matched to an existing Vega suite (same module,
     same number of cases) — the construction used for Table 7. *)
 
+val scoap_ranked_pairs :
+  Netlist.t ->
+  (Sta.startpoint * Sta.endpoint * Sta.check * float) list ->
+  (Sta.startpoint * Sta.endpoint * Sta.check * float) list
+(** Reorder violating register pairs hardest-to-test first, by SCOAP
+    testability ({!Scoap.pair_difficulty}: controllability of the launching
+    net both ways plus observability of the capturing register).  Formal
+    test derivation then attacks the hard-to-observe paths first, which is
+    where the formal engine's budget matters most — easy pairs would also
+    fall to cheap random search.  The sort is stable, so equally-hard pairs
+    keep their worst-slack-first order. *)
+
 val random_baseline_detection : ?seed:int -> runs:int -> Lift.suite -> Netlist.t -> float
 (** Table-7-style baseline on the word-parallel fast path: the fraction of
     [runs] size-matched random suites (seeds derived deterministically

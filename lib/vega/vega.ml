@@ -191,6 +191,15 @@ let replay_unit_ops (target : Lift.target) ops =
 let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target : Lift.target)
     ~workload =
   let nl = target.Lift.netlist in
+  (* Static gate: the whole phase-1/2 machinery (simulation, STA, CNF
+     encoding) assumes a structurally sound netlist, so reject a design the
+     linter finds error-class defects in before spending any budget on it. *)
+  (match Check.errors (Check.lint_netlist nl) with
+  | [] -> ()
+  | diags ->
+    invalid_arg
+      (Printf.sprintf "Vega.aging_analysis: netlist %s fails lint:\n%s" (Netlist.name nl)
+         (Check.render ~design:(Netlist.name nl) diags)));
   let sp_samples, profiled_sp =
     match engine with
     | Scalar_profile ->
@@ -256,7 +265,13 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
   }
 
 let error_lifting ?config analysis =
-  Lift.lift_violating_pairs ?config analysis.target analysis.violating_pairs
+  (* Hardest-to-test pairs first (SCOAP ranking): the formal budget goes to
+     the paths cheap random search would miss.  The sort is stable, so the
+     worst-slack representative of each unique pair is unchanged. *)
+  let ordered =
+    Testgen.scoap_ranked_pairs analysis.target.Lift.netlist analysis.violating_pairs
+  in
+  Lift.lift_violating_pairs ?config analysis.target ordered
 
 type workflow_report = {
   analysis : analysis;

@@ -70,7 +70,10 @@ val aging_analysis :
   analysis
 (** Phase one.  [workload] drives a machine whose analyzed unit is the
     profiled gate-level netlist (e.g. run the minver kernel); the machine's
-    other unit is functional.  [engine] defaults to [Scalar_profile]. *)
+    other unit is functional.  [engine] defaults to [Scalar_profile].
+    The target netlist is linted first ({!Check.lint_netlist});
+    @raise Invalid_argument with the rendered report if it carries
+    error-class defects. *)
 
 val recorded_unit_ops :
   Lift.target -> workload:(Machine.t -> unit) -> (string * Bitvec.t) list array
@@ -92,7 +95,10 @@ val run_minver_workload : Machine.t -> unit
     a real {!Workload} kernel. *)
 
 val error_lifting : ?config:Lift.config -> analysis -> Lift.pair_result list
-(** Phase two, over the unique pairs of the aged STA report's violations. *)
+(** Phase two, over the unique pairs of the aged STA report's violations,
+    ordered hardest-to-test first by SCOAP testability
+    ({!Testgen.scoap_ranked_pairs}) so the formal budget is spent on the
+    paths random search cannot reach. *)
 
 type workflow_report = {
   analysis : analysis;

@@ -1,0 +1,316 @@
+(* Tests for the static-verification suite: structural lint, SAT-based
+   equivalence checking (CEC), SCOAP testability, and the seeded-mutation
+   machinery behind them. *)
+
+module B = Netlist.Builder
+module R = Netlist.Raw
+
+let alu8 = Alu.netlist ~width:8 ()
+let fpu = Fpu.netlist ()
+
+(* --- lint --- *)
+
+let test_selftest_corpus () =
+  List.iter
+    (fun (code, design) ->
+      let diags = Check.lint design in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires on %s" (Check.code_id code) design.R.r_name)
+        true
+        (List.exists (fun (d : Check.diagnostic) -> d.Check.code = code) diags))
+    Check.selftest_designs
+
+let test_distinct_codes () =
+  (* the four headline defect classes each report their own distinct code *)
+  let code_for name =
+    let _, design =
+      List.find (fun (_, d) -> d.R.r_name = name) Check.selftest_designs
+    in
+    List.map (fun (d : Check.diagnostic) -> Check.code_id d.Check.code) (Check.lint design)
+  in
+  Alcotest.(check (list string)) "multi_driver" [ "NL001" ] (code_for "multi_driver");
+  Alcotest.(check (list string)) "floating_input" [ "NL002" ] (code_for "floating_input");
+  Alcotest.(check (list string)) "comb_cycle" [ "NL004" ] (code_for "comb_cycle");
+  Alcotest.(check (list string)) "dead_gate" [ "NL005"; "NL008" ] (code_for "dead_gate")
+
+let test_frozen_netlists_error_free () =
+  List.iter
+    (fun nl ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s has no error-class diagnostics" (Netlist.name nl))
+        0
+        (List.length (Check.errors (Check.lint_netlist nl))))
+    [ alu8; fpu; Example_circuits.pipelined_adder () ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let golden_path name =
+  if Sys.file_exists (Filename.concat "golden" name) then Filename.concat "golden" name
+  else Filename.concat (Filename.concat "test" "golden") name
+
+let test_golden_report nl file () =
+  let out = Check.render ~design:(Netlist.name nl) (Check.lint_netlist nl) in
+  let expected = read_file (golden_path file) in
+  Alcotest.(check string) (Printf.sprintf "byte-for-byte vs golden/%s" file) expected out
+
+(* --- CEC --- *)
+
+let is_equiv = function Cec.Equivalent -> true | _ -> false
+let is_inequiv = function Cec.Inequivalent _ -> true | _ -> false
+
+let test_cec_reflexive () =
+  Alcotest.(check bool) "alu8 = alu8" true (is_equiv (Cec.check alu8 alu8))
+
+let test_cec_optimized () =
+  List.iter
+    (fun nl ->
+      let opt, _ = Netlist_opt.optimize nl in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s = optimized" (Netlist.name nl))
+        true
+        (is_equiv (Cec.check nl opt)))
+    [ alu8; fpu ]
+
+let test_cec_mutations_caught () =
+  for seed = 0 to 9 do
+    let mutant, desc = Check.mutate ~seed alu8 in
+    match Cec.check alu8 mutant with
+    | Cec.Inequivalent cex ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cex site for %S" desc)
+        true
+        (String.length cex.Cec.cex_site > 0)
+    | _ -> Alcotest.fail (Printf.sprintf "mutation not caught: %s" desc)
+  done
+
+let alu_fault_spec =
+  {
+    Fault.start_dff = "a_q0";
+    end_dff = "r_q0";
+    kind = Fault.Setup_violation;
+    constant = Fault.C0;
+    activation = Fault.Any_transition;
+  }
+
+let test_cec_fault_tied_inert () =
+  let faulty = Fault.failing_netlist alu8 alu_fault_spec in
+  let tie_low = Fault.select_cells faulty in
+  Alcotest.(check bool) "select cells found" true (tie_low <> []);
+  Alcotest.(check bool) "inert replica = golden" true
+    (is_equiv (Cec.check ~free_inputs:true ~tie_low alu8 faulty))
+
+let test_cec_fault_active_differs () =
+  (* without the tie-low, the armed failure model is a real difference *)
+  let faulty = Fault.failing_netlist alu8 alu_fault_spec in
+  Alcotest.(check bool) "armed replica differs" true
+    (is_inequiv (Cec.check ~free_inputs:true alu8 faulty))
+
+let dff_pair_netlist name reset =
+  let b = B.create name in
+  let d = B.add_input b "d" 1 in
+  let q = B.add_cell ~name:"r" ~clock_domain:0 ~reset_value:reset b Cell.Kind.Dff d in
+  B.add_output b "q" [| q |];
+  B.finish b
+
+let test_cec_reset_mismatch () =
+  match Cec.check (dff_pair_netlist "t" false) (dff_pair_netlist "t" true) with
+  | Cec.Inequivalent cex ->
+    Alcotest.(check bool) "site names the register" true
+      (String.length cex.Cec.cex_site > 0)
+  | _ -> Alcotest.fail "reset-value mismatch not reported"
+
+let test_cec_interface_checks () =
+  let one_wide =
+    let b = B.create "iface" in
+    let a = B.add_input b "a" 1 in
+    B.add_output b "y" [| a.(0) |];
+    B.finish b
+  in
+  let two_wide =
+    let b = B.create "iface" in
+    let a = B.add_input b "a" 2 in
+    B.add_output b "y" [| a.(0) |];
+    B.finish b
+  in
+  (match Cec.check one_wide two_wide with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width mismatch accepted");
+  (* an extra input port is rejected strictly but free under free_inputs *)
+  let extra =
+    let b = B.create "iface" in
+    let a = B.add_input b "a" 1 in
+    let e = B.add_input b "extra" 1 in
+    let y = B.add_cell b Cell.Kind.Or2 [| a.(0); e.(0) |] in
+    B.add_output b "y" [| y |];
+    B.finish b
+  in
+  (match Cec.check one_wide extra with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "extra port accepted without free_inputs");
+  (* with a free extra input the OR can differ from the plain wire *)
+  Alcotest.(check bool) "free extra input differs" true
+    (is_inequiv (Cec.check ~free_inputs:true one_wide extra))
+
+let test_mutate_requires_site () =
+  let b = B.create "no_sites" in
+  let a = B.add_input b "a" 1 in
+  let dead = B.add_cell b Cell.Kind.Buf [| a.(0) |] in
+  ignore dead;
+  let nl = B.finish b in
+  match Check.mutate nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mutate accepted a netlist with no comparison points"
+
+(* --- SCOAP --- *)
+
+let test_scoap_hand_example () =
+  let b = B.create "scoap" in
+  let a = B.add_input b "a" 1 in
+  let c = B.add_input b "c" 1 in
+  let g = B.add_cell ~name:"g" b Cell.Kind.And2 [| a.(0); c.(0) |] in
+  let dead = B.add_cell ~name:"dead" b Cell.Kind.Not [| a.(0) |] in
+  ignore dead;
+  B.add_output b "y" [| g |];
+  let nl = B.finish b in
+  let t = Scoap.analyze nl in
+  let na = (Netlist.find_input nl "a").Netlist.port_nets.(0) in
+  let ng = (Netlist.find_cell nl "g").Netlist.output in
+  let ndead = (Netlist.find_cell nl "dead").Netlist.output in
+  Alcotest.(check int) "CC0(input)" 1 (Scoap.cc0 t na);
+  Alcotest.(check int) "CC1(input)" 1 (Scoap.cc1 t na);
+  Alcotest.(check int) "CC1(and) = CC1(a)+CC1(c)+1" 3 (Scoap.cc1 t ng);
+  Alcotest.(check int) "CC0(and) = min+1" 2 (Scoap.cc0 t ng);
+  Alcotest.(check int) "CO(exported net)" 0 (Scoap.co t ng);
+  Alcotest.(check int) "CO(a) through the and" 2 (Scoap.co t na);
+  Alcotest.(check bool) "dead gate unobservable" true (Scoap.co t ndead >= Scoap.unobservable);
+  Alcotest.(check bool) "dead ranks hardest" true (fst (List.hd (Scoap.hardest nl t)) = "dead")
+
+let test_scoap_ranking () =
+  let dffs = Netlist.dffs alu8 in
+  let pairs =
+    List.concat_map
+      (fun x -> List.map (fun y -> (Sta.From_dff x, Sta.At_dff y, Sta.Setup, -1.0)) dffs)
+      (match dffs with x :: y :: _ -> [ x; y ] | _ -> Alcotest.fail "alu8 has registers")
+  in
+  let ranked = Testgen.scoap_ranked_pairs alu8 pairs in
+  Alcotest.(check int) "permutation: same length" (List.length pairs) (List.length ranked);
+  List.iter
+    (fun p -> Alcotest.(check bool) "permutation: same elements" true (List.mem p pairs))
+    ranked;
+  let t = Scoap.analyze alu8 in
+  let difficulty (sp, Sta.At_dff y, _, _) =
+    let l =
+      match sp with
+      | Sta.From_dff x -> (Netlist.cell alu8 x).Netlist.output
+      | Sta.From_input (p, bit) -> Netlist.net_of_port_bit alu8 p bit
+    in
+    let q = (Netlist.cell alu8 y).Netlist.output in
+    Scoap.cc0 t l + Scoap.cc1 t l + Scoap.co t q
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> difficulty a >= difficulty b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "hardest first" true (non_increasing ranked)
+
+(* --- QCheck properties over random netlists --- *)
+
+let comb_kinds =
+  [|
+    Cell.Kind.Buf; Cell.Kind.Not; Cell.Kind.And2; Cell.Kind.Or2; Cell.Kind.Xor2;
+    Cell.Kind.Nand2; Cell.Kind.Nor2; Cell.Kind.Xnor2; Cell.Kind.Mux2;
+  |]
+
+let build_random_netlist rng =
+  let b = B.create "rand" in
+  let pool = ref [] in
+  let n_ports = 1 + Random.State.int rng 3 in
+  for i = 0 to n_ports - 1 do
+    let w = 1 + Random.State.int rng 4 in
+    pool := Array.to_list (B.add_input b (Printf.sprintf "in%d" i) w) @ !pool
+  done;
+  let pick () =
+    let a = Array.of_list !pool in
+    a.(Random.State.int rng (Array.length a))
+  in
+  let n_cells = 5 + Random.State.int rng 36 in
+  for _ = 1 to n_cells do
+    let out =
+      if Random.State.int rng 4 = 0 then
+        B.add_cell ~clock_domain:0 ~reset_value:(Random.State.bool rng) b Cell.Kind.Dff
+          [| pick () |]
+      else begin
+        let k = comb_kinds.(Random.State.int rng (Array.length comb_kinds)) in
+        B.add_cell b k (Array.init (Cell.Kind.arity k) (fun _ -> pick ()))
+      end
+    in
+    pool := out :: !pool
+  done;
+  let n_out = 1 + Random.State.int rng 2 in
+  for i = 0 to n_out - 1 do
+    let w = 1 + Random.State.int rng 3 in
+    B.add_output b (Printf.sprintf "out%d" i) (Array.init w (fun _ -> pick ()))
+  done;
+  B.finish b
+
+let qcheck_optimize_equiv =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"Netlist_opt output is CEC-equivalent to its input"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let nl = build_random_netlist (Random.State.make [| seed; 0xce |]) in
+         let opt, _ = Netlist_opt.optimize nl in
+         Cec.check nl opt = Cec.Equivalent))
+
+let qcheck_mutation_caught =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"a seeded mutation is always CEC-inequivalent"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let nl = build_random_netlist (Random.State.make [| seed; 0x3d |]) in
+         let mutant, _ = Check.mutate ~seed nl in
+         match Cec.check nl mutant with Cec.Inequivalent _ -> true | _ -> false))
+
+let qcheck_random_netlists_lint_clean =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"frozen netlists never lint error-class diagnostics"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let nl = build_random_netlist (Random.State.make [| seed; 0x11 |]) in
+         Check.errors (Check.lint_netlist nl) = []))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "selftest corpus" `Quick test_selftest_corpus;
+          Alcotest.test_case "distinct codes" `Quick test_distinct_codes;
+          Alcotest.test_case "frozen netlists error-free" `Quick test_frozen_netlists_error_free;
+          Alcotest.test_case "golden ALU report" `Quick (test_golden_report alu8 "lint_alu.txt");
+          Alcotest.test_case "golden FPU report" `Quick (test_golden_report fpu "lint_fpu.txt");
+        ] );
+      ( "cec",
+        [
+          Alcotest.test_case "reflexive" `Quick test_cec_reflexive;
+          Alcotest.test_case "optimized units equivalent" `Quick test_cec_optimized;
+          Alcotest.test_case "mutations caught" `Quick test_cec_mutations_caught;
+          Alcotest.test_case "fault replica inert when tied" `Quick test_cec_fault_tied_inert;
+          Alcotest.test_case "armed fault replica differs" `Quick test_cec_fault_active_differs;
+          Alcotest.test_case "reset mismatch" `Quick test_cec_reset_mismatch;
+          Alcotest.test_case "interface checks" `Quick test_cec_interface_checks;
+          Alcotest.test_case "mutate needs a site" `Quick test_mutate_requires_site;
+        ] );
+      ( "scoap",
+        [
+          Alcotest.test_case "hand example" `Quick test_scoap_hand_example;
+          Alcotest.test_case "pair ranking" `Quick test_scoap_ranking;
+        ] );
+      ( "properties",
+        [ qcheck_optimize_equiv; qcheck_mutation_caught; qcheck_random_netlists_lint_clean ] );
+    ]

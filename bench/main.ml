@@ -8,6 +8,8 @@
      bench/main.exe micro      micro-benchmarks only
      bench/main.exe ablations  ablation studies only
      bench/main.exe check      CEC vs random-vector validation timing
+     bench/main.exe resilience supervisor smoke: formal vs fallback cost,
+                               budget-sliced ALU8 lifting with the ladder
      bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
                                table3 table4 table5 table6 table7 fig9 *)
 
@@ -479,6 +481,67 @@ let run_check_bench () =
     | Cec.Unknown -> "unknown")
     ms
 
+(* ------------- resilience-supervisor benchmarks ------------- *)
+
+(* Per-pair cost of the two ladder rungs on the same work: a full formal
+   lifting attempt vs one seeded random-suite fallback probe against the
+   pair's failing netlist, then a whole supervised sweep with a starvation
+   slice to show the budget/ladder machinery end to end. *)
+let run_resilience_bench () =
+  print_endline "== resilience: formal lifting vs random-search fallback, per pair ==\n";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let pairs = [ ("a_q0", "r_q0"); ("b_q1", "r_q2"); ("b_q0", "r_q7") ] in
+  List.iter
+    (fun (s, e) ->
+      let (formal, stats), f_ms =
+        timed (fun () ->
+            Lift.lift_pair_stats alu8 ~start_dff:s ~end_dff:e
+              ~violation:Fault.Setup_violation)
+      in
+      let spec =
+        {
+          Fault.start_dff = s;
+          end_dff = e;
+          kind = Fault.Setup_violation;
+          constant = Fault.C0;
+          activation = Fault.Any_transition;
+        }
+      in
+      let faulty = Fault.failing_netlist alu8.Lift.netlist spec in
+      let hits, r_ms =
+        timed (fun () ->
+            let suite = Testgen.random_alu_suite ~seed:7 ~width:8 ~cases:32 () in
+            Array.fold_left
+              (fun n hit -> if hit then n + 1 else n)
+              0
+              (Lift.detected_cases ~seed:7 suite faulty))
+      in
+      Printf.printf
+        "  %s~>%s  formal %-13s %7d conflicts %7.1f ms | fallback 32 cases %2d hits %7.1f ms\n"
+        s e
+        (Lift.classification_name formal.Lift.classification)
+        stats.Lift.p_conflicts f_ms hits r_ms)
+    pairs;
+  print_newline ();
+  print_endline "== resilience: supervised ALU8 sweep, starvation-level 2-conflict slice ==\n";
+  let config = { Lift.default_config with Lift.max_conflicts = 2 } in
+  let analysis =
+    Vega.aging_analysis
+      ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
+      alu8 ~workload:Vega.run_minver_workload
+  in
+  let items = Vega.lifting_items analysis in
+  let report, ms =
+    timed (fun () -> Vega.error_lifting_supervised ~config analysis)
+  in
+  print_string (Resilience.render_report report);
+  Printf.printf "  %d items supervised in %.0f ms\n" (List.length items) ms;
+  print_newline ()
+
 (* ------------- experiment printing ------------- *)
 
 let log s = Printf.eprintf "[bench] %s\n%!" s
@@ -511,6 +574,7 @@ let () =
     run_ablations ()
   | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
   | "check" -> run_check_bench ()
+  | "resilience" -> run_resilience_bench ()
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
@@ -533,6 +597,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown argument %S (expected \
-       all|quick|micro|ablations|guard|check|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+       all|quick|micro|ablations|guard|check|resilience|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

@@ -1,7 +1,9 @@
 (* The vega command-line tool.
 
      vega analyze  --unit alu|fpu [--width N] [--margin M] [--years Y]
-     vega lift     --unit alu|fpu [--mitigation] [--asm] [--out FILE]
+     vega lift     --unit alu|fpu [--mitigation] [--asm] [--out FILE] [--seed N]
+                   [--slice N] [--budget N] [--no-fallback]
+                   [--checkpoint DIR] [--resume]
      vega run      --unit alu|fpu [--inject START:END:KIND:C] [--random-order SEED]
      vega emit-c   --unit alu|fpu
      vega encode   --unit alu|fpu
@@ -11,10 +13,20 @@
      vega lint     --unit alu|fpu | --selftest
      vega check    --unit alu|fpu [--seed N]
      vega report   [--quick]
-     vega guard-campaign [--quick] [--seed N]
+     vega guard-campaign [--quick] [--seed N] [--checkpoint DIR] [--resume]
 
-   Unknown subcommands exit non-zero (cmdliner's exit 124).  Faults are
-   specified as "start_dff:end_dff:setup|hold:0|1|r",
+   Exit codes are uniform across subcommands: 0 success; 1 the analysis
+   itself failed or detected a problem (SDC detected, check/lint failure,
+   a supervised item errored, a guarded campaign run escaped); 2 usage
+   errors; 3 runtime errors such as a stale or unusable checkpoint
+   (digest mismatch).  Unknown subcommands exit non-zero (cmdliner's
+   exit 124).
+
+   The long-running subcommands (lift, guard-campaign) accept
+   --checkpoint DIR to persist every completed work item atomically, and
+   --resume to continue such a directory, skipping completed items; a
+   resumed run prints byte-identical output for the same seed.  Faults
+   are specified as "start_dff:end_dff:setup|hold:0|1|r",
    e.g. --inject a_q0:r_q0:setup:0. *)
 
 open Cmdliner
@@ -142,33 +154,140 @@ let asm_arg = Arg.(value & flag & info [ "asm" ] ~doc:"Print the generated suite
 let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the suite as JSON (the operator interchange format).")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Persist every completed work item into $(docv) (atomic JSON snapshots), making the \
+           run resumable with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:"Continue from an existing checkpoint directory, skipping completed items.")
+
 let lift_cmd =
-  let run unit_kind width margin mitigation asm out =
-    let report = workflow unit_kind width margin mitigation in
-    Printf.printf "pairs: %d\n" (List.length report.Vega.pair_results);
-    List.iter
-      (fun (pr : Lift.pair_result) ->
-        Printf.printf "  %-10s -> %-10s %s (%d cases)\n" pr.Lift.start_dff pr.Lift.end_dff
-          (Lift.classification_name pr.Lift.classification)
-          (List.length pr.Lift.cases))
-      report.Vega.pair_results;
-    Printf.printf "suite: %d cases, %d cycles\n"
-      (List.length report.Vega.suite.Lift.suite_cases)
-      report.Vega.suite_cycles;
-    if asm then print_string (Isa.to_asm_text (Lift.suite_program report.Vega.suite));
-    (match out with
-    | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Serial.suite_to_string report.Vega.suite);
-      close_out oc;
-      Printf.printf "suite written to %s\n" path);
-    0
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the random-search degradation ladder.")
+  in
+  let slice_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slice" ] ~docv:"CONFLICTS"
+          ~doc:"First-pass per-pair solver-conflict slice (default: the formal budget, 200000).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"CONFLICTS"
+          ~doc:"Total shared solver-conflict budget (default: slice x pairs).")
+  in
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:"Disable the random-search fallback for formally-FF pairs.")
+  in
+  let run unit_kind width margin mitigation asm out seed slice budget no_fallback checkpoint
+      resume =
+    let target = target_of (unit_kind, width) in
+    let config =
+      {
+        Lift.default_config with
+        Lift.mitigation;
+        max_conflicts =
+          (match slice with Some s -> s | None -> Lift.default_config.Lift.max_conflicts);
+      }
+    in
+    let analysis =
+      Vega.aging_analysis ~config:(phase1_of margin) target ~workload:Vega.run_minver_workload
+    in
+    let items = Vega.lifting_items analysis in
+    let sup0 = Resilience.default_supervisor ~pairs:(List.length items) config in
+    let sup =
+      {
+        sup0 with
+        Resilience.sv_budget_conflicts =
+          (match budget with Some b -> b | None -> sup0.Resilience.sv_budget_conflicts);
+        sv_ladder =
+          {
+            sup0.Resilience.sv_ladder with
+            Resilience.ld_fallback = not no_fallback;
+            ld_seed = seed;
+          };
+      }
+    in
+    let opened =
+      match checkpoint with
+      | None -> Ok None
+      | Some dir ->
+        let digest =
+          Resilience.digest_of_strings
+            [
+              "vega-lift";
+              Resilience.netlist_digest target.Lift.netlist;
+              Printf.sprintf "%.17g" margin;
+              string_of_bool mitigation;
+              string_of_int config.Lift.max_conflicts;
+              string_of_int sup.Resilience.sv_budget_conflicts;
+              string_of_int seed;
+              string_of_bool (not no_fallback);
+            ]
+        in
+        Result.map Option.some (Resilience.Checkpoint.open_dir ~resume ~dir ~digest ())
+    in
+    match opened with
+    | Error msg ->
+      prerr_endline ("vega lift: " ^ msg);
+      3
+    | Ok checkpoint ->
+      (* progress goes to stderr: stdout is the diffable report *)
+      let on_item i r =
+        Printf.eprintf "[vega] item %d: %s (pass %d, %d conflicts)\n%!" i
+          r.Resilience.ir_item.Resilience.it_key r.Resilience.ir_passes
+          r.Resilience.ir_conflicts
+      in
+      let rp = Resilience.supervised_lift ~config ~supervisor:sup ?checkpoint ~on_item target items in
+      print_string (Resilience.render_report rp);
+      let suite = Resilience.suite_of_report target rp in
+      Printf.printf "suite: %d cases, %d cycles\n"
+        (List.length suite.Lift.suite_cases)
+        (Vega.suite_cycles suite);
+      if asm then print_string (Isa.to_asm_text (Lift.suite_program suite));
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Serial.suite_to_string suite);
+        close_out oc;
+        Printf.printf "suite written to %s\n" path);
+      if
+        List.exists
+          (fun r ->
+            match r.Resilience.ir_outcome with Resilience.Failed _ -> true | _ -> false)
+          rp.Resilience.rp_items
+      then 1
+      else 0
   in
   let term =
-    Term.(const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg $ out_arg)
+    Term.(
+      const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg $ out_arg
+      $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ checkpoint_arg $ resume_arg)
   in
-  Cmd.v (Cmd.info "lift" ~doc:"Phases 1+2: generate the SDC test suite for a unit.") term
+  Cmd.v
+    (Cmd.info "lift"
+       ~doc:
+         "Phases 1+2 under the resilience supervisor: generate the SDC test suite for a unit \
+          with budget-sliced formal lifting, a random-search degradation ladder, and optional \
+          checkpoint/resume.")
+    term
 
 (* ---------- run ---------- *)
 
@@ -519,18 +638,34 @@ let guard_campaign_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Machine RNG seed.")
   in
-  let run quick seed =
+  let run quick seed checkpoint resume =
     let base = if quick then Experiments.quick_campaign else Experiments.default_campaign in
     let config = { base with Experiments.cg_seed = seed } in
     let log s = Printf.eprintf "[vega] %s\n%!" s in
-    let rows = Experiments.campaign ~config ~log () in
-    print_string (Experiments.render_campaign rows);
-    0
+    let opened =
+      match checkpoint with
+      | None -> Ok None
+      | Some dir ->
+        Result.map Option.some
+          (Resilience.Checkpoint.open_dir ~resume ~dir
+             ~digest:(Experiments.campaign_digest config) ())
+    in
+    match opened with
+    | Error msg ->
+      prerr_endline ("vega guard-campaign: " ^ msg);
+      3
+    | Ok checkpoint ->
+      let rows = Experiments.campaign ~config ~log ?checkpoint () in
+      print_string (Experiments.render_campaign rows);
+      let s = Experiments.campaign_summary rows in
+      if s.Experiments.cs_guarded_escapes > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "guard-campaign"
-       ~doc:"Inject phase-2 fault specs mid-run under each recovery policy and tabulate.")
-    Term.(const run $ quick_arg $ seed_arg)
+       ~doc:
+         "Inject phase-2 fault specs mid-run under each recovery policy and tabulate; exits 1 \
+          when any guarded run escapes.")
+    Term.(const run $ quick_arg $ seed_arg $ checkpoint_arg $ resume_arg)
 
 let () =
   let doc = "proactive runtime detection of aging-related silent data corruptions" in

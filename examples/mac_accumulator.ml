@@ -166,7 +166,7 @@ let () =
     | Formal.Bounded_unreachable k ->
       Printf.printf "no witness within %d cycles - with feedback this is NOT a proof (no UR claim)\n" k
     | Formal.Unreachable -> print_endline "unexpected: proof over a feedback loop"
-    | Formal.Timeout -> print_endline "formal budget exhausted"));
+    | Formal.Timeout _ -> print_endline "formal budget exhausted"));
 
   print_endline "\n=== A software self-test for the MAC ===";
   let test nl =

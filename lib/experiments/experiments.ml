@@ -305,6 +305,54 @@ let render_table4 rows =
     rows;
   Buffer.contents buf
 
+(* Table 4 under the resilience supervisor: a constrained slice forces the
+   FF outcomes the paper reports, and the degradation ladder then splits
+   that bucket into fallback-covered vs. truly exhausted. *)
+
+type table4s_row = {
+  t4s_unit : string;
+  t4s_counts : (Resilience.split_class * int) list;
+  t4s_budget_spent : int;
+  t4s_escalations : int;
+}
+
+let table4_resilient ?(slice = 2) ctx =
+  let supervised analysis =
+    let items = Vega.lifting_items analysis in
+    let config = { Lift.default_config with Lift.max_conflicts = slice } in
+    let sup =
+      Resilience.default_supervisor ~pairs:(List.length items) config
+    in
+    Resilience.supervised_lift ~config ~supervisor:sup analysis.Vega.target items
+  in
+  List.map
+    (fun (t4s_unit, analysis) ->
+      ctx.log (Printf.sprintf "table 4 (resilient): %s supervised lifting" t4s_unit);
+      let rp = supervised analysis in
+      {
+        t4s_unit;
+        t4s_counts = Resilience.split_counts rp;
+        t4s_budget_spent = rp.Resilience.rp_budget_spent;
+        t4s_escalations = rp.Resilience.rp_escalations;
+      })
+    [ ("ALU", ctx.alu_analysis); ("FPU", ctx.fpu_analysis) ]
+
+let render_table4_resilient rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Table 4 (resilient): supervised outcomes, FF split by the degradation ladder\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-5s  %s   (%d conflicts, %d escalation(s))\n" r.t4s_unit
+           (String.concat "  "
+              (List.map
+                 (fun (c, n) -> Printf.sprintf "%s %d" (Resilience.split_name c) n)
+                 r.t4s_counts))
+           r.t4s_budget_spent r.t4s_escalations))
+    rows;
+  Buffer.contents buf
+
 (* ---------------- Table 5 ---------------- *)
 
 type table5_row = {
@@ -674,6 +722,87 @@ type campaign_row = {
   cr_overhead_pct : float;  (** guard cycles vs app cycles *)
 }
 
+let campaign_digest (c : campaign_config) =
+  Resilience.digest_of_strings
+    [
+      "vega-campaign";
+      string_of_int c.cg_width;
+      string_of_int c.cg_fmt.Fpu_format.exp_bits;
+      string_of_int c.cg_fmt.Fpu_format.man_bits;
+      String.concat "," c.cg_kernels;
+      string_of_int c.cg_specs_per_unit;
+      String.concat ","
+        (List.map
+           (function Fault.C0 -> "0" | Fault.C1 -> "1" | Fault.C_random -> "r")
+           c.cg_constants);
+      Printf.sprintf "%.17g" c.cg_onset_frac;
+      string_of_int c.cg_seed;
+      string_of_int c.cg_guard.Guard.Monitor.cadence;
+      string_of_int c.cg_guard.Guard.Monitor.max_cadence;
+      string_of_int c.cg_guard.Guard.Monitor.max_instructions;
+      string_of_int c.cg_checkpoint_every;
+      string_of_int c.cg_max_retries;
+    ]
+
+let campaign_row_to_json r =
+  Json.Obj
+    [
+      ("kernel", Json.String r.cr_kernel);
+      ("unit", Json.String r.cr_unit);
+      ("spec", Json.String r.cr_spec);
+      ("mode", Json.String r.cr_mode);
+      ("outcome", Json.String r.cr_outcome);
+      ("detected", Json.Bool r.cr_detected);
+      ( "latency",
+        match r.cr_latency with
+        | None -> Json.Null
+        | Some (i, c) -> Json.List [ Json.Int i; Json.Int c ] );
+      ("checksum_ok", Json.Bool r.cr_checksum_ok);
+      ("escape", Json.Bool r.cr_escape);
+      ("recovered", Json.Bool r.cr_recovered);
+      ("retries", Json.Int r.cr_retries);
+      ("overhead_pct", Json.Float r.cr_overhead_pct);
+    ]
+
+let campaign_row_of_json j =
+  let open Json in
+  let* cr_kernel = Result.bind (member "kernel" j) to_str in
+  let* cr_unit = Result.bind (member "unit" j) to_str in
+  let* cr_spec = Result.bind (member "spec" j) to_str in
+  let* cr_mode = Result.bind (member "mode" j) to_str in
+  let* cr_outcome = Result.bind (member "outcome" j) to_str in
+  let* cr_detected = Result.bind (member "detected" j) to_bool in
+  let* cr_latency =
+    let* l = member "latency" j in
+    match l with
+    | Null -> Ok None
+    | List [ li; lc ] ->
+      let* i = to_int li in
+      let* c = to_int lc in
+      Ok (Some (i, c))
+    | _ -> Error "bad latency"
+  in
+  let* cr_checksum_ok = Result.bind (member "checksum_ok" j) to_bool in
+  let* cr_escape = Result.bind (member "escape" j) to_bool in
+  let* cr_recovered = Result.bind (member "recovered" j) to_bool in
+  let* cr_retries = Result.bind (member "retries" j) to_int in
+  let* cr_overhead_pct = Result.bind (member "overhead_pct" j) to_float in
+  Ok
+    {
+      cr_kernel;
+      cr_unit;
+      cr_spec;
+      cr_mode;
+      cr_outcome;
+      cr_detected;
+      cr_latency;
+      cr_checksum_ok;
+      cr_escape;
+      cr_recovered;
+      cr_retries;
+      cr_overhead_pct;
+    }
+
 (* Lift worst-slack-first violating pairs until [n] produce test cases. *)
 let select_campaign_pairs (target : Lift.target) (analysis : Vega.analysis) n =
   let seen = Hashtbl.create 32 in
@@ -716,7 +845,18 @@ let campaign_machine (target : Lift.target) seed =
     Machine.create ~config ~alu:Machine.Alu_functional
       ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
 
-let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) () =
+let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
+  let ck_load key decode =
+    match checkpoint with
+    | None -> None
+    | Some ck -> (
+      match Resilience.Checkpoint.load ck key with
+      | None -> None
+      | Some j -> ( match decode j with Ok v -> Some v | Error _ -> None))
+  in
+  let ck_store key json =
+    match checkpoint with None -> () | Some ck -> Resilience.Checkpoint.store ck key json
+  in
   let kernels =
     match config.cg_kernels with
     | [] -> Workload.all
@@ -738,13 +878,26 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) () =
   in
   List.concat_map
     (fun (uname, target, slot) ->
-      log (Printf.sprintf "campaign: %s aging analysis + error lifting" uname);
-      let analysis =
-        Vega.aging_analysis
-          ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
-          target ~workload:Vega.run_minver_workload
+      let lift_key = "lift~" ^ uname in
+      let selected =
+        match
+          ck_load lift_key (fun j ->
+              Result.bind (Json.to_list j) (Json.map_m Serial.pair_result_of_json))
+        with
+        | Some selected ->
+          log (Printf.sprintf "campaign: %s lifting restored from checkpoint" uname);
+          selected
+        | None ->
+          log (Printf.sprintf "campaign: %s aging analysis + error lifting" uname);
+          let analysis =
+            Vega.aging_analysis
+              ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
+              target ~workload:Vega.run_minver_workload
+          in
+          let selected = select_campaign_pairs target analysis config.cg_specs_per_unit in
+          ck_store lift_key (Json.List (List.map Serial.pair_result_to_json selected));
+          selected
       in
-      let selected = select_campaign_pairs target analysis config.cg_specs_per_unit in
       let suite = Lift.suite_of_results target.Lift.kind selected in
       log
         (Printf.sprintf "campaign: %s — %d fault specs, %d-case guard suite" uname
@@ -816,7 +969,7 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) () =
                       cr_overhead_pct = overhead_pct;
                     }
                   in
-                  let unguarded =
+                  let unguarded () =
                     fresh_run (fun m inj ->
                         let outcome =
                           Machine.run ~max_instructions:fuel
@@ -858,7 +1011,20 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) () =
                           *. float_of_int r.Guard.Monitor.r_guard_cycles
                           /. float_of_int (max 1 r.Guard.Monitor.r_app_cycles)))
                   in
-                  unguarded :: List.map guarded policies)
+                  (* one checkpointable work item = this fault spec's four
+                     runs (unguarded + the three policies) on this kernel *)
+                  let item_key =
+                    Printf.sprintf "rows~%s~%s~%s" uname b.Workload.name (Fault.describe spec)
+                  in
+                  match
+                    ck_load item_key (fun j ->
+                        Result.bind (Json.to_list j) (Json.map_m campaign_row_of_json))
+                  with
+                  | Some rows -> rows
+                  | None ->
+                    let rows = unguarded () :: List.map guarded policies in
+                    ck_store item_key (Json.List (List.map campaign_row_to_json rows));
+                    rows)
                 config.cg_constants)
             selected)
         kernels)
@@ -931,6 +1097,7 @@ let run_all ?config ?(log = fun _ -> ()) () =
   add (render_fig8 (fig8 ctx));
   add (render_table3 (table3 ctx));
   add (render_table4 (table4 ctx));
+  add (render_table4_resilient (table4_resilient ctx));
   add (render_table5 (table5 ctx));
   add (render_table6 (table6 ctx));
   add (render_table7 (table7 ctx));

@@ -89,6 +89,23 @@ type table4_row = {
 val table4 : context -> table4_row list
 val render_table4 : table4_row list -> string
 
+(** Table 4 under the {!Resilience} supervisor: lifting re-run with a
+    deliberately small per-pair conflict slice, so the FF bucket the paper
+    reports appears and the degradation ladder splits it into
+    fallback-covered vs. truly exhausted pairs. *)
+type table4s_row = {
+  t4s_unit : string;
+  t4s_counts : (Resilience.split_class * int) list;
+  t4s_budget_spent : int;
+  t4s_escalations : int;
+}
+
+val table4_resilient : ?slice:int -> context -> table4s_row list
+(** [slice] (default 2 conflicts — starvation level, so the FF bucket
+    actually appears) is the first-pass per-pair budget. *)
+
+val render_table4_resilient : table4s_row list -> string
+
 (** {1 Table 5 — suite sizes and execution cycles} *)
 
 type table5_row = {
@@ -195,8 +212,24 @@ type campaign_row = {
   cr_overhead_pct : float;  (** guard cycles as % of app cycles *)
 }
 
+val campaign_digest : campaign_config -> string
+(** Staleness key for campaign checkpoints: any knob that changes the rows
+    changes the digest. *)
+
+val campaign_row_to_json : campaign_row -> Json.t
+val campaign_row_of_json : Json.t -> (campaign_row, string) result
+
 val campaign :
-  ?config:campaign_config -> ?log:(string -> unit) -> unit -> campaign_row list
+  ?config:campaign_config ->
+  ?log:(string -> unit) ->
+  ?checkpoint:Resilience.Checkpoint.t ->
+  unit ->
+  campaign_row list
+(** [checkpoint] (opened against {!campaign_digest}) makes the sweep
+    resumable at two granularities: each unit's error-lifting selection,
+    and each fault spec's four runs (unguarded + three policies) per
+    kernel.  Completed items are restored instead of re-executed; the row
+    list is identical either way. *)
 
 type campaign_summary = {
   cs_rows : int;

@@ -117,7 +117,7 @@ type outcome =
   | Trace_found of Trace.t
   | Unreachable
   | Bounded_unreachable of int
-  | Timeout
+  | Timeout of int
 
 let sequential_depth nl =
   let cells = Netlist.cells nl in
@@ -304,8 +304,10 @@ let extract_trace s watch bound =
   in
   { Trace.netlist_name = Netlist.name s.nl; cycles = bound; inputs; observed }
 
-let check_cover ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts = 200_000) nl ~cover
-    =
+type run_stats = { rs_solver : Sat.stats; rs_calls : int; rs_deepest_unsat : int }
+
+let check_cover_stats ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts = 200_000)
+    ?(start_cycle = 1) nl ~cover =
   let depth = sequential_depth nl in
   let complete_bound = Option.map (fun d -> d + 1) depth in
   let max_cycles =
@@ -314,8 +316,15 @@ let check_cover ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts = 200_
     | None, Some b -> b
     | None, None -> 8
   in
+  let start_cycle = max 1 start_cycle in
   let s = new_session nl in
   let budget = ref max_conflicts in
+  let calls = ref 0 in
+  let effort = ref Sat.zero_stats in
+  (* bounds below [start_cycle] are encoded (so the transition relation and
+     the per-cycle assumes constrain later cycles) but not queried: the
+     caller vouches that they were proven unreachable by an earlier run *)
+  let deepest = ref (start_cycle - 1) in
   let rec try_bound k =
     if k > max_cycles then
       match complete_bound with
@@ -327,20 +336,34 @@ let check_cover ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts = 200_
       List.iter
         (fun e -> Sat.add_clause s.solver [ lit_of_expr s (k - 1) e ])
         assumes;
-      let cover_lit = lit_of_expr s (k - 1) cover in
-      incr solver_calls;
-      let before = Sat.stats_conflicts s.solver in
-      let r = Sat.solve ~assumptions:[ cover_lit ] ~max_conflicts:!budget s.solver in
-      let used = Sat.stats_conflicts s.solver - before in
-      total_conflicts := !total_conflicts + used;
-      budget := !budget - used;
-      match r with
-      | Sat.Sat -> Trace_found (extract_trace s watch k)
-      | Sat.Unsat -> if !budget <= 0 then Timeout else try_bound (k + 1)
-      | Sat.Unknown -> Timeout
+      if k < start_cycle then try_bound (k + 1)
+      else begin
+        let cover_lit = lit_of_expr s (k - 1) cover in
+        incr solver_calls;
+        incr calls;
+        let before = Sat.stats s.solver in
+        let r = Sat.solve ~assumptions:[ cover_lit ] ~max_conflicts:!budget s.solver in
+        let used = Sat.stats_diff (Sat.stats s.solver) before in
+        effort := Sat.stats_sum !effort used;
+        total_conflicts := !total_conflicts + used.Sat.conflicts;
+        budget := !budget - used.Sat.conflicts;
+        match r with
+        | Sat.Sat -> Trace_found (extract_trace s watch k)
+        | Sat.Unsat ->
+          (* the boundary case: an Unsat that exactly exhausts the budget
+             still proved bound [k] — record it so a resumed run restarts
+             at [k + 1] rather than bound 0 *)
+          deepest := k;
+          if !budget <= 0 then Timeout !deepest else try_bound (k + 1)
+        | Sat.Unknown -> Timeout !deepest
+      end
     end
   in
-  try_bound 1
+  let outcome = try_bound 1 in
+  (outcome, { rs_solver = !effort; rs_calls = !calls; rs_deepest_unsat = !deepest })
+
+let check_cover ?assumes ?watch ?max_cycles ?max_conflicts ?start_cycle nl ~cover =
+  fst (check_cover_stats ?assumes ?watch ?max_cycles ?max_conflicts ?start_cycle nl ~cover)
 
 (* Inline a netlist's cells into a builder, feeding its input ports from
    the given nets; returns a map from the inlined netlist's nets to the
@@ -444,4 +467,4 @@ let check_equivalence ?max_cycles ?max_conflicts left right =
   | Trace_found t -> Different t
   | Unreachable -> Equivalent
   | Bounded_unreachable k -> Bounded_equivalent k
-  | Timeout -> Equiv_timeout
+  | Timeout _ -> Equiv_timeout

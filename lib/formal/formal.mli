@@ -71,7 +71,12 @@ type outcome =
   | Trace_found of Trace.t
   | Unreachable  (** proven: no input sequence can ever satisfy the cover *)
   | Bounded_unreachable of int  (** no trace within the bound; not a proof *)
-  | Timeout  (** solver conflict budget exhausted (the paper's "FF") *)
+  | Timeout of int
+      (** solver conflict budget exhausted (the paper's "FF").  The payload
+          is the deepest bound already proven unreachable — an [Unsat] at
+          bound [k] that exactly exhausts the budget still proved [k], so a
+          resumed run can restart at bound [k + 1] instead of bound 0
+          (see [start_cycle] of {!check_cover}). *)
 
 val sequential_depth : Netlist.t -> int option
 (** [Some d] when the DFF-to-DFF dependency graph is acyclic, where [d] is
@@ -83,6 +88,7 @@ val check_cover :
   ?watch:(string * Netlist.net) list ->
   ?max_cycles:int ->
   ?max_conflicts:int ->
+  ?start_cycle:int ->
   Netlist.t ->
   cover:expr ->
   outcome
@@ -91,7 +97,34 @@ val check_cover :
     else 8).  [assumes] must hold at every cycle of the trace.  [watch]
     names extra nets whose values are recorded in the returned trace.
     [max_conflicts] (default 200_000) bounds total solver effort; exceeding
-    it yields [Timeout]. *)
+    it yields [Timeout].
+
+    [start_cycle] (default 1) skips the solver queries for bounds below it:
+    those cycles are still unrolled and constrained, but the caller vouches
+    that they were already proven unreachable by an earlier (timed-out)
+    run — pass [k + 1] after a [Timeout k] to resume where it stopped.
+    Unsound if bounds below [start_cycle] were never actually proven. *)
+
+type run_stats = {
+  rs_solver : Sat.stats;  (** total solver effort of this run *)
+  rs_calls : int;  (** bounds actually queried (solver calls) *)
+  rs_deepest_unsat : int;
+      (** deepest bound proven unreachable, [start_cycle - 1] if none *)
+}
+
+val check_cover_stats :
+  ?assumes:expr list ->
+  ?watch:(string * Netlist.net) list ->
+  ?max_cycles:int ->
+  ?max_conflicts:int ->
+  ?start_cycle:int ->
+  Netlist.t ->
+  cover:expr ->
+  outcome * run_stats
+(** Like {!check_cover}, but also reports the effort actually spent — the
+    currency of the {!Resilience}-style shared-budget slicing: callers
+    charge [rs_solver.conflicts] against their budget rather than assuming
+    the whole [max_conflicts] was consumed. *)
 
 (** {1 Sequential equivalence checking} *)
 

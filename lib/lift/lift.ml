@@ -178,46 +178,93 @@ let classify variants =
   else if List.exists (function Formal_timeout -> true | _ -> false) outcomes then FF
   else FC
 
-let lift_pair ?(config = default_config) target ~start_dff ~end_dff ~violation =
+type variant_stats = {
+  vs_spec : Fault.spec;
+  vs_solver : Sat.stats;
+  vs_calls : int;
+  vs_deepest_bound : int;
+}
+
+type pair_stats = { p_variants : variant_stats list; p_conflicts : int }
+
+let lift_pair_stats ?(config = default_config) ?budget ?(resume = []) target ~start_dff ~end_dff
+    ~violation =
   let variants = variants_of_config config violation start_dff end_dff in
+  (* [budget] caps the whole pair: each variant draws from what the previous
+     ones left over, realizing the supervisor's per-pair slice.  Without it,
+     every variant gets the classic per-variant [config.max_conflicts]. *)
+  let remaining = ref (match budget with Some b -> max 0 b | None -> config.max_conflicts) in
+  let stats_acc = ref [] in
   let results =
     List.map
       (fun spec ->
-        let outcome =
+        let start_cycle =
+          match List.assoc_opt spec resume with Some bound -> bound + 1 | None -> 1
+        in
+        let outcome, vstats =
           match Fault.instrument_shadow target.netlist spec with
           | exception Invalid_argument _ ->
             (* the fault cannot influence any output: provably harmless *)
-            Proved_unreachable
+            ( Proved_unreachable,
+              {
+                vs_spec = spec;
+                vs_solver = Sat.zero_stats;
+                vs_calls = 0;
+                vs_deepest_bound = start_cycle - 1;
+              } )
           | inst ->
             let assumes = assumes_for target inst.Fault.netlist in
-            (match
-               Formal.check_cover ~assumes ?max_cycles:config.max_cycles
-                 ~max_conflicts:config.max_conflicts inst.Fault.netlist
-                 ~cover:inst.Fault.cover
-             with
-            | Formal.Trace_found trace -> convert target spec inst trace
-            | Formal.Unreachable -> Proved_unreachable
-            | Formal.Bounded_unreachable _ ->
-              (* feedback-free modules always get a completeness bound; a
-                 bounded result therefore only arises with an explicit
-                 max_cycles override, where it is not a proof *)
-              Formal_timeout
-            | Formal.Timeout -> Formal_timeout)
+            let max_conflicts =
+              match budget with Some _ -> !remaining | None -> config.max_conflicts
+            in
+            let result, rs =
+              Formal.check_cover_stats ~assumes ?max_cycles:config.max_cycles ~max_conflicts
+                ~start_cycle inst.Fault.netlist ~cover:inst.Fault.cover
+            in
+            if budget <> None then
+              remaining := max 0 (!remaining - rs.Formal.rs_solver.Sat.conflicts);
+            let vstats =
+              {
+                vs_spec = spec;
+                vs_solver = rs.Formal.rs_solver;
+                vs_calls = rs.Formal.rs_calls;
+                vs_deepest_bound = rs.Formal.rs_deepest_unsat;
+              }
+            in
+            let outcome =
+              match result with
+              | Formal.Trace_found trace -> convert target spec inst trace
+              | Formal.Unreachable -> Proved_unreachable
+              | Formal.Bounded_unreachable _ ->
+                (* feedback-free modules always get a completeness bound; a
+                   bounded result therefore only arises with an explicit
+                   max_cycles override, where it is not a proof *)
+                Formal_timeout
+              | Formal.Timeout _ -> Formal_timeout
+            in
+            (outcome, vstats)
         in
+        stats_acc := vstats :: !stats_acc;
         (spec, outcome))
       variants
   in
-  let cases =
-    List.filter_map (function _, Constructed tc -> Some tc | _ -> None) results
+  let cases = List.filter_map (function _, Constructed tc -> Some tc | _ -> None) results in
+  let p_variants = List.rev !stats_acc in
+  let p_conflicts =
+    List.fold_left (fun acc v -> acc + v.vs_solver.Sat.conflicts) 0 p_variants
   in
-  {
-    start_dff;
-    end_dff;
-    violation;
-    variants = results;
-    classification = classify results;
-    cases;
-  }
+  ( {
+      start_dff;
+      end_dff;
+      violation;
+      variants = results;
+      classification = classify results;
+      cases;
+    },
+    { p_variants; p_conflicts } )
+
+let lift_pair ?config target ~start_dff ~end_dff ~violation =
+  fst (lift_pair_stats ?config target ~start_dff ~end_dff ~violation)
 
 (* ---- fuzzing-based trace generation (the paper's Section 6.3
    alternative): random valid stimulus on the shadow-instrumented netlist,

@@ -93,6 +93,40 @@ val lift_pair :
   pair_result
 (** Run Error Lifting for one unique endpoint pair. *)
 
+(** Per-variant formal effort, for budget accounting and resume. *)
+type variant_stats = {
+  vs_spec : Fault.spec;
+  vs_solver : Sat.stats;  (** solver effort actually spent on this variant *)
+  vs_calls : int;  (** BMC bounds queried *)
+  vs_deepest_bound : int;
+      (** deepest bound proven unreachable — feed back via [resume] *)
+}
+
+type pair_stats = {
+  p_variants : variant_stats list;  (** in variant order *)
+  p_conflicts : int;  (** total conflicts spent on the pair *)
+}
+
+val lift_pair_stats :
+  ?config:config ->
+  ?budget:int ->
+  ?resume:(Fault.spec * int) list ->
+  target ->
+  start_dff:string ->
+  end_dff:string ->
+  violation:Fault.violation_kind ->
+  pair_result * pair_stats
+(** Like {!lift_pair}, with effort reporting and supervisor hooks.
+
+    [budget], when given, is a conflict cap for the {e whole pair} — each
+    variant draws from what the previous ones left over — instead of the
+    per-variant [config.max_conflicts].  The pair can never spend more than
+    [budget] conflicts (the per-pair slice isolation of {!Resilience}).
+
+    [resume] maps variant specs to the deepest BMC bound already proven
+    unreachable for them (from [vs_deepest_bound] of an earlier timed-out
+    attempt); those variants restart at bound+1 instead of bound 0. *)
+
 (** {1 Fuzzing-based generation (the paper's §6.3 alternative)} *)
 
 type fuzz_config = {

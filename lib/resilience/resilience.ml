@@ -1,0 +1,634 @@
+module Budget = struct
+  type t = { total : int; mutable spent : int; deadline : float option }
+
+  let create ?wall_clock_s ~conflicts () =
+    {
+      total = conflicts;
+      spent = 0;
+      deadline = Option.map (fun s -> Unix.gettimeofday () +. s) wall_clock_s;
+    }
+
+  let total t = t.total
+  let spent t = t.spent
+  let remaining t = max 0 (t.total - t.spent)
+  let charge t n = t.spent <- t.spent + n
+
+  let deadline_passed t =
+    match t.deadline with None -> false | Some d -> Unix.gettimeofday () > d
+end
+
+let digest_of_strings parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+let netlist_digest nl = Digest.to_hex (Digest.string (Netlist.to_verilog nl))
+
+(* ---- checkpoint store ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+module Checkpoint = struct
+  type t = { dir : string; digest : string; items : (string, Json.t) Hashtbl.t }
+
+  let checkpoint_format = "vega-checkpoint"
+  let checkpoint_version = 1
+  let meta_file dir = Filename.concat dir "meta.json"
+  let items_dir dir = Filename.concat dir "items"
+
+  (* item files are named after a sanitized key plus a short hash, but the
+     authoritative key is the one embedded in the document *)
+  let file_of_key key =
+    let sane =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c | _ -> '_')
+        key
+    in
+    Printf.sprintf "%s-%s.json" sane (String.sub (Digest.to_hex (Digest.string key)) 0 8)
+
+  let meta_json digest =
+    Json.Obj
+      [
+        ("format", Json.String checkpoint_format);
+        ("version", Json.Int checkpoint_version);
+        ("digest", Json.String digest);
+      ]
+
+  let check_meta ~dir ~digest j =
+    let open Json in
+    let* fmt = Result.bind (member "format" j) to_str in
+    let* version = Result.bind (member "version" j) to_int in
+    let* found = Result.bind (member "digest" j) to_str in
+    if fmt <> checkpoint_format then
+      Error (Printf.sprintf "%s is not a vega checkpoint (format %S)" dir fmt)
+    else if version <> checkpoint_version then
+      Error
+        (Printf.sprintf "checkpoint %s has unsupported version %d (expected %d)" dir version
+           checkpoint_version)
+    else if found <> digest then
+      Error
+        (Printf.sprintf
+           "stale checkpoint: %s was written for configuration digest %s, but the current run \
+            digests to %s — resume with the original configuration or remove the directory"
+           dir found digest)
+    else Ok ()
+
+  let scan_items dir tbl =
+    let idir = items_dir dir in
+    Array.iter
+      (fun name ->
+        let path = Filename.concat idir name in
+        if Filename.check_suffix name ".tmp" then
+          (* a write the crash interrupted: the rename never happened, so
+             the item it belonged to was not completed — drop it *)
+          Sys.remove path
+        else if Filename.check_suffix name ".json" then begin
+          let parsed =
+            let open Json in
+            let* j = Json.of_string (read_file path) in
+            let* key = Result.bind (member "key" j) to_str in
+            let* data = member "data" j in
+            Ok (key, data)
+          in
+          match parsed with
+          | Ok (key, data) -> Hashtbl.replace tbl key data
+          | Error _ -> Sys.remove path (* truncated or foreign: recompute *)
+        end)
+      (Sys.readdir idir)
+
+  let open_dir ?(resume = false) ~dir ~digest () =
+    let items = Hashtbl.create 64 in
+    let fresh () =
+      mkdir_p (items_dir dir);
+      write_atomic (meta_file dir) (Json.to_string (meta_json digest));
+      Ok { dir; digest; items }
+    in
+    if not (Sys.file_exists (meta_file dir)) then fresh ()
+    else
+      let open Json in
+      let* meta = Json.of_string (read_file (meta_file dir)) in
+      let* () = check_meta ~dir ~digest meta in
+      scan_items dir items;
+      if (not resume) && Hashtbl.length items > 0 then
+        Error
+          (Printf.sprintf
+             "checkpoint %s already holds %d completed item(s); pass --resume to continue it or \
+              remove the directory"
+             dir (Hashtbl.length items))
+      else Ok { dir; digest; items }
+
+  let dir t = t.dir
+  let digest t = t.digest
+  let load t key = Hashtbl.find_opt t.items key
+
+  let store t key data =
+    let doc = Json.Obj [ ("key", Json.String key); ("data", data) ] in
+    write_atomic (Filename.concat (items_dir t.dir) (file_of_key key)) (Json.to_string doc);
+    Hashtbl.replace t.items key data
+
+  let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.items [])
+  let item_count t = Hashtbl.length t.items
+end
+
+(* ---- supervisor ---- *)
+
+type outcome = Proved | Found_by_fallback | Exhausted | Failed of string
+
+let outcome_name = function
+  | Proved -> "proved"
+  | Found_by_fallback -> "fallback"
+  | Exhausted -> "exhausted"
+  | Failed _ -> "failed"
+
+type ladder = { ld_fallback : bool; ld_suites : int; ld_cases : int; ld_seed : int }
+
+let default_ladder = { ld_fallback = true; ld_suites = 4; ld_cases = 32; ld_seed = 0 }
+
+type supervisor = {
+  sv_budget_conflicts : int;
+  sv_wall_clock_s : float option;
+  sv_slice : int;
+  sv_escalation : int;
+  sv_max_passes : int;
+  sv_ladder : ladder;
+}
+
+let default_supervisor ?(pairs = 1) (config : Lift.config) =
+  {
+    sv_budget_conflicts = config.Lift.max_conflicts * max 1 pairs;
+    sv_wall_clock_s = None;
+    sv_slice = config.Lift.max_conflicts;
+    sv_escalation = 4;
+    sv_max_passes = 3;
+    sv_ladder = default_ladder;
+  }
+
+type item = {
+  it_key : string;
+  it_start : string;
+  it_end : string;
+  it_violation : Fault.violation_kind;
+}
+
+let items_of_pairs nl pairs =
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun (start, Sta.At_dff end_id, check, _slack) ->
+      match start with
+      | Sta.From_input _ -> None
+      | Sta.From_dff start_id ->
+        let key = (start_id, end_id, check) in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.replace seen key ();
+          let it_start = (Netlist.cell nl start_id).Netlist.name in
+          let it_end = (Netlist.cell nl end_id).Netlist.name in
+          let it_violation =
+            match check with Sta.Setup -> Fault.Setup_violation | Sta.Hold -> Fault.Hold_violation
+          in
+          Some
+            {
+              it_key =
+                Printf.sprintf "%s~%s~%s" it_start it_end (Serial.violation_name it_violation);
+              it_start;
+              it_end;
+              it_violation;
+            }
+        end)
+    pairs
+
+type item_report = {
+  ir_item : item;
+  ir_outcome : outcome;
+  ir_result : Lift.pair_result option;
+  ir_fallback_cases : Lift.test_case list;
+  ir_passes : int;
+  ir_pass_conflicts : int list;
+  ir_conflicts : int;
+  ir_bounds : (Fault.spec * int) list;
+}
+
+type report = {
+  rp_items : item_report list;
+  rp_budget_total : int;
+  rp_budget_spent : int;
+  rp_escalations : int;
+}
+
+(* intermediate state of an item still in the formal ladder *)
+type parked = {
+  pk_passes : int;
+  pk_pass_conflicts : int list;
+  pk_conflicts : int;
+  pk_bounds : (Fault.spec * int) list;
+  pk_result : Lift.pair_result option;
+}
+
+type state = Done of item_report | Parked of parked
+
+let zero_parked =
+  { pk_passes = 0; pk_pass_conflicts = []; pk_conflicts = 0; pk_bounds = []; pk_result = None }
+
+let report_of_parked it p =
+  {
+    ir_item = it;
+    ir_outcome = Exhausted;
+    ir_result = p.pk_result;
+    ir_fallback_cases = [];
+    ir_passes = p.pk_passes;
+    ir_pass_conflicts = p.pk_pass_conflicts;
+    ir_conflicts = p.pk_conflicts;
+    ir_bounds = p.pk_bounds;
+  }
+
+(* ---- state codecs (the per-item checkpoint schema) ---- *)
+
+let bounds_to_json bounds =
+  Json.List
+    (List.map
+       (fun (s, b) -> Json.Obj [ ("spec", Serial.spec_to_json s); ("bound", Json.Int b) ])
+       bounds)
+
+let bounds_of_json j =
+  let open Json in
+  let* l = to_list j in
+  map_m
+    (fun e ->
+      let* spec = Result.bind (member "spec" e) Serial.spec_of_json in
+      let* bound = Result.bind (member "bound" e) to_int in
+      Ok (spec, bound))
+    l
+
+let result_opt_to_json = function
+  | None -> Json.Null
+  | Some pr -> Serial.pair_result_to_json pr
+
+let result_opt_of_json = function
+  | Json.Null -> Ok None
+  | j -> Result.map Option.some (Serial.pair_result_of_json j)
+
+let item_report_to_json r =
+  Json.Obj
+    [
+      ("state", Json.String "done");
+      ("outcome", Json.String (outcome_name r.ir_outcome));
+      ("error", match r.ir_outcome with Failed e -> Json.String e | _ -> Json.Null);
+      ("result", result_opt_to_json r.ir_result);
+      ("fallback_cases", Json.List (List.map Serial.case_to_json r.ir_fallback_cases));
+      ("passes", Json.Int r.ir_passes);
+      ("pass_conflicts", Json.List (List.map (fun c -> Json.Int c) r.ir_pass_conflicts));
+      ("conflicts", Json.Int r.ir_conflicts);
+      ("bounds", bounds_to_json r.ir_bounds);
+    ]
+
+let item_report_of_json ~item j =
+  let open Json in
+  let* outcome_s = Result.bind (member "outcome" j) to_str in
+  let* error = member "error" j in
+  let* ir_outcome =
+    match (outcome_s, error) with
+    | "proved", _ -> Ok Proved
+    | "fallback", _ -> Ok Found_by_fallback
+    | "exhausted", _ -> Ok Exhausted
+    | "failed", String e -> Ok (Failed e)
+    | "failed", _ -> Ok (Failed "unknown error")
+    | o, _ -> Error (Printf.sprintf "bad outcome %S" o)
+  in
+  let* ir_result = Result.bind (member "result" j) result_opt_of_json in
+  let* fb = Result.bind (member "fallback_cases" j) to_list in
+  let* ir_fallback_cases = map_m Serial.case_of_json fb in
+  let* ir_passes = Result.bind (member "passes" j) to_int in
+  let* pc = Result.bind (member "pass_conflicts" j) to_list in
+  let* ir_pass_conflicts = map_m to_int pc in
+  let* ir_conflicts = Result.bind (member "conflicts" j) to_int in
+  let* ir_bounds = Result.bind (member "bounds" j) bounds_of_json in
+  Ok
+    {
+      ir_item = item;
+      ir_outcome;
+      ir_result;
+      ir_fallback_cases;
+      ir_passes;
+      ir_pass_conflicts;
+      ir_conflicts;
+      ir_bounds;
+    }
+
+let parked_to_json p =
+  Json.Obj
+    [
+      ("state", Json.String "parked");
+      ("result", result_opt_to_json p.pk_result);
+      ("passes", Json.Int p.pk_passes);
+      ("pass_conflicts", Json.List (List.map (fun c -> Json.Int c) p.pk_pass_conflicts));
+      ("conflicts", Json.Int p.pk_conflicts);
+      ("bounds", bounds_to_json p.pk_bounds);
+    ]
+
+let parked_of_json j =
+  let open Json in
+  let* pk_result = Result.bind (member "result" j) result_opt_of_json in
+  let* pk_passes = Result.bind (member "passes" j) to_int in
+  let* pc = Result.bind (member "pass_conflicts" j) to_list in
+  let* pk_pass_conflicts = map_m to_int pc in
+  let* pk_conflicts = Result.bind (member "conflicts" j) to_int in
+  let* pk_bounds = Result.bind (member "bounds" j) bounds_of_json in
+  Ok { pk_result; pk_passes; pk_pass_conflicts; pk_conflicts; pk_bounds }
+
+let state_to_json = function Done r -> item_report_to_json r | Parked p -> parked_to_json p
+
+let state_of_json ~item j =
+  let open Json in
+  let* s = Result.bind (member "state" j) to_str in
+  match s with
+  | "done" -> Result.map (fun r -> Done r) (item_report_of_json ~item j)
+  | "parked" -> Result.map (fun p -> Parked p) (parked_of_json j)
+  | s -> Error (Printf.sprintf "bad item state %S" s)
+
+let state_conflicts = function Done r -> r.ir_conflicts | Parked p -> p.pk_conflicts
+
+(* ---- the supervised run ---- *)
+
+let rec pow b e = if e <= 0 then 1 else b * pow b (e - 1)
+
+let supervised_lift ?(config = Lift.default_config) ?supervisor ?checkpoint
+    ?(on_item = fun _ _ -> ()) (target : Lift.target) items =
+  let n = List.length items in
+  let sup = match supervisor with Some s -> s | None -> default_supervisor ~pairs:n config in
+  let budget =
+    Budget.create ?wall_clock_s:sup.sv_wall_clock_s ~conflicts:sup.sv_budget_conflicts ()
+  in
+  let states : (string, state) Hashtbl.t = Hashtbl.create 64 in
+  (* replay checkpointed state, re-charging the budget with what those
+     items already spent so a resumed run sees the same remaining budget
+     the killed run saw *)
+  (match checkpoint with
+  | None -> ()
+  | Some ck ->
+    List.iter
+      (fun it ->
+        match Checkpoint.load ck it.it_key with
+        | None -> ()
+        | Some j -> (
+          match state_of_json ~item:it j with
+          | Ok st ->
+            Hashtbl.replace states it.it_key st;
+            Budget.charge budget (state_conflicts st)
+          | Error _ -> ()))
+      items);
+  let event = ref 0 in
+  let record it st =
+    Hashtbl.replace states it.it_key st;
+    (match checkpoint with None -> () | Some ck -> Checkpoint.store ck it.it_key (state_to_json st));
+    let r = match st with Done r -> r | Parked p -> report_of_parked it p in
+    on_item !event r;
+    incr event
+  in
+  let run_pass it (prev : parked) ~slice ~pass =
+    match
+      Lift.lift_pair_stats ~config ~budget:slice ~resume:prev.pk_bounds target
+        ~start_dff:it.it_start ~end_dff:it.it_end ~violation:it.it_violation
+    with
+    | exception e ->
+      Done
+        {
+          ir_item = it;
+          ir_outcome = Failed (Printexc.to_string e);
+          ir_result = None;
+          ir_fallback_cases = [];
+          ir_passes = pass;
+          ir_pass_conflicts = prev.pk_pass_conflicts @ [ 0 ];
+          ir_conflicts = prev.pk_conflicts;
+          ir_bounds = prev.pk_bounds;
+        }
+    | pr, st ->
+      Budget.charge budget st.Lift.p_conflicts;
+      let pk =
+        {
+          pk_passes = pass;
+          pk_pass_conflicts = prev.pk_pass_conflicts @ [ st.Lift.p_conflicts ];
+          pk_conflicts = prev.pk_conflicts + st.Lift.p_conflicts;
+          pk_bounds =
+            List.map (fun v -> (v.Lift.vs_spec, v.Lift.vs_deepest_bound)) st.Lift.p_variants;
+          pk_result = Some pr;
+        }
+      in
+      if pr.Lift.classification = Lift.FF then Parked pk
+      else
+        Done
+          {
+            ir_item = it;
+            ir_outcome = Proved;
+            ir_result = Some pr;
+            ir_fallback_cases = [];
+            ir_passes = pk.pk_passes;
+            ir_pass_conflicts = pk.pk_pass_conflicts;
+            ir_conflicts = pk.pk_conflicts;
+            ir_bounds = pk.pk_bounds;
+          }
+  in
+  (* pass 1: every item gets a first slice before anyone escalates *)
+  List.iter
+    (fun it ->
+      match Hashtbl.find_opt states it.it_key with
+      | Some (Done _) -> ()
+      | Some (Parked p) when p.pk_passes >= 1 -> ()
+      | _ ->
+        let slice = min sup.sv_slice (Budget.remaining budget) in
+        let st =
+          if slice <= 0 then Parked { zero_parked with pk_passes = 1; pk_pass_conflicts = [ 0 ] }
+          else run_pass it zero_parked ~slice ~pass:1
+        in
+        record it st)
+    items;
+  (* escalation passes over the parked items, with resume hints *)
+  for pass = 2 to sup.sv_max_passes do
+    List.iter
+      (fun it ->
+        match Hashtbl.find_opt states it.it_key with
+        | Some (Parked p)
+          when p.pk_passes < pass
+               && Budget.remaining budget > 0
+               && not (Budget.deadline_passed budget) ->
+          let slice =
+            min (sup.sv_slice * pow sup.sv_escalation (pass - 1)) (Budget.remaining budget)
+          in
+          record it (run_pass it p ~slice ~pass)
+        | _ -> ())
+      items
+  done;
+  (* degradation ladder: seeded random search for the still-FF items *)
+  let ladder = sup.sv_ladder in
+  let run_ladder it (p : parked) =
+    let specs =
+      match p.pk_result with
+      | Some pr ->
+        List.filter_map
+          (function s, Lift.Formal_timeout -> Some s | _ -> None)
+          pr.Lift.variants
+      | None ->
+        Fault.variants ~mitigation:config.Lift.mitigation ~start_dff:it.it_start
+          ~end_dff:it.it_end it.it_violation
+    in
+    let found =
+      List.concat_map
+        (fun spec ->
+          match Fault.failing_netlist target.Lift.netlist spec with
+          | exception _ -> []
+          | faulty ->
+            let rec attempt a =
+              if a >= ladder.ld_suites then []
+              else begin
+                let seed = ladder.ld_seed + Hashtbl.hash (it.it_key, Fault.describe spec, a) in
+                let suite =
+                  match target.Lift.kind with
+                  | Lift.Alu_module { width } ->
+                    Testgen.random_alu_suite ~seed ~width ~cases:ladder.ld_cases ()
+                  | Lift.Fpu_module { fmt } ->
+                    Testgen.random_fpu_suite ~seed ~fmt ~cases:ladder.ld_cases ()
+                in
+                let verdicts = Lift.detected_cases ~seed suite faulty in
+                match List.filteri (fun i _ -> verdicts.(i)) suite.Lift.suite_cases with
+                | [] -> attempt (a + 1)
+                | hits ->
+                  List.mapi
+                    (fun i tc ->
+                      {
+                        tc with
+                        Lift.tc_spec = spec;
+                        Lift.tc_id =
+                          Printf.sprintf "fallback:%s:%d" (Fault.describe spec) i;
+                      })
+                    hits
+              end
+            in
+            attempt 0)
+        specs
+    in
+    match found with [] -> (Exhausted, []) | cases -> (Found_by_fallback, cases)
+  in
+  List.iter
+    (fun it ->
+      match Hashtbl.find_opt states it.it_key with
+      | Some (Parked p) ->
+        let ir_outcome, ir_fallback_cases =
+          if ladder.ld_fallback then run_ladder it p else (Exhausted, [])
+        in
+        record it
+          (Done
+             {
+               ir_item = it;
+               ir_outcome;
+               ir_result = p.pk_result;
+               ir_fallback_cases;
+               ir_passes = p.pk_passes;
+               ir_pass_conflicts = p.pk_pass_conflicts;
+               ir_conflicts = p.pk_conflicts;
+               ir_bounds = p.pk_bounds;
+             })
+      | _ -> ())
+    items;
+  let rp_items =
+    List.map
+      (fun it ->
+        match Hashtbl.find_opt states it.it_key with
+        | Some (Done r) -> r
+        | Some (Parked p) -> report_of_parked it p
+        | None ->
+          {
+            (report_of_parked it zero_parked) with
+            ir_outcome = Failed "item was never attempted";
+          })
+      items
+  in
+  {
+    rp_items;
+    rp_budget_total = Budget.total budget;
+    rp_budget_spent = Budget.spent budget;
+    (* reconstructed from the final states (not a live counter) so that a
+       resumed run reports the same number as the uninterrupted one *)
+    rp_escalations = List.fold_left (fun acc r -> acc + max 0 (r.ir_passes - 1)) 0 rp_items;
+  }
+
+(* ---- Table-4-style accounting ---- *)
+
+type split_class = R_S | R_UR | R_FF_covered | R_FF_exhausted | R_FC | R_failed
+
+let all_split_classes = [ R_S; R_UR; R_FF_covered; R_FF_exhausted; R_FC; R_failed ]
+
+let split_name = function
+  | R_S -> "S"
+  | R_UR -> "UR"
+  | R_FF_covered -> "FF-covered"
+  | R_FF_exhausted -> "FF-exhausted"
+  | R_FC -> "FC"
+  | R_failed -> "failed"
+
+let split_classification r =
+  match r.ir_outcome with
+  | Failed _ -> R_failed
+  | Found_by_fallback -> R_FF_covered
+  | Exhausted -> R_FF_exhausted
+  | Proved -> (
+    match r.ir_result with
+    | Some pr -> (
+      match pr.Lift.classification with
+      | Lift.S -> R_S
+      | Lift.UR -> R_UR
+      | Lift.FF -> R_FF_exhausted
+      | Lift.FC -> R_FC)
+    | None -> R_failed)
+
+let split_counts rp =
+  List.map
+    (fun c ->
+      ( c,
+        List.length (List.filter (fun r -> split_classification r = c) rp.rp_items) ))
+    all_split_classes
+
+let report_cases r =
+  (match r.ir_result with Some pr -> List.length pr.Lift.cases | None -> 0)
+  + List.length r.ir_fallback_cases
+
+let render_report rp =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "pair %-36s %-13s passes %d  conflicts %-9d cases %d%s\n"
+           r.ir_item.it_key
+           (split_name (split_classification r))
+           r.ir_passes r.ir_conflicts (report_cases r)
+           (match r.ir_outcome with Failed e -> "  error: " ^ e | _ -> "")))
+    rp.rp_items;
+  Buffer.add_string b
+    (Printf.sprintf "classes: %s\n"
+       (String.concat "  "
+          (List.map (fun (c, n) -> Printf.sprintf "%s %d" (split_name c) n) (split_counts rp))));
+  Buffer.add_string b
+    (Printf.sprintf "budget: %d/%d conflicts spent, %d escalation(s)\n" rp.rp_budget_spent
+       rp.rp_budget_total rp.rp_escalations);
+  Buffer.contents b
+
+let suite_of_report (target : Lift.target) rp =
+  let formal =
+    List.concat_map
+      (fun r -> match r.ir_result with Some pr -> pr.Lift.cases | None -> [])
+      rp.rp_items
+  in
+  let fallback = List.concat_map (fun r -> r.ir_fallback_cases) rp.rp_items in
+  { Lift.suite_target = target.Lift.kind; suite_cases = formal @ fallback }

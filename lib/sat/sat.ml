@@ -51,7 +51,10 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
 }
+
+type stats = { conflicts : int; decisions : int; propagations : int; restarts : int }
 
 let create () =
   {
@@ -80,13 +83,40 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
   }
 
 let num_vars t = t.nvars
 let num_clauses t = t.nproblem
-let stats_conflicts t = t.conflicts
-let stats_decisions t = t.decisions
-let stats_propagations t = t.propagations
+let stats_conflicts (t : t) = t.conflicts
+let stats_decisions (t : t) = t.decisions
+let stats_propagations (t : t) = t.propagations
+
+let stats (t : t) =
+  {
+    conflicts = t.conflicts;
+    decisions = t.decisions;
+    propagations = t.propagations;
+    restarts = t.restarts;
+  }
+
+let stats_diff a b =
+  {
+    conflicts = a.conflicts - b.conflicts;
+    decisions = a.decisions - b.decisions;
+    propagations = a.propagations - b.propagations;
+    restarts = a.restarts - b.restarts;
+  }
+
+let stats_sum a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+  }
+
+let zero_stats = { conflicts = 0; decisions = 0; propagations = 0; restarts = 0 }
 
 let lit_idx l = if l > 0 then 2 * l else (-2 * l) + 1
 
@@ -434,6 +464,7 @@ let solve ?(assumptions = []) ?max_conflicts t =
          else if t.conflicts >= !next_restart && decision_level t > Array.length assumptions
          then begin
            incr restart_num;
+           t.restarts <- t.restarts + 1;
            next_restart := t.conflicts + (restart_base * luby !restart_num);
            backtrack t (Array.length assumptions)
          end

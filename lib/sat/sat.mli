@@ -52,3 +52,16 @@ val model : t -> bool array
 val stats_conflicts : t -> int
 val stats_decisions : t -> int
 val stats_propagations : t -> int
+
+type stats = { conflicts : int; decisions : int; propagations : int; restarts : int }
+(** Cumulative solver effort since {!create}.  [conflicts] is the budget
+    currency of {!solve}'s [max_conflicts]; callers slice shared budgets by
+    differencing snapshots around each call. *)
+
+val stats : t -> stats
+
+val stats_diff : stats -> stats -> stats
+(** [stats_diff after before]: effort spent between two snapshots. *)
+
+val stats_sum : stats -> stats -> stats
+val zero_stats : stats

@@ -234,6 +234,12 @@ let member key = function
   | _ -> Error (Printf.sprintf "json: expected an object with field %S" key)
 
 let to_int = function Int n -> Ok n | _ -> Error "json: expected an integer"
+
+let to_float = function
+  | Float f -> Ok f
+  | Int n -> Ok (float_of_int n)
+  | _ -> Error "json: expected a number"
+
 let to_bool = function Bool b -> Ok b | _ -> Error "json: expected a boolean"
 let to_str = function String s -> Ok s | _ -> Error "json: expected a string"
 let to_list = function List l -> Ok l | _ -> Error "json: expected an array"

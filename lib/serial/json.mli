@@ -25,6 +25,10 @@ val of_string : string -> (t, string) result
 
 val member : string -> t -> (t, string) result
 val to_int : t -> (int, string) result
+
+(** Accepts [Float] or [Int] — integral-looking numbers parse as [Int], so
+    float fields must tolerate both. *)
+val to_float : t -> (float, string) result
 val to_bool : t -> (bool, string) result
 val to_str : t -> (string, string) result
 val to_list : t -> (t list, string) result

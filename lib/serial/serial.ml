@@ -169,6 +169,75 @@ let target_of_json j =
     Ok (Lift.Fpu_module { fmt = Fpu_format.create_fmt ~exp_bits ~man_bits })
   | u -> Error (Printf.sprintf "unknown unit %S" u)
 
+let violation_name = function
+  | Fault.Setup_violation -> "setup"
+  | Fault.Hold_violation -> "hold"
+
+let violation_of_name = function
+  | "setup" -> Ok Fault.Setup_violation
+  | "hold" -> Ok Fault.Hold_violation
+  | k -> Error (Printf.sprintf "bad violation kind %S" k)
+
+let variant_outcome_to_json = function
+  | Lift.Constructed tc -> Obj [ ("kind", String "constructed"); ("case", case_to_json tc) ]
+  | Lift.Proved_unreachable -> Obj [ ("kind", String "unreachable") ]
+  | Lift.Formal_timeout -> Obj [ ("kind", String "timeout") ]
+  | Lift.Conversion_failed -> Obj [ ("kind", String "conversion-failed") ]
+
+let variant_outcome_of_json j =
+  let* kind = Result.bind (member "kind" j) to_str in
+  match kind with
+  | "constructed" ->
+    let* tc = Result.bind (member "case" j) case_of_json in
+    Ok (Lift.Constructed tc)
+  | "unreachable" -> Ok Lift.Proved_unreachable
+  | "timeout" -> Ok Lift.Formal_timeout
+  | "conversion-failed" -> Ok Lift.Conversion_failed
+  | k -> Error (Printf.sprintf "bad variant outcome %S" k)
+
+let pair_result_to_json (r : Lift.pair_result) =
+  Obj
+    [
+      ("start", String r.Lift.start_dff);
+      ("end", String r.Lift.end_dff);
+      ("violation", String (violation_name r.Lift.violation));
+      ("classification", String (Lift.classification_name r.Lift.classification));
+      ( "variants",
+        List
+          (List.map
+             (fun (spec, o) ->
+               Obj [ ("spec", spec_to_json spec); ("outcome", variant_outcome_to_json o) ])
+             r.Lift.variants) );
+    ]
+
+let pair_result_of_json j =
+  let* start_dff = Result.bind (member "start" j) to_str in
+  let* end_dff = Result.bind (member "end" j) to_str in
+  let* viol_s = Result.bind (member "violation" j) to_str in
+  let* violation = violation_of_name viol_s in
+  let* class_s = Result.bind (member "classification" j) to_str in
+  let* classification =
+    match class_s with
+    | "S" -> Ok Lift.S
+    | "UR" -> Ok Lift.UR
+    | "FF" -> Ok Lift.FF
+    | "FC" -> Ok Lift.FC
+    | c -> Error (Printf.sprintf "bad classification %S" c)
+  in
+  let* vl = Result.bind (member "variants" j) to_list in
+  let* variants =
+    map_m
+      (fun v ->
+        let* spec = Result.bind (member "spec" v) spec_of_json in
+        let* o = Result.bind (member "outcome" v) variant_outcome_of_json in
+        Ok (spec, o))
+      vl
+  in
+  let cases =
+    List.filter_map (function _, Lift.Constructed tc -> Some tc | _ -> None) variants
+  in
+  Ok { Lift.start_dff; end_dff; violation; variants; classification; cases }
+
 let suite_to_json (suite : Lift.suite) =
   Obj
     [

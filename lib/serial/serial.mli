@@ -18,3 +18,23 @@ val suite_to_string : Lift.suite -> string
 val suite_of_string : string -> (Lift.suite, string) result
 (** Round trip: [suite_of_string (suite_to_string s)] reproduces [s]
     exactly (the error case reports the offending field). *)
+
+(** {1 Component codecs}
+
+    The building blocks of the suite document, exposed for the
+    {!Resilience} checkpoint files, which snapshot per-pair lifting
+    results and campaign rows incrementally. *)
+
+val spec_to_json : Fault.spec -> Json.t
+val spec_of_json : Json.t -> (Fault.spec, string) result
+val case_to_json : Lift.test_case -> Json.t
+val case_of_json : Json.t -> (Lift.test_case, string) result
+val target_to_json : Lift.module_kind -> Json.t
+val target_of_json : Json.t -> (Lift.module_kind, string) result
+val violation_name : Fault.violation_kind -> string
+val violation_of_name : string -> (Fault.violation_kind, string) result
+val pair_result_to_json : Lift.pair_result -> Json.t
+
+val pair_result_of_json : Json.t -> (Lift.pair_result, string) result
+(** The [cases] field is reconstructed from the constructed variants, in
+    variant order — the same invariant {!Lift.lift_pair} maintains. *)

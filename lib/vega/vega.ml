@@ -273,6 +273,16 @@ let error_lifting ?config analysis =
   in
   Lift.lift_violating_pairs ?config analysis.target ordered
 
+let lifting_items analysis =
+  let ordered =
+    Testgen.scoap_ranked_pairs analysis.target.Lift.netlist analysis.violating_pairs
+  in
+  Resilience.items_of_pairs analysis.target.Lift.netlist ordered
+
+let error_lifting_supervised ?config ?supervisor ?checkpoint ?on_item analysis =
+  Resilience.supervised_lift ?config ?supervisor ?checkpoint ?on_item analysis.target
+    (lifting_items analysis)
+
 type workflow_report = {
   analysis : analysis;
   pair_results : Lift.pair_result list;

@@ -100,6 +100,21 @@ val error_lifting : ?config:Lift.config -> analysis -> Lift.pair_result list
     ({!Testgen.scoap_ranked_pairs}) so the formal budget is spent on the
     paths random search cannot reach. *)
 
+val lifting_items : analysis -> Resilience.item list
+(** The phase-two work list (unique violating pairs, SCOAP-ranked) as
+    supervisor items. *)
+
+val error_lifting_supervised :
+  ?config:Lift.config ->
+  ?supervisor:Resilience.supervisor ->
+  ?checkpoint:Resilience.Checkpoint.t ->
+  ?on_item:(int -> Resilience.item_report -> unit) ->
+  analysis ->
+  Resilience.report
+(** Phase two under {!Resilience.supervised_lift}: per-pair budget slices
+    with adaptive escalation, the random-search degradation ladder for
+    formally-FF pairs, and optional one-item-granular checkpoint/resume. *)
+
 type workflow_report = {
   analysis : analysis;
   pair_results : Lift.pair_result list;

@@ -86,7 +86,7 @@ let test_feedback_unreachable_is_bounded () =
 
 let test_timeout () =
   match Formal.check_cover ~max_conflicts:0 adder ~cover:(out_bit adder "o" 1) with
-  | Formal.Timeout -> ()
+  | Formal.Timeout _ -> ()
   | Formal.Trace_found _ ->
     (* a zero budget can still succeed if no conflicts are needed; accept *)
     ()
@@ -212,7 +212,7 @@ let prop_bmc_matches_exhaustive_sim =
            match Formal.check_cover ~max_cycles:bound nl ~cover with
            | Formal.Trace_found _ -> true
            | Formal.Unreachable | Formal.Bounded_unreachable _ -> false
-           | Formal.Timeout -> !reachable  (* inconclusive: don't fail *)
+           | Formal.Timeout _ -> !reachable  (* inconclusive: don't fail *)
          in
          bmc_says = !reachable))
 

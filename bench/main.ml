@@ -10,6 +10,9 @@
      bench/main.exe check      CEC vs random-vector validation timing
      bench/main.exe resilience supervisor smoke: formal vs fallback cost,
                                budget-sliced ALU8 lifting with the ladder
+     bench/main.exe telemetry  instrumented ALU8 pipeline; writes counters,
+                               histograms and span totals to
+                               BENCH_telemetry.json (the perf trajectory seed)
      bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
                                table3 table4 table5 table6 table7 fig9 *)
 
@@ -542,6 +545,73 @@ let run_resilience_bench () =
   Printf.printf "  %d items supervised in %.0f ms\n" (List.length items) ms;
   print_newline ()
 
+(* ------------- telemetry mode ------------- *)
+
+(* One instrumented end-to-end ALU8 pipeline (phase 1 + supervised phase 2 +
+   a word-parallel profiling run), drained into BENCH_telemetry.json.  The
+   counters are deterministic for a fixed seed — they are the perf-trajectory
+   signal; the span durations carry the wall-clock context. *)
+let run_telemetry () =
+  Telemetry.enable ();
+  let analysis =
+    Vega.aging_analysis
+      ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
+      alu8 ~workload:Vega.run_minver_workload
+  in
+  let rp = Vega.error_lifting_supervised analysis in
+  let s64 = Sim64.create ~profile:true alu8.Lift.netlist in
+  Sim64.run_random s64 ~cycles:256;
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "vega-bench-telemetry/1");
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun (c : Telemetry.Counter.snapshot) ->
+                 (c.Telemetry.Counter.c_name, Json.Int c.Telemetry.Counter.c_value))
+               snap.Telemetry.ss_counters) );
+        ( "histograms",
+          Json.List
+            (List.map
+               (fun (h : Telemetry.Histogram.snapshot) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String h.Telemetry.Histogram.h_name);
+                     ( "counts",
+                       Json.List
+                         (Array.to_list
+                            (Array.map (fun n -> Json.Int n) h.Telemetry.Histogram.h_counts))
+                     );
+                     ("total", Json.Int h.Telemetry.Histogram.h_total);
+                     ("sum", Json.Int h.Telemetry.Histogram.h_sum);
+                   ])
+               snap.Telemetry.ss_histograms) );
+        ( "span_totals",
+          Json.List
+            (List.map
+               (fun (name, count, total_ns) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("count", Json.Int count);
+                     ("total_ns", Json.Int total_ns);
+                   ])
+               (Telemetry.span_totals snap)) );
+      ]
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_string (Telemetry.Export.summary snap);
+  Printf.printf "supervised items: %d, budget spent: %d conflicts\n"
+    (List.length rp.Resilience.rp_items)
+    rp.Resilience.rp_budget_spent;
+  print_endline "telemetry written to BENCH_telemetry.json"
+
 (* ------------- experiment printing ------------- *)
 
 let log s = Printf.eprintf "[bench] %s\n%!" s
@@ -575,6 +645,7 @@ let () =
   | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
   | "check" -> run_check_bench ()
   | "resilience" -> run_resilience_bench ()
+  | "telemetry" -> run_telemetry ()
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
@@ -597,6 +668,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown argument %S (expected \
-       all|quick|micro|ablations|guard|check|resilience|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+       all|quick|micro|ablations|guard|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

@@ -15,6 +15,15 @@
      vega report   [--quick]
      vega guard-campaign [--quick] [--seed N] [--checkpoint DIR] [--resume]
 
+   The pipeline subcommands (analyze, lift, run, fuzz, optimize, check,
+   report, guard-campaign) additionally accept
+     --trace FILE      Chrome trace-event JSON (Perfetto-loadable)
+     --metrics FILE    JSONL counters / histograms / span totals
+     --virtual-clock   deterministic timestamps: identical runs produce
+                       byte-identical exports (used by the golden tests)
+   Telemetry is recorded only when --trace or --metrics is given; the
+   instrumentation compiles to a single flag check otherwise.
+
    Exit codes are uniform across subcommands: 0 success; 1 the analysis
    itself failed or detected a problem (SDC detected, check/lint failure,
    a supervised item errored, a guarded campaign run escaped); 2 usage
@@ -92,6 +101,65 @@ let target_of = function
   | U_alu, width -> Lift.alu_target ~width ()
   | U_fpu, _ -> Lift.fpu_target ()
 
+(* ---------- telemetry plumbing ---------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv); load it in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write run metrics (counters, histograms, span totals) to $(docv) as JSONL.")
+
+let virtual_clock_arg =
+  Arg.(
+    value & flag
+    & info [ "virtual-clock" ]
+        ~doc:
+          "Timestamp telemetry with the deterministic virtual clock instead of real time: \
+           identical runs then produce byte-identical exports.")
+
+let telemetry_term =
+  Term.(const (fun trace metrics vclock -> (trace, metrics, vclock))
+        $ trace_arg $ metrics_arg $ virtual_clock_arg)
+
+(* Recording is active only when an export destination was requested, so
+   the plain CLI keeps the disabled-path (single flag check) cost. *)
+let with_telemetry (trace, metrics, vclock) f =
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+    let clock =
+      if vclock then Telemetry.Clock.virtual_ () else Telemetry.Clock.monotonic ()
+    in
+    Telemetry.enable ~clock ();
+    let finish () =
+      let snap = Telemetry.snapshot () in
+      Telemetry.disable ();
+      let write path text =
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      in
+      Option.iter (fun p -> write p (Telemetry.Export.chrome_trace snap)) trace;
+      Option.iter (fun p -> write p (Telemetry.Export.jsonl snap)) metrics
+    in
+    (match f () with
+    | code ->
+      finish ();
+      code
+    | exception e ->
+      finish ();
+      raise e)
+
 let phase1_of margin =
   { Vega.default_phase1 with Vega.clock_margin = margin }
 
@@ -103,7 +171,8 @@ let workflow unit_kind width margin mitigation =
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run unit_kind width margin years =
+  let run tele unit_kind width margin years =
+    with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let config = { (phase1_of margin) with Vega.years } in
     (* workload characterization + area/power from the same profiled run *)
@@ -144,7 +213,7 @@ let analyze_cmd =
       a.Vega.violating_pairs;
     0
   in
-  let term = Term.(const run $ unit_arg $ width_arg $ margin_arg $ years_arg) in
+  let term = Term.(const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ years_arg) in
   Cmd.v (Cmd.info "analyze" ~doc:"Phase 1: aging-aware timing analysis of a functional unit.") term
 
 (* ---------- lift ---------- *)
@@ -195,8 +264,9 @@ let lift_cmd =
       & info [ "no-fallback" ]
           ~doc:"Disable the random-search fallback for formally-FF pairs.")
   in
-  let run unit_kind width margin mitigation asm out seed slice budget no_fallback checkpoint
+  let run tele unit_kind width margin mitigation asm out seed slice budget no_fallback checkpoint
       resume =
+    with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let config =
       {
@@ -278,8 +348,9 @@ let lift_cmd =
   in
   let term =
     Term.(
-      const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg $ out_arg
-      $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ checkpoint_arg $ resume_arg)
+      const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg
+      $ out_arg $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ checkpoint_arg
+      $ resume_arg)
   in
   Cmd.v
     (Cmd.info "lift"
@@ -298,7 +369,8 @@ let suite_file_arg =
   Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"FILE" ~doc:"Run a previously exported JSON suite instead of regenerating one.")
 
 let run_cmd =
-  let run unit_kind width margin mitigation inject seed suite_file =
+  let run tele unit_kind width margin mitigation inject seed suite_file =
+    with_telemetry tele @@ fun () ->
     let suite, target =
       match suite_file with
       | Some path ->
@@ -344,8 +416,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ inject_arg $ seed_arg
-      $ suite_file_arg)
+      const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ mitigation_arg
+      $ inject_arg $ seed_arg $ suite_file_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the generated suite on a healthy or fault-injected unit.")
@@ -409,7 +481,8 @@ let pair_arg =
     & info [ "pair" ] ~docv:"START:END" ~doc:"Register pair to lift (e.g. a_q0:r_q0).")
 
 let fuzz_cmd =
-  let run unit_kind width (start_dff, end_dff) budget =
+  let run tele unit_kind width (start_dff, end_dff) budget =
+    with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let fuzz = { Lift.default_fuzz_config with Lift.budget_cycles = budget } in
     let formal =
@@ -434,7 +507,7 @@ let fuzz_cmd =
   let budget_arg =
     Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"CYCLES" ~doc:"Fuzzing cycle budget.")
   in
-  let term = Term.(const run $ unit_arg $ width_arg $ pair_arg $ budget_arg) in
+  let term = Term.(const run $ telemetry_term $ unit_arg $ width_arg $ pair_arg $ budget_arg) in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Compare formal vs fuzzing-based test construction for one pair.")
     term
@@ -442,7 +515,8 @@ let fuzz_cmd =
 (* ---------- optimize ---------- *)
 
 let optimize_cmd =
-  let run unit_kind width verify =
+  let run tele unit_kind width verify =
+    with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let nl = target.Lift.netlist in
     let opt, stats = Netlist_opt.optimize nl in
@@ -466,7 +540,7 @@ let optimize_cmd =
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"Prove equivalence with the formal checker.")
   in
-  let term = Term.(const run $ unit_arg $ width_arg $ verify_arg) in
+  let term = Term.(const run $ telemetry_term $ unit_arg $ width_arg $ verify_arg) in
   Cmd.v (Cmd.info "optimize" ~doc:"Run the netlist optimizer on a unit (and optionally verify).") term
 
 (* ---------- encode ---------- *)
@@ -552,7 +626,8 @@ let check_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the sanity mutation.")
   in
-  let run unit_kind width seed =
+  let run tele unit_kind width seed =
+    with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let nl = target.Lift.netlist in
     let failed = ref false in
@@ -610,7 +685,7 @@ let check_cmd =
       0
     end
   in
-  let term = Term.(const run $ unit_arg $ width_arg $ seed_arg) in
+  let term = Term.(const run $ telemetry_term $ unit_arg $ width_arg $ seed_arg) in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Full static-verification sweep of a unit: lint, optimizer CEC, fault-replica CEC, \
@@ -621,7 +696,8 @@ let check_cmd =
 
 let report_cmd =
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced configuration.") in
-  let run quick =
+  let run tele quick =
+    with_telemetry tele @@ fun () ->
     let config = if quick then Experiments.quick_config else Experiments.default_config in
     let log s = Printf.eprintf "[vega] %s\n%!" s in
     print_string (Experiments.run_all ~config ~log ());
@@ -629,7 +705,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
-    Term.(const run $ quick_arg)
+    Term.(const run $ telemetry_term $ quick_arg)
 
 (* ---------- guard-campaign ---------- *)
 
@@ -638,7 +714,8 @@ let guard_campaign_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Machine RNG seed.")
   in
-  let run quick seed checkpoint resume =
+  let run tele quick seed checkpoint resume =
+    with_telemetry tele @@ fun () ->
     let base = if quick then Experiments.quick_campaign else Experiments.default_campaign in
     let config = { base with Experiments.cg_seed = seed } in
     let log s = Printf.eprintf "[vega] %s\n%!" s in
@@ -665,7 +742,7 @@ let guard_campaign_cmd =
        ~doc:
          "Inject phase-2 fault specs mid-run under each recovery policy and tabulate; exits 1 \
           when any guarded run escapes.")
-    Term.(const run $ quick_arg $ seed_arg $ checkpoint_arg $ resume_arg)
+    Term.(const run $ telemetry_term $ quick_arg $ seed_arg $ checkpoint_arg $ resume_arg)
 
 let () =
   let doc = "proactive runtime detection of aging-related silent data corruptions" in

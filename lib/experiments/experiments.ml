@@ -846,6 +846,7 @@ let campaign_machine (target : Lift.target) seed =
       ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
 
 let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
+  Telemetry.with_span ~cat:"experiments" "experiments.campaign" @@ fun () ->
   let ck_load key decode =
     match checkpoint with
     | None -> None
@@ -878,6 +879,7 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
   in
   List.concat_map
     (fun (uname, target, slot) ->
+      Telemetry.with_span ~cat:"experiments" "campaign.unit" @@ fun () ->
       let lift_key = "lift~" ^ uname in
       let selected =
         match
@@ -906,6 +908,7 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
       let width, fmt = campaign_dims target in
       List.concat_map
         (fun (b : Workload.benchmark) ->
+          Telemetry.with_span ~cat:"experiments" "campaign.kernel" @@ fun () ->
           let compiled = Minic.compile ~width ~fmt b.Workload.program in
           let prog = Minic.assemble compiled in
           (* golden reference: functional machine, fault-free by construction *)

@@ -338,6 +338,11 @@ let check_cover_stats ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts 
         assumes;
       if k < start_cycle then try_bound (k + 1)
       else begin
+        (* the span must close before the Unsat branch recurses, so
+           successive bounds are siblings under the check_cover span
+           rather than an ever-deeper nest *)
+        let tele = Telemetry.enabled () in
+        if tele then Telemetry.begin_span ~cat:"formal" "formal.bound";
         let cover_lit = lit_of_expr s (k - 1) cover in
         incr solver_calls;
         incr calls;
@@ -347,6 +352,16 @@ let check_cover_stats ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts 
         effort := Sat.stats_sum !effort used;
         total_conflicts := !total_conflicts + used.Sat.conflicts;
         budget := !budget - used.Sat.conflicts;
+        if tele then
+          Telemetry.end_span
+            ~args:
+              [
+                ("bound", Telemetry.Int k);
+                ("result", Telemetry.Str (Sat.result_name r));
+                ("conflicts", Telemetry.Int used.Sat.conflicts);
+                ("budget_left", Telemetry.Int !budget);
+              ]
+            ();
         match r with
         | Sat.Sat -> Trace_found (extract_trace s watch k)
         | Sat.Unsat ->
@@ -359,7 +374,28 @@ let check_cover_stats ?(assumes = []) ?(watch = []) ?max_cycles ?(max_conflicts 
       end
     end
   in
+  let tele = Telemetry.enabled () in
+  if tele then Telemetry.begin_span ~cat:"formal" "formal.check_cover";
   let outcome = try_bound 1 in
+  if tele then begin
+    let outcome_name =
+      match outcome with
+      | Trace_found _ -> "trace_found"
+      | Unreachable -> "unreachable"
+      | Bounded_unreachable _ -> "bounded_unreachable"
+      | Timeout _ -> "timeout"
+    in
+    Telemetry.end_span
+      ~args:
+        [
+          ("netlist", Telemetry.Str (Netlist.name nl));
+          ("outcome", Telemetry.Str outcome_name);
+          ("calls", Telemetry.Int !calls);
+          ("conflicts", Telemetry.Int !effort.Sat.conflicts);
+          ("deepest_unsat", Telemetry.Int !deepest);
+        ]
+      ()
+  end;
   (outcome, { rs_solver = !effort; rs_calls = !calls; rs_deepest_unsat = !deepest })
 
 let check_cover ?assumes ?watch ?max_cycles ?max_conflicts ?start_cycle nl ~cover =

@@ -209,7 +209,17 @@ module Monitor = struct
     Machine.restore m snap;
     (result, !spent)
 
+  let tele_slices = Telemetry.Counter.make "guard.slices"
+  let tele_detections = Telemetry.Counter.make "guard.detections"
+  let tele_test_cycles = Telemetry.Counter.make "guard.test_cycles"
+
+  let tele_latency =
+    Telemetry.Histogram.make "guard.detection_latency"
+      ~bounds:[| 16; 64; 256; 1024; 4096; 16384; 65536 |]
+
   let run ?(config = default_config) ?injector ~suite m (prog : Isa.program) =
+    let tele = Telemetry.enabled () in
+    if tele then Telemetry.begin_span ~cat:"guard" "guard.run";
     let cases = Array.of_list suite.Lift.suite_cases in
     let n_cases = Array.length cases in
     let cadence = ref (max 1 config.cadence) in
@@ -374,6 +384,26 @@ module Monitor = struct
       | Some (oi, oc), d :: _ -> Some (d.det_instr - oi, d.det_cycle - oc)
       | _ -> None
     in
+    Telemetry.Counter.add tele_slices !guard_slices;
+    Telemetry.Counter.add tele_detections (List.length detections);
+    Telemetry.Counter.add tele_test_cycles !guard_cycles;
+    (match latency with
+    | Some (instrs, _) -> Telemetry.Histogram.observe tele_latency instrs
+    | None -> ());
+    if tele then
+      Telemetry.end_span
+        ~args:
+          [
+            ( "verdict",
+              Telemetry.Str
+                (match verdict with App_completed _ -> "completed" | Guard_aborted _ -> "aborted")
+            );
+            ("slices", Telemetry.Int !guard_slices);
+            ("detections", Telemetry.Int (List.length detections));
+            ("guard_cycles", Telemetry.Int !guard_cycles);
+            ("app_cycles", Telemetry.Int (Machine.cycles m));
+          ]
+        ();
     {
       r_verdict = verdict;
       r_detections = detections;

@@ -187,8 +187,19 @@ type variant_stats = {
 
 type pair_stats = { p_variants : variant_stats list; p_conflicts : int }
 
+let tele_pairs = Telemetry.Counter.make "lift.pairs"
+let tele_cases = Telemetry.Counter.make "lift.cases"
+
+let variant_outcome_tag = function
+  | Constructed _ -> "constructed"
+  | Proved_unreachable -> "unreachable"
+  | Formal_timeout -> "timeout"
+  | Conversion_failed -> "conversion_failed"
+
 let lift_pair_stats ?(config = default_config) ?budget ?(resume = []) target ~start_dff ~end_dff
     ~violation =
+  let tele = Telemetry.enabled () in
+  if tele then Telemetry.begin_span ~cat:"lift" "lift.pair";
   let variants = variants_of_config config violation start_dff end_dff in
   (* [budget] caps the whole pair: each variant draws from what the previous
      ones left over, realizing the supervisor's per-pair slice.  Without it,
@@ -198,6 +209,7 @@ let lift_pair_stats ?(config = default_config) ?budget ?(resume = []) target ~st
   let results =
     List.map
       (fun spec ->
+        if tele then Telemetry.begin_span ~cat:"lift" "lift.variant";
         let start_cycle =
           match List.assoc_opt spec resume with Some bound -> bound + 1 | None -> 1
         in
@@ -245,6 +257,16 @@ let lift_pair_stats ?(config = default_config) ?budget ?(resume = []) target ~st
             (outcome, vstats)
         in
         stats_acc := vstats :: !stats_acc;
+        if tele then
+          Telemetry.end_span
+            ~args:
+              [
+                ("spec", Telemetry.Str (Fault.describe spec));
+                ("outcome", Telemetry.Str (variant_outcome_tag outcome));
+                ("conflicts", Telemetry.Int vstats.vs_solver.Sat.conflicts);
+                ("calls", Telemetry.Int vstats.vs_calls);
+              ]
+            ();
         (spec, outcome))
       variants
   in
@@ -253,14 +275,21 @@ let lift_pair_stats ?(config = default_config) ?budget ?(resume = []) target ~st
   let p_conflicts =
     List.fold_left (fun acc v -> acc + v.vs_solver.Sat.conflicts) 0 p_variants
   in
-  ( {
-      start_dff;
-      end_dff;
-      violation;
-      variants = results;
-      classification = classify results;
-      cases;
-    },
+  let classification = classify results in
+  Telemetry.Counter.incr tele_pairs;
+  Telemetry.Counter.add tele_cases (List.length cases);
+  if tele then
+    Telemetry.end_span
+      ~args:
+        [
+          ("start_dff", Telemetry.Str start_dff);
+          ("end_dff", Telemetry.Str end_dff);
+          ("classification", Telemetry.Str (classification_name classification));
+          ("conflicts", Telemetry.Int p_conflicts);
+          ("cases", Telemetry.Int (List.length cases));
+        ]
+      ();
+  ( { start_dff; end_dff; violation; variants = results; classification; cases },
     { p_variants; p_conflicts } )
 
 let lift_pair ?config target ~start_dff ~end_dff ~violation =

@@ -365,8 +365,16 @@ let state_conflicts = function Done r -> r.ir_conflicts | Parked p -> p.pk_confl
 
 let rec pow b e = if e <= 0 then 1 else b * pow b (e - 1)
 
+let tele_budget_spent = Telemetry.Counter.make "resilience.budget_spent"
+
+let tele_pair_conflicts =
+  Telemetry.Histogram.make "resilience.pair_conflicts"
+    ~bounds:[| 0; 2; 8; 32; 128; 512; 2048; 8192; 32768 |]
+
 let supervised_lift ?(config = Lift.default_config) ?supervisor ?checkpoint
     ?(on_item = fun _ _ -> ()) (target : Lift.target) items =
+  let tele = Telemetry.enabled () in
+  if tele then Telemetry.begin_span ~cat:"resilience" "resilience.supervised_lift";
   let n = List.length items in
   let sup = match supervisor with Some s -> s | None -> default_supervisor ~pairs:n config in
   let budget =
@@ -398,26 +406,44 @@ let supervised_lift ?(config = Lift.default_config) ?supervisor ?checkpoint
     on_item !event r;
     incr event
   in
-  let run_pass it (prev : parked) ~slice ~pass =
-    match
-      Lift.lift_pair_stats ~config ~budget:slice ~resume:prev.pk_bounds target
-        ~start_dff:it.it_start ~end_dff:it.it_end ~violation:it.it_violation
-    with
-    | exception e ->
-      Done
-        {
-          ir_item = it;
-          ir_outcome = Failed (Printexc.to_string e);
-          ir_result = None;
-          ir_fallback_cases = [];
-          ir_passes = pass;
-          ir_pass_conflicts = prev.pk_pass_conflicts @ [ 0 ];
-          ir_conflicts = prev.pk_conflicts;
-          ir_bounds = prev.pk_bounds;
-        }
-    | pr, st ->
-      Budget.charge budget st.Lift.p_conflicts;
-      let pk =
+  let rec run_pass it (prev : parked) ~slice ~pass =
+    if tele then Telemetry.begin_span ~cat:"resilience" "resilience.item";
+    let st =
+      match
+        Lift.lift_pair_stats ~config ~budget:slice ~resume:prev.pk_bounds target
+          ~start_dff:it.it_start ~end_dff:it.it_end ~violation:it.it_violation
+      with
+      | exception e ->
+        Done
+          {
+            ir_item = it;
+            ir_outcome = Failed (Printexc.to_string e);
+            ir_result = None;
+            ir_fallback_cases = [];
+            ir_passes = pass;
+            ir_pass_conflicts = prev.pk_pass_conflicts @ [ 0 ];
+            ir_conflicts = prev.pk_conflicts;
+            ir_bounds = prev.pk_bounds;
+          }
+      | pr, st -> run_pass_done it pr st ~pass ~prev
+    in
+    if tele then
+      Telemetry.end_span
+        ~args:
+          [
+            ("key", Telemetry.Str it.it_key);
+            ("pass", Telemetry.Int pass);
+            ("slice", Telemetry.Int slice);
+            ("state", Telemetry.Str (match st with Done _ -> "done" | Parked _ -> "parked"));
+            ("conflicts", Telemetry.Int (state_conflicts st));
+          ]
+        ();
+    st
+  and run_pass_done it pr st ~pass ~prev =
+    Budget.charge budget st.Lift.p_conflicts;
+    Telemetry.Counter.add tele_budget_spent st.Lift.p_conflicts;
+    Telemetry.Histogram.observe tele_pair_conflicts st.Lift.p_conflicts;
+    let pk =
         {
           pk_passes = pass;
           pk_pass_conflicts = prev.pk_pass_conflicts @ [ st.Lift.p_conflicts ];
@@ -473,7 +499,20 @@ let supervised_lift ?(config = Lift.default_config) ?supervisor ?checkpoint
   done;
   (* degradation ladder: seeded random search for the still-FF items *)
   let ladder = sup.sv_ladder in
-  let run_ladder it (p : parked) =
+  let rec run_ladder it (p : parked) =
+    if tele then Telemetry.begin_span ~cat:"resilience" "resilience.ladder";
+    let outcome, cases = run_ladder_search it p in
+    if tele then
+      Telemetry.end_span
+        ~args:
+          [
+            ("key", Telemetry.Str it.it_key);
+            ("outcome", Telemetry.Str (outcome_name outcome));
+            ("cases", Telemetry.Int (List.length cases));
+          ]
+        ();
+    (outcome, cases)
+  and run_ladder_search it (p : parked) =
     let specs =
       match p.pk_result with
       | Some pr ->
@@ -555,13 +594,25 @@ let supervised_lift ?(config = Lift.default_config) ?supervisor ?checkpoint
           })
       items
   in
+  let rp_escalations =
+    (* reconstructed from the final states (not a live counter) so that a
+       resumed run reports the same number as the uninterrupted one *)
+    List.fold_left (fun acc r -> acc + max 0 (r.ir_passes - 1)) 0 rp_items
+  in
+  if tele then
+    Telemetry.end_span
+      ~args:
+        [
+          ("items", Telemetry.Int n);
+          ("budget_spent", Telemetry.Int (Budget.spent budget));
+          ("escalations", Telemetry.Int rp_escalations);
+        ]
+      ();
   {
     rp_items;
     rp_budget_total = Budget.total budget;
     rp_budget_spent = Budget.spent budget;
-    (* reconstructed from the final states (not a live counter) so that a
-       resumed run reports the same number as the uninterrupted one *)
-    rp_escalations = List.fold_left (fun acc r -> acc + max 0 (r.ir_passes - 1)) 0 rp_items;
+    rp_escalations;
   }
 
 (* ---- Table-4-style accounting ---- *)

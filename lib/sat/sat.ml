@@ -421,7 +421,7 @@ let pick_branch_var t =
   in
   go ()
 
-let solve ?(assumptions = []) ?max_conflicts t =
+let solve_core ?(assumptions = []) ?max_conflicts t =
   if not t.ok then Unsat
   else begin
     backtrack t 0;
@@ -497,6 +497,51 @@ let solve ?(assumptions = []) ?max_conflicts t =
     backtrack t 0;
     t.last_result <- r;
     r
+  end
+
+(* Telemetry wrapper: a span per solve call carrying the per-call stats
+   delta, plus process-wide counters fed from the same delta.  The entire
+   instrumented path is skipped behind one [Telemetry.enabled] check so a
+   disabled sink never allocates the span or its argument list. *)
+
+let tele_calls = Telemetry.Counter.make "sat.solve.calls"
+let tele_conflicts = Telemetry.Counter.make "sat.conflicts"
+let tele_decisions = Telemetry.Counter.make "sat.decisions"
+let tele_propagations = Telemetry.Counter.make "sat.propagations"
+let tele_restarts = Telemetry.Counter.make "sat.restarts"
+
+let result_name = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
+let solve ?assumptions ?max_conflicts t =
+  if not (Telemetry.enabled ()) then solve_core ?assumptions ?max_conflicts t
+  else begin
+    Telemetry.begin_span ~cat:"sat" "sat.solve";
+    let before = stats t in
+    let finish r =
+      let d = stats_diff (stats t) before in
+      Telemetry.Counter.incr tele_calls;
+      Telemetry.Counter.add tele_conflicts d.conflicts;
+      Telemetry.Counter.add tele_decisions d.decisions;
+      Telemetry.Counter.add tele_propagations d.propagations;
+      Telemetry.Counter.add tele_restarts d.restarts;
+      Telemetry.end_span
+        ~args:
+          [
+            ("result", Telemetry.Str (result_name r));
+            ("conflicts", Telemetry.Int d.conflicts);
+            ("decisions", Telemetry.Int d.decisions);
+            ("propagations", Telemetry.Int d.propagations);
+            ("restarts", Telemetry.Int d.restarts);
+          ]
+        ()
+    in
+    match solve_core ?assumptions ?max_conflicts t with
+    | r ->
+      finish r;
+      r
+    | exception e ->
+      finish Unknown;
+      raise e
   end
 
 let value t v =

@@ -13,6 +13,9 @@ type t
 
 type result = Sat | Unsat | Unknown
 
+val result_name : result -> string
+(** "sat" / "unsat" / "unknown" — for logs and telemetry args. *)
+
 val create : unit -> t
 
 val new_var : t -> int

@@ -32,9 +32,16 @@ let eval_cell t (c : Netlist.cell) =
   done;
   t.values.(c.output) <- Cell.Kind.eval c.kind buf
 
+(* Hot-path counters: a guarded int store, so instrumentation adds no
+   allocation whether the sink is on or off. *)
+let tele_cycles = Telemetry.Counter.make "sim.cycles"
+let tele_gate_evals = Telemetry.Counter.make "sim.gate_evals"
+
 let settle t =
   let cells = Netlist.cells t.netlist in
-  Array.iter (fun id -> eval_cell t cells.(id)) (Netlist.topo_order t.netlist)
+  let order = Netlist.topo_order t.netlist in
+  Array.iter (fun id -> eval_cell t cells.(id)) order;
+  Telemetry.Counter.add tele_gate_evals (Array.length order)
 
 let reset t =
   Array.fill t.values 0 (Array.length t.values) false;
@@ -93,6 +100,7 @@ let step ?(sample = true) t =
   let captured = List.map (fun id -> (id, t.values.(cells.(id).inputs.(0)))) dffs in
   List.iter (fun (id, d) -> t.values.(cells.(id).output) <- d) captured;
   t.cycle <- t.cycle + 1;
+  Telemetry.Counter.incr tele_cycles;
   settle t
 
 let hold_clock t =

@@ -126,6 +126,14 @@ let compile netlist =
     topo;
   (prog_op, prog_in0, prog_in1, prog_in2, prog_out)
 
+(* Hot-path counters.  [Counter.add] is a guarded int store — no
+   allocation either way — which is what lets the settle loop stay
+   instrumented permanently (the overhead regression test asserts
+   identical [Gc.minor_words] with the sink disabled). *)
+let tele_cycles = Telemetry.Counter.make "sim64.cycles"
+let tele_gate_evals = Telemetry.Counter.make "sim64.gate_evals"
+let tele_lane_samples = Telemetry.Counter.make "sim64.lane_samples"
+
 let settle t =
   let v = t.values in
   let op = t.prog_op
@@ -153,7 +161,8 @@ let settle t =
       | _ -> assert false
     in
     v.(out.(i)) <- r
-  done
+  done;
+  Telemetry.Counter.add tele_gate_evals n
 
 (* The trailing [settle] leaves every net consistent, mirroring [Sim]. *)
 let reset t =
@@ -269,6 +278,7 @@ let sample_sp t =
         t.prev.(n) <- v land m lor (t.prev.(n) land lnot m)
       done;
       t.lane_samples <- t.lane_samples + lanes_here;
+      Telemetry.Counter.add tele_lane_samples lanes_here;
       if count_toggles then t.toggle_slots <- t.toggle_slots + lanes_here;
       t.cycles_sampled <- t.cycles_sampled + 1
     end
@@ -286,6 +296,7 @@ let step ?(sample = true) t =
     t.values.(t.dff_q.(i)) <- t.edge_buf.(i)
   done;
   t.cycle <- t.cycle + 1;
+  Telemetry.Counter.incr tele_cycles;
   settle t
 
 let hold_clock t =

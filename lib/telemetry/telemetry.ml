@@ -1,0 +1,411 @@
+(* Global-sink telemetry: spans, counters, histograms, exporters.
+
+   The recorder is a handful of module-level mutable cells guarded by one
+   [enabled_flag] bool — the only thing a disabled instrumentation point
+   ever touches.  Counter bumps mutate an int field (no allocation), which
+   is what lets the Sim64 settle loop stay instrumented permanently.
+   Timestamps are native-int nanoseconds: 63 bits holds ~292 years, and
+   staying out of Int64 keeps clock reads and span frames boxing-free. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+module Clock = struct
+  type t =
+    | Monotonic of { mutable last : int }
+    | Virtual of { mutable now : int; step : int }
+
+  let monotonic () = Monotonic { last = 0 }
+
+  let virtual_ ?(start_ns = 0) ?(step_ns = 1000) () =
+    if step_ns <= 0 then invalid_arg "Telemetry.Clock.virtual_: step_ns must be positive";
+    Virtual { now = start_ns; step = step_ns }
+
+  let now_ns = function
+    | Monotonic m ->
+      (* clamped to strictly increasing: gettimeofday can step backwards
+         (NTP) and repeats at microsecond resolution *)
+      let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+      let t = if t > m.last then t else m.last + 1 in
+      m.last <- t;
+      t
+    | Virtual v ->
+      let t = v.now in
+      v.now <- t + v.step;
+      t
+
+  let is_virtual = function Virtual _ -> true | Monotonic _ -> false
+end
+
+(* ---- the global sink ---- *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : int;
+  sp_end_ns : int;
+  sp_args : (string * value) list;
+  sp_children : span list;
+}
+
+type frame = {
+  f_name : string;
+  f_cat : string;
+  f_start : int;
+  mutable f_children : span list;  (* reversed *)
+}
+
+let enabled_flag = ref false
+let the_clock = ref (Clock.monotonic ())
+let stack : frame list ref = ref [] (* head = innermost open span *)
+let roots : span list ref = ref [] (* reversed *)
+
+let enabled () = !enabled_flag
+let span_depth () = List.length !stack
+
+module Counter = struct
+  type t = { c_id : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { c_id = name; v = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+  let add c n = if !enabled_flag then c.v <- c.v + n
+  let incr c = if !enabled_flag then c.v <- c.v + 1
+  let value c = c.v
+
+  type snapshot = { c_name : string; c_value : int }
+
+  let merge a b =
+    if a.c_name <> b.c_name then
+      invalid_arg
+        (Printf.sprintf "Telemetry.Counter.merge: %s vs %s" a.c_name b.c_name);
+    { c_name = a.c_name; c_value = a.c_value + b.c_value }
+end
+
+module Histogram = struct
+  type t = { h_id : string; bounds : int array; counts : int array; mutable total : int; mutable sum : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name ~bounds =
+    for i = 1 to Array.length bounds - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg (Printf.sprintf "Telemetry.Histogram.make %s: bounds not strictly increasing" name)
+    done;
+    match Hashtbl.find_opt registry name with
+    | Some h ->
+      if h.bounds <> bounds then
+        invalid_arg (Printf.sprintf "Telemetry.Histogram.make %s: bounds differ from registration" name);
+      h
+    | None ->
+      let h =
+        { h_id = name; bounds = Array.copy bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0; sum = 0 }
+      in
+      Hashtbl.replace registry name h;
+      h
+
+  let observe h v =
+    if !enabled_flag then begin
+      let n = Array.length h.bounds in
+      let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
+      let i = idx 0 in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.total <- h.total + 1;
+      h.sum <- h.sum + v
+    end
+
+  type snapshot = {
+    h_name : string;
+    h_bounds : int array;
+    h_counts : int array;
+    h_total : int;
+    h_sum : int;
+  }
+
+  let snapshot_value h =
+    { h_name = h.h_id; h_bounds = Array.copy h.bounds; h_counts = Array.copy h.counts; h_total = h.total; h_sum = h.sum }
+
+  let merge a b =
+    if a.h_name <> b.h_name then
+      invalid_arg (Printf.sprintf "Telemetry.Histogram.merge: %s vs %s" a.h_name b.h_name);
+    if a.h_bounds <> b.h_bounds then
+      invalid_arg (Printf.sprintf "Telemetry.Histogram.merge %s: bucket bounds differ" a.h_name);
+    {
+      h_name = a.h_name;
+      h_bounds = a.h_bounds;
+      h_counts = Array.init (Array.length a.h_counts) (fun i -> a.h_counts.(i) + b.h_counts.(i));
+      h_total = a.h_total + b.h_total;
+      h_sum = a.h_sum + b.h_sum;
+    }
+end
+
+(* ---- lifecycle ---- *)
+
+let reset () =
+  stack := [];
+  roots := [];
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter
+    (fun _ (h : Histogram.t) ->
+      Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
+      h.Histogram.total <- 0;
+      h.Histogram.sum <- 0)
+    Histogram.registry
+
+let enable ?clock () =
+  (match clock with Some c -> the_clock := c | None -> the_clock := Clock.monotonic ());
+  reset ();
+  enabled_flag := true
+
+let disable () = enabled_flag := false
+
+(* ---- spans ---- *)
+
+let begin_span ?(cat = "") name =
+  if !enabled_flag then
+    stack :=
+      { f_name = name; f_cat = cat; f_start = Clock.now_ns !the_clock; f_children = [] }
+      :: !stack
+
+let end_span ?(args = []) () =
+  if !enabled_flag then
+    match !stack with
+    | [] -> () (* stray end: ignored so the forest stays well-formed *)
+    | f :: rest ->
+      stack := rest;
+      let sp =
+        {
+          sp_name = f.f_name;
+          sp_cat = f.f_cat;
+          sp_start_ns = f.f_start;
+          sp_end_ns = Clock.now_ns !the_clock;
+          sp_args = args;
+          sp_children = List.rev f.f_children;
+        }
+      in
+      (match rest with
+      | [] -> roots := sp :: !roots
+      | parent :: _ -> parent.f_children <- sp :: parent.f_children)
+
+let with_span ?cat name f =
+  begin_span ?cat name;
+  match f () with
+  | v ->
+    end_span ();
+    v
+  | exception e ->
+    end_span ~args:[ ("exception", Str (Printexc.to_string e)) ] ();
+    raise e
+
+(* ---- snapshots ---- *)
+
+type snapshot = {
+  ss_spans : span list;
+  ss_counters : Counter.snapshot list;
+  ss_histograms : Histogram.snapshot list;
+  ss_end_ns : int;
+}
+
+let snapshot () =
+  (* virtually close still-open frames at one common end time; [!stack]'s
+     head is the innermost frame, so folding left threads each closed span
+     into its parent *)
+  let now = Clock.now_ns !the_clock in
+  let open_root =
+    List.fold_left
+      (fun child f ->
+        let kids =
+          List.rev f.f_children @ (match child with None -> [] | Some c -> [ c ])
+        in
+        Some
+          {
+            sp_name = f.f_name;
+            sp_cat = f.f_cat;
+            sp_start_ns = f.f_start;
+            sp_end_ns = now;
+            sp_args = [];
+            sp_children = kids;
+          })
+      None !stack
+  in
+  let spans = List.rev_append !roots (match open_root with None -> [] | Some s -> [ s ]) in
+  let counters =
+    Hashtbl.fold
+      (fun _ (c : Counter.t) acc -> { Counter.c_name = c.Counter.c_id; c_value = c.Counter.v } :: acc)
+      Counter.registry []
+    |> List.sort (fun a b -> compare a.Counter.c_name b.Counter.c_name)
+  in
+  let histograms =
+    Hashtbl.fold (fun _ h acc -> Histogram.snapshot_value h :: acc) Histogram.registry []
+    |> List.sort (fun a b -> compare a.Histogram.h_name b.Histogram.h_name)
+  in
+  { ss_spans = spans; ss_counters = counters; ss_histograms = histograms; ss_end_ns = now }
+
+let span_totals snap =
+  let order = ref [] in
+  let totals : (string, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk sp =
+    let count, total =
+      match Hashtbl.find_opt totals sp.sp_name with
+      | Some ct -> ct
+      | None ->
+        order := sp.sp_name :: !order;
+        (0, 0)
+    in
+    Hashtbl.replace totals sp.sp_name (count + 1, total + (sp.sp_end_ns - sp.sp_start_ns));
+    List.iter walk sp.sp_children
+  in
+  List.iter walk snap.ss_spans;
+  List.rev_map
+    (fun name ->
+      let count, total = Hashtbl.find totals name in
+      (name, count, total))
+    !order
+
+(* ---- exporters ---- *)
+
+module Export = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let value_json = function
+    | Int n -> string_of_int n
+    | Float f -> Printf.sprintf "%.6g" f
+    | Str s -> Printf.sprintf "\"%s\"" (escape s)
+    | Bool b -> if b then "true" else "false"
+
+  let args_json args =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (value_json v)) args)
+
+  (* Chrome trace "ts"/"dur" are microseconds; keep sub-us precision with a
+     fixed three-decimal rendering computed in integer arithmetic, so the
+     output is byte-deterministic. *)
+  let us_of_ns ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+  let chrome_trace snap =
+    let buf = Buffer.create 4096 in
+    let first = ref true in
+    let emit line =
+      if !first then first := false else Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf line
+    in
+    Buffer.add_string buf "{\"traceEvents\":[\n";
+    let rec walk sp =
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+           (escape sp.sp_name)
+           (escape (if sp.sp_cat = "" then "vega" else sp.sp_cat))
+           (us_of_ns sp.sp_start_ns)
+           (us_of_ns (sp.sp_end_ns - sp.sp_start_ns))
+           (args_json sp.sp_args));
+      List.iter walk sp.sp_children
+    in
+    List.iter walk snap.ss_spans;
+    (* Zero-valued counters are omitted: which counters are merely
+       *registered* depends on which instrumented modules a binary links,
+       so including them would make the trace a function of the linker
+       image rather than of the run (and would break golden-trace
+       comparison across producers). *)
+    List.iter
+      (fun (c : Counter.snapshot) ->
+        if c.Counter.c_value <> 0 then
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":{\"value\":%d}}"
+               (escape c.Counter.c_name) (us_of_ns snap.ss_end_ns) c.Counter.c_value))
+      snap.ss_counters;
+    Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"vega-telemetry\"}}\n";
+    Buffer.contents buf
+
+  let int_array_json a =
+    "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+  let jsonl snap =
+    let buf = Buffer.create 2048 in
+    List.iter
+      (fun (c : Counter.snapshot) ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+             (escape c.Counter.c_name) c.Counter.c_value))
+      snap.ss_counters;
+    List.iter
+      (fun (h : Histogram.snapshot) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"type\":\"histogram\",\"name\":\"%s\",\"bounds\":%s,\"counts\":%s,\"total\":%d,\"sum\":%d}\n"
+             (escape h.Histogram.h_name)
+             (int_array_json h.Histogram.h_bounds)
+             (int_array_json h.Histogram.h_counts)
+             h.Histogram.h_total h.Histogram.h_sum))
+      snap.ss_histograms;
+    List.iter
+      (fun (name, count, total_ns) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"type\":\"span_total\",\"name\":\"%s\",\"count\":%d,\"total_ns\":%d}\n"
+             (escape name) count total_ns))
+      (span_totals snap);
+    Buffer.contents buf
+
+  let summary snap =
+    let buf = Buffer.create 2048 in
+    let spans = span_totals snap in
+    if spans <> [] then begin
+      Buffer.add_string buf "spans (name, count, total):\n";
+      List.iter
+        (fun (name, count, total_ns) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-40s %8d %12s us\n" name count (us_of_ns total_ns)))
+        spans
+    end;
+    let live = List.filter (fun (c : Counter.snapshot) -> c.Counter.c_value <> 0) snap.ss_counters in
+    if live <> [] then begin
+      Buffer.add_string buf "counters:\n";
+      List.iter
+        (fun (c : Counter.snapshot) ->
+          Buffer.add_string buf (Printf.sprintf "  %-40s %12d\n" c.Counter.c_name c.Counter.c_value))
+        live
+    end;
+    let live_h = List.filter (fun (h : Histogram.snapshot) -> h.Histogram.h_total <> 0) snap.ss_histograms in
+    if live_h <> [] then begin
+      Buffer.add_string buf "histograms:\n";
+      List.iter
+        (fun (h : Histogram.snapshot) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-40s total %d sum %d\n" h.Histogram.h_name h.Histogram.h_total
+               h.Histogram.h_sum);
+          Array.iteri
+            (fun i n ->
+              if n > 0 then
+                let label =
+                  if i < Array.length h.Histogram.h_bounds then
+                    Printf.sprintf "<=%d" h.Histogram.h_bounds.(i)
+                  else "overflow"
+                in
+                Buffer.add_string buf (Printf.sprintf "    %-12s %d\n" label n))
+            h.Histogram.h_counts)
+        live_h
+    end;
+    Buffer.contents buf
+end

@@ -190,17 +190,20 @@ let replay_unit_ops (target : Lift.target) ops =
 
 let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target : Lift.target)
     ~workload =
+  Telemetry.with_span ~cat:"vega" "vega.phase1" @@ fun () ->
   let nl = target.Lift.netlist in
   (* Static gate: the whole phase-1/2 machinery (simulation, STA, CNF
      encoding) assumes a structurally sound netlist, so reject a design the
      linter finds error-class defects in before spending any budget on it. *)
-  (match Check.errors (Check.lint_netlist nl) with
-  | [] -> ()
-  | diags ->
-    invalid_arg
-      (Printf.sprintf "Vega.aging_analysis: netlist %s fails lint:\n%s" (Netlist.name nl)
-         (Check.render ~design:(Netlist.name nl) diags)));
+  Telemetry.with_span ~cat:"vega" "vega.lint" (fun () ->
+      match Check.errors (Check.lint_netlist nl) with
+      | [] -> ()
+      | diags ->
+        invalid_arg
+          (Printf.sprintf "Vega.aging_analysis: netlist %s fails lint:\n%s" (Netlist.name nl)
+             (Check.render ~design:(Netlist.name nl) diags)));
   let sp_samples, profiled_sp =
+    Telemetry.with_span ~cat:"vega" "vega.profile" @@ fun () ->
     match engine with
     | Scalar_profile ->
       let m = machine_for ~profile_units:true target in
@@ -225,23 +228,29 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
   let fresh_timing =
     Sta.fresh_timing ~derate:config.derate ~clock_tree:config.clock_tree Cell.Library.c28
   in
-  let fresh_probe = Sta.analyze ~timing:fresh_timing ~clock_period_ps:1e9 nl in
-  let crit =
-    List.fold_left
-      (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
-      0.0 fresh_probe.Sta.endpoint_slacks
+  let clock_period_ps, fresh_report =
+    Telemetry.with_span ~cat:"vega" "vega.fresh_sta" @@ fun () ->
+    let fresh_probe = Sta.analyze ~timing:fresh_timing ~clock_period_ps:1e9 nl in
+    let crit =
+      List.fold_left
+        (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+        0.0 fresh_probe.Sta.endpoint_slacks
+    in
+    let clock_period_ps = crit *. config.clock_margin in
+    (clock_period_ps, Sta.analyze ~timing:fresh_timing ~clock_period_ps nl)
   in
-  let clock_period_ps = crit *. config.clock_margin in
-  let fresh_report = Sta.analyze ~timing:fresh_timing ~clock_period_ps nl in
   let aged_timing =
     Sta.aged_timing ~derate:config.derate ~clock_tree:config.clock_tree ~sp_of_net
       ~years:config.years aglib
   in
-  let aged_report =
-    Sta.analyze ~max_violating_paths:config.max_violating_paths ~timing:aged_timing
-      ~clock_period_ps nl
+  let aged_report, violating_pairs =
+    Telemetry.with_span ~cat:"vega" "vega.aged_sta" @@ fun () ->
+    let aged_report =
+      Sta.analyze ~max_violating_paths:config.max_violating_paths ~timing:aged_timing
+        ~clock_period_ps nl
+    in
+    (aged_report, Sta.violating_pairs ~timing:aged_timing ~clock_period_ps nl)
   in
-  let violating_pairs = Sta.violating_pairs ~timing:aged_timing ~clock_period_ps nl in
   let cell_degradation =
     Array.to_list (Netlist.cells nl)
     |> List.filter_map (fun (c : Netlist.cell) ->
@@ -265,6 +274,7 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
   }
 
 let error_lifting ?config analysis =
+  Telemetry.with_span ~cat:"vega" "vega.phase2" @@ fun () ->
   (* Hardest-to-test pairs first (SCOAP ranking): the formal budget goes to
      the paths cheap random search would miss.  The sort is stable, so the
      worst-slack representative of each unique pair is unchanged. *)
@@ -280,6 +290,7 @@ let lifting_items analysis =
   Resilience.items_of_pairs analysis.target.Lift.netlist ordered
 
 let error_lifting_supervised ?config ?supervisor ?checkpoint ?on_item analysis =
+  Telemetry.with_span ~cat:"vega" "vega.phase2" @@ fun () ->
   Resilience.supervised_lift ?config ?supervisor ?checkpoint ?on_item analysis.target
     (lifting_items analysis)
 

@@ -1,0 +1,113 @@
+(* Tests for SPICE-lite: the alpha-power-law resistance model, the
+   closed-form RC delay, the transient integrator against its closed-form
+   oracle, and the degradation factor the aging library consumes. *)
+
+let elec ?(vdd = 1.0) ?(vth0 = 0.35) ?(alpha = 1.4) ?(cload_ff = 2.0) ?(stack_factor = 1.0) () =
+  { Cell.vdd; vth0; alpha; cload_ff; stack_factor }
+
+let test_resistance_law () =
+  let e = elec () in
+  let r v = Spice.stage_resistance e ~vth:v in
+  (* alpha-power law: R scales as (vdd - vth)^-alpha *)
+  let expected v = e.Cell.stack_factor /. ((e.Cell.vdd -. v) ** e.Cell.alpha) in
+  List.iter
+    (fun v -> Alcotest.(check (float 1e-12)) (Printf.sprintf "R(%.2f)" v) (expected v) (r v))
+    [ 0.0; 0.2; 0.35; 0.6; 0.9 ];
+  (* monotone: a higher threshold strangles the pull-up *)
+  Alcotest.(check bool) "R increases with vth" true (r 0.5 > r 0.35);
+  (* stack factor is a straight multiplier *)
+  let e2 = elec ~stack_factor:3.0 () in
+  Alcotest.(check (float 1e-12)) "stack factor multiplies" (3.0 *. r 0.35)
+    (Spice.stage_resistance e2 ~vth:0.35)
+
+let test_resistance_rejects_vth_at_vdd () =
+  let e = elec () in
+  Alcotest.check_raises "vth = vdd" (Invalid_argument "Spice.stage_resistance: vth 1.000 >= vdd 1.000")
+    (fun () -> ignore (Spice.stage_resistance e ~vth:1.0));
+  Alcotest.check_raises "vth > vdd" (Invalid_argument "Spice.stage_resistance: vth 1.200 >= vdd 1.000")
+    (fun () -> ignore (Spice.stage_resistance e ~vth:1.2))
+
+let test_closed_form_delay () =
+  let e = elec () in
+  let r = Spice.stage_resistance e ~vth:e.Cell.vth0 in
+  (* R * C * ln 2, with the module's 10 ps-per-RC-unit scale *)
+  Alcotest.(check (float 1e-9)) "R C ln2" (r *. e.Cell.cload_ff *. 10.0 *. log 2.0)
+    (Spice.stage_delay_ps e ~vth:e.Cell.vth0);
+  (* doubling the load doubles the delay *)
+  let e2 = elec ~cload_ff:4.0 () in
+  Alcotest.(check (float 1e-9)) "linear in C"
+    (2.0 *. Spice.stage_delay_ps e ~vth:0.35)
+    (Spice.stage_delay_ps e2 ~vth:0.35)
+
+let test_transient_matches_closed_form () =
+  (* the integrator is the simulation, the closed form its oracle: they
+     must agree to well under a percent at the default step *)
+  List.iter
+    (fun (v, stack) ->
+      let e = elec ~stack_factor:stack () in
+      let exact = Spice.stage_delay_ps e ~vth:v in
+      let sim = Spice.transient_delay_ps e ~vth:v in
+      let rel = Float.abs (sim -. exact) /. exact in
+      if rel > 0.01 then
+        Alcotest.failf "transient off by %.3f%% at vth=%.2f stack=%.1f" (100.0 *. rel) v stack)
+    [ (0.2, 1.0); (0.35, 1.0); (0.5, 2.0); (0.7, 1.5) ];
+  (* refining the step tightens the agreement *)
+  let e = elec () in
+  let exact = Spice.stage_delay_ps e ~vth:0.35 in
+  let coarse = Float.abs (Spice.transient_delay_ps ~dt_ps:0.5 e ~vth:0.35 -. exact) in
+  let fine = Float.abs (Spice.transient_delay_ps ~dt_ps:0.001 e ~vth:0.35 -. exact) in
+  Alcotest.(check bool) "finer step converges" true (fine < coarse)
+
+let test_degradation_factor () =
+  let e = elec () in
+  Alcotest.(check (float 1e-12)) "no shift, no slow-down" 1.0
+    (Spice.degradation_factor e ~dvth:0.0);
+  let d1 = Spice.degradation_factor e ~dvth:0.02 in
+  let d2 = Spice.degradation_factor e ~dvth:0.05 in
+  Alcotest.(check bool) "slow-down > 1" true (d1 > 1.0);
+  Alcotest.(check bool) "monotone in dvth" true (d2 > d1);
+  (* the factor is a delay ratio, so the load cancels out *)
+  let e_big_load = elec ~cload_ff:20.0 () in
+  Alcotest.(check (float 1e-9)) "independent of load" d1
+    (Spice.degradation_factor e_big_load ~dvth:0.02)
+
+let test_library_cells_are_sane () =
+  (* every combinational cell of the shipped library has a positive fresh
+     delay and degrades under a BTI-scale shift *)
+  List.iter
+    (fun k ->
+      let e = Cell.Library.electrical Cell.Library.c28 k in
+      let d = Spice.stage_delay_ps e ~vth:e.Cell.vth0 in
+      Alcotest.(check bool) (Cell.Kind.to_string k ^ " fresh delay positive") true (d > 0.0);
+      let f = Spice.degradation_factor e ~dvth:0.03 in
+      Alcotest.(check bool) (Cell.Kind.to_string k ^ " degrades") true (f > 1.0 && f < 2.0))
+    Cell.Kind.combinational
+
+let prop_degradation_at_least_one =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"degradation_factor >= 1 for dvth >= 0"
+       QCheck.(pair (float_bound_inclusive 0.25) (float_bound_inclusive 3.0))
+       (fun (dvth, stack) ->
+         let e = elec ~stack_factor:(1.0 +. stack) () in
+         Spice.degradation_factor e ~dvth >= 1.0))
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "resistance",
+        [
+          Alcotest.test_case "alpha-power law" `Quick test_resistance_law;
+          Alcotest.test_case "rejects vth >= vdd" `Quick test_resistance_rejects_vth_at_vdd;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "closed form" `Quick test_closed_form_delay;
+          Alcotest.test_case "transient vs closed form" `Quick test_transient_matches_closed_form;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "factor" `Quick test_degradation_factor;
+          Alcotest.test_case "library cells" `Quick test_library_cells_are_sane;
+          prop_degradation_at_least_one;
+        ] );
+    ]

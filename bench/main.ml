@@ -156,17 +156,26 @@ let micro_tests =
           for _ = 1 to 10 do
             Sim64.step sim
           done);
+      t "substrate:gate-simc-step-fpu16" (fun () ->
+          let sim = Simc.create fpu16_netlist in
+          for _ = 1 to 10 do
+            Simc.step sim
+          done;
+          Simc.settle sim);
       t "substrate:cdcl-pigeonhole-7-6" (fun () ->
           ignore (Sat.solve (pigeonhole 7 6)));
       t "substrate:minic-compile-minver" (fun () ->
           ignore (Minic.compile Workload.minver.Workload.program));
     ]
 
-(* Throughput of the word-parallel engine against the scalar reference on
+(* Throughput of the word-parallel engines against the scalar reference on
    the same netlist and the same pre-generated random stimulus: one scalar
-   pattern per cycle vs [Sim64.lanes] patterns per cycle. *)
-let sim64_throughput () =
-  print_endline "== 64-lane vs scalar gate-simulation throughput ==";
+   pattern per cycle vs [Sim64.lanes] patterns per cycle on the
+   interpreted (Sim64) and compiled (Simc) engines.  The compiled engine's
+   one-time translation cost is timed separately and recorded alongside
+   the steady-state rates in BENCH_simc.json. *)
+let engine_throughput () =
+  print_endline "== scalar vs Sim64 vs Simc gate-simulation throughput ==";
   let measure name nl ~cycles =
     let in_ports = Netlist.inputs nl in
     let rng = Random.State.make [| 0x5eed; Hashtbl.hash name |] in
@@ -206,18 +215,59 @@ let sim64_throughput () =
         Sim64.step s64)
       stim64;
     let t2 = Unix.gettimeofday () in
+    let sc = Simc.create nl in
+    let t3 = Unix.gettimeofday () in
+    Array.iter
+      (fun assigns ->
+        List.iter (fun (p, ws) -> Simc.set_input_words sc p ws) assigns;
+        Simc.step sc)
+      stim64;
+    (* flush the lazy post-edge settle so the timed region covers the same
+       work the interpreted engines already did *)
+    Simc.settle sc;
+    let t4 = Unix.gettimeofday () in
     let scalar_rate = float_of_int cycles /. (t1 -. t0) in
-    let wide_rate = float_of_int (cycles * Sim64.lanes) /. (t2 -. t1) in
+    let sim64_rate = float_of_int (cycles * Sim64.lanes) /. (t2 -. t1) in
+    let simc_rate = float_of_int (cycles * Simc.lanes) /. (t4 -. t3) in
+    let compile_ms = (t3 -. t2) *. 1e3 in
     Printf.printf
-      "  %-6s scalar %9.0f patterns/s | %d-lane %10.0f patterns/s | speedup %5.1fx\n" name
-      scalar_rate Sim64.lanes wide_rate (wide_rate /. scalar_rate)
+      "  %-6s scalar %9.0f/s | sim64 %10.0f/s (%5.1fx) | simc %11.0f/s (%5.1fx, %5.1fx vs \
+       sim64, compile %.2f ms, %d ops)\n"
+      name scalar_rate sim64_rate (sim64_rate /. scalar_rate) simc_rate
+      (simc_rate /. scalar_rate) (simc_rate /. sim64_rate) compile_ms (Simc.program_length sc);
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("cycles", Json.Int cycles);
+        ("scalar_patterns_per_s", Json.Float scalar_rate);
+        ("sim64_patterns_per_s", Json.Float sim64_rate);
+        ("simc_patterns_per_s", Json.Float simc_rate);
+        ("simc_compile_ms", Json.Float compile_ms);
+        ("simc_program_ops", Json.Int (Simc.program_length sc));
+        ("simc_vs_scalar", Json.Float (simc_rate /. scalar_rate));
+        ("simc_vs_sim64", Json.Float (simc_rate /. sim64_rate));
+      ]
   in
-  measure "alu8" alu8.Lift.netlist ~cycles:2000;
-  measure "fpu16" fpu16_netlist ~cycles:500;
+  let rows =
+    [ measure "alu8" alu8.Lift.netlist ~cycles:2000; measure "fpu16" fpu16_netlist ~cycles:500 ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "vega-bench-simc/1");
+        ("lanes", Json.Int Simc.lanes);
+        ("netlists", Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_simc.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "engine comparison written to BENCH_simc.json";
   print_newline ()
 
 let run_micro () =
-  sim64_throughput ();
+  engine_throughput ();
   print_endline "== Bechamel micro-benchmarks (one per table/figure kernel) ==";
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in

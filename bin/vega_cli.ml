@@ -3,6 +3,7 @@
      vega analyze  --unit alu|fpu [--width N] [--margin M] [--years Y]
      vega lift     --unit alu|fpu [--mitigation] [--asm] [--out FILE] [--seed N]
                    [--slice N] [--budget N] [--no-fallback]
+                   [--engine scalar|sim64|simc]
                    [--checkpoint DIR] [--resume]
      vega run      --unit alu|fpu [--inject START:END:KIND:C] [--random-order SEED]
      vega emit-c   --unit alu|fpu
@@ -55,6 +56,25 @@ let unit_conv =
 
 let unit_arg =
   Arg.(required & opt (some unit_conv) None & info [ "unit"; "u" ] ~docv:"UNIT" ~doc:"Functional unit: alu or fpu.")
+
+let engine_conv =
+  let parse s =
+    match Lift.engine_of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (expected scalar, sim64, or simc)" s))
+  in
+  let print fmt e = Format.pp_print_string fmt (Lift.engine_name e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Lift.Engine_sim64
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Word-parallel simulation engine for detection sweeps: $(b,scalar) (reference \
+           interpreter, one lane), $(b,sim64) (word-parallel interpreter), or $(b,simc) \
+           (compiled superop programs).  sim64 and simc produce bit-identical verdicts.")
 
 let width_arg =
   Arg.(value & opt int 16 & info [ "width" ] ~docv:"BITS" ~doc:"ALU datapath width (power of two, 4-32).")
@@ -264,8 +284,8 @@ let lift_cmd =
       & info [ "no-fallback" ]
           ~doc:"Disable the random-search fallback for formally-FF pairs.")
   in
-  let run tele unit_kind width margin mitigation asm out seed slice budget no_fallback checkpoint
-      resume =
+  let run tele unit_kind width margin mitigation asm out seed slice budget no_fallback engine
+      checkpoint resume =
     with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let config =
@@ -291,6 +311,7 @@ let lift_cmd =
             sup0.Resilience.sv_ladder with
             Resilience.ld_fallback = not no_fallback;
             ld_seed = seed;
+            ld_engine = engine;
           };
       }
     in
@@ -309,6 +330,7 @@ let lift_cmd =
               string_of_int sup.Resilience.sv_budget_conflicts;
               string_of_int seed;
               string_of_bool (not no_fallback);
+              Lift.engine_name engine;
             ]
         in
         Result.map Option.some (Resilience.Checkpoint.open_dir ~resume ~dir ~digest ())
@@ -349,8 +371,8 @@ let lift_cmd =
   let term =
     Term.(
       const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg
-      $ out_arg $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ checkpoint_arg
-      $ resume_arg)
+      $ out_arg $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ engine_arg
+      $ checkpoint_arg $ resume_arg)
   in
   Cmd.v
     (Cmd.info "lift"

@@ -37,8 +37,9 @@ module Injector = struct
     machine : Machine.t;
     slot : slot;
     spec : Fault.spec;
-    faulty_sim : Sim.t;
-    mutable golden_sim : Sim.t option;  (* stashed while the faulty replica is installed *)
+    faulty_sim : Machine.unit_sim;
+    mutable golden_sim : Machine.unit_sim option;
+        (* stashed while the faulty replica is installed *)
     schedule : schedule;
     mutable state : state;
     mutable onset : (int * int) option;  (* (instr, cycle) of first activation *)
@@ -46,17 +47,30 @@ module Injector = struct
 
   let swap t sim =
     match t.slot with
-    | Alu_slot -> Machine.swap_alu_sim t.machine sim
-    | Fpu_slot -> Machine.swap_fpu_sim t.machine sim
+    | Alu_slot -> Machine.swap_alu_unit t.machine sim
+    | Fpu_slot -> Machine.swap_fpu_unit t.machine sim
 
-  let create ~machine ~slot ~spec schedule =
-    let golden_nl =
+  let create ?engine ~machine ~slot ~spec schedule =
+    let unit_sim =
       match
-        (match slot with Alu_slot -> Machine.alu_sim machine | Fpu_slot -> Machine.fpu_sim machine)
+        match slot with
+        | Alu_slot -> Machine.alu_unit_sim machine
+        | Fpu_slot -> Machine.fpu_unit_sim machine
       with
-      | Some s -> Sim.netlist s
+      | Some u -> u
       | None ->
         invalid_arg "Guard.Injector.create: the targeted unit runs on a functional backend"
+    in
+    let golden_nl = Machine.unit_sim_netlist unit_sim in
+    (* the faulty replica runs on the same engine as the unit it replaces,
+       unless the caller overrides *)
+    let engine =
+      match engine with
+      | Some e -> e
+      | None -> (
+        match unit_sim with
+        | Machine.Scalar_sim _ -> Machine.Scalar_unit
+        | Machine.Compiled_sim _ -> Machine.Compiled_unit)
     in
     let faulty_nl = Fault.failing_netlist golden_nl spec in
     (* CEC gate: with its fault-activation lines tied low, the
@@ -78,7 +92,7 @@ module Injector = struct
       machine;
       slot;
       spec;
-      faulty_sim = Sim.create faulty_nl;
+      faulty_sim = Machine.make_unit_sim engine faulty_nl;
       golden_sim = None;
       schedule;
       state = Golden;

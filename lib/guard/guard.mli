@@ -38,13 +38,22 @@ module Injector : sig
 
   type t
 
-  val create : machine:Machine.t -> slot:slot -> spec:Fault.spec -> schedule -> t
+  val create :
+    ?engine:Machine.unit_engine ->
+    machine:Machine.t ->
+    slot:slot ->
+    spec:Fault.spec ->
+    schedule ->
+    t
   (** Build the fault-instrumented replica of the targeted unit's netlist
       ({!Fault.failing_netlist}) without installing it.  The replica is
       statically vetted before it can ever be armed: with its fault lines
       tied inactive ({!Fault.select_cells}) it must be CEC-equivalent to
       the golden netlist ({!Cec.check}), proving the instrumentation is
-      inert while dormant.
+      inert while dormant.  [engine] selects the simulator the replica
+      runs on; it defaults to the engine of the unit being replaced, so a
+      machine built with [~unit_engine:Compiled_unit] gets a compiled
+      faulty replica with no further plumbing.
       @raise Invalid_argument if the targeted unit runs on a functional
       backend (there is no netlist to instrument), or if the replica fails
       the equivalence gate. *)

@@ -19,10 +19,42 @@ let pp_outcome fmt = function
   | Stalled -> Format.pp_print_string fmt "stalled"
   | Out_of_fuel -> Format.pp_print_string fmt "out-of-fuel"
 
+type unit_engine = Scalar_unit | Compiled_unit
+
+type unit_sim = Scalar_sim of Sim.t | Compiled_sim of Simc.t
+
+(* A compiled unit drives every lane with the same stimulus and reads lane
+   0, so it is observationally a scalar simulator; its profile mask is
+   pinned to lane 0 so SP/toggle counters match a scalar unit's exactly. *)
+
+let us_netlist = function Scalar_sim s -> Sim.netlist s | Compiled_sim s -> Simc.netlist s
+
+let us_reset = function
+  | Scalar_sim s -> Sim.reset s
+  | Compiled_sim s ->
+    Simc.reset s;
+    Simc.set_active_mask s 1
+
+let us_set_input u name v =
+  match u with
+  | Scalar_sim s -> Sim.set_input s name v
+  | Compiled_sim s -> Simc.set_input_all s name v
+
+let us_set_input_bit u name i b =
+  match u with
+  | Scalar_sim s -> Sim.set_input_bit s name i b
+  | Compiled_sim s ->
+    Simc.set_input_all s name (Bitvec.set_bit (Simc.input_value s ~lane:0 name) i b)
+
+let us_step = function Scalar_sim s -> Sim.step s | Compiled_sim s -> Simc.step s
+
+let us_output u name =
+  match u with Scalar_sim s -> Sim.output s name | Compiled_sim s -> Simc.output s ~lane:0 name
+
 (* A 2-stage pipelined gate-level unit: issuing steps the simulator once and
    retires the previously issued operation at the same edge. *)
 type pipe_unit = {
-  usim : Sim.t;
+  usim : unit_sim;
   has_fault_port : bool;
   mutable pending : int option;
       (* destination register of the in-flight operation; for the FPU,
@@ -72,11 +104,25 @@ let port_width nl name = Array.length (Netlist.find_input nl name).Netlist.port_
 let has_input nl name =
   List.exists (fun (p : Netlist.port) -> String.equal p.port_name name) (Netlist.inputs nl)
 
-let make_unit ~profile nl =
-  { usim = Sim.create ~profile nl; has_fault_port = has_input nl Fault.random_port; pending = None }
+let make_unit_sim ?(profile = false) engine nl =
+  match engine with
+  | Scalar_unit -> Scalar_sim (Sim.create ~profile nl)
+  | Compiled_unit ->
+    let s = Simc.create ~profile nl in
+    Simc.set_active_mask s 1;
+    Compiled_sim s
 
-let create ?(config = default_config) ?(profile_units = false) ?(on_alu_op = fun _ _ _ -> ())
-    ?(on_fpu_op = fun _ _ _ -> ()) ~alu ~fpu () =
+let unit_sim_netlist = us_netlist
+
+let make_unit ~engine ~profile nl =
+  {
+    usim = make_unit_sim ~profile engine nl;
+    has_fault_port = has_input nl Fault.random_port;
+    pending = None;
+  }
+
+let create ?(config = default_config) ?(unit_engine = Scalar_unit) ?(profile_units = false)
+    ?(on_alu_op = fun _ _ _ -> ()) ?(on_fpu_op = fun _ _ _ -> ()) ~alu ~fpu () =
   if Fpu_format.width config.fmt > config.width then
     invalid_arg "Machine.create: FP format wider than the integer registers";
   (match alu with
@@ -114,11 +160,11 @@ let create ?(config = default_config) ?(profile_units = false) ?(on_alu_op = fun
     alu_unit =
       (match alu with
       | Alu_functional -> None
-      | Alu_netlist nl -> Some (make_unit ~profile:profile_units nl));
+      | Alu_netlist nl -> Some (make_unit ~engine:unit_engine ~profile:profile_units nl));
     fpu_unit =
       (match fpu with
       | Fpu_functional -> None
-      | Fpu_netlist nl -> Some (make_unit ~profile:profile_units nl));
+      | Fpu_netlist nl -> Some (make_unit ~engine:unit_engine ~profile:profile_units nl));
   }
 
 let config t = t.cfg
@@ -140,7 +186,7 @@ let reset t =
   t.n_moves <- 0;
   t.n_other <- 0;
   let reset_unit u =
-    Sim.reset u.usim;
+    us_reset u.usim;
     u.pending <- None
   in
   Option.iter reset_unit t.alu_unit;
@@ -183,8 +229,13 @@ let mem_addr t a =
 
 let mem t a = t.memory.(mem_addr t a)
 let set_mem t a v = t.memory.(mem_addr t a) <- v
-let alu_sim t = Option.map (fun u -> u.usim) t.alu_unit
-let fpu_sim t = Option.map (fun u -> u.usim) t.fpu_unit
+let scalar_sim_of = function Scalar_sim s -> Some s | Compiled_sim _ -> None
+let alu_sim t = Option.bind t.alu_unit (fun u -> scalar_sim_of u.usim)
+let fpu_sim t = Option.bind t.fpu_unit (fun u -> scalar_sim_of u.usim)
+let alu_unit_sim t = Option.map (fun u -> u.usim) t.alu_unit
+let fpu_unit_sim t = Option.map (fun u -> u.usim) t.fpu_unit
+let alu_netlist t = Option.map (fun u -> us_netlist u.usim) t.alu_unit
+let fpu_netlist t = Option.map (fun u -> us_netlist u.usim) t.fpu_unit
 
 exception Stall_detected
 exception Exit_program of int
@@ -196,29 +247,29 @@ let fpu_functional t = t.fpu_fn
 
 let drive_fault t u =
   if u.has_fault_port then
-    Sim.set_input_bit u.usim Fault.random_port 0 (Random.State.bool t.rng)
+    us_set_input_bit u.usim Fault.random_port 0 (Random.State.bool t.rng)
 
 let alu_retire t u =
   match u.pending with
   | None -> ()
   | Some rd ->
-    set_reg t rd (Sim.output u.usim Alu.r_port);
+    set_reg t rd (us_output u.usim Alu.r_port);
     u.pending <- None
 
 let alu_bubble t u =
   drive_fault t u;
-  Sim.step u.usim;
+  us_step u.usim;
   t.cycles <- t.cycles + 1;
   alu_retire t u
 
 let alu_drain t u = if u.pending <> None then alu_bubble t u
 
 let alu_issue t u op a b rd =
-  Sim.set_input u.usim Alu.op_port (Bitvec.create ~width:4 (Alu.op_code op));
-  Sim.set_input u.usim Alu.a_port a;
-  Sim.set_input u.usim Alu.b_port b;
+  us_set_input u.usim Alu.op_port (Bitvec.create ~width:4 (Alu.op_code op));
+  us_set_input u.usim Alu.a_port a;
+  us_set_input u.usim Alu.b_port b;
   drive_fault t u;
-  Sim.step u.usim;
+  us_step u.usim;
   alu_retire t u;
   u.pending <- Some rd
 
@@ -230,26 +281,26 @@ let alu_value t op a b =
   | None -> Alu.golden ~width:t.cfg.width op a b
   | Some u ->
     alu_drain t u;
-    Sim.set_input u.usim Alu.op_port (Bitvec.create ~width:4 (Alu.op_code op));
-    Sim.set_input u.usim Alu.a_port a;
-    Sim.set_input u.usim Alu.b_port b;
+    us_set_input u.usim Alu.op_port (Bitvec.create ~width:4 (Alu.op_code op));
+    us_set_input u.usim Alu.a_port a;
+    us_set_input u.usim Alu.b_port b;
     drive_fault t u;
-    Sim.step u.usim;
+    us_step u.usim;
     drive_fault t u;
-    Sim.step u.usim;
+    us_step u.usim;
     t.cycles <- t.cycles + 1;
-    Sim.output u.usim Alu.r_port
+    us_output u.usim Alu.r_port
 
 (* ---- gate-level FPU protocol ---- *)
 
 let fpu_wait_valid t u =
   let rec wait n =
-    if Bitvec.to_int (Sim.output u.usim Fpu.valid_port) = 1 then ()
+    if Bitvec.to_int (us_output u.usim Fpu.valid_port) = 1 then ()
     else if n >= t.cfg.fpu_watchdog then raise Stall_detected
     else begin
-      Sim.set_input u.usim Fpu.in_valid_port (Bitvec.zero 1);
+      us_set_input u.usim Fpu.in_valid_port (Bitvec.zero 1);
       drive_fault t u;
-      Sim.step u.usim;
+      us_step u.usim;
       t.cycles <- t.cycles + 1;
       wait (n + 1)
     end
@@ -261,8 +312,8 @@ let fpu_retire t u =
   | None -> ()
   | Some dest ->
     fpu_wait_valid t u;
-    let r = Sim.output u.usim Fpu.r_port in
-    let fl = Fpu_format.flags_of_int (Bitvec.to_int (Sim.output u.usim Fpu.flags_port)) in
+    let r = us_output u.usim Fpu.r_port in
+    let fl = Fpu_format.flags_of_int (Bitvec.to_int (us_output u.usim Fpu.flags_port)) in
     t.flags <- Fpu_format.flags_union t.flags fl;
     if dest land 0x100 <> 0 then
       set_reg t (dest land 0xff) (Bitvec.create ~width:t.cfg.width (Bitvec.to_int r land 1))
@@ -270,21 +321,21 @@ let fpu_retire t u =
     u.pending <- None
 
 let fpu_bubble t u =
-  Sim.set_input u.usim Fpu.in_valid_port (Bitvec.zero 1);
+  us_set_input u.usim Fpu.in_valid_port (Bitvec.zero 1);
   drive_fault t u;
-  Sim.step u.usim;
+  us_step u.usim;
   t.cycles <- t.cycles + 1;
   fpu_retire t u
 
 let fpu_drain t u = if u.pending <> None then fpu_bubble t u
 
 let fpu_issue t u op a b dest =
-  Sim.set_input u.usim Fpu.op_port (Bitvec.create ~width:3 (Fpu_format.op_code op));
-  Sim.set_input u.usim Fpu.a_port a;
-  Sim.set_input u.usim Fpu.b_port b;
-  Sim.set_input u.usim Fpu.in_valid_port (Bitvec.one 1);
+  us_set_input u.usim Fpu.op_port (Bitvec.create ~width:3 (Fpu_format.op_code op));
+  us_set_input u.usim Fpu.a_port a;
+  us_set_input u.usim Fpu.b_port b;
+  us_set_input u.usim Fpu.in_valid_port (Bitvec.one 1);
   drive_fault t u;
-  Sim.step u.usim;
+  us_step u.usim;
   (match u.pending with
   | None -> ()
   | Some _ ->
@@ -299,10 +350,11 @@ let fpu_issue t u op a b dest =
    consistent across the swap.  The displaced simulator is returned with
    its state intact; re-installing it later resumes exactly where it left
    off, which lets a caller flip between a golden and a fault-instrumented
-   replica of the same unit without paying [Sim.create] on every flip.
-   [None] selects the functional golden backend. *)
+   replica of the same unit without paying a simulator construction (or,
+   for a compiled unit, a recompile) on every flip.  [None] selects the
+   functional golden backend. *)
 
-let swap_alu_sim t sim =
+let swap_alu_unit t sim =
   Option.iter (fun u -> alu_drain t u) t.alu_unit;
   let old = Option.map (fun u -> u.usim) t.alu_unit in
   (match sim with
@@ -310,14 +362,14 @@ let swap_alu_sim t sim =
     t.alu_unit <- None;
     t.alu_fn <- true
   | Some s ->
-    let nl = Sim.netlist s in
+    let nl = us_netlist s in
     if port_width nl Alu.a_port <> t.cfg.width then
-      invalid_arg "Machine.swap_alu_sim: ALU netlist width does not match config";
+      invalid_arg "Machine.swap_alu_unit: ALU netlist width does not match config";
     t.alu_unit <- Some { usim = s; has_fault_port = has_input nl Fault.random_port; pending = None };
     t.alu_fn <- false);
   old
 
-let swap_fpu_sim t sim =
+let swap_fpu_unit t sim =
   Option.iter (fun u -> fpu_drain t u) t.fpu_unit;
   let old = Option.map (fun u -> u.usim) t.fpu_unit in
   (match sim with
@@ -325,12 +377,21 @@ let swap_fpu_sim t sim =
     t.fpu_unit <- None;
     t.fpu_fn <- true
   | Some s ->
-    let nl = Sim.netlist s in
+    let nl = us_netlist s in
     if port_width nl Fpu.a_port <> Fpu_format.width t.cfg.fmt then
-      invalid_arg "Machine.swap_fpu_sim: FPU netlist format does not match config";
+      invalid_arg "Machine.swap_fpu_unit: FPU netlist format does not match config";
     t.fpu_unit <- Some { usim = s; has_fault_port = has_input nl Fault.random_port; pending = None };
     t.fpu_fn <- false);
   old
+
+(* Scalar-typed compatibility wrappers: a displaced compiled simulator has
+   no [Sim.t] to hand back, so it surfaces as [None]. *)
+
+let swap_alu_sim t sim =
+  Option.bind (swap_alu_unit t (Option.map (fun s -> Scalar_sim s) sim)) scalar_sim_of
+
+let swap_fpu_sim t sim =
+  Option.bind (swap_fpu_unit t (Option.map (fun s -> Scalar_sim s) sim)) scalar_sim_of
 
 (* ---- architectural snapshots (checkpoint/rollback support) ----
 
@@ -344,6 +405,12 @@ let swap_fpu_sim t sim =
    golden unit), the architectural state is still restored exactly and the
    incompatible unit simulator is simply reset. *)
 
+type unit_snapshot = S_scalar of Sim.snapshot | S_compiled of Simc.snapshot
+
+let unit_snapshot_of = function
+  | Scalar_sim s -> S_scalar (Sim.snapshot s)
+  | Compiled_sim s -> S_compiled (Simc.snapshot s)
+
 type snapshot = {
   s_regs : Bitvec.t array;
   s_fregs : Bitvec.t array;
@@ -355,8 +422,8 @@ type snapshot = {
   s_fpu_counts : int array;
   s_misc_counts : int array;
   s_rng : Random.State.t;
-  s_alu_sim : Sim.snapshot option;
-  s_fpu_sim : Sim.snapshot option;
+  s_alu_sim : unit_snapshot option;
+  s_fpu_sim : unit_snapshot option;
 }
 
 let snapshot t =
@@ -374,8 +441,8 @@ let snapshot t =
     s_misc_counts =
       [| t.n_loads; t.n_stores; t.n_branches; t.n_branches_taken; t.n_jumps; t.n_moves; t.n_other |];
     s_rng = Random.State.copy t.rng;
-    s_alu_sim = Option.map (fun u -> Sim.snapshot u.usim) t.alu_unit;
-    s_fpu_sim = Option.map (fun u -> Sim.snapshot u.usim) t.fpu_unit;
+    s_alu_sim = Option.map (fun u -> unit_snapshot_of u.usim) t.alu_unit;
+    s_fpu_sim = Option.map (fun u -> unit_snapshot_of u.usim) t.fpu_unit;
   }
 
 let restore t s =
@@ -397,9 +464,15 @@ let restore t s =
   t.rng <- Random.State.copy s.s_rng;
   let restore_unit u snap =
     u.pending <- None;
-    match snap with
-    | Some ss -> ( try Sim.restore u.usim ss with Invalid_argument _ -> Sim.reset u.usim)
-    | None -> Sim.reset u.usim
+    match (u.usim, snap) with
+    | Scalar_sim sim, Some (S_scalar ss) -> (
+      try Sim.restore sim ss with Invalid_argument _ -> Sim.reset sim)
+    | Compiled_sim sim, Some (S_compiled ss) -> (
+      try Simc.restore sim ss with
+      | Invalid_argument _ ->
+        Simc.reset sim;
+        Simc.set_active_mask sim 1)
+    | _, (Some _ | None) -> us_reset u.usim
   in
   Option.iter (fun u -> restore_unit u s.s_alu_sim) t.alu_unit;
   Option.iter (fun u -> restore_unit u s.s_fpu_sim) t.fpu_unit

@@ -111,3 +111,12 @@ val run :
 val run_random : ?seed:int -> t -> cycles:int -> unit
 (** Drive all primary inputs with uniform random values for [cycles]
     cycles. *)
+
+(** {1 Word-engine adapter} *)
+
+module Word : Sim_intf.WORD
+(** A lanes=1 view of the scalar simulator satisfying the word-parallel
+    engine signature, so batch consumers ({!Lift.detected_cases},
+    {!Vega.aging_analysis}) can select the reference simulator through
+    the same first-class module as {!Sim64} and {!Simc}.  Bit 0 of every
+    word is the value; bit 0 of the active mask gates sampling. *)

@@ -1,0 +1,141 @@
+(** Compiled word-parallel ("parallel-pattern") gate-level simulation.
+
+    [Simc] is the compiled sibling of {!Sim64}: identical lane conventions
+    (bit [k] of every word is simulation lane [k], {!lanes} lanes per
+    word), identical observable semantics, but the netlist is translated
+    once at construction into a flat superop program — one contiguous
+    [int array] of (opcode, dst, src0, src1) quadruples over a
+    preallocated word-per-net state array — executed by a tight
+    threaded-dispatch loop with no graph traversal and zero per-cycle
+    allocation.  Registers commit through a double-buffered swap.
+
+    Construction levelizes the combinational cells into topological ranks
+    (rejecting combinational cycles with a readable error), drops logic
+    outside the fanin cone of the output ports and register D pins,
+    collapses Buf/Not/Tie cells into read descriptors, and absorbs operand
+    inversions into complementing opcodes.  Eliminated nets remain
+    observable: {!net_word} falls back to an on-demand interpretation of
+    the original netlist, memoized per settle.
+
+    Settling is lazy — driving inputs or clocking an edge marks the state
+    dirty and the program runs at most once per observation point — so a
+    write-only [set_inputs; step] loop executes one program pass per cycle
+    where {!Sim64.step} settles twice.
+
+    With [~profile:true] the compiler is conservative (every cell emitted,
+    no aliasing or elimination), making the SP/toggle counters
+    byte-identical to {!Sim64}'s. *)
+
+val lanes : int
+(** Number of parallel simulation lanes per word ([= Sim64.lanes]). *)
+
+val all_lanes : int
+(** Word with every lane bit set. *)
+
+(** {1 Levelization} *)
+
+val levelize : Netlist.Raw.t -> (int array, string) result
+(** Topological rank of every cell of a raw design: DFFs rank 0, each
+    combinational cell 1 + the maximum rank of the combinational cells
+    driving its inputs.  Deterministic.  [Error msg] names the cells on a
+    combinational cycle (frozen {!Netlist.t} values are acyclic by
+    construction, so this can only trip on hand-built raw designs). *)
+
+(** {1 Construction} *)
+
+type t
+
+val create : ?profile:bool -> Netlist.t -> t
+(** Compile the netlist and return a fresh simulator in the reset state.
+    With [profile] (default false), SP counters are attached to every net
+    and the compile is conservative so the counters match {!Sim64}'s
+    exactly. *)
+
+val netlist : t -> Netlist.t
+
+val program_length : t -> int
+(** Number of superops in the compiled program (after dead-code
+    elimination and wire folding; equals the combinational cell count for
+    a profiling simulator). *)
+
+val reset : t -> unit
+
+(** {1 Driving inputs} *)
+
+val set_input_words : t -> string -> int array -> unit
+(** Drive a port with one word per port bit, LSB first.
+    @raise Invalid_argument on width mismatch. *)
+
+val set_input_all : t -> string -> Bitvec.t -> unit
+(** Drive the same value on every lane. *)
+
+val set_input : t -> lane:int -> string -> Bitvec.t -> unit
+val set_input_bit : t -> lane:int -> string -> int -> bool -> unit
+
+val set_active_mask : t -> int -> unit
+(** Restrict profile sampling to the lanes set in the mask. *)
+
+val active_mask : t -> int
+
+(** {1 The clock} *)
+
+val settle : t -> unit
+(** Ensure every net reflects the current inputs and register values.
+    Idempotent; a no-op unless the state is dirty. *)
+
+val step : ?sample:bool -> t -> unit
+(** One full clock cycle on all lanes: settle, sample the SP counters
+    (unless [~sample:false]), clock edge.  The post-edge settle is lazy. *)
+
+val hold_clock : t -> unit
+(** Settle and sample without a clock edge (clock-gated cycle). *)
+
+val cycle : t -> int
+
+(** {1 Observation} *)
+
+val net_word : t -> Netlist.net -> int
+(** Current word of a net: bit [k] is the net's value in lane [k].  Exact
+    for every net, including nets the optimizer eliminated. *)
+
+val net : t -> lane:int -> Netlist.net -> bool
+val output_words : t -> string -> int array
+val output : t -> lane:int -> string -> Bitvec.t
+val input_value : t -> lane:int -> string -> Bitvec.t
+val peek_cell_word : t -> string -> int
+
+(** {1 Signal-probability profiling}
+
+    Aggregated over all active lanes, exactly as {!Sim64}. *)
+
+val sp : t -> Netlist.net -> float
+val sp_of_cell : t -> string -> float
+val toggle_rate : t -> Netlist.net -> float
+val samples : t -> int
+val cycles_sampled : t -> int
+val ones_count : t -> Netlist.net -> int
+val toggles_count : t -> Netlist.net -> int
+
+(** {1 State snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument if the snapshot was taken on a netlist with a
+    different net count. *)
+
+(** {1 Batch driving} *)
+
+val run_random : ?seed:int -> t -> cycles:int -> unit
+(** Drive every primary input with independent random words for [cycles]
+    cycles (same stream as {!Sim64.run_random}). *)
+
+(** {1 The single-lane engine view} *)
+
+module Lane : Sim_intf.S
+(** One lane of a [Simc], satisfying the shared engine signature (see
+    {!Sim64.Lane} for the clock/profile sharing rules). *)
+
+val lane_view : t -> int -> Lane.t

@@ -66,13 +66,13 @@ let matched_suite ?(seed = 0x3a7c) (suite : Lift.suite) =
   | Lift.Alu_module { width } -> random_alu_suite ~seed ~width ~cases ()
   | Lift.Fpu_module { fmt } -> random_fpu_suite ~seed ~fmt ~cases ()
 
-let random_baseline_detection ?(seed = 0x7ab1e) ~runs (suite : Lift.suite) faulty =
+let random_baseline_detection ?(seed = 0x7ab1e) ?engine ~runs (suite : Lift.suite) faulty =
   if runs <= 0 then invalid_arg "Testgen.random_baseline_detection: runs must be positive";
   let detected = ref 0 in
   for run = 0 to runs - 1 do
     (* distinct deterministic seed per run, derived from the base seed *)
     let s = matched_suite ~seed:(seed + (run * 7919)) suite in
-    if Lift.detects ~seed:(seed lxor run) s faulty then incr detected
+    if Lift.detects ~seed:(seed lxor run) ?engine s faulty then incr detected
   done;
   float_of_int !detected /. float_of_int runs
 

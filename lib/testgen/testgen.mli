@@ -32,9 +32,11 @@ val scoap_ranked_pairs :
     fall to cheap random search.  The sort is stable, so equally-hard pairs
     keep their worst-slack-first order. *)
 
-val random_baseline_detection : ?seed:int -> runs:int -> Lift.suite -> Netlist.t -> float
+val random_baseline_detection :
+  ?seed:int -> ?engine:Lift.engine -> runs:int -> Lift.suite -> Netlist.t -> float
 (** Table-7-style baseline on the word-parallel fast path: the fraction of
     [runs] size-matched random suites (seeds derived deterministically
     from [seed]) that detect the fault in [faulty], evaluated at netlist
     level via {!Lift.detects} — no machine in the loop, so wide sweeps are
-    cheap.  @raise Invalid_argument if [runs <= 0]. *)
+    cheap.  [engine] selects the simulation backend (default {!Lift.Engine_sim64}).
+    @raise Invalid_argument if [runs <= 0]. *)

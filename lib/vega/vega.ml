@@ -92,7 +92,7 @@ let run_minver_workload m =
    unit under back-to-back load), which is the documented semantic
    difference from [Scalar_profile]. *)
 
-type profile_engine = Scalar_profile | Batched_profile
+type profile_engine = Scalar_profile | Batched_profile | Compiled_profile
 
 let idle_assignment (target : Lift.target) =
   match target.Lift.kind with
@@ -140,7 +140,8 @@ let recorded_unit_ops (target : Lift.target) ~workload =
   workload m;
   Array.of_list (List.rev !ops)
 
-let replay_unit_ops (target : Lift.target) ops =
+let replay_unit_ops_e (type s) (module E : Sim_intf.WORD with type t = s)
+    (target : Lift.target) ops =
   let n = Array.length ops in
   if n = 0 then None
   else begin
@@ -150,8 +151,8 @@ let replay_unit_ops (target : Lift.target) ops =
       | Lift.Fpu_module _ -> Fpu.latency
     in
     let idle = idle_assignment target in
-    let s64 = Sim64.create ~profile:true target.Lift.netlist in
-    let nlanes = min Sim64.lanes n in
+    let s64 = E.create ~profile:true target.Lift.netlist in
+    let nlanes = min E.lanes n in
     let chunk = (n + nlanes - 1) / nlanes in
     (* lane [l] replays operations [l*chunk .. min ((l+1)*chunk, n) - 1] *)
     let assignment lane s =
@@ -169,24 +170,33 @@ let replay_unit_ops (target : Lift.target) ops =
               if Bitvec.bit v bit then words.(bit) <- words.(bit) lor (1 lsl lane)
             done
           done;
-          Sim64.set_input_words s64 pname words)
+          E.set_input_words s64 pname words)
         idle
     in
     for s = -latency to -1 do
       drive s;
-      Sim64.step ~sample:false s64
+      E.step ~sample:false s64
     done;
     for s = 0 to chunk - 1 do
       let m = ref 0 in
       for lane = 0 to nlanes - 1 do
         if (lane * chunk) + s < n then m := !m lor (1 lsl lane)
       done;
-      Sim64.set_active_mask s64 !m;
+      E.set_active_mask s64 !m;
       drive s;
-      Sim64.step s64
+      E.step s64
     done;
     Some s64
   end
+
+let replay_unit_ops target ops = replay_unit_ops_e (module Sim64) target ops
+
+(* Record the stream, replay it on the given word engine, return the
+   sample count and SP accessor. *)
+let batched_profile (type s) (module E : Sim_intf.WORD with type t = s) target ~workload =
+  match replay_unit_ops_e (module E) target (recorded_unit_ops target ~workload) with
+  | None -> (0, None)
+  | Some s -> (E.samples s, Some (E.sp s))
 
 let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target : Lift.target)
     ~workload =
@@ -215,10 +225,8 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
       in
       let s = Sim.samples unit_sim in
       (s, if s = 0 then None else Some (Sim.sp unit_sim))
-    | Batched_profile -> (
-      match replay_unit_ops target (recorded_unit_ops target ~workload) with
-      | None -> (0, None)
-      | Some s64 -> (Sim64.samples s64, Some (Sim64.sp s64)))
+    | Batched_profile -> batched_profile (module Sim64) target ~workload
+    | Compiled_profile -> batched_profile (module Simc) target ~workload
   in
   let sp_of_net =
     match profiled_sp with None -> fun _ -> config.sp_fallback | Some f -> f

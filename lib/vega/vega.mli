@@ -59,8 +59,15 @@ type analysis = {
     sequential back-to-back replay of the same stream; pacing effects
     (bubbles between unit operations) are deliberately not modeled, and
     toggle counts lose the few transitions that straddle lane-chunk
-    boundaries. *)
-type profile_engine = Scalar_profile | Batched_profile
+    boundaries.
+
+    [Compiled_profile] is [Batched_profile] on the compiled {!Simc}
+    engine: the same recorded stream, lane split and warm-up, but the
+    netlist is compiled to a superop program first.  Counters (and hence
+    the analysis) are bit-identical to [Batched_profile] — Simc's
+    profiling mode compiles conservatively for exactly this reason — with
+    the compile cost amortized over the replay. *)
+type profile_engine = Scalar_profile | Batched_profile | Compiled_profile
 
 val aging_analysis :
   ?engine:profile_engine ->

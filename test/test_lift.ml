@@ -172,6 +172,37 @@ let test_fuzz_budget_exhaustion () =
   Alcotest.(check string) "budget exhaustion is FF" "FF"
     (Lift.classification_name r.Lift.classification)
 
+(* the three word engines agree on detection verdicts: sim64 and simc are
+   bit-identical on every fault (same lanes, same RNG stream); the scalar
+   reference re-batches with one lane, so it is compared on a C0 fault,
+   where verdicts do not depend on the random fault stream *)
+let test_engine_equivalence () =
+  let r =
+    Lift.lift_pair alu8 ~start_dff:"a_q0" ~end_dff:"r_q0" ~violation:Fault.Setup_violation
+  in
+  let suite = Lift.suite_of_results alu8.Lift.kind [ r ] in
+  let spec c =
+    {
+      Fault.start_dff = "a_q0";
+      end_dff = "r_q0";
+      kind = Fault.Setup_violation;
+      constant = c;
+      activation = Fault.Any_transition;
+    }
+  in
+  List.iter
+    (fun constant ->
+      let faulty = Fault.failing_netlist alu8.Lift.netlist (spec constant) in
+      let v64 = Lift.detected_cases ~engine:Lift.Engine_sim64 suite faulty in
+      let vc = Lift.detected_cases ~engine:Lift.Engine_simc suite faulty in
+      Alcotest.(check (array bool)) "sim64 = simc" v64 vc)
+    [ Fault.C0; Fault.C1; Fault.C_random ];
+  let faulty0 = Fault.failing_netlist alu8.Lift.netlist (spec Fault.C0) in
+  Alcotest.(check (array bool))
+    "scalar = sim64 on C0"
+    (Lift.detected_cases ~engine:Lift.Engine_sim64 suite faulty0)
+    (Lift.detected_cases ~engine:Lift.Engine_scalar suite faulty0)
+
 (* random baseline: healthy machines pass random suites; suites are
    deterministic per seed *)
 let test_testgen () =
@@ -216,5 +247,8 @@ let () =
           Alcotest.test_case "fuzz constructs and detects" `Quick test_fuzz_pair;
           Alcotest.test_case "fuzz budget exhaustion" `Quick test_fuzz_budget_exhaustion;
         ] );
+      ( "engines",
+        [ Alcotest.test_case "detection verdicts engine-independent" `Quick test_engine_equivalence ]
+      );
       ("testgen", [ Alcotest.test_case "random baseline" `Quick test_testgen ]);
     ]

@@ -200,6 +200,10 @@ let fpu16 = Fpu.netlist ()
 let netlist_machine () =
   Machine.create ~alu:(Machine.Alu_netlist alu16) ~fpu:(Machine.Fpu_netlist fpu16) ()
 
+let compiled_machine () =
+  Machine.create ~unit_engine:Machine.Compiled_unit ~alu:(Machine.Alu_netlist alu16)
+    ~fpu:(Machine.Fpu_netlist fpu16) ()
+
 let test_netlist_backend_agrees () =
   let mf = functional () and mn = netlist_machine () in
   let prog =
@@ -277,6 +281,74 @@ let test_faulty_alu_detected_by_test_branch () =
   in
   check_outcome "SDC detected" (Machine.Exited 1) (Machine.run m prog)
 
+let test_compiled_unit_agrees () =
+  (* the Simc-backed unit engine must be observationally identical to the
+     scalar unit engine: same outcome, same architectural state, same cycle
+     count (the protocol FSM is engine-independent) *)
+  let ms = netlist_machine () and mc = compiled_machine () in
+  let prog =
+    [
+      Isa.Li (1, 123);
+      Isa.Li (2, 45);
+      Isa.Alu (Alu.Add, 3, 1, 2);
+      Isa.Alu (Alu.Sub, 4, 1, 2);
+      Isa.Alu (Alu.Xor_op, 5, 3, 4);
+      Isa.Alu (Alu.Sltu, 6, 2, 1);
+      Isa.Alui (Alu.Sra, 7, 1, 2);
+      Isa.Fmv_wx (1, 1);
+      Isa.Fmv_wx (2, 2);
+      Isa.Fop (Fpu_format.Fmul, 3, 1, 2);
+      Isa.Fmv_xw (8, 3);
+      Isa.Ecall 0;
+    ]
+  in
+  let o1 = run_prog ms prog and o2 = run_prog mc prog in
+  check_outcome "both exit" o1 o2;
+  for r = 1 to 8 do
+    Alcotest.(check int)
+      (Printf.sprintf "x%d agrees" r)
+      (Bitvec.to_int (Machine.reg ms r))
+      (Bitvec.to_int (Machine.reg mc r))
+  done;
+  Alcotest.(check int) "f3 agrees"
+    (Bitvec.to_int (Machine.freg ms 3))
+    (Bitvec.to_int (Machine.freg mc 3));
+  Alcotest.(check int) "cycle count agrees" (Machine.cycles ms) (Machine.cycles mc)
+
+let test_compiled_unit_detects_fault () =
+  (* fault detection through the compiled engine: the faulty replica is
+     built on the same engine as the unit it replaces *)
+  let spec =
+    {
+      Fault.start_dff = "a_q0";
+      end_dff = "r_q0";
+      kind = Fault.Setup_violation;
+      constant = Fault.C0;
+      activation = Fault.Any_transition;
+    }
+  in
+  let faulty = Fault.failing_netlist alu16 spec in
+  let m =
+    Machine.create ~unit_engine:Machine.Compiled_unit ~alu:(Machine.Alu_netlist faulty)
+      ~fpu:Machine.Fpu_functional ()
+  in
+  Machine.reset m;
+  let prog =
+    Isa.assemble
+      [
+        Isa.Li (1, 0);
+        Isa.Li (2, 1);
+        Isa.Alu (Alu.Add, 3, 1, 2);
+        Isa.Alu (Alu.Add, 4, 2, 0);
+        Isa.Li (5, 1);
+        Isa.Bne (4, 5, "fail");
+        Isa.Ecall 0;
+        Isa.Label "fail";
+        Isa.Ecall 1;
+      ]
+  in
+  check_outcome "SDC detected on compiled engine" (Machine.Exited 1) (Machine.run m prog)
+
 let test_fpu_stall_watchdog () =
   (* kill the valid token: v_out captures 0 whenever v_q transitions *)
   let spec =
@@ -322,6 +394,34 @@ let prop_backends_agree =
          o1 = o2
          && List.for_all
               (fun r -> Bitvec.equal (Machine.reg mf r) (Machine.reg mn r))
+              (List.init 16 (fun i -> i))))
+
+(* Property: random straight-line ALU programs give identical register
+   files and cycle counts on the scalar and compiled unit engines. *)
+let prop_unit_engines_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"scalar and compiled unit engines agree"
+       (QCheck.make ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+          QCheck.Gen.(list_size (int_range 1 15) (int_bound 10_000)))
+       (fun seeds ->
+         let ms = netlist_machine () and mc = compiled_machine () in
+         let rng = Random.State.make (Array.of_list seeds) in
+         let instrs =
+           List.concat_map
+             (fun _ ->
+               let op = List.nth Alu.all_ops (Random.State.int rng 10) in
+               let rd = 1 + Random.State.int rng 15 in
+               let r1 = Random.State.int rng 16 and r2 = Random.State.int rng 16 in
+               if Random.State.bool rng then [ Isa.Alu (op, rd, r1, r2) ]
+               else [ Isa.Li (rd, Random.State.int rng 65536); Isa.Alu (op, rd, rd, r1) ])
+             seeds
+           @ [ Isa.Ecall 0 ]
+         in
+         let o1 = run_prog ms instrs and o2 = run_prog mc instrs in
+         o1 = o2
+         && Machine.cycles ms = Machine.cycles mc
+         && List.for_all
+              (fun r -> Bitvec.equal (Machine.reg ms r) (Machine.reg mc r))
               (List.init 16 (fun i -> i))))
 
 (* Property: pausing mid-run, snapshotting, and restoring is exact — the
@@ -402,6 +502,9 @@ let () =
           Alcotest.test_case "dependent chain" `Quick test_netlist_back_to_back_dependent;
           Alcotest.test_case "fault detection" `Quick test_faulty_alu_detected_by_test_branch;
           Alcotest.test_case "fpu stall watchdog" `Quick test_fpu_stall_watchdog;
+          Alcotest.test_case "compiled unit agreement" `Quick test_compiled_unit_agrees;
+          Alcotest.test_case "compiled unit fault detection" `Quick
+            test_compiled_unit_detects_fault;
         ] );
-      ("properties", [ prop_backends_agree; prop_snapshot_roundtrip ]);
+      ("properties", [ prop_backends_agree; prop_unit_engines_agree; prop_snapshot_roundtrip ]);
     ]

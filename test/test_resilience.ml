@@ -29,7 +29,14 @@ let tiny_sup =
     sv_slice = 2;
     sv_escalation = 2;
     sv_max_passes = 2;
-    sv_ladder = { Resilience.ld_fallback = true; ld_suites = 2; ld_cases = 16; ld_seed = 11 };
+    sv_ladder =
+      {
+        Resilience.ld_fallback = true;
+        ld_suites = 2;
+        ld_cases = 16;
+        ld_seed = 11;
+        ld_engine = Lift.Engine_sim64;
+      };
   }
 
 let tiny_run ?checkpoint ?on_item () =

@@ -1,0 +1,418 @@
+(* Three-engine differential tests for the compiled simulator: on random
+   netlists (with multi-stage register chains and guaranteed-dead logic)
+   Simc must agree with Sim64 on every net word of every cycle, with the
+   scalar Sim on every output bit of the probed lanes, and — when
+   profiling — reproduce Sim64's SP/toggle counters exactly.  Failures
+   report the first divergent (cycle, net) pair.  Also: levelizer
+   properties (rank monotonicity, determinism, combinational-cycle
+   rejection), golden-VCD regression through the Simc lane view, and a
+   zero-allocation check on the compiled dispatch loop. *)
+
+module B = Netlist.Builder
+
+let bv w v = Bitvec.create ~width:w v
+let rand_bits rng w = Random.State.int rng (1 lsl w)
+
+(* --- random netlist generation --- *)
+
+let comb_kinds =
+  [|
+    Cell.Kind.Tie0;
+    Cell.Kind.Tie1;
+    Cell.Kind.Buf;
+    Cell.Kind.Not;
+    Cell.Kind.And2;
+    Cell.Kind.Or2;
+    Cell.Kind.Xor2;
+    Cell.Kind.Nand2;
+    Cell.Kind.Nor2;
+    Cell.Kind.Xnor2;
+    Cell.Kind.Mux2;
+  |]
+
+(* Like the PR-1 generator, plus a guaranteed multi-stage DFF chain that
+   feeds an output (register depth) and guaranteed dead cells (logic the
+   optimizer must drop while keeping it observable via the fallback). *)
+let build_random_netlist rng =
+  let b = B.create "rand" in
+  let pool = ref [] in
+  let n_ports = 1 + Random.State.int rng 3 in
+  for i = 0 to n_ports - 1 do
+    let w = 1 + Random.State.int rng 4 in
+    pool := Array.to_list (B.add_input b (Printf.sprintf "in%d" i) w) @ !pool
+  done;
+  let pick () =
+    let a = Array.of_list !pool in
+    a.(Random.State.int rng (Array.length a))
+  in
+  let n_cells = 5 + Random.State.int rng 36 in
+  for _ = 1 to n_cells do
+    let out =
+      if Random.State.int rng 4 = 0 then
+        B.add_cell ~clock_domain:0 ~reset_value:(Random.State.bool rng) b Cell.Kind.Dff
+          [| pick () |]
+      else begin
+        let k = comb_kinds.(Random.State.int rng (Array.length comb_kinds)) in
+        B.add_cell b k (Array.init (Cell.Kind.arity k) (fun _ -> pick ()))
+      end
+    in
+    pool := out :: !pool
+  done;
+  (* a register chain of depth >= 2, always observed *)
+  let chain = ref (pick ()) in
+  for _ = 1 to 2 + Random.State.int rng 3 do
+    chain :=
+      B.add_cell ~clock_domain:0 ~reset_value:(Random.State.bool rng) b Cell.Kind.Dff
+        [| !chain |]
+  done;
+  let n_out = 1 + Random.State.int rng 2 in
+  for i = 0 to n_out - 1 do
+    let w = 1 + Random.State.int rng 3 in
+    B.add_output b (Printf.sprintf "out%d" i) (Array.init w (fun _ -> pick ()))
+  done;
+  B.add_output b "chain" [| !chain |];
+  (* nothing below ever reaches an output or a D pin: guaranteed dead *)
+  let d1 = B.add_cell b Cell.Kind.Xor2 [| pick (); pick () |] in
+  let d2 = B.add_cell b Cell.Kind.Not [| d1 |] in
+  let _d3 = B.add_cell b Cell.Kind.Mux2 [| d1; d2; pick () |] in
+  B.finish b
+
+(* --- the three-engine differential harness --- *)
+
+let ref_lanes = [| 0; Sim64.lanes - 1 |]
+
+(* Run [cycles] cycles of per-lane random stimulus on Sim64, a profiled
+   Simc, an optimized Simc and scalar references on the probed lanes;
+   [Error msg] describes the first divergence. *)
+let differential_run rng nl cycles =
+  let s64 = Sim64.create ~profile:true nl in
+  let scp = Simc.create ~profile:true nl in
+  let sco = Simc.create nl in
+  let refs = Array.map (fun _ -> Sim.create ~profile:true nl) ref_lanes in
+  let in_ports = Netlist.inputs nl in
+  let out_ports = Netlist.outputs nl in
+  let num_nets = Netlist.num_nets nl in
+  let fail = ref None in
+  let report c msg = if !fail = None then fail := Some (Printf.sprintf "cycle %d: %s" c msg) in
+  for c = 1 to cycles do
+    List.iter
+      (fun (p : Netlist.port) ->
+        let w = Array.length p.Netlist.port_nets in
+        for lane = 0 to Sim64.lanes - 1 do
+          let v = bv w (rand_bits rng w) in
+          Sim64.set_input s64 ~lane p.Netlist.port_name v;
+          Simc.set_input scp ~lane p.Netlist.port_name v;
+          Simc.set_input sco ~lane p.Netlist.port_name v;
+          Array.iteri
+            (fun i rl -> if rl = lane then Sim.set_input refs.(i) p.Netlist.port_name v)
+            ref_lanes
+        done)
+      in_ports;
+    if Random.State.int rng 4 = 0 then begin
+      Sim64.hold_clock s64;
+      Simc.hold_clock scp;
+      Simc.hold_clock sco;
+      Array.iter Sim.hold_clock refs
+    end
+    else begin
+      Sim64.step s64;
+      Simc.step scp;
+      Simc.step sco;
+      Array.iter (fun r -> Sim.step r) refs
+    end;
+    (* every net word must agree between Sim64 and both Simc modes,
+       including the eliminated/dead nets *)
+    for n = 0 to num_nets - 1 do
+      let w64 = Sim64.net_word s64 n in
+      let wp = Simc.net_word scp n in
+      let wo = Simc.net_word sco n in
+      if wp <> w64 then
+        report c (Printf.sprintf "net %d: sim64=%x simc(profile)=%x" n w64 wp);
+      if wo <> w64 then report c (Printf.sprintf "net %d: sim64=%x simc=%x" n w64 wo)
+    done;
+    (* output ports against the scalar reference on the probed lanes *)
+    List.iter
+      (fun (p : Netlist.port) ->
+        Array.iteri
+          (fun i lane ->
+            let want = Sim.output refs.(i) p.Netlist.port_name in
+            if not (Bitvec.equal want (Simc.output sco ~lane p.Netlist.port_name)) then
+              report c (Printf.sprintf "output %s lane %d: simc <> scalar" p.Netlist.port_name lane))
+          ref_lanes)
+      out_ports
+  done;
+  (* profiled counters byte-identical to Sim64's *)
+  if Simc.samples scp <> Sim64.samples s64 then
+    report cycles
+      (Printf.sprintf "samples: sim64=%d simc=%d" (Sim64.samples s64) (Simc.samples scp));
+  if Simc.cycles_sampled scp <> Sim64.cycles_sampled s64 then report cycles "cycles_sampled";
+  for n = 0 to num_nets - 1 do
+    if Simc.ones_count scp n <> Sim64.ones_count s64 n then
+      report cycles (Printf.sprintf "net %d: ones counter" n);
+    if Simc.toggles_count scp n <> Sim64.toggles_count s64 n then
+      report cycles (Printf.sprintf "net %d: toggles counter" n)
+  done;
+  match !fail with None -> Ok () | Some msg -> Error msg
+
+let prop_differential_random_netlists =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Simc = Sim64 = scalar Sim on random netlists"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 0x51c |] in
+         let nl = build_random_netlist rng in
+         match differential_run rng nl (6 + Random.State.int rng 6) with
+         | Ok () -> true
+         | Error msg -> QCheck.Test.fail_reportf "seed %d: first divergence at %s" seed msg))
+
+let test_differential_examples () =
+  let rng = Random.State.make [| 0x51b6c |] in
+  List.iter
+    (fun nl ->
+      match differential_run rng nl 16 with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "differential on %s: first divergence at %s" (Netlist.name nl) msg)
+    [
+      Example_circuits.pipelined_adder ();
+      Example_circuits.pipelined_adder ~split_domains:true ();
+      Example_circuits.dff_chain 5;
+      Example_circuits.lfsr4 ();
+      Example_circuits.comb_xor_tree 8;
+    ]
+
+(* --- levelizer properties --- *)
+
+let prop_levelize_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"levelize: comb rank > comb fanin ranks, DFF rank 0"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000_000))
+       (fun seed ->
+         let rng = Random.State.make [| seed; 0x1e7e1 |] in
+         let nl = build_random_netlist rng in
+         let raw = Netlist.raw nl in
+         match Simc.levelize raw with
+         | Error msg -> QCheck.Test.fail_reportf "frozen netlist rejected: %s" msg
+         | Ok ranks ->
+           let cells = Netlist.cells nl in
+           Array.for_all
+             (fun (c : Netlist.cell) ->
+               if c.kind = Cell.Kind.Dff then ranks.(c.id) = 0
+               else
+                 ranks.(c.id) >= 1
+                 && Array.for_all
+                      (fun inp ->
+                        match Netlist.driver nl inp with
+                        | Netlist.Driven_by_input _ -> true
+                        | Netlist.Driven_by_cell d ->
+                          cells.(d).kind = Cell.Kind.Dff || ranks.(c.id) > ranks.(d))
+                      c.inputs)
+             cells))
+
+let test_levelize_deterministic () =
+  let rng = Random.State.make [| 0xde7 |] in
+  for _ = 1 to 20 do
+    let raw = Netlist.raw (build_random_netlist rng) in
+    match (Simc.levelize raw, Simc.levelize raw) with
+    | Ok a, Ok b -> Alcotest.(check (array int)) "same ranks" a b
+    | _ -> Alcotest.fail "levelize failed on a frozen netlist"
+  done
+
+let test_levelize_rejects_cycle () =
+  let rc name kind inputs output =
+    {
+      Netlist.Raw.rc_name = name;
+      rc_kind = kind;
+      rc_inputs = inputs;
+      rc_output = output;
+      rc_clock_domain = -1;
+      rc_reset_value = false;
+    }
+  in
+  let raw =
+    {
+      Netlist.Raw.r_name = "cyclic";
+      r_num_nets = 4;
+      r_cells =
+        [|
+          rc "g0" Cell.Kind.And2 [| 0; 3 |] 1;
+          rc "g1" Cell.Kind.Or2 [| 1; 0 |] 2;
+          rc "g2" Cell.Kind.Buf [| 2 |] 3;
+        |];
+      r_inputs = [ { Netlist.Raw.rp_name = "a"; rp_nets = [| 0 |] } ];
+      r_outputs = [ { Netlist.Raw.rp_name = "y"; rp_nets = [| 2 |] } ];
+    }
+  in
+  match Simc.levelize raw with
+  | Ok _ -> Alcotest.fail "combinational cycle accepted"
+  | Error msg ->
+    let contains needle hay =
+      let nlen = String.length needle and hl = String.length hay in
+      let rec go i = i + nlen <= hl && (String.sub hay i nlen = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the problem" true (contains "combinational cycle" msg);
+    Alcotest.(check bool)
+      (Printf.sprintf "names cells on the cycle (%s)" msg)
+      true
+      (contains "g0" msg && contains "g1" msg && contains "g2" msg)
+
+(* --- golden VCD through the Simc lane view --- *)
+
+let golden_path name =
+  if Sys.file_exists (Filename.concat "golden" name) then Filename.concat "golden" name
+  else Filename.concat (Filename.concat "test" "golden") name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_vcd_via_simc () =
+  let nl = Example_circuits.pipelined_adder () in
+  let s = Simc.create nl in
+  let out =
+    Vcd.of_engine_run
+      (module Simc.Lane)
+      (Simc.lane_view s 7) ~cycles:6
+      ~stimulus:(fun c -> [ ("a", bv 2 (c land 3)); ("b", bv 2 ((c * 2 + 1) land 3)) ])
+  in
+  let expected = read_file (golden_path "pipelined_adder.vcd") in
+  Alcotest.(check string) "byte-for-byte vs golden/pipelined_adder.vcd" expected out
+
+(* --- zero allocation in the dispatch loop --- *)
+
+let alloc_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_zero_allocation_dispatch () =
+  let nl = Example_circuits.pipelined_adder () in
+  let s = Simc.create nl in
+  let o_net = (Netlist.find_output nl "o").Netlist.port_nets.(0) in
+  let wa = [| 0; 0 |] and wb = [| 0; 0 |] in
+  let sink = ref 0 in
+  let run n =
+    for i = 1 to n do
+      wa.(0) <- i;
+      wa.(1) <- i lsr 1;
+      wb.(0) <- i * 3;
+      Simc.set_input_words s "a" wa;
+      Simc.set_input_words s "b" wb;
+      Simc.step s;
+      sink := !sink lxor Simc.net_word s o_net
+    done
+  in
+  run 100 (* warm-up *);
+  let a1 = alloc_of (fun () -> run 1000) in
+  let a2 = alloc_of (fun () -> run 2000) in
+  ignore (Sys.opaque_identity !sink);
+  (* equal allocation for 1000 and 2000 cycles = zero words per cycle *)
+  Alcotest.(check (float 0.0)) "allocation independent of cycle count" a1 a2
+
+(* --- unit tests --- *)
+
+let test_program_shrinks () =
+  (* a buf/tie-heavy netlist: the optimizer collapses everything *)
+  let b = B.create "wires" in
+  let a = B.add_input b "a" 1 in
+  let n1 = B.add_cell b Cell.Kind.Buf [| a.(0) |] in
+  let n2 = B.add_cell b Cell.Kind.Not [| n1 |] in
+  let n3 = B.add_cell b Cell.Kind.Not [| n2 |] in
+  let t1 = B.add_cell b Cell.Kind.Tie1 [||] in
+  let n4 = B.add_cell b Cell.Kind.And2 [| n3; t1 |] in
+  B.add_output b "y" [| n4 |];
+  let nl = B.finish b in
+  let cons = Simc.create ~profile:true nl in
+  let opt = Simc.create nl in
+  Alcotest.(check int) "conservative = all comb cells" 5 (Simc.program_length cons);
+  Alcotest.(check int) "optimized folds wires and constants" 0 (Simc.program_length opt);
+  (* and it still computes: y = a *)
+  List.iter
+    (fun v ->
+      Simc.set_input_all opt "a" (bv 1 v);
+      Simc.settle opt;
+      Alcotest.(check bool) "y = a" (v = 1) (Simc.net opt ~lane:3 n4))
+    [ 0; 1; 0 ]
+
+let test_validation () =
+  let s = Simc.create (Example_circuits.pipelined_adder ()) in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Simc.set_input: port a has width 2, value has width 3") (fun () ->
+      Simc.set_input s ~lane:0 "a" (bv 3 0));
+  (match Simc.set_input s ~lane:Simc.lanes "a" (bv 2 0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range lane accepted");
+  match Simc.sp s 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sp without profiling accepted"
+
+let test_snapshot_restore () =
+  let nl = Example_circuits.lfsr4 () in
+  let s = Simc.create nl in
+  let drive c =
+    Simc.set_input_all s "enable" (bv 1 (if c land 3 = 0 then 0 else 1));
+    Simc.step s
+  in
+  for c = 0 to 9 do
+    drive c
+  done;
+  let snap = Simc.snapshot s in
+  let trace () =
+    List.init 8 (fun c ->
+        drive (10 + c);
+        Simc.output_words s "q")
+  in
+  let first = trace () in
+  Simc.restore s snap;
+  Alcotest.(check int) "cycle restored" 10 (Simc.cycle s);
+  let second = trace () in
+  List.iter2
+    (fun a b -> Alcotest.(check (array int)) "replay is bit-identical" a b)
+    first second;
+  let other = Simc.create (Example_circuits.dff_chain 3) in
+  match Simc.restore other snap with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "cross-netlist snapshot accepted"
+
+let test_active_mask_restricts_counters () =
+  let nl = Example_circuits.dff_chain 1 in
+  let s = Simc.create ~profile:true nl in
+  Simc.set_input_words s "d" [| 0b111 |];
+  Simc.set_active_mask s 0b111;
+  Simc.step s;
+  Simc.step s;
+  Alcotest.(check int) "samples = active lanes x cycles" 6 (Simc.samples s);
+  let d_net = (Netlist.find_input nl "d").Netlist.port_nets.(0) in
+  Alcotest.(check int) "ones only in active lanes" 6 (Simc.ones_count s d_net);
+  Alcotest.(check (float 1e-9)) "sp = 1 over active lanes" 1.0 (Simc.sp s d_net)
+
+let () =
+  Alcotest.run "simc"
+    [
+      ( "differential",
+        [
+          prop_differential_random_netlists;
+          Alcotest.test_case "example circuits" `Quick test_differential_examples;
+        ] );
+      ( "levelizer",
+        [
+          prop_levelize_monotone;
+          Alcotest.test_case "deterministic" `Quick test_levelize_deterministic;
+          Alcotest.test_case "rejects combinational cycles" `Quick test_levelize_rejects_cycle;
+        ] );
+      ( "engine-generic",
+        [ Alcotest.test_case "golden vcd via lane view" `Quick test_golden_vcd_via_simc ] );
+      ( "dispatch",
+        [ Alcotest.test_case "zero allocation" `Quick test_zero_allocation_dispatch ] );
+      ( "unit",
+        [
+          Alcotest.test_case "program shrinks" `Quick test_program_shrinks;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "active mask" `Quick test_active_mask_restricts_counters;
+        ] );
+    ]

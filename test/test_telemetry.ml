@@ -303,7 +303,22 @@ let test_sim64_zero_allocation_overhead () =
   Telemetry.disable ();
   Alcotest.(check (float 0.0)) "disabled sweep allocation is reproducible" disabled1 disabled2;
   Alcotest.(check (float 0.0)) "enabled sweep allocates exactly as much as disabled" disabled1
-    enabled
+    enabled;
+  (* Same regression for the compiled engine: the Simc dispatch loop and
+     its counters must be equally allocation-free across the sweep. *)
+  let sweep_simc () =
+    ignore (Sys.opaque_identity (Lift.detected_cases ~seed:7 ~engine:Lift.Engine_simc suite faulty))
+  in
+  sweep_simc ();
+  let c_disabled1 = alloc_of sweep_simc in
+  let c_disabled2 = alloc_of sweep_simc in
+  Telemetry.enable ~clock:(Telemetry.Clock.virtual_ ()) ();
+  let c_enabled = alloc_of sweep_simc in
+  Telemetry.disable ();
+  Alcotest.(check (float 0.0))
+    "disabled simc sweep allocation is reproducible" c_disabled1 c_disabled2;
+  Alcotest.(check (float 0.0))
+    "enabled simc sweep allocates exactly as much as disabled" c_disabled1 c_enabled
 
 (* ---------- golden Chrome traces ---------- *)
 

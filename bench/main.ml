@@ -680,6 +680,67 @@ let print_guard_campaign quick =
   in
   print_string (Experiments.render_campaign (Experiments.campaign ~config ~log ()))
 
+(* ------------- attack mode ------------- *)
+
+(* The adversarial wearout campaign distilled to its headline numbers: the
+   time-to-violation acceleration factor of the attack stream, and the
+   detection latency of the canary channel against the software-only
+   guard.  The campaign itself is deterministic for the fixed quick
+   configuration; the wall clock carries the perf-trajectory context. *)
+let run_attack_bench () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let config = Experiments.quick_attack_campaign in
+  let report, ms = timed (fun () -> Experiments.attack_campaign ~config ~log ()) in
+  print_string
+    (Experiments.render_attack_campaign ~years_max:config.Experiments.ak_years_max report);
+  let s = Experiments.attack_summary report.Experiments.ap_rows in
+  let latency_of mode =
+    List.fold_left
+      (fun acc (r : Experiments.attack_row) ->
+        match (acc, r.Experiments.ar_latency) with
+        | None, Some (i, _) when r.Experiments.ar_mode = mode -> Some i
+        | _ -> acc)
+      None report.Experiments.ap_rows
+  in
+  let fopt = function None -> Json.Null | Some f -> Json.Float f in
+  let iopt = function None -> Json.Null | Some i -> Json.Int i in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "vega-bench-attack/1");
+        ("width", Json.Int config.Experiments.ak_width);
+        ("target_cells", Json.Int (List.length report.Experiments.ap_cells));
+        ("baseline_duty", Json.Float report.Experiments.ap_baseline_obj);
+        ("attacked_duty", Json.Float report.Experiments.ap_attacked_obj);
+        ("search_evals", Json.Int report.Experiments.ap_evals);
+        ("sat_patterns", Json.Int report.Experiments.ap_sat_patterns);
+        ("fresh_crit_ps", Json.Float report.Experiments.ap_fresh_crit_ps);
+        ("clock_period_ps", Json.Float report.Experiments.ap_clock_period_ps);
+        ("ttv_nominal_years", fopt report.Experiments.ap_ttv_nominal);
+        ("ttv_attack_years", fopt report.Experiments.ap_ttv_attack);
+        ("acceleration", fopt report.Experiments.ap_acceleration);
+        ("canaries", Json.Int (List.length report.Experiments.ap_canaries));
+        ("canary_latency_instrs", iopt (latency_of "sw+canary"));
+        ("sw_latency_instrs", iopt (latency_of "sw-only"));
+        ("canary_first", Json.Int s.Experiments.as_canary_first);
+        ("canary_wins", Json.Int s.Experiments.as_canary_wins);
+        ("latency_pairs", Json.Int s.Experiments.as_latency_pairs);
+        ( "guarded_escapes",
+          Json.Int (s.Experiments.as_sw_escapes + s.Experiments.as_canary_escapes) );
+        ("rows", Json.Int (List.length report.Experiments.ap_rows));
+        ("wall_ms", Json.Float ms);
+      ]
+  in
+  let oc = open_out "BENCH_attack.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "attack campaign: %.0f ms; results written to BENCH_attack.json\n" ms
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let config =
@@ -693,6 +754,7 @@ let () =
     run_micro ();
     run_ablations ()
   | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
+  | "attack" -> run_attack_bench ()
   | "check" -> run_check_bench ()
   | "resilience" -> run_resilience_bench ()
   | "telemetry" -> run_telemetry ()
@@ -718,6 +780,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown argument %S (expected \
-       all|quick|micro|ablations|guard|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+       all|quick|micro|ablations|guard|attack|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

@@ -15,9 +15,14 @@
      vega check    --unit alu|fpu [--seed N]
      vega report   [--quick]
      vega guard-campaign [--quick] [--seed N] [--checkpoint DIR] [--resume]
+     vega attack   --unit alu|fpu [--width N] [--len N] [--iters N] [--seed N]
+                   [--no-sat] [--cells C1,C2]
+                   [--campaign [--quick]] [--checkpoint DIR] [--resume]
+     vega monitors --unit alu|fpu [--width N] [--margin M] [--count N]
+                   [--pessimism F]
 
    The pipeline subcommands (analyze, lift, run, fuzz, optimize, check,
-   report, guard-campaign) additionally accept
+   report, guard-campaign, attack, monitors) additionally accept
      --trace FILE      Chrome trace-event JSON (Perfetto-loadable)
      --metrics FILE    JSONL counters / histograms / span totals
      --virtual-clock   deterministic timestamps: identical runs produce
@@ -27,12 +32,13 @@
 
    Exit codes are uniform across subcommands: 0 success; 1 the analysis
    itself failed or detected a problem (SDC detected, check/lint failure,
-   a supervised item errored, a guarded campaign run escaped); 2 usage
-   errors; 3 runtime errors such as a stale or unusable checkpoint
-   (digest mismatch).  Unknown subcommands exit non-zero (cmdliner's
-   exit 124).
+   a supervised item errored, a guarded campaign run escaped, an attack
+   campaign without acceleration or with canary-guarded escapes, a canary
+   monitor failing its verification gate); 2 usage errors; 3 runtime
+   errors such as a stale or unusable checkpoint (digest mismatch).
+   Unknown subcommands exit non-zero (cmdliner's exit 124).
 
-   The long-running subcommands (lift, guard-campaign) accept
+   The long-running subcommands (lift, guard-campaign, attack) accept
    --checkpoint DIR to persist every completed work item atomically, and
    --resume to continue such a directory, skipping completed items; a
    resumed run prints byte-identical output for the same seed.  Faults
@@ -766,6 +772,175 @@ let guard_campaign_cmd =
           when any guarded run escapes.")
     Term.(const run $ telemetry_term $ quick_arg $ seed_arg $ checkpoint_arg $ resume_arg)
 
+(* ---------- attack ---------- *)
+
+let attack_cmd =
+  let len_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "len" ] ~docv:"N" ~doc:"Operations per candidate stream.")
+  in
+  let iters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iters" ] ~docv:"N" ~doc:"Mutate/evaluate search iterations.")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Search seed.")
+  in
+  let no_sat_arg =
+    Arg.(value & flag & info [ "no-sat" ] ~doc:"Disable the SAT-derived hold patterns.")
+  in
+  let cells_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cells" ] ~docv:"C1,C2"
+          ~doc:
+            "Comma-separated victim cell instances (default: the combinational cells of the \
+             worst fresh critical paths).")
+  in
+  let campaign_arg =
+    Arg.(
+      value & flag
+      & info [ "campaign" ]
+          ~doc:
+            "Run the full adversarial wearout campaign on the ALU: stress search, \
+             time-to-violation bisection against the nominal workload corner, canary \
+             insertion (CEC-proved inert), and the guarded fault-injection comparison.")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke campaign configuration.") in
+  let run tele unit_kind width len iters seed no_sat cells campaign quick checkpoint resume =
+    with_telemetry tele @@ fun () ->
+    let override (base : Attack.config) =
+      let base = { base with Attack.atk_sat_assist = base.Attack.atk_sat_assist && not no_sat } in
+      let base = match seed with None -> base | Some s -> { base with Attack.atk_seed = s } in
+      let base = match len with None -> base | Some l -> { base with Attack.atk_len = l } in
+      match iters with None -> base | Some i -> { base with Attack.atk_iters = i }
+    in
+    let cells_of s = String.split_on_char ',' s in
+    if not campaign then begin
+      let target = target_of (unit_kind, width) in
+      let cells =
+        match cells with
+        | None -> Attack.default_targets target.Lift.netlist
+        | Some s -> cells_of s
+      in
+      let r = Attack.search ~config:(override Attack.default_config) target ~cells in
+      print_string (Attack.render r);
+      0
+    end
+    else begin
+      let base =
+        if quick then Experiments.quick_attack_campaign else Experiments.default_attack_campaign
+      in
+      let config =
+        {
+          base with
+          Experiments.ak_width = width;
+          ak_attack = override base.Experiments.ak_attack;
+          ak_cells =
+            (match cells with None -> base.Experiments.ak_cells | Some s -> cells_of s);
+        }
+      in
+      let log s = Printf.eprintf "[vega] %s\n%!" s in
+      let opened =
+        match checkpoint with
+        | None -> Ok None
+        | Some dir ->
+          Result.map Option.some
+            (Resilience.Checkpoint.open_dir ~resume ~dir
+               ~digest:(Experiments.attack_campaign_digest config) ())
+      in
+      match opened with
+      | Error msg ->
+        prerr_endline ("vega attack: " ^ msg);
+        3
+      | Ok checkpoint ->
+        let report = Experiments.attack_campaign ~config ~log ?checkpoint () in
+        print_string
+          (Experiments.render_attack_campaign ~years_max:config.Experiments.ak_years_max report);
+        let s = Experiments.attack_summary report.Experiments.ap_rows in
+        let accelerated =
+          match (report.Experiments.ap_ttv_attack, report.Experiments.ap_acceleration) with
+          | None, _ -> false (* the attack never reached a violating corner *)
+          | Some _, Some a -> a > 1.0
+          | Some _, None -> true (* nominal corner clean at the horizon *)
+        in
+        if (not accelerated) || s.Experiments.as_canary_escapes > 0 then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Search for an adversarial wearout workload (maximal BTI stress duty on the worst \
+          paths); with $(b,--campaign), also measure its time-to-violation acceleration and \
+          the canary-guarded detection response.  Exits 1 when the campaign shows no \
+          acceleration or a canary-guarded run escapes.")
+    Term.(
+      const run $ telemetry_term $ unit_arg $ width_arg $ len_arg $ iters_arg $ seed_arg
+      $ no_sat_arg $ cells_arg $ campaign_arg $ quick_arg $ checkpoint_arg $ resume_arg)
+
+(* ---------- monitors ---------- *)
+
+let monitors_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "count" ] ~docv:"N" ~doc:"Canary monitors to insert (worst paths first).")
+  in
+  let pessimism_arg =
+    Arg.(
+      value & opt float 1.25
+      & info [ "pessimism" ] ~docv:"F"
+          ~doc:
+            "Aged-replica guardband: a path qualifies for a canary when its arrival scaled by \
+             $(docv) exceeds the clock period.")
+  in
+  let run tele unit_kind width margin count pessimism =
+    with_telemetry tele @@ fun () ->
+    let target = target_of (unit_kind, width) in
+    let nl = target.Lift.netlist in
+    let timing = Sta.fresh_timing Cell.Library.c28 in
+    let probe = Sta.analyze ~timing ~clock_period_ps:1e9 nl in
+    let crit =
+      List.fold_left
+        (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+        0.0 probe.Sta.endpoint_slacks
+    in
+    let clock_period_ps = crit *. margin in
+    Printf.printf "clock %.1f ps (margin %.3f over fresh critical path %.1f ps)\n" clock_period_ps
+      margin crit;
+    let paths = Canary.plan ~count ~pessimism nl ~timing ~clock_period_ps in
+    if paths = [] then begin
+      print_endline "no path qualifies for a canary at this corner (try a lower --margin)";
+      1
+    end
+    else begin
+      let monitored, canaries = Canary.insert nl paths in
+      print_string (Canary.describe canaries);
+      match Canary.verify ~original:nl monitored with
+      | Ok () ->
+        Printf.printf "verified: lint clean, CEC-proved inert, trip covers hold (%d canaries)\n"
+          (List.length canaries);
+        0
+      | Error e ->
+        print_endline e;
+        print_endline "canary verification: FAILED";
+        1
+    end
+  in
+  Cmd.v
+    (Cmd.info "monitors"
+       ~doc:
+         "Insert in-situ canary monitors (aged-replica paths with a trip comparator) into a \
+          unit and prove them inert (lint, CEC, trip covers).  Exits 1 when no path qualifies \
+          or verification fails.")
+    Term.(
+      const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ count_arg $ pessimism_arg)
+
 let () =
   let doc = "proactive runtime detection of aging-related silent data corruptions" in
   let info = Cmd.info "vega" ~version:"1.0.0" ~doc in
@@ -774,5 +949,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
-            encode_cmd; lint_cmd; check_cmd; report_cmd; guard_campaign_cmd;
+            encode_cmd; lint_cmd; check_cmd; report_cmd; guard_campaign_cmd; attack_cmd;
+            monitors_cmd;
           ]))

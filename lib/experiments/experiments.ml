@@ -804,7 +804,7 @@ let campaign_row_of_json j =
     }
 
 (* Lift worst-slack-first violating pairs until [n] produce test cases. *)
-let select_campaign_pairs (target : Lift.target) (analysis : Vega.analysis) n =
+let select_campaign_pairs (target : Lift.target) pairs n =
   let seen = Hashtbl.create 32 in
   let rec go acc count = function
     | [] -> List.rev acc
@@ -826,7 +826,7 @@ let select_campaign_pairs (target : Lift.target) (analysis : Vega.analysis) n =
           if pr.Lift.cases <> [] then go (pr :: acc) (count + 1) rest else go acc count rest
         end)
   in
-  go [] 0 analysis.Vega.violating_pairs
+  go [] 0 pairs
 
 let campaign_dims (target : Lift.target) =
   match target.Lift.kind with
@@ -845,19 +845,24 @@ let campaign_machine (target : Lift.target) seed =
     Machine.create ~config ~alu:Machine.Alu_functional
       ~fpu:(Machine.Fpu_netlist target.Lift.netlist) ()
 
+(* Checkpoint accessors shared in shape by the fault-injection and
+   attack campaigns: a decode failure is treated as a cache miss (the
+   item is recomputed and overwritten), never an error. *)
+let ck_load checkpoint key decode =
+  match checkpoint with
+  | None -> None
+  | Some ck -> (
+    match Resilience.Checkpoint.load ck key with
+    | None -> None
+    | Some j -> ( match decode j with Ok v -> Some v | Error _ -> None))
+
+let ck_store checkpoint key json =
+  match checkpoint with None -> () | Some ck -> Resilience.Checkpoint.store ck key json
+
 let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
   Telemetry.with_span ~cat:"experiments" "experiments.campaign" @@ fun () ->
-  let ck_load key decode =
-    match checkpoint with
-    | None -> None
-    | Some ck -> (
-      match Resilience.Checkpoint.load ck key with
-      | None -> None
-      | Some j -> ( match decode j with Ok v -> Some v | Error _ -> None))
-  in
-  let ck_store key json =
-    match checkpoint with None -> () | Some ck -> Resilience.Checkpoint.store ck key json
-  in
+  let ck_load key decode = ck_load checkpoint key decode in
+  let ck_store key json = ck_store checkpoint key json in
   let kernels =
     match config.cg_kernels with
     | [] -> Workload.all
@@ -896,7 +901,9 @@ let campaign ?(config = quick_campaign) ?(log = fun _ -> ()) ?checkpoint () =
               ~config:{ Vega.default_phase1 with Vega.clock_margin = 1.0 }
               target ~workload:Vega.run_minver_workload
           in
-          let selected = select_campaign_pairs target analysis config.cg_specs_per_unit in
+          let selected =
+            select_campaign_pairs target analysis.Vega.violating_pairs config.cg_specs_per_unit
+          in
           ck_store lift_key (Json.List (List.map Serial.pair_result_to_json selected));
           selected
       in
@@ -1086,6 +1093,723 @@ let render_campaign rows =
     (Printf.sprintf "  guarded:   %d/%d runs escaped; %d/%d detected; rollback checksums golden %d/%d\n"
        s.cs_guarded_escapes s.cs_guarded_rows s.cs_guarded_detected s.cs_guarded_rows
        s.cs_rollback_checksum_ok s.cs_rollback_rows);
+  Buffer.contents buf
+
+(* ---------------- Adversarial wearout campaign ----------------
+
+   The robustness question behind the attack/monitor pair: a pathological
+   (or adversarial) workload can hold the critical path's cells in their
+   BTI-stress state, aging the unit past the violating corner years
+   before the nominal profile predicts — and the phase-2 software tests
+   then face faults they were never scheduled for.  The campaign measures
+   both halves of that story on the ALU:
+
+   - the {e attack} half runs {!Attack.search} against the unit's worst
+     fresh paths and bisects time-to-first-violation under the attacked
+     and the nominal (minver-workload) SP corners, reporting the
+     acceleration factor;
+   - the {e defense} half re-runs the mid-life fault-injection campaign
+     at the attack-aged corner with in-situ canary monitors inserted
+     ({!Canary.insert}, CEC-proved inert before use), comparing the
+     software-test-only guard against the same guard with its canary
+     poll channel open. *)
+
+type attack_campaign_config = {
+  ak_width : int;  (** ALU width; the campaign's single target unit *)
+  ak_kernels : string list;  (** [[]] = every [Workload.all] kernel *)
+  ak_specs : int;  (** fault specs lifted from the attack-aged corner *)
+  ak_constants : Fault.constant list;
+  ak_onset_frac : float;
+  ak_seed : int;
+  ak_attack : Attack.config;
+  ak_cells : string list;  (** [[]] = {!Attack.default_targets} *)
+  ak_years_max : float;  (** TTV bisection horizon *)
+  ak_ttv_precision : float;
+  ak_canary_count : int;
+  ak_canary_pessimism : float;
+  ak_canary_poll : int;  (** trip-port poll cadence (app instructions) *)
+  ak_guard : Guard.Monitor.config;
+}
+
+let default_attack_campaign =
+  {
+    ak_width = 16;
+    ak_kernels = [];
+    ak_specs = 2;
+    ak_constants = [ Fault.C0; Fault.C1 ];
+    ak_onset_frac = 0.2;
+    ak_seed = 42;
+    ak_attack = { Attack.default_config with Attack.atk_len = 48; atk_iters = 24 };
+    ak_cells = [];
+    ak_years_max = 30.0;
+    ak_ttv_precision = 0.05;
+    ak_canary_count = 2;
+    ak_canary_pessimism = 1.25;
+    ak_canary_poll = 25;
+    ak_guard =
+      {
+        Guard.Monitor.default_config with
+        Guard.Monitor.cadence = 100;
+        max_cadence = 2_000;
+      };
+  }
+
+let quick_attack_campaign =
+  {
+    default_attack_campaign with
+    ak_kernels = [ "crc" ];
+    ak_specs = 1;
+    ak_constants = [ Fault.C0 ];
+    ak_attack = { default_attack_campaign.ak_attack with Attack.atk_len = 32; atk_iters = 12 };
+  }
+
+let profile_engine_name = function
+  | Vega.Scalar_profile -> "scalar"
+  | Vega.Batched_profile -> "batched"
+  | Vega.Compiled_profile -> "compiled"
+
+(* The resolved victim set: what the digest commits to, so a resumed
+   campaign cannot silently aim at different cells. *)
+let attack_campaign_cells (config : attack_campaign_config) =
+  match config.ak_cells with
+  | [] ->
+    let target = Lift.alu_target ~width:config.ak_width () in
+    Attack.default_targets target.Lift.netlist
+  | cells -> cells
+
+let attack_campaign_digest (config : attack_campaign_config) =
+  let a = config.ak_attack in
+  Resilience.digest_of_strings
+    ([
+       "vega-attack-campaign";
+       string_of_int config.ak_width;
+       String.concat "," config.ak_kernels;
+       string_of_int config.ak_specs;
+       String.concat ","
+         (List.map
+            (function Fault.C0 -> "0" | Fault.C1 -> "1" | Fault.C_random -> "r")
+            config.ak_constants);
+       Printf.sprintf "%.17g" config.ak_onset_frac;
+       string_of_int config.ak_seed;
+       (* the search *)
+       string_of_int a.Attack.atk_seed;
+       string_of_int a.Attack.atk_len;
+       string_of_int a.Attack.atk_iters;
+       string_of_bool a.Attack.atk_sat_assist;
+       profile_engine_name a.Attack.atk_engine;
+       Printf.sprintf "%.17g" a.Attack.atk_temp;
+       (* the corner *)
+       Printf.sprintf "%.17g" config.ak_years_max;
+       Printf.sprintf "%.17g" config.ak_ttv_precision;
+       string_of_int config.ak_canary_count;
+       Printf.sprintf "%.17g" config.ak_canary_pessimism;
+       string_of_int config.ak_canary_poll;
+       (* the guard *)
+       string_of_int config.ak_guard.Guard.Monitor.cadence;
+       string_of_int config.ak_guard.Guard.Monitor.max_cadence;
+       string_of_int config.ak_guard.Guard.Monitor.max_instructions;
+     ]
+    @ attack_campaign_cells config)
+
+type attack_row = {
+  ar_kernel : string;
+  ar_spec : string;
+  ar_mode : string;  (** "unguarded", "sw-only" or "sw+canary" *)
+  ar_outcome : string;
+  ar_detected : bool;
+  ar_detected_by : string;  (** "canary", "test", "watchdog" or "-" *)
+  ar_latency : (int * int) option;  (** (instrs, cycles) from onset *)
+  ar_checksum_ok : bool;
+  ar_escape : bool;
+  ar_polls : int;  (** canary trip-port reads the guard performed *)
+  ar_overhead_pct : float;
+}
+
+let attack_row_to_json r =
+  Json.Obj
+    [
+      ("kernel", Json.String r.ar_kernel);
+      ("spec", Json.String r.ar_spec);
+      ("mode", Json.String r.ar_mode);
+      ("outcome", Json.String r.ar_outcome);
+      ("detected", Json.Bool r.ar_detected);
+      ("detected_by", Json.String r.ar_detected_by);
+      ( "latency",
+        match r.ar_latency with
+        | None -> Json.Null
+        | Some (i, c) -> Json.List [ Json.Int i; Json.Int c ] );
+      ("checksum_ok", Json.Bool r.ar_checksum_ok);
+      ("escape", Json.Bool r.ar_escape);
+      ("polls", Json.Int r.ar_polls);
+      ("overhead_pct", Json.Float r.ar_overhead_pct);
+    ]
+
+let attack_row_of_json j =
+  let open Json in
+  let* ar_kernel = Result.bind (member "kernel" j) to_str in
+  let* ar_spec = Result.bind (member "spec" j) to_str in
+  let* ar_mode = Result.bind (member "mode" j) to_str in
+  let* ar_outcome = Result.bind (member "outcome" j) to_str in
+  let* ar_detected = Result.bind (member "detected" j) to_bool in
+  let* ar_detected_by = Result.bind (member "detected_by" j) to_str in
+  let* ar_latency =
+    let* l = member "latency" j in
+    match l with
+    | Null -> Ok None
+    | List [ li; lc ] ->
+      let* i = to_int li in
+      let* c = to_int lc in
+      Ok (Some (i, c))
+    | _ -> Error "bad latency"
+  in
+  let* ar_checksum_ok = Result.bind (member "checksum_ok" j) to_bool in
+  let* ar_escape = Result.bind (member "escape" j) to_bool in
+  let* ar_polls = Result.bind (member "polls" j) to_int in
+  let* ar_overhead_pct = Result.bind (member "overhead_pct" j) to_float in
+  Ok
+    {
+      ar_kernel;
+      ar_spec;
+      ar_mode;
+      ar_outcome;
+      ar_detected;
+      ar_detected_by;
+      ar_latency;
+      ar_checksum_ok;
+      ar_escape;
+      ar_polls;
+      ar_overhead_pct;
+    }
+
+(* The attack-aged corner: everything the search and the TTV bisections
+   produced, plus the winning stream itself so a resumed campaign can
+   re-derive the SP profile (one cheap replay) without re-searching. *)
+type attack_corner = {
+  ac_ops : (string * Bitvec.t) list array;
+  ac_cells : Attack.cell_stress list;
+  ac_baseline_obj : float;
+  ac_attacked_obj : float;
+  ac_evals : int;
+  ac_sat_patterns : int;
+  ac_samples : int;
+  ac_fresh_crit_ps : float;
+  ac_clock_period_ps : float;
+  ac_ttv_nominal : float option;
+  ac_ttv_attack : float option;
+  ac_acceleration : float option;
+}
+
+let attack_ops_to_json ops =
+  Json.List
+    (List.map
+       (fun assignment ->
+         Json.List
+           (List.map
+              (fun (port, v) ->
+                Json.List [ Json.String port; Json.Int (Bitvec.width v); Json.Int (Bitvec.to_int v) ])
+              assignment))
+       (Array.to_list ops))
+
+let attack_ops_of_json j =
+  let open Json in
+  let* entries = to_list j in
+  let* ops =
+    map_m
+      (fun entry ->
+        let* fields = to_list entry in
+        map_m
+          (function
+            | List [ String port; Int w; Int v ] -> Ok (port, Bitvec.create ~width:w v)
+            | _ -> Error "bad op field")
+          fields)
+      entries
+  in
+  Ok (Array.of_list ops)
+
+let float_opt_to_json = function None -> Json.Null | Some f -> Json.Float f
+
+let float_opt_of_json j =
+  match j with
+  | Json.Null -> Ok None
+  | _ -> Result.map (fun f -> Some f) (Json.to_float j)
+
+let attack_corner_to_json c =
+  Json.Obj
+    [
+      ("ops", attack_ops_to_json c.ac_ops);
+      ( "cells",
+        Json.List
+          (List.map
+             (fun (s : Attack.cell_stress) ->
+               Json.List
+                 [
+                   Json.String s.Attack.cs_cell;
+                   Json.Float s.Attack.cs_baseline_sp;
+                   Json.Float s.Attack.cs_attacked_sp;
+                 ])
+             c.ac_cells) );
+      ("baseline_obj", Json.Float c.ac_baseline_obj);
+      ("attacked_obj", Json.Float c.ac_attacked_obj);
+      ("evals", Json.Int c.ac_evals);
+      ("sat_patterns", Json.Int c.ac_sat_patterns);
+      ("samples", Json.Int c.ac_samples);
+      ("fresh_crit_ps", Json.Float c.ac_fresh_crit_ps);
+      ("clock_period_ps", Json.Float c.ac_clock_period_ps);
+      ("ttv_nominal", float_opt_to_json c.ac_ttv_nominal);
+      ("ttv_attack", float_opt_to_json c.ac_ttv_attack);
+      ("acceleration", float_opt_to_json c.ac_acceleration);
+    ]
+
+let attack_corner_of_json j =
+  let open Json in
+  let* ac_ops = Result.bind (member "ops" j) attack_ops_of_json in
+  let* ac_cells =
+    let* l = Result.bind (member "cells" j) to_list in
+    map_m
+      (function
+        | List [ String cs_cell; base; att ] ->
+          let* cs_baseline_sp = to_float base in
+          let* cs_attacked_sp = to_float att in
+          Ok { Attack.cs_cell; cs_baseline_sp; cs_attacked_sp }
+        | _ -> Error "bad cell stress")
+      l
+  in
+  let* ac_baseline_obj = Result.bind (member "baseline_obj" j) to_float in
+  let* ac_attacked_obj = Result.bind (member "attacked_obj" j) to_float in
+  let* ac_evals = Result.bind (member "evals" j) to_int in
+  let* ac_sat_patterns = Result.bind (member "sat_patterns" j) to_int in
+  let* ac_samples = Result.bind (member "samples" j) to_int in
+  let* ac_fresh_crit_ps = Result.bind (member "fresh_crit_ps" j) to_float in
+  let* ac_clock_period_ps = Result.bind (member "clock_period_ps" j) to_float in
+  let* ac_ttv_nominal = Result.bind (member "ttv_nominal" j) float_opt_of_json in
+  let* ac_ttv_attack = Result.bind (member "ttv_attack" j) float_opt_of_json in
+  let* ac_acceleration = Result.bind (member "acceleration" j) float_opt_of_json in
+  Ok
+    {
+      ac_ops;
+      ac_cells;
+      ac_baseline_obj;
+      ac_attacked_obj;
+      ac_evals;
+      ac_sat_patterns;
+      ac_samples;
+      ac_fresh_crit_ps;
+      ac_clock_period_ps;
+      ac_ttv_nominal;
+      ac_ttv_attack;
+      ac_acceleration;
+    }
+
+type attack_report = {
+  ap_cells : Attack.cell_stress list;
+  ap_baseline_obj : float;
+  ap_attacked_obj : float;
+  ap_evals : int;
+  ap_sat_patterns : int;
+  ap_samples : int;
+  ap_fresh_crit_ps : float;
+  ap_clock_period_ps : float;
+  ap_ttv_nominal : float option;
+  ap_ttv_attack : float option;
+  ap_acceleration : float option;
+  ap_canaries : Canary.canary list;
+  ap_rows : attack_row list;
+}
+
+let attack_campaign ?(config = quick_attack_campaign) ?(log = fun _ -> ()) ?checkpoint () =
+  Telemetry.with_span ~cat:"experiments" "experiments.attack_campaign" @@ fun () ->
+  let ck_load key decode = ck_load checkpoint key decode in
+  let ck_store key json = ck_store checkpoint key json in
+  let target = Lift.alu_target ~width:config.ak_width () in
+  let nl = target.Lift.netlist in
+  let cells = attack_campaign_cells config in
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  let worst_arrival timing =
+    let probe = Sta.analyze ~timing ~clock_period_ps:1e9 nl in
+    List.fold_left
+      (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+      0.0 probe.Sta.endpoint_slacks
+  in
+  let replay label ops =
+    match Vega.replay_sp ~engine:config.ak_attack.Attack.atk_engine target ops with
+    | Some (samples, sp) -> (samples, sp)
+    | None -> failwith (Printf.sprintf "attack-campaign: %s SP replay produced no samples" label)
+  in
+  let aged sp years = Sta.aged_timing ~sp_of_net:sp ~years aglib in
+  let corner =
+    match ck_load "corner" attack_corner_of_json with
+    | Some c ->
+      log "attack-campaign: attack corner restored from checkpoint";
+      c
+    | None ->
+      log
+        (Printf.sprintf "attack-campaign: stress search over %d target cell(s)"
+           (List.length cells));
+      let r = Attack.search ~config:config.ak_attack target ~cells in
+      let fresh_crit = worst_arrival (Sta.fresh_timing Cell.Library.c28) in
+      let att_max = worst_arrival (aged r.Attack.atk_sp_of_net config.ak_years_max) in
+      (* A guard period halfway between the fresh critical path and the
+         fully-attacked arrival: fresh timing closes with margin, and the
+         attacked corner is guaranteed to violate within the horizon. *)
+      let clock_period_ps = 0.5 *. (fresh_crit +. att_max) in
+      let ttv sp =
+        Attack.time_to_violation ~years_max:config.ak_years_max
+          ~precision:config.ak_ttv_precision
+          ~timing_of_years:(fun y -> aged sp y)
+          ~clock_period_ps nl
+      in
+      let _, nom_sp =
+        replay "nominal" (Vega.recorded_unit_ops target ~workload:Vega.run_minver_workload)
+      in
+      let ttv_nominal = ttv nom_sp in
+      let ttv_attack = ttv r.Attack.atk_sp_of_net in
+      let acceleration =
+        match (ttv_nominal, ttv_attack) with
+        | Some n, Some a when a > 0.0 -> Some (n /. a)
+        | _ -> None
+      in
+      let corner =
+        {
+          ac_ops = r.Attack.atk_ops;
+          ac_cells = r.Attack.atk_cells;
+          ac_baseline_obj = r.Attack.atk_baseline;
+          ac_attacked_obj = r.Attack.atk_best;
+          ac_evals = r.Attack.atk_evals;
+          ac_sat_patterns = r.Attack.atk_sat_patterns;
+          ac_samples = r.Attack.atk_samples;
+          ac_fresh_crit_ps = fresh_crit;
+          ac_clock_period_ps = clock_period_ps;
+          ac_ttv_nominal = ttv_nominal;
+          ac_ttv_attack = ttv_attack;
+          ac_acceleration = acceleration;
+        }
+      in
+      ck_store "corner" (attack_corner_to_json corner);
+      corner
+  in
+  (* Re-derive the attacked SP profile from the winning stream — the same
+     replay on both the fresh and the resumed path. *)
+  let _, att_sp = replay "attack" corner.ac_ops in
+  let att_timing = aged att_sp config.ak_years_max in
+  (* Defense: canary monitors planned from the attack-aged corner,
+     CEC-proved inert before any machine runs them. *)
+  let paths =
+    Canary.plan ~count:config.ak_canary_count ~pessimism:config.ak_canary_pessimism nl
+      ~timing:att_timing ~clock_period_ps:corner.ac_clock_period_ps
+  in
+  let monitored, canaries = Canary.insert nl paths in
+  (match Canary.verify ~original:nl monitored with
+  | Ok () ->
+    log
+      (Printf.sprintf "attack-campaign: %d canary monitor(s) inserted, proved inert"
+         (List.length canaries))
+  | Error e -> failwith ("attack-campaign: canary verification failed: " ^ e));
+  (* Fault specs for the guard phase come from the attack-aged corner's
+     violating pairs — the faults this wearout actually produces. *)
+  let selected =
+    match
+      ck_load "lift" (fun j ->
+          Result.bind (Json.to_list j) (Json.map_m Serial.pair_result_of_json))
+    with
+    | Some selected ->
+      log "attack-campaign: error lifting restored from checkpoint";
+      selected
+    | None ->
+      let pairs =
+        Sta.violating_pairs ~timing:att_timing ~clock_period_ps:corner.ac_clock_period_ps nl
+      in
+      let selected = select_campaign_pairs target pairs config.ak_specs in
+      ck_store "lift" (Json.List (List.map Serial.pair_result_to_json selected));
+      selected
+  in
+  let suite = Lift.suite_of_results target.Lift.kind selected in
+  log
+    (Printf.sprintf "attack-campaign: %d fault spec(s), %d-case guard suite"
+       (List.length selected * List.length config.ak_constants)
+       (List.length suite.Lift.suite_cases));
+  let width, fmt = campaign_dims target in
+  let machine () =
+    let mconfig =
+      { Machine.default_config with Machine.width; fmt; rng_seed = config.ak_seed }
+    in
+    Machine.create ~config:mconfig ~alu:(Machine.Alu_netlist monitored)
+      ~fpu:Machine.Fpu_functional ()
+  in
+  let kernels =
+    match config.ak_kernels with
+    | [] -> Workload.all
+    | names -> List.map Workload.find names
+  in
+  let detected_by (r : Guard.Monitor.report) =
+    match r.Guard.Monitor.r_detections with
+    | [] -> "-"
+    | d :: _ ->
+      let id = d.Guard.Monitor.det_id in
+      let has_prefix p = String.length id >= String.length p && String.sub id 0 (String.length p) = p in
+      let has_suffix s =
+        String.length id >= String.length s
+        && String.sub id (String.length id - String.length s) (String.length s) = s
+      in
+      if has_prefix "__canary" then "canary" else if has_suffix "(stall)" then "watchdog" else "test"
+  in
+  let rows =
+    List.concat_map
+      (fun (b : Workload.benchmark) ->
+        Telemetry.with_span ~cat:"experiments" "attack_campaign.kernel" @@ fun () ->
+        let compiled = Minic.compile ~width ~fmt b.Workload.program in
+        let prog = Minic.assemble compiled in
+        let golden_m =
+          Machine.create
+            ~config:{ Machine.default_config with Machine.width; fmt; rng_seed = config.ak_seed }
+            ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional ()
+        in
+        Machine.reset golden_m;
+        (match
+           Machine.run ~max_instructions:config.ak_guard.Guard.Monitor.max_instructions golden_m
+             prog
+         with
+        | Machine.Exited code when code = Isa.exit_ok -> ()
+        | o ->
+          failwith
+            (Format.asprintf "attack-campaign: golden run of %s failed (%a)" b.Workload.name
+               Machine.pp_outcome o));
+        let golden_sum = Bitvec.to_int (Machine.mem golden_m Workload.checksum_address) in
+        let golden_instrs = Machine.instructions_retired golden_m in
+        let onset = max 1 (int_of_float (config.ak_onset_frac *. float_of_int golden_instrs)) in
+        let fuel =
+          min config.ak_guard.Guard.Monitor.max_instructions ((4 * golden_instrs) + 10_000)
+        in
+        log
+          (Printf.sprintf "attack-campaign: kernel %s (onset at instr %d)" b.Workload.name onset);
+        List.concat_map
+          (fun (pr : Lift.pair_result) ->
+            List.concat_map
+              (fun constant ->
+                let spec =
+                  {
+                    Fault.start_dff = pr.Lift.start_dff;
+                    end_dff = pr.Lift.end_dff;
+                    kind = pr.Lift.violation;
+                    constant;
+                    activation = Fault.Any_transition;
+                  }
+                in
+                let fresh_run mk_row =
+                  let m = machine () in
+                  Machine.reset m;
+                  let inj =
+                    Guard.Injector.create ~machine:m ~slot:Guard.Injector.Alu_slot ~spec
+                      (Guard.Injector.permanent onset)
+                  in
+                  mk_row m inj
+                in
+                let row mode outcome ~clean_exit detected detected_by latency checksum_ok polls
+                    overhead_pct =
+                  {
+                    ar_kernel = b.Workload.name;
+                    ar_spec = Fault.describe spec;
+                    ar_mode = mode;
+                    ar_outcome = outcome;
+                    ar_detected = detected;
+                    ar_detected_by = detected_by;
+                    ar_latency = latency;
+                    ar_checksum_ok = checksum_ok;
+                    ar_escape = clean_exit && (not detected) && not checksum_ok;
+                    ar_polls = polls;
+                    ar_overhead_pct = overhead_pct;
+                  }
+                in
+                let unguarded () =
+                  fresh_run (fun m inj ->
+                      let outcome =
+                        Machine.run ~max_instructions:fuel
+                          ~on_instr:(fun _ -> Guard.Injector.tick inj)
+                          m prog
+                      in
+                      let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+                      let clean_exit =
+                        match outcome with
+                        | Machine.Exited code -> code = Isa.exit_ok
+                        | _ -> false
+                      in
+                      row "unguarded"
+                        (Format.asprintf "%a" Machine.pp_outcome outcome)
+                        ~clean_exit false "-" None (sum = golden_sum) 0 0.0)
+                in
+                let guarded mode canary_poll =
+                  fresh_run (fun m inj ->
+                      let gcfg =
+                        {
+                          config.ak_guard with
+                          Guard.Monitor.max_instructions = fuel;
+                          canary_poll;
+                        }
+                      in
+                      let r = Guard.Monitor.run ~config:gcfg ~injector:inj ~suite m prog in
+                      let sum = Bitvec.to_int (Machine.mem m Workload.checksum_address) in
+                      let outcome, clean_exit =
+                        match r.Guard.Monitor.r_verdict with
+                        | Guard.Monitor.App_completed o ->
+                          ( Format.asprintf "%a" Machine.pp_outcome o,
+                            match o with
+                            | Machine.Exited code -> code = Isa.exit_ok
+                            | _ -> false )
+                        | Guard.Monitor.Guard_aborted _ -> ("aborted", false)
+                      in
+                      row mode outcome ~clean_exit
+                        (Guard.Monitor.detected r)
+                        (detected_by r) r.Guard.Monitor.r_latency (sum = golden_sum)
+                        r.Guard.Monitor.r_canary_polls
+                        (100.0
+                        *. float_of_int r.Guard.Monitor.r_guard_cycles
+                        /. float_of_int (max 1 r.Guard.Monitor.r_app_cycles)))
+                in
+                (* one checkpointable work item = this fault spec's three
+                   runs (unguarded, software-only, software+canary) *)
+                let item_key =
+                  Printf.sprintf "rows~%s~%s" b.Workload.name (Fault.describe spec)
+                in
+                match
+                  ck_load item_key (fun j ->
+                      Result.bind (Json.to_list j) (Json.map_m attack_row_of_json))
+                with
+                | Some rows -> rows
+                | None ->
+                  let rows =
+                    [
+                      unguarded ();
+                      guarded "sw-only" None;
+                      guarded "sw+canary" (Some config.ak_canary_poll);
+                    ]
+                  in
+                  ck_store item_key (Json.List (List.map attack_row_to_json rows));
+                  rows)
+              config.ak_constants)
+          selected)
+      kernels
+  in
+  {
+    ap_cells = corner.ac_cells;
+    ap_baseline_obj = corner.ac_baseline_obj;
+    ap_attacked_obj = corner.ac_attacked_obj;
+    ap_evals = corner.ac_evals;
+    ap_sat_patterns = corner.ac_sat_patterns;
+    ap_samples = corner.ac_samples;
+    ap_fresh_crit_ps = corner.ac_fresh_crit_ps;
+    ap_clock_period_ps = corner.ac_clock_period_ps;
+    ap_ttv_nominal = corner.ac_ttv_nominal;
+    ap_ttv_attack = corner.ac_ttv_attack;
+    ap_acceleration = corner.ac_acceleration;
+    ap_canaries = canaries;
+    ap_rows = rows;
+  }
+
+type attack_summary = {
+  as_unguarded_rows : int;
+  as_unguarded_escapes : int;
+  as_sw_rows : int;
+  as_sw_detected : int;
+  as_sw_escapes : int;
+  as_canary_rows : int;
+  as_canary_detected : int;
+  as_canary_escapes : int;
+  as_canary_first : int;  (** sw+canary rows whose first detection was the trip port *)
+  as_latency_pairs : int;  (** (kernel, spec) pairs with latency in both guarded modes *)
+  as_canary_wins : int;  (** pairs where the canary latency <= the software latency *)
+}
+
+let attack_summary rows =
+  let count p = List.length (List.filter p rows) in
+  let mode m r = r.ar_mode = m in
+  let pairs = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.ar_kernel, r.ar_spec) in
+      if not (Hashtbl.mem pairs key) then Hashtbl.replace pairs key ())
+    rows;
+  let latency_pairs, canary_wins =
+    Hashtbl.fold
+      (fun (kernel, spec) () (lp, cw) ->
+        let find m =
+          List.find_opt (fun r -> r.ar_kernel = kernel && r.ar_spec = spec && mode m r) rows
+        in
+        match (find "sw-only", find "sw+canary") with
+        | Some sw, Some cn -> (
+          match (sw.ar_latency, cn.ar_latency) with
+          | Some (si, _), Some (ci, _) -> (lp + 1, if ci <= si then cw + 1 else cw)
+          | _ -> (lp, cw))
+        | _ -> (lp, cw))
+      pairs (0, 0)
+  in
+  {
+    as_unguarded_rows = count (mode "unguarded");
+    as_unguarded_escapes = count (fun r -> mode "unguarded" r && r.ar_escape);
+    as_sw_rows = count (mode "sw-only");
+    as_sw_detected = count (fun r -> mode "sw-only" r && r.ar_detected);
+    as_sw_escapes = count (fun r -> mode "sw-only" r && r.ar_escape);
+    as_canary_rows = count (mode "sw+canary");
+    as_canary_detected = count (fun r -> mode "sw+canary" r && r.ar_detected);
+    as_canary_escapes = count (fun r -> mode "sw+canary" r && r.ar_escape);
+    as_canary_first = count (fun r -> mode "sw+canary" r && r.ar_detected_by = "canary");
+    as_latency_pairs = latency_pairs;
+    as_canary_wins = canary_wins;
+  }
+
+let render_ttv years_max = function
+  | None -> Printf.sprintf ">%.0f y (clean)" years_max
+  | Some y -> Printf.sprintf "%.2f y" y
+
+let render_attack_campaign ?(years_max = default_attack_campaign.ak_years_max) report =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Adversarial wearout campaign (ALU)\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  attack: %d target cell(s), stress duty %.4f -> %.4f (%d evals, %d SAT patterns, %d \
+        samples)\n"
+       (List.length report.ap_cells) report.ap_baseline_obj report.ap_attacked_obj
+       report.ap_evals report.ap_sat_patterns report.ap_samples);
+  Buffer.add_string buf
+    (Printf.sprintf "  corner: fresh critical path %.1f ps, guard clock %.1f ps\n"
+       report.ap_fresh_crit_ps report.ap_clock_period_ps);
+  Buffer.add_string buf
+    (Printf.sprintf "  time-to-first-violation: nominal %s, attacked %s, acceleration %s\n"
+       (render_ttv years_max report.ap_ttv_nominal)
+       (render_ttv years_max report.ap_ttv_attack)
+       (match report.ap_acceleration with
+       | None -> "-"
+       | Some a -> Printf.sprintf "%.2fx" a));
+  Buffer.add_string buf
+    (Printf.sprintf "  canaries: %d inserted, CEC-proved inert\n" (List.length report.ap_canaries));
+  Buffer.add_string buf
+    "  kernel     spec                                mode       outcome        det  by        \
+     latency      sum    polls   ovh%\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-9s  %-34s  %-9s  %-13s  %-3s  %-8s  %-11s  %-5s  %5d  %5.1f\n"
+           r.ar_kernel r.ar_spec r.ar_mode r.ar_outcome
+           (if r.ar_detected then "yes" else "no")
+           r.ar_detected_by
+           (match r.ar_latency with
+           | Some (i, _) -> Printf.sprintf "%d instr" i
+           | None -> "-")
+           (if r.ar_checksum_ok then "ok" else "BAD")
+           r.ar_polls r.ar_overhead_pct))
+    report.ap_rows;
+  let s = attack_summary report.ap_rows in
+  Buffer.add_string buf
+    (Printf.sprintf "  unguarded: %d/%d runs escaped (silent corruption)\n" s.as_unguarded_escapes
+       s.as_unguarded_rows);
+  Buffer.add_string buf
+    (Printf.sprintf "  sw-only:   %d/%d detected, %d escaped\n" s.as_sw_detected s.as_sw_rows
+       s.as_sw_escapes);
+  Buffer.add_string buf
+    (Printf.sprintf "  sw+canary: %d/%d detected, %d escaped; canary fired first in %d/%d\n"
+       s.as_canary_detected s.as_canary_rows s.as_canary_escapes s.as_canary_first
+       s.as_canary_rows);
+  Buffer.add_string buf
+    (Printf.sprintf "  latency:   canary channel <= software tests on %d/%d measured pair(s)\n"
+       s.as_canary_wins s.as_latency_pairs);
   Buffer.contents buf
 
 (* ---------------- run everything ---------------- *)

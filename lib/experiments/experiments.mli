@@ -245,6 +245,127 @@ type campaign_summary = {
 val campaign_summary : campaign_row list -> campaign_summary
 val render_campaign : campaign_row list -> string
 
+(** {1 Adversarial wearout campaign — attack-aged corners and canary monitors}
+
+    The robustness counterpart of the guard campaign: an adversarial
+    workload ({!Attack.search}) ages the ALU's worst paths past the
+    violating corner early, and the guard's canary poll channel
+    ({!Canary}, {!Guard.Monitor}) is measured against the software-only
+    test schedule at the resulting attack-aged corner.  Fully
+    deterministic for a fixed configuration. *)
+
+type attack_campaign_config = {
+  ak_width : int;  (** ALU width; the campaign's single target unit *)
+  ak_kernels : string list;  (** [[]] = every [Workload.all] kernel *)
+  ak_specs : int;  (** fault specs lifted from the attack-aged corner *)
+  ak_constants : Fault.constant list;
+  ak_onset_frac : float;
+  ak_seed : int;  (** machine RNG seed for the guard phase *)
+  ak_attack : Attack.config;  (** search budget, seed, engine *)
+  ak_cells : string list;  (** [[]] = {!Attack.default_targets} *)
+  ak_years_max : float;  (** TTV bisection horizon *)
+  ak_ttv_precision : float;
+  ak_canary_count : int;
+  ak_canary_pessimism : float;  (** canary guardband (see {!Canary.plan}) *)
+  ak_canary_poll : int;  (** trip-port poll cadence (app instructions) *)
+  ak_guard : Guard.Monitor.config;
+}
+
+val default_attack_campaign : attack_campaign_config
+(** Width-16 ALU, every kernel, two specs, C=0 and C=1, a 48-op/24-iter
+    search — the full sweep. *)
+
+val quick_attack_campaign : attack_campaign_config
+(** crc only, one spec, C=0, a 32-op/12-iter search — the CI smoke
+    configuration. *)
+
+val attack_campaign_cells : attack_campaign_config -> string list
+(** The resolved victim-cell set ([ak_cells], or {!Attack.default_targets}
+    of the configured ALU when empty) — the set the digest commits to. *)
+
+val attack_campaign_digest : attack_campaign_config -> string
+(** Staleness key for attack-campaign checkpoints.  Commits to the
+    resolved target-cell set, the search seed and budget, the corner
+    parameters (horizon, precision, canary guardband and poll cadence)
+    and the guard knobs — any change invalidates a resume. *)
+
+type attack_row = {
+  ar_kernel : string;
+  ar_spec : string;
+  ar_mode : string;  (** "unguarded", "sw-only" or "sw+canary" *)
+  ar_outcome : string;
+  ar_detected : bool;
+  ar_detected_by : string;  (** "canary", "test", "watchdog" or "-" *)
+  ar_latency : (int * int) option;
+      (** (instructions, cycles) from fault onset to first detection *)
+  ar_checksum_ok : bool;
+  ar_escape : bool;
+  ar_polls : int;  (** canary trip-port reads the guard performed *)
+  ar_overhead_pct : float;
+}
+
+val attack_row_to_json : attack_row -> Json.t
+val attack_row_of_json : Json.t -> (attack_row, string) result
+
+type attack_report = {
+  ap_cells : Attack.cell_stress list;  (** per-victim SP shift *)
+  ap_baseline_obj : float;  (** stress-duty objective, random baseline *)
+  ap_attacked_obj : float;  (** stress-duty objective, winning stream *)
+  ap_evals : int;
+  ap_sat_patterns : int;
+  ap_samples : int;
+  ap_fresh_crit_ps : float;
+  ap_clock_period_ps : float;
+      (** guard clock: halfway between the fresh critical path and the
+          fully-attacked arrival, so fresh timing closes and the attacked
+          corner violates within the horizon *)
+  ap_ttv_nominal : float option;  (** [None]: clean at the horizon *)
+  ap_ttv_attack : float option;
+  ap_acceleration : float option;  (** ttv nominal / ttv attack *)
+  ap_canaries : Canary.canary list;
+  ap_rows : attack_row list;
+}
+
+val attack_campaign :
+  ?config:attack_campaign_config ->
+  ?log:(string -> unit) ->
+  ?checkpoint:Resilience.Checkpoint.t ->
+  unit ->
+  attack_report
+(** Run the campaign: search, TTV bisection under the attacked and the
+    nominal (minver-workload) corners, canary insertion
+    (CEC-proved inert via {!Canary.verify} — the campaign aborts on a
+    failing proof), error lifting at the attack-aged corner, then the
+    guard comparison (unguarded / software-tests-only / software+canary)
+    per kernel and fault spec.  [checkpoint] (opened against
+    {!attack_campaign_digest}) makes it resumable at three granularities:
+    the attack corner (search + bisections), the lifting selection, and
+    each fault spec's three runs per kernel.
+    @raise Failure if a golden kernel run or the canary proof fails. *)
+
+type attack_summary = {
+  as_unguarded_rows : int;
+  as_unguarded_escapes : int;
+  as_sw_rows : int;
+  as_sw_detected : int;
+  as_sw_escapes : int;
+  as_canary_rows : int;
+  as_canary_detected : int;
+  as_canary_escapes : int;
+  as_canary_first : int;
+      (** sw+canary rows whose first detection was the trip port *)
+  as_latency_pairs : int;
+      (** (kernel, spec) pairs with a latency in both guarded modes *)
+  as_canary_wins : int;
+      (** pairs where the canary latency <= the software-test latency *)
+}
+
+val attack_summary : attack_row list -> attack_summary
+
+val render_attack_campaign : ?years_max:float -> attack_report -> string
+(** Deterministic table (the CI-diffed artifact); [years_max] (default
+    30) only affects how a clean-at-horizon TTV prints. *)
+
 (** {1 Everything} *)
 
 val run_all : ?config:config -> ?log:(string -> unit) -> unit -> string

@@ -72,14 +72,24 @@ module Injector = struct
         | Machine.Scalar_sim _ -> Machine.Scalar_unit
         | Machine.Compiled_sim _ -> Machine.Compiled_unit)
     in
-    let faulty_nl = Fault.failing_netlist golden_nl spec in
-    (* CEC gate: with its fault-activation lines tied low, the
-       instrumented replica must be provably equivalent to the golden
-       netlist — a broken instrumentation would otherwise corrupt the
-       machine even while the fault is nominally dormant.  The proof is
-       structural (hash-consed miter, no SAT search), so this is cheap. *)
+    (* A monitored golden unit carries dormant canaries; the aged replica
+       carries the same canaries *armed* — swapping it in is the moment
+       the unit "ages past the canary guardband", so the trip channel and
+       the functional fault onset coincide. *)
+    let faulty_base =
+      if Canary.has_canaries golden_nl then Canary.arm golden_nl else golden_nl
+    in
+    let faulty_nl = Fault.failing_netlist faulty_base spec in
+    (* CEC gate: with its fault-activation lines tied low — and any canary
+       arm cell with them — the instrumented replica must be provably
+       equivalent to the golden netlist: a broken instrumentation would
+       otherwise corrupt the machine even while the fault is nominally
+       dormant.  The proof is structural (hash-consed miter, no SAT
+       search), so this is cheap. *)
     (match
-       Cec.check ~free_inputs:true ~tie_low:(Fault.select_cells faulty_nl) golden_nl faulty_nl
+       Cec.check ~free_inputs:true
+         ~tie_low:(Fault.select_cells faulty_nl @ Canary.arm_cells faulty_nl)
+         golden_nl faulty_nl
      with
     | Cec.Equivalent -> ()
     | v ->
@@ -159,6 +169,9 @@ module Monitor = struct
     policy : policy;
     max_instructions : int;
     final_sweep : bool;  (* run the full suite once more when the app exits *)
+    canary_poll : int option;
+        (* [Some n]: poll the monitored unit's canary trip port every [n]
+           app instructions (the hardware detection channel); [None]: off *)
   }
 
   let default_config =
@@ -170,7 +183,25 @@ module Monitor = struct
       policy = Failover;
       max_instructions = 5_000_000;
       final_sweep = true;
+      canary_poll = None;
     }
+
+  (* Reject the configurations that would otherwise spin forever or mask
+     themselves: a zero cadence used to be silently clamped to 1, a zero
+     poll or checkpoint interval would re-fire on every instruction. *)
+  let validate_config config =
+    if config.cadence <= 0 then
+      invalid_arg "Guard.Monitor.run: test cadence must be positive";
+    (match config.canary_poll with
+    | Some n when n <= 0 ->
+      invalid_arg "Guard.Monitor.run: canary poll cadence must be positive"
+    | _ -> ());
+    if config.max_instructions <= 0 then
+      invalid_arg "Guard.Monitor.run: instruction budget must be positive";
+    match config.policy with
+    | Rollback_retry { checkpoint_every; _ } when checkpoint_every <= 0 ->
+      invalid_arg "Guard.Monitor.run: checkpoint interval must be positive"
+    | _ -> ()
 
   type detection = {
     det_id : string;  (* test-case id, with " (stall)" for watchdog hits *)
@@ -198,6 +229,7 @@ module Monitor = struct
     r_lost_instructions : int;
     r_checkpoints : int;
     r_final_cadence : int;
+    r_canary_polls : int;  (* trip-port reads performed *)
   }
 
   (* Run [cases] on the machine, preserving the application's architectural
@@ -231,12 +263,20 @@ module Monitor = struct
     Telemetry.Histogram.make "guard.detection_latency"
       ~bounds:[| 16; 64; 256; 1024; 4096; 16384; 65536 |]
 
+  let tele_polls = Telemetry.Counter.make "canary.polls"
+  let tele_trips = Telemetry.Counter.make "canary.trips"
+
   let run ?(config = default_config) ?injector ~suite m (prog : Isa.program) =
+    validate_config config;
     let tele = Telemetry.enabled () in
     if tele then Telemetry.begin_span ~cat:"guard" "guard.run";
     let cases = Array.of_list suite.Lift.suite_cases in
     let n_cases = Array.length cases in
-    let cadence = ref (max 1 config.cadence) in
+    let cadence = ref config.cadence in
+    let poll_cadence = match config.canary_poll with Some n -> n | None -> 0 in
+    let until_test = ref !cadence in
+    let until_poll = ref poll_cadence in
+    let canary_polls = ref 0 in
     let slice_idx = ref 0 in
     let detections = ref [] in
     let retries = ref 0 in
@@ -276,6 +316,36 @@ module Monitor = struct
         | Lift.Alu_module _ -> ignore (Machine.swap_alu_sim m None)
         | Lift.Fpu_module _ -> ignore (Machine.swap_fpu_sim m None))
     in
+    (* The hardware channel: read the monitored unit's sticky trip port.
+       A poll is a register read — no test excursion, no machine-state
+       change — so its cadence can be far tighter than the test cadence.
+       After failover the unit runs functionally and the channel goes
+       quiet on its own. *)
+    let target_unit_sim () =
+      match suite.Lift.suite_target with
+      | Lift.Alu_module _ -> Machine.alu_unit_sim m
+      | Lift.Fpu_module _ -> Machine.fpu_unit_sim m
+    in
+    let polling () =
+      poll_cadence > 0
+      &&
+      match target_unit_sim () with
+      | Some us -> Canary.has_canaries (Machine.unit_sim_netlist us)
+      | None -> false
+    in
+    let poll_canaries () =
+      incr canary_polls;
+      Telemetry.Counter.incr tele_polls;
+      match target_unit_sim () with
+      | None -> None
+      | Some us ->
+        let mask = Bitvec.to_int (Machine.unit_sim_output us Canary.trip_port) in
+        if mask = 0 then None
+        else begin
+          Telemetry.Counter.incr tele_trips;
+          Some (Printf.sprintf "__canary (trip 0x%x)" mask)
+        end
+    in
     (* Checkpoints are taken only after the full suite passes, so for a
        permanent (detectable) fault every checkpoint predates any silent
        corruption: once the fault is active the verification sweep fails
@@ -290,20 +360,40 @@ module Monitor = struct
     let rec exec pc =
       if !executed >= config.max_instructions then App_completed Machine.Out_of_fuel
       else begin
-        let budget = min !cadence (config.max_instructions - !executed) in
+        let budget = min (max 1 !until_test) (config.max_instructions - !executed) in
+        let budget = if polling () then min budget (max 1 !until_poll) else budget in
         let before = Machine.instructions_retired m in
         let result = Machine.run_slice ~on_instr ~pc ~budget m prog in
-        executed := !executed + (Machine.instructions_retired m - before);
+        let ran = Machine.instructions_retired m - before in
+        executed := !executed + ran;
+        until_test := !until_test - ran;
+        until_poll := !until_poll - ran;
         match result with
         | Machine.Completed Machine.Stalled ->
           (* the application itself wedged: watchdog detection *)
           record_detection "__app (stall)";
           recover_from_stall ()
         | Machine.Completed o -> finish o
-        | Machine.Paused pc' -> guard_slice pc'
+        | Machine.Paused pc' -> pause pc'
       end
+    and pause pc' =
+      (* the canary channel runs first: it is cheap, and a trip preempts
+         the software test slice *)
+      if polling () && !until_poll <= 0 then begin
+        until_poll := poll_cadence;
+        match poll_canaries () with
+        | Some id ->
+          record_detection id;
+          escalate pc' id
+        | None -> if !until_test <= 0 then guard_slice pc' else exec pc'
+      end
+      else if !until_test <= 0 then guard_slice pc'
+      else exec pc'
     and guard_slice pc' =
-      if n_cases = 0 then exec pc'
+      if n_cases = 0 then begin
+        until_test := !cadence;
+        exec pc'
+      end
       else begin
         let tc = cases.(!slice_idx mod n_cases) in
         incr slice_idx;
@@ -315,6 +405,7 @@ module Monitor = struct
           cadence :=
             min config.max_cadence
               (max (!cadence + 1) (int_of_float (float_of_int !cadence *. config.backoff)));
+          until_test := !cadence;
           (match config.policy with
           | Rollback_retry { checkpoint_every; _ }
             when Machine.instructions_retired m - !last_cp_instr >= checkpoint_every -> (
@@ -336,7 +427,9 @@ module Monitor = struct
       for _ = 1 to config.burst do
         match full_suite () with Ok () -> () | Error id2 -> record_detection id2
       done;
-      cadence := max 1 config.cadence;
+      cadence := config.cadence;
+      until_test := !cadence;
+      until_poll := poll_cadence;
       match config.policy with
       | Abort -> Guard_aborted id
       | Failover ->
@@ -360,6 +453,8 @@ module Monitor = struct
         (* re-execute on the golden unit: the suspect backend is retired *)
         swap_to_golden ();
         recovered := true;
+        until_test := !cadence;
+        until_poll := poll_cadence;
         exec cpc
     and recover_from_stall () =
       match config.policy with
@@ -433,6 +528,7 @@ module Monitor = struct
       r_lost_instructions = !lost_instrs;
       r_checkpoints = !checkpoints;
       r_final_cadence = !cadence;
+      r_canary_polls = !canary_polls;
     }
 
   let detected r = r.r_detections <> []
@@ -455,7 +551,8 @@ module Monitor = struct
     add "recovery: %s, %d rollback(s), %d checkpoint(s), lost %d cycles\n"
       (if r.r_recovered then "yes" else "no")
       r.r_retries r.r_checkpoints r.r_lost_cycles;
-    add "guard: %d slices, %d cycles; app: %d instrs, %d cycles; final cadence %d\n"
-      r.r_guard_slices r.r_guard_cycles r.r_app_instructions r.r_app_cycles r.r_final_cadence;
+    add "guard: %d slices, %d cycles, %d canary poll(s); app: %d instrs, %d cycles; final cadence %d\n"
+      r.r_guard_slices r.r_guard_cycles r.r_canary_polls r.r_app_instructions r.r_app_cycles
+      r.r_final_cadence;
     Buffer.contents buf
 end

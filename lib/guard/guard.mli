@@ -46,11 +46,15 @@ module Injector : sig
     schedule ->
     t
   (** Build the fault-instrumented replica of the targeted unit's netlist
-      ({!Fault.failing_netlist}) without installing it.  The replica is
+      ({!Fault.failing_netlist}) without installing it.  If the unit
+      carries canary monitors ({!Canary.has_canaries}), the replica is
+      built from the {e armed} netlist: swapping it in is the moment the
+      unit ages past the canary guardband, so the hardware trip channel
+      and the functional fault onset coincide.  The replica is
       statically vetted before it can ever be armed: with its fault lines
-      tied inactive ({!Fault.select_cells}) it must be CEC-equivalent to
-      the golden netlist ({!Cec.check}), proving the instrumentation is
-      inert while dormant.  [engine] selects the simulator the replica
+      tied inactive ({!Fault.select_cells}, plus the canary arm cell when
+      present) it must be CEC-equivalent to the golden netlist
+      ({!Cec.check}), proving the instrumentation is inert while dormant.  [engine] selects the simulator the replica
       runs on; it defaults to the engine of the unit being replaced, so a
       machine built with [~unit_engine:Compiled_unit] gets a compiled
       faulty replica with no further plumbing.
@@ -100,11 +104,20 @@ module Monitor : sig
     policy : policy;
     max_instructions : int;  (** forward-progress budget for the app *)
     final_sweep : bool;  (** run the full suite once more at app exit *)
+    canary_poll : int option;
+        (** [Some n]: poll the monitored unit's {!Canary.trip_port} every
+            [n] app instructions — the hardware detection channel, live
+            when the unit's netlist carries canaries ({!Canary.insert}).
+            A poll is a register read (no test excursion, no machine-state
+            change), so [n] is typically far below [cadence].  A trip is
+            recorded as a ["__canary (trip 0x..)"] detection and feeds the
+            same burst-confirmation and recovery path as a failing test.
+            [None] (the default): channel off. *)
   }
 
   val default_config : config
   (** cadence 200, backoff 1.5, max_cadence 5000, burst 1, Failover,
-      5M instructions, final sweep on. *)
+      5M instructions, final sweep on, canary polling off. *)
 
   type detection = {
     det_id : string;  (** test-case id, with [" (stall)"] for watchdog hits *)
@@ -135,6 +148,7 @@ module Monitor : sig
     r_lost_instructions : int;
     r_checkpoints : int;
     r_final_cadence : int;
+    r_canary_polls : int;  (** trip-port reads performed *)
   }
 
   val run :
@@ -150,7 +164,10 @@ module Monitor : sig
       instruction (test-case excursions do not tick the schedule), and
       recovery retires the injected unit via {!Injector.disable}; without
       one, failover swaps the unit named by [suite]'s target to its
-      functional backend. *)
+      functional backend.
+      @raise Invalid_argument if [config] is degenerate: non-positive test
+      cadence, canary poll cadence, instruction budget, or checkpoint
+      interval (each would loop or re-fire on every instruction). *)
 
   val detected : report -> bool
 

@@ -114,6 +114,11 @@ let make_unit_sim ?(profile = false) engine nl =
 
 let unit_sim_netlist = us_netlist
 
+let unit_sim_output us name =
+  match us with
+  | Scalar_sim s -> Sim.output s name
+  | Compiled_sim s -> Simc.output s ~lane:0 name
+
 let make_unit ~engine ~profile nl =
   {
     usim = make_unit_sim ~profile engine nl;

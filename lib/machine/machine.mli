@@ -44,6 +44,12 @@ val make_unit_sim : ?profile:bool -> unit_engine -> Netlist.t -> unit_sim
 
 val unit_sim_netlist : unit_sim -> Netlist.t
 
+val unit_sim_output : unit_sim -> string -> Bitvec.t
+(** Read an output port of the unit's netlist in its current state,
+    whichever engine runs it (lane 0 for compiled units).  This is how the
+    runtime guard polls a monitored unit's [canary_trip] port without
+    caring which simulator is installed. *)
+
 type config = {
   width : int;  (** integer register width; must match the ALU netlist *)
   fmt : Fpu_format.fmt;  (** FP format; width must not exceed [width] *)

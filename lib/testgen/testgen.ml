@@ -66,6 +66,35 @@ let matched_suite ?(seed = 0x3a7c) (suite : Lift.suite) =
   | Lift.Alu_module { width } -> random_alu_suite ~seed ~width ~cases ()
   | Lift.Fpu_module { fmt } -> random_fpu_suite ~seed ~fmt ~cases ()
 
+(* A uniformly random unit-operation stream in the [Vega.recorded_unit_ops]
+   assignment format — the random baseline (and mutation pool) of the
+   adversarial stress search. *)
+let random_unit_op rng (kind : Lift.module_kind) =
+  match kind with
+  | Lift.Alu_module { width } ->
+    let op = List.nth Alu.all_ops (Random.State.int rng (List.length Alu.all_ops)) in
+    [
+      (Alu.op_port, Bitvec.create ~width:4 (Alu.op_code op));
+      (Alu.a_port, Bitvec.create ~width (rand_bits rng width));
+      (Alu.b_port, Bitvec.create ~width (rand_bits rng width));
+    ]
+  | Lift.Fpu_module { fmt } ->
+    let w = Fpu_format.width fmt in
+    let op =
+      List.nth Fpu_format.all_ops (Random.State.int rng (List.length Fpu_format.all_ops))
+    in
+    [
+      (Fpu.op_port, Bitvec.create ~width:3 (Fpu_format.op_code op));
+      (Fpu.a_port, Bitvec.create ~width:w (rand_bits rng w));
+      (Fpu.b_port, Bitvec.create ~width:w (rand_bits rng w));
+      (Fpu.in_valid_port, Bitvec.create ~width:1 1);
+    ]
+
+let random_unit_ops ?(seed = 0xa77ac) ~len (kind : Lift.module_kind) =
+  if len < 0 then invalid_arg "Testgen.random_unit_ops: len must be non-negative";
+  let rng = Random.State.make [| seed |] in
+  Array.init len (fun _ -> random_unit_op rng kind)
+
 let random_baseline_detection ?(seed = 0x7ab1e) ?engine ~runs (suite : Lift.suite) faulty =
   if runs <= 0 then invalid_arg "Testgen.random_baseline_detection: runs must be positive";
   let detected = ref 0 in

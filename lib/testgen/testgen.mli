@@ -32,6 +32,13 @@ val scoap_ranked_pairs :
     fall to cheap random search.  The sort is stable, so equally-hard pairs
     keep their worst-slack-first order. *)
 
+val random_unit_ops :
+  ?seed:int -> len:int -> Lift.module_kind -> (string * Bitvec.t) list array
+(** [len] uniformly random unit operations (opcode + operand port
+    assignments) in the stream format recorded by [Vega.recorded_unit_ops]
+    — the seed-deterministic random baseline the adversarial stress search
+    starts from and mutates.  @raise Invalid_argument if [len < 0]. *)
+
 val random_baseline_detection :
   ?seed:int -> ?engine:Lift.engine -> runs:int -> Lift.suite -> Netlist.t -> float
 (** Table-7-style baseline on the word-parallel fast path: the fraction of

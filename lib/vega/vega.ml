@@ -191,6 +191,22 @@ let replay_unit_ops_e (type s) (module E : Sim_intf.WORD with type t = s)
 
 let replay_unit_ops target ops = replay_unit_ops_e (module Sim64) target ops
 
+(* Replay an operation stream (recorded or synthesized) and return the
+   sample count plus the SP accessor — the evaluator behind the adversarial
+   stress search in [Attack].  Engine selection mirrors {!aging_analysis}:
+   [Scalar_profile] is the lanes=1 scalar view, so all three engines share
+   the lane-chunked replay semantics. *)
+let replay_sp ?(engine = Compiled_profile) target ops =
+  let run (type s) (module E : Sim_intf.WORD with type t = s) =
+    match replay_unit_ops_e (module E) target ops with
+    | None -> None
+    | Some s -> Some (E.samples s, E.sp s)
+  in
+  match engine with
+  | Scalar_profile -> run (module Sim.Word)
+  | Batched_profile -> run (module Sim64)
+  | Compiled_profile -> run (module Simc)
+
 (* Record the stream, replay it on the given word engine, return the
    sample count and SP accessor. *)
 let batched_profile (type s) (module E : Sim_intf.WORD with type t = s) target ~workload =

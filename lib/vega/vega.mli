@@ -94,6 +94,17 @@ val replay_unit_ops : Lift.target -> (string * Bitvec.t) list array -> Sim64.t o
     word-parallel simulator's lanes, profiled; [None] on an empty
     stream. *)
 
+val replay_sp :
+  ?engine:profile_engine ->
+  Lift.target ->
+  (string * Bitvec.t) list array ->
+  (int * (Netlist.net -> float)) option
+(** Replay an operation stream (recorded by {!recorded_unit_ops} or
+    synthesized, e.g. by the adversarial stress search) on the selected
+    word engine (default [Compiled_profile]) and return [(samples, sp)] —
+    the per-net signal probability the stream induces.  [None] on an empty
+    stream.  Deterministic: same stream, same engine, same profile. *)
+
 val run_minver_workload : Machine.t -> unit
 (** The default representative workload: the minver-style kernel is not
     available here (it lives in [vega_workload], which depends on this

@@ -1,0 +1,137 @@
+(* Tests for the adversarial wearout search: target selection, per-seed
+   determinism, the skew-never-negative invariant, input validation, and
+   the time-to-violation acceleration on alu8. *)
+
+let alu8 = Lift.alu_target ~width:8 ()
+let nl = alu8.Lift.netlist
+let aglib = Aging.Timing_library.build Cell.Library.c28
+let targets = Attack.default_targets ~n:2 nl
+
+let small_config =
+  { Attack.default_config with Attack.atk_len = 16; atk_iters = 8 }
+
+let worst_arrival timing =
+  let probe = Sta.analyze ~timing ~clock_period_ps:1e9 nl in
+  List.fold_left
+    (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+    0.0 probe.Sta.endpoint_slacks
+
+let test_default_targets () =
+  Alcotest.(check bool) "found targets" true (targets <> []);
+  Alcotest.(check bool) "at most n" true (List.length targets <= 2);
+  (* every returned name resolves in the netlist *)
+  List.iter (fun c -> ignore (Netlist.find_cell nl c)) targets
+
+let test_search_basics () =
+  let r = Attack.search ~config:small_config alu8 ~cells:targets in
+  Alcotest.(check bool) "skew non-negative" true (Attack.skew r >= 0.0);
+  Alcotest.(check int) "cell list echoes targets" (List.length targets)
+    (List.length r.Attack.atk_cells);
+  Alcotest.(check bool) "evals counted" true (r.Attack.atk_evals > 0);
+  Alcotest.(check int) "winning stream has the configured length" small_config.Attack.atk_len
+    (Array.length r.Attack.atk_ops);
+  Alcotest.(check bool) "profile carries samples" true (r.Attack.atk_samples > 0);
+  (* the report is the golden-diffed artifact; sanity-check its header *)
+  let report = Attack.render r in
+  Alcotest.(check bool) "render mentions the search" true
+    (String.length report > 0
+    && String.sub report 0 26 = "Adversarial stress search:")
+
+let test_search_deterministic () =
+  let a = Attack.search ~config:small_config alu8 ~cells:targets in
+  let b = Attack.search ~config:small_config alu8 ~cells:targets in
+  Alcotest.(check string) "same report" (Attack.render a) (Attack.render b);
+  Alcotest.(check bool) "same winning stream" true (a.Attack.atk_ops = b.Attack.atk_ops);
+  Alcotest.(check int) "same eval count" a.Attack.atk_evals b.Attack.atk_evals
+
+let test_validation () =
+  Alcotest.check_raises "empty cell list"
+    (Invalid_argument "Attack.search: no target cells") (fun () ->
+      ignore (Attack.search alu8 ~cells:[]));
+  Alcotest.check_raises "zero-length stream"
+    (Invalid_argument "Attack.search: stream length must be positive") (fun () ->
+      ignore
+        (Attack.search ~config:{ small_config with Attack.atk_len = 0 } alu8 ~cells:targets));
+  Alcotest.check_raises "unknown cell"
+    (Invalid_argument
+       (Printf.sprintf "Attack.search: no cell named _nosuch in %s" (Netlist.name nl)))
+    (fun () -> ignore (Attack.search alu8 ~cells:[ "_nosuch" ]))
+
+let test_workload_program () =
+  let r = Attack.search ~config:small_config alu8 ~cells:targets in
+  let prog = Attack.workload_program alu8.Lift.kind r.Attack.atk_ops in
+  (* assemble already validated it; each ALU op expands to 3 instructions *)
+  Alcotest.(check int) "program length"
+    ((3 * small_config.Attack.atk_len) + 1)
+    (Array.length prog.Isa.instrs)
+
+(* The acceptance criterion: on alu8 the attack stream's aging corner
+   reaches its first timing violation sooner than the nominal (random
+   workload) corner — acceleration factor > 1. *)
+let test_ttv_acceleration () =
+  let config = { Attack.default_config with Attack.atk_len = 32; atk_iters = 16 } in
+  let cells = Attack.default_targets nl in
+  let r = Attack.search ~config alu8 ~cells in
+  let base_sp =
+    match
+      Vega.replay_sp alu8
+        (Testgen.random_unit_ops ~seed:config.Attack.atk_seed ~len:config.Attack.atk_len
+           alu8.Lift.kind)
+    with
+    | Some (_, sp) -> sp
+    | None -> Alcotest.fail "baseline replay failed"
+  in
+  let fresh_crit = worst_arrival (Sta.fresh_timing Cell.Library.c28) in
+  let att30 =
+    worst_arrival (Sta.aged_timing ~sp_of_net:r.Attack.atk_sp_of_net ~years:30.0 aglib)
+  in
+  Alcotest.(check bool) "attack corner ages the unit" true (att30 > fresh_crit);
+  (* a clock that the fresh design meets but the 30-year attack corner
+     misses: the attack TTV is guaranteed finite *)
+  let clock_period_ps = 0.5 *. (fresh_crit +. att30) in
+  let ttv sp =
+    Attack.time_to_violation
+      ~timing_of_years:(fun y -> Sta.aged_timing ~sp_of_net:sp ~years:y aglib)
+      ~clock_period_ps nl
+  in
+  match ttv r.Attack.atk_sp_of_net with
+  | None -> Alcotest.fail "attack corner never violates within the bisection horizon"
+  | Some att -> (
+    Alcotest.(check bool) "fresh design meets the clock" true (att > 0.0);
+    match ttv base_sp with
+    | None -> () (* nominal corner never violates: unbounded acceleration *)
+    | Some nom ->
+      Alcotest.(check bool)
+        (Printf.sprintf "attack accelerates TTV (nominal %.2fy vs attack %.2fy)" nom att)
+        true (att < nom))
+
+let prop_skew_and_determinism =
+  QCheck.Test.make ~count:8 ~name:"attack skew never negative, per-seed deterministic"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let config =
+        {
+          small_config with
+          Attack.atk_seed = seed;
+          atk_iters = 4;
+          atk_sat_assist = false;
+        }
+      in
+      let a = Attack.search ~config alu8 ~cells:targets in
+      let b = Attack.search ~config alu8 ~cells:targets in
+      Attack.skew a >= 0.0 && Attack.render a = Attack.render b)
+
+let () =
+  Alcotest.run "attack"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "default targets" `Quick test_default_targets;
+          Alcotest.test_case "basics" `Quick test_search_basics;
+          Alcotest.test_case "deterministic" `Quick test_search_deterministic;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "workload program" `Quick test_workload_program;
+          Alcotest.test_case "ttv acceleration" `Quick test_ttv_acceleration;
+          QCheck_alcotest.to_alcotest prop_skew_and_determinism;
+        ] );
+    ]

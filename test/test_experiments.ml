@@ -83,6 +83,100 @@ let test_fig9 () =
         (r.Experiments.overhead_without_pct >= 0.0))
     rows
 
+(* ---- adversarial wearout campaign ---- *)
+
+let quick_attack = Experiments.quick_attack_campaign
+
+(* The campaign is the expensive fixture; run it once and share it. *)
+let attack_report = lazy (Experiments.attack_campaign ~config:quick_attack ())
+
+let test_attack_campaign () =
+  let report = Lazy.force attack_report in
+  (* the headline: the attacked corner violates strictly earlier *)
+  (match (report.Experiments.ap_ttv_attack, report.Experiments.ap_acceleration) with
+  | None, _ -> Alcotest.fail "attack corner never reaches a violating corner"
+  | Some _, Some a -> Alcotest.(check bool) "acceleration factor > 1" true (a > 1.0)
+  | Some _, None -> () (* nominal clean at the horizon: unbounded acceleration *));
+  Alcotest.(check bool) "attacked duty above baseline" true
+    (report.Experiments.ap_attacked_obj >= report.Experiments.ap_baseline_obj);
+  Alcotest.(check bool) "canaries inserted" true (report.Experiments.ap_canaries <> []);
+  let s = Experiments.attack_summary report.Experiments.ap_rows in
+  Alcotest.(check bool) "one row per mode and pair" true
+    (s.Experiments.as_unguarded_rows >= 1
+    && s.Experiments.as_sw_rows = s.Experiments.as_unguarded_rows
+    && s.Experiments.as_canary_rows = s.Experiments.as_unguarded_rows);
+  Alcotest.(check int) "every canary-guarded run detects" s.Experiments.as_canary_rows
+    s.Experiments.as_canary_detected;
+  Alcotest.(check int) "no canary-guarded escape" 0 s.Experiments.as_canary_escapes;
+  (* the second channel: at equal overhead budget, never slower than the
+     software-only schedule on any measured pair *)
+  Alcotest.(check bool) "latency measured on at least one pair" true
+    (s.Experiments.as_latency_pairs >= 1);
+  Alcotest.(check int) "canary latency <= software latency on every pair"
+    s.Experiments.as_latency_pairs s.Experiments.as_canary_wins
+
+let test_attack_campaign_deterministic () =
+  let r1 = Lazy.force attack_report in
+  let r2 = Experiments.attack_campaign ~config:quick_attack () in
+  Alcotest.(check string) "renders identically"
+    (Experiments.render_attack_campaign r1)
+    (Experiments.render_attack_campaign r2)
+
+let test_attack_digest () =
+  let d = Experiments.attack_campaign_digest in
+  let base = quick_attack in
+  Alcotest.(check string) "digest is stable" (d base) (d base);
+  let differs label config =
+    Alcotest.(check bool) label true (d base <> d config)
+  in
+  differs "search seed changes digest"
+    {
+      base with
+      Experiments.ak_attack = { base.Experiments.ak_attack with Attack.atk_seed = 1 };
+    };
+  differs "target-cell set changes digest" { base with Experiments.ak_cells = [ "_mux2_1" ] };
+  differs "corner horizon changes digest" { base with Experiments.ak_years_max = 20.0 };
+  differs "canary guardband changes digest" { base with Experiments.ak_canary_pessimism = 1.5 };
+  differs "poll cadence changes digest" { base with Experiments.ak_canary_poll = 10 }
+
+let fresh_dir () =
+  let f = Filename.temp_file "vega-attack-campaign" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_attack_campaign_resume () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let digest = Experiments.attack_campaign_digest quick_attack in
+      let open_ck resume =
+        match Resilience.Checkpoint.open_dir ~resume ~dir ~digest () with
+        | Ok ck -> ck
+        | Error msg -> Alcotest.failf "checkpoint open failed: %s" msg
+      in
+      let r1 = Experiments.attack_campaign ~config:quick_attack ~checkpoint:(open_ck false) () in
+      (* a resumed run restores every item and reports identically *)
+      let r2 = Experiments.attack_campaign ~config:quick_attack ~checkpoint:(open_ck true) () in
+      Alcotest.(check string) "resumed render identical"
+        (Experiments.render_attack_campaign r1)
+        (Experiments.render_attack_campaign r2);
+      (* a mismatched configuration must be refused as stale *)
+      let stale =
+        Experiments.attack_campaign_digest { quick_attack with Experiments.ak_canary_poll = 10 }
+      in
+      match Resilience.Checkpoint.open_dir ~resume:true ~dir ~digest:stale () with
+      | Ok _ -> Alcotest.fail "stale attack-campaign checkpoint accepted"
+      | Error _ -> ())
+
 let () =
   Alcotest.run "experiments"
     [
@@ -95,5 +189,12 @@ let () =
           Alcotest.test_case "table6" `Quick test_table6;
           Alcotest.test_case "table7" `Quick test_table7;
           Alcotest.test_case "fig9" `Quick test_fig9;
+        ] );
+      ( "attack campaign",
+        [
+          Alcotest.test_case "acceleration and canary channel" `Quick test_attack_campaign;
+          Alcotest.test_case "deterministic" `Quick test_attack_campaign_deterministic;
+          Alcotest.test_case "digest commits to cells, seed, corner" `Quick test_attack_digest;
+          Alcotest.test_case "checkpoint resume and staleness" `Quick test_attack_campaign_resume;
         ] );
     ]

@@ -222,6 +222,81 @@ let test_rollback_recovers_golden_checksum () =
   Alcotest.(check bool) "cadence backed off while healthy" true
     (report.Guard.Monitor.r_final_cadence >= 100)
 
+(* Degenerate monitor configurations must be rejected up front — a zero
+   cadence used to be silently clamped, a zero poll interval would re-fire
+   on every instruction. *)
+let test_config_rejects_degenerate () =
+  let m = machine ~alu:Machine.Alu_functional ~fpu:Machine.Fpu_functional () in
+  let run config = ignore (Guard.Monitor.run ~config ~suite:alu_suite m (app_prog 10)) in
+  Alcotest.check_raises "zero test cadence"
+    (Invalid_argument "Guard.Monitor.run: test cadence must be positive") (fun () ->
+      run { Guard.Monitor.default_config with Guard.Monitor.cadence = 0 });
+  Alcotest.check_raises "zero canary poll cadence"
+    (Invalid_argument "Guard.Monitor.run: canary poll cadence must be positive") (fun () ->
+      run { Guard.Monitor.default_config with Guard.Monitor.canary_poll = Some 0 });
+  Alcotest.check_raises "zero instruction budget"
+    (Invalid_argument "Guard.Monitor.run: instruction budget must be positive") (fun () ->
+      run { Guard.Monitor.default_config with Guard.Monitor.max_instructions = 0 });
+  Alcotest.check_raises "zero checkpoint interval"
+    (Invalid_argument "Guard.Monitor.run: checkpoint interval must be positive") (fun () ->
+      run
+        {
+          Guard.Monitor.default_config with
+          Guard.Monitor.policy =
+            Guard.Monitor.Rollback_retry { checkpoint_every = 0; max_retries = 1 };
+        })
+
+(* The hardware channel end to end: a canary-monitored ALU, an injector
+   whose aged replica arms the canaries at onset, and a poll cadence much
+   tighter than the test cadence.  The canary trip must come in first and
+   beat the software-tests-only configuration's detection latency. *)
+let test_canary_channel_beats_software_tests () =
+  let nl = alu_target.Lift.netlist in
+  let paths =
+    Canary.plan ~count:2 nl ~timing:(Sta.fresh_timing Cell.Library.c28) ~clock_period_ps:1.0
+  in
+  Alcotest.(check bool) "paths planned" true (paths <> []);
+  let monitored, _ = Canary.insert nl paths in
+  let run_with canary_poll =
+    let m = machine ~alu:(Machine.Alu_netlist monitored) ~fpu:Machine.Fpu_functional () in
+    Machine.reset m;
+    let inj =
+      Guard.Injector.create ~machine:m ~slot:Guard.Injector.Alu_slot ~spec:alu_spec
+        (Guard.Injector.permanent 100)
+    in
+    let config =
+      {
+        Guard.Monitor.default_config with
+        Guard.Monitor.cadence = 400;
+        max_cadence = 1_000;
+        max_instructions = 100_000;
+        canary_poll;
+      }
+    in
+    Guard.Monitor.run ~config ~injector:inj ~suite:alu_suite m (app_prog 300)
+  in
+  let with_canary = run_with (Some 25) in
+  let sw_only = run_with None in
+  Alcotest.(check int) "software-only run never polls" 0 sw_only.Guard.Monitor.r_canary_polls;
+  Alcotest.(check bool) "canary run polls" true (with_canary.Guard.Monitor.r_canary_polls > 0);
+  let first = function
+    | { Guard.Monitor.r_detections = d :: _; _ } -> d
+    | _ -> Alcotest.fail "no detection"
+  in
+  let cd = first with_canary and sd = first sw_only in
+  Alcotest.(check bool)
+    (Printf.sprintf "first detection %S is a canary trip" cd.Guard.Monitor.det_id)
+    true
+    (String.length cd.Guard.Monitor.det_id >= 8
+    && String.sub cd.Guard.Monitor.det_id 0 8 = "__canary");
+  ignore sd;
+  match (with_canary.Guard.Monitor.r_latency, sw_only.Guard.Monitor.r_latency) with
+  | Some (ci, _), Some (si, _) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "canary latency %d < software latency %d" ci si)
+      true (ci < si)
+  | _ -> Alcotest.fail "latency missing"
+
 (* The campaign driver on a minimal configuration: the acceptance invariants
    plus bit-identical output across two invocations (the CI contract). *)
 let test_campaign_acceptance_and_determinism () =
@@ -262,6 +337,9 @@ let () =
           Alcotest.test_case "unguarded escape" `Quick test_unguarded_escape;
           Alcotest.test_case "rollback recovers golden checksum" `Quick
             test_rollback_recovers_golden_checksum;
+          Alcotest.test_case "rejects degenerate config" `Quick test_config_rejects_degenerate;
+          Alcotest.test_case "canary channel beats software tests" `Quick
+            test_canary_channel_beats_software_tests;
         ] );
       ( "campaign",
         [

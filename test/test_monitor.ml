@@ -1,0 +1,199 @@
+(* Tests for the in-situ canary monitors: planning, insertion, the CEC
+   inertness gate, mutation detection, arming, and trip behaviour. *)
+
+module B = Netlist.Builder
+
+let alu8 = (Lift.alu_target ~width:8 ()).Lift.netlist
+let fresh = Sta.fresh_timing Cell.Library.c28
+
+(* target period: fresh critical path with a 1% margin, like Vega's
+   signoff-derived clock *)
+let period nl =
+  let probe = Sta.analyze ~timing:fresh ~clock_period_ps:1e9 nl in
+  let crit =
+    List.fold_left
+      (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+      0.0 probe.Sta.endpoint_slacks
+  in
+  crit *. 1.01
+
+let alu_paths = Canary.plan ~count:2 ~pessimism:1.25 alu8 ~timing:fresh ~clock_period_ps:(period alu8)
+
+let test_plan () =
+  Alcotest.(check bool) "plan finds near-critical paths" true (alu_paths <> []);
+  List.iter
+    (fun (p : Sta.path) ->
+      match p.Sta.start with
+      | Sta.From_dff _ -> ()
+      | Sta.From_input _ -> Alcotest.fail "plan returned an input-launched path")
+    alu_paths;
+  (* distinct endpoints *)
+  let eps = List.map (fun (p : Sta.path) -> p.Sta.finish) alu_paths in
+  Alcotest.(check int) "distinct endpoints" (List.length eps)
+    (List.length (List.sort_uniq compare eps))
+
+let test_insert_and_verify () =
+  let monitored, canaries = Canary.insert alu8 alu_paths in
+  Alcotest.(check bool) "has canaries" true (Canary.has_canaries monitored);
+  Alcotest.(check int) "count matches" (List.length alu_paths) (Canary.count monitored);
+  Alcotest.(check bool) "inserted dormant" false (Canary.armed monitored);
+  Alcotest.(check int) "trip bit indices" (List.length canaries)
+    (List.length (List.filter (fun c -> c.Canary.cn_index >= 0) canaries));
+  (match Canary.verify ~original:alu8 monitored with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("verify rejected a sound insertion: " ^ e));
+  (* double insertion is refused *)
+  Alcotest.check_raises "no double insertion"
+    (Invalid_argument "Canary.insert: netlist already has canaries") (fun () ->
+      ignore (Canary.insert monitored alu_paths))
+
+let test_arm_roundtrip () =
+  let monitored, _ = Canary.insert alu8 alu_paths in
+  let armed = Canary.arm monitored in
+  Alcotest.(check bool) "armed" true (Canary.armed armed);
+  Alcotest.(check bool) "disarm undoes arm" false (Canary.armed (Canary.disarm armed));
+  Alcotest.(check bool) "plain netlist is not armed" false (Canary.armed alu8);
+  Alcotest.check_raises "arm without canaries"
+    (Invalid_argument "Canary.arm: netlist has no canaries") (fun () -> ignore (Canary.arm alu8));
+  (* the armed netlist still passes the full gate *)
+  match Canary.verify ~original:alu8 armed with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("verify rejected the armed netlist: " ^ e)
+
+(* A mutated comparator (XOR -> XNOR) makes the disarmed canary trip
+   spontaneously; the verification gate must catch it. *)
+let test_mutated_comparator_caught () =
+  let monitored, _ = Canary.insert alu8 alu_paths in
+  let cmp = Netlist.find_cell monitored "_cn0_cmp" in
+  let b = B.of_netlist monitored in
+  B.set_kind b ~cell_id:cmp.Netlist.id Cell.Kind.Xnor2;
+  let broken = B.finish b in
+  match Canary.verify ~original:alu8 broken with
+  | Ok () -> Alcotest.fail "verify accepted a mutated comparator"
+  | Error _ -> ()
+
+(* A comparator stuck at 0 can never trip; the armed-trip cover catches it.
+   Stuck-0 is modeled as cmp = Xor(fresh, fresh): rewire the comparator's
+   aged pin onto its fresh pin. *)
+let test_stuck_comparator_caught () =
+  let single, _ = Canary.insert alu8 [ List.hd alu_paths ] in
+  let cmp = Netlist.find_cell single "_cn0_cmp" in
+  let b = B.of_netlist single in
+  B.rewire_input b ~cell_id:cmp.Netlist.id ~pin:1 cmp.Netlist.inputs.(0);
+  let stuck0 = B.finish b in
+  match Canary.verify ~original:alu8 stuck0 with
+  | Ok () -> Alcotest.fail "verify accepted a stuck-at-0 comparator"
+  | Error _ -> ()
+
+(* Behavioural check on the real simulator: disarmed canaries never trip;
+   armed ones trip as soon as the monitored launch register toggles. *)
+let test_trip_simulation () =
+  let monitored, _ = Canary.insert alu8 alu_paths in
+  let drive s k =
+    Sim.set_input s Alu.op_port (Bitvec.create ~width:4 (Alu.op_code Alu.Add));
+    Sim.set_input s Alu.a_port (Bitvec.create ~width:8 (if k mod 2 = 0 then 0x00 else 0xFF));
+    Sim.set_input s Alu.b_port (Bitvec.create ~width:8 (k * 37 land 0xFF));
+    Sim.step s
+  in
+  let run nl cycles =
+    let s = Sim.create nl in
+    Sim.reset s;
+    let tripped = ref 0 in
+    for k = 0 to cycles - 1 do
+      drive s k;
+      tripped := max !tripped (Bitvec.to_int (Sim.output s Canary.trip_port))
+    done;
+    !tripped
+  in
+  Alcotest.(check int) "disarmed never trips" 0 (run monitored 50);
+  Alcotest.(check bool) "armed trips under a toggling workload" true
+    (run (Canary.arm monitored) 50 > 0)
+
+(* QCheck: insertion on a random design x a random monitored path always
+   lints clean and is CEC-inert w.r.t. the original outputs. *)
+let comb_kinds =
+  [|
+    Cell.Kind.Tie0;
+    Cell.Kind.Tie1;
+    Cell.Kind.Buf;
+    Cell.Kind.Not;
+    Cell.Kind.And2;
+    Cell.Kind.Or2;
+    Cell.Kind.Xor2;
+    Cell.Kind.Nand2;
+    Cell.Kind.Nor2;
+    Cell.Kind.Xnor2;
+    Cell.Kind.Mux2;
+  |]
+
+let build_random_netlist rng =
+  let b = B.create "rand" in
+  let pool = ref [] in
+  let n_ports = 1 + Random.State.int rng 3 in
+  for i = 0 to n_ports - 1 do
+    let w = 1 + Random.State.int rng 4 in
+    pool := Array.to_list (B.add_input b (Printf.sprintf "in%d" i) w) @ !pool
+  done;
+  let pick () =
+    let a = Array.of_list !pool in
+    a.(Random.State.int rng (Array.length a))
+  in
+  let n_cells = 5 + Random.State.int rng 36 in
+  for _ = 1 to n_cells do
+    let out =
+      if Random.State.int rng 3 = 0 then
+        B.add_cell ~clock_domain:0 ~reset_value:(Random.State.bool rng) b Cell.Kind.Dff
+          [| pick () |]
+      else begin
+        let k = comb_kinds.(Random.State.int rng (Array.length comb_kinds)) in
+        B.add_cell b k (Array.init (Cell.Kind.arity k) (fun _ -> pick ()))
+      end
+    in
+    pool := out :: !pool
+  done;
+  let n_out = 1 + Random.State.int rng 2 in
+  for i = 0 to n_out - 1 do
+    let w = 1 + Random.State.int rng 3 in
+    B.add_output b (Printf.sprintf "out%d" i) (Array.init w (fun _ -> pick ()))
+  done;
+  B.finish b
+
+let prop_insert_inert =
+  QCheck.Test.make ~count:60 ~name:"canary insertion lints clean and is CEC-inert"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xca9a |] in
+      let nl = build_random_netlist rng in
+      (* every register-launched path violates at a 1 ps clock; pick a few *)
+      let paths =
+        Canary.plan ~count:(1 + Random.State.int rng 3) nl ~timing:fresh ~clock_period_ps:1.0
+      in
+      match paths with
+      | [] -> true (* no register-to-register path in this design *)
+      | paths ->
+        let monitored, canaries = Canary.insert nl paths in
+        List.length canaries = List.length paths
+        && Check.errors (Check.lint_netlist monitored) = []
+        && (match Cec.check ~free_inputs:true nl monitored with
+           | Cec.Equivalent -> true
+           | _ -> false)
+        &&
+        (* arming must not disturb the original outputs either *)
+        (match Cec.check ~free_inputs:true nl (Canary.arm monitored) with
+        | Cec.Equivalent -> true
+        | _ -> false))
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "canary",
+        [
+          Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "insert + verify" `Quick test_insert_and_verify;
+          Alcotest.test_case "arm roundtrip" `Quick test_arm_roundtrip;
+          Alcotest.test_case "mutated comparator caught" `Quick test_mutated_comparator_caught;
+          Alcotest.test_case "stuck comparator caught" `Quick test_stuck_comparator_caught;
+          Alcotest.test_case "trip simulation" `Quick test_trip_simulation;
+          QCheck_alcotest.to_alcotest prop_insert_inert;
+        ] );
+    ]

@@ -7,6 +7,9 @@
      bench/main.exe quick      reduced configuration
      bench/main.exe micro      micro-benchmarks only
      bench/main.exe ablations  ablation studies only
+     bench/main.exe analyze    static Spbound triage: prune rate and pair-sweep
+                               speedup on alu8/fpu16, written to
+                               BENCH_analyze.json
      bench/main.exe check      CEC vs random-vector validation timing
      bench/main.exe resilience supervisor smoke: formal vs fallback cost,
                                budget-sliced ALU8 lifting with the ladder
@@ -741,6 +744,95 @@ let run_attack_bench () =
   close_out oc;
   Printf.printf "attack campaign: %.0f ms; results written to BENCH_attack.json\n" ms
 
+(* Static-triage benchmark: how much of the phase-1 pair sweep does the
+   Spbound analysis prune, and what does the pruned sweep cost?  The pair
+   sweep runs [reps] times per corner so the wall-clock ratio is stable;
+   verdict equality (pruned sweep = unpruned sweep, element for element)
+   is asserted and recorded. *)
+let run_analyze_bench () =
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let tree = Clock_tree.two_domain_gated ~sp_gated:0.05 () in
+  let measure name nl ~reps =
+    let fresh = Sta.fresh_timing ~clock_tree:tree c28 in
+    let probe = Sta.analyze ~timing:fresh ~clock_period_ps:1e9 nl in
+    let crit =
+      List.fold_left
+        (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+        0.0 probe.Sta.endpoint_slacks
+    in
+    let clock_period_ps = crit *. 1.005 in
+    let sb, spbound_ms = timed (fun () -> Spbound.analyze nl) in
+    let pvs, classify_ms =
+      timed (fun () -> Spbound.classify ~clock_tree:tree ~aglib ~years:10.0 ~clock_period_ps sb)
+    in
+    let safe_set = Hashtbl.create 256 in
+    List.iter
+      (fun (pv : Spbound.pair_verdict) ->
+        if pv.Spbound.pv_verdict = Spbound.Safe then
+          Hashtbl.replace safe_set (pv.Spbound.pv_start, pv.Spbound.pv_end, pv.Spbound.pv_check) ())
+      pvs;
+    let aged =
+      Sta.aged_timing ~clock_tree:tree ~sp_of_net:(fun _ -> 0.3) ~years:10.0 aglib
+    in
+    let sweep ?skip () =
+      let r = ref [] in
+      for _ = 1 to reps do
+        r := Sta.violating_pairs ?skip ~timing:aged ~clock_period_ps nl
+      done;
+      !r
+    in
+    let unpruned, unpruned_ms = timed (fun () -> sweep ()) in
+    let pruned, pruned_ms =
+      timed (fun () -> sweep ~skip:(fun s e c -> Hashtbl.mem safe_set (s, e, c)) ())
+    in
+    let equal = pruned = unpruned in
+    let safe, critical, unknown = Spbound.verdict_counts pvs in
+    let total = safe + critical + unknown in
+    let prune_rate = float_of_int safe /. float_of_int (max total 1) in
+    Printf.printf
+      "%-6s pairs %4d: %4d safe / %3d critical / %3d unknown (%.1f%% pruned)\n" name total safe
+      critical unknown (100.0 *. prune_rate);
+    Printf.printf
+      "       spbound %.1f ms, classify %.1f ms; sweep x%d: %.1f ms -> %.1f ms (%.2fx), \
+       verdicts %s\n"
+      spbound_ms classify_ms reps unpruned_ms pruned_ms
+      (unpruned_ms /. Float.max pruned_ms 1e-6)
+      (if equal then "identical" else "DIFFER");
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("pairs", Json.Int total);
+        ("safe", Json.Int safe);
+        ("critical", Json.Int critical);
+        ("unknown", Json.Int unknown);
+        ("prune_rate", Json.Float prune_rate);
+        ("spbound_ms", Json.Float spbound_ms);
+        ("classify_ms", Json.Float classify_ms);
+        ("sweep_reps", Json.Int reps);
+        ("sweep_unpruned_ms", Json.Float unpruned_ms);
+        ("sweep_pruned_ms", Json.Float pruned_ms);
+        ("speedup", Json.Float (unpruned_ms /. Float.max pruned_ms 1e-6));
+        ("violating", Json.Int (List.length unpruned));
+        ("verdicts_equal", Json.Bool equal);
+      ]
+  in
+  print_endline "== static triage (Spbound) prune rate and sweep speedup ==";
+  let row_alu = measure "alu8" alu8.Lift.netlist ~reps:40 in
+  let row_fpu = measure "fpu16" fpu16_netlist ~reps:10 in
+  let rows = [ row_alu; row_fpu ] in
+  let json =
+    Json.Obj [ ("schema", Json.String "vega-bench-analyze/1"); ("netlists", Json.List rows) ]
+  in
+  let oc = open_out "BENCH_analyze.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "static triage results written to BENCH_analyze.json"
+
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let config =
@@ -754,6 +846,7 @@ let () =
     run_micro ();
     run_ablations ()
   | "guard" -> print_guard_campaign (Array.exists (String.equal "quick") Sys.argv)
+  | "analyze" -> run_analyze_bench ()
   | "attack" -> run_attack_bench ()
   | "check" -> run_check_bench ()
   | "resilience" -> run_resilience_bench ()
@@ -780,6 +873,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown argument %S (expected \
-       all|quick|micro|ablations|guard|attack|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+       all|quick|micro|ablations|analyze|guard|attack|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

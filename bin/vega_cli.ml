@@ -1,9 +1,10 @@
 (* The vega command-line tool.
 
      vega analyze  --unit alu|fpu [--width N] [--margin M] [--years Y]
+                   [--static | --static-prune]
      vega lift     --unit alu|fpu [--mitigation] [--asm] [--out FILE] [--seed N]
                    [--slice N] [--budget N] [--no-fallback]
-                   [--engine scalar|sim64|simc]
+                   [--engine scalar|sim64|simc] [--static-prune]
                    [--checkpoint DIR] [--resume]
      vega run      --unit alu|fpu [--inject START:END:KIND:C] [--random-order SEED]
      vega emit-c   --unit alu|fpu
@@ -196,11 +197,61 @@ let workflow unit_kind width margin mitigation =
 
 (* ---------- analyze ---------- *)
 
+let static_arg =
+  Arg.(
+    value & flag
+    & info [ "static" ]
+        ~doc:
+          "Print only the static Spbound triage report (SP/duty intervals and Safe / Critical \
+           / Unknown pair verdicts): no simulation runs, so the output is deterministic and \
+           golden-diffable.")
+
+let static_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "static-prune" ]
+        ~doc:
+          "Triage register pairs with the static Spbound analysis first and skip \
+           statically-Safe pairs in the phase-1 sweep; verdicts are identical, Critical pairs \
+           are front-loaded in phase 2.")
+
+(* The deterministic Spbound report: clock period from the fresh critical
+   path exactly as phase 1 derives it, then the static triage at the same
+   aging corner phase 1 uses. *)
+let static_report target (config : Vega.phase1_config) =
+  let nl = target.Lift.netlist in
+  let fresh_timing =
+    Sta.fresh_timing ~derate:config.Vega.derate ~clock_tree:config.Vega.clock_tree
+      Cell.Library.c28
+  in
+  let fresh_probe = Sta.analyze ~timing:fresh_timing ~clock_period_ps:1e9 nl in
+  let crit =
+    List.fold_left
+      (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+      0.0 fresh_probe.Sta.endpoint_slacks
+  in
+  let clock_period_ps = crit *. config.Vega.clock_margin in
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  let sb = Spbound.analyze nl in
+  let pvs =
+    Spbound.classify ~derate:config.Vega.derate ~clock_tree:config.Vega.clock_tree ~aglib
+      ~years:config.Vega.years ~clock_period_ps sb
+  in
+  (sb, pvs, clock_period_ps)
+
 let analyze_cmd =
-  let run tele unit_kind width margin years =
+  let run tele unit_kind width margin years static static_prune =
     with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let config = { (phase1_of margin) with Vega.years } in
+    if static then begin
+      let sb, pvs, clock_period_ps = static_report target config in
+      Printf.printf "clock period %.0f ps (fresh critical path x margin %.3f)\n" clock_period_ps
+        margin;
+      print_string (Spbound.render sb pvs);
+      0
+    end
+    else
     (* workload characterization + area/power from the same profiled run *)
     let m = Vega.machine_for ~profile_units:true target in
     Vega.run_minver_workload m;
@@ -219,9 +270,17 @@ let analyze_cmd =
     in
     if Sim.samples unit_sim > 1 then
       print_string (Power.render (Power.analyze Cell.Library.c28 unit_sim ~clock_mhz:200.0));
-    let a = Vega.aging_analysis ~config target ~workload:Vega.run_minver_workload in
+    let a =
+      Vega.aging_analysis ~config ~static_prune target ~workload:Vega.run_minver_workload
+    in
     Printf.printf "netlist: %d cells, clock period %.0f ps (margin %.3f)\n"
       (Netlist.num_cells target.Lift.netlist) a.Vega.clock_period_ps margin;
+    (match a.Vega.static_verdicts with
+    | None -> ()
+    | Some pvs ->
+      let safe, critical, unknown = Spbound.verdict_counts pvs in
+      Printf.printf "static triage: %d safe (skipped) / %d critical / %d unknown pairs\n" safe
+        critical unknown);
     Printf.printf "fresh:  setup WNS %.1f ps, hold WNS %.1f ps (violations: %d setup, %d hold)\n"
       a.Vega.fresh_report.Sta.wns_setup_ps a.Vega.fresh_report.Sta.wns_hold_ps
       (List.length a.Vega.fresh_report.Sta.setup_violations)
@@ -239,8 +298,17 @@ let analyze_cmd =
       a.Vega.violating_pairs;
     0
   in
-  let term = Term.(const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ years_arg) in
-  Cmd.v (Cmd.info "analyze" ~doc:"Phase 1: aging-aware timing analysis of a functional unit.") term
+  let term =
+    Term.(
+      const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ years_arg $ static_arg
+      $ static_prune_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Phase 1: aging-aware timing analysis of a functional unit, optionally pruned (or \
+          replaced entirely, with $(b,--static)) by the sound static Spbound triage.")
+    term
 
 (* ---------- lift ---------- *)
 
@@ -291,7 +359,7 @@ let lift_cmd =
           ~doc:"Disable the random-search fallback for formally-FF pairs.")
   in
   let run tele unit_kind width margin mitigation asm out seed slice budget no_fallback engine
-      checkpoint resume =
+      static_prune checkpoint resume =
     with_telemetry tele @@ fun () ->
     let target = target_of (unit_kind, width) in
     let config =
@@ -303,8 +371,17 @@ let lift_cmd =
       }
     in
     let analysis =
-      Vega.aging_analysis ~config:(phase1_of margin) target ~workload:Vega.run_minver_workload
+      Vega.aging_analysis ~config:(phase1_of margin) ~static_prune target
+        ~workload:Vega.run_minver_workload
     in
+    (* triage summary goes to stderr: stdout stays byte-comparable with an
+       unpruned run (same pairs, same verdicts) *)
+    (match analysis.Vega.static_verdicts with
+    | None -> ()
+    | Some pvs ->
+      let safe, critical, unknown = Spbound.verdict_counts pvs in
+      Printf.eprintf "[vega] static triage: %d safe (skipped) / %d critical / %d unknown\n%!"
+        safe critical unknown);
     let items = Vega.lifting_items analysis in
     let sup0 = Resilience.default_supervisor ~pairs:(List.length items) config in
     let sup =
@@ -337,6 +414,7 @@ let lift_cmd =
               string_of_int seed;
               string_of_bool (not no_fallback);
               Lift.engine_name engine;
+              string_of_bool static_prune;
             ]
         in
         Result.map Option.some (Resilience.Checkpoint.open_dir ~resume ~dir ~digest ())
@@ -378,7 +456,7 @@ let lift_cmd =
     Term.(
       const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ mitigation_arg $ asm_arg
       $ out_arg $ seed_arg $ slice_arg $ budget_arg $ no_fallback_arg $ engine_arg
-      $ checkpoint_arg $ resume_arg)
+      $ static_prune_arg $ checkpoint_arg $ resume_arg)
   in
   Cmd.v
     (Cmd.info "lift"

@@ -21,6 +21,8 @@ type code =
   | Dangling_net
   | Duplicate_name
   | Empty_port
+  | Const_dff
+  | Unread_input
 
 let code_id = function
   | Multi_driver -> "NL001"
@@ -33,12 +35,14 @@ let code_id = function
   | Dangling_net -> "NL008"
   | Duplicate_name -> "NL009"
   | Empty_port -> "NL010"
+  | Const_dff -> "NL011"
+  | Unread_input -> "NL012"
 
 let severity_of = function
   | Multi_driver | Floating_input | Undriven_output | Comb_cycle | Arity_mismatch | Bad_net
   | Duplicate_name ->
     Error
-  | Dead_gate | Dangling_net | Empty_port -> Warning
+  | Dead_gate | Dangling_net | Empty_port | Const_dff | Unread_input -> Warning
 
 type diagnostic = { code : code; loc : string; message : string }
 
@@ -287,6 +291,75 @@ let lint (r : R.t) =
           (Printf.sprintf "net %d" n)
           (Printf.sprintf "net %d (output of %s) has no reader and is not exported" n c.R.rc_name))
     r.r_cells;
+  (* NL012: input-port bits that fan out to nothing. *)
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iteri
+        (fun bit n ->
+          if valid n && cell_readers_of_net.(n) = [] && not on_output.(n) then
+            emit Unread_input
+              (Printf.sprintf "%s[%d]" p.R.rp_name bit)
+              (Printf.sprintf "input bit %s[%d] (net %d) fans out to nothing" p.R.rp_name bit n))
+        p.R.rp_nets)
+    r.r_inputs;
+  (* NL011: registers whose D input is statically constant.  A raw-safe
+     monotone constant propagation: only nets with exactly one cell driver
+     and no input-port driver participate; Tie cells seed the lattice,
+     combinational cells evaluate once every input is known, and a
+     register forwards its D constant only when it matches the reset value
+     (otherwise Q differs on the first cycle). *)
+  let input_driven = Array.make (max r.r_num_nets 1) false in
+  List.iter
+    (fun (p : R.rport) ->
+      Array.iter (fun n -> if valid n then input_driven.(n) <- true) p.R.rp_nets)
+    r.r_inputs;
+  let konst : bool option array = Array.make (max r.r_num_nets 1) None in
+  let arity_ok (c : R.rcell) = Array.length c.R.rc_inputs = K.arity c.R.rc_kind in
+  let sole_driver id (c : R.rcell) =
+    valid c.R.rc_output
+    && (not input_driven.(c.R.rc_output))
+    && cell_drivers_of_net.(c.R.rc_output) = [ id ]
+  in
+  let k_changed = ref true in
+  while !k_changed do
+    k_changed := false;
+    Array.iteri
+      (fun id (c : R.rcell) ->
+        if sole_driver id c && arity_ok c && konst.(c.R.rc_output) = None then begin
+          let value =
+            match c.R.rc_kind with
+            | K.Tie0 -> Some false
+            | K.Tie1 -> Some true
+            | K.Dff ->
+              let d = c.R.rc_inputs.(0) in
+              if valid d && konst.(d) = Some c.R.rc_reset_value then Some c.R.rc_reset_value
+              else None
+            | kind ->
+              let ins = c.R.rc_inputs in
+              if Array.for_all (fun n -> valid n && konst.(n) <> None) ins then
+                Some (K.eval kind (Array.map (fun n -> konst.(n) = Some true) ins))
+              else None
+          in
+          match value with
+          | Some v ->
+            konst.(c.R.rc_output) <- Some v;
+            k_changed := true
+          | None -> ()
+        end)
+      r.r_cells
+  done;
+  Array.iter
+    (fun (c : R.rcell) ->
+      if c.R.rc_kind = K.Dff && arity_ok c then begin
+        let d = c.R.rc_inputs.(0) in
+        match if valid d then konst.(d) else None with
+        | Some v ->
+          emit Const_dff c.R.rc_name
+            (Printf.sprintf "register %s D input is the constant %d" c.R.rc_name
+               (if v then 1 else 0))
+        | None -> ()
+      end)
+    r.r_cells;
   List.sort
     (fun a b ->
       match compare (code_id a.code) (code_id b.code) with
@@ -374,6 +447,15 @@ let selftest_designs =
       design "empty_port" ~nets:1 ~cells:[]
         ~ins:[ rp "a" [ 0 ]; rp "b" [] ]
         ~outs:[ rp "y" [ 0 ] ] );
+    ( Const_dff,
+      design "constant_dff" ~nets:2
+        ~cells:[ rc ~kind:K.Tie1 "t" [] 0; rc ~kind:K.Dff "r" [ 0 ] 1 ]
+        ~ins:[] ~outs:[ rp "y" [ 1 ] ] );
+    ( Unread_input,
+      design "unread_input" ~nets:3
+        ~cells:[ rc "g" [ 0 ] 2 ]
+        ~ins:[ rp "a" [ 0 ]; rp "b" [ 1 ] ]
+        ~outs:[ rp "y" [ 2 ] ] );
   ]
 
 (* ---- seeded mutations ------------------------------------------------- *)

@@ -28,6 +28,18 @@ type code =
   | Dangling_net  (** [NL008] a driven net with no reader and no port *)
   | Duplicate_name  (** [NL009] two cells or two ports share a name *)
   | Empty_port  (** [NL010] a zero-width port *)
+  | Const_dff
+      (** [NL011] a register whose D input is statically constant — the
+          flop can never change value after the first cycle, so it burns a
+          sequential cell (and a maximally BTI-stressed one: constant
+          inputs are exactly the [sp] extremes {!Spbound} flags) for what a
+          tie would express.  Derivable from {!Spbound} singleton
+          intervals; the linter reproves it with a raw-safe constant
+          propagation so broken designs still lint. *)
+  | Unread_input
+      (** [NL012] an input-port bit whose net reaches no cell and no
+          output port — dead boundary logic upstream, or a port-width
+          mismatch introduced by a transform. *)
 
 val code_id : code -> string
 (** The stable diagnostic code, ["NL001"]... *)

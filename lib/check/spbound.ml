@@ -1,0 +1,424 @@
+(* Static signal-probability bounds by abstract interpretation.
+
+   Soundness rests on three facts.  (1) Frechet bounds are valid for any
+   joint distribution with the given marginals, so they survive arbitrary
+   correlation from reconvergent fanout.  (2) When two nets depend on
+   disjoint sets of primary-input bits they are independent processes
+   (input bits are modeled as independent sources), and the exact
+   independent-inputs probability of a gate is multilinear in its input
+   probabilities, hence extremal at the corners of the interval box.
+   (3) A register's output distribution at any cycle is either the reset
+   value or some earlier cycle's D distribution, so the accumulate-join
+   fixpoint interval contains the SP of every cycle, and therefore any
+   average over cycles. *)
+
+module K = Cell.Kind
+module IntSet = Set.Make (Int)
+
+type interval = { lo : float; hi : float }
+
+let top = { lo = 0.0; hi = 1.0 }
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let point p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Spbound.point: %g outside [0, 1]" p);
+  { lo = p; hi = p }
+
+let make lo hi =
+  let lo = clamp01 lo and hi = clamp01 hi in
+  if lo > hi then invalid_arg (Printf.sprintf "Spbound.make: lo %g > hi %g" lo hi);
+  { lo; hi }
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+(* Intersect a sound box with a (mathematically contained) tightening;
+   fall back to the coarse box if rounding ever makes the meet empty. *)
+let meet_sound coarse tight =
+  let lo = Float.max coarse.lo tight.lo and hi = Float.min coarse.hi tight.hi in
+  if lo <= hi then { lo; hi } else coarse
+
+let norm iv = { lo = clamp01 iv.lo; hi = clamp01 (Float.max iv.lo iv.hi) }
+
+(* ---------- transfer functions ---------- *)
+
+(* Frechet bounds: sharp bounds on P(f(inputs) = 1) given only the input
+   marginals, valid under arbitrary correlation. *)
+let frechet kind (ivs : interval array) =
+  let v =
+    match (kind, ivs) with
+    | K.Tie0, _ -> { lo = 0.0; hi = 0.0 }
+    | K.Tie1, _ -> { lo = 1.0; hi = 1.0 }
+    | K.Buf, [| a |] -> a
+    | K.Not, [| a |] -> { lo = 1.0 -. a.hi; hi = 1.0 -. a.lo }
+    | K.And2, [| a; b |] -> { lo = a.lo +. b.lo -. 1.0; hi = Float.min a.hi b.hi }
+    | K.Nand2, [| a; b |] ->
+      { lo = 1.0 -. Float.min a.hi b.hi; hi = 2.0 -. a.lo -. b.lo }
+    | K.Or2, [| a; b |] -> { lo = Float.max a.lo b.lo; hi = a.hi +. b.hi }
+    | K.Nor2, [| a; b |] ->
+      { lo = 1.0 -. (a.hi +. b.hi); hi = 1.0 -. Float.max a.lo b.lo }
+    | K.Xor2, [| a; b |] | K.Xnor2, [| a; b |] ->
+      (* P(a xor b) ranges over [|pa - pb|, min (pa + pb, 2 - pa - pb)]
+         for fixed marginals; extremize over the box. *)
+      let gap = Float.max 0.0 (Float.max (a.lo -. b.hi) (b.lo -. a.hi)) in
+      let s_lo = a.lo +. b.lo and s_hi = a.hi +. b.hi in
+      let hi =
+        if s_lo <= 1.0 && 1.0 <= s_hi then 1.0
+        else if s_hi < 1.0 then s_hi
+        else 2.0 -. s_lo
+      in
+      let x = { lo = gap; hi } in
+      if kind = K.Xor2 then x else { lo = 1.0 -. x.hi; hi = 1.0 -. x.lo }
+    | K.Mux2, [| a; b; s |] ->
+      (* out = if s then b else a: out >= a&b, s&b, !s&a and
+         out <= a|b, s|a, !s|b. *)
+      let lo =
+        Float.max (a.lo +. b.lo -. 1.0) (Float.max (s.lo +. b.lo -. 1.0) (a.lo -. s.hi))
+      in
+      let hi =
+        Float.min (a.hi +. b.hi) (Float.min (s.hi +. a.hi) (1.0 -. s.lo +. b.hi))
+      in
+      { lo; hi }
+    | K.Dff, _ -> invalid_arg "Spbound.frechet: Dff has no combinational transfer"
+    | _ -> invalid_arg (Printf.sprintf "Spbound.frechet: %s arity" (K.to_string kind))
+  in
+  norm v
+
+(* Exact P(out = 1) for independent inputs with probabilities [ps]. *)
+let exact_prob kind ps =
+  let k = Array.length ps in
+  let bits = Array.make k false in
+  let total = ref 0.0 in
+  for m = 0 to (1 lsl k) - 1 do
+    let w = ref 1.0 in
+    for i = 0 to k - 1 do
+      let b = m land (1 lsl i) <> 0 in
+      bits.(i) <- b;
+      w := !w *. (if b then ps.(i) else 1.0 -. ps.(i))
+    done;
+    if K.eval kind bits then total := !total +. !w
+  done;
+  !total
+
+(* The independent-inputs probability is multilinear in each input
+   probability, so its extrema over the box sit at corners. *)
+let independent_box kind (ivs : interval array) =
+  let k = Array.length ivs in
+  let ps = Array.make k 0.0 in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for m = 0 to (1 lsl k) - 1 do
+    for i = 0 to k - 1 do
+      ps.(i) <- (if m land (1 lsl i) <> 0 then ivs.(i).hi else ivs.(i).lo)
+    done;
+    let p = exact_prob kind ps in
+    if p < !lo then lo := p;
+    if p > !hi then hi := p
+  done;
+  norm { lo = !lo; hi = !hi }
+
+(* ---------- analysis ---------- *)
+
+type config = { widen_after : int; support_window : int }
+
+let default_config = { widen_after = 8; support_window = 16 }
+
+type t = {
+  sb_netlist : Netlist.t;
+  sb_config : config;
+  sb_iv : interval array;  (** by net *)
+  sb_iterations : int;
+  sb_widened : int;
+}
+
+let netlist t = t.sb_netlist
+let config t = t.sb_config
+let iterations t = t.sb_iterations
+let widened t = t.sb_widened
+
+let sp t net =
+  if net < 0 || net >= Array.length t.sb_iv then
+    invalid_arg (Printf.sprintf "Spbound.sp: net %d out of range" net);
+  t.sb_iv.(net)
+
+(* Support sets: which primary-input bits a net (transitively, through
+   registers) depends on.  [None] means "saturated": the support exceeded
+   the window and the net is treated as possibly correlated with
+   everything.  Supports only grow, so the fixpoint terminates. *)
+let compute_supports nl config =
+  let n = Netlist.num_nets nl in
+  let cells = Netlist.cells nl in
+  let topo = Netlist.topo_order nl in
+  let dffs = Netlist.dffs nl in
+  let supp : IntSet.t option array = Array.make n (Some IntSet.empty) in
+  List.iter
+    (fun (p : Netlist.port) ->
+      Array.iter (fun net -> supp.(net) <- Some (IntSet.singleton net)) p.port_nets)
+    (Netlist.inputs nl);
+  let union_of inputs =
+    Array.fold_left
+      (fun acc inp ->
+        match (acc, supp.(inp)) with
+        | None, _ | _, None -> None
+        | Some s, Some t ->
+          let u = IntSet.union s t in
+          if IntSet.cardinal u > config.support_window then None else Some u)
+      (Some IntSet.empty) inputs
+  in
+  let equal_supp a b =
+    match (a, b) with
+    | None, None -> true
+    | Some s, Some t -> IntSet.equal s t
+    | _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let update out s =
+      if not (equal_supp s supp.(out)) then begin
+        supp.(out) <- s;
+        changed := true
+      end
+    in
+    Array.iter
+      (fun cid ->
+        let c = cells.(cid) in
+        update c.Netlist.output (union_of c.Netlist.inputs))
+      topo;
+    List.iter
+      (fun cid ->
+        let c = cells.(cid) in
+        update c.Netlist.output supp.(c.Netlist.inputs.(0)))
+      dffs
+  done;
+  supp
+
+let pairwise_disjoint supp (inputs : int array) =
+  let k = Array.length inputs in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    match supp.(inputs.(i)) with
+    | None -> ok := false
+    | Some si ->
+      for j = i + 1 to k - 1 do
+        match supp.(inputs.(j)) with
+        | None -> ok := false
+        | Some sj -> if not (IntSet.disjoint si sj) then ok := false
+      done
+  done;
+  !ok
+
+let analyze ?(config = default_config) ?(assume = fun _ _ -> top) nl =
+  if config.widen_after < 1 then invalid_arg "Spbound.analyze: widen_after < 1";
+  if config.support_window < 1 then invalid_arg "Spbound.analyze: support_window < 1";
+  let n = Netlist.num_nets nl in
+  let cells = Netlist.cells nl in
+  let topo = Netlist.topo_order nl in
+  let dffs = Netlist.dffs nl in
+  let supp = compute_supports nl config in
+  let iv = Array.make n top in
+  List.iter
+    (fun (p : Netlist.port) ->
+      Array.iteri
+        (fun bit net ->
+          let a = assume p.Netlist.port_name bit in
+          if not (a.lo <= a.hi && 0.0 <= a.lo && a.hi <= 1.0) then
+            invalid_arg
+              (Printf.sprintf "Spbound.analyze: assumption [%g, %g] for %s[%d] invalid" a.lo
+                 a.hi p.Netlist.port_name bit);
+          iv.(net) <- a)
+        p.Netlist.port_nets)
+    (Netlist.inputs nl);
+  let recompute_comb () =
+    Array.iter
+      (fun cid ->
+        let c = cells.(cid) in
+        let ivs = Array.map (fun i -> iv.(i)) c.Netlist.inputs in
+        let coarse = frechet c.Netlist.kind ivs in
+        let out =
+          if Array.length c.Netlist.inputs >= 2 && pairwise_disjoint supp c.Netlist.inputs
+          then meet_sound coarse (independent_box c.Netlist.kind ivs)
+          else coarse
+        in
+        iv.(c.Netlist.output) <- out)
+      topo
+  in
+  List.iter
+    (fun cid ->
+      let c = cells.(cid) in
+      iv.(c.Netlist.output) <- point (if c.Netlist.reset_value then 1.0 else 0.0))
+    dffs;
+  recompute_comb ();
+  let iterations = ref 0 in
+  let widened = ref 0 in
+  let since_widen = ref 0 in
+  let continue_ = ref (dffs <> []) in
+  while !continue_ do
+    incr iterations;
+    incr since_widen;
+    let changed = ref [] in
+    List.iter
+      (fun cid ->
+        let c = cells.(cid) in
+        let q = iv.(c.Netlist.output) in
+        let q' = join q iv.(c.Netlist.inputs.(0)) in
+        if q'.lo <> q.lo || q'.hi <> q.hi then begin
+          iv.(c.Netlist.output) <- q';
+          changed := cid :: !changed
+        end)
+      dffs;
+    if !changed = [] then continue_ := false
+    else begin
+      (* Widening: registers still drifting after [widen_after] straight
+         unstable iterations jump to [0, 1] and never move again, which
+         bounds the loop by widen_after * (#dffs + 1) iterations. *)
+      if !since_widen >= config.widen_after then begin
+        List.iter
+          (fun cid ->
+            let c = cells.(cid) in
+            if iv.(c.Netlist.output) <> top then begin
+              iv.(c.Netlist.output) <- top;
+              incr widened
+            end)
+          !changed;
+        since_widen := 0
+      end;
+      recompute_comb ()
+    end
+  done;
+  {
+    sb_netlist = nl;
+    sb_config = config;
+    sb_iv = iv;
+    sb_iterations = !iterations;
+    sb_widened = !widened;
+  }
+
+(* ---------- derived aging quantities ---------- *)
+
+(* duty_of_sp and delta_vth_of_sp are decreasing in sp, so the cell's
+   worst (largest) duty and threshold shift sit at the SP lower bound. *)
+let duty_interval acfg t (cell : Netlist.cell) =
+  let s = sp t cell.Netlist.output in
+  { lo = Aging.duty_of_sp acfg s.hi; hi = Aging.duty_of_sp acfg s.lo }
+
+let dvth_interval acfg t ~years (cell : Netlist.cell) =
+  let s = sp t cell.Netlist.output in
+  { lo = Aging.delta_vth_of_sp acfg ~sp:s.hi ~years;
+    hi = Aging.delta_vth_of_sp acfg ~sp:s.lo ~years }
+
+(* ---------- pair triage ---------- *)
+
+type verdict = Safe | Critical | Unknown
+
+let verdict_name = function Safe -> "safe" | Critical -> "critical" | Unknown -> "unknown"
+
+type pair_verdict = {
+  pv_start : Sta.startpoint;
+  pv_end : Sta.endpoint;
+  pv_check : Sta.check;
+  pv_verdict : verdict;
+  pv_slack_lo : float;
+  pv_slack_hi : float;
+}
+
+let classify ?derate ?clock_tree ~aglib ~years ~clock_period_ps t =
+  let nl = t.sb_netlist in
+  (* factor is decreasing in sp: pinning every net at its SP lower bound
+     maximizes every cell delay simultaneously (and hi minimizes), so the
+     two corner runs bracket the aged slack of every pair. *)
+  let pess =
+    Sta.aged_timing ?derate ?clock_tree ~sp_of_net:(fun net -> t.sb_iv.(net).lo) ~years aglib
+  in
+  let opt =
+    Sta.aged_timing ?derate ?clock_tree ~sp_of_net:(fun net -> t.sb_iv.(net).hi) ~years aglib
+  in
+  let worst = Sta.endpoint_pairs ~timing:pess ~clock_period_ps nl in
+  let best = Sta.endpoint_pairs ~timing:opt ~clock_period_ps nl in
+  List.map2
+    (fun (s, e, c, slack_lo) (s', e', c', slack_hi) ->
+      if not (s = s' && e = e' && c = c') then
+        invalid_arg "Spbound.classify: corner enumerations disagree";
+      let v =
+        if slack_lo >= 0.0 then Safe else if slack_hi < 0.0 then Critical else Unknown
+      in
+      {
+        pv_start = s;
+        pv_end = e;
+        pv_check = c;
+        pv_verdict = v;
+        pv_slack_lo = slack_lo;
+        pv_slack_hi = slack_hi;
+      })
+    worst best
+
+let verdict_counts pvs =
+  List.fold_left
+    (fun (s, c, u) pv ->
+      match pv.pv_verdict with
+      | Safe -> (s + 1, c, u)
+      | Critical -> (s, c + 1, u)
+      | Unknown -> (s, c, u + 1))
+    (0, 0, 0) pvs
+
+(* ---------- report ---------- *)
+
+let render ?(limit = 16) t pvs =
+  let nl = t.sb_netlist in
+  let buf = Buffer.create 4096 in
+  let cells = Netlist.cells nl in
+  let safe, critical, unknown = verdict_counts pvs in
+  let total = safe + critical + unknown in
+  Buffer.add_string buf (Printf.sprintf "spbound report for %s\n" (Netlist.name nl));
+  Buffer.add_string buf
+    (Printf.sprintf "  nets %d, cells %d, dffs %d, pairs %d\n" (Netlist.num_nets nl)
+       (Array.length cells)
+       (List.length (Netlist.dffs nl))
+       total);
+  Buffer.add_string buf
+    (Printf.sprintf "  fixpoint: %d iteration(s), %d register(s) widened\n" t.sb_iterations
+       t.sb_widened);
+  let prunable = if total = 0 then 0.0 else 100.0 *. float_of_int safe /. float_of_int total in
+  Buffer.add_string buf
+    (Printf.sprintf "  verdicts: %d safe / %d critical / %d unknown (%.1f%% prunable)\n" safe
+       critical unknown prunable);
+  let flagged =
+    List.filter (fun pv -> pv.pv_verdict <> Safe) pvs
+    |> List.sort (fun a b ->
+           match Float.compare a.pv_slack_lo b.pv_slack_lo with
+           | 0 -> compare (a.pv_start, a.pv_end, a.pv_check) (b.pv_start, b.pv_end, b.pv_check)
+           | c -> c)
+  in
+  let shown = if List.length flagged > limit then limit else List.length flagged in
+  if flagged = [] then Buffer.add_string buf "  no pair can age into a violation\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  non-safe pairs (worst bound first, showing %d of %d):\n" shown
+         (List.length flagged));
+    List.iteri
+      (fun i pv ->
+        if i < limit then
+          Buffer.add_string buf
+            (Printf.sprintf "    [%-8s] %s -> %s (%s)  slack in [%.1f, %.1f] ps\n"
+               (verdict_name pv.pv_verdict)
+               (Sta.describe_startpoint nl pv.pv_start)
+               (Sta.describe_endpoint nl pv.pv_end)
+               (match pv.pv_check with Sta.Setup -> "setup" | Sta.Hold -> "hold")
+               pv.pv_slack_lo pv.pv_slack_hi))
+      flagged
+  end;
+  Buffer.add_string buf "  cell SP and stress-duty intervals:\n";
+  let acfg = Aging.default_config in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not (K.is_sequential c.Netlist.kind) then begin
+        let s = sp t c.Netlist.output in
+        let d = duty_interval acfg t c in
+        Buffer.add_string buf
+          (Printf.sprintf "    %-18s %-5s sp [%.3f, %.3f]  duty [%.3f, %.3f]\n"
+             c.Netlist.name
+             (K.to_string c.Netlist.kind)
+             s.lo s.hi d.lo d.hi)
+      end)
+    cells;
+  Buffer.contents buf

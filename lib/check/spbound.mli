@@ -1,0 +1,129 @@
+(** Static signal-probability bounds: a sound abstract interpretation of
+    the netlist that brackets every net's signal probability in an
+    interval [[lo, hi]] without running a single simulation cycle.
+
+    The domain is intervals over [[0, 1]].  Primary-input bits start from
+    per-port assumptions (default: the full [[0, 1]], i.e. "any
+    workload"); gate outputs are computed with Frechet bounds, which are
+    sharp under {i arbitrary} correlation between the inputs, so the
+    result is sound no matter how reconvergent fanout entangles the
+    cone.  When a gate's inputs provably depend on disjoint sets of
+    primary-input bits (tracked transitively through a bounded support
+    window), the inputs are independent and the exact product-form
+    probability — multilinear, hence extremal at interval corners — is
+    intersected in to tighten the box.  Flip-flop outputs are solved by a
+    monotone accumulate-join fixpoint (each iteration folds the reset
+    value and the current D interval into Q); registers still unstable
+    after [widen_after] iterations are widened to [[0, 1]], which
+    guarantees termination.
+
+    From the SP interval of a cell's output follow, via the existing
+    {!Aging} corner model, a BTI stress-duty interval, a
+    threshold-shift interval, and — by running aged STA once with every
+    net pinned at its lower SP endpoint (maximum aging) and once at its
+    upper endpoint (minimum aging) — a static bracket on every register
+    pair's aged slack.  {!classify} turns the bracket into the three-way
+    triage verdict the phase-1 sweep consumes: [Safe] pairs can never
+    violate under any admissible workload and are skipped, [Critical]
+    pairs violate under every admissible workload and are front-loaded,
+    [Unknown] pairs are simulated exactly as before. *)
+
+type interval = { lo : float; hi : float }
+(** A closed subinterval of [[0, 1]]; invariant [0 <= lo <= hi <= 1]. *)
+
+val top : interval
+(** The full [[0, 1]] — no information. *)
+
+val point : float -> interval
+(** Singleton interval.  @raise Invalid_argument outside [[0, 1]]. *)
+
+val make : float -> float -> interval
+(** [make lo hi], clamped to [[0, 1]].  @raise Invalid_argument if
+    [lo > hi] after clamping. *)
+
+type config = {
+  widen_after : int;
+      (** fixpoint iterations before still-unstable registers are widened
+          to [[0, 1]] (default 8) *)
+  support_window : int;
+      (** independence tightening tracks up to this many primary-input
+          bits per net; larger supports saturate to "possibly
+          correlated" (default 16) *)
+}
+
+val default_config : config
+
+type t
+(** A completed analysis: per-net SP intervals plus the netlist and
+    configuration they were computed from. *)
+
+val analyze : ?config:config -> ?assume:(string -> int -> interval) -> Netlist.t -> t
+(** Run the abstract interpretation.  [assume port_name bit] narrows the
+    SP of a primary-input bit (default: {!top} everywhere — sound for
+    any workload).  Deterministic: same netlist and assumptions, same
+    result. *)
+
+val netlist : t -> Netlist.t
+val config : t -> config
+val sp : t -> Netlist.net -> interval
+(** SP interval of a net.  Soundness contract (QCheck-enforced): the
+    measured SP of any simulation whose input bits respect the
+    assumptions lies inside this interval. *)
+
+val iterations : t -> int
+(** Sequential fixpoint iterations performed. *)
+
+val widened : t -> int
+(** Number of registers widened to [[0, 1]] to force convergence. *)
+
+val duty_interval : Aging.config -> t -> Netlist.cell -> interval
+(** Stress-duty interval of a cell, from the SP interval of its output
+    net ({!Aging.duty_of_sp} is decreasing, so the endpoints swap). *)
+
+val dvth_interval : Aging.config -> t -> years:float -> Netlist.cell -> interval
+(** Threshold-shift interval (volts) after [years]; {e not} a
+    probability, so only the ordering invariant [lo <= hi] holds. *)
+
+(** Three-way triage verdict for a register pair. *)
+type verdict =
+  | Safe  (** slack >= 0 even at maximum aging: skip in phase 1 *)
+  | Critical  (** slack < 0 even at minimum aging: front-load *)
+  | Unknown  (** the interval straddles zero: simulate as today *)
+
+val verdict_name : verdict -> string
+(** ["safe"], ["critical"], ["unknown"]. *)
+
+type pair_verdict = {
+  pv_start : Sta.startpoint;
+  pv_end : Sta.endpoint;
+  pv_check : Sta.check;
+  pv_verdict : verdict;
+  pv_slack_lo : float;  (** aged slack at maximum aging (every SP at lo) *)
+  pv_slack_hi : float;  (** aged slack at minimum aging (every SP at hi) *)
+}
+
+val classify :
+  ?derate:float ->
+  ?clock_tree:Clock_tree.t ->
+  aglib:Aging.Timing_library.t ->
+  years:float ->
+  clock_period_ps:float ->
+  t ->
+  pair_verdict list
+(** Bracket the aged slack of every register pair by running
+    {!Sta.endpoint_pairs} at the two aging corners and classify each
+    pair.  Because {!Aging.Timing_library.factor} is decreasing in SP,
+    pinning every net at its interval's [lo] maximizes every cell delay
+    simultaneously (and [hi] minimizes it), so
+    [pv_slack_lo <= true slack <= pv_slack_hi] for any admissible
+    workload.  Hold slacks do not depend on data-net SP (min delays stay
+    fresh; clock-tree aging uses segment activity), so hold verdicts are
+    always exact ([Safe] or [Critical]). *)
+
+val verdict_counts : pair_verdict list -> int * int * int
+(** [(safe, critical, unknown)]. *)
+
+val render : ?limit:int -> t -> pair_verdict list -> string
+(** Deterministic, golden-diffable report: analysis header, verdict
+    summary, the non-[Safe] pairs (worst slack bound first, at most
+    [limit], default 16), and per-cell SP/duty intervals. *)

@@ -236,7 +236,8 @@ let analyze ?(constrain_inputs = false) ?(max_violating_paths = 10_000) ~timing
    from every net to the endpoint's D pin, from which each launching
    register's worst arrival follows directly.  Unlike path enumeration this
    is immune to path-count explosion. *)
-let endpoint_pairs ?(constrain_inputs = false) ~timing ~clock_period_ps nl =
+let endpoint_pairs ?(constrain_inputs = false) ?(skip = fun _ _ _ -> false) ~timing
+    ~clock_period_ps nl =
   let cells = Netlist.cells nl in
   let dff = timing.dff_timing in
   let results = ref [] in
@@ -280,13 +281,17 @@ let endpoint_pairs ?(constrain_inputs = false) ~timing ~clock_period_ps nl =
             d
         in
         let consider start launch net =
-          let tail = delay_from net in
-          if Float.is_finite tail then begin
-            let arrival = launch +. tail in
-            let slack =
-              match chk with Setup -> required -. arrival | Hold -> arrival -. required
-            in
-            results := (start, At_dff ep_id, chk, slack) :: !results
+          (* Skipped pairs do no DP work at all: when every pair of an
+             endpoint is skipped, its fan-in cone is never traversed. *)
+          if not (skip start (At_dff ep_id) chk) then begin
+            let tail = delay_from net in
+            if Float.is_finite tail then begin
+              let arrival = launch +. tail in
+              let slack =
+                match chk with Setup -> required -. arrival | Hold -> arrival -. required
+              in
+              results := (start, At_dff ep_id, chk, slack) :: !results
+            end
           end
         in
         (* launching registers *)
@@ -315,8 +320,8 @@ let endpoint_pairs ?(constrain_inputs = false) ~timing ~clock_period_ps nl =
   for_check Hold;
   List.rev !results
 
-let violating_pairs ?constrain_inputs ~timing ~clock_period_ps nl =
-  endpoint_pairs ?constrain_inputs ~timing ~clock_period_ps nl
+let violating_pairs ?constrain_inputs ?skip ~timing ~clock_period_ps nl =
+  endpoint_pairs ?constrain_inputs ?skip ~timing ~clock_period_ps nl
   |> List.filter (fun (_, _, _, slack) -> slack < 0.0)
   |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b)
 

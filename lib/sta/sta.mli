@@ -98,6 +98,7 @@ val analyze :
 
 val endpoint_pairs :
   ?constrain_inputs:bool ->
+  ?skip:(startpoint -> endpoint -> check -> bool) ->
   timing:timing_source ->
   clock_period_ps:float ->
   Netlist.t ->
@@ -105,16 +106,23 @@ val endpoint_pairs :
 (** Exact worst slack for every (startpoint, endpoint) register pair and
     check, computed by per-endpoint dynamic programming over the fan-in
     cone — immune to the combinatorial path-count explosion that bounds
-    {!analyze}'s enumeration.  One tuple per connected pair and check. *)
+    {!analyze}'s enumeration.  One tuple per connected pair and check.
+
+    Pairs for which [skip] returns [true] (default: none) are dropped
+    before any cone traversal — an endpoint whose pairs are all skipped
+    costs nothing.  {!Check.Spbound} uses this to prune statically-safe
+    pairs from the phase-1 sweep. *)
 
 val violating_pairs :
   ?constrain_inputs:bool ->
+  ?skip:(startpoint -> endpoint -> check -> bool) ->
   timing:timing_source ->
   clock_period_ps:float ->
   Netlist.t ->
   (startpoint * endpoint * check * float) list
 (** The negative-slack subset of {!endpoint_pairs}, worst first — the exact
-    list of unique aging-prone pairs Error Lifting consumes. *)
+    list of unique aging-prone pairs Error Lifting consumes.  [skip] is
+    sound to use exactly when skipped pairs are proven non-violating. *)
 
 val unique_pairs : path list -> ((startpoint * endpoint) * path) list
 (** Group violating paths by (startpoint, endpoint) keeping the

@@ -26,7 +26,12 @@ type analysis = {
   sp_of_net : Netlist.net -> float;
   cell_degradation : (string * float) list;
   sp_samples : int;
+  static_verdicts : Spbound.pair_verdict list option;
 }
+
+let tele_spbound_safe = Telemetry.Counter.make "vega.spbound.safe"
+let tele_spbound_critical = Telemetry.Counter.make "vega.spbound.critical"
+let tele_spbound_unknown = Telemetry.Counter.make "vega.spbound.unknown"
 
 let unit_config (target : Lift.target) =
   match target.Lift.kind with
@@ -214,8 +219,8 @@ let batched_profile (type s) (module E : Sim_intf.WORD with type t = s) target ~
   | None -> (0, None)
   | Some s -> (E.samples s, Some (E.sp s))
 
-let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target : Lift.target)
-    ~workload =
+let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1)
+    ?(static_prune = false) (target : Lift.target) ~workload =
   Telemetry.with_span ~cat:"vega" "vega.phase1" @@ fun () ->
   let nl = target.Lift.netlist in
   (* Static gate: the whole phase-1/2 machinery (simulation, STA, CNF
@@ -263,6 +268,37 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
     let clock_period_ps = crit *. config.clock_margin in
     (clock_period_ps, Sta.analyze ~timing:fresh_timing ~clock_period_ps nl)
   in
+  (* Static triage: under the sound default assumptions (any workload),
+     every pair Spbound proves Safe can never violate — whatever SP the
+     profile just measured — so the exact pair sweep may skip it without
+     changing its result. *)
+  let static_verdicts =
+    if not static_prune then None
+    else
+      Telemetry.with_span ~cat:"vega" "vega.spbound" @@ fun () ->
+      let sb = Spbound.analyze nl in
+      let pvs =
+        Spbound.classify ~derate:config.derate ~clock_tree:config.clock_tree ~aglib
+          ~years:config.years ~clock_period_ps sb
+      in
+      let safe, critical, unknown = Spbound.verdict_counts pvs in
+      Telemetry.Counter.add tele_spbound_safe safe;
+      Telemetry.Counter.add tele_spbound_critical critical;
+      Telemetry.Counter.add tele_spbound_unknown unknown;
+      Some pvs
+  in
+  let skip =
+    match static_verdicts with
+    | None -> None
+    | Some pvs ->
+      let safe = Hashtbl.create 64 in
+      List.iter
+        (fun (pv : Spbound.pair_verdict) ->
+          if pv.Spbound.pv_verdict = Spbound.Safe then
+            Hashtbl.replace safe (pv.Spbound.pv_start, pv.Spbound.pv_end, pv.Spbound.pv_check) ())
+        pvs;
+      Some (fun s e c -> Hashtbl.mem safe (s, e, c))
+  in
   let aged_timing =
     Sta.aged_timing ~derate:config.derate ~clock_tree:config.clock_tree ~sp_of_net
       ~years:config.years aglib
@@ -273,7 +309,7 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
       Sta.analyze ~max_violating_paths:config.max_violating_paths ~timing:aged_timing
         ~clock_period_ps nl
     in
-    (aged_report, Sta.violating_pairs ~timing:aged_timing ~clock_period_ps nl)
+    (aged_report, Sta.violating_pairs ?skip ~timing:aged_timing ~clock_period_ps nl)
   in
   let cell_degradation =
     Array.to_list (Netlist.cells nl)
@@ -295,23 +331,38 @@ let aging_analysis ?(engine = Scalar_profile) ?(config = default_phase1) (target
     sp_of_net;
     cell_degradation;
     sp_samples;
+    static_verdicts;
   }
+
+(* Hardest-to-test pairs first (SCOAP ranking): the formal budget goes to
+   the paths cheap random search would miss.  The sort is stable, so the
+   worst-slack representative of each unique pair is unchanged.  When the
+   analysis carries static verdicts, pairs already proven Critical go to
+   the head of the queue (SCOAP-ranked within each group): they violate
+   under every admissible workload, so their counterexamples are the most
+   valuable to front-load. *)
+let ordered_pairs analysis =
+  let nl = analysis.target.Lift.netlist in
+  match analysis.static_verdicts with
+  | None -> Testgen.scoap_ranked_pairs nl analysis.violating_pairs
+  | Some pvs ->
+    let crit = Hashtbl.create 16 in
+    List.iter
+      (fun (pv : Spbound.pair_verdict) ->
+        if pv.Spbound.pv_verdict = Spbound.Critical then
+          Hashtbl.replace crit (pv.Spbound.pv_start, pv.Spbound.pv_end, pv.Spbound.pv_check) ())
+      pvs;
+    let critical, rest =
+      List.partition (fun (s, e, c, _) -> Hashtbl.mem crit (s, e, c)) analysis.violating_pairs
+    in
+    Testgen.scoap_ranked_pairs nl critical @ Testgen.scoap_ranked_pairs nl rest
 
 let error_lifting ?config analysis =
   Telemetry.with_span ~cat:"vega" "vega.phase2" @@ fun () ->
-  (* Hardest-to-test pairs first (SCOAP ranking): the formal budget goes to
-     the paths cheap random search would miss.  The sort is stable, so the
-     worst-slack representative of each unique pair is unchanged. *)
-  let ordered =
-    Testgen.scoap_ranked_pairs analysis.target.Lift.netlist analysis.violating_pairs
-  in
-  Lift.lift_violating_pairs ?config analysis.target ordered
+  Lift.lift_violating_pairs ?config analysis.target (ordered_pairs analysis)
 
 let lifting_items analysis =
-  let ordered =
-    Testgen.scoap_ranked_pairs analysis.target.Lift.netlist analysis.violating_pairs
-  in
-  Resilience.items_of_pairs analysis.target.Lift.netlist ordered
+  Resilience.items_of_pairs analysis.target.Lift.netlist (ordered_pairs analysis)
 
 let error_lifting_supervised ?config ?supervisor ?checkpoint ?on_item analysis =
   Telemetry.with_span ~cat:"vega" "vega.phase2" @@ fun () ->

@@ -44,6 +44,13 @@ type analysis = {
   cell_degradation : (string * float) list;
       (** per combinational cell: 10-year max-delay factor (Fig. 8 data) *)
   sp_samples : int;  (** profiling samples behind the SP data *)
+  static_verdicts : Spbound.pair_verdict list option;
+      (** the static triage that pruned this analysis ([Some] exactly when
+          phase 1 ran with [~static_prune:true]): one {!Spbound} verdict
+          per register pair and check.  [Safe] pairs were skipped by the
+          sweep — soundness guarantees they cannot appear in
+          [violating_pairs] — and [Critical] pairs are ordered first by
+          {!lifting_items}/{!error_lifting}. *)
 }
 
 (** How phase one collects the SP profile.
@@ -72,6 +79,7 @@ type profile_engine = Scalar_profile | Batched_profile | Compiled_profile
 val aging_analysis :
   ?engine:profile_engine ->
   ?config:phase1_config ->
+  ?static_prune:bool ->
   Lift.target ->
   workload:(Machine.t -> unit) ->
   analysis
@@ -80,7 +88,15 @@ val aging_analysis :
     other unit is functional.  [engine] defaults to [Scalar_profile].
     The target netlist is linted first ({!Check.lint_netlist});
     @raise Invalid_argument with the rendered report if it carries
-    error-class defects. *)
+    error-class defects.
+
+    With [static_prune] (default [false]), {!Spbound} triages every
+    register pair before the aged sweep under the sound default
+    assumptions (any workload): pairs it proves [Safe] are skipped by the
+    pair sweep — which cannot change [violating_pairs], only the work to
+    compute it — and verdict counts land on the [vega.spbound.*]
+    telemetry counters.  The verdicts persist in
+    {!analysis.static_verdicts}. *)
 
 val recorded_unit_ops :
   Lift.target -> workload:(Machine.t -> unit) -> (string * Bitvec.t) list array
@@ -116,11 +132,14 @@ val error_lifting : ?config:Lift.config -> analysis -> Lift.pair_result list
 (** Phase two, over the unique pairs of the aged STA report's violations,
     ordered hardest-to-test first by SCOAP testability
     ({!Testgen.scoap_ranked_pairs}) so the formal budget is spent on the
-    paths random search cannot reach. *)
+    paths random search cannot reach.  When the analysis carries static
+    verdicts, statically-[Critical] pairs are front-loaded (SCOAP-ranked
+    within each group, same pair set). *)
 
 val lifting_items : analysis -> Resilience.item list
-(** The phase-two work list (unique violating pairs, SCOAP-ranked) as
-    supervisor items. *)
+(** The phase-two work list (unique violating pairs, SCOAP-ranked,
+    [Critical]-first when static verdicts are present) as supervisor
+    items. *)
 
 val error_lifting_supervised :
   ?config:Lift.config ->

@@ -33,6 +33,51 @@ let test_distinct_codes () =
   Alcotest.(check (list string)) "comb_cycle" [ "NL004" ] (code_for "comb_cycle");
   Alcotest.(check (list string)) "dead_gate" [ "NL005"; "NL008" ] (code_for "dead_gate")
 
+let test_const_dff_rule () =
+  (* NL011: a register fed (transitively, through combinational logic and
+     like-reset registers) by tie cells alone never changes state. *)
+  let b = B.create "nl011" in
+  let t = B.add_cell b Cell.Kind.Tie1 [||] in
+  let n = B.add_cell b Cell.Kind.Not [| t |] in
+  let q = B.add_cell ~clock_domain:0 ~reset_value:false b Cell.Kind.Dff [| n |] in
+  B.add_output b "y" [| q |];
+  let diags = Check.lint (B.raw b) in
+  let nl011 = List.filter (fun (d : Check.diagnostic) -> Check.code_id d.Check.code = "NL011") diags in
+  Alcotest.(check int) "constant-D register flagged" 1 (List.length nl011);
+  Alcotest.(check bool) "NL011 is a warning" true
+    (List.for_all
+       (fun (d : Check.diagnostic) -> Check.severity_of d.Check.code = Check.Warning)
+       nl011);
+  (* a register fed from a primary input is not constant *)
+  let b2 = B.create "nl011_clean" in
+  let x = B.add_input b2 "x" 1 in
+  let q2 = B.add_cell ~clock_domain:0 b2 Cell.Kind.Dff [| x.(0) |] in
+  B.add_output b2 "y" [| q2 |];
+  Alcotest.(check int) "input-fed register is clean" 0
+    (List.length
+       (List.filter
+          (fun (d : Check.diagnostic) -> Check.code_id d.Check.code = "NL011")
+          (Check.lint (B.raw b2))))
+
+let test_unread_input_rule () =
+  (* NL012: an input-port bit nothing reads is dead interface surface. *)
+  let b = B.create "nl012" in
+  let a = B.add_input b "a" 2 in
+  let g = B.add_cell b Cell.Kind.Buf [| a.(0) |] in
+  B.add_output b "y" [| g |];
+  let diags = Check.lint (B.raw b) in
+  let nl012 = List.filter (fun (d : Check.diagnostic) -> Check.code_id d.Check.code = "NL012") diags in
+  Alcotest.(check int) "only the unread bit is flagged" 1 (List.length nl012);
+  (* an input bit wired straight to an output port is read *)
+  let b2 = B.create "nl012_clean" in
+  let a2 = B.add_input b2 "a" 1 in
+  B.add_output b2 "y" [| a2.(0) |];
+  Alcotest.(check int) "output-wired input is clean" 0
+    (List.length
+       (List.filter
+          (fun (d : Check.diagnostic) -> Check.code_id d.Check.code = "NL012")
+          (Check.lint (B.raw b2))))
+
 let test_frozen_netlists_error_free () =
   List.iter
     (fun nl ->
@@ -291,6 +336,8 @@ let () =
         [
           Alcotest.test_case "selftest corpus" `Quick test_selftest_corpus;
           Alcotest.test_case "distinct codes" `Quick test_distinct_codes;
+          Alcotest.test_case "constant-D register (NL011)" `Quick test_const_dff_rule;
+          Alcotest.test_case "unread input bit (NL012)" `Quick test_unread_input_rule;
           Alcotest.test_case "frozen netlists error-free" `Quick test_frozen_netlists_error_free;
           Alcotest.test_case "golden ALU report" `Quick (test_golden_report alu8 "lint_alu.txt");
           Alcotest.test_case "golden FPU report" `Quick (test_golden_report fpu "lint_fpu.txt");

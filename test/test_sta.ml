@@ -138,6 +138,97 @@ let test_em_aware_timing () =
   Alcotest.(check (float 1e-9)) "no activity, no EM" d_bti
     ((idle.Sta.cell_delay c7).Cell.tpd_max_ps)
 
+(* ---------- aged-corner edge cases on minimal paths ---------- *)
+
+let aglib_c28 = Aging.Timing_library.build Cell.Library.c28
+let aged_sp sp = Sta.aged_timing ~sp_of_net:(fun _ -> sp) ~years:10.0 aglib_c28
+
+let pair_slack pairs st en ck =
+  match List.find_opt (fun (s, e, c, _) -> s = st && e = en && c = ck) pairs with
+  | Some (_, _, _, sl) -> sl
+  | None -> Alcotest.fail "expected register pair missing from endpoint_pairs"
+
+let test_direct_dff_to_dff () =
+  (* Zero combinational cells between the registers: the setup arrival is
+     exactly clk-to-Q max, the hold arrival clk-to-Q min, and same-domain
+     clock arrivals cancel even when the tree buffers age. *)
+  let b = Netlist.Builder.create "direct" in
+  let d = Netlist.Builder.add_input b "d" 1 in
+  let a_id, qa = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| d.(0) |] in
+  let b_id, qb = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| qa |] in
+  Netlist.Builder.add_output b "q" [| qb |];
+  let nl = Netlist.Builder.finish b in
+  let timing = aged_sp 0.2 in
+  let period = 500.0 in
+  let pairs = Sta.endpoint_pairs ~timing ~clock_period_ps:period nl in
+  let dt = timing.Sta.dff_timing in
+  Alcotest.(check (float 1e-6)) "setup slack = T - clkq_max - setup"
+    (period -. dt.Cell.clk_to_q_max_ps -. dt.Cell.setup_ps)
+    (pair_slack pairs (Sta.From_dff a_id) (Sta.At_dff b_id) Sta.Setup);
+  Alcotest.(check (float 1e-6)) "hold slack = clkq_min - hold"
+    (dt.Cell.clk_to_q_min_ps -. dt.Cell.hold_ps)
+    (pair_slack pairs (Sta.From_dff a_id) (Sta.At_dff b_id) Sta.Hold)
+
+let test_single_cell_aged_path () =
+  (* One inverter between the registers: the pair's setup slack must track
+     the aged inverter delay exactly, and lowering SP (more stress) must
+     eat slack monotonically. *)
+  let b = Netlist.Builder.create "single" in
+  let d = Netlist.Builder.add_input b "d" 1 in
+  let a_id, qa = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| d.(0) |] in
+  let inv_id, inv = Netlist.Builder.add_cell_with_id b Cell.Kind.Not [| qa |] in
+  let b_id, qb = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| inv |] in
+  Netlist.Builder.add_output b "q" [| qb |];
+  let nl = Netlist.Builder.finish b in
+  let period = 500.0 in
+  let slack_at sp =
+    let timing = aged_sp sp in
+    let pairs = Sta.endpoint_pairs ~timing ~clock_period_ps:period nl in
+    let dt = timing.Sta.dff_timing in
+    let aged_inv = (timing.Sta.cell_delay (Netlist.cell nl inv_id)).Cell.tpd_max_ps in
+    let got = pair_slack pairs (Sta.From_dff a_id) (Sta.At_dff b_id) Sta.Setup in
+    Alcotest.(check (float 1e-6)) "setup slack = T - clkq_max - aged inv - setup"
+      (period -. dt.Cell.clk_to_q_max_ps -. aged_inv -. dt.Cell.setup_ps) got;
+    got
+  in
+  let stressed = slack_at 0.05 and relaxed = slack_at 0.95 in
+  Alcotest.(check bool) "lower SP ages harder" true (stressed < relaxed)
+
+let test_chain_delay_summation () =
+  (* Buf -> Not -> Buf: the single path's aged delays must add up. *)
+  let b = Netlist.Builder.create "chain" in
+  let d = Netlist.Builder.add_input b "d" 1 in
+  let a_id, qa = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| d.(0) |] in
+  let c1_id, n1 = Netlist.Builder.add_cell_with_id b Cell.Kind.Buf [| qa |] in
+  let c2_id, n2 = Netlist.Builder.add_cell_with_id b Cell.Kind.Not [| n1 |] in
+  let c3_id, n3 = Netlist.Builder.add_cell_with_id b Cell.Kind.Buf [| n2 |] in
+  let b_id, qb = Netlist.Builder.add_cell_with_id ~clock_domain:0 b Cell.Kind.Dff [| n3 |] in
+  Netlist.Builder.add_output b "q" [| qb |];
+  let nl = Netlist.Builder.finish b in
+  let timing = aged_sp 0.1 in
+  let period = 800.0 in
+  let pairs = Sta.endpoint_pairs ~timing ~clock_period_ps:period nl in
+  let dt = timing.Sta.dff_timing in
+  let comb =
+    List.fold_left
+      (fun acc id -> acc +. (timing.Sta.cell_delay (Netlist.cell nl id)).Cell.tpd_max_ps)
+      0.0 [ c1_id; c2_id; c3_id ]
+  in
+  Alcotest.(check (float 1e-6)) "setup slack sums the aged chain"
+    (period -. dt.Cell.clk_to_q_max_ps -. comb -. dt.Cell.setup_ps)
+    (pair_slack pairs (Sta.From_dff a_id) (Sta.At_dff b_id) Sta.Setup)
+
+let test_skip_drops_only_skipped_pairs () =
+  let timing = aged_sp 0.3 in
+  let all = Sta.endpoint_pairs ~timing ~clock_period_ps:850.0 adder in
+  Alcotest.(check bool) "adder has register pairs" true (all <> []);
+  let s0, e0, c0, _ = List.hd all in
+  let skip s e c = s = s0 && e = e0 && c = c0 in
+  let pruned = Sta.endpoint_pairs ~skip ~timing ~clock_period_ps:850.0 adder in
+  let expected = List.filter (fun (s, e, c, _) -> not (skip s e c)) all in
+  Alcotest.(check int) "exactly one pair dropped" (List.length all - 1) (List.length pruned);
+  Alcotest.(check bool) "surviving pairs are untouched" true (pruned = expected)
+
 let test_describe_path () =
   let slow (c : Netlist.cell) =
     let t = Cell.Library.timing example_lib c.kind in
@@ -261,6 +352,14 @@ let () =
         [
           Alcotest.test_case "aged timing source" `Quick test_aged_timing_source;
           Alcotest.test_case "em-aware timing" `Quick test_em_aware_timing;
+        ] );
+      ( "aged corners",
+        [
+          Alcotest.test_case "direct DFF-to-DFF pair" `Quick test_direct_dff_to_dff;
+          Alcotest.test_case "single-cell aged path" `Quick test_single_cell_aged_path;
+          Alcotest.test_case "chain delay summation" `Quick test_chain_delay_summation;
+          Alcotest.test_case "skip drops only skipped pairs" `Quick
+            test_skip_drops_only_skipped_pairs;
         ] );
       ("properties", [ prop_paths_within_bounds; prop_monte_carlo_paths_bounded ]);
     ]

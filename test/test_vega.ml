@@ -34,6 +34,27 @@ let test_cell_degradation_range () =
   Alcotest.(check bool) "covers all comb cells" true
     (List.length analysis.Vega.cell_degradation > 300)
 
+let test_static_prune_identical () =
+  (* The statically pruned sweep must produce the same violating pairs as
+     the unpruned one (Safe pairs are proven non-violating), while
+     actually pruning a nonzero fraction of the pair population. *)
+  let pruned =
+    Vega.aging_analysis ~config:small_phase1 ~static_prune:true small_target
+      ~workload:Vega.run_minver_workload
+  in
+  Alcotest.(check bool) "pruned run records verdicts" true
+    (pruned.Vega.static_verdicts <> None);
+  (match pruned.Vega.static_verdicts with
+  | None -> ()
+  | Some pvs ->
+    let safe, _, _ = Spbound.verdict_counts pvs in
+    Alcotest.(check bool) "a nonzero fraction of pairs is Safe" true (safe > 0);
+    Alcotest.(check bool) "not every pair is Safe" true (safe < List.length pvs));
+  Alcotest.(check bool) "violating pairs identical with and without pruning" true
+    (pruned.Vega.violating_pairs = analysis.Vega.violating_pairs);
+  Alcotest.(check bool) "unpruned run records no verdicts" true
+    (analysis.Vega.static_verdicts = None)
+
 let test_full_workflow () =
   let report =
     Vega.run_workflow ~phase1:small_phase1 small_target ~workload:Vega.run_minver_workload
@@ -156,6 +177,7 @@ let () =
         [
           Alcotest.test_case "analysis sanity" `Quick test_analysis_sanity;
           Alcotest.test_case "cell degradation" `Quick test_cell_degradation_range;
+          Alcotest.test_case "static prune is transparent" `Quick test_static_prune_identical;
           Alcotest.test_case "full workflow" `Quick test_full_workflow;
           Alcotest.test_case "machine_for" `Quick test_machine_for;
         ] );

@@ -16,6 +16,9 @@
      bench/main.exe telemetry  instrumented ALU8 pipeline; writes counters,
                                histograms and span totals to
                                BENCH_telemetry.json (the perf trajectory seed)
+     bench/main.exe fleet      fleet-pool multicore scaling: the quick device
+                               population at 1/2/4 worker domains, wall-clock
+                               and byte-identity, written to BENCH_fleet.json
      bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
                                table3 table4 table5 table6 table7 fig9 *)
 
@@ -665,6 +668,66 @@ let run_telemetry () =
     rp.Resilience.rp_budget_spent;
   print_endline "telemetry written to BENCH_telemetry.json"
 
+(* ------------- fleet mode ------------- *)
+
+(* Multicore scaling of the fleet pool: the quick campaign at 1, 2 and 4
+   worker domains, wall-clock per configuration, plus the cross-domain
+   byte-identity check the whole engine is built around.  The speedups
+   are honest measurements of THIS machine — on a single hardware core
+   (the CI container) they hover around 1.0x; the >1.5x acceptance
+   number needs real cores. *)
+let run_fleet () =
+  let config = Experiments.quick_fleet in
+  let time_at domains =
+    let t0 = Unix.gettimeofday () in
+    let report = Experiments.fleet_campaign ~config ~domains () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    (Experiments.render_fleet report, report, ms)
+  in
+  let out1, report, ms1 = time_at 1 in
+  let out2, _, ms2 = time_at 2 in
+  let out4, _, ms4 = time_at 4 in
+  let identical = String.equal out1 out2 && String.equal out1 out4 in
+  let violated, escaped, quarantined =
+    List.fold_left
+      (fun (v, e, q) (_, r) ->
+        match r with
+        | Error _ -> (v, e, q + 1)
+        | Ok row ->
+          ( (v + if row.Experiments.dv_onset_idx <> None then 1 else 0),
+            (e + if row.Experiments.dv_escape then 1 else 0),
+            q ))
+      (0, 0, 0) report.Experiments.fe_results
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "vega-bench-fleet/1");
+        ("devices", Json.Int config.Experiments.fd_devices);
+        ("suite_cases", Json.Int report.Experiments.fe_suite_cases);
+        ("violated", Json.Int violated);
+        ("escaped", Json.Int escaped);
+        ("quarantined", Json.Int quarantined);
+        ("ms_1", Json.Float ms1);
+        ("ms_2", Json.Float ms2);
+        ("ms_4", Json.Float ms4);
+        ("speedup_2", Json.Float (ms1 /. ms2));
+        ("speedup_4", Json.Float (ms1 /. ms4));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "fleet pool scaling (%d devices, quick campaign):\n" config.Experiments.fd_devices;
+  Printf.printf "  1 domain : %8.1f ms\n" ms1;
+  Printf.printf "  2 domains: %8.1f ms (%.2fx)\n" ms2 (ms1 /. ms2);
+  Printf.printf "  4 domains: %8.1f ms (%.2fx)\n" ms4 (ms1 /. ms4);
+  Printf.printf "  outputs byte-identical across domain counts: %b\n" identical;
+  if not identical then exit 1;
+  print_endline "fleet scaling written to BENCH_fleet.json"
+
 (* ------------- experiment printing ------------- *)
 
 let log s = Printf.eprintf "[bench] %s\n%!" s
@@ -851,6 +914,7 @@ let () =
   | "check" -> run_check_bench ()
   | "resilience" -> run_resilience_bench ()
   | "telemetry" -> run_telemetry ()
+  | "fleet" -> run_fleet ()
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))
@@ -873,6 +937,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown argument %S (expected \
-       all|quick|micro|ablations|analyze|guard|attack|check|resilience|telemetry|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
+       all|quick|micro|ablations|analyze|guard|attack|check|resilience|telemetry|fleet|fig4|table1|table2|fig8|table3|table4|table5|table6|table7|fig9)\n"
       other;
     exit 2

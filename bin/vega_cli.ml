@@ -21,9 +21,12 @@
                    [--campaign [--quick]] [--checkpoint DIR] [--resume]
      vega monitors --unit alu|fpu [--width N] [--margin M] [--count N]
                    [--pessimism F]
+     vega fleet    [--quick] [--width N] [--devices N] [--domains D] [--seed N]
+                   [--specs N] [--engine scalar|sim64|simc] [--poison ID,ID]
+                   [--checkpoint DIR] [--resume]
 
    The pipeline subcommands (analyze, lift, run, fuzz, optimize, check,
-   report, guard-campaign, attack, monitors) additionally accept
+   report, guard-campaign, attack, monitors, fleet) additionally accept
      --trace FILE      Chrome trace-event JSON (Perfetto-loadable)
      --metrics FILE    JSONL counters / histograms / span totals
      --virtual-clock   deterministic timestamps: identical runs produce
@@ -35,7 +38,8 @@
    itself failed or detected a problem (SDC detected, check/lint failure,
    a supervised item errored, a guarded campaign run escaped, an attack
    campaign without acceleration or with canary-guarded escapes, a canary
-   monitor failing its verification gate); 2 usage errors; 3 runtime
+   monitor failing its verification gate, a fleet run with quarantined
+   devices); 2 usage errors; 3 runtime
    errors such as a stale or unusable checkpoint (digest mismatch).
    Unknown subcommands exit non-zero (cmdliner's exit 124).
 
@@ -1019,6 +1023,124 @@ let monitors_cmd =
     Term.(
       const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ count_arg $ pessimism_arg)
 
+(* ---------- fleet ---------- *)
+
+let fleet_cmd =
+  let devices_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "devices" ] ~docv:"N" ~doc:"Population size (devices evaluated).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains of the fleet pool.  Results are bit-identical for any $(docv): \
+             per-device seeds derive from the master seed and the device key, never from \
+             scheduling.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed: corner draws and per-device item seeds.")
+  in
+  let specs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "specs" ] ~docv:"N" ~doc:"Violating pairs lifted into the deployed suite.")
+  in
+  let poison_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "poison" ] ~docv:"ID,ID"
+          ~doc:
+            "Force these device ids to fail persistently — the quarantine drill.  The run \
+             completes (exit 1), the devices report QUARANTINED.")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"CI smoke campaign configuration.") in
+  let fleet_width_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "width" ] ~docv:"BITS"
+          ~doc:"ALU datapath width (default: the campaign preset's, 16 or 8 with $(b,--quick)).")
+  in
+  let fleet_margin_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "margin" ] ~docv:"M"
+          ~doc:"Clock guardband of the shared analysis (default: the campaign preset's).")
+  in
+  let run tele quick width devices domains seed specs margin engine poison checkpoint resume =
+    with_telemetry tele @@ fun () ->
+    let base = if quick then Experiments.quick_fleet else Experiments.default_fleet in
+    let base = { base with Experiments.fd_engine = engine } in
+    let base =
+      match width with None -> base | Some w -> { base with Experiments.fd_width = w }
+    in
+    let base =
+      match margin with None -> base | Some m -> { base with Experiments.fd_margin = m }
+    in
+    let base =
+      match devices with None -> base | Some n -> { base with Experiments.fd_devices = n }
+    in
+    let base = match seed with None -> base | Some s -> { base with Experiments.fd_seed = s } in
+    let base = match specs with None -> base | Some n -> { base with Experiments.fd_specs = n } in
+    let config =
+      match poison with
+      | None -> base
+      | Some s ->
+        {
+          base with
+          Experiments.fd_poison = List.map int_of_string (String.split_on_char ',' s);
+        }
+    in
+    let log s = Printf.eprintf "[vega] %s\n%!" s in
+    let opened =
+      match checkpoint with
+      | None -> Ok None
+      | Some dir ->
+        Result.map Option.some
+          (Resilience.Checkpoint.open_sharded ~resume ~dir
+             ~digest:(Experiments.fleet_digest config) ~shards:(max 1 domains) ())
+    in
+    match opened with
+    | Error msg ->
+      prerr_endline ("vega fleet: " ^ msg);
+      3
+    | Ok checkpoint ->
+      let report = Experiments.fleet_campaign ~config ~domains ~log ?checkpoint () in
+      print_string (Experiments.render_fleet report);
+      (* pool health is wall-clock-dependent: stderr only, never in the
+         diffable stdout *)
+      let st = report.Experiments.fe_stats in
+      Printf.eprintf
+        "[vega] pool: %d domain(s), %d item(s): %d completed, %d retried, %d timed-out, %d \
+         quarantined, %d from checkpoint; %d steal(s), %d re-dispatch(es), %d retry sleep(s)\n%!"
+        st.Fleet.st_domains st.Fleet.st_items st.Fleet.st_completed st.Fleet.st_retried
+        st.Fleet.st_timed_out st.Fleet.st_quarantined st.Fleet.st_checkpoint_hits
+        st.Fleet.st_steals st.Fleet.st_redispatches st.Fleet.st_retry_sleeps;
+      if st.Fleet.st_quarantined > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a device population (per-device temperature/Vdd/workload aging corners) through \
+          the fault-tolerant domain pool and tabulate the population SDC-escape and \
+          detection-latency curves vs lifetime.  Stdout is bit-identical for any \
+          $(b,--domains) count and across kill/resume; exits 1 when any device was \
+          quarantined.")
+    Term.(
+      const run $ telemetry_term $ quick_arg $ fleet_width_arg $ devices_arg $ domains_arg
+      $ seed_arg $ specs_arg $ fleet_margin_arg $ engine_arg $ poison_arg $ checkpoint_arg
+      $ resume_arg)
+
 let () =
   let doc = "proactive runtime detection of aging-related silent data corruptions" in
   let info = Cmd.info "vega" ~version:"1.0.0" ~doc in
@@ -1028,5 +1150,5 @@ let () =
           [
             analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
             encode_cmd; lint_cmd; check_cmd; report_cmd; guard_campaign_cmd; attack_cmd;
-            monitors_cmd;
+            monitors_cmd; fleet_cmd;
           ]))

@@ -1812,6 +1812,520 @@ let render_attack_campaign ?(years_max = default_attack_campaign.ak_years_max) r
        s.as_canary_wins s.as_latency_pairs);
   Buffer.contents buf
 
+(* ---------------- Fleet campaign ----------------
+
+   Population-level deployment of the pipeline: N devices, each with its
+   own (temperature, Vdd, workload-mix) aging corner drawn from a seeded
+   distribution, all shipping the same deployed test suite (built once,
+   lifted at the worst fleet corner, the way a real fleet ships one
+   suite).
+   Per device: scan the lifetime grid for the onset of timing violations
+   under the device's corner, inject the paper's capture faults at the
+   onset pair, and ask whether the deployed suite detects them.  The
+   population rollup is the paper's end-goal curve: violated / detected /
+   escaped device counts and mean detection latency vs lifetime.
+   Devices run through the Fleet work-stealing pool — per-device derived
+   seeds keep the rows bit-identical across domain counts, and a device
+   whose evaluation keeps failing is quarantined, not fatal. *)
+
+type fleet_config = {
+  fd_width : int;
+  fd_devices : int;
+  fd_seed : int;
+  fd_margin : float;
+  fd_specs : int;
+  fd_constants : Fault.constant list;
+  fd_engine : Lift.engine;
+  fd_years_max : float;
+  fd_year_steps : int;
+  fd_temp_min_k : float;
+  fd_temp_max_k : float;
+  fd_vdd_min : float;
+  fd_vdd_max : float;
+  fd_kernels : string list;
+  fd_poison : int list;
+  fd_max_attempts : int;
+  fd_timeout_s : float option;
+}
+
+let default_fleet =
+  {
+    fd_width = 16;
+    fd_devices = 64;
+    fd_seed = 42;
+    fd_margin = 1.04;
+    fd_specs = 4;
+    fd_constants = [ Fault.C0; Fault.C1 ];
+    fd_engine = Lift.Engine_sim64;
+    fd_years_max = 10.0;
+    fd_year_steps = 10;
+    fd_temp_min_k = 330.0;
+    fd_temp_max_k = 420.0;
+    fd_vdd_min = 0.9;
+    fd_vdd_max = 1.1;
+    fd_kernels = [];
+    fd_poison = [];
+    fd_max_attempts = 3;
+    fd_timeout_s = Some 120.0;
+  }
+
+let quick_fleet =
+  {
+    default_fleet with
+    fd_width = 8;
+    fd_devices = 24;
+    fd_margin = 1.0;
+    fd_specs = 2;
+    fd_year_steps = 8;
+    fd_kernels = [ "crc"; "nbody"; "fir" ];
+  }
+
+type device_corner = {
+  dc_device : int;
+  dc_temp_k : float;
+  dc_vdd : float;
+  dc_kernel : string;
+}
+
+(* the seeded corner distribution: uniform in temperature and Vdd, the
+   workload mix a uniform pick from the kernel pool; deterministic in
+   (fd_seed, device id) and independent of the device count *)
+let fleet_corners config =
+  let kernels =
+    match config.fd_kernels with
+    | [] -> List.map (fun (b : Workload.benchmark) -> b.Workload.name) Workload.all
+    | ks -> ks
+  in
+  List.init config.fd_devices (fun id ->
+      let st = Random.State.make [| config.fd_seed; id; 0x5eed |] in
+      let dc_temp_k =
+        config.fd_temp_min_k +. Random.State.float st (config.fd_temp_max_k -. config.fd_temp_min_k)
+      in
+      let dc_vdd = config.fd_vdd_min +. Random.State.float st (config.fd_vdd_max -. config.fd_vdd_min) in
+      let dc_kernel = List.nth kernels (Random.State.int st (List.length kernels)) in
+      { dc_device = id; dc_temp_k; dc_vdd; dc_kernel })
+
+type fleet_row = {
+  dv_device : int;
+  dv_temp_k : float;
+  dv_vdd : float;
+  dv_kernel : string;
+  dv_onset_idx : int option;  (** first violating lifetime-grid index (1-based) *)
+  dv_worst_pair : string;
+  dv_specs : int;
+  dv_detected : int;
+  dv_escape : bool;
+  dv_latency_cycles : int option;
+}
+
+let fleet_years config i =
+  config.fd_years_max *. float_of_int i /. float_of_int config.fd_year_steps
+
+let fleet_row_to_json r =
+  Json.Obj
+    [
+      ("device", Json.Int r.dv_device);
+      ("temp_k", Json.Float r.dv_temp_k);
+      ("vdd", Json.Float r.dv_vdd);
+      ("kernel", Json.String r.dv_kernel);
+      ("onset", match r.dv_onset_idx with None -> Json.Null | Some i -> Json.Int i);
+      ("worst_pair", Json.String r.dv_worst_pair);
+      ("specs", Json.Int r.dv_specs);
+      ("detected", Json.Int r.dv_detected);
+      ("escape", Json.Bool r.dv_escape);
+      ("latency", match r.dv_latency_cycles with None -> Json.Null | Some c -> Json.Int c);
+    ]
+
+let fleet_row_of_json j =
+  let open Json in
+  let* dv_device = Result.bind (member "device" j) to_int in
+  let* dv_temp_k = Result.bind (member "temp_k" j) to_float in
+  let* dv_vdd = Result.bind (member "vdd" j) to_float in
+  let* dv_kernel = Result.bind (member "kernel" j) to_str in
+  let* dv_onset_idx =
+    let* o = member "onset" j in
+    match o with Null -> Ok None | o -> Result.map Option.some (to_int o)
+  in
+  let* dv_worst_pair = Result.bind (member "worst_pair" j) to_str in
+  let* dv_specs = Result.bind (member "specs" j) to_int in
+  let* dv_detected = Result.bind (member "detected" j) to_int in
+  let* dv_escape = Result.bind (member "escape" j) to_bool in
+  let* dv_latency_cycles =
+    let* l = member "latency" j in
+    match l with Null -> Ok None | l -> Result.map Option.some (to_int l)
+  in
+  Ok
+    {
+      dv_device;
+      dv_temp_k;
+      dv_vdd;
+      dv_kernel;
+      dv_onset_idx;
+      dv_worst_pair;
+      dv_specs;
+      dv_detected;
+      dv_escape;
+      dv_latency_cycles;
+    }
+
+let fleet_digest (c : fleet_config) =
+  (* deliberately excludes the domain count and the robustness knobs
+     (attempts, timeout): neither may change a row, so a run killed at
+     --domains 4 must resume at --domains 1 *)
+  Resilience.digest_of_strings
+    [
+      "vega-fleet";
+      string_of_int c.fd_width;
+      string_of_int c.fd_devices;
+      string_of_int c.fd_seed;
+      Printf.sprintf "%.17g" c.fd_margin;
+      string_of_int c.fd_specs;
+      String.concat ","
+        (List.map
+           (function Fault.C0 -> "0" | Fault.C1 -> "1" | Fault.C_random -> "r")
+           c.fd_constants);
+      Lift.engine_name c.fd_engine;
+      Printf.sprintf "%.17g" c.fd_years_max;
+      string_of_int c.fd_year_steps;
+      Printf.sprintf "%.17g" c.fd_temp_min_k;
+      Printf.sprintf "%.17g" c.fd_temp_max_k;
+      Printf.sprintf "%.17g" c.fd_vdd_min;
+      Printf.sprintf "%.17g" c.fd_vdd_max;
+      String.concat "," c.fd_kernels;
+      String.concat "," (List.map string_of_int c.fd_poison);
+    ]
+
+let kernel_workload (b : Workload.benchmark) m =
+  let width = (Machine.config m).Machine.width in
+  let fmt = (Machine.config m).Machine.fmt in
+  let compiled = Minic.compile ~width ~fmt b.Workload.program in
+  Machine.reset m;
+  ignore (Machine.run ~max_instructions:3_000_000 m (Minic.assemble compiled))
+
+(* One device's evaluation: a pure function of (seed, corner) and the
+   shared read-only context — the whole fleet determinism argument. *)
+let fleet_eval ~config ~clock_period_ps ~nl ~sp_by_kernel ~suite ~case_prefix_cycles ~seed corner
+    =
+  if List.mem corner.dc_device config.fd_poison then
+    failwith (Printf.sprintf "device %d is poisoned (forced persistent failure)" corner.dc_device);
+  let aging_cfg =
+    {
+      Aging.default_config with
+      Aging.temp_k = corner.dc_temp_k;
+      (* overdrive accelerates BTI roughly with the square of the stress
+         voltage: fold the device's Vdd corner into the 10-year anchor *)
+      calibration_dvth_10y =
+        Aging.default_config.Aging.calibration_dvth_10y *. corner.dc_vdd *. corner.dc_vdd;
+    }
+  in
+  let aglib = Aging.Timing_library.build ~config:aging_cfg Cell.Library.c28 in
+  let sp = List.assoc corner.dc_kernel sp_by_kernel in
+  let clock_tree = Vega.default_phase1.Vega.clock_tree in
+  let row ~onset ~pair ~specs ~detected ~escape ~latency =
+    {
+      dv_device = corner.dc_device;
+      dv_temp_k = corner.dc_temp_k;
+      dv_vdd = corner.dc_vdd;
+      dv_kernel = corner.dc_kernel;
+      dv_onset_idx = onset;
+      dv_worst_pair = pair;
+      dv_specs = specs;
+      dv_detected = detected;
+      dv_escape = escape;
+      dv_latency_cycles = latency;
+    }
+  in
+  let rec scan i =
+    if i > config.fd_year_steps then None
+    else begin
+      let timing =
+        Sta.aged_timing ~clock_tree ~sp_of_net:sp ~years:(fleet_years config i) aglib
+      in
+      match Sta.violating_pairs ~timing ~clock_period_ps nl with
+      | [] -> scan (i + 1)
+      | pairs -> Some (i, pairs)
+    end
+  in
+  match scan 1 with
+  | None -> row ~onset:None ~pair:"-" ~specs:0 ~detected:0 ~escape:false ~latency:None
+  | Some (onset, pairs) -> (
+    let worst =
+      List.find_map
+        (fun (start, Sta.At_dff end_id, check, _slack) ->
+          match start with
+          | Sta.From_input _ -> None
+          | Sta.From_dff start_id -> Some (start_id, end_id, check))
+        pairs
+    in
+    match worst with
+    | None ->
+      (* violated, but only on input-launched paths: nothing the capture
+         fault model can express, so the device counts as an escape *)
+      row ~onset:(Some onset) ~pair:"-" ~specs:0 ~detected:0 ~escape:true ~latency:None
+    | Some (start_id, end_id, check) ->
+      let start_dff = (Netlist.cell nl start_id).Netlist.name in
+      let end_dff = (Netlist.cell nl end_id).Netlist.name in
+      let kind =
+        match check with Sta.Setup -> Fault.Setup_violation | Sta.Hold -> Fault.Hold_violation
+      in
+      let faulty_specs =
+        List.filter_map
+          (fun constant ->
+            let spec =
+              { Fault.start_dff; end_dff; kind; constant; activation = Fault.Any_transition }
+            in
+            match Fault.failing_netlist nl spec with
+            | exception _ -> None
+            | faulty -> Some faulty)
+          config.fd_constants
+      in
+      let firsts =
+        List.map
+          (fun faulty ->
+            let det = Lift.detected_cases ~seed ~engine:config.fd_engine suite faulty in
+            let first = ref None in
+            Array.iteri (fun i d -> if d && !first = None then first := Some i) det;
+            !first)
+          faulty_specs
+      in
+      let detected = List.length (List.filter Option.is_some firsts) in
+      let latency =
+        List.fold_left
+          (fun acc first ->
+            match first with
+            | None -> acc
+            | Some i ->
+              let c = case_prefix_cycles.(i) in
+              Some (match acc with None -> c | Some a -> max a c))
+          None firsts
+      in
+      row ~onset:(Some onset)
+        ~pair:(Printf.sprintf "%s~%s~%s" start_dff end_dff (Serial.violation_name kind))
+        ~specs:(List.length faulty_specs) ~detected
+        ~escape:(faulty_specs = [] || detected < List.length faulty_specs)
+        ~latency)
+
+type fleet_point = {
+  fp_years : float;
+  fp_violated : int;
+  fp_detected : int;
+  fp_escaped : int;
+  fp_mean_latency : float option;
+}
+
+type fleet_report = {
+  fe_config : fleet_config;
+  fe_clock_period_ps : float;
+  fe_suite_cases : int;
+  fe_results : (device_corner * (fleet_row, string) result) list;
+      (** device order; [Error] is the quarantine message *)
+  fe_curve : fleet_point list;
+  fe_stats : Fleet.stats;
+}
+
+let fleet_campaign ?(config = quick_fleet) ?(domains = 1) ?(log = fun _ -> ()) ?checkpoint () =
+  Telemetry.with_span ~cat:"experiments" "experiments.fleet_campaign" @@ fun () ->
+  let target = Lift.alu_target ~width:config.fd_width () in
+  let nl = target.Lift.netlist in
+  log (Printf.sprintf "fleet: phase 1 aging analysis (alu%d, nominal corner)" config.fd_width);
+  let analysis =
+    Vega.aging_analysis
+      ~config:{ Vega.default_phase1 with Vega.clock_margin = config.fd_margin }
+      target ~workload:minver_workload
+  in
+  let clock_period_ps = analysis.Vega.clock_period_ps in
+  (* the vendor lifts the deployed suite at the WORST fleet corner
+     (hottest, highest Vdd, full service life): a fleet ships one test
+     binary, and it must cover the most aged device it will ever meet.
+     Devices whose onset pair falls outside the lifted budget are the
+     campaign's escapes. *)
+  let worst_pairs =
+    let aging_cfg =
+      {
+        Aging.default_config with
+        Aging.temp_k = config.fd_temp_max_k;
+        calibration_dvth_10y =
+          Aging.default_config.Aging.calibration_dvth_10y *. config.fd_vdd_max
+          *. config.fd_vdd_max;
+      }
+    in
+    let aglib = Aging.Timing_library.build ~config:aging_cfg Cell.Library.c28 in
+    let timing =
+      Sta.aged_timing
+        ~clock_tree:Vega.default_phase1.Vega.clock_tree
+        ~sp_of_net:analysis.Vega.sp_of_net ~years:config.fd_years_max aglib
+    in
+    Sta.violating_pairs ~timing ~clock_period_ps nl
+  in
+  (* the deployed suite is shared by the whole fleet; checkpoint it in
+     shard 0 so a resumed run skips the lift *)
+  let sck = Option.map (fun sh -> Resilience.Checkpoint.shard sh 0) checkpoint in
+  let selected =
+    match
+      ck_load sck "fleet~lift" (fun j ->
+          Result.bind (Json.to_list j) (Json.map_m Serial.pair_result_of_json))
+    with
+    | Some selected ->
+      log "fleet: deployed suite restored from checkpoint";
+      selected
+    | None ->
+      log "fleet: error lifting for the deployed suite (worst fleet corner)";
+      let selected = select_campaign_pairs target worst_pairs config.fd_specs in
+      ck_store sck "fleet~lift" (Json.List (List.map Serial.pair_result_to_json selected));
+      selected
+  in
+  let suite = Lift.suite_of_results target.Lift.kind selected in
+  let n_cases = List.length suite.Lift.suite_cases in
+  (* schedule latency: the deployed suite runs case 0, 1, ... in order, so
+     detection at case i costs the cycles of every case up to i *)
+  let case_prefix_cycles =
+    let acc = ref 0 in
+    suite.Lift.suite_cases
+    |> List.map (fun c ->
+           acc :=
+             !acc
+             + Vega.suite_cycles { Lift.suite_target = suite.Lift.suite_target; suite_cases = [ c ] };
+           !acc)
+    |> Array.of_list
+  in
+  let kernels =
+    match config.fd_kernels with
+    | [] -> List.map (fun (b : Workload.benchmark) -> b.Workload.name) Workload.all
+    | ks -> ks
+  in
+  log (Printf.sprintf "fleet: SP profiles for %d kernel(s)" (List.length kernels));
+  let sp_by_kernel =
+    List.map
+      (fun name ->
+        let b = Workload.find name in
+        match Vega.replay_sp target (Vega.recorded_unit_ops target ~workload:(kernel_workload b)) with
+        | Some (_, sp) -> (name, sp)
+        | None -> (name, analysis.Vega.sp_of_net))
+      kernels
+  in
+  let corners = fleet_corners config in
+  let tasks =
+    List.map
+      (fun c -> { Fleet.tk_key = Printf.sprintf "device-%04d" c.dc_device; Fleet.tk_payload = c })
+      corners
+  in
+  log
+    (Printf.sprintf "fleet: evaluating %d device(s) on %d domain(s), %d-case deployed suite"
+       config.fd_devices domains n_cases);
+  let results, stats =
+    Fleet.run
+      ~config:
+        {
+          Fleet.fl_domains = domains;
+          fl_max_attempts = config.fd_max_attempts;
+          fl_backoff_s = 0.02;
+          fl_timeout_s = config.fd_timeout_s;
+        }
+      ?checkpoint ~log ~seed:config.fd_seed
+      ~f:(fun ~seed corner ->
+        fleet_eval ~config ~clock_period_ps ~nl ~sp_by_kernel ~suite ~case_prefix_cycles ~seed
+          corner)
+      ~encode:fleet_row_to_json ~decode:fleet_row_of_json tasks
+  in
+  let fe_results =
+    List.map2
+      (fun corner (r : fleet_row Fleet.item_result) ->
+        match (r.Fleet.fr_outcome, r.Fleet.fr_value) with
+        | Fleet.Quarantined e, _ -> (corner, Error e)
+        | _, Some row -> (corner, Ok row)
+        | _, None -> (corner, Error "missing value"))
+      corners (Array.to_list results)
+  in
+  let rows = List.filter_map (fun (_, r) -> Result.to_option r) fe_results in
+  let fe_curve =
+    List.init config.fd_year_steps (fun k ->
+        let i = k + 1 in
+        let active =
+          List.filter
+            (fun r -> match r.dv_onset_idx with Some o -> o <= i | None -> false)
+            rows
+        in
+        let detected = List.filter (fun r -> not r.dv_escape) active in
+        let latencies = List.filter_map (fun r -> r.dv_latency_cycles) detected in
+        {
+          fp_years = fleet_years config i;
+          fp_violated = List.length active;
+          fp_detected = List.length detected;
+          fp_escaped = List.length active - List.length detected;
+          fp_mean_latency =
+            (match latencies with
+            | [] -> None
+            | l ->
+              Some (float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)));
+        })
+  in
+  {
+    fe_config = config;
+    fe_clock_period_ps = clock_period_ps;
+    fe_suite_cases = n_cases;
+    fe_results;
+    fe_curve;
+    fe_stats = stats;
+  }
+
+(* Deterministic rendering: rows and curves only.  Wall-clock health
+   (steals, re-dispatches, checkpoint hits) is deliberately absent — the
+   CI smoke diffs this output across domain counts and across
+   kill/resume. *)
+let render_fleet report =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet campaign: alu%d, %d device(s), %d-case deployed suite, clock %.1f ps\n"
+       report.fe_config.fd_width report.fe_config.fd_devices report.fe_suite_cases
+       report.fe_clock_period_ps);
+  Buffer.add_string buf
+    "  device        T(K)    Vdd   kernel      onset   worst pair                    specs  det  \
+     latency  escape\n";
+  List.iter
+    (fun (c, r) ->
+      match r with
+      | Error e ->
+        Buffer.add_string buf
+          (Printf.sprintf "  device-%04d  QUARANTINED: %s\n" c.dc_device e)
+      | Ok row ->
+        Buffer.add_string buf
+          (Printf.sprintf "  device-%04d  %5.1f  %5.3f  %-10s  %-6s  %-28s  %5d  %3d  %-7s  %s\n"
+             row.dv_device row.dv_temp_k row.dv_vdd row.dv_kernel
+             (match row.dv_onset_idx with
+             | None -> "-"
+             | Some i -> Printf.sprintf "%.1fy" (fleet_years report.fe_config i))
+             row.dv_worst_pair row.dv_specs row.dv_detected
+             (match row.dv_latency_cycles with None -> "-" | Some c -> string_of_int c)
+             (if row.dv_escape then "YES" else "no")))
+    report.fe_results;
+  Buffer.add_string buf "population vs lifetime:\n";
+  Buffer.add_string buf "  years  violated  detected  escaped  mean-latency-cycles\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %5.1f  %8d  %8d  %7d  %s\n" p.fp_years p.fp_violated p.fp_detected
+           p.fp_escaped
+           (match p.fp_mean_latency with None -> "-" | Some m -> Printf.sprintf "%.0f" m)))
+    report.fe_curve;
+  let quarantined =
+    List.length (List.filter (fun (_, r) -> Result.is_error r) report.fe_results)
+  in
+  let violated =
+    List.length
+      (List.filter
+         (fun (_, r) -> match r with Ok row -> row.dv_onset_idx <> None | Error _ -> false)
+         report.fe_results)
+  in
+  let escaped =
+    List.length
+      (List.filter (fun (_, r) -> match r with Ok row -> row.dv_escape | Error _ -> false)
+         report.fe_results)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "summary: %d device(s): %d violated, %d detected, %d escaped, %d quarantined\n"
+       (List.length report.fe_results) violated (violated - escaped) escaped quarantined);
+  Buffer.contents buf
+
 (* ---------------- run everything ---------------- *)
 
 let run_all ?config ?(log = fun _ -> ()) () =

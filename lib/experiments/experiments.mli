@@ -366,6 +366,135 @@ val render_attack_campaign : ?years_max:float -> attack_report -> string
 (** Deterministic table (the CI-diffed artifact); [years_max] (default
     30) only affects how a clean-at-horizon TTV prints. *)
 
+(** {1 Fleet campaign — a device population through the domain pool}
+
+    N devices, each with a seeded (temperature, Vdd, workload-kernel)
+    aging corner, all shipping the one deployed test suite — lifted at
+    the worst fleet corner (hottest, highest Vdd, full service life),
+    because a fleet ships one test binary.  Per device: find the lifetime-grid onset of timing
+    violations under its corner, inject the capture faults at the onset
+    pair, and check detection by the deployed suite.  Devices run
+    through {!Fleet.run}, so rows are bit-identical across domain
+    counts and kill/resume, and a persistently failing device is
+    quarantined rather than fatal. *)
+
+type fleet_config = {
+  fd_width : int;  (** ALU width of the analyzed unit *)
+  fd_devices : int;  (** population size *)
+  fd_seed : int;  (** master seed: corners and per-device item seeds *)
+  fd_margin : float;  (** clock margin of the shared phase-1 analysis *)
+  fd_specs : int;  (** violating pairs lifted into the deployed suite *)
+  fd_constants : Fault.constant list;  (** capture constants injected *)
+  fd_engine : Lift.engine;  (** detection-sweep backend *)
+  fd_years_max : float;
+  fd_year_steps : int;  (** lifetime grid: step i = i/steps * years_max *)
+  fd_temp_min_k : float;  (** corner distribution bounds *)
+  fd_temp_max_k : float;
+  fd_vdd_min : float;
+  fd_vdd_max : float;
+  fd_kernels : string list;  (** workload pool ([[]] = all benchmarks) *)
+  fd_poison : int list;  (** device ids forced to fail (quarantine drill) *)
+  fd_max_attempts : int;  (** fleet retry budget per device *)
+  fd_timeout_s : float option;  (** fleet soft per-device timeout *)
+}
+
+val default_fleet : fleet_config
+(** 64 devices, alu16, 4 specs, sim64 engine, 10 lifetime steps over 10
+    years, T in 330..420 K, Vdd in 0.9..1.1, all kernels. *)
+
+val quick_fleet : fleet_config
+(** 24 devices, alu8, 2 specs, 8 steps, 3 kernels — the CI smoke size. *)
+
+type device_corner = {
+  dc_device : int;
+  dc_temp_k : float;
+  dc_vdd : float;
+  dc_kernel : string;
+}
+
+val fleet_corners : fleet_config -> device_corner list
+(** The seeded corner draw: deterministic in (seed, device id),
+    independent of the device count. *)
+
+type fleet_row = {
+  dv_device : int;
+  dv_temp_k : float;
+  dv_vdd : float;
+  dv_kernel : string;
+  dv_onset_idx : int option;
+      (** first violating lifetime-grid index (1-based); [None] = clean
+          at horizon *)
+  dv_worst_pair : string;  (** "start~end~violation", or "-" *)
+  dv_specs : int;  (** fault specs injected at the onset pair *)
+  dv_detected : int;  (** specs the deployed suite detects *)
+  dv_escape : bool;  (** some injected corruption escapes the suite *)
+  dv_latency_cycles : int option;
+      (** worst detection latency over detected specs, in deployed-suite
+          cycles from suite start *)
+}
+
+val fleet_years : fleet_config -> int -> float
+(** Years at lifetime-grid index [i]. *)
+
+val fleet_digest : fleet_config -> string
+(** Checkpoint digest; deliberately excludes the domain count and the
+    retry/timeout knobs, so a run killed at [--domains 4] resumes at
+    [--domains 1]. *)
+
+val fleet_row_to_json : fleet_row -> Json.t
+val fleet_row_of_json : Json.t -> (fleet_row, string) result
+
+val fleet_eval :
+  config:fleet_config ->
+  clock_period_ps:float ->
+  nl:Netlist.t ->
+  sp_by_kernel:(string * (Netlist.net -> float)) list ->
+  suite:Lift.suite ->
+  case_prefix_cycles:int array ->
+  seed:int ->
+  device_corner ->
+  fleet_row
+(** One device's evaluation — a pure function of (seed, corner) and the
+    shared read-only context; raises on a poisoned device.  Exposed for
+    the determinism tests. *)
+
+type fleet_point = {
+  fp_years : float;
+  fp_violated : int;  (** devices whose onset is at or before this year *)
+  fp_detected : int;  (** of those, fully detected by the suite *)
+  fp_escaped : int;
+  fp_mean_latency : float option;  (** mean latency over detected devices *)
+}
+
+type fleet_report = {
+  fe_config : fleet_config;
+  fe_clock_period_ps : float;
+  fe_suite_cases : int;
+  fe_results : (device_corner * (fleet_row, string) result) list;
+      (** device order; [Error] is the quarantine message *)
+  fe_curve : fleet_point list;  (** one point per lifetime-grid step *)
+  fe_stats : Fleet.stats;
+}
+
+val fleet_campaign :
+  ?config:fleet_config ->
+  ?domains:int ->
+  ?log:(string -> unit) ->
+  ?checkpoint:Resilience.Checkpoint.sharded ->
+  unit ->
+  fleet_report
+(** Run the population.  Rows and curve are bit-identical for any
+    [domains] >= 1 and across kill/resume against the same sharded
+    checkpoint (open it with {!fleet_digest}); only [fe_stats] may
+    differ.  The deployed suite is checkpointed in shard 0 under
+    ["fleet~lift"]. *)
+
+val render_fleet : fleet_report -> string
+(** Deterministic rendering (per-device rows, population curve,
+    summary).  Wall-clock health — steals, re-dispatches, checkpoint
+    hits — is deliberately absent: CI diffs this output across domain
+    counts and kill/resume. *)
+
 (** {1 Everything} *)
 
 val run_all : ?config:config -> ?log:(string -> unit) -> unit -> string

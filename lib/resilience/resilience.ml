@@ -142,6 +142,113 @@ module Checkpoint = struct
 
   let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.items [])
   let item_count t = Hashtbl.length t.items
+
+  (* ---- per-domain shards ---- *)
+
+  type sharded = {
+    sh_dir : string;
+    sh_digest : string;
+    sh_shards : t array;
+    sh_merged : (string, Json.t) Hashtbl.t; (* read-only after open *)
+  }
+
+  let shard_path root k = Filename.concat root (Printf.sprintf "shard-%d" k)
+
+  let shard_index name =
+    let prefix = "shard-" in
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      int_of_string_opt (String.sub name pl (String.length name - pl))
+    else None
+
+  let open_sharded ?(resume = false) ~dir ~digest ~shards () =
+    if shards < 1 then invalid_arg "Checkpoint.open_sharded: shards must be >= 1";
+    let open Json in
+    let fresh = not (Sys.file_exists (meta_file dir)) in
+    let* () =
+      if fresh then begin
+        mkdir_p dir;
+        write_atomic (meta_file dir) (Json.to_string (meta_json digest));
+        Ok ()
+      end
+      else
+        let* meta = Json.of_string (read_file (meta_file dir)) in
+        check_meta ~dir ~digest meta
+    in
+    (* Open every shard already on disk, whatever its index: a run killed
+       at --domains 4 must be resumable at --domains 1 and vice versa.
+       Going through [open_dir] re-runs the torn-tmp sweep and the
+       stale-digest check inside each shard subdirectory, so one stale
+       shard poisons the whole open. *)
+    let existing =
+      if fresh then []
+      else
+        Sys.readdir dir |> Array.to_list |> List.filter_map shard_index |> List.sort compare
+    in
+    let* opened =
+      List.fold_left
+        (fun acc k ->
+          let* acc = acc in
+          let* ck = open_dir ~resume:true ~dir:(shard_path dir k) ~digest () in
+          Ok ((k, ck) :: acc))
+        (Ok []) existing
+    in
+    let opened = List.rev opened in
+    let total = List.fold_left (fun n (_, ck) -> n + item_count ck) 0 opened in
+    if (not resume) && total > 0 then
+      Error
+        (Printf.sprintf
+           "checkpoint %s already holds %d completed item(s) across %d shard(s); pass --resume \
+            to continue it or remove the directory"
+           dir total (List.length opened))
+    else begin
+      (* merge in ascending shard order; the first shard holding a key
+         wins (duplicates only arise from a straggler re-dispatch racing
+         a kill, and both copies are outputs of the same pure function,
+         so the tie-break only needs to be deterministic) *)
+      let merged = Hashtbl.create 64 in
+      List.iter
+        (fun (_, ck) ->
+          List.iter
+            (fun key ->
+              if not (Hashtbl.mem merged key) then
+                match load ck key with
+                | Some data -> Hashtbl.replace merged key data
+                | None -> ())
+            (keys ck))
+        opened;
+      let* rev_shards =
+        List.fold_left
+          (fun acc k ->
+            let* acc = acc in
+            let* ck =
+              match List.assoc_opt k opened with
+              | Some ck -> Ok ck
+              | None -> open_dir ~resume:true ~dir:(shard_path dir k) ~digest ()
+            in
+            Ok (ck :: acc))
+          (Ok [])
+          (List.init shards (fun k -> k))
+      in
+      Ok
+        {
+          sh_dir = dir;
+          sh_digest = digest;
+          sh_shards = Array.of_list (List.rev rev_shards);
+          sh_merged = merged;
+        }
+    end
+
+  let shard sh k = sh.sh_shards.(k)
+  let shard_count sh = Array.length sh.sh_shards
+  let sharded_dir sh = sh.sh_dir
+  let sharded_digest sh = sh.sh_digest
+  let sharded_load sh key = Hashtbl.find_opt sh.sh_merged key
+
+  let sharded_keys sh =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) sh.sh_merged [])
+
+  let sharded_item_count sh = Hashtbl.length sh.sh_merged
 end
 
 (* ---- supervisor ---- *)

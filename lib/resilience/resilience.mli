@@ -72,6 +72,46 @@ module Checkpoint : sig
 
   val keys : t -> string list
   val item_count : t -> int
+
+  (** {2 Per-domain shards}
+
+      A sharded store is one checkpoint directory holding a root
+      [meta.json] plus [shard-<k>/] subdirectories, each itself a full
+      single-writer store.  In a fleet run, worker domain [k] writes only
+      to shard [k] (so no lock sits on the store path), while reads go
+      through a merged view built once at open time.  Opening re-runs the
+      torn-tmp sweep and the stale-digest check inside {e every} shard on
+      disk — one stale shard refuses the whole resume — and merges
+      whatever shards exist regardless of the current shard count, so a
+      run killed at [--domains 4] resumes correctly at [--domains 1] and
+      vice versa (the digest deliberately excludes the domain count). *)
+
+  type sharded
+
+  val open_sharded :
+    ?resume:bool -> dir:string -> digest:string -> shards:int -> unit -> (sharded, string) result
+  (** Create or reopen a sharded store with [shards] writable shards
+      (>= 1, one per worker domain).  Same refusal rules as {!open_dir}:
+      populated-without-[resume] and digest mismatches (root or any
+      shard) are readable errors.
+      @raise Invalid_argument if [shards < 1]. *)
+
+  val shard : sharded -> int -> t
+  (** The writable store of worker [k].  Each shard must be written by at
+      most one domain at a time; the merged read view is not updated by
+      writes (it is fixed at open). *)
+
+  val shard_count : sharded -> int
+  val sharded_dir : sharded -> string
+  val sharded_digest : sharded -> string
+
+  val sharded_load : sharded -> string -> Json.t option
+  (** Look up a key in the merged view of all shards found at open time
+      (ascending shard order, first shard holding the key wins).  Safe to
+      call concurrently from any domain. *)
+
+  val sharded_keys : sharded -> string list
+  val sharded_item_count : sharded -> int
 end
 
 (** {1 The lifting supervisor} *)

@@ -1,9 +1,19 @@
 (* Global-sink telemetry: spans, counters, histograms, exporters.
 
-   The recorder is a handful of module-level mutable cells guarded by one
-   [enabled_flag] bool — the only thing a disabled instrumentation point
-   ever touches.  Counter bumps mutate an int field (no allocation), which
-   is what lets the Sim64 settle loop stay instrumented permanently.
+   The recorder is domain-safe.  Counters and histograms are shared across
+   domains and bump through [Atomic] cells (an [Atomic.fetch_and_add] on an
+   immediate int: no allocation, no lock), which is what lets the Sim64
+   settle loop stay instrumented permanently and lets fleet workers bump
+   the same counters concurrently without tearing.  Span state is
+   per-domain ([Domain.DLS]): each domain grows its own well-formed span
+   forest and a coordinator can [harvest] a worker's finished forest and
+   [absorb] it into its own.  The registries are guarded by a mutex (cold
+   path: [make] runs once per name, usually at module init).  The
+   [enabled_flag] bool is the only thing a disabled instrumentation point
+   ever touches; it is flipped by [enable]/[disable] from the coordinating
+   domain while no workers run, so plain (non-atomic) reads are fine —
+   OCaml 5 guarantees they are memory-safe, and a stale read merely
+   records or skips a sample at the toggle boundary.
    Timestamps are native-int nanoseconds: 63 bits holds ~292 years, and
    staying out of Int64 keeps clock reads and span frames boxing-free. *)
 
@@ -11,27 +21,27 @@ type value = Int of int | Float of float | Str of string | Bool of bool
 
 module Clock = struct
   type t =
-    | Monotonic of { mutable last : int }
-    | Virtual of { mutable now : int; step : int }
+    | Monotonic of { last : int Atomic.t }
+    | Virtual of { now : int Atomic.t; step : int }
 
-  let monotonic () = Monotonic { last = 0 }
+  let monotonic () = Monotonic { last = Atomic.make 0 }
 
   let virtual_ ?(start_ns = 0) ?(step_ns = 1000) () =
     if step_ns <= 0 then invalid_arg "Telemetry.Clock.virtual_: step_ns must be positive";
-    Virtual { now = start_ns; step = step_ns }
+    Virtual { now = Atomic.make start_ns; step = step_ns }
 
   let now_ns = function
     | Monotonic m ->
-      (* clamped to strictly increasing: gettimeofday can step backwards
-         (NTP) and repeats at microsecond resolution *)
-      let t = int_of_float (Unix.gettimeofday () *. 1e9) in
-      let t = if t > m.last then t else m.last + 1 in
-      m.last <- t;
-      t
-    | Virtual v ->
-      let t = v.now in
-      v.now <- t + v.step;
-      t
+      (* clamped to strictly increasing across all domains: gettimeofday
+         can step backwards (NTP) and repeats at microsecond resolution *)
+      let rec claim () =
+        let last = Atomic.get m.last in
+        let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+        let t = if t > last then t else last + 1 in
+        if Atomic.compare_and_set m.last last t then t else claim ()
+      in
+      claim ()
+    | Virtual v -> Atomic.fetch_and_add v.now v.step
 
   let is_virtual = function Virtual _ -> true | Monotonic _ -> false
 end
@@ -54,30 +64,43 @@ type frame = {
   mutable f_children : span list;  (* reversed *)
 }
 
+(* Per-domain span state.  Each domain's forest is private to it, so frame
+   mutation needs no locks; [harvest]/[absorb] move finished spans (plain
+   immutable values) between domains explicitly. *)
+type domain_spans = {
+  mutable ds_stack : frame list; (* head = innermost open span *)
+  mutable ds_roots : span list;  (* reversed *)
+}
+
+let spans_key : domain_spans Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { ds_stack = []; ds_roots = [] })
+
+let local_spans () = Domain.DLS.get spans_key
+
 let enabled_flag = ref false
 let the_clock = ref (Clock.monotonic ())
-let stack : frame list ref = ref [] (* head = innermost open span *)
-let roots : span list ref = ref [] (* reversed *)
 
 let enabled () = !enabled_flag
-let span_depth () = List.length !stack
+let span_depth () = List.length (local_spans ()).ds_stack
 
 module Counter = struct
-  type t = { c_id : string; mutable v : int }
+  type t = { c_id : string; v : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+  let registry_lock = Mutex.create ()
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-      let c = { c_id = name; v = 0 } in
-      Hashtbl.replace registry name c;
-      c
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+          let c = { c_id = name; v = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
 
-  let add c n = if !enabled_flag then c.v <- c.v + n
-  let incr c = if !enabled_flag then c.v <- c.v + 1
-  let value c = c.v
+  let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.v n)
+  let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.v 1)
+  let value c = Atomic.get c.v
 
   type snapshot = { c_name : string; c_value : int }
 
@@ -89,35 +112,49 @@ module Counter = struct
 end
 
 module Histogram = struct
-  type t = { h_id : string; bounds : int array; counts : int array; mutable total : int; mutable sum : int }
+  type t = {
+    h_id : string;
+    bounds : int array;
+    counts : int Atomic.t array;
+    total : int Atomic.t;
+    sum : int Atomic.t;
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let registry_lock = Mutex.create ()
 
   let make name ~bounds =
     for i = 1 to Array.length bounds - 1 do
       if bounds.(i) <= bounds.(i - 1) then
         invalid_arg (Printf.sprintf "Telemetry.Histogram.make %s: bounds not strictly increasing" name)
     done;
-    match Hashtbl.find_opt registry name with
-    | Some h ->
-      if h.bounds <> bounds then
-        invalid_arg (Printf.sprintf "Telemetry.Histogram.make %s: bounds differ from registration" name);
-      h
-    | None ->
-      let h =
-        { h_id = name; bounds = Array.copy bounds; counts = Array.make (Array.length bounds + 1) 0; total = 0; sum = 0 }
-      in
-      Hashtbl.replace registry name h;
-      h
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h ->
+          if h.bounds <> bounds then
+            invalid_arg (Printf.sprintf "Telemetry.Histogram.make %s: bounds differ from registration" name);
+          h
+        | None ->
+          let h =
+            {
+              h_id = name;
+              bounds = Array.copy bounds;
+              counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+              total = Atomic.make 0;
+              sum = Atomic.make 0;
+            }
+          in
+          Hashtbl.replace registry name h;
+          h)
 
   let observe h v =
     if !enabled_flag then begin
       let n = Array.length h.bounds in
       let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
       let i = idx 0 in
-      h.counts.(i) <- h.counts.(i) + 1;
-      h.total <- h.total + 1;
-      h.sum <- h.sum + v
+      ignore (Atomic.fetch_and_add h.counts.(i) 1);
+      ignore (Atomic.fetch_and_add h.total 1);
+      ignore (Atomic.fetch_and_add h.sum v)
     end
 
   type snapshot = {
@@ -129,7 +166,13 @@ module Histogram = struct
   }
 
   let snapshot_value h =
-    { h_name = h.h_id; h_bounds = Array.copy h.bounds; h_counts = Array.copy h.counts; h_total = h.total; h_sum = h.sum }
+    {
+      h_name = h.h_id;
+      h_bounds = Array.copy h.bounds;
+      h_counts = Array.map Atomic.get h.counts;
+      h_total = Atomic.get h.total;
+      h_sum = Atomic.get h.sum;
+    }
 
   let merge a b =
     if a.h_name <> b.h_name then
@@ -148,15 +191,18 @@ end
 (* ---- lifecycle ---- *)
 
 let reset () =
-  stack := [];
-  roots := [];
-  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
-  Hashtbl.iter
-    (fun _ (h : Histogram.t) ->
-      Array.fill h.Histogram.counts 0 (Array.length h.Histogram.counts) 0;
-      h.Histogram.total <- 0;
-      h.Histogram.sum <- 0)
-    Histogram.registry
+  let ds = local_spans () in
+  ds.ds_stack <- [];
+  ds.ds_roots <- [];
+  Mutex.protect Counter.registry_lock (fun () ->
+      Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.v 0) Counter.registry);
+  Mutex.protect Histogram.registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) ->
+          Array.iter (fun c -> Atomic.set c 0) h.Histogram.counts;
+          Atomic.set h.Histogram.total 0;
+          Atomic.set h.Histogram.sum 0)
+        Histogram.registry)
 
 let enable ?clock () =
   (match clock with Some c -> the_clock := c | None -> the_clock := Clock.monotonic ());
@@ -168,17 +214,20 @@ let disable () = enabled_flag := false
 (* ---- spans ---- *)
 
 let begin_span ?(cat = "") name =
-  if !enabled_flag then
-    stack :=
+  if !enabled_flag then begin
+    let ds = local_spans () in
+    ds.ds_stack <-
       { f_name = name; f_cat = cat; f_start = Clock.now_ns !the_clock; f_children = [] }
-      :: !stack
+      :: ds.ds_stack
+  end
 
 let end_span ?(args = []) () =
-  if !enabled_flag then
-    match !stack with
+  if !enabled_flag then begin
+    let ds = local_spans () in
+    match ds.ds_stack with
     | [] -> () (* stray end: ignored so the forest stays well-formed *)
     | f :: rest ->
-      stack := rest;
+      ds.ds_stack <- rest;
       let sp =
         {
           sp_name = f.f_name;
@@ -190,8 +239,9 @@ let end_span ?(args = []) () =
         }
       in
       (match rest with
-      | [] -> roots := sp :: !roots
+      | [] -> ds.ds_roots <- sp :: ds.ds_roots
       | parent :: _ -> parent.f_children <- sp :: parent.f_children)
+  end
 
 let with_span ?cat name f =
   begin_span ?cat name;
@@ -203,6 +253,22 @@ let with_span ?cat name f =
     end_span ~args:[ ("exception", Str (Printexc.to_string e)) ] ();
     raise e
 
+(* ---- cross-domain span transfer ---- *)
+
+let harvest () =
+  let ds = local_spans () in
+  let spans = List.rev ds.ds_roots in
+  ds.ds_roots <- [];
+  spans
+
+let absorb spans =
+  if !enabled_flag && spans <> [] then begin
+    let ds = local_spans () in
+    match ds.ds_stack with
+    | [] -> ds.ds_roots <- List.rev_append spans ds.ds_roots
+    | f :: _ -> f.f_children <- List.rev_append spans f.f_children
+  end
+
 (* ---- snapshots ---- *)
 
 type snapshot = {
@@ -213,9 +279,10 @@ type snapshot = {
 }
 
 let snapshot () =
-  (* virtually close still-open frames at one common end time; [!stack]'s
-     head is the innermost frame, so folding left threads each closed span
-     into its parent *)
+  (* virtually close this domain's still-open frames at one common end
+     time; the stack's head is the innermost frame, so folding left
+     threads each closed span into its parent *)
+  let ds = local_spans () in
   let now = Clock.now_ns !the_clock in
   let open_root =
     List.fold_left
@@ -232,17 +299,20 @@ let snapshot () =
             sp_args = [];
             sp_children = kids;
           })
-      None !stack
+      None ds.ds_stack
   in
-  let spans = List.rev_append !roots (match open_root with None -> [] | Some s -> [ s ]) in
+  let spans = List.rev_append ds.ds_roots (match open_root with None -> [] | Some s -> [ s ]) in
   let counters =
-    Hashtbl.fold
-      (fun _ (c : Counter.t) acc -> { Counter.c_name = c.Counter.c_id; c_value = c.Counter.v } :: acc)
-      Counter.registry []
+    Mutex.protect Counter.registry_lock (fun () ->
+        Hashtbl.fold
+          (fun _ (c : Counter.t) acc ->
+            { Counter.c_name = c.Counter.c_id; c_value = Atomic.get c.Counter.v } :: acc)
+          Counter.registry [])
     |> List.sort (fun a b -> compare a.Counter.c_name b.Counter.c_name)
   in
   let histograms =
-    Hashtbl.fold (fun _ h acc -> Histogram.snapshot_value h :: acc) Histogram.registry []
+    Mutex.protect Histogram.registry_lock (fun () ->
+        Hashtbl.fold (fun _ h acc -> Histogram.snapshot_value h :: acc) Histogram.registry [])
     |> List.sort (fun a b -> compare a.Histogram.h_name b.Histogram.h_name)
   in
   { ss_spans = spans; ss_counters = counters; ss_histograms = histograms; ss_end_ns = now }

@@ -21,10 +21,18 @@
     - {b tolerant of unbalanced use}: a stray {!end_span} is ignored and
       {!snapshot} virtually closes still-open spans, so any interleaving
       of begin/end through this API yields a well-formed forest (the
-      QCheck property).
+      QCheck property);
+    - {b domain-safe}: counters and histograms are shared across OCaml 5
+      domains and bump through lock-free atomics (two domains hammering
+      the same counter lose no increments — the two-domain test in
+      [test_telemetry]); span state is domain-local, so each domain grows
+      its own well-formed forest and a coordinator stitches worker
+      forests into its trace with {!harvest}/{!absorb}.
 
     The sink is global (one process, one trace), matching the
-    one-pipeline-per-process shape of [vega_cli] and [bench]. *)
+    one-pipeline-per-process shape of [vega_cli] and [bench].
+    {!enable}/{!disable}/{!reset} are coordinator operations: call them
+    from the main domain while no worker domains are running. *)
 
 (** Argument values attachable to spans (rendered into exporter [args]). *)
 type value = Int of int | Float of float | Str of string | Bool of bool
@@ -65,14 +73,16 @@ val disable : unit -> unit
 (** Stop recording.  Collected data is retained for {!snapshot}. *)
 
 val reset : unit -> unit
-(** Clear spans and zero counters/histograms without changing the
-    enabled state or the clock. *)
+(** Clear the calling domain's spans and zero every registered counter
+    and histogram (shared across domains) without changing the enabled
+    state or the clock. *)
 
 (** {1 Spans} *)
 
 val begin_span : ?cat:string -> string -> unit
-(** Open a span nested under the innermost open span.  No-op when
-    disabled. *)
+(** Open a span nested under the calling domain's innermost open span.
+    No-op when disabled.  Span state is domain-local: spans opened in a
+    worker domain build that domain's private forest (see {!harvest}). *)
 
 val end_span : ?args:(string * value) list -> unit -> unit
 (** Close the innermost open span, attaching [args].  A stray end (no
@@ -83,7 +93,7 @@ val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
     when [f] raises. *)
 
 val span_depth : unit -> int
-(** Number of currently open spans. *)
+(** Number of currently open spans in the calling domain. *)
 
 (** {1 Counters} *)
 
@@ -151,6 +161,24 @@ type span = {
   sp_args : (string * value) list;
   sp_children : span list;  (** in start order *)
 }
+
+(** {1 Cross-domain span transfer}
+
+    A worker domain records spans into its own forest; before the domain
+    is joined it calls {!harvest} and ships the resulting list back (as
+    part of its result value), and the coordinator calls {!absorb} to
+    splice the workers' forests into its own trace in a deterministic
+    order of its choosing. *)
+
+val harvest : unit -> span list
+(** The calling domain's completed root spans, in start order; clears
+    them from the recorder.  Open frames are left untouched (a worker
+    should harvest only after closing its spans). *)
+
+val absorb : span list -> unit
+(** Append harvested spans, preserving their order, under the calling
+    domain's innermost open span (or as roots if none is open).  No-op
+    when disabled or on an empty list. *)
 
 type snapshot = {
   ss_spans : span list;  (** root spans, in start order *)

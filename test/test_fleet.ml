@@ -1,0 +1,371 @@
+(* The fleet engine: scheduling independence (bit-identical results for
+   any domain count), kill/resume through sharded checkpoints at a
+   different domain count, retry/timeout/quarantine dispositions, and
+   the campaign-level determinism the CLI smoke diffs.
+
+   Everything here runs on whatever cores the machine has — the
+   properties are about VALUES, never wall-clock, so they hold on a
+   single hardware core too. *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "vega-fleet" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected checkpoint error: %s" msg
+
+(* a cheap deterministic item function with real per-item work: results
+   depend on both the derived seed and the payload, so any scheduling
+   leak shows up as a value difference *)
+let work ~seed payload =
+  let st = Random.State.make [| seed; payload |] in
+  let acc = ref 0 in
+  for _ = 1 to 50 do
+    acc := (!acc * 31) + Random.State.int st 1000 + payload
+  done;
+  !acc
+
+let tasks n = List.init n (fun i -> { Fleet.tk_key = Printf.sprintf "item-%03d" i; tk_payload = i })
+
+let encode v = Json.Int v
+
+let decode = function
+  | Json.Int v -> Ok v
+  | j -> Error (Printf.sprintf "not an int: %s" (Json.to_string j))
+
+let run_at ?checkpoint ~domains ?(max_attempts = 3) ?timeout n =
+  Fleet.run
+    ~config:
+      {
+        Fleet.fl_domains = domains;
+        fl_max_attempts = max_attempts;
+        fl_backoff_s = 0.001;
+        fl_timeout_s = timeout;
+      }
+    ?checkpoint ~seed:42 ~f:work ~encode ~decode (tasks n)
+
+let canonical results =
+  Array.to_list results
+  |> List.map (fun r ->
+         ( r.Fleet.fr_key,
+           r.Fleet.fr_seed,
+           r.Fleet.fr_value,
+           match r.Fleet.fr_outcome with Fleet.Quarantined e -> Some e | _ -> None ))
+
+(* ---- derived seeds ---- *)
+
+let test_derive_seed () =
+  Alcotest.(check int)
+    "stable" (Fleet.derive_seed 42 "item-001") (Fleet.derive_seed 42 "item-001");
+  Alcotest.(check bool)
+    "key-sensitive" true
+    (Fleet.derive_seed 42 "item-001" <> Fleet.derive_seed 42 "item-002");
+  Alcotest.(check bool)
+    "run-seed-sensitive" true
+    (Fleet.derive_seed 42 "item-001" <> Fleet.derive_seed 43 "item-001");
+  Alcotest.(check bool) "nonnegative" true (Fleet.derive_seed (-7) "k" >= 0)
+
+(* ---- scheduling independence ---- *)
+
+let prop_domain_count_independent domains =
+  let r1, s1 = run_at ~domains:1 40 in
+  let rd, sd = run_at ~domains 40 in
+  canonical r1 = canonical rd
+  && s1.Fleet.st_completed = sd.Fleet.st_completed
+  && sd.Fleet.st_quarantined = 0
+
+let domain_independence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:6 ~name:"results are bit-identical for any domain count"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 6))
+       prop_domain_count_independent)
+
+let test_serial_equals_parallel_with_telemetry () =
+  (* counter TOTALS are deterministic too: items_done counts every item
+     exactly once no matter how many domains raced for them *)
+  let total_at domains =
+    Telemetry.enable ~clock:(Telemetry.Clock.virtual_ ()) ();
+    let _ = run_at ~domains 30 in
+    let snap = Telemetry.snapshot () in
+    Telemetry.disable ();
+    Telemetry.reset ();
+    let v name =
+      List.fold_left
+        (fun acc (c : Telemetry.Counter.snapshot) ->
+          if c.Telemetry.Counter.c_name = name then c.Telemetry.Counter.c_value else acc)
+        (-1) snap.Telemetry.ss_counters
+    in
+    (v "fleet.items_done", v "fleet.items_quarantined")
+  in
+  let d1 = total_at 1 and d4 = total_at 4 in
+  Alcotest.(check (pair int int)) "counter totals equal" d1 d4;
+  Alcotest.(check (pair int int)) "every item counted once" (30, 0) d4
+
+(* ---- checkpoints: kill/resume at a different domain count ---- *)
+
+let test_resume_across_domain_counts () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let golden, _ = run_at ~domains:1 25 in
+      let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"fleet-test" ~shards:4 ()) in
+      let _ = run_at ~checkpoint:sh ~domains:4 25 in
+      (* simulate a kill that lost some completions: delete every other
+         item file in every shard.  Sweeping all shards (rather than a
+         fixed subset) keeps this deterministic on a single-core box,
+         where one hungry domain can end up owning every item. *)
+      let deleted = ref 0 in
+      List.iter
+        (fun k ->
+          let idir = Filename.concat (Filename.concat dir (Printf.sprintf "shard-%d" k)) "items" in
+          if Sys.file_exists idir then begin
+            let files = Sys.readdir idir in
+            Array.sort compare files;
+            Array.iteri
+              (fun i f ->
+                if i mod 2 = 0 then begin
+                  Sys.remove (Filename.concat idir f);
+                  incr deleted
+                end)
+              files
+          end)
+        [ 0; 1; 2; 3 ];
+      Alcotest.(check bool) "something was lost" true (!deleted > 0);
+      (* resume at a DIFFERENT domain count *)
+      let sh2 =
+        ok (Resilience.Checkpoint.open_sharded ~resume:true ~dir ~digest:"fleet-test" ~shards:2 ())
+      in
+      let resumed, stats = run_at ~checkpoint:sh2 ~domains:2 25 in
+      Alcotest.(check bool)
+        "surviving items restored, lost ones recomputed" true
+        (stats.Fleet.st_checkpoint_hits = 25 - !deleted);
+      Alcotest.(check bool) "byte-identical values" true (canonical golden = canonical resumed))
+
+(* ---- retries, quarantine, stragglers ---- *)
+
+let test_flaky_item_retried () =
+  let failures = Array.init 10 (fun _ -> Atomic.make 0) in
+  let f ~seed:_ i =
+    if i = 4 && Atomic.fetch_and_add failures.(i) 1 < 2 then failwith "flaky";
+    i * 10
+  in
+  let results, stats =
+    Fleet.run
+      ~config:
+        { Fleet.fl_domains = 2; fl_max_attempts = 5; fl_backoff_s = 0.001; fl_timeout_s = None }
+      ~seed:1 ~f ~encode ~decode (tasks 10)
+  in
+  Alcotest.(check int) "value correct after retries" 40 (Option.get results.(4).Fleet.fr_value);
+  (match results.(4).Fleet.fr_outcome with
+  | Fleet.Retried n -> Alcotest.(check int) "two failed attempts recorded" 2 n
+  | o -> Alcotest.failf "expected Retried, got %s" (Fleet.outcome_name o));
+  Alcotest.(check int) "one item retried" 1 stats.Fleet.st_retried;
+  Alcotest.(check int) "nothing quarantined" 0 stats.Fleet.st_quarantined
+
+let test_persistent_failure_quarantined () =
+  let f ~seed:_ i = if i = 2 || i = 5 then failwith (Printf.sprintf "poisoned %d" i) else i in
+  let results, stats =
+    Fleet.run
+      ~config:
+        { Fleet.fl_domains = 3; fl_max_attempts = 3; fl_backoff_s = 0.001; fl_timeout_s = None }
+      ~seed:1 ~f ~encode ~decode (tasks 8)
+  in
+  Alcotest.(check int) "two quarantined" 2 stats.Fleet.st_quarantined;
+  Alcotest.(check int) "the rest completed" 6 stats.Fleet.st_completed;
+  (match results.(2).Fleet.fr_outcome with
+  | Fleet.Quarantined msg ->
+    Alcotest.(check string) "final error kept" "Failure(\"poisoned 2\")" msg
+  | o -> Alcotest.failf "expected Quarantined, got %s" (Fleet.outcome_name o));
+  Alcotest.(check (option int)) "no value for a quarantined item" None results.(5).Fleet.fr_value;
+  Alcotest.(check int) "attempt budget honored" 3 results.(5).Fleet.fr_attempts
+
+let test_quarantine_disposition_checkpointed () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let executions = Atomic.make 0 in
+      let f ~seed:_ i =
+        if i = 1 then begin
+          Atomic.incr executions;
+          failwith "always fails"
+        end
+        else i
+      in
+      let cfg =
+        { Fleet.fl_domains = 1; fl_max_attempts = 3; fl_backoff_s = 0.001; fl_timeout_s = None }
+      in
+      let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"q" ~shards:1 ()) in
+      let _ = Fleet.run ~config:cfg ~checkpoint:sh ~seed:1 ~f ~encode ~decode (tasks 3) in
+      Alcotest.(check int) "attempt budget burned once" 3 (Atomic.get executions);
+      let sh2 = ok (Resilience.Checkpoint.open_sharded ~resume:true ~dir ~digest:"q" ~shards:1 ()) in
+      let results, stats = Fleet.run ~config:cfg ~checkpoint:sh2 ~seed:1 ~f ~encode ~decode (tasks 3) in
+      (* the quarantine disposition was persisted: the resume re-executes
+         NOTHING, not even the poisoned item *)
+      Alcotest.(check int) "no re-execution on resume" 3 (Atomic.get executions);
+      Alcotest.(check int) "all items from checkpoint" 3 stats.Fleet.st_checkpoint_hits;
+      match results.(1).Fleet.fr_outcome with
+      | Fleet.Quarantined _ -> ()
+      | o -> Alcotest.failf "expected restored Quarantined, got %s" (Fleet.outcome_name o))
+
+let test_straggler_redispatched () =
+  (* one item sleeps well past the timeout; the run must still finish
+     with the right value, whether the original or a re-dispatched
+     execution wins the race *)
+  let f ~seed:_ i =
+    if i = 0 then Unix.sleepf 0.08;
+    i + 100
+  in
+  let results, _stats =
+    Fleet.run
+      ~config:
+        { Fleet.fl_domains = 2; fl_max_attempts = 3; fl_backoff_s = 0.001; fl_timeout_s = Some 0.02 }
+      ~seed:1 ~f ~encode ~decode (tasks 6)
+  in
+  Alcotest.(check int) "slow item's value correct" 100 (Option.get results.(0).Fleet.fr_value);
+  (match results.(0).Fleet.fr_outcome with
+  | Fleet.Completed | Fleet.Timed_out _ -> ()
+  | o -> Alcotest.failf "expected Completed or Timed_out, got %s" (Fleet.outcome_name o));
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "item %d value" i) (i + 100) (Option.get r.Fleet.fr_value))
+    results
+
+let test_duplicate_keys_rejected () =
+  let dup = [ { Fleet.tk_key = "same"; tk_payload = 1 }; { Fleet.tk_key = "same"; tk_payload = 2 } ] in
+  Alcotest.check_raises "duplicate key"
+    (Invalid_argument "Fleet.run: duplicate task key \"same\"")
+    (fun () -> ignore (Fleet.run ~seed:1 ~f:work ~encode ~decode dup))
+
+let test_stats_tally_merges () =
+  let _, stats = run_at ~domains:3 12 in
+  let snaps = Fleet.tally_to_counters stats in
+  let v name =
+    List.fold_left
+      (fun acc (c : Telemetry.Counter.snapshot) ->
+        if c.Telemetry.Counter.c_name = name then c.Telemetry.Counter.c_value else acc)
+      (-1) snaps
+  in
+  Alcotest.(check int) "items" 12 (v "fleet.items");
+  Alcotest.(check int) "completed" 12 (v "fleet.completed");
+  (* merging a tally with itself doubles every counter — the merge is the
+     associative Telemetry one *)
+  let doubled = List.map2 Telemetry.Counter.merge snaps snaps in
+  Alcotest.(check int)
+    "merge is the telemetry merge" 24
+    (List.fold_left
+       (fun acc (c : Telemetry.Counter.snapshot) ->
+         if c.Telemetry.Counter.c_name = "fleet.items" then c.Telemetry.Counter.c_value else acc)
+       (-1) doubled)
+
+(* ---- the campaign through the pool ---- *)
+
+let tiny_fleet =
+  { Experiments.quick_fleet with Experiments.fd_devices = 4; fd_specs = 1; fd_year_steps = 4 }
+
+let test_campaign_domain_independent () =
+  let r1 = Experiments.fleet_campaign ~config:tiny_fleet ~domains:1 () in
+  let r2 = Experiments.fleet_campaign ~config:tiny_fleet ~domains:2 () in
+  Alcotest.(check string)
+    "rendered campaign byte-identical across domain counts" (Experiments.render_fleet r1)
+    (Experiments.render_fleet r2)
+
+let test_campaign_corners_seeded () =
+  let c1 = Experiments.fleet_corners tiny_fleet in
+  let c2 = Experiments.fleet_corners { tiny_fleet with Experiments.fd_devices = 8 } in
+  (* growing the population never changes existing devices' corners *)
+  List.iteri
+    (fun i (a : Experiments.device_corner) ->
+      let b = List.nth c2 i in
+      Alcotest.(check bool) (Printf.sprintf "corner %d stable" i) true (a = b))
+    c1;
+  List.iter
+    (fun (c : Experiments.device_corner) ->
+      Alcotest.(check bool) "temp in range" true
+        (c.Experiments.dc_temp_k >= tiny_fleet.Experiments.fd_temp_min_k
+        && c.Experiments.dc_temp_k <= tiny_fleet.Experiments.fd_temp_max_k);
+      Alcotest.(check bool) "kernel from the pool" true
+        (List.mem c.Experiments.dc_kernel tiny_fleet.Experiments.fd_kernels))
+    c1
+
+let test_campaign_row_codec_roundtrip () =
+  let row =
+    {
+      Experiments.dv_device = 3;
+      dv_temp_k = 391.7251234;
+      dv_vdd = 1.0333;
+      dv_kernel = "crc";
+      dv_onset_idx = Some 2;
+      dv_worst_pair = "b_q0~r_q0~setup";
+      dv_specs = 2;
+      dv_detected = 1;
+      dv_escape = true;
+      dv_latency_cycles = Some 977;
+    }
+  in
+  (match Experiments.fleet_row_of_json (Experiments.fleet_row_to_json row) with
+  | Ok back -> Alcotest.(check bool) "row round-trips" true (row = back)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let clean = { row with Experiments.dv_onset_idx = None; dv_latency_cycles = None } in
+  match Experiments.fleet_row_of_json (Experiments.fleet_row_to_json clean) with
+  | Ok back -> Alcotest.(check bool) "optional fields round-trip" true (clean = back)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_campaign_digest_ignores_robustness_knobs () =
+  let d = Experiments.fleet_digest tiny_fleet in
+  Alcotest.(check string) "attempts do not invalidate checkpoints" d
+    (Experiments.fleet_digest { tiny_fleet with Experiments.fd_max_attempts = 9 });
+  Alcotest.(check string) "timeout does not invalidate checkpoints" d
+    (Experiments.fleet_digest { tiny_fleet with Experiments.fd_timeout_s = None });
+  Alcotest.(check bool) "the seed does" true
+    (d <> Experiments.fleet_digest { tiny_fleet with Experiments.fd_seed = 7 })
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "derived seeds" `Quick test_derive_seed;
+          domain_independence_test;
+          Alcotest.test_case "telemetry counter totals domain-independent" `Quick
+            test_serial_equals_parallel_with_telemetry;
+          Alcotest.test_case "duplicate keys rejected" `Quick test_duplicate_keys_rejected;
+          Alcotest.test_case "stats tally merges" `Quick test_stats_tally_merges;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "flaky item retried with backoff" `Quick test_flaky_item_retried;
+          Alcotest.test_case "persistent failure quarantined, run survives" `Quick
+            test_persistent_failure_quarantined;
+          Alcotest.test_case "quarantine disposition checkpointed" `Quick
+            test_quarantine_disposition_checkpointed;
+          Alcotest.test_case "straggler re-dispatched, first writer wins" `Quick
+            test_straggler_redispatched;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill/resume across domain counts" `Quick
+            test_resume_across_domain_counts;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "byte-identical across domain counts" `Slow
+            test_campaign_domain_independent;
+          Alcotest.test_case "corners are seeded and population-stable" `Quick
+            test_campaign_corners_seeded;
+          Alcotest.test_case "row codec round-trips" `Quick test_campaign_row_codec_roundtrip;
+          Alcotest.test_case "digest ignores robustness knobs" `Quick
+            test_campaign_digest_ignores_robustness_knobs;
+        ] );
+    ]

@@ -243,6 +243,97 @@ let test_suite_of_report () =
     (List.length suite.Lift.suite_cases);
   Alcotest.(check bool) "the supervised sweep yields executable cases" true (expected > 0)
 
+(* ---- sharded checkpoint stores ---- *)
+
+let contains msg needle =
+  let ln = String.length needle and lm = String.length msg in
+  let rec at i = i + ln <= lm && (String.sub msg i ln = needle || at (i + 1)) in
+  at 0
+
+let test_sharded_merge_across_shard_counts () =
+  let dir = fresh_dir () in
+  let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"d1" ~shards:3 ()) in
+  Alcotest.(check int) "shard count" 3 (Resilience.Checkpoint.shard_count sh);
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 0) "a" (Json.Int 1);
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 1) "b" (Json.Int 2);
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 2) "c" (Json.Int 3);
+  (* reopen with a DIFFERENT shard count: all shards on disk must merge *)
+  let sh2 = ok (Resilience.Checkpoint.open_sharded ~resume:true ~dir ~digest:"d1" ~shards:1 ()) in
+  Alcotest.(check int) "merged items" 3 (Resilience.Checkpoint.sharded_item_count sh2);
+  Alcotest.(check (list string))
+    "merged keys" [ "a"; "b"; "c" ]
+    (Resilience.Checkpoint.sharded_keys sh2);
+  (match Resilience.Checkpoint.sharded_load sh2 "b" with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "shard-1 item lost in the merged view");
+  (* ascending shard order wins on a duplicated key *)
+  let dup = fresh_dir () in
+  let shd = ok (Resilience.Checkpoint.open_sharded ~dir:dup ~digest:"d1" ~shards:2 ()) in
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard shd 0) "k" (Json.Int 10);
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard shd 1) "k" (Json.Int 20);
+  let shd2 =
+    ok (Resilience.Checkpoint.open_sharded ~resume:true ~dir:dup ~digest:"d1" ~shards:2 ())
+  in
+  (match Resilience.Checkpoint.sharded_load shd2 "k" with
+  | Some (Json.Int 10) -> ()
+  | _ -> Alcotest.fail "duplicate key must resolve to the lowest shard");
+  rm_rf dir;
+  rm_rf dup
+
+let test_sharded_torn_tmp_swept () =
+  let dir = fresh_dir () in
+  let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"d1" ~shards:2 ()) in
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 1) "x" (Json.Int 7);
+  (* simulate a crash mid-write inside a shard subdirectory *)
+  let torn = Filename.concat (Filename.concat dir "shard-1") "items" in
+  let tmp = Filename.concat torn "garbage.json.tmp" in
+  let oc = open_out tmp in
+  output_string oc "{ torn";
+  close_out oc;
+  let sh2 = ok (Resilience.Checkpoint.open_sharded ~resume:true ~dir ~digest:"d1" ~shards:2 ()) in
+  Alcotest.(check bool) "tmp swept on open" false (Sys.file_exists tmp);
+  Alcotest.(check int) "real item survives" 1 (Resilience.Checkpoint.sharded_item_count sh2);
+  rm_rf dir
+
+let test_sharded_stale_shard_refused () =
+  let dir = fresh_dir () in
+  let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"good" ~shards:2 ()) in
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 0) "x" (Json.Int 1);
+  (* rewrite ONE shard's meta with a different digest: the whole resume
+     must refuse, even though the root meta still matches *)
+  let meta = Filename.concat (Filename.concat dir "shard-1") "meta.json" in
+  let oc = open_out meta in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("format", Json.String "vega-checkpoint");
+            ("version", Json.Int 1);
+            ("digest", Json.String "evil");
+          ]));
+  close_out oc;
+  (match Resilience.Checkpoint.open_sharded ~resume:true ~dir ~digest:"good" ~shards:2 () with
+  | Ok _ -> Alcotest.fail "stale shard digest must refuse the resume"
+  | Error msg ->
+    let has s = contains msg s in
+    Alcotest.(check bool) "names stale" true (has "stale");
+    Alcotest.(check bool) "names both digests" true (has "good" && has "evil"));
+  rm_rf dir
+
+let test_sharded_populated_needs_resume () =
+  let dir = fresh_dir () in
+  let sh = ok (Resilience.Checkpoint.open_sharded ~dir ~digest:"d1" ~shards:2 ()) in
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 0) "x" (Json.Int 1);
+  Resilience.Checkpoint.store (Resilience.Checkpoint.shard sh 1) "y" (Json.Int 2);
+  (match Resilience.Checkpoint.open_sharded ~dir ~digest:"d1" ~shards:2 () with
+  | Ok _ -> Alcotest.fail "populated sharded store must demand --resume"
+  | Error msg ->
+    Alcotest.(check bool) "mentions --resume" true (contains msg "--resume");
+    Alcotest.(check bool)
+      "counts items across shards" true
+      (contains msg "2 completed item(s) across 2 shard(s)"));
+  rm_rf dir
+
 let () =
   Alcotest.run "resilience"
     [
@@ -258,6 +349,16 @@ let () =
           prop_resume_byte_identical;
           Alcotest.test_case "completed checkpoint replays silently" `Quick
             test_completed_checkpoint_is_silent;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "shards merge across differing shard counts" `Quick
+            test_sharded_merge_across_shard_counts;
+          Alcotest.test_case "torn tmp inside a shard swept" `Quick test_sharded_torn_tmp_swept;
+          Alcotest.test_case "one stale shard refuses the whole resume" `Quick
+            test_sharded_stale_shard_refused;
+          Alcotest.test_case "populated sharded store needs --resume" `Quick
+            test_sharded_populated_needs_resume;
         ] );
       ( "supervisor",
         [

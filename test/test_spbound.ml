@@ -285,8 +285,8 @@ let test_golden_static_report () =
    shows up as a diff here. *)
 let expected_subcommands =
   [
-    "analyze"; "attack"; "check"; "emit-c"; "encode"; "fuzz"; "guard-campaign"; "lift"; "lint";
-    "monitors"; "optimize"; "report"; "run"; "verilog";
+    "analyze"; "attack"; "check"; "emit-c"; "encode"; "fleet"; "fuzz"; "guard-campaign"; "lift";
+    "lint"; "monitors"; "optimize"; "report"; "run"; "verilog";
   ]
 
 let test_subcommand_list () =

@@ -217,6 +217,86 @@ let test_stray_end_ignored () =
   Telemetry.disable ();
   Alcotest.(check int) "one span" 1 (count_spans snap)
 
+(* ---------- domain safety ---------- *)
+
+let test_concurrent_counter_bumps () =
+  Telemetry.enable ~clock:(Telemetry.Clock.virtual_ ()) ();
+  let c = Telemetry.Counter.make "test.dom.counter" in
+  let h = Telemetry.Histogram.make "test.dom.hist" ~bounds:[| 10; 100 |] in
+  let bumps = 100_000 in
+  let worker () =
+    for i = 1 to bumps do
+      Telemetry.Counter.incr c;
+      Telemetry.Histogram.observe h (i mod 150)
+    done
+  in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  (* every bump from both domains lands: no lost update, ever *)
+  Alcotest.(check int) "no counter bump lost" (2 * bumps) (Telemetry.Counter.value c);
+  let hs = Telemetry.Histogram.snapshot_value h in
+  Alcotest.(check int) "no observation lost" (2 * bumps) hs.Telemetry.Histogram.h_total;
+  Alcotest.(check int)
+    "bucket counts sum to the total" (2 * bumps)
+    (Array.fold_left ( + ) 0 hs.Telemetry.Histogram.h_counts);
+  Telemetry.disable ();
+  Telemetry.reset ()
+
+let test_spans_are_domain_local () =
+  Telemetry.enable ~clock:(Telemetry.Clock.virtual_ ()) ();
+  Telemetry.begin_span ~cat:"t" "coordinator";
+  let d =
+    Domain.spawn (fun () ->
+        (* a worker's spans live in ITS forest: the coordinator's open
+           span is not its parent, and its depth starts at zero *)
+        let d0 = Telemetry.span_depth () in
+        Telemetry.begin_span ~cat:"t" "worker";
+        Telemetry.end_span ();
+        (d0, Telemetry.harvest ()))
+  in
+  let d0, harvested = Domain.join d in
+  Alcotest.(check int) "worker depth starts at 0" 0 d0;
+  Alcotest.(check int) "worker span harvested" 1 (List.length harvested);
+  Telemetry.absorb harvested;
+  Telemetry.end_span ();
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  (match snap.Telemetry.ss_spans with
+  | [ root ] ->
+    Alcotest.(check string) "coordinator root" "coordinator" root.Telemetry.sp_name;
+    (match root.Telemetry.sp_children with
+    | [ child ] ->
+      Alcotest.(check string) "absorbed under the open span" "worker" child.Telemetry.sp_name
+    | l -> Alcotest.failf "expected 1 absorbed child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root span, got %d" (List.length l));
+  Telemetry.reset ()
+
+let test_absorb_without_open_span () =
+  Telemetry.enable ~clock:(Telemetry.Clock.virtual_ ()) ();
+  Telemetry.begin_span ~cat:"t" "orphan";
+  Telemetry.end_span ();
+  let spans = Telemetry.harvest () in
+  Alcotest.(check int) "harvest clears" 0 (List.length (Telemetry.harvest ()));
+  Telemetry.absorb spans;
+  let snap = Telemetry.snapshot () in
+  Telemetry.disable ();
+  Alcotest.(check int) "absorbed at the roots" 1 (List.length snap.Telemetry.ss_spans);
+  Telemetry.reset ()
+
+let test_disabled_stays_cheap_across_domains () =
+  (* the disabled path must stay a plain flag check from any domain *)
+  Telemetry.disable ();
+  let c = Telemetry.Counter.make "test.dom.disabled" in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to 1000 do
+          Telemetry.Counter.incr c
+        done)
+  in
+  Domain.join d;
+  Alcotest.(check int) "disabled records nothing from workers" 0 (Telemetry.Counter.value c)
+
 (* ---------- exporters ---------- *)
 
 let mini_workload () =
@@ -393,6 +473,16 @@ let () =
           Alcotest.test_case "enable resets" `Quick test_enable_resets;
           Alcotest.test_case "with_span survives exceptions" `Quick test_with_span_exception;
           Alcotest.test_case "stray end ignored" `Quick test_stray_end_ignored;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "concurrent bumps never lost" `Quick test_concurrent_counter_bumps;
+          Alcotest.test_case "spans are domain-local, harvest/absorb transfers" `Quick
+            test_spans_are_domain_local;
+          Alcotest.test_case "absorb lands at the roots when nothing is open" `Quick
+            test_absorb_without_open_span;
+          Alcotest.test_case "disabled sink ignores worker bumps" `Quick
+            test_disabled_stays_cheap_across_domains;
         ] );
       ( "export",
         [

@@ -19,6 +19,9 @@
      bench/main.exe fleet      fleet-pool multicore scaling: the quick device
                                population at 1/2/4 worker domains, wall-clock
                                and byte-identity, written to BENCH_fleet.json
+     bench/main.exe repair     aging-aware repair on the ALU8 sweep: recovered
+                               slack, proof counters and wall-clock, written
+                               to BENCH_repair.json
      bench/main.exe <id>       one experiment: fig4 table1 table2 fig8
                                table3 table4 table5 table6 table7 fig9 *)
 
@@ -728,6 +731,67 @@ let run_fleet () =
   if not identical then exit 1;
   print_endline "fleet scaling written to BENCH_fleet.json"
 
+(* ------------- repair mode ------------- *)
+
+(* Aging-aware repair on the ALU8 sweep: wall-clock of the full
+   analyze-repair-rescore pipeline, recovered slack and the proof
+   counters, written to BENCH_repair.json. *)
+let run_repair () =
+  let target = Lift.alu_target ~width:8 () in
+  let t0 = Unix.gettimeofday () in
+  let report = Vega.repair target ~workload:Vega.run_minver_workload in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let r = report.Vega.rr_result in
+  let recovered =
+    List.fold_left
+      (fun acc (o : Repair.pair_outcome) ->
+        if o.Repair.po_slack_before_ps < 0.0 then
+          acc
+          +. (Float.min o.Repair.po_slack_after_ps 0.0 -. o.Repair.po_slack_before_ps)
+        else acc)
+      0.0 r.Repair.rs_outcomes
+  in
+  let per_rung rung =
+    List.length (List.filter (fun c -> c.Repair.cm_rung = rung) r.Repair.rs_ledger)
+  in
+  let sb, cb, ub = report.Vega.rr_verdicts_before in
+  let sa, ca, ua = report.Vega.rr_verdicts_after in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "vega-bench-repair/1");
+        ("unit", Json.String "alu8");
+        ("violating_before", Json.Int report.Vega.rr_violating_before);
+        ("violating_after", Json.Int report.Vega.rr_violating_after);
+        ("critical_before", Json.Int cb);
+        ("critical_after", Json.Int ca);
+        ("safe_before", Json.Int sb);
+        ("safe_after", Json.Int sa);
+        ("unknown_before", Json.Int ub);
+        ("unknown_after", Json.Int ua);
+        ("rewrites", Json.Int r.Repair.rs_rewrites);
+        ("rewrites_strengthen", Json.Int (per_rung Repair.Strengthen));
+        ("rewrites_dup_vote", Json.Int (per_rung Repair.Dup_vote));
+        ("rewrites_rebalance", Json.Int (per_rung Repair.Rebalance));
+        ("rewrites_approx", Json.Int (per_rung Repair.Approx));
+        ("rejected", Json.Int r.Repair.rs_rejected);
+        ("cec_failures", Json.Int r.Repair.rs_cec_failures);
+        ("recovered_slack_ps", Json.Float recovered);
+        ("cells_before", Json.Int r.Repair.rs_cells_before);
+        ("cells_after", Json.Int r.Repair.rs_cells_after);
+        ("area_before_um2", Json.Float r.Repair.rs_area_before_um2);
+        ("area_after_um2", Json.Float r.Repair.rs_area_after_um2);
+        ("ms", Json.Float ms);
+      ]
+  in
+  let oc = open_out "BENCH_repair.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_string (Vega.render_repair report);
+  Printf.printf "repair wall-clock: %.1f ms\n" ms;
+  print_endline "repair results written to BENCH_repair.json"
+
 (* ------------- experiment printing ------------- *)
 
 let log s = Printf.eprintf "[bench] %s\n%!" s
@@ -915,6 +979,7 @@ let () =
   | "resilience" -> run_resilience_bench ()
   | "telemetry" -> run_telemetry ()
   | "fleet" -> run_fleet ()
+  | "repair" -> run_repair ()
   | "micro" -> run_micro ()
   | "ablations" -> run_ablations ()
   | "fig4" -> print_string (Experiments.render_fig4 (Experiments.fig4 ()))

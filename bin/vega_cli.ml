@@ -21,12 +21,17 @@
                    [--campaign [--quick]] [--checkpoint DIR] [--resume]
      vega monitors --unit alu|fpu [--width N] [--margin M] [--count N]
                    [--pessimism F]
+     vega repair   --unit alu|fpu [--width N] [--margin M] [--years Y]
+                   [--budget N] [--area-frac F] [--pair-edits N]
+                   [--approx-bound RATE] [--seed N]
+                   [--checkpoint DIR] [--resume]
      vega fleet    [--quick] [--width N] [--devices N] [--domains D] [--seed N]
                    [--specs N] [--engine scalar|sim64|simc] [--poison ID,ID]
                    [--checkpoint DIR] [--resume]
 
    The pipeline subcommands (analyze, lift, run, fuzz, optimize, check,
-   report, guard-campaign, attack, monitors, fleet) additionally accept
+   report, guard-campaign, attack, monitors, repair, fleet) additionally
+   accept
      --trace FILE      Chrome trace-event JSON (Perfetto-loadable)
      --metrics FILE    JSONL counters / histograms / span totals
      --virtual-clock   deterministic timestamps: identical runs produce
@@ -39,11 +44,12 @@
    a supervised item errored, a guarded campaign run escaped, an attack
    campaign without acceleration or with canary-guarded escapes, a canary
    monitor failing its verification gate, a fleet run with quarantined
-   devices); 2 usage errors; 3 runtime
+   devices, a repair run that leaves violating pairs unrepaired); 2 usage
+   errors; 3 runtime
    errors such as a stale or unusable checkpoint (digest mismatch).
    Unknown subcommands exit non-zero (cmdliner's exit 124).
 
-   The long-running subcommands (lift, guard-campaign, attack) accept
+   The long-running subcommands (lift, guard-campaign, attack, repair) accept
    --checkpoint DIR to persist every completed work item atomically, and
    --resume to continue such a directory, skipping completed items; a
    resumed run prints byte-identical output for the same seed.  Faults
@@ -1023,6 +1029,106 @@ let monitors_cmd =
     Term.(
       const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ count_arg $ pessimism_arg)
 
+(* ---------- repair ---------- *)
+
+let repair_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "budget" ] ~docv:"N" ~doc:"Maximum committed rewrites across all pairs.")
+  in
+  let area_frac_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "area-frac" ] ~docv:"F"
+          ~doc:"Maximum live-area growth as a fraction of the original netlist's area.")
+  in
+  let pair_edits_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "pair-edits" ] ~docv:"N" ~doc:"Maximum committed rewrites per register pair.")
+  in
+  let approx_bound_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "approx-bound" ] ~docv:"RATE"
+          ~doc:
+            "Enable the bounded-error approximate rung: a constant tie is committed only when \
+             the 64-lane random differential output error rate stays within $(docv).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Differential stimulus seed for approximate rewrites.")
+  in
+  let run tele unit_kind width margin years budget area_frac pair_edits approx_bound seed ck_dir
+      resume =
+    with_telemetry tele @@ fun () ->
+    let target = target_of (unit_kind, width) in
+    let config = { (phase1_of margin) with Vega.years } in
+    let rcfg =
+      {
+        Repair.default_config with
+        Repair.rp_max_rewrites = budget;
+        rp_max_area_frac = area_frac;
+        rp_max_pair_edits = pair_edits;
+        rp_approx_bound = approx_bound;
+        rp_seed = seed;
+        rp_rungs =
+          (Repair.default_config.Repair.rp_rungs
+          @ match approx_bound with Some _ -> [ Repair.Approx ] | None -> []);
+      }
+    in
+    (* same clock derivation as phase 1, so the checkpoint digest is
+       computable before the (expensive) profiling run *)
+    let clock_period_ps =
+      let timing =
+        Sta.fresh_timing ~derate:config.Vega.derate ~clock_tree:config.Vega.clock_tree
+          Cell.Library.c28
+      in
+      let probe = Sta.analyze ~timing ~clock_period_ps:1e9 target.Lift.netlist in
+      let crit =
+        List.fold_left
+          (fun acc (e : Sta.endpoint_slack) -> Float.max acc (1e9 -. e.Sta.setup_slack_ps))
+          0.0 probe.Sta.endpoint_slacks
+      in
+      crit *. margin
+    in
+    let opened =
+      match ck_dir with
+      | None -> Ok None
+      | Some dir ->
+        let digest = Repair.digest rcfg target.Lift.netlist ~clock_period_ps ~years in
+        Result.map Option.some (Resilience.Checkpoint.open_dir ~resume ~dir ~digest ())
+    in
+    match opened with
+    | Error msg ->
+      prerr_endline ("vega repair: " ^ msg);
+      3
+    | Ok checkpoint ->
+      (* progress goes to stderr: stdout is the diffable report *)
+      let log msg = Printf.eprintf "[vega] %s\n%!" msg in
+      let report =
+        Vega.repair ~config ~repair_config:rcfg ?checkpoint ~log target
+          ~workload:Vega.run_minver_workload
+      in
+      print_string (Vega.render_repair report);
+      if report.Vega.rr_violating_after > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Repair the aging-violating register pairs of a unit with the verified rewrite \
+          ladder (gate strengthening, duplication + voting, SP-rebalancing restructure, \
+          optional bounded-error approximation): every exact rewrite is CEC-proved before \
+          commit and the repaired netlist is re-scored through aged STA and Spbound.  Exits 1 \
+          when violating pairs remain.")
+    Term.(
+      const run $ telemetry_term $ unit_arg $ width_arg $ margin_arg $ years_arg $ budget_arg
+      $ area_frac_arg $ pair_edits_arg $ approx_bound_arg $ seed_arg $ checkpoint_arg
+      $ resume_arg)
+
 (* ---------- fleet ---------- *)
 
 let fleet_cmd =
@@ -1150,5 +1256,5 @@ let () =
           [
             analyze_cmd; lift_cmd; run_cmd; emit_c_cmd; verilog_cmd; fuzz_cmd; optimize_cmd;
             encode_cmd; lint_cmd; check_cmd; report_cmd; guard_campaign_cmd; attack_cmd;
-            monitors_cmd; fleet_cmd;
+            monitors_cmd; repair_cmd; fleet_cmd;
           ]))

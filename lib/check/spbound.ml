@@ -361,6 +361,12 @@ let verdict_counts pvs =
       | Unknown -> (s, c, u + 1))
     (0, 0, 0) pvs
 
+let pair_key nl start finish chk =
+  Printf.sprintf "%s->%s:%s"
+    (Sta.describe_startpoint nl start)
+    (Sta.describe_endpoint nl finish)
+    (match chk with Sta.Setup -> "setup" | Sta.Hold -> "hold")
+
 (* ---------- report ---------- *)
 
 let render ?(limit = 16) t pvs =

@@ -123,6 +123,13 @@ val classify :
 val verdict_counts : pair_verdict list -> int * int * int
 (** [(safe, critical, unknown)]. *)
 
+val pair_key : Netlist.t -> Sta.startpoint -> Sta.endpoint -> Sta.check -> string
+(** Stable name-based identity of a register pair and check —
+    ["a_q0->r_q3:setup"].  Instance names survive netlist-rewriting
+    transforms that renumber cell ids (the repair pass's dead-cell sweep),
+    so name keys are how before/after verdicts and repair outcomes are
+    matched across netlist versions. *)
+
 val render : ?limit:int -> t -> pair_verdict list -> string
 (** Deterministic, golden-diffable report: analysis header, verdict
     summary, the non-[Safe] pairs (worst slack bound first, at most

@@ -1170,18 +1170,25 @@ let profile_engine_name = function
 
 (* The resolved victim set: what the digest commits to, so a resumed
    campaign cannot silently aim at different cells. *)
-let attack_campaign_cells (config : attack_campaign_config) =
+let attack_campaign_cells ?netlist (config : attack_campaign_config) =
   match config.ak_cells with
   | [] ->
-    let target = Lift.alu_target ~width:config.ak_width () in
-    Attack.default_targets target.Lift.netlist
+    let nl =
+      match netlist with
+      | Some nl -> nl
+      | None -> (Lift.alu_target ~width:config.ak_width ()).Lift.netlist
+    in
+    Attack.default_targets nl
   | cells -> cells
 
-let attack_campaign_digest (config : attack_campaign_config) =
+let attack_campaign_digest ?netlist (config : attack_campaign_config) =
   let a = config.ak_attack in
   Resilience.digest_of_strings
     ([
        "vega-attack-campaign";
+       (match netlist with
+       | None -> "stock"
+       | Some nl -> Resilience.netlist_digest nl);
        string_of_int config.ak_width;
        String.concat "," config.ak_kernels;
        string_of_int config.ak_specs;
@@ -1209,7 +1216,7 @@ let attack_campaign_digest (config : attack_campaign_config) =
        string_of_int config.ak_guard.Guard.Monitor.max_cadence;
        string_of_int config.ak_guard.Guard.Monitor.max_instructions;
      ]
-    @ attack_campaign_cells config)
+    @ attack_campaign_cells ?netlist config)
 
 type attack_row = {
   ar_kernel : string;
@@ -1416,13 +1423,17 @@ type attack_report = {
   ap_rows : attack_row list;
 }
 
-let attack_campaign ?(config = quick_attack_campaign) ?(log = fun _ -> ()) ?checkpoint () =
+let attack_campaign ?(config = quick_attack_campaign) ?netlist ?(log = fun _ -> ()) ?checkpoint
+    () =
   Telemetry.with_span ~cat:"experiments" "experiments.attack_campaign" @@ fun () ->
   let ck_load key decode = ck_load checkpoint key decode in
   let ck_store key json = ck_store checkpoint key json in
-  let target = Lift.alu_target ~width:config.ak_width () in
+  let target =
+    let t = Lift.alu_target ~width:config.ak_width () in
+    match netlist with Some nl -> { t with Lift.netlist = nl } | None -> t
+  in
   let nl = target.Lift.netlist in
-  let cells = attack_campaign_cells config in
+  let cells = attack_campaign_cells ?netlist config in
   let aglib = Aging.Timing_library.build Cell.Library.c28 in
   let worst_arrival timing =
     let probe = Sta.analyze ~timing ~clock_period_ps:1e9 nl in
@@ -1968,13 +1979,16 @@ let fleet_row_of_json j =
       dv_latency_cycles;
     }
 
-let fleet_digest (c : fleet_config) =
+let fleet_digest ?netlist (c : fleet_config) =
   (* deliberately excludes the domain count and the robustness knobs
      (attempts, timeout): neither may change a row, so a run killed at
      --domains 4 must resume at --domains 1 *)
   Resilience.digest_of_strings
     [
       "vega-fleet";
+      (match netlist with
+      | None -> "stock"
+      | Some nl -> Resilience.netlist_digest nl);
       string_of_int c.fd_width;
       string_of_int c.fd_devices;
       string_of_int c.fd_seed;
@@ -2123,9 +2137,13 @@ type fleet_report = {
   fe_stats : Fleet.stats;
 }
 
-let fleet_campaign ?(config = quick_fleet) ?(domains = 1) ?(log = fun _ -> ()) ?checkpoint () =
+let fleet_campaign ?(config = quick_fleet) ?netlist ?(domains = 1) ?(log = fun _ -> ())
+    ?checkpoint () =
   Telemetry.with_span ~cat:"experiments" "experiments.fleet_campaign" @@ fun () ->
-  let target = Lift.alu_target ~width:config.fd_width () in
+  let target =
+    let t = Lift.alu_target ~width:config.fd_width () in
+    match netlist with Some nl -> { t with Lift.netlist = nl } | None -> t
+  in
   let nl = target.Lift.netlist in
   log (Printf.sprintf "fleet: phase 1 aging analysis (alu%d, nominal corner)" config.fd_width);
   let analysis =

@@ -279,15 +279,18 @@ val quick_attack_campaign : attack_campaign_config
 (** crc only, one spec, C=0, a 32-op/12-iter search — the CI smoke
     configuration. *)
 
-val attack_campaign_cells : attack_campaign_config -> string list
+val attack_campaign_cells : ?netlist:Netlist.t -> attack_campaign_config -> string list
 (** The resolved victim-cell set ([ak_cells], or {!Attack.default_targets}
-    of the configured ALU when empty) — the set the digest commits to. *)
+    of the configured ALU — or of [netlist] when given — when empty) —
+    the set the digest commits to. *)
 
-val attack_campaign_digest : attack_campaign_config -> string
+val attack_campaign_digest : ?netlist:Netlist.t -> attack_campaign_config -> string
 (** Staleness key for attack-campaign checkpoints.  Commits to the
     resolved target-cell set, the search seed and budget, the corner
-    parameters (horizon, precision, canary guardband and poll cadence)
-    and the guard knobs — any change invalidates a resume. *)
+    parameters (horizon, precision, canary guardband and poll cadence),
+    the guard knobs and the substituted [netlist] (e.g. a
+    {!Repair}-hardened ALU) when given — any change invalidates a
+    resume. *)
 
 type attack_row = {
   ar_kernel : string;
@@ -328,6 +331,7 @@ type attack_report = {
 
 val attack_campaign :
   ?config:attack_campaign_config ->
+  ?netlist:Netlist.t ->
   ?log:(string -> unit) ->
   ?checkpoint:Resilience.Checkpoint.t ->
   unit ->
@@ -436,10 +440,10 @@ type fleet_row = {
 val fleet_years : fleet_config -> int -> float
 (** Years at lifetime-grid index [i]. *)
 
-val fleet_digest : fleet_config -> string
+val fleet_digest : ?netlist:Netlist.t -> fleet_config -> string
 (** Checkpoint digest; deliberately excludes the domain count and the
     retry/timeout knobs, so a run killed at [--domains 4] resumes at
-    [--domains 1]. *)
+    [--domains 1].  Commits to the substituted [netlist] when given. *)
 
 val fleet_row_to_json : fleet_row -> Json.t
 val fleet_row_of_json : Json.t -> (fleet_row, string) result
@@ -478,6 +482,7 @@ type fleet_report = {
 
 val fleet_campaign :
   ?config:fleet_config ->
+  ?netlist:Netlist.t ->
   ?domains:int ->
   ?log:(string -> unit) ->
   ?checkpoint:Resilience.Checkpoint.sharded ->
@@ -487,7 +492,9 @@ val fleet_campaign :
     [domains] >= 1 and across kill/resume against the same sharded
     checkpoint (open it with {!fleet_digest}); only [fe_stats] may
     differ.  The deployed suite is checkpointed in shard 0 under
-    ["fleet~lift"]. *)
+    ["fleet~lift"].  [netlist] substitutes a pre-repaired ALU netlist
+    (see {!Vega.repair}) for the stock one — ports and register names
+    must match the configured width. *)
 
 val render_fleet : fleet_report -> string
 (** Deterministic rendering (per-device rows, population curve,

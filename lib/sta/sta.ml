@@ -83,13 +83,17 @@ let propagate_arrivals ~constrain_inputs nl timing =
         at_max.(net) <- timing.input_arrival_ps;
         at_min.(net) <- timing.input_arrival_ps
       end
-    | Netlist.Driven_by_cell id ->
+    | Netlist.Driven_by_cell id when id >= 0 ->
       let c = cells.(id) in
       if Cell.Kind.is_sequential c.kind then begin
         let arr = timing.clock_arrival_ps c.clock_domain in
         at_max.(net) <- arr +. timing.dff_timing.Cell.clk_to_q_max_ps;
         at_min.(net) <- arr +. timing.dff_timing.Cell.clk_to_q_min_ps
       end
+    | Netlist.Driven_by_cell _ ->
+      (* undriven net (legal when unread, e.g. after Builder rewiring):
+         launches no timing path *)
+      ()
   done;
   Array.iter
     (fun id ->
@@ -336,6 +340,104 @@ let unique_pairs paths =
     paths;
   Hashtbl.fold (fun key p acc -> (key, p) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> Float.compare a.slack_ps b.slack_ps)
+
+(* Worst path of one pair: rerun the per-endpoint DP of [endpoint_pairs]
+   for the one endpoint, then walk forward from the launching net choosing
+   at each step a reader that achieves the memoized extremal tail — the
+   walk reconstructs an argmax (argmin for hold) path without enumerating
+   the cone. *)
+let pair_path ?(constrain_inputs = false) ~timing ~clock_period_ps nl start
+    (At_dff ep_id) chk =
+  let cells = Netlist.cells nl in
+  let dff = timing.dff_timing in
+  let ec = cells.(ep_id) in
+  let d_net = ec.inputs.(0) in
+  let cap_arr = timing.clock_arrival_ps ec.clock_domain in
+  let required =
+    match chk with
+    | Setup -> clock_period_ps +. cap_arr -. dff.Cell.setup_ps
+    | Hold -> cap_arr +. dff.Cell.hold_ps
+  in
+  let memo = Hashtbl.create 64 in
+  let worse a b = match chk with Setup -> Float.max a b | Hold -> Float.min a b in
+  let neutral = match chk with Setup -> neg_infinity | Hold -> infinity in
+  let step_of g =
+    let d = timing.cell_delay g in
+    match chk with Setup -> d.Cell.tpd_max_ps | Hold -> d.Cell.tpd_min_ps
+  in
+  let rec delay_from net =
+    match Hashtbl.find_opt memo net with
+    | Some d -> d
+    | None ->
+      let direct = if net = d_net then 0.0 else neutral in
+      let through =
+        List.fold_left
+          (fun acc rid ->
+            let g = cells.(rid) in
+            if Cell.Kind.is_sequential g.kind then acc
+            else begin
+              let tail = delay_from g.output in
+              if Float.is_finite tail then worse acc (step_of g +. tail) else acc
+            end)
+          neutral (Netlist.readers nl net)
+      in
+      let d = worse direct through in
+      Hashtbl.replace memo net d;
+      d
+  in
+  let launch =
+    match start with
+    | From_dff sid ->
+      let sc = cells.(sid) in
+      let arr = timing.clock_arrival_ps sc.clock_domain in
+      Some
+        ( sc.output,
+          match chk with
+          | Setup -> arr +. dff.Cell.clk_to_q_max_ps
+          | Hold -> arr +. dff.Cell.clk_to_q_min_ps )
+    | From_input (p, b) ->
+      if constrain_inputs then
+        Some (Netlist.net_of_port_bit nl p b, timing.input_arrival_ps)
+      else None
+  in
+  match launch with
+  | None -> None
+  | Some (net0, launch_ps) ->
+    let tail = delay_from net0 in
+    if not (Float.is_finite tail) then None
+    else begin
+      let pick net =
+        let t = delay_from net in
+        List.find_opt
+          (fun rid ->
+            let g = cells.(rid) in
+            (not (Cell.Kind.is_sequential g.kind))
+            && Float.is_finite (delay_from g.output)
+            && Float.abs (step_of g +. delay_from g.output -. t)
+               <= 1e-6 *. (1.0 +. Float.abs t))
+          (Netlist.readers nl net)
+      in
+      let rec walk net acc =
+        if net = d_net then List.rev acc
+        else
+          match pick net with
+          | None -> List.rev acc
+          | Some rid -> walk cells.(rid).output (rid :: acc)
+      in
+      let arrival = launch_ps +. tail in
+      let slack_ps =
+        match chk with Setup -> required -. arrival | Hold -> arrival -. required
+      in
+      Some
+        {
+          start;
+          finish = At_dff ep_id;
+          through = walk net0 [];
+          delay_ps = arrival;
+          slack_ps;
+          check = chk;
+        }
+    end
 
 let describe_startpoint nl = function
   | From_dff id -> (Netlist.cell nl id).name

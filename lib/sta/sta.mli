@@ -129,6 +129,24 @@ val unique_pairs : path list -> ((startpoint * endpoint) * path) list
     worst-slack representative of each pair, worst-first — the filtering
     Vega applies before test-case generation. *)
 
+val pair_path :
+  ?constrain_inputs:bool ->
+  timing:timing_source ->
+  clock_period_ps:float ->
+  Netlist.t ->
+  startpoint ->
+  endpoint ->
+  check ->
+  path option
+(** The single worst path of one (startpoint, endpoint) pair: the same
+    per-endpoint dynamic program as {!endpoint_pairs} followed by an
+    argmax walk that reconstructs the extremal path's cells, so — unlike
+    {!analyze}'s enumeration — it is immune to the path-count cap and
+    returns the path whether or not it violates.  [None] when no
+    combinational path connects the pair (or the startpoint is an
+    unconstrained primary input).  The netlist repair pass uses this as
+    its path oracle when choosing where to rewrite. *)
+
 val render_report : Netlist.t -> report -> string
 (** Signoff-style textual rendering: WNS summary, the violating paths
     (capped at 20 per check), and the tightest endpoints. *)

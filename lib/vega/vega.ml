@@ -414,3 +414,74 @@ let classification_counts results =
         List.length
           (List.filter (fun (r : Lift.pair_result) -> r.Lift.classification = cls) results) ))
     [ Lift.S; Lift.UR; Lift.FF; Lift.FC ]
+
+(* ------------------------------------------------------------------ *)
+(* Aging-aware netlist repair (phase 1 -> Repair -> re-score)          *)
+
+type repair_report = {
+  rr_analysis : analysis;
+  rr_result : Repair.result;
+  rr_verdicts_before : int * int * int;
+  rr_verdicts_after : int * int * int;
+  rr_violating_before : int;
+  rr_violating_after : int;
+}
+
+let tele_repair_before = Telemetry.Counter.make "vega.repair.violating_before"
+let tele_repair_after = Telemetry.Counter.make "vega.repair.violating_after"
+
+let repair ?engine ?(config = default_phase1) ?repair_config ?checkpoint ?log
+    (target : Lift.target) ~workload =
+  Telemetry.with_span ~cat:"vega" "vega.repair" @@ fun () ->
+  let analysis = aging_analysis ?engine ~config ~static_prune:true target ~workload in
+  let nl = target.Lift.netlist in
+  let aglib = Aging.Timing_library.build Cell.Library.c28 in
+  let result =
+    Repair.run ?config:repair_config ?checkpoint ?log ~netlist:nl
+      ~sp_of_net:analysis.sp_of_net ~clock_period_ps:analysis.clock_period_ps
+      ~years:config.years ~derate:config.derate ~clock_tree:config.clock_tree ~aglib
+      ~pairs:analysis.violating_pairs ()
+  in
+  let classify nl' =
+    Spbound.verdict_counts
+      (Spbound.classify ~derate:config.derate ~clock_tree:config.clock_tree ~aglib
+         ~years:config.years ~clock_period_ps:analysis.clock_period_ps (Spbound.analyze nl'))
+  in
+  let before =
+    match analysis.static_verdicts with
+    | Some pvs -> Spbound.verdict_counts pvs
+    | None -> classify nl
+  in
+  let after = classify result.Repair.rs_netlist in
+  let aged =
+    Sta.aged_timing ~derate:config.derate ~clock_tree:config.clock_tree
+      ~sp_of_net:result.Repair.rs_sp_of_net ~years:config.years aglib
+  in
+  let violating_after =
+    List.length
+      (Sta.violating_pairs ~timing:aged ~clock_period_ps:analysis.clock_period_ps
+         result.Repair.rs_netlist)
+  in
+  let violating_before = List.length analysis.violating_pairs in
+  Telemetry.Counter.add tele_repair_before violating_before;
+  Telemetry.Counter.add tele_repair_after violating_after;
+  {
+    rr_analysis = analysis;
+    rr_result = result;
+    rr_verdicts_before = before;
+    rr_verdicts_after = after;
+    rr_violating_before = violating_before;
+    rr_violating_after = violating_after;
+  }
+
+let render_repair r =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let sb, cb, ub = r.rr_verdicts_before and sa, ca, ua = r.rr_verdicts_after in
+  pf "Vega repair: %s\n" (Netlist.name r.rr_analysis.target.Lift.netlist);
+  pf "  clock period %.1f ps, profile samples %d\n" r.rr_analysis.clock_period_ps
+    r.rr_analysis.sp_samples;
+  pf "  aged violating pairs %d -> %d\n" r.rr_violating_before r.rr_violating_after;
+  pf "  spbound verdicts safe/critical/unknown %d/%d/%d -> %d/%d/%d\n\n" sb cb ub sa ca ua;
+  Buffer.add_string b (Repair.render r.rr_result);
+  Buffer.contents b

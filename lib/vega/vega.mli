@@ -178,3 +178,40 @@ val suite_cycles : Lift.suite -> int
 
 val classification_counts : Lift.pair_result list -> (Lift.classification * int) list
 (** Tally of S/UR/FF/FC over pairs (Table 4's rows). *)
+
+(** {1 Aging-aware netlist repair}
+
+    Phase 1 evidence in, repaired netlist out: {!repair} runs
+    {!aging_analysis} with static pruning, hands the violating pairs to
+    {!Repair.run} (the CEC/STA-verified rewrite ladder), then re-scores
+    the repaired netlist through both aged STA (with the repair pass's
+    provenance-tracked SP view) and {!Spbound.classify}, so the report
+    can state the before/after violating-pair and verdict counts. *)
+
+type repair_report = {
+  rr_analysis : analysis;  (** the phase-1 run the repair consumed *)
+  rr_result : Repair.result;
+  rr_verdicts_before : int * int * int;
+      (** {!Spbound} (safe, critical, unknown) on the original netlist *)
+  rr_verdicts_after : int * int * int;  (** same triage, repaired netlist *)
+  rr_violating_before : int;  (** aged violating pairs before repair *)
+  rr_violating_after : int;  (** and on the repaired netlist *)
+}
+
+val repair :
+  ?engine:profile_engine ->
+  ?config:phase1_config ->
+  ?repair_config:Repair.config ->
+  ?checkpoint:Resilience.Checkpoint.t ->
+  ?log:(string -> unit) ->
+  Lift.target ->
+  workload:(Machine.t -> unit) ->
+  repair_report
+(** End-to-end repair of one functional unit.  Deterministic for a fixed
+    target, workload and configuration.  The checkpoint digest should be
+    {!Repair.digest} of the repair configuration and target netlist.
+    @raise Invalid_argument if the netlist fails error-class lint. *)
+
+val render_repair : repair_report -> string
+(** Deterministic, golden-diffable report: phase-1 header, before/after
+    violating-pair and {!Spbound} verdict counts, then {!Repair.render}. *)

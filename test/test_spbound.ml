@@ -286,7 +286,7 @@ let test_golden_static_report () =
 let expected_subcommands =
   [
     "analyze"; "attack"; "check"; "emit-c"; "encode"; "fleet"; "fuzz"; "guard-campaign"; "lift";
-    "lint"; "monitors"; "optimize"; "report"; "run"; "verilog";
+    "lint"; "monitors"; "optimize"; "repair"; "report"; "run"; "verilog";
   ]
 
 let test_subcommand_list () =
